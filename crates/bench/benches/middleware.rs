@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the Lachesis middleware path: metric resolution,
+//! policy computation, normalization and translator application. These
+//! back the paper's observation that Lachesis' own footprint is ~1% CPU
+//! (§6.7): one full scheduling period must cost far less than the 1 s
+//! between periods.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lachesis::{
+    to_nice, to_shares, LachesisBuilder, NiceTranslator, PriorityKind, QueueSizePolicy, Scope,
+    StoreDriver,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement, RunningQuery};
+
+fn deployed_syn(pipelines: usize) -> (Kernel, RunningQuery, Rc<RefCell<TimeSeriesStore>>) {
+    let mut kernel = Kernel::new(machines::server_config());
+    let node = machines::add_server(&mut kernel, "xeon");
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let cfg = queries::SynConfig {
+        queries: pipelines,
+        ..queries::SynConfig::default()
+    };
+    let q = deploy(
+        &mut kernel,
+        queries::syn(100.0 * pipelines as f64, cfg),
+        EngineConfig::liebre(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .unwrap();
+    // Populate the metric store with a couple of reporting periods.
+    kernel.run_for(SimDuration::from_secs(3));
+    (kernel, q, store)
+}
+
+/// One full Algorithm-1 iteration (metrics + policy + translation) at
+/// different operator counts.
+fn full_scheduling_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_period");
+    for pipelines in [2usize, 20, 100] {
+        let ops = pipelines * 5;
+        let (mut kernel, q, store) = deployed_syn(pipelines);
+        let mut lachesis = LachesisBuilder::new()
+            .driver(StoreDriver::liebre(vec![q], store))
+            .policy(
+                0,
+                Scope::AllQueries,
+                QueueSizePolicy::new(SimDuration::from_nanos(1)), // always due
+                NiceTranslator::new(),
+            )
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| {
+                // Advance the clock one tick so the policy is due again.
+                kernel.run_for(SimDuration::from_nanos(1));
+                lachesis.run_if_due(&mut kernel).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn normalization(c: &mut Criterion) {
+    let values: Vec<f64> = (0..1_000).map(|i| (i as f64 * 37.0) % 997.0).collect();
+    c.bench_function("to_nice_1000_linear", |b| {
+        b.iter(|| to_nice(std::hint::black_box(&values), PriorityKind::Linear))
+    });
+    c.bench_function("to_shares_1000_log", |b| {
+        b.iter(|| to_shares(std::hint::black_box(&values), PriorityKind::Logarithmic, 2, 2048))
+    });
+}
+
+fn metric_store(c: &mut Criterion) {
+    let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+    for s in 0..600u64 {
+        for op in 0..100 {
+            store.record(
+                &format!("liebre.syn.{op}.queue.size"),
+                simos::SimTime::ZERO + SimDuration::from_secs(s),
+                s as f64,
+            );
+        }
+    }
+    c.bench_function("store_latest_100_series", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for op in 0..100 {
+                if let Some((_, v)) = store.latest(&format!("liebre.syn.{op}.queue.size")) {
+                    acc += v;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = full_scheduling_period, normalization, metric_store
+);
+criterion_main!(benches);

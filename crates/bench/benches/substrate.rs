@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the substrates: the simulated kernel's event loop
+//! (simulated-seconds per wall-second) and the hot data structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use queries::BloomFilter;
+use simos::{machines, FixedWork, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, LogHistogram, Placement};
+
+/// Raw scheduler dispatch rate: N CPU-bound threads on 4 cores.
+fn kernel_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dispatch");
+    for threads in [4usize, 16, 64] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut k = Kernel::default();
+                    let node = k.add_node("n", 4);
+                    for i in 0..n {
+                        k.spawn(node, &format!("t{i}"), FixedWork::endless(SimDuration::from_micros(100)))
+                            .build();
+                    }
+                    k
+                },
+                |mut k| k.run_for(SimDuration::from_millis(100)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end engine simulation rate for the LR query at saturation.
+fn engine_simulation(c: &mut Criterion) {
+    c.bench_function("simulate_1s_lr_at_5000tps", |b| {
+        b.iter_batched(
+            || {
+                let mut kernel = Kernel::new(machines::odroid_config());
+                let node = machines::add_odroid(&mut kernel, "odroid");
+                let _q = deploy(
+                    &mut kernel,
+                    queries::lr(5_000.0, 1),
+                    EngineConfig::storm(),
+                    &Placement::single(node),
+                    None,
+                )
+                .unwrap();
+                kernel
+            },
+            |mut kernel| kernel.run_for(SimDuration::from_secs(1)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn histogram(c: &mut Criterion) {
+    c.bench_function("loghistogram_record", |b| {
+        let mut h = LogHistogram::new();
+        let mut x = 0.001;
+        b.iter(|| {
+            x = (x * 1.37) % 10.0 + 1e-6;
+            h.record(x);
+        })
+    });
+    let mut h = LogHistogram::new();
+    for i in 1..100_000 {
+        h.record(i as f64 * 1e-5);
+    }
+    c.bench_function("loghistogram_p999", |b| b.iter(|| h.quantile(0.999)));
+}
+
+fn bloom(c: &mut Criterion) {
+    let mut filter = BloomFilter::new(1 << 16, 4);
+    let mut i = 0u64;
+    c.bench_function("bloom_check_and_insert", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            filter.check_and_insert(i)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = kernel_dispatch, engine_simulation, histogram, bloom
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Internal calibration sweep: saturation points per query and scheduler.
+
+use bench::experiments::single_query::QueryKind;
+use bench::harness::{GoalKind, RunConfig};
+use bench::schedulers::{run_point, PointSpec, PolicyChoice, Sched, TranslatorChoice};
+use spe::SpeKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let sweeps: Vec<(QueryKind, SpeKind, Vec<f64>)> = vec![
+        (QueryKind::Etl, SpeKind::Storm, vec![1000., 1200., 1400., 1600., 1800.]),
+        (QueryKind::Stats, SpeKind::Storm, vec![240., 300., 340., 380., 440.]),
+        (QueryKind::Lr, SpeKind::Storm, vec![3000., 4500., 5500., 6500., 7500.]),
+        (QueryKind::Vs, SpeKind::Storm, vec![1500., 2000., 2500., 3000., 3500., 4000.]),
+        (QueryKind::Lr, SpeKind::Flink, vec![3000., 4500., 5500., 6500.]),
+        (QueryKind::Vs, SpeKind::Flink, vec![1500., 2000., 2500., 3000.]),
+    ];
+    let scheds = [
+        Sched::Os,
+        Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice),
+        Sched::EdgeWise,
+    ];
+    for (q, engine, rates) in sweeps {
+        if which != "all" && !q.name().eq_ignore_ascii_case(which) {
+            continue;
+        }
+        println!("### {} on {:?}", q.name(), engine);
+        for sched in &scheds {
+            if sched.is_ulss() && engine == SpeKind::Flink {
+                continue; // bounded queues + worker pool is rejected
+            }
+            print!("{:>14}:", sched.label());
+            for &rate in &rates {
+                let (m, _) = run_point(PointSpec {
+                    graph: Box::new(move |r, s| q.build(r, s)),
+                    engine,
+                    sched: sched.clone(),
+                    rate,
+                    seed: 1,
+                    cfg: RunConfig {
+                        warmup: simos::SimDuration::from_secs(4),
+                        measure: simos::SimDuration::from_secs(16),
+                        goal: GoalKind::QueueSizeVariance,
+                    },
+                    blocking: None,
+                    downstream: vec![],
+                });
+                print!(
+                    " [{:.0}: tp={:.0} lat={:.3} e2e={:.2} u={:.2}]",
+                    rate, m.throughput_tps, m.latency_mean_s, m.e2e_mean_s, m.utilization
+                );
+            }
+            println!();
+        }
+    }
+}

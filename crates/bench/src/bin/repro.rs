@@ -1,0 +1,150 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro -- all --quick
+//! cargo run -p bench --release --bin repro -- fig5 fig9
+//! cargo run -p bench --release --bin repro -- fig18 --out results --reps 3
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::experiments::{ablation, multi_query, multi_spe, scale_out, single_query, table1};
+use bench::report::Figure;
+use bench::ExpOptions;
+
+/// `all` runs every experiment; the fig13 panels come out of the
+/// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
+/// would redo those sweeps).
+const ALL: [&str; 14] = [
+    "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "ablation", "table1",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment...|all> [--quick] [--reps N] [--out DIR]\n\
+         experiments: {} render\n\
+         (fig5/fig7 also emit fig6/fig8; fig9-12 emit the fig13 panels;\n\
+          `render` redraws SVG charts from JSON already in --out)",
+        ALL.join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
+    match id {
+        "fig1" => scale_out::fig1(opts),
+        "fig5" => single_query::run(&single_query::fig5(), opts),
+        "fig7" => single_query::run(&single_query::fig7(), opts),
+        "fig9" => single_query::run(&single_query::fig9(), opts),
+        "fig10" => single_query::run(&single_query::fig10(), opts),
+        "fig11" => single_query::run(&single_query::fig11(), opts),
+        "fig12" => single_query::run(&single_query::fig12(), opts),
+        "fig13" => {
+            // The four tail-latency panels come from the Figs. 9-12 runs.
+            let mut figs = Vec::new();
+            for exp in [
+                single_query::fig9(),
+                single_query::fig10(),
+                single_query::fig11(),
+                single_query::fig12(),
+            ] {
+                figs.extend(
+                    single_query::run(&exp, opts)
+                        .into_iter()
+                        .filter(|f| f.id.starts_with("fig13")),
+                );
+            }
+            figs
+        }
+        "fig14" => multi_query::fig14(opts),
+        "fig15" => multi_query::fig15(opts),
+        "fig16" => multi_query::fig16(opts),
+        "fig17" => scale_out::fig17(opts),
+        "fig18" => multi_spe::fig18(opts),
+        "ablation" => ablation::ablation(opts),
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut opts = ExpOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                opts.quick = true;
+                opts.reps = 1;
+            }
+            "--reps" => {
+                i += 1;
+                opts.reps = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => experiments.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    // `render` re-draws SVG charts from previously saved JSON results.
+    if experiments.iter().any(|e| e == "render") {
+        let mut count = 0;
+        for entry in std::fs::read_dir(&opts.out_dir).expect("results dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "json")
+                && path.file_name().is_none_or(|n| n != "table1.json")
+            {
+                let json = std::fs::read_to_string(&path).expect("read json");
+                match serde_json::from_str::<bench::report::Figure>(&json) {
+                    Ok(fig) => {
+                        let files = bench::svg::save_charts(&fig, &opts.out_dir)
+                            .expect("write charts");
+                        count += files.len();
+                    }
+                    Err(e) => eprintln!("warning: skipping {}: {e}", path.display()),
+                }
+            }
+        }
+        eprintln!("rendered {count} charts into {}", opts.out_dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    for id in &experiments {
+        let start = std::time::Instant::now();
+        eprintln!(">> running {id} (quick={}, reps={})", opts.quick, opts.reps);
+        if id == "table1" {
+            let rows = table1::rows(&opts);
+            println!("{}", table1::render(&rows));
+            std::fs::create_dir_all(&opts.out_dir).ok();
+            if let Ok(json) = serde_json::to_string_pretty(&rows) {
+                std::fs::write(opts.out_dir.join("table1.json"), json).ok();
+            }
+        } else {
+            for fig in run_experiment(id, &opts) {
+                println!("{}", fig.render());
+                if let Err(e) = fig.save(&opts.out_dir) {
+                    eprintln!("warning: could not save {}: {e}", fig.id);
+                }
+                match bench::svg::save_charts(&fig, &opts.out_dir) {
+                    Ok(files) => eprintln!("   charts: {}", files.join(" ")),
+                    Err(e) => eprintln!("warning: could not render {} charts: {e}", fig.id),
+                }
+            }
+        }
+        eprintln!("<< {id} done in {:.1?}", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! Ablations of Lachesis' own design choices (DESIGN.md §6): the
+//! scheduling period (how much the Graphite-imposed 1 s costs) and the
+//! translator mechanism (nice vs per-operator cpu.shares vs the §8 quota
+//! extension) on the VS/Storm workload near saturation.
+
+use std::rc::Rc;
+
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement, SpeKind};
+
+use crate::harness::{average_runs, new_store, run_trial, GoalKind, Measured, RunConfig};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::schedulers::{attach_lachesis_with_period, PolicyChoice, TranslatorChoice};
+use crate::ExpOptions;
+
+fn run_cell(
+    rate: f64,
+    seed: u64,
+    period: SimDuration,
+    translator: TranslatorChoice,
+    cfg: &RunConfig,
+) -> Measured {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = new_store();
+    let query = deploy(
+        &mut kernel,
+        queries::vs(rate, seed),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+    attach_lachesis_with_period(
+        &mut kernel,
+        SpeKind::Storm,
+        vec![query.clone()],
+        store,
+        PolicyChoice::Qs,
+        translator,
+        period,
+    );
+    let (m, _) = run_trial(&mut kernel, &[node], &[query], cfg);
+    m
+}
+
+fn sweep(
+    label: &str,
+    rates: &[f64],
+    reps: usize,
+    period: SimDuration,
+    translator: TranslatorChoice,
+    cfg: &RunConfig,
+) -> Series {
+    let points = rates
+        .iter()
+        .map(|&rate| {
+            let runs: Vec<_> = (0..reps)
+                .map(|rep| run_cell(rate, 1 + rep as u64, period, translator, cfg))
+                .collect();
+            let mut m = average_runs(runs);
+            m.queue_samples.clear();
+            SweepPoint { x: rate, m }
+        })
+        .collect();
+    Series {
+        label: label.into(),
+        points,
+    }
+}
+
+/// The two ablation figures.
+pub fn ablation(opts: &ExpOptions) -> Vec<Figure> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let rates: Vec<f64> = if opts.quick {
+        vec![2_000.0, 2_600.0]
+    } else {
+        vec![1_500.0, 2_000.0, 2_300.0, 2_600.0, 2_900.0]
+    };
+
+    // Ablation 1: translator mechanism at the paper's 1 s period.
+    let mut translators = Figure::new(
+        "ablation_translator",
+        "Lachesis-QS on VS/Storm: nice vs per-op cpu.shares vs CPU quotas",
+        "rate (t/s)",
+    );
+    for (label, t) in [
+        ("nice", TranslatorChoice::Nice),
+        ("cpu.shares", TranslatorChoice::Shares),
+        ("cpu.quota", TranslatorChoice::Quota),
+    ] {
+        translators.series.push(sweep(
+            label,
+            &rates,
+            opts.reps,
+            SimDuration::from_secs(1),
+            t,
+            &cfg,
+        ));
+    }
+    translators.notes.push(
+        "quotas are hard caps: expect them to waste capacity vs the work-conserving mechanisms"
+            .into(),
+    );
+
+    // Ablation 2: scheduling period with the nice translator.
+    let mut periods = Figure::new(
+        "ablation_period",
+        "Lachesis-QS on VS/Storm: scheduling period 250ms vs 500ms vs 1s vs 2s",
+        "rate (t/s)",
+    );
+    for ms in [250u64, 500, 1_000, 2_000] {
+        periods.series.push(sweep(
+            &format!("{ms}ms"),
+            &rates,
+            opts.reps,
+            SimDuration::from_millis(ms),
+            TranslatorChoice::Nice,
+            &cfg,
+        ));
+    }
+    periods.notes.push(
+        "the paper's 1s period is a Graphite limitation; finer periods need fresher metrics"
+            .into(),
+    );
+    vec![translators, periods]
+}

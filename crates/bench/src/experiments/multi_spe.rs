@@ -1,0 +1,271 @@
+//! Multi-SPE scheduling on a server (§6.6, Fig. 18): VS on Storm, LR on
+//! Flink and 20 SYN pipelines on Liebre share one Xeon-class node. Lachesis
+//! enforces a multi-dimensional schedule: one cgroup per query with equal
+//! `cpu.shares`, QS + `nice` per operator inside — across all three SPEs at
+//! once, the capability no UL-SS offers (G5).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    CombinedTranslator, LachesisBuilder, PriorityKind, QueueSizePolicy, Schedule, Scope,
+    SpeDriver, StoreDriver, TranslateError, Translator,
+};
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement, RunningQuery, SpeKind};
+
+use crate::harness::{new_store, Measured};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::ExpOptions;
+
+/// A translator shared between several policy bindings so that the
+/// per-query cgroups of *different SPEs* become siblings under one root and
+/// receive equal shares of the whole machine (§6.6).
+pub struct SharedTranslator(pub Rc<RefCell<CombinedTranslator>>);
+
+impl std::fmt::Debug for SharedTranslator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedTranslator").finish_non_exhaustive()
+    }
+}
+
+impl Translator for SharedTranslator {
+    fn name(&self) -> &str {
+        "nice+cpu.shares (shared)"
+    }
+
+    fn apply(
+        &mut self,
+        kernel: &mut Kernel,
+        driver: &dyn SpeDriver,
+        schedule: &Schedule,
+        kind: PriorityKind,
+    ) -> Result<(), TranslateError> {
+        self.0.borrow_mut().apply(kernel, driver, schedule, kind)
+    }
+}
+
+struct Deployment {
+    kernel: Kernel,
+    node: simos::NodeId,
+    storm_vs: RunningQuery,
+    flink_lr: RunningQuery,
+    liebre_syn: Vec<RunningQuery>,
+}
+
+fn deploy_all(rates: (f64, f64, f64), with_lachesis: bool, seed: u64) -> Deployment {
+    let mut kernel = Kernel::new(machines::server_config());
+    let node = machines::add_server(&mut kernel, "xeon");
+    let store = new_store();
+    let storm_vs = deploy(
+        &mut kernel,
+        queries::vs(rates.0, seed),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy VS");
+    let flink_lr = deploy(
+        &mut kernel,
+        queries::lr(rates.1, seed),
+        EngineConfig::flink(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy LR");
+    // Each SYN pipeline is its own query (20 of them), so Lachesis'
+    // equal-share-per-query dimension gives 22 sibling cgroups.
+    let syn_cfg = queries::SynConfig::default();
+    let per_pipeline_rate = rates.2 / syn_cfg.queries as f64;
+    let liebre_syn: Vec<RunningQuery> = (0..syn_cfg.queries)
+        .map(|i| {
+            deploy(
+                &mut kernel,
+                queries::syn_single(i, per_pipeline_rate, syn_cfg),
+                EngineConfig::liebre(),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .expect("deploy SYN pipeline")
+        })
+        .collect();
+
+    if with_lachesis {
+        let shared = Rc::new(RefCell::new(CombinedTranslator::new("qs")));
+        LachesisBuilder::new()
+            .driver(StoreDriver::storm(vec![storm_vs.clone()], Rc::clone(&store)))
+            .driver(StoreDriver::flink(vec![flink_lr.clone()], Rc::clone(&store)))
+            .driver(StoreDriver::liebre(liebre_syn.clone(), Rc::clone(&store)))
+            .policy(
+                0,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                SharedTranslator(Rc::clone(&shared)),
+            )
+            .policy(
+                1,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                SharedTranslator(Rc::clone(&shared)),
+            )
+            .policy(
+                2,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                SharedTranslator(shared),
+            )
+            .build()
+            .start(&mut kernel);
+    }
+
+    Deployment {
+        kernel,
+        node,
+        storm_vs,
+        flink_lr,
+        liebre_syn,
+    }
+}
+
+fn measure_queries(qs: &[RunningQuery], secs: f64, offered: f64) -> Measured {
+    let mut latency = spe::LogHistogram::new();
+    let mut e2e = spe::LogHistogram::new();
+    let mut ingress = 0u64;
+    let mut egress = 0u64;
+    for q in qs {
+        latency.merge(&q.latency_histogram());
+        e2e.merge(&q.e2e_histogram());
+        ingress += q.ingress_total();
+        egress += q.egress_total();
+    }
+    let p = |h: &spe::LogHistogram, q: f64| h.quantile(q).unwrap_or(0.0);
+    Measured {
+        offered_tps: offered,
+        throughput_tps: ingress as f64 / secs,
+        latency_mean_s: latency.mean().unwrap_or(0.0),
+        latency_p: (p(&latency, 0.5), p(&latency, 0.99), p(&latency, 0.999)),
+        e2e_mean_s: e2e.mean().unwrap_or(0.0),
+        e2e_p: (p(&e2e, 0.5), p(&e2e, 0.99), p(&e2e, 0.999)),
+        goal: 0.0,
+        queue_samples: vec![],
+        utilization: 0.0,
+        ctx_switches_per_s: 0.0,
+        egress_tps: egress as f64 / secs,
+    }
+}
+
+/// Finds each query's maximum sustainable rate "in this setup" (§6.6).
+///
+/// Standalone capacity is probed via the *egress* plateau far beyond
+/// saturation (ingress would report the offered rate for engines without
+/// spout flow control), normalized by the query's steady-state selectivity
+/// measured below saturation. Standalone saturation includes heavy
+/// scheduling losses, so co-deployed demand at a third of it would leave
+/// the machine under-loaded; half of standalone capacity per SPE puts the
+/// 100% point right at machine saturation, where the paper's comparison
+/// happens.
+fn calibrate_max_rates(secs: u64) -> (f64, f64, f64) {
+    let probe = |kind: SpeKind, low: f64, high: f64| -> f64 {
+        let run = |rate: f64| -> (f64, f64) {
+            let mut kernel = Kernel::new(machines::server_config());
+            let node = machines::add_server(&mut kernel, "xeon");
+            let (graph, config) = match kind {
+                SpeKind::Storm => (queries::vs(rate, 1), EngineConfig::storm()),
+                SpeKind::Flink => (queries::lr(rate, 1), EngineConfig::flink()),
+                SpeKind::Liebre => (
+                    queries::syn(rate, queries::SynConfig::default()),
+                    EngineConfig::liebre(),
+                ),
+            };
+            let q = deploy(&mut kernel, graph, config, &Placement::single(node), None)
+                .expect("calibration deploy");
+            kernel.run_for(SimDuration::from_secs(2));
+            q.reset_stats();
+            kernel.run_for(SimDuration::from_secs(secs));
+            (
+                q.ingress_total() as f64 / secs as f64,
+                q.egress_total() as f64 / secs as f64,
+            )
+        };
+        let (in_low, out_low) = run(low);
+        let selectivity = (out_low / in_low).max(1e-6);
+        let (_, out_high) = run(high);
+        out_high / selectivity
+    };
+    let standalone = (
+        probe(SpeKind::Storm, 1_000.0, 12_000.0),
+        probe(SpeKind::Flink, 2_000.0, 20_000.0),
+        probe(SpeKind::Liebre, 800.0, 8_000.0),
+    );
+    (standalone.0 / 2.0, standalone.1 / 2.0, standalone.2 / 2.0)
+}
+
+/// Fig. 18: multi-SPE/query scheduling at 20–100% of each query's maximum
+/// sustainable rate.
+pub fn fig18(opts: &ExpOptions) -> Vec<Figure> {
+    let (warmup, measure) = if opts.quick { (3u64, 10u64) } else { (5, 30) };
+    let max = calibrate_max_rates(if opts.quick { 8 } else { 15 });
+    let percents: Vec<f64> = if opts.quick {
+        vec![40.0, 100.0]
+    } else {
+        vec![20.0, 40.0, 60.0, 80.0, 100.0]
+    };
+    let mut fig = Figure::new(
+        "fig18",
+        "Multi-SPE/query scheduling of VS (Storm), LR (Flink), SYN (Liebre) on a server",
+        "% of max rate",
+    );
+    fig.notes.push(format!(
+        "calibrated shared max rates (standalone/2): VS={:.0} t/s, LR={:.0} t/s, SYN={:.0} t/s",
+        max.0, max.1, max.2
+    ));
+    let mut series: Vec<Series> = Vec::new();
+    for label in [
+        "storm-VS:OS",
+        "storm-VS:LACHESIS",
+        "flink-LR:OS",
+        "flink-LR:LACHESIS",
+        "liebre-SYN:OS",
+        "liebre-SYN:LACHESIS",
+    ] {
+        series.push(Series {
+            label: label.into(),
+            points: vec![],
+        });
+    }
+    for &pct in &percents {
+        let rates = (
+            max.0 * pct / 100.0,
+            max.1 * pct / 100.0,
+            max.2 * pct / 100.0,
+        );
+        for with_lachesis in [false, true] {
+            let mut d = deploy_all(rates, with_lachesis, 1);
+            d.kernel.run_for(SimDuration::from_secs(warmup));
+            d.storm_vs.reset_stats();
+            d.flink_lr.reset_stats();
+            for q in &d.liebre_syn {
+                q.reset_stats();
+            }
+            d.kernel.run_for(SimDuration::from_secs(measure));
+            let secs = measure as f64;
+            let offset = usize::from(with_lachesis);
+            series[offset].points.push(SweepPoint {
+                x: pct,
+                m: measure_queries(std::slice::from_ref(&d.storm_vs), secs, rates.0),
+            });
+            series[2 + offset].points.push(SweepPoint {
+                x: pct,
+                m: measure_queries(std::slice::from_ref(&d.flink_lr), secs, rates.1),
+            });
+            series[4 + offset].points.push(SweepPoint {
+                x: pct,
+                m: measure_queries(&d.liebre_syn, secs, rates.2),
+            });
+            let stats = d.kernel.node_stats(d.node).unwrap();
+            let _ = stats;
+        }
+    }
+    fig.series = series;
+    vec![fig]
+}

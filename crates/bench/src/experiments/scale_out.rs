@@ -1,0 +1,160 @@
+//! Scale-out experiment (§6.5, Fig. 17): LR with operator parallelism
+//! 1/2/4 spread over an equal number of Odroids, each running an
+//! *independent* Lachesis instance (no cross-node coordination).
+
+use std::rc::Rc;
+
+use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+use simos::{machines, Kernel, NodeId};
+use spe::{deploy, EngineConfig, Placement, SpeKind};
+
+use crate::harness::{average_runs, new_store, run_trial, GoalKind, RunConfig};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::ExpOptions;
+
+fn run_cell(
+    engine: SpeKind,
+    parallelism: usize,
+    with_lachesis: bool,
+    rate: f64,
+    seed: u64,
+    cfg: &RunConfig,
+) -> crate::harness::Measured {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let nodes: Vec<NodeId> = (0..parallelism)
+        .map(|i| machines::add_odroid(&mut kernel, &format!("odroid{i}")))
+        .collect();
+    let store = new_store();
+    let config = match engine {
+        SpeKind::Flink => EngineConfig::flink(),
+        _ => EngineConfig::storm(),
+    };
+    let graph = queries::lr_with_parallelism(rate, seed, parallelism);
+    let query = deploy(
+        &mut kernel,
+        graph,
+        config,
+        &Placement::spread(nodes.clone()),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+    if with_lachesis {
+        // One independent Lachesis instance per node (§6.5): each sees the
+        // whole SPE's metrics but only schedules its own node's operators.
+        for &node in &nodes {
+            LachesisBuilder::new()
+                .driver(StoreDriver::new(
+                    engine,
+                    vec![query.clone()],
+                    Rc::clone(&store),
+                ))
+                .policy(
+                    0,
+                    Scope::Node(node),
+                    QueueSizePolicy::default(),
+                    NiceTranslator::new(),
+                )
+                .build()
+                .start(&mut kernel);
+        }
+    }
+    let (m, _) = run_trial(&mut kernel, &nodes, &[query], cfg);
+    m
+}
+
+/// Fig. 17: LR scale-out on Storm and Flink, parallelism 1/2/4.
+pub fn fig17(opts: &ExpOptions) -> Vec<Figure> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let rates: Vec<f64> = if opts.quick {
+        vec![4_000.0, 11_000.0, 20_000.0]
+    } else {
+        vec![2_000.0, 4_000.0, 8_000.0, 11_000.0, 16_000.0, 20_000.0, 25_000.0]
+    };
+    let mut figs = Vec::new();
+    for engine in [SpeKind::Storm, SpeKind::Flink] {
+        let mut fig = Figure::new(
+            if engine == SpeKind::Storm {
+                "fig17a"
+            } else {
+                "fig17b"
+            },
+            &format!("LR scale-out in {:?}: 1/2/4 Odroids", engine),
+            "rate (t/s)",
+        );
+        for parallelism in [1usize, 2, 4] {
+            for with_lachesis in [false, true] {
+                let points = rates
+                    .iter()
+                    .map(|&rate| {
+                        let runs: Vec<_> = (0..opts.reps)
+                            .map(|rep| {
+                                run_cell(engine, parallelism, with_lachesis, rate, 1 + rep as u64, &cfg)
+                            })
+                            .collect();
+                        let mut m = average_runs(runs);
+                        m.queue_samples.clear();
+                        SweepPoint { x: rate, m }
+                    })
+                    .collect();
+                fig.series.push(Series {
+                    label: format!(
+                        "{}x{}",
+                        if with_lachesis { "LACHESIS-QS" } else { "OS" },
+                        parallelism
+                    ),
+                    points,
+                });
+            }
+        }
+        fig.notes
+            .push("independent Lachesis instance per node, no coordination (§6.5)".into());
+        figs.push(fig);
+    }
+    figs
+}
+
+/// Fig. 1 (the paper's motivating example): LR on one Odroid, OS vs
+/// Lachesis-QS — a subset of Fig. 9.
+pub fn fig1(opts: &ExpOptions) -> Vec<Figure> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let rates: Vec<f64> = if opts.quick {
+        vec![3_000.0, 5_000.0, 6_000.0]
+    } else {
+        vec![2_000.0, 3_000.0, 4_000.0, 5_000.0, 5_500.0, 6_000.0, 6_500.0]
+    };
+    let mut fig = Figure::new(
+        "fig1",
+        "Custom scheduling benefits for LR on an edge device (intro)",
+        "rate (t/s)",
+    );
+    for with_lachesis in [false, true] {
+        let points = rates
+            .iter()
+            .map(|&rate| {
+                let runs: Vec<_> = (0..opts.reps)
+                    .map(|rep| run_cell(SpeKind::Storm, 1, with_lachesis, rate, 1 + rep as u64, &cfg))
+                    .collect();
+                let mut m = average_runs(runs);
+                m.queue_samples.clear();
+                SweepPoint { x: rate, m }
+            })
+            .collect();
+        fig.series.push(Series {
+            label: if with_lachesis {
+                "CUSTOM (LACHESIS-QS)".into()
+            } else {
+                "OS".into()
+            },
+            points,
+        });
+    }
+    vec![fig]
+}

@@ -1,0 +1,330 @@
+//! Single-query experiments: ETL/STATS vs EdgeWise (§6.2, Figs. 5–8) and
+//! LR/VS on Storm/Flink vs OS and RANDOM (§6.3, Figs. 9–13).
+
+use spe::{LogHistogram, LogicalGraph, SpeKind};
+
+use crate::harness::{average_runs, GoalKind, RunConfig};
+use crate::report::{queue_distribution, Figure, Series, SweepPoint};
+use crate::schedulers::{run_point, PointSpec, Sched};
+use crate::ExpOptions;
+
+/// Which evaluation query to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// RIoTBench ETL.
+    Etl,
+    /// RIoTBench STATS.
+    Stats,
+    /// Linear Road.
+    Lr,
+    /// VoipStream.
+    Vs,
+}
+
+impl QueryKind {
+    /// Builds the query's logical graph.
+    pub fn build(self, rate: f64, seed: u64) -> LogicalGraph {
+        match self {
+            QueryKind::Etl => queries::etl(rate, seed),
+            QueryKind::Stats => queries::stats(rate, seed),
+            QueryKind::Lr => queries::lr(rate, seed),
+            QueryKind::Vs => queries::vs(rate, seed),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Etl => "ETL",
+            QueryKind::Stats => "STATS",
+            QueryKind::Lr => "LR",
+            QueryKind::Vs => "VS",
+        }
+    }
+}
+
+/// Declarative description of one single-query figure group.
+#[derive(Debug, Clone)]
+pub struct SingleQueryExp {
+    /// Main figure id (e.g. `"fig5"`).
+    pub fig_id: &'static str,
+    /// Figure title.
+    pub title: &'static str,
+    /// Workload.
+    pub query: QueryKind,
+    /// Engine personality.
+    pub engine: SpeKind,
+    /// Schedulers compared.
+    pub scheds: Vec<Sched>,
+    /// Rate sweep (full runs).
+    pub rates: Vec<f64>,
+    /// Companion queue-size-distribution figure (Figs. 6/8).
+    pub queue_fig: Option<(&'static str, &'static str)>,
+    /// Companion tail-latency (letter values) figure (Fig. 13 panels).
+    pub tail_fig: Option<(&'static str, &'static str)>,
+}
+
+fn thin_rates(rates: &[f64], quick: bool) -> Vec<f64> {
+    if !quick || rates.len() <= 4 {
+        return rates.to_vec();
+    }
+    // Keep ~4 points: first, two middle, last.
+    let n = rates.len();
+    let picks = [0, n / 3, 2 * n / 3, n - 1];
+    picks.iter().map(|&i| rates[i]).collect()
+}
+
+/// Runs the experiment and returns the produced figures.
+pub fn run(exp: &SingleQueryExp, opts: &ExpOptions) -> Vec<Figure> {
+    let rates = thin_rates(&exp.rates, opts.quick);
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+
+    let mut main_fig = Figure::new(exp.fig_id, exp.title, "rate (t/s)");
+    main_fig.notes.push(format!(
+        "query={} engine={:?} reps={}",
+        exp.query.name(),
+        exp.engine,
+        opts.reps
+    ));
+    let mut queue_fig = exp
+        .queue_fig
+        .map(|(id, title)| Figure::new(id, title, "rate (t/s)"));
+    let mut tail_fig = exp
+        .tail_fig
+        .map(|(id, title)| Figure::new(id, title, "quantile"));
+
+    for sched in &exp.scheds {
+        let mut points = Vec::new();
+        let mut qpoints = Vec::new();
+        // Tail distributions at the highest rate, merged over reps.
+        let mut tail_hist = LogHistogram::new();
+        for &rate in &rates {
+            let mut runs = Vec::new();
+            for rep in 0..opts.reps {
+                let query = exp.query;
+                let (m, d) = run_point(PointSpec {
+                    graph: Box::new(move |r, s| query.build(r, s)),
+                    engine: exp.engine,
+                    sched: sched.clone(),
+                    rate,
+                    seed: 1 + rep as u64,
+                    cfg,
+                    blocking: None,
+                    downstream: vec![],
+                });
+                if rate == *rates.last().unwrap() {
+                    tail_hist.merge(&d.latency);
+                }
+                runs.push(m);
+            }
+            let avg = average_runs(runs);
+            if queue_fig.is_some() {
+                let (p25, p50, p75, p95, p99, max) = queue_distribution(&avg.queue_samples);
+                let mut m2 = avg.clone();
+                m2.queue_samples = vec![];
+                // Encode the distribution in the point's latency fields is
+                // ugly; instead keep a dedicated series per statistic below.
+                qpoints.push((rate, (p25, p50, p75, p95, p99, max), m2));
+            }
+            let mut slim = avg;
+            slim.queue_samples.clear();
+            points.push(SweepPoint { x: rate, m: slim });
+        }
+        main_fig.series.push(Series {
+            label: sched.label(),
+            points,
+        });
+        if let Some(fig) = &mut queue_fig {
+            // One series per scheduler per statistic.
+            for (stat_idx, stat_name) in
+                ["p25", "p50", "p75", "p95", "p99", "max"].iter().enumerate()
+            {
+                let points = qpoints
+                    .iter()
+                    .map(|(rate, dist, m)| {
+                        let v = [dist.0, dist.1, dist.2, dist.3, dist.4, dist.5][stat_idx];
+                        let mut m = m.clone();
+                        m.goal = v; // the "goal" column carries the statistic
+                        SweepPoint { x: *rate, m }
+                    })
+                    .collect();
+                fig.series.push(Series {
+                    label: format!("{}:{}", sched.label(), stat_name),
+                    points,
+                });
+            }
+        }
+        if let Some(fig) = &mut tail_fig {
+            let lvs = tail_hist.letter_values(3);
+            let points = lvs
+                .into_iter()
+                .map(|(q, v)| {
+                    let mut m = crate::harness::Measured {
+                        offered_tps: *rates.last().unwrap(),
+                        throughput_tps: 0.0,
+                        latency_mean_s: v,
+                        latency_p: (0.0, 0.0, 0.0),
+                        e2e_mean_s: 0.0,
+                        e2e_p: (0.0, 0.0, 0.0),
+                        goal: v,
+                        queue_samples: vec![],
+                        utilization: 0.0,
+                        ctx_switches_per_s: 0.0,
+                        egress_tps: 0.0,
+                    };
+                    m.latency_p.0 = v;
+                    SweepPoint { x: q, m }
+                })
+                .collect();
+            fig.series.push(Series {
+                label: sched.label(),
+                points,
+            });
+        }
+    }
+
+    let mut figs = vec![main_fig];
+    if let Some(mut f) = queue_fig {
+        f.notes
+            .push("'policy goal' column carries the queue-size statistic".into());
+        figs.push(f);
+    }
+    if let Some(mut f) = tail_fig {
+        f.notes.push(format!(
+            "latency letter values at rate {}",
+            rates.last().unwrap()
+        ));
+        figs.push(f);
+    }
+    figs
+}
+
+/// Fig. 5/6: ETL on Storm vs EdgeWise and OS.
+pub fn fig5() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig5",
+        title: "ETL in Storm: OS vs EDGEWISE vs LACHESIS-QS",
+        query: QueryKind::Etl,
+        engine: SpeKind::Storm,
+        scheds: vec![
+            Sched::Os,
+            Sched::EdgeWise,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![1000.0, 1200.0, 1375.0, 1500.0, 1625.0, 1750.0, 1900.0],
+        queue_fig: Some(("fig6", "ETL input queue size distributions")),
+        tail_fig: None,
+    }
+}
+
+/// Fig. 7/8: STATS on Storm vs EdgeWise and OS.
+pub fn fig7() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig7",
+        title: "STATS in Storm: OS vs EDGEWISE vs LACHESIS-QS",
+        query: QueryKind::Stats,
+        engine: SpeKind::Storm,
+        scheds: vec![
+            Sched::Os,
+            Sched::EdgeWise,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![240.0, 280.0, 320.0, 340.0, 360.0, 400.0, 440.0],
+        queue_fig: Some(("fig8", "STATS input queue size distributions")),
+        tail_fig: None,
+    }
+}
+
+/// Fig. 9 (+13a): LR on Storm vs OS and RANDOM.
+pub fn fig9() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig9",
+        title: "LR in Storm: OS vs RANDOM vs LACHESIS-QS",
+        query: QueryKind::Lr,
+        engine: SpeKind::Storm,
+        scheds: vec![
+            Sched::Os,
+            Sched::Random,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![3000.0, 4000.0, 5000.0, 5500.0, 6000.0, 6500.0, 7000.0],
+        queue_fig: None,
+        tail_fig: Some(("fig13a", "LR/Storm latency letter values")),
+    }
+}
+
+/// Fig. 10 (+13b): VS on Storm vs OS and RANDOM.
+pub fn fig10() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig10",
+        title: "VS in Storm: OS vs RANDOM vs LACHESIS-QS",
+        query: QueryKind::Vs,
+        engine: SpeKind::Storm,
+        scheds: vec![
+            Sched::Os,
+            Sched::Random,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![1500.0, 2000.0, 2500.0, 3000.0, 3500.0, 4000.0],
+        queue_fig: None,
+        tail_fig: Some(("fig13b", "VS/Storm latency letter values")),
+    }
+}
+
+/// Fig. 11 (+13c): LR on Flink vs OS and RANDOM.
+pub fn fig11() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig11",
+        title: "LR in Flink: OS vs RANDOM vs LACHESIS-QS",
+        query: QueryKind::Lr,
+        engine: SpeKind::Flink,
+        scheds: vec![
+            Sched::Os,
+            Sched::Random,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![3000.0, 4000.0, 4500.0, 5000.0, 5500.0, 6000.0],
+        queue_fig: None,
+        tail_fig: Some(("fig13c", "LR/Flink latency letter values")),
+    }
+}
+
+/// Fig. 12 (+13d): VS on Flink vs OS and RANDOM.
+pub fn fig12() -> SingleQueryExp {
+    SingleQueryExp {
+        fig_id: "fig12",
+        title: "VS in Flink: OS vs RANDOM vs LACHESIS-QS",
+        query: QueryKind::Vs,
+        engine: SpeKind::Flink,
+        scheds: vec![
+            Sched::Os,
+            Sched::Random,
+            Sched::Lachesis(
+                crate::schedulers::PolicyChoice::Qs,
+                crate::schedulers::TranslatorChoice::Nice,
+            ),
+        ],
+        rates: vec![1500.0, 2000.0, 2500.0, 3000.0, 3500.0],
+        queue_fig: None,
+        tail_fig: Some(("fig13d", "VS/Flink latency letter values")),
+    }
+}

@@ -1,0 +1,307 @@
+//! Experiment harness: deploys queries, attaches schedulers, runs
+//! warm-up + measurement phases, and extracts the paper's metrics (§3.2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis_metrics::TimeSeriesStore;
+use serde::Serialize;
+use simos::{Kernel, NodeId, SimDuration};
+use spe::{LogHistogram, RunningQuery};
+
+/// The value a scheduling policy tries to optimize, sampled once per
+/// second during measurement (the bottom rows of Figs. 5–16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoalKind {
+    /// QS goal: variance of operator input queue sizes.
+    QueueSizeVariance,
+    /// FCFS goal: maximum head-of-queue tuple age (seconds).
+    MaxHeadAge,
+    /// HR goal: average tuple (processing) latency — computed from sinks
+    /// at the end of the run rather than sampled.
+    AvgLatency,
+}
+
+/// Summary statistics of one trial run.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct Measured {
+    /// Offered load (sum of source rates), tuples/s.
+    pub offered_tps: f64,
+    /// Measured throughput: ingress tuples per second.
+    pub throughput_tps: f64,
+    /// Mean processing latency, seconds.
+    pub latency_mean_s: f64,
+    /// Processing latency percentiles: (p50, p99, p99.9), seconds.
+    pub latency_p: (f64, f64, f64),
+    /// Mean end-to-end latency, seconds.
+    pub e2e_mean_s: f64,
+    /// End-to-end latency percentiles: (p50, p99, p99.9), seconds.
+    pub e2e_p: (f64, f64, f64),
+    /// Mean sampled policy-goal value.
+    pub goal: f64,
+    /// Per-operator queue sizes sampled each second (pooled over queries).
+    pub queue_samples: Vec<Vec<usize>>,
+    /// CPU utilization of the measured node(s), 0–1.
+    pub utilization: f64,
+    /// Context switches per simulated second.
+    pub ctx_switches_per_s: f64,
+    /// Egress tuples per second (for selectivity sanity checks).
+    pub egress_tps: f64,
+}
+
+/// Latency distributions captured alongside [`Measured`] (Fig. 13).
+#[derive(Debug, Clone)]
+pub struct Distributions {
+    /// Processing latency histogram.
+    pub latency: LogHistogram,
+    /// End-to-end latency histogram.
+    pub e2e: LogHistogram,
+}
+
+/// Trial phase durations.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Discarded warm-up time.
+    pub warmup: SimDuration,
+    /// Measured time.
+    pub measure: SimDuration,
+    /// Which goal to sample.
+    pub goal: GoalKind,
+}
+
+impl RunConfig {
+    /// Full-length runs (30 s measured after 5 s warm-up).
+    pub fn full(goal: GoalKind) -> Self {
+        RunConfig {
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(30),
+            goal,
+        }
+    }
+
+    /// Quick runs for smoke testing (10 s measured after 3 s warm-up).
+    pub fn quick(goal: GoalKind) -> Self {
+        RunConfig {
+            warmup: SimDuration::from_secs(3),
+            measure: SimDuration::from_secs(10),
+            goal,
+        }
+    }
+}
+
+/// Creates the shared Graphite-like store with the paper's 1 s resolution.
+pub fn new_store() -> Rc<RefCell<TimeSeriesStore>> {
+    Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))))
+}
+
+/// Runs warm-up + measurement over already-deployed queries and collects
+/// the metrics. The scheduler (if any) must already be attached.
+pub fn run_trial(
+    kernel: &mut Kernel,
+    nodes: &[NodeId],
+    queries: &[RunningQuery],
+    cfg: &RunConfig,
+) -> (Measured, Distributions) {
+    // Warm-up.
+    kernel.run_for(cfg.warmup);
+    for q in queries {
+        q.reset_stats();
+    }
+    let busy_before: u64 = nodes
+        .iter()
+        .map(|&n| kernel.node_stats(n).unwrap().busy.as_nanos())
+        .sum();
+    let ctx_before: u64 = nodes
+        .iter()
+        .map(|&n| kernel.node_stats(n).unwrap().ctx_switches)
+        .sum();
+
+    // Samplers: goal + queue sizes, once per second.
+    let goal_samples: Rc<RefCell<Vec<f64>>> = Rc::default();
+    let queue_samples: Rc<RefCell<Vec<Vec<usize>>>> = Rc::default();
+    let sampler_queries: Vec<RunningQuery> = queries.to_vec();
+    let goal_kind = cfg.goal;
+    let gs = Rc::clone(&goal_samples);
+    let qs = Rc::clone(&queue_samples);
+    let sampler = kernel.schedule_periodic(
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(1),
+        move |k| {
+            // Ingress queues are the external source buffer, not operator
+            // input queues: goals and queue distributions exclude them.
+            let mut sizes: Vec<usize> = Vec::new();
+            let mut head_ages: Vec<f64> = Vec::new();
+            for q in &sampler_queries {
+                for c in q.cells() {
+                    if c.is_ingress() {
+                        continue;
+                    }
+                    sizes.push(c.in_queue().len());
+                    if let Some(a) = c.in_queue().head_age(k.now()) {
+                        head_ages.push(a);
+                    }
+                }
+            }
+            let goal = match goal_kind {
+                GoalKind::QueueSizeVariance => {
+                    let n = sizes.len().max(1) as f64;
+                    let mean = sizes.iter().sum::<usize>() as f64 / n;
+                    sizes
+                        .iter()
+                        .map(|&s| (s as f64 - mean).powi(2))
+                        .sum::<f64>()
+                        / n
+                }
+                GoalKind::MaxHeadAge => head_ages.iter().copied().fold(0.0, f64::max),
+                GoalKind::AvgLatency => 0.0, // from sinks at the end
+            };
+            gs.borrow_mut().push(goal);
+            qs.borrow_mut().push(sizes);
+        },
+    );
+
+    kernel.run_for(cfg.measure);
+    kernel.cancel_callback(sampler);
+
+    let secs = cfg.measure.as_secs_f64();
+    let ingress: u64 = queries.iter().map(|q| q.ingress_total()).sum();
+    let egress: u64 = queries.iter().map(|q| q.egress_total()).sum();
+    let offered: f64 = queries
+        .iter()
+        .flat_map(|q| q.sources().iter().map(|s| s.borrow().rate_tps()))
+        .sum();
+    let mut latency = LogHistogram::new();
+    let mut e2e = LogHistogram::new();
+    for q in queries {
+        latency.merge(&q.latency_histogram());
+        e2e.merge(&q.e2e_histogram());
+    }
+    let goal = {
+        let samples = goal_samples.borrow();
+        match cfg.goal {
+            GoalKind::AvgLatency => latency.mean().unwrap_or(0.0),
+            _ if samples.is_empty() => 0.0,
+            _ => samples.iter().sum::<f64>() / samples.len() as f64,
+        }
+    };
+    let busy_after: u64 = nodes
+        .iter()
+        .map(|&n| kernel.node_stats(n).unwrap().busy.as_nanos())
+        .sum();
+    let ctx_after: u64 = nodes
+        .iter()
+        .map(|&n| kernel.node_stats(n).unwrap().ctx_switches)
+        .sum();
+    let cpus: usize = nodes
+        .iter()
+        .map(|&n| kernel.node_stats(n).unwrap().cpus)
+        .sum();
+    let capacity = secs * cpus as f64;
+
+    let q = |h: &LogHistogram, p: f64| h.quantile(p).unwrap_or(0.0);
+    let measured = Measured {
+        offered_tps: offered,
+        throughput_tps: ingress as f64 / secs,
+        latency_mean_s: latency.mean().unwrap_or(0.0),
+        latency_p: (q(&latency, 0.5), q(&latency, 0.99), q(&latency, 0.999)),
+        e2e_mean_s: e2e.mean().unwrap_or(0.0),
+        e2e_p: (q(&e2e, 0.5), q(&e2e, 0.99), q(&e2e, 0.999)),
+        goal,
+        queue_samples: queue_samples.take(),
+        utilization: (busy_after - busy_before) as f64 / 1e9 / capacity,
+        ctx_switches_per_s: (ctx_after - ctx_before) as f64 / secs,
+        egress_tps: egress as f64 / secs,
+    };
+    (measured, Distributions { latency, e2e })
+}
+
+/// Averages several repetitions into one point (queue samples pooled).
+pub fn average_runs(mut runs: Vec<Measured>) -> Measured {
+    assert!(!runs.is_empty(), "no runs to average");
+    let n = runs.len() as f64;
+    let mut acc = runs.pop().expect("non-empty");
+    for r in &runs {
+        acc.throughput_tps += r.throughput_tps;
+        acc.latency_mean_s += r.latency_mean_s;
+        acc.e2e_mean_s += r.e2e_mean_s;
+        acc.goal += r.goal;
+        acc.utilization += r.utilization;
+        acc.ctx_switches_per_s += r.ctx_switches_per_s;
+        acc.egress_tps += r.egress_tps;
+        acc.latency_p.0 += r.latency_p.0;
+        acc.latency_p.1 += r.latency_p.1;
+        acc.latency_p.2 += r.latency_p.2;
+        acc.e2e_p.0 += r.e2e_p.0;
+        acc.e2e_p.1 += r.e2e_p.1;
+        acc.e2e_p.2 += r.e2e_p.2;
+        acc.queue_samples.extend(r.queue_samples.iter().cloned());
+    }
+    acc.throughput_tps /= n;
+    acc.latency_mean_s /= n;
+    acc.e2e_mean_s /= n;
+    acc.goal /= n;
+    acc.utilization /= n;
+    acc.ctx_switches_per_s /= n;
+    acc.egress_tps /= n;
+    acc.latency_p.0 /= n;
+    acc.latency_p.1 /= n;
+    acc.latency_p.2 /= n;
+    acc.e2e_p.0 /= n;
+    acc.e2e_p.1 /= n;
+    acc.e2e_p.2 /= n;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(tput: f64, lat: f64) -> Measured {
+        Measured {
+            offered_tps: tput,
+            throughput_tps: tput,
+            latency_mean_s: lat,
+            latency_p: (lat, lat * 2.0, lat * 3.0),
+            e2e_mean_s: lat * 1.5,
+            e2e_p: (lat, lat, lat),
+            goal: 1.0,
+            queue_samples: vec![vec![1, 2]],
+            utilization: 0.5,
+            ctx_switches_per_s: 100.0,
+            egress_tps: tput,
+        }
+    }
+
+    #[test]
+    fn average_runs_means_scalars_and_pools_samples() {
+        let avg = average_runs(vec![m(100.0, 0.1), m(300.0, 0.3)]);
+        assert_eq!(avg.throughput_tps, 200.0);
+        assert!((avg.latency_mean_s - 0.2).abs() < 1e-12);
+        assert!((avg.latency_p.1 - 0.4).abs() < 1e-12);
+        assert!((avg.e2e_mean_s - 0.3).abs() < 1e-12);
+        assert_eq!(avg.queue_samples.len(), 2, "samples pooled, not averaged");
+    }
+
+    #[test]
+    fn average_of_one_is_identity() {
+        let one = m(42.0, 0.5);
+        let avg = average_runs(vec![one.clone()]);
+        assert_eq!(avg.throughput_tps, one.throughput_tps);
+        assert_eq!(avg.latency_p, one.latency_p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_of_none_panics() {
+        let _ = average_runs(vec![]);
+    }
+
+    #[test]
+    fn run_config_presets() {
+        let full = RunConfig::full(GoalKind::MaxHeadAge);
+        assert_eq!(full.measure, SimDuration::from_secs(30));
+        let quick = RunConfig::quick(GoalKind::AvgLatency);
+        assert!(quick.measure < full.measure);
+        assert_eq!(quick.goal, GoalKind::AvgLatency);
+    }
+}

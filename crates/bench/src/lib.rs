@@ -1,0 +1,57 @@
+//! # bench — experiment harness reproducing every table and figure
+//!
+//! One module per experiment group; the `repro` binary dispatches on
+//! experiment ids (`fig5` … `fig18`, `table1`). Results are printed as
+//! aligned text tables and saved as JSON under `results/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod report;
+pub mod schedulers;
+pub mod svg;
+
+/// Experiment groups, one per paper section.
+pub mod experiments {
+    pub mod ablation;
+    pub mod multi_query;
+    pub mod multi_spe;
+    pub mod scale_out;
+    pub mod single_query;
+    pub mod table1;
+}
+
+use std::path::PathBuf;
+
+/// Global experiment options (from the `repro` CLI).
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Fewer rates, shorter runs, one repetition.
+    pub quick: bool,
+    /// Where JSON results go.
+    pub out_dir: PathBuf,
+    /// Repetitions (distinct seeds) averaged per point.
+    pub reps: usize,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: false,
+            out_dir: PathBuf::from("results"),
+            reps: 3,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Quick-mode options (smoke tests).
+    pub fn quick() -> Self {
+        ExpOptions {
+            quick: true,
+            reps: 1,
+            ..ExpOptions::default()
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Figure/table assembly, terminal rendering and JSON output.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::harness::Measured;
+
+/// One x-position of a series.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// The x value (input rate, parallelism, % of max rate, ...).
+    pub x: f64,
+    /// The measurements at this point.
+    pub m: Measured,
+}
+
+/// One line of a figure (a scheduler / configuration).
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending x.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A reproduced figure: several series over a common x-axis.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct Figure {
+    /// Identifier, e.g. `"fig5"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The x-axis label.
+    pub x_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form remarks (calibration notes, paper expectations).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, x_label: &str) -> Self {
+        Figure {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders the figure as aligned text tables (one per metric).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        #[allow(clippy::type_complexity)]
+        let metrics: [(&str, fn(&Measured) -> f64); 4] = [
+            ("throughput (t/s)", |m| m.throughput_tps),
+            ("avg latency (s)", |m| m.latency_mean_s),
+            ("avg e2e latency (s)", |m| m.e2e_mean_s),
+            ("policy goal", |m| m.goal),
+        ];
+        for (name, get) in metrics {
+            out.push_str(&format!("\n-- {name} --\n"));
+            out.push_str(&format!("{:>12}", self.x_label));
+            for s in &self.series {
+                out.push_str(&format!(" {:>18}", s.label));
+            }
+            out.push('\n');
+            let xs: Vec<f64> = self
+                .series
+                .first()
+                .map(|s| s.points.iter().map(|p| p.x).collect())
+                .unwrap_or_default();
+            for (i, x) in xs.iter().enumerate() {
+                out.push_str(&format!("{x:>12.1}"));
+                for s in &self.series {
+                    match s.points.get(i) {
+                        Some(p) => out.push_str(&format!(" {:>18.6}", get(&p.m))),
+                        None => out.push_str(&format!(" {:>18}", "-")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Writes the figure as JSON under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self)?;
+        fs::write(path, json)
+    }
+}
+
+/// Pools queue-size samples into distribution statistics (Figs. 6/8):
+/// `(p25, p50, p75, p95, p99, max)` over all per-operator samples.
+pub fn queue_distribution(samples: &[Vec<usize>]) -> (f64, f64, f64, f64, f64, f64) {
+    let mut all: Vec<usize> = samples.iter().flatten().copied().collect();
+    if all.is_empty() {
+        return (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+    all.sort_unstable();
+    let q = |p: f64| -> f64 {
+        let idx = ((all.len() - 1) as f64 * p).round() as usize;
+        all[idx] as f64
+    };
+    (q(0.25), q(0.5), q(0.75), q(0.95), q(0.99), *all.last().unwrap() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured(tput: f64) -> Measured {
+        Measured {
+            offered_tps: tput,
+            throughput_tps: tput,
+            latency_mean_s: 0.01,
+            latency_p: (0.01, 0.02, 0.03),
+            e2e_mean_s: 0.02,
+            e2e_p: (0.02, 0.03, 0.04),
+            goal: 1.0,
+            queue_samples: vec![],
+            utilization: 0.5,
+            ctx_switches_per_s: 100.0,
+            egress_tps: tput,
+        }
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let mut fig = Figure::new("figX", "test", "rate");
+        fig.series.push(Series {
+            label: "OS".into(),
+            points: vec![SweepPoint {
+                x: 1000.0,
+                m: measured(990.0),
+            }],
+        });
+        let text = fig.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("OS"));
+        assert!(text.contains("990"));
+    }
+
+    #[test]
+    fn queue_distribution_quantiles() {
+        let samples = vec![(0..=100usize).collect::<Vec<_>>()];
+        let (p25, p50, p75, p95, p99, max) = queue_distribution(&samples);
+        assert_eq!(p25, 25.0);
+        assert_eq!(p50, 50.0);
+        assert_eq!(p75, 75.0);
+        assert_eq!(p95, 95.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(max, 100.0);
+        assert_eq!(queue_distribution(&[]), (0.0, 0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn save_writes_json() {
+        let mut fig = Figure::new("figtest", "t", "x");
+        fig.series.push(Series {
+            label: "OS".into(),
+            points: vec![],
+        });
+        let dir = std::env::temp_dir().join("lachesis-bench-test");
+        fig.save(&dir).unwrap();
+        let content = fs::read_to_string(dir.join("figtest.json")).unwrap();
+        assert!(content.contains("\"id\": \"figtest\""));
+    }
+}

@@ -1,0 +1,269 @@
+//! Scheduler configurations compared across the experiments, and the
+//! single-node point runner shared by most figures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    CombinedTranslator, CpuQuotaTranslator, CpuSharesTranslator, FcfsPolicy, HighestRatePolicy,
+    LachesisBuilder, NiceTranslator, Policy, QueueSizePolicy, RandomPolicy, Scope, StoreDriver,
+    Translator,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, SimDuration};
+use spe::{
+    deploy, BlockingConfig, EngineConfig, Execution, LogicalGraph, Placement, RunningQuery,
+    SpeKind,
+};
+use ulss::{edgewise_execution, haren_execution_with_period, HarenPolicy};
+
+use crate::harness::{new_store, run_trial, Distributions, Measured, RunConfig};
+
+/// The scheduling policies Lachesis (and Haren) can run in experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Queue Size.
+    Qs,
+    /// First-Come-First-Serve.
+    Fcfs,
+    /// Highest Rate.
+    Hr,
+}
+
+impl PolicyChoice {
+    /// Upper-case label used in figure series.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::Qs => "QS",
+            PolicyChoice::Fcfs => "FCFS",
+            PolicyChoice::Hr => "HR",
+        }
+    }
+
+    /// The Haren equivalent.
+    pub fn haren(self) -> HarenPolicy {
+        match self {
+            PolicyChoice::Qs => HarenPolicy::QueueSize,
+            PolicyChoice::Fcfs => HarenPolicy::Fcfs,
+            PolicyChoice::Hr => HarenPolicy::HighestRate,
+        }
+    }
+}
+
+/// Lachesis translator selection (paper §5.3 + §8 extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslatorChoice {
+    /// Thread `nice`.
+    Nice,
+    /// cgroup `cpu.shares`, one group per operator.
+    Shares,
+    /// cgroup per query + `nice` per operator (§6.6).
+    Combined,
+    /// cgroup CPU quotas, one group per operator (§8 extension).
+    Quota,
+}
+
+/// A scheduler under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sched {
+    /// Default OS (CFS) scheduling.
+    Os,
+    /// Lachesis with the RANDOM control policy (nice translator).
+    Random,
+    /// Lachesis with a policy and translator.
+    Lachesis(PolicyChoice, TranslatorChoice),
+    /// The EdgeWise UL-SS baseline.
+    EdgeWise,
+    /// The Haren UL-SS baseline with a policy and scheduling period.
+    Haren(PolicyChoice, SimDuration),
+}
+
+impl Sched {
+    /// Series label for figures.
+    pub fn label(&self) -> String {
+        match self {
+            Sched::Os => "OS".into(),
+            Sched::Random => "RANDOM".into(),
+            Sched::Lachesis(p, _) => format!("LACHESIS-{}", p.label()),
+            Sched::EdgeWise => "EDGEWISE".into(),
+            Sched::Haren(p, period) => {
+                format!("HAREN-{}-{}", p.label(), period.as_millis_f64() as u64)
+            }
+        }
+    }
+
+    /// Whether this scheduler replaces the engine's execution model
+    /// (UL-SS run inside the engine as worker pools).
+    pub fn is_ulss(&self) -> bool {
+        matches!(self, Sched::EdgeWise | Sched::Haren(..))
+    }
+}
+
+/// Everything needed to run one (scheduler, rate) point on one node.
+pub struct PointSpec {
+    /// Builds the workload for a given (rate, seed).
+    pub graph: Box<dyn Fn(f64, u64) -> LogicalGraph>,
+    /// Engine personality (Storm/Flink/Liebre).
+    pub engine: SpeKind,
+    /// The scheduler under test.
+    pub sched: Sched,
+    /// Offered rate in tuples/s.
+    pub rate: f64,
+    /// Seed for workload generation.
+    pub seed: u64,
+    /// Phase durations and goal selection.
+    pub cfg: RunConfig,
+    /// Optional blocking-I/O injection (Fig. 16).
+    pub blocking: Option<BlockingConfig>,
+    /// Operator topology for Haren (pool indices), where needed.
+    pub downstream: Vec<Vec<usize>>,
+}
+
+impl std::fmt::Debug for PointSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointSpec")
+            .field("engine", &self.engine)
+            .field("sched", &self.sched)
+            .field("rate", &self.rate)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+fn engine_config(kind: SpeKind) -> EngineConfig {
+    match kind {
+        SpeKind::Storm => EngineConfig::storm(),
+        SpeKind::Flink => EngineConfig::flink(),
+        SpeKind::Liebre => EngineConfig::liebre(),
+    }
+}
+
+/// Attaches a Lachesis instance scheduling all given queries of one SPE,
+/// with the paper's Graphite-bound 1 s period.
+pub fn attach_lachesis(
+    kernel: &mut Kernel,
+    kind: SpeKind,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    policy: PolicyChoice,
+    translator: TranslatorChoice,
+    seed: u64,
+) {
+    let _ = seed;
+    attach_lachesis_with_period(
+        kernel,
+        kind,
+        queries,
+        store,
+        policy,
+        translator,
+        SimDuration::from_secs(1),
+    )
+}
+
+/// Like [`attach_lachesis`] but with an explicit scheduling period (used
+/// by the period-ablation experiment).
+pub fn attach_lachesis_with_period(
+    kernel: &mut Kernel,
+    kind: SpeKind,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    policy: PolicyChoice,
+    translator: TranslatorChoice,
+    period: SimDuration,
+) {
+    let driver = StoreDriver::new(kind, queries, store);
+    let boxed_policy: Box<dyn Policy> = match policy {
+        PolicyChoice::Qs => Box::new(QueueSizePolicy::new(period)),
+        PolicyChoice::Fcfs => Box::new(FcfsPolicy::new(period)),
+        PolicyChoice::Hr => Box::new(HighestRatePolicy::new(period)),
+    };
+    let label = policy.label().to_lowercase();
+    let boxed_translator: Box<dyn Translator> = match translator {
+        TranslatorChoice::Nice => Box::new(NiceTranslator::new()),
+        TranslatorChoice::Shares => Box::new(CpuSharesTranslator::new(&label)),
+        TranslatorChoice::Combined => Box::new(CombinedTranslator::new(&label)),
+        TranslatorChoice::Quota => Box::new(CpuQuotaTranslator::new(&label)),
+    };
+    LachesisBuilder::new()
+        .driver(driver)
+        .policy(0, Scope::AllQueries, boxed_policy, boxed_translator)
+        .build()
+        .start(kernel);
+}
+
+/// Attaches the RANDOM control policy via nice.
+pub fn attach_random(
+    kernel: &mut Kernel,
+    kind: SpeKind,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    seed: u64,
+) {
+    let driver = StoreDriver::new(kind, queries, store);
+    LachesisBuilder::new()
+        .driver(driver)
+        .policy(
+            0,
+            Scope::AllQueries,
+            RandomPolicy::new(SimDuration::from_secs(1), seed),
+            NiceTranslator::new(),
+        )
+        .build()
+        .start(kernel);
+}
+
+/// Runs one (scheduler, rate) point on one Odroid-class node and returns
+/// the measurements.
+pub fn run_point(spec: PointSpec) -> (Measured, Distributions) {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = new_store();
+    let graph = (spec.graph)(spec.rate, spec.seed);
+
+    let mut config = engine_config(spec.engine);
+    config.blocking = spec.blocking;
+    config.seed = spec.seed;
+    let workers = 4; // one per Odroid big core
+    config.execution = match &spec.sched {
+        Sched::EdgeWise => edgewise_execution(workers),
+        Sched::Haren(policy, period) => haren_execution_with_period(
+            workers,
+            policy.haren(),
+            *period,
+            spec.downstream.clone(),
+        ),
+        _ => Execution::ThreadPerOp,
+    };
+
+    let query = deploy(
+        &mut kernel,
+        graph,
+        config,
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+
+    match &spec.sched {
+        Sched::Os | Sched::EdgeWise | Sched::Haren(..) => {}
+        Sched::Random => attach_random(
+            &mut kernel,
+            spec.engine,
+            vec![query.clone()],
+            Rc::clone(&store),
+            spec.seed,
+        ),
+        Sched::Lachesis(p, t) => attach_lachesis(
+            &mut kernel,
+            spec.engine,
+            vec![query.clone()],
+            Rc::clone(&store),
+            *p,
+            *t,
+            spec.seed,
+        ),
+    }
+
+    run_trial(&mut kernel, &[node], &[query], &spec.cfg)
+}

@@ -1,0 +1,343 @@
+//! Minimal SVG line-chart rendering for the reproduced figures — no
+//! external dependencies, just enough to eyeball the shapes against the
+//! paper's plots. Each figure renders one chart per metric (throughput,
+//! latency, end-to-end latency, policy goal), latency axes in log scale
+//! like the paper.
+
+use std::fmt::Write as _;
+
+use crate::harness::Measured;
+use crate::report::Figure;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Distinguishable series colors (cycled).
+const COLORS: [&str; 9] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#17becf",
+];
+
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    min: f64,
+    max: f64,
+    log: bool,
+    pixel_min: f64,
+    pixel_max: f64,
+}
+
+impl Scale {
+    fn project(&self, v: f64) -> f64 {
+        let (v, min, max) = if self.log {
+            (
+                v.max(1e-12).log10(),
+                self.min.max(1e-12).log10(),
+                self.max.max(1e-9).log10(),
+            )
+        } else {
+            (v, self.min, self.max)
+        };
+        let span = (max - min).abs().max(1e-12);
+        self.pixel_min + (v - min) / span * (self.pixel_max - self.pixel_min)
+    }
+
+    fn ticks(&self) -> Vec<f64> {
+        if self.log {
+            let lo = self.min.max(1e-12).log10().floor() as i32;
+            let hi = self.max.max(1e-9).log10().ceil() as i32;
+            (lo..=hi).map(|e| 10f64.powi(e)).collect()
+        } else {
+            let span = (self.max - self.min).abs().max(1e-12);
+            let step = 10f64.powf(span.log10().floor());
+            let step = if span / step > 5.0 { step * 2.0 } else { step / 2.0 };
+            let mut t = (self.min / step).floor() * step;
+            let mut out = Vec::new();
+            while t <= self.max + step * 0.5 {
+                if t >= self.min - step * 0.5 {
+                    out.push(t);
+                }
+                t += step;
+            }
+            out
+        }
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 1.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.0e}")
+    }
+}
+
+/// Renders one metric of a figure as an SVG line chart.
+///
+/// `log_y` puts the y-axis in log scale (used for latencies, like the
+/// paper's plots). Returns `None` if there is nothing to plot.
+pub fn render_chart(
+    fig: &Figure,
+    metric_name: &str,
+    get: impl Fn(&Measured) -> f64,
+    log_y: bool,
+) -> Option<String> {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in &fig.series {
+        for p in &s.points {
+            xs.push(p.x);
+            let v = get(&p.m);
+            if v.is_finite() && (!log_y || v > 0.0) {
+                ys.push(v);
+            }
+        }
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let ymin = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ymax = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let sx = Scale {
+        min: xmin,
+        max: if xmax > xmin { xmax } else { xmin + 1.0 },
+        log: false,
+        pixel_min: MARGIN_L,
+        pixel_max: WIDTH - MARGIN_R,
+    };
+    let sy = Scale {
+        min: if log_y { ymin } else { 0f64.min(ymin) },
+        max: if ymax > ymin { ymax } else { ymin + 1.0 },
+        log: log_y,
+        pixel_min: HEIGHT - MARGIN_B,
+        pixel_max: MARGIN_T,
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="13">{} — {}</text>"#,
+        WIDTH / 2.0,
+        xml_escape(&fig.id),
+        xml_escape(metric_name)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+        HEIGHT - 10.0,
+        xml_escape(&fig.x_label)
+    );
+
+    // Gridlines + ticks.
+    for t in sy.ticks() {
+        let y = sy.project(t);
+        let _ = write!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="lightgray"/>"#,
+            WIDTH - MARGIN_R
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 5.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for t in sx.ticks() {
+        let x = sx.project(t);
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            HEIGHT - MARGIN_B + 15.0,
+            fmt_tick(t)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"#,
+        HEIGHT - MARGIN_B
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+        HEIGHT - MARGIN_B,
+        WIDTH - MARGIN_R,
+        HEIGHT - MARGIN_B
+    );
+
+    // Series.
+    for (i, s) in fig.series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut path = String::new();
+        let mut first = true;
+        for p in &s.points {
+            let v = get(&p.m);
+            if !v.is_finite() || (log_y && v <= 0.0) {
+                continue;
+            }
+            let (x, y) = (sx.project(p.x), sy.project(v));
+            let _ = write!(path, "{}{x:.1},{y:.1} ", if first { "M" } else { "L" });
+            first = false;
+            let _ = write!(
+                svg,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.5" fill="{color}"/>"#
+            );
+        }
+        if !path.is_empty() {
+            let _ = write!(
+                svg,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.5"/>"#,
+                path.trim_end()
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 * i as f64;
+        let lx = WIDTH - MARGIN_R + 10.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 16.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 20.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes the standard chart set (throughput, latency, e2e, goal) for a
+/// figure into `dir` as `{fig.id}_{metric}.svg`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_charts(fig: &Figure, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    #[allow(clippy::type_complexity)]
+    let charts: [(&str, fn(&Measured) -> f64, bool); 4] = [
+        ("throughput", |m| m.throughput_tps, false),
+        ("latency", |m| m.latency_mean_s, true),
+        ("e2e", |m| m.e2e_mean_s, true),
+        ("goal", |m| m.goal, true),
+    ];
+    let mut written = Vec::new();
+    for (name, get, log_y) in charts {
+        if let Some(svg) = render_chart(fig, name, get, log_y) {
+            let file = format!("{}_{}.svg", fig.id, name);
+            std::fs::write(dir.join(&file), svg)?;
+            written.push(file);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Series, SweepPoint};
+
+    fn figure() -> Figure {
+        let mut fig = Figure::new("figX", "test", "rate (t/s)");
+        for (label, base) in [("OS", 1.0), ("LACHESIS", 2.0)] {
+            fig.series.push(Series {
+                label: label.into(),
+                points: (1..=5)
+                    .map(|i| SweepPoint {
+                        x: i as f64 * 1000.0,
+                        m: Measured {
+                            offered_tps: i as f64 * 1000.0,
+                            throughput_tps: base * i as f64 * 900.0,
+                            latency_mean_s: 0.001 * base * i as f64,
+                            latency_p: (0.0, 0.0, 0.0),
+                            e2e_mean_s: 0.002 * base * i as f64,
+                            e2e_p: (0.0, 0.0, 0.0),
+                            goal: base,
+                            queue_samples: vec![],
+                            utilization: 0.5,
+                            ctx_switches_per_s: 0.0,
+                            egress_tps: 0.0,
+                        },
+                    })
+                    .collect(),
+            });
+        }
+        fig
+    }
+
+    #[test]
+    fn renders_valid_svg_with_all_series() {
+        let fig = figure();
+        let svg = render_chart(&fig, "throughput", |m| m.throughput_tps, false).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("OS"));
+        assert!(svg.contains("LACHESIS"));
+        assert!(svg.matches("<path").count() == 2, "one path per series");
+        assert!(svg.matches("<circle").count() == 10, "one marker per point");
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive_values() {
+        let mut fig = figure();
+        fig.series[0].points[0].m.latency_mean_s = 0.0;
+        let svg = render_chart(&fig, "latency", |m| m.latency_mean_s, true).unwrap();
+        assert_eq!(svg.matches("<circle").count(), 9);
+    }
+
+    #[test]
+    fn empty_figure_renders_none() {
+        let fig = Figure::new("empty", "t", "x");
+        assert!(render_chart(&fig, "throughput", |m| m.throughput_tps, false).is_none());
+    }
+
+    #[test]
+    fn save_charts_writes_files() {
+        let dir = std::env::temp_dir().join("lachesis-svg-test");
+        let written = save_charts(&figure(), &dir).unwrap();
+        assert_eq!(written.len(), 4);
+        for f in written {
+            let content = std::fs::read_to_string(dir.join(f)).unwrap();
+            assert!(content.contains("</svg>"));
+        }
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let mut fig = figure();
+        fig.series[0].label = "A<&>B".into();
+        let svg = render_chart(&fig, "throughput", |m| m.throughput_tps, false).unwrap();
+        assert!(svg.contains("A&lt;&amp;&gt;B"));
+        assert!(!svg.contains("A<&>B"));
+    }
+}

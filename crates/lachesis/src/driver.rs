@@ -1,0 +1,186 @@
+//! SPE drivers (paper §4): the bridge between Lachesis and the engines.
+//!
+//! A driver pulls runtime information from an SPE's *public* APIs — here,
+//! the [`RunningQuery`] monitoring handle (topology, threads) and the
+//! Graphite-like metric store the SPE reports into. It never touches SPE
+//! internals, which is the paper's central design constraint (G2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis_metrics::{EntityValues, MetricName, MetricSource, TimeSeriesStore};
+use simos::ThreadId;
+use spe::{metric_path, LogicalOpId, RunningQuery, SpeKind};
+
+use crate::entity::OpRef;
+
+/// The abstract driver interface Lachesis' policies and translators use.
+///
+/// Implementations must also act as a [`MetricSource`] for the metric
+/// provider (Algorithm 3 fetches raw metrics through drivers).
+pub trait SpeDriver: MetricSource<OpRef> {
+    /// The driver's display name.
+    fn name(&self) -> &str;
+    /// The SPE personality this driver talks to.
+    fn kind(&self) -> SpeKind;
+    /// The queries managed by this driver.
+    fn queries(&self) -> &[RunningQuery];
+    /// All physical operators across all queries.
+    fn entities(&self) -> Vec<OpRef>;
+    /// The kernel thread executing an operator, if bound.
+    fn thread_of(&self, op: OpRef) -> Option<ThreadId>;
+    /// Downstream physical operators (for path-based policies).
+    fn downstream(&self, op: OpRef) -> Vec<OpRef>;
+    /// Physical operators implementing a logical operator.
+    fn physical_of(&self, query: usize, logical: LogicalOpId) -> Vec<OpRef>;
+    /// Logical operators fused into a physical operator.
+    fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId>;
+    /// Whether the operator's chain ends in an egress.
+    fn is_egress(&self, op: OpRef) -> bool;
+}
+
+/// The standard driver: reads topology from [`RunningQuery`] handles and
+/// metrics from the shared time-series store, exactly like the paper's
+/// Graphite-backed deployment (§6.1). Works for every [`SpeKind`]; what
+/// differs per SPE is *which* raw metrics exist in the store.
+pub struct StoreDriver {
+    kind: SpeKind,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+}
+
+impl std::fmt::Debug for StoreDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreDriver")
+            .field("kind", &self.kind)
+            .field("queries", &self.queries.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StoreDriver {
+    /// Creates a driver for queries running on one SPE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query's engine kind differs from `kind`.
+    pub fn new(
+        kind: SpeKind,
+        queries: Vec<RunningQuery>,
+        store: Rc<RefCell<TimeSeriesStore>>,
+    ) -> Self {
+        for q in &queries {
+            assert_eq!(q.kind(), kind, "query {} runs on {:?}", q.name(), q.kind());
+        }
+        StoreDriver {
+            kind,
+            queries,
+            store,
+        }
+    }
+
+    /// Convenience constructor for a Storm driver.
+    pub fn storm(queries: Vec<RunningQuery>, store: Rc<RefCell<TimeSeriesStore>>) -> Self {
+        Self::new(SpeKind::Storm, queries, store)
+    }
+
+    /// Convenience constructor for a Flink driver.
+    pub fn flink(queries: Vec<RunningQuery>, store: Rc<RefCell<TimeSeriesStore>>) -> Self {
+        Self::new(SpeKind::Flink, queries, store)
+    }
+
+    /// Convenience constructor for a Liebre driver.
+    pub fn liebre(queries: Vec<RunningQuery>, store: Rc<RefCell<TimeSeriesStore>>) -> Self {
+        Self::new(SpeKind::Liebre, queries, store)
+    }
+}
+
+impl MetricSource<OpRef> for StoreDriver {
+    fn source_name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn provides(&self, metric: MetricName) -> bool {
+        self.kind.exposed_metrics().contains(&metric)
+    }
+
+    fn fetch(&self, metric: MetricName) -> EntityValues<OpRef> {
+        let store = self.store.borrow();
+        let mut out = EntityValues::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                let path = metric_path(self.kind, q.name(), op, metric);
+                if let Some((_, v)) = store.latest(&path) {
+                    out.insert(OpRef::new(qi, op), v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SpeDriver for StoreDriver {
+    fn name(&self) -> &str {
+        self.kind.name()
+    }
+
+    fn kind(&self) -> SpeKind {
+        self.kind
+    }
+
+    fn queries(&self) -> &[RunningQuery] {
+        &self.queries
+    }
+
+    fn entities(&self) -> Vec<OpRef> {
+        let mut out = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                out.push(OpRef::new(qi, op));
+            }
+        }
+        out
+    }
+
+    fn thread_of(&self, op: OpRef) -> Option<ThreadId> {
+        self.queries.get(op.query)?.cell(op.op).thread()
+    }
+
+    fn downstream(&self, op: OpRef) -> Vec<OpRef> {
+        let Some(q) = self.queries.get(op.query) else {
+            return Vec::new();
+        };
+        let mut out: Vec<OpRef> = q.physical().ops[op.op]
+            .out_edges
+            .iter()
+            .flat_map(|e| e.targets.iter().map(|&t| OpRef::new(op.query, t)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn physical_of(&self, query: usize, logical: LogicalOpId) -> Vec<OpRef> {
+        let Some(q) = self.queries.get(query) else {
+            return Vec::new();
+        };
+        q.physical()
+            .physical_of(logical)
+            .iter()
+            .map(|&p| OpRef::new(query, p))
+            .collect()
+    }
+
+    fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId> {
+        self.queries
+            .get(op.query)
+            .map(|q| q.physical().ops[op.op].chain.clone())
+            .unwrap_or_default()
+    }
+
+    fn is_egress(&self, op: OpRef) -> bool {
+        self.queries
+            .get(op.query)
+            .is_some_and(|q| q.physical().ops[op.op].egress.is_some())
+    }
+}

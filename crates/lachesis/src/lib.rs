@@ -1,0 +1,59 @@
+//! # lachesis — a middleware for customizing OS scheduling of stream
+//! processing queries
+//!
+//! A faithful Rust reproduction of *Lachesis* (Palyvos-Giannas, Mencagli,
+//! Papatriantafilou, Gulisano — Middleware '21). Lachesis runs **outside**
+//! the stream processing engines: it pulls runtime metrics through per-SPE
+//! [drivers](SpeDriver), computes operator priorities with pluggable
+//! [scheduling policies](Policy), and enforces them by steering the OS
+//! scheduler through [translators](Translator) built on `nice` and cgroup
+//! `cpu.shares` — never modifying the SPE or the queries.
+//!
+//! The OS here is the [`simos`] simulator and the SPEs are the [`spe`]
+//! substrate engines, so whole experiments are deterministic.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+//! use simos::Kernel;
+//! # fn queries() -> (Kernel, Vec<spe::RunningQuery>, std::rc::Rc<std::cell::RefCell<lachesis_metrics::TimeSeriesStore>>) { unimplemented!() }
+//!
+//! let (mut kernel, queries, store) = queries();
+//! let lachesis = LachesisBuilder::new()
+//!     .driver(StoreDriver::storm(queries, store))
+//!     .policy(0, Scope::AllQueries, QueueSizePolicy::default(), NiceTranslator::new())
+//!     .build();
+//! lachesis.start(&mut kernel);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod entity;
+mod middleware;
+mod normalize;
+mod policies;
+mod policies_ext;
+mod policy;
+mod schedule;
+mod transform;
+mod translate;
+mod translate_ext;
+
+pub use driver::{SpeDriver, StoreDriver};
+pub use entity::OpRef;
+pub use middleware::{Lachesis, LachesisBuilder, LachesisError, Scope};
+pub use normalize::{log_min_max, min_max, min_max_anchored, to_nice, to_nice_in_range, to_shares, PriorityKind};
+pub use policies::{
+    best_output_path, FcfsPolicy, HighestRatePolicy, QueueSizePolicy, RandomPolicy,
+};
+pub use policies_ext::{ChainPolicy, RateBasedPolicy};
+pub use policy::{Policy, PolicyView};
+pub use schedule::{GroupingSchedule, Schedule, SinglePrioritySchedule};
+pub use transform::{transform_logical, LogicalSchedule};
+pub use translate::{
+    CombinedTranslator, CpuSharesTranslator, NiceTranslator, TranslateError, Translator,
+};
+pub use translate_ext::{CpuQuotaTranslator, RealTimeTranslator};

@@ -1,0 +1,293 @@
+//! The Lachesis middleware main loop (paper §4, Algorithm 1).
+//!
+//! Lachesis runs as its own (simulated) process: a periodic activity that
+//! wakes at the GCD of all policy periods, refreshes metrics through the
+//! provider, runs every due policy, and applies the resulting schedules
+//! through their translators.
+
+use std::fmt;
+use std::rc::Rc;
+
+use lachesis_metrics::{ratio_metric, names, MetricError, MetricProvider, MetricSource};
+use simos::{CallbackId, Kernel, SimDuration, SimTime};
+
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::policy::{Policy, PolicyView};
+use crate::schedule::Schedule;
+use crate::translate::{TranslateError, Translator};
+
+/// Which operators a policy binding schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// Every operator of every query of the driver.
+    AllQueries,
+    /// Only the operators of one query (multi-query setups, G3).
+    Query(usize),
+    /// Only the operators placed on one node — used to run *independent*
+    /// Lachesis instances per device in scale-out deployments (§6.5).
+    Node(simos::NodeId),
+}
+
+/// Errors surfaced by the middleware loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LachesisError {
+    /// Metric resolution failed (misconfigured metrics, Algorithm 3 L15).
+    Metric(MetricError),
+    /// A translator failed to apply a schedule.
+    Translate(TranslateError),
+}
+
+impl fmt::Display for LachesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LachesisError::Metric(e) => write!(f, "metric error: {e}"),
+            LachesisError::Translate(e) => write!(f, "translation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LachesisError {}
+
+impl From<MetricError> for LachesisError {
+    fn from(e: MetricError) -> Self {
+        LachesisError::Metric(e)
+    }
+}
+
+impl From<TranslateError> for LachesisError {
+    fn from(e: TranslateError) -> Self {
+        LachesisError::Translate(e)
+    }
+}
+
+struct PolicyBinding {
+    driver_idx: usize,
+    scope: Scope,
+    policy: Box<dyn Policy>,
+    translator: Box<dyn Translator>,
+    next_run: SimTime,
+}
+
+/// The Lachesis middleware.
+///
+/// Build with [`LachesisBuilder`], then either call
+/// [`run_if_due`](Lachesis::run_if_due) manually or hand the instance to
+/// the kernel with [`start`](Lachesis::start).
+pub struct Lachesis {
+    drivers: Vec<Rc<dyn SpeDriver>>,
+    provider: MetricProvider<OpRef>,
+    bindings: Vec<PolicyBinding>,
+}
+
+impl fmt::Debug for Lachesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lachesis")
+            .field("drivers", &self.drivers.len())
+            .field("policies", &self.bindings.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Lachesis`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+/// # let driver: StoreDriver = unimplemented!();
+/// let lachesis = LachesisBuilder::new()
+///     .driver(driver)
+///     .policy(0, Scope::AllQueries, QueueSizePolicy::default(), NiceTranslator::new())
+///     .build();
+/// ```
+#[derive(Default)]
+pub struct LachesisBuilder {
+    drivers: Vec<Rc<dyn SpeDriver>>,
+    bindings: Vec<PolicyBinding>,
+}
+
+impl fmt::Debug for LachesisBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LachesisBuilder")
+            .field("drivers", &self.drivers.len())
+            .field("policies", &self.bindings.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LachesisBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an SPE driver; drivers are indexed in registration order.
+    pub fn driver(mut self, driver: impl SpeDriver + 'static) -> Self {
+        self.drivers.push(Rc::new(driver));
+        self
+    }
+
+    /// Binds a policy + translator to (a scope of) a driver's operators.
+    /// Each policy runs at its own period (Algorithm 1).
+    pub fn policy(
+        mut self,
+        driver_idx: usize,
+        scope: Scope,
+        policy: impl Policy + 'static,
+        translator: impl Translator + 'static,
+    ) -> Self {
+        self.bindings.push(PolicyBinding {
+            driver_idx,
+            scope,
+            policy: Box::new(policy),
+            translator: Box::new(translator),
+            next_run: SimTime::ZERO,
+        });
+        self
+    }
+
+    /// Finalizes the middleware: installs the standard derived-metric
+    /// definitions and registers every policy's required metrics
+    /// (Algorithm 1, L1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a binding references an unregistered driver index or no
+    /// policies were bound.
+    pub fn build(self) -> Lachesis {
+        assert!(!self.bindings.is_empty(), "no policies bound");
+        for b in &self.bindings {
+            assert!(
+                b.driver_idx < self.drivers.len(),
+                "policy bound to unknown driver {}",
+                b.driver_idx
+            );
+        }
+        let mut provider = MetricProvider::new();
+        // Standard derivations: SPEs that do not expose cost/selectivity
+        // get them derived from raw counters (paper Fig. 4).
+        provider.define(ratio_metric(
+            names::SELECTIVITY,
+            names::TUPLES_OUT,
+            names::TUPLES_IN,
+        ));
+        provider.define(ratio_metric(names::COST, names::CPU_TIME, names::TUPLES_IN));
+        for b in &self.bindings {
+            for m in b.policy.required_metrics() {
+                provider.register(m);
+            }
+        }
+        Lachesis {
+            drivers: self.drivers,
+            provider,
+            bindings: self.bindings,
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl Lachesis {
+    /// The wake-up period: the GCD of all policy periods (Algorithm 1 L9).
+    pub fn wake_period(&self) -> SimDuration {
+        let nanos = self
+            .bindings
+            .iter()
+            .map(|b| b.policy.period().as_nanos().max(1))
+            .fold(0, gcd);
+        SimDuration::from_nanos(nanos.max(1))
+    }
+
+    /// Runs every due policy once (Algorithm 1 L3-L8). Call at each wake.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first metric or translation error; the middleware can be
+    /// driven further afterwards (the error is not fatal to the queries).
+    pub fn run_if_due(&mut self, kernel: &mut Kernel) -> Result<(), LachesisError> {
+        let now = kernel.now();
+        if !self.bindings.iter().any(|b| b.next_run <= now) {
+            return Ok(());
+        }
+        // L4: refresh all metrics once per wake with due policies.
+        {
+            let sources: Vec<&dyn MetricSource<OpRef>> = self
+                .drivers
+                .iter()
+                .map(|d| d.as_ref() as &dyn MetricSource<OpRef>)
+                .collect();
+            self.provider.update(&sources)?;
+        }
+        let provider = &self.provider;
+        let drivers = &self.drivers;
+        for b in &mut self.bindings {
+            if b.next_run > now {
+                continue;
+            }
+            b.next_run = now + b.policy.period();
+            let driver = Rc::clone(&drivers[b.driver_idx]);
+            let scope: Vec<OpRef> = match &b.scope {
+                Scope::AllQueries => driver.entities(),
+                Scope::Query(q) => driver
+                    .entities()
+                    .into_iter()
+                    .filter(|op| op.query == *q)
+                    .collect(),
+                Scope::Node(node) => driver
+                    .entities()
+                    .into_iter()
+                    .filter(|op| {
+                        driver
+                            .queries()
+                            .get(op.query)
+                            .is_some_and(|q| q.cell(op.op).node() == *node)
+                    })
+                    .collect(),
+            };
+            let schedule = {
+                let view = PolicyView::new(now, driver.as_ref(), &scope, provider, b.driver_idx);
+                b.policy.schedule(&view)
+            };
+            b.translator.apply(
+                kernel,
+                driver.as_ref(),
+                &Schedule::Single(schedule),
+                b.policy.priority_kind(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Installs the middleware as a periodic kernel activity and hands
+    /// ownership to the kernel. Returns the callback id (for cancellation).
+    ///
+    /// # Panics
+    ///
+    /// Scheduling errors inside the loop panic: experiments must fail
+    /// loudly rather than silently run unscheduled.
+    pub fn start(mut self, kernel: &mut Kernel) -> CallbackId {
+        let period = self.wake_period();
+        kernel.schedule_periodic(period, period, move |k| {
+            self.run_if_due(k).expect("lachesis scheduling failed");
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_of_periods() {
+        assert_eq!(gcd(50, 1000), 50);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(12, 18), 6);
+    }
+}

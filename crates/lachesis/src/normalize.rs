@@ -1,0 +1,249 @@
+//! Priority normalization (paper §5.3).
+//!
+//! Policies produce real priorities; OS mechanisms want discrete values in
+//! fixed ranges (`nice` ∈ [-20, 19], `cpu.shares` ∈ [2, …]). Normalization
+//! converts between them while hiding OS details from the policies (G1).
+
+use simos::{Nice, NICE_MAX, NICE_MIN};
+
+/// Shape of a policy's priority values, which selects the normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PriorityKind {
+    /// Linearly spaced priorities (e.g. queue sizes): min-max normalize.
+    #[default]
+    Linear,
+    /// Logarithmically spaced priorities (e.g. Highest-Rate \[50\]):
+    /// min-max normalize the logarithms.
+    Logarithmic,
+}
+
+/// Min-max normalizes `values` into `[lo, hi]`; constant inputs map to the
+/// midpoint. Returns an empty vector for empty input.
+pub fn min_max(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(max - min).is_normal() {
+        return vec![(lo + hi) / 2.0; values.len()];
+    }
+    values
+        .iter()
+        .map(|v| lo + (v - min) / (max - min) * (hi - lo))
+        .collect()
+}
+
+/// Zero-anchored min-max: like [`min_max`] but, when all values are
+/// non-negative, the lower anchor is 0 rather than the observed minimum.
+///
+/// This keeps the QS/FCFS feedback loops stable: with plain min-max,
+/// near-equal queue sizes (the *desired* balanced state) would still be
+/// blown up to the full priority range, violently re-shuffling CPU on
+/// measurement noise. Anchoring at zero maps "all queues similar" to "all
+/// priorities similar", which is the fixed point the policies aim for.
+pub fn min_max_anchored(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    if min < 0.0 {
+        return min_max(values, lo, hi);
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_normal() {
+        return vec![(lo + hi) / 2.0; values.len()];
+    }
+    values.iter().map(|v| lo + v / max * (hi - lo)).collect()
+}
+
+/// Like [`min_max`] but on the logarithms of the (positive) values; zero or
+/// negative values are clamped to the smallest positive value observed.
+pub fn log_min_max(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let smallest_pos = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let floor = if smallest_pos.is_finite() {
+        smallest_pos
+    } else {
+        1e-12
+    };
+    let logs: Vec<f64> = values.iter().map(|v| v.max(floor).ln()).collect();
+    min_max(&logs, lo, hi)
+}
+
+/// Normalizes priorities (higher = more CPU) to nice values (lower = more
+/// CPU) according to the selected [`PriorityKind`].
+pub fn to_nice(values: &[f64], kind: PriorityKind) -> Vec<Nice> {
+    to_nice_in_range(values, kind, NICE_MIN, NICE_MAX)
+}
+
+/// Like [`to_nice`] but normalizing into the sub-range `[lo, hi]` —
+/// translators narrow the range to bound the weight spread (§5.3 leaves
+/// the interval to the translator configuration).
+pub fn to_nice_in_range(values: &[f64], kind: PriorityKind, lo: i32, hi: i32) -> Vec<Nice> {
+    let normalized = match kind {
+        PriorityKind::Linear => min_max_anchored(values, lo as f64, hi as f64),
+        PriorityKind::Logarithmic => nice_formula(values)
+            .into_iter()
+            .map(|v| {
+                // Re-scale the formula output from the full range.
+                let frac = (v - NICE_MIN as f64) / (NICE_MAX - NICE_MIN) as f64;
+                lo as f64 + frac * (hi - lo) as f64
+            })
+            .collect(),
+    };
+    normalized
+        .into_iter()
+        // Invert: the highest priority gets the lowest (best) nice.
+        .map(|v| Nice::clamped((lo + hi) - v.round() as i32))
+        .collect()
+}
+
+/// The paper's exact nice formula for logarithmically spaced priorities:
+/// `F(x) = n_max + (log(p_max) − log(x)) / log(1.25)`, with an extra
+/// min-max pass when the spread exceeds the 40 nice steps.
+///
+/// Returns values in *ascending-is-better* orientation (they are inverted
+/// by [`to_nice`]); i.e. here the best priority maps to `NICE_MAX` so that
+/// inversion lands it on `NICE_MIN`.
+fn nice_formula(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let floor = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let floor = if floor.is_finite() { floor } else { 1e-12 };
+    let p_max = values.iter().copied().fold(floor, f64::max);
+    let ln_ratio = 1.25f64.ln();
+    // F(x) in "distance in nice steps below the best".
+    let steps: Vec<f64> = values
+        .iter()
+        .map(|v| (p_max.ln() - v.max(floor).ln()) / ln_ratio)
+        .collect();
+    let spread = steps.iter().copied().fold(0.0, f64::max);
+    let range = (NICE_MAX - NICE_MIN) as f64;
+    if spread <= range {
+        // Fits: best value at NICE_MAX (ascending-is-better orientation).
+        steps.iter().map(|s| NICE_MAX as f64 - s).collect()
+    } else {
+        // Too wide for 40 nice levels: squeeze with min-max (paper §5.3).
+        min_max(
+            &steps.iter().map(|s| -s).collect::<Vec<_>>(),
+            NICE_MIN as f64,
+            NICE_MAX as f64,
+        )
+    }
+}
+
+/// Normalizes priorities to cgroup `cpu.shares` in `[lo, hi]`.
+pub fn to_shares(values: &[f64], kind: PriorityKind, lo: u64, hi: u64) -> Vec<u64> {
+    let normalized = match kind {
+        PriorityKind::Linear => min_max_anchored(values, lo as f64, hi as f64),
+        PriorityKind::Logarithmic => log_min_max(values, lo as f64, hi as f64),
+    };
+    normalized
+        .into_iter()
+        .map(|v| (v.round() as u64).clamp(lo, hi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_basics() {
+        assert_eq!(min_max(&[], 0.0, 1.0), Vec::<f64>::new());
+        assert_eq!(min_max(&[5.0, 5.0], 0.0, 10.0), vec![5.0, 5.0]);
+        assert_eq!(min_max(&[0.0, 5.0, 10.0], 0.0, 1.0), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn log_min_max_compresses_spread() {
+        let out = log_min_max(&[1.0, 10.0, 100.0], 0.0, 2.0);
+        assert!((out[0] - 0.0).abs() < 1e-9);
+        assert!((out[1] - 1.0).abs() < 1e-9);
+        assert!((out[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_min_max_handles_zeroes() {
+        let out = log_min_max(&[0.0, 1.0, 10.0], 0.0, 1.0);
+        // Zero clamps to the smallest positive value (1.0), landing both
+        // at the bottom of the range.
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn to_nice_highest_priority_gets_lowest_nice() {
+        let nices = to_nice(&[1.0, 100.0, 50.0], PriorityKind::Linear);
+        assert_eq!(nices[0], Nice::MAX);
+        assert_eq!(nices[1], Nice::MIN);
+        assert!(nices[2] > nices[1] && nices[2] < nices[0]);
+    }
+
+    #[test]
+    fn to_nice_constant_priorities_are_all_equal() {
+        // Zero-anchored: equal non-zero priorities all land on the same
+        // (strongest) nice level — identical weights, identical schedule.
+        let nices = to_nice(&[3.0, 3.0, 3.0], PriorityKind::Linear);
+        assert!(nices.iter().all(|&n| n == nices[0]), "{nices:?}");
+        // All-zero priorities map to the midpoint.
+        let zeros = to_nice(&[0.0, 0.0], PriorityKind::Linear);
+        assert!(zeros.iter().all(|n| n.value().abs() <= 1), "{zeros:?}");
+    }
+
+    #[test]
+    fn anchored_min_max_keeps_similar_values_similar() {
+        // Near-equal queue sizes must NOT be blown up to the full range.
+        let out = min_max_anchored(&[100.0, 101.0, 99.0], -20.0, 19.0);
+        let spread = out.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - out.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(spread < 1.0, "spread {spread}");
+        // Negative values fall back to plain min-max.
+        let neg = min_max_anchored(&[-1.0, 1.0], 0.0, 1.0);
+        assert_eq!(neg, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn nice_formula_preserves_weight_ratios_when_in_range() {
+        // Priorities with ratio 1.25 should land exactly one nice step
+        // apart: p1/p2 = 1.25^(n2-n1) (paper §2).
+        let nices = to_nice(&[1.25, 1.0], PriorityKind::Logarithmic);
+        assert_eq!(
+            nices[1].value() - nices[0].value(),
+            1,
+            "one 1.25x step = one nice level: {nices:?}"
+        );
+        // Best priority maps to the strongest nice.
+        assert_eq!(nices[0], Nice::MIN);
+    }
+
+    #[test]
+    fn nice_formula_squeezes_wide_spreads() {
+        // Spread of 1e9 exceeds 40 steps: falls back to min-max, keeping
+        // the full range covered.
+        let nices = to_nice(&[1.0, 1e9], PriorityKind::Logarithmic);
+        assert_eq!(nices[1], Nice::MIN);
+        assert_eq!(nices[0], Nice::MAX);
+    }
+
+    #[test]
+    fn to_shares_spans_range() {
+        let shares = to_shares(&[0.0, 50.0, 100.0], PriorityKind::Linear, 2, 1024);
+        assert_eq!(shares[0], 2);
+        assert_eq!(shares[2], 1024);
+        assert!(shares[1] > 400 && shares[1] < 600);
+    }
+}

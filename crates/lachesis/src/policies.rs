@@ -1,0 +1,430 @@
+//! The four scheduling policies evaluated in the paper (§5.1) plus the
+//! building blocks for user-defined ones.
+
+use lachesis_metrics::{names, MetricName};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simos::SimDuration;
+
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::normalize::PriorityKind;
+use crate::policy::{Policy, PolicyView};
+use crate::schedule::SinglePrioritySchedule;
+
+/// **Queue Size (QS)** \[EdgeWise\]: prioritizes operators with more input
+/// tuples waiting, balancing queue sizes for higher throughput and lower
+/// latency.
+#[derive(Debug, Clone)]
+pub struct QueueSizePolicy {
+    period: SimDuration,
+}
+
+impl QueueSizePolicy {
+    /// Creates the policy with the given scheduling period.
+    pub fn new(period: SimDuration) -> Self {
+        QueueSizePolicy { period }
+    }
+}
+
+impl Default for QueueSizePolicy {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(1))
+    }
+}
+
+impl Policy for QueueSizePolicy {
+    fn name(&self) -> &str {
+        "qs"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        vec![names::QUEUE_SIZE]
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| (op, view.metric_of(names::QUEUE_SIZE, op).unwrap_or(0.0)))
+            .collect()
+    }
+}
+
+/// **First-Come-First-Serve (FCFS)** \[7\]: prioritizes operators whose
+/// pending input has been in the system longest, minimizing maximum
+/// latency.
+#[derive(Debug, Clone)]
+pub struct FcfsPolicy {
+    period: SimDuration,
+}
+
+impl FcfsPolicy {
+    /// Creates the policy with the given scheduling period.
+    pub fn new(period: SimDuration) -> Self {
+        FcfsPolicy { period }
+    }
+}
+
+impl Default for FcfsPolicy {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(1))
+    }
+}
+
+impl Policy for FcfsPolicy {
+    fn name(&self) -> &str {
+        "fcfs"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        vec![names::HEAD_WAIT]
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| (op, view.metric_of(names::HEAD_WAIT, op).unwrap_or(0.0)))
+            .collect()
+    }
+}
+
+/// **RANDOM**: uniformly random priorities — the control policy showing
+/// that Lachesis' gains are not an artifact of merely perturbing OS
+/// priorities (§6.3).
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    period: SimDuration,
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with the given period and RNG seed.
+    pub fn new(period: SimDuration, seed: u64) -> Self {
+        RandomPolicy {
+            period,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        Vec::new()
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| (op, self.rng.gen_range(0.0..1.0)))
+            .collect()
+    }
+}
+
+/// **Highest Rate (HR)** \[50\]: prioritizes operators on productive (high
+/// selectivity), inexpensive (low cost) paths to a sink, minimizing average
+/// tuple latency. Priorities are logarithmically spaced.
+#[derive(Debug, Clone)]
+pub struct HighestRatePolicy {
+    period: SimDuration,
+}
+
+impl HighestRatePolicy {
+    /// Creates the policy with the given scheduling period.
+    pub fn new(period: SimDuration) -> Self {
+        HighestRatePolicy { period }
+    }
+}
+
+impl Default for HighestRatePolicy {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(1))
+    }
+}
+
+impl Policy for HighestRatePolicy {
+    fn name(&self) -> &str {
+        "hr"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        // On SPEs that expose cost/selectivity these are fetched directly;
+        // elsewhere the provider derives them (Fig. 4 / Algorithm 3).
+        vec![names::COST, names::SELECTIVITY]
+    }
+
+    fn priority_kind(&self) -> PriorityKind {
+        PriorityKind::Logarithmic
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| {
+                let (sel, cost) = best_output_path(view.driver, op, &|o| {
+                    (
+                        view.metric_of(names::SELECTIVITY, o).unwrap_or(1.0),
+                        view.metric_of(names::COST, o).unwrap_or(1e-6),
+                    )
+                });
+                (op, sel / cost.max(1e-12))
+            })
+            .collect()
+    }
+}
+
+/// Finds the operator's best output path (highest selectivity-product over
+/// cost-sum ratio) to any sink; returns `(path_selectivity, path_cost)`.
+///
+/// These are the `Path Selectivity` / `Path Cost` derived metrics of the
+/// paper's Fig. 4, computed over the physical DAG exposed by the driver.
+pub fn best_output_path(
+    driver: &dyn SpeDriver,
+    op: OpRef,
+    metrics: &dyn Fn(OpRef) -> (f64, f64),
+) -> (f64, f64) {
+    fn dfs(
+        driver: &dyn SpeDriver,
+        op: OpRef,
+        metrics: &dyn Fn(OpRef) -> (f64, f64),
+        depth: usize,
+    ) -> (f64, f64) {
+        let (sel, cost) = metrics(op);
+        let downstream = driver.downstream(op);
+        if downstream.is_empty() || depth > 64 {
+            return (sel, cost);
+        }
+        let mut best: Option<(f64, f64)> = None;
+        for d in downstream {
+            let (dsel, dcost) = dfs(driver, d, metrics, depth + 1);
+            let (psel, pcost) = (sel * dsel, cost + dcost);
+            let rate = psel / pcost.max(1e-12);
+            if best.is_none_or(|(bs, bc)| rate > bs / bc.max(1e-12)) {
+                best = Some((psel, pcost));
+            }
+        }
+        best.unwrap_or((sel, cost))
+    }
+    dfs(driver, op, metrics, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lachesis_metrics::MetricProvider;
+    use simos::SimTime;
+
+    // A tiny fake driver with a diamond topology:
+    //       0
+    //      / \
+    //     1   2
+    //      \ /
+    //       3 (sink)
+    struct FakeDriver;
+    impl lachesis_metrics::MetricSource<OpRef> for FakeDriver {
+        fn source_name(&self) -> &str {
+            "fake"
+        }
+        fn provides(&self, _m: MetricName) -> bool {
+            false
+        }
+        fn fetch(&self, _m: MetricName) -> lachesis_metrics::EntityValues<OpRef> {
+            Default::default()
+        }
+    }
+    impl SpeDriver for FakeDriver {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn kind(&self) -> spe::SpeKind {
+            spe::SpeKind::Liebre
+        }
+        fn queries(&self) -> &[spe::RunningQuery] {
+            &[]
+        }
+        fn entities(&self) -> Vec<OpRef> {
+            (0..4).map(|o| OpRef::new(0, o)).collect()
+        }
+        fn thread_of(&self, _op: OpRef) -> Option<simos::ThreadId> {
+            None
+        }
+        fn downstream(&self, op: OpRef) -> Vec<OpRef> {
+            match op.op {
+                0 => vec![OpRef::new(0, 1), OpRef::new(0, 2)],
+                1 | 2 => vec![OpRef::new(0, 3)],
+                _ => vec![],
+            }
+        }
+        fn physical_of(&self, query: usize, logical: usize) -> Vec<OpRef> {
+            vec![OpRef::new(query, logical)]
+        }
+        fn logical_of(&self, op: OpRef) -> Vec<usize> {
+            vec![op.op]
+        }
+        fn is_egress(&self, op: OpRef) -> bool {
+            op.op == 3
+        }
+    }
+
+    fn view_with<'a>(
+        provider: &'a MetricProvider<OpRef>,
+        driver: &'a FakeDriver,
+        scope: &'a [OpRef],
+    ) -> PolicyView<'a> {
+        PolicyView::new(SimTime::ZERO, driver, scope, provider, 0)
+    }
+
+    fn provider_with(metric: MetricName, vals: &[(usize, f64)]) -> MetricProvider<OpRef> {
+        // Build a provider whose single source exposes `metric` directly.
+        struct Src(MetricName, Vec<(usize, f64)>);
+        impl lachesis_metrics::MetricSource<OpRef> for Src {
+            fn source_name(&self) -> &str {
+                "src"
+            }
+            fn provides(&self, m: MetricName) -> bool {
+                m == self.0
+            }
+            fn fetch(&self, _m: MetricName) -> lachesis_metrics::EntityValues<OpRef> {
+                self.1
+                    .iter()
+                    .map(|&(o, v)| (OpRef::new(0, o), v))
+                    .collect()
+            }
+        }
+        let mut p = MetricProvider::new();
+        p.register(metric);
+        p.update(&[&Src(metric, vals.to_vec())]).unwrap();
+        p
+    }
+
+    #[test]
+    fn qs_priorities_are_queue_sizes() {
+        let provider = provider_with(names::QUEUE_SIZE, &[(0, 10.0), (1, 3.0)]);
+        let driver = FakeDriver;
+        let scope: Vec<OpRef> = (0..2).map(|o| OpRef::new(0, o)).collect();
+        let mut qs = QueueSizePolicy::default();
+        let s = qs.schedule(&view_with(&provider, &driver, &scope));
+        assert_eq!(s.get(OpRef::new(0, 0)), Some(10.0));
+        assert_eq!(s.get(OpRef::new(0, 1)), Some(3.0));
+    }
+
+    #[test]
+    fn fcfs_priorities_are_head_waits() {
+        let provider = provider_with(names::HEAD_WAIT, &[(0, 0.5), (1, 2.0)]);
+        let driver = FakeDriver;
+        let scope: Vec<OpRef> = (0..2).map(|o| OpRef::new(0, o)).collect();
+        let mut p = FcfsPolicy::default();
+        let s = p.schedule(&view_with(&provider, &driver, &scope));
+        assert!(s.get(OpRef::new(0, 1)) > s.get(OpRef::new(0, 0)));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let provider = MetricProvider::new();
+        let driver = FakeDriver;
+        let scope: Vec<OpRef> = (0..4).map(|o| OpRef::new(0, o)).collect();
+        let mut a = RandomPolicy::new(SimDuration::from_secs(1), 7);
+        let mut b = RandomPolicy::new(SimDuration::from_secs(1), 7);
+        let va = a.schedule(&view_with(&provider, &driver, &scope));
+        let vb = b.schedule(&view_with(&provider, &driver, &scope));
+        assert_eq!(va, vb);
+        let vc = a.schedule(&view_with(&provider, &driver, &scope));
+        assert_ne!(va, vc, "subsequent periods differ");
+    }
+
+    #[test]
+    fn best_path_prefers_productive_cheap_branch() {
+        let driver = FakeDriver;
+        // Branch via op1: selectivity 1.0, cost 1.0 (cheap).
+        // Branch via op2: selectivity 1.0, cost 10.0 (expensive).
+        let metrics = |o: OpRef| -> (f64, f64) {
+            match o.op {
+                0 => (1.0, 1.0),
+                1 => (1.0, 1.0),
+                2 => (1.0, 10.0),
+                _ => (1.0, 1.0),
+            }
+        };
+        let (sel, cost) = best_output_path(&driver, OpRef::new(0, 0), &metrics);
+        assert_eq!(sel, 1.0);
+        assert_eq!(cost, 3.0, "cheap path 0->1->3 chosen");
+    }
+
+    #[test]
+    fn hr_ranks_upstream_of_cheap_path_higher() {
+        // Give ops their cost/selectivity through the provider.
+        struct Src;
+        impl lachesis_metrics::MetricSource<OpRef> for Src {
+            fn source_name(&self) -> &str {
+                "src"
+            }
+            fn provides(&self, m: MetricName) -> bool {
+                m == names::COST || m == names::SELECTIVITY
+            }
+            fn fetch(&self, m: MetricName) -> lachesis_metrics::EntityValues<OpRef> {
+                (0..4)
+                    .map(|o| {
+                        let v = if m == names::COST {
+                            if o == 2 {
+                                10e-6
+                            } else {
+                                1e-6
+                            }
+                        } else {
+                            1.0
+                        };
+                        (OpRef::new(0, o), v)
+                    })
+                    .collect()
+            }
+        }
+        let mut provider = MetricProvider::new();
+        provider.register(names::COST);
+        provider.register(names::SELECTIVITY);
+        provider.update(&[&Src]).unwrap();
+        let driver = FakeDriver;
+        let scope: Vec<OpRef> = (0..4).map(|o| OpRef::new(0, o)).collect();
+        let mut hr = HighestRatePolicy::default();
+        let s = hr.schedule(&view_with(&provider, &driver, &scope));
+        // The cheap mid-path operator (1) outranks the expensive one (2).
+        assert!(s.get(OpRef::new(0, 1)).unwrap() > s.get(OpRef::new(0, 2)).unwrap());
+        // The sink (3) has the highest rate of all (shortest path).
+        assert!(s.get(OpRef::new(0, 3)).unwrap() >= s.get(OpRef::new(0, 1)).unwrap());
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert_eq!(QueueSizePolicy::default().name(), "qs");
+        assert_eq!(
+            QueueSizePolicy::default().required_metrics(),
+            vec![names::QUEUE_SIZE]
+        );
+        assert_eq!(
+            HighestRatePolicy::default().priority_kind(),
+            PriorityKind::Logarithmic
+        );
+        assert_eq!(
+            FcfsPolicy::new(SimDuration::from_millis(50)).period(),
+            SimDuration::from_millis(50)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Additional scheduling policies from the literature the paper cites
+//! (§7): the **Chain** policy (Babcock et al., SIGMOD '03) that minimizes
+//! memory usage, and the **Rate-Based** policy (Urhan & Franklin,
+//! VLDB '01) that minimizes single-query average latency — both expressible
+//! unchanged on Lachesis' metric/translator interfaces (G1).
+
+use lachesis_metrics::{names, MetricName};
+use simos::SimDuration;
+
+use crate::normalize::PriorityKind;
+use crate::policies::best_output_path;
+use crate::policy::{Policy, PolicyView};
+use crate::schedule::SinglePrioritySchedule;
+
+/// **Chain** \[6\]: prioritizes operators that release buffered memory the
+/// fastest. An operator's *memory release rate* is `(1 − selectivity) /
+/// cost` along its steepest downstream segment: running it sheds queued
+/// tuples at that rate. Keeping total queue memory minimal is the policy's
+/// goal (the paper's §7 notes Lachesis can host it unchanged).
+#[derive(Debug, Clone)]
+pub struct ChainPolicy {
+    period: SimDuration,
+}
+
+impl ChainPolicy {
+    /// Creates the policy with the given scheduling period.
+    pub fn new(period: SimDuration) -> Self {
+        ChainPolicy { period }
+    }
+}
+
+impl Default for ChainPolicy {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(1))
+    }
+}
+
+impl Policy for ChainPolicy {
+    fn name(&self) -> &str {
+        "chain"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        vec![names::COST, names::SELECTIVITY, names::QUEUE_SIZE]
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| {
+                let sel = view.metric_of(names::SELECTIVITY, op).unwrap_or(1.0);
+                let cost = view.metric_of(names::COST, op).unwrap_or(1e-6).max(1e-9);
+                let backlog = view.metric_of(names::QUEUE_SIZE, op).unwrap_or(0.0);
+                // Memory release rate of the operator itself; operators with
+                // nothing queued release nothing.
+                let release = (1.0 - sel).max(0.0) / cost;
+                (op, if backlog > 0.0 { release } else { 0.0 })
+            })
+            .collect()
+    }
+}
+
+/// **Rate-Based (RB)** \[55\]: prioritizes the operator path with the
+/// highest *output rate* toward the sink of a single query — the
+/// single-query specialization of Highest-Rate (the paper's §7 notes HR
+/// supersedes it for multi-query workloads).
+#[derive(Debug, Clone)]
+pub struct RateBasedPolicy {
+    period: SimDuration,
+}
+
+impl RateBasedPolicy {
+    /// Creates the policy with the given scheduling period.
+    pub fn new(period: SimDuration) -> Self {
+        RateBasedPolicy { period }
+    }
+}
+
+impl Default for RateBasedPolicy {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(1))
+    }
+}
+
+impl Policy for RateBasedPolicy {
+    fn name(&self) -> &str {
+        "rb"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        vec![names::COST, names::SELECTIVITY]
+    }
+
+    fn priority_kind(&self) -> PriorityKind {
+        PriorityKind::Logarithmic
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        // Identical path machinery to HR, but weighted by the operator's
+        // own processing rate (1/cost) rather than the global rate — the
+        // original RB formulation for one query.
+        view.scope
+            .iter()
+            .map(|&op| {
+                let (psel, pcost) = best_output_path(view.driver, op, &|o| {
+                    (
+                        view.metric_of(names::SELECTIVITY, o).unwrap_or(1.0),
+                        view.metric_of(names::COST, o).unwrap_or(1e-6),
+                    )
+                });
+                let own_cost = view.metric_of(names::COST, op).unwrap_or(1e-6).max(1e-9);
+                (op, (psel / pcost.max(1e-12)) / own_cost)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::OpRef;
+    use crate::driver::SpeDriver;
+    use lachesis_metrics::{EntityValues, MetricProvider, MetricSource};
+    use simos::SimTime;
+
+    /// Pipeline 0 -> 1 -> 2 with per-op (selectivity, cost, queue).
+    struct Src(Vec<(f64, f64, f64)>);
+    impl MetricSource<OpRef> for Src {
+        fn source_name(&self) -> &str {
+            "src"
+        }
+        fn provides(&self, m: MetricName) -> bool {
+            m == names::COST || m == names::SELECTIVITY || m == names::QUEUE_SIZE
+        }
+        fn fetch(&self, m: MetricName) -> EntityValues<OpRef> {
+            self.0
+                .iter()
+                .enumerate()
+                .map(|(i, &(sel, cost, q))| {
+                    let v = if m == names::SELECTIVITY {
+                        sel
+                    } else if m == names::COST {
+                        cost
+                    } else {
+                        q
+                    };
+                    (OpRef::new(0, i), v)
+                })
+                .collect()
+        }
+    }
+
+    struct PipeDriver(usize);
+    impl MetricSource<OpRef> for PipeDriver {
+        fn source_name(&self) -> &str {
+            "pipe"
+        }
+        fn provides(&self, _m: MetricName) -> bool {
+            false
+        }
+        fn fetch(&self, _m: MetricName) -> EntityValues<OpRef> {
+            Default::default()
+        }
+    }
+    impl SpeDriver for PipeDriver {
+        fn name(&self) -> &str {
+            "pipe"
+        }
+        fn kind(&self) -> spe::SpeKind {
+            spe::SpeKind::Liebre
+        }
+        fn queries(&self) -> &[spe::RunningQuery] {
+            &[]
+        }
+        fn entities(&self) -> Vec<OpRef> {
+            (0..self.0).map(|o| OpRef::new(0, o)).collect()
+        }
+        fn thread_of(&self, _op: OpRef) -> Option<simos::ThreadId> {
+            None
+        }
+        fn downstream(&self, op: OpRef) -> Vec<OpRef> {
+            if op.op + 1 < self.0 {
+                vec![OpRef::new(0, op.op + 1)]
+            } else {
+                vec![]
+            }
+        }
+        fn physical_of(&self, query: usize, logical: usize) -> Vec<OpRef> {
+            vec![OpRef::new(query, logical)]
+        }
+        fn logical_of(&self, op: OpRef) -> Vec<usize> {
+            vec![op.op]
+        }
+        fn is_egress(&self, op: OpRef) -> bool {
+            op.op == self.0 - 1
+        }
+    }
+
+    fn schedule_with(
+        policy: &mut dyn Policy,
+        metrics: Vec<(f64, f64, f64)>,
+    ) -> SinglePrioritySchedule {
+        let n = metrics.len();
+        let mut provider = MetricProvider::new();
+        for m in policy.required_metrics() {
+            provider.register(m);
+        }
+        provider.update(&[&Src(metrics)]).unwrap();
+        let driver = PipeDriver(n);
+        let scope: Vec<OpRef> = (0..n).map(|o| OpRef::new(0, o)).collect();
+        let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);
+        policy.schedule(&view)
+    }
+
+    #[test]
+    fn chain_prefers_selective_cheap_backlogged_ops() {
+        let mut chain = ChainPolicy::default();
+        // op0: drops half its input cheaply with backlog;
+        // op1: passes everything (releases nothing);
+        // op2: drops a lot but is expensive.
+        let s = schedule_with(
+            &mut chain,
+            vec![(0.5, 1e-4, 10.0), (1.0, 1e-4, 10.0), (0.1, 1e-2, 10.0)],
+        );
+        let p0 = s.get(OpRef::new(0, 0)).unwrap();
+        let p1 = s.get(OpRef::new(0, 1)).unwrap();
+        let p2 = s.get(OpRef::new(0, 2)).unwrap();
+        assert!(p0 > p2, "cheap filter beats expensive filter: {p0} vs {p2}");
+        assert_eq!(p1, 0.0, "pass-through releases no memory");
+    }
+
+    #[test]
+    fn chain_ignores_empty_queues() {
+        let mut chain = ChainPolicy::default();
+        let s = schedule_with(&mut chain, vec![(0.5, 1e-4, 0.0), (0.5, 1e-4, 5.0)]);
+        assert_eq!(s.get(OpRef::new(0, 0)), Some(0.0));
+        assert!(s.get(OpRef::new(0, 1)).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rate_based_prefers_fast_ops_near_sink() {
+        let mut rb = RateBasedPolicy::default();
+        let s = schedule_with(
+            &mut rb,
+            vec![(1.0, 1e-4, 0.0), (1.0, 1e-4, 0.0), (1.0, 1e-4, 0.0)],
+        );
+        // Same cost everywhere: the sink-adjacent op has the shortest
+        // (cheapest) path and wins.
+        let p: Vec<f64> = (0..3).map(|o| s.get(OpRef::new(0, o)).unwrap()).collect();
+        assert!(p[2] > p[1] && p[1] > p[0], "{p:?}");
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(ChainPolicy::default().name(), "chain");
+        assert_eq!(RateBasedPolicy::default().name(), "rb");
+        assert_eq!(
+            RateBasedPolicy::default().priority_kind(),
+            PriorityKind::Logarithmic
+        );
+    }
+}

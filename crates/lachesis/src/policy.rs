@@ -1,0 +1,127 @@
+//! Scheduling policies (paper Def. 3.2, §5.1).
+//!
+//! A policy consumes metrics (through the provider) and outputs real-valued
+//! priorities for physical operators — higher means more CPU. Policies are
+//! SPE-agnostic: they never see engine internals, only metrics and the
+//! abstract topology exposed by the driver.
+
+use lachesis_metrics::{EntityValues, MetricName, MetricProvider};
+use simos::{SimDuration, SimTime};
+
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::normalize::PriorityKind;
+use crate::schedule::SinglePrioritySchedule;
+
+/// Everything a policy may look at while computing a schedule.
+pub struct PolicyView<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The driver whose operators are being scheduled.
+    pub driver: &'a dyn SpeDriver,
+    /// The operators this policy instance is responsible for.
+    pub scope: &'a [OpRef],
+    provider: &'a MetricProvider<OpRef>,
+    source_idx: usize,
+}
+
+impl std::fmt::Debug for PolicyView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyView")
+            .field("now", &self.now)
+            .field("scope", &self.scope.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> PolicyView<'a> {
+    /// Creates a view (used by the middleware loop and by tests).
+    pub fn new(
+        now: SimTime,
+        driver: &'a dyn SpeDriver,
+        scope: &'a [OpRef],
+        provider: &'a MetricProvider<OpRef>,
+        source_idx: usize,
+    ) -> Self {
+        PolicyView {
+            now,
+            driver,
+            scope,
+            provider,
+            source_idx,
+        }
+    }
+
+    /// The per-entity values of a metric, as of the last provider update.
+    pub fn metric(&self, name: MetricName) -> Option<&'a EntityValues<OpRef>> {
+        self.provider.get(self.source_idx, name)
+    }
+
+    /// One entity's metric value.
+    pub fn metric_of(&self, name: MetricName, op: OpRef) -> Option<f64> {
+        self.metric(name)?.get(&op).copied()
+    }
+}
+
+/// A scheduling policy (paper Definition 3.2).
+///
+/// # Examples
+///
+/// A policy that statically prioritizes egress operators:
+///
+/// ```
+/// use lachesis::{Policy, PolicyView, SinglePrioritySchedule};
+/// use lachesis_metrics::MetricName;
+/// use simos::SimDuration;
+///
+/// struct SinksFirst;
+///
+/// impl Policy for SinksFirst {
+///     fn name(&self) -> &str { "sinks-first" }
+///     fn period(&self) -> SimDuration { SimDuration::from_secs(1) }
+///     fn required_metrics(&self) -> Vec<MetricName> { Vec::new() }
+///     fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+///         view.scope
+///             .iter()
+///             .map(|&op| (op, if view.driver.is_egress(op) { 1.0 } else { 0.0 }))
+///             .collect()
+///     }
+/// }
+/// ```
+pub trait Policy {
+    /// The policy's display name.
+    fn name(&self) -> &str;
+
+    /// How often the policy wants to run.
+    fn period(&self) -> SimDuration;
+
+    /// The metrics the policy needs (registered with the provider at
+    /// startup — Algorithm 1, L1).
+    fn required_metrics(&self) -> Vec<MetricName>;
+
+    /// The shape of the produced priorities (selects normalization, §5.3).
+    fn priority_kind(&self) -> PriorityKind {
+        PriorityKind::Linear
+    }
+
+    /// Computes priorities for the operators in `view.scope`.
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule;
+}
+
+impl Policy for Box<dyn Policy> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn period(&self) -> SimDuration {
+        self.as_ref().period()
+    }
+    fn required_metrics(&self) -> Vec<MetricName> {
+        self.as_ref().required_metrics()
+    }
+    fn priority_kind(&self) -> PriorityKind {
+        self.as_ref().priority_kind()
+    }
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        self.as_mut().schedule(view)
+    }
+}

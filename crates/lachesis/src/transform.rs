@@ -1,0 +1,124 @@
+//! Transformation rules: logical → physical schedules (paper §5.1,
+//! Algorithm 2).
+//!
+//! Users may express scheduling preferences over *logical* operators
+//! (reusable across deployments and SPEs); a transformation rule converts
+//! such a high-level schedule into priorities for the physical operators of
+//! a concrete deployment, accounting for fission and fusion.
+
+use std::collections::BTreeMap;
+
+use spe::LogicalOpId;
+
+use crate::driver::SpeDriver;
+use crate::schedule::SinglePrioritySchedule;
+
+/// A high-level schedule: priorities for logical operators of one query.
+pub type LogicalSchedule = BTreeMap<LogicalOpId, f64>;
+
+/// Algorithm 2: converts a logical schedule to a physical one.
+///
+/// Replicated (fissioned) logical operators propagate their priority to
+/// every replica; fused physical operators take the **maximum** priority of
+/// the logical operators they contain.
+pub fn transform_logical(
+    driver: &dyn SpeDriver,
+    query: usize,
+    input: &LogicalSchedule,
+) -> SinglePrioritySchedule {
+    let mut out = SinglePrioritySchedule::new();
+    for (&logical, &priority) in input {
+        for phys in driver.physical_of(query, logical) {
+            if driver.logical_of(phys).len() > 1 {
+                // Fusion applied: max over the associated logical ops.
+                let cur = out.get(phys).unwrap_or(f64::NEG_INFINITY);
+                out.set(phys, cur.max(priority));
+            } else {
+                out.set(phys, priority);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::OpRef;
+    use lachesis_metrics::{EntityValues, MetricName, MetricSource};
+
+    /// Logical ops 0,1,2: op 0 fissioned into phys 0 & 1; ops 1 and 2 fused
+    /// into phys 2.
+    struct MappingDriver;
+    impl MetricSource<OpRef> for MappingDriver {
+        fn source_name(&self) -> &str {
+            "m"
+        }
+        fn provides(&self, _m: MetricName) -> bool {
+            false
+        }
+        fn fetch(&self, _m: MetricName) -> EntityValues<OpRef> {
+            Default::default()
+        }
+    }
+    impl SpeDriver for MappingDriver {
+        fn name(&self) -> &str {
+            "m"
+        }
+        fn kind(&self) -> spe::SpeKind {
+            spe::SpeKind::Storm
+        }
+        fn queries(&self) -> &[spe::RunningQuery] {
+            &[]
+        }
+        fn entities(&self) -> Vec<OpRef> {
+            (0..3).map(|o| OpRef::new(0, o)).collect()
+        }
+        fn thread_of(&self, _op: OpRef) -> Option<simos::ThreadId> {
+            None
+        }
+        fn downstream(&self, _op: OpRef) -> Vec<OpRef> {
+            vec![]
+        }
+        fn physical_of(&self, query: usize, logical: LogicalOpId) -> Vec<OpRef> {
+            match logical {
+                0 => vec![OpRef::new(query, 0), OpRef::new(query, 1)],
+                1 | 2 => vec![OpRef::new(query, 2)],
+                _ => vec![],
+            }
+        }
+        fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId> {
+            match op.op {
+                0 | 1 => vec![0],
+                2 => vec![1, 2],
+                _ => vec![],
+            }
+        }
+        fn is_egress(&self, _op: OpRef) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn fission_copies_priority_to_replicas() {
+        let input: LogicalSchedule = [(0, 7.0)].into_iter().collect();
+        let out = transform_logical(&MappingDriver, 0, &input);
+        assert_eq!(out.get(OpRef::new(0, 0)), Some(7.0));
+        assert_eq!(out.get(OpRef::new(0, 1)), Some(7.0));
+    }
+
+    #[test]
+    fn fusion_takes_max_priority() {
+        let input: LogicalSchedule = [(1, 3.0), (2, 9.0)].into_iter().collect();
+        let out = transform_logical(&MappingDriver, 0, &input);
+        assert_eq!(out.get(OpRef::new(0, 2)), Some(9.0));
+    }
+
+    #[test]
+    fn combined_fission_and_fusion() {
+        let input: LogicalSchedule = [(0, 1.0), (1, 5.0), (2, 2.0)].into_iter().collect();
+        let out = transform_logical(&MappingDriver, 0, &input);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.get(OpRef::new(0, 2)), Some(5.0));
+    }
+}

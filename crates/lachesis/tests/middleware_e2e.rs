@@ -1,0 +1,216 @@
+//! End-to-end middleware tests: Lachesis scheduling real (simulated)
+//! queries through drivers, the metric store, policies and translators.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    CpuSharesTranslator, LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, Nice, SimDuration};
+use spe::{
+    deploy, Consume, CostModel, EngineConfig, LogicalGraph, Partitioning, PassThrough, Placement,
+    Role, RunningQuery, Tuple,
+};
+
+/// A pipeline with one expensive "hot" operator that needs more CPU than a
+/// fair share when competitors are present.
+fn skewed_pipeline(name: &str, rate: f64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+        Box::new(PassThrough)
+    });
+    let light = b.op("light", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let hot = b.op("hot", Role::Transform, CostModel::micros(400), 1, || {
+        Box::new(PassThrough)
+    });
+    let light2 = b.op("light2", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, light, Partitioning::Forward);
+    b.edge(light, hot, Partitioning::Forward);
+    b.edge(hot, light2, Partitioning::Forward);
+    b.edge(light2, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+struct Setup {
+    kernel: Kernel,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+}
+
+/// Deploys `n_queries` skewed pipelines on one odroid-class node.
+fn setup(n_queries: usize, rate: f64) -> Setup {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let queries = (0..n_queries)
+        .map(|i| {
+            deploy(
+                &mut kernel,
+                skewed_pipeline(&format!("q{i}"), rate),
+                EngineConfig::storm(),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .unwrap()
+        })
+        .collect();
+    Setup {
+        kernel,
+        queries,
+        store,
+    }
+}
+
+#[test]
+fn lachesis_moves_nice_toward_the_bottleneck() {
+    // 3 queries × 5 ops on 4 CPUs at a rate that overloads the hot ops.
+    let mut s = setup(3, 2500.0);
+    let lachesis = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build();
+    lachesis.start(&mut s.kernel);
+    s.kernel.run_for(SimDuration::from_secs(10));
+    // The hot operator's queue dominates, so its thread must have the best
+    // (lowest) nice value in its query.
+    for q in &s.queries {
+        let hot_idx = 2; // src, light, hot, light2, sink
+        let hot_tid = q.cell(hot_idx).thread().unwrap();
+        let hot_nice = s.kernel.thread_info(hot_tid).unwrap().nice;
+        assert!(
+            hot_nice <= Nice::new(0).unwrap(),
+            "hot op of {} got nice {hot_nice} (default range is [-5, 5])",
+            q.name()
+        );
+        let light_tid = q.cell(1).thread().unwrap();
+        let light_nice = s.kernel.thread_info(light_tid).unwrap().nice;
+        assert!(hot_nice < light_nice, "hot prioritized over light");
+    }
+}
+
+/// The paper's core claim (Figs. 5–10): near saturation, Lachesis-QS
+/// sustains higher throughput and much lower latency than default OS
+/// scheduling.
+#[test]
+fn lachesis_qs_beats_default_os_scheduling_near_saturation() {
+    let rate = 2400.0;
+    let run = |with_lachesis: bool| -> (u64, f64) {
+        let mut s = setup(3, rate);
+        if with_lachesis {
+            let lachesis = LachesisBuilder::new()
+                .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+                .policy(
+                    0,
+                    Scope::AllQueries,
+                    QueueSizePolicy::default(),
+                    NiceTranslator::new(),
+                )
+                .build();
+            lachesis.start(&mut s.kernel);
+        }
+        // Warm up, reset, measure.
+        s.kernel.run_for(SimDuration::from_secs(5));
+        for q in &s.queries {
+            q.reset_stats();
+        }
+        s.kernel.run_for(SimDuration::from_secs(20));
+        let egress: u64 = s.queries.iter().map(|q| q.egress_total()).sum();
+        let lat: f64 = s
+            .queries
+            .iter()
+            .filter_map(|q| q.latency_histogram().mean())
+            .sum::<f64>()
+            / s.queries.len() as f64;
+        (egress, lat)
+    };
+    let (os_egress, os_lat) = run(false);
+    let (la_egress, la_lat) = run(true);
+    assert!(
+        la_egress as f64 >= os_egress as f64 * 1.02,
+        "throughput: lachesis {la_egress} vs os {os_egress}"
+    );
+    assert!(
+        la_lat < os_lat,
+        "latency: lachesis {la_lat} vs os {os_lat}"
+    );
+}
+
+#[test]
+fn cpu_shares_translator_schedules_many_operators() {
+    // More operators than nice levels would allow distinct priorities for:
+    // use per-operator cgroups like the paper's §6.4.
+    let mut s = setup(3, 2000.0);
+    let lachesis = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            CpuSharesTranslator::new("qs"),
+        )
+        .build();
+    lachesis.start(&mut s.kernel);
+    s.kernel.run_for(SimDuration::from_secs(5));
+    // Every operator thread ended up in its own lachesis cgroup.
+    for q in &s.queries {
+        for i in 0..q.op_count() {
+            let tid = q.cell(i).thread().unwrap();
+            let cg = s.kernel.thread_info(tid).unwrap().cgroup;
+            let info = s.kernel.cgroup_info(cg).unwrap();
+            assert!(
+                info.name.contains("lachesis-qs"),
+                "thread of {} in {}",
+                q.cell(i).name(),
+                info.name
+            );
+        }
+    }
+}
+
+#[test]
+fn per_query_policies_can_differ() {
+    // G3: schedule query 0 with QS/nice and query 1 with QS/cpu.shares.
+    // Overload so queue sizes differ and QS produces non-uniform priorities.
+    let mut s = setup(2, 3000.0);
+    let lachesis = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::Query(0),
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .policy(
+            0,
+            Scope::Query(1),
+            QueueSizePolicy::new(SimDuration::from_secs(2)),
+            CpuSharesTranslator::new("q1"),
+        )
+        .build();
+    lachesis.start(&mut s.kernel);
+    s.kernel.run_for(SimDuration::from_secs(6));
+    // Query 0 threads stay in the SPE's root cgroup with adjusted nice;
+    // query 1 threads moved into lachesis cgroups.
+    let q0_tid = s.queries[0].cell(2).thread().unwrap();
+    let q1_tid = s.queries[1].cell(2).thread().unwrap();
+    let q0_info = s.kernel.thread_info(q0_tid).unwrap();
+    let q1_info = s.kernel.thread_info(q1_tid).unwrap();
+    assert_ne!(q0_info.nice, Nice::DEFAULT, "query 0 niced");
+    let q1_cg = s.kernel.cgroup_info(q1_info.cgroup).unwrap();
+    assert!(q1_cg.name.contains("lachesis-q1"));
+}

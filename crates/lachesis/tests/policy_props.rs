@@ -1,0 +1,134 @@
+//! Property-based tests of policies, normalization and schedules.
+
+use lachesis::{
+    min_max, min_max_anchored, to_nice, to_nice_in_range, to_shares, GroupingSchedule, OpRef,
+    PriorityKind, SinglePrioritySchedule,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization is monotone: a higher priority never receives a worse
+    /// (higher) nice value than a lower priority.
+    #[test]
+    fn to_nice_is_monotone(values in proptest::collection::vec(0.0f64..1e6, 2..64)) {
+        let nices = to_nice(&values, PriorityKind::Linear);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(
+                        nices[i] <= nices[j],
+                        "priority {} got nice {} but priority {} got nice {}",
+                        values[i], nices[i], values[j], nices[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same for the logarithmic (HR-style) normalization with positive
+    /// priorities.
+    #[test]
+    fn log_to_nice_is_monotone(values in proptest::collection::vec(1e-6f64..1e9, 2..64)) {
+        let nices = to_nice(&values, PriorityKind::Logarithmic);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(nices[i] <= nices[j]);
+                }
+            }
+        }
+    }
+
+    /// Shares normalization stays in range and is monotone.
+    #[test]
+    fn to_shares_in_range_and_monotone(
+        values in proptest::collection::vec(0.0f64..1e6, 1..64),
+        lo in 2u64..256,
+        span in 1u64..4096,
+    ) {
+        let hi = lo + span;
+        let shares = to_shares(&values, PriorityKind::Linear, lo, hi);
+        for (i, &s) in shares.iter().enumerate() {
+            prop_assert!((lo..=hi).contains(&s));
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(shares[i] >= shares[j]);
+                }
+            }
+        }
+    }
+
+    /// Range-restricted nice values stay inside the requested range.
+    #[test]
+    fn to_nice_in_range_respects_bounds(
+        values in proptest::collection::vec(0.0f64..1e6, 1..64),
+        lo in -20i32..10,
+        span in 1i32..20,
+    ) {
+        let hi = (lo + span).min(19);
+        prop_assume!(lo < hi);
+        for n in to_nice_in_range(&values, PriorityKind::Linear, lo, hi) {
+            prop_assert!((lo..=hi).contains(&n.value()), "nice {n} outside [{lo},{hi}]");
+        }
+    }
+
+    /// Anchored min-max equals plain min-max whenever the minimum is 0, and
+    /// never widens the spread of near-equal positive values.
+    #[test]
+    fn anchored_min_max_properties(values in proptest::collection::vec(0.0f64..1e6, 2..64)) {
+        let base = 1e5;
+        let near_equal: Vec<f64> = values.iter().map(|v| base + v % 10.0).collect();
+        let out = min_max_anchored(&near_equal, -20.0, 19.0);
+        let spread = out.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - out.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(spread <= 39.0 * (10.0 / base) + 1e-9, "spread {spread}");
+
+        let mut with_zero = values.clone();
+        with_zero.push(0.0);
+        let a = min_max_anchored(&with_zero, 0.0, 1.0);
+        let b = min_max(&with_zero, 0.0, 1.0);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Schedules round-trip: every inserted (op, priority) pair is
+    /// retrievable and iteration is sorted by entity.
+    #[test]
+    fn schedule_round_trip(entries in proptest::collection::btree_map(
+        (0usize..8, 0usize..64), -1e9f64..1e9, 0..64)
+    ) {
+        let sched: SinglePrioritySchedule = entries
+            .iter()
+            .map(|(&(q, o), &p)| (OpRef::new(q, o), p))
+            .collect();
+        prop_assert_eq!(sched.len(), entries.len());
+        for (&(q, o), &p) in &entries {
+            prop_assert_eq!(sched.get(OpRef::new(q, o)), Some(p));
+        }
+        let order: Vec<OpRef> = sched.iter().map(|(op, _)| op).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(order, sorted);
+    }
+
+    /// Per-operator grouping preserves every operator exactly once.
+    #[test]
+    fn per_operator_grouping_is_a_partition(entries in proptest::collection::btree_map(
+        (0usize..4, 0usize..32), 0.0f64..100.0, 1..32)
+    ) {
+        let sched: SinglePrioritySchedule = entries
+            .iter()
+            .map(|(&(q, o), &p)| (OpRef::new(q, o), p))
+            .collect();
+        let grouping = GroupingSchedule::per_operator(&sched);
+        prop_assert_eq!(grouping.len(), sched.len());
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, _, ops) in grouping.iter() {
+            prop_assert_eq!(ops.len(), 1);
+            prop_assert!(seen.insert(ops[0]), "duplicate op in grouping");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Metric names, values and derived-metric definitions (paper Def. 3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The name of a metric, e.g. `"queue.size"`.
+///
+/// Names are interned statically: every metric used by policies and drivers
+/// is a `&'static str` constant (see [`names`]), so comparisons are cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricName(pub &'static str);
+
+impl fmt::Display for MetricName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Well-known metric names shared between SPE drivers and policies.
+pub mod names {
+    use super::MetricName;
+
+    /// Tuples currently waiting in an operator's input queue.
+    pub const QUEUE_SIZE: MetricName = MetricName("queue.size");
+    /// Seconds the tuple at the head of the input queue has waited.
+    pub const HEAD_WAIT: MetricName = MetricName("queue.head_wait");
+    /// Total tuples an operator has ingested.
+    pub const TUPLES_IN: MetricName = MetricName("op.tuples_in");
+    /// Total tuples an operator has emitted.
+    pub const TUPLES_OUT: MetricName = MetricName("op.tuples_out");
+    /// Total CPU seconds an operator has consumed.
+    pub const CPU_TIME: MetricName = MetricName("op.cpu_time");
+    /// Average seconds of CPU per ingested tuple.
+    pub const COST: MetricName = MetricName("op.cost");
+    /// Average output tuples per input tuple.
+    pub const SELECTIVITY: MetricName = MetricName("op.selectivity");
+    /// Product of selectivities along an operator's best output path.
+    pub const PATH_SELECTIVITY: MetricName = MetricName("path.selectivity");
+    /// Sum of costs along an operator's best output path.
+    pub const PATH_COST: MetricName = MetricName("path.cost");
+    /// The Highest-Rate policy goal: path selectivity over path cost.
+    pub const HIGHEST_RATE: MetricName = MetricName("policy.highest_rate");
+    /// Mean processing latency observed at an egress operator.
+    pub const LATENCY: MetricName = MetricName("sink.latency");
+}
+
+/// Per-entity metric values at one scheduling period.
+pub type EntityValues<K> = HashMap<K, f64>;
+
+/// Dependency values handed to a derived metric's combine function, in the
+/// same order as the metric's declared dependencies.
+pub type DepValues<'a, K> = [&'a EntityValues<K>];
+
+/// The boxed combine function of a derived metric.
+type CombineFn<K> = Box<dyn Fn(&DepValues<'_, K>) -> EntityValues<K>>;
+
+/// A derived metric: a name, its dependencies, and a function computing its
+/// per-entity values from the dependencies' values.
+///
+/// Topology-aware metrics (e.g. the Highest-Rate path metrics) capture the
+/// query graph in the combine closure; the provider itself stays agnostic.
+pub struct MetricDef<K> {
+    name: MetricName,
+    deps: Vec<MetricName>,
+    combine: CombineFn<K>,
+}
+
+impl<K> fmt::Debug for MetricDef<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricDef")
+            .field("name", &self.name)
+            .field("deps", &self.deps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K> MetricDef<K> {
+    /// Defines a derived metric.
+    pub fn new(
+        name: MetricName,
+        deps: Vec<MetricName>,
+        combine: impl Fn(&DepValues<'_, K>) -> EntityValues<K> + 'static,
+    ) -> Self {
+        MetricDef {
+            name,
+            deps,
+            combine: Box::new(combine),
+        }
+    }
+
+    /// The metric's name.
+    pub fn name(&self) -> MetricName {
+        self.name
+    }
+
+    /// The metric's dependencies, in combine-argument order.
+    pub fn deps(&self) -> &[MetricName] {
+        &self.deps
+    }
+
+    pub(crate) fn combine(&self, deps: &DepValues<'_, K>) -> EntityValues<K> {
+        (self.combine)(deps)
+    }
+}
+
+/// Convenience: builds a derived metric that divides dep 0 by dep 1
+/// entity-wise (e.g. selectivity = out/in, cost = cpu/in).
+pub fn ratio_metric<K: Clone + Eq + std::hash::Hash + 'static>(
+    name: MetricName,
+    numerator: MetricName,
+    denominator: MetricName,
+) -> MetricDef<K> {
+    MetricDef::new(name, vec![numerator, denominator], |deps: &DepValues<'_, K>| {
+        let num = deps[0];
+        let den = deps[1];
+        num.iter()
+            .filter_map(|(k, n)| {
+                let d = *den.get(k)?;
+                if d == 0.0 {
+                    None
+                } else {
+                    Some((k.clone(), n / d))
+                }
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_display() {
+        assert_eq!(names::QUEUE_SIZE.to_string(), "queue.size");
+    }
+
+    #[test]
+    fn ratio_metric_divides_entity_wise() {
+        let def: MetricDef<u32> = ratio_metric(names::SELECTIVITY, names::TUPLES_OUT, names::TUPLES_IN);
+        let out: EntityValues<u32> = [(1, 30.0), (2, 10.0), (3, 5.0)].into_iter().collect();
+        let inp: EntityValues<u32> = [(1, 10.0), (2, 0.0)].into_iter().collect();
+        let result = def.combine(&[&out, &inp]);
+        assert_eq!(result.get(&1), Some(&3.0));
+        assert_eq!(result.get(&2), None, "division by zero dropped");
+        assert_eq!(result.get(&3), None, "missing denominator dropped");
+    }
+
+    #[test]
+    fn metric_def_reports_deps() {
+        let def: MetricDef<u32> =
+            MetricDef::new(names::COST, vec![names::CPU_TIME, names::TUPLES_IN], |_| {
+                EntityValues::new()
+            });
+        assert_eq!(def.name(), names::COST);
+        assert_eq!(def.deps(), &[names::CPU_TIME, names::TUPLES_IN]);
+    }
+}

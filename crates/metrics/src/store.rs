@@ -1,0 +1,192 @@
+//! A Graphite-like time-series store.
+//!
+//! The paper's Lachesis deployment retrieves all SPE metrics from Graphite,
+//! which caps the metric resolution at one second and therefore bounds the
+//! middleware's scheduling period (§6.1). [`TimeSeriesStore`] reproduces
+//! that interface: writers report samples, timestamps are floored to the
+//! store resolution, and readers see the latest *completed* sample — i.e.
+//! data that is up to one resolution interval stale, like real Graphite.
+
+use std::collections::HashMap;
+
+use simos::{SimDuration, SimTime};
+
+/// A time-series database with fixed resolution, keyed by metric path.
+///
+/// # Examples
+///
+/// ```
+/// use lachesis_metrics::TimeSeriesStore;
+/// use simos::{SimDuration, SimTime};
+///
+/// let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+/// let t1 = SimTime::ZERO + SimDuration::from_millis(1500);
+/// store.record("storm.op1.queue_size", t1, 42.0);
+/// // The sample lands in the bucket starting at 1s.
+/// assert_eq!(store.latest("storm.op1.queue_size"), Some((SimTime::ZERO + SimDuration::from_secs(1), 42.0)));
+/// ```
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    resolution: SimDuration,
+    series: HashMap<String, Series>,
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    /// (bucket start, last value written in the bucket)
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeriesStore {
+    /// Creates a store with the given bucket resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn new(resolution: SimDuration) -> Self {
+        assert!(!resolution.is_zero(), "store resolution must be > 0");
+        TimeSeriesStore {
+            resolution,
+            series: HashMap::new(),
+        }
+    }
+
+    /// The bucket resolution.
+    pub fn resolution(&self) -> SimDuration {
+        self.resolution
+    }
+
+    fn bucket(&self, t: SimTime) -> SimTime {
+        let r = self.resolution.as_nanos();
+        SimTime::from_nanos(t.as_nanos() / r * r)
+    }
+
+    /// Records a sample; within one bucket, the last write wins.
+    pub fn record(&mut self, key: &str, at: SimTime, value: f64) {
+        let bucket = self.bucket(at);
+        let series = self.series.entry(key.to_owned()).or_default();
+        match series.points.last_mut() {
+            Some((t, v)) if *t == bucket => *v = value,
+            Some((t, _)) if *t > bucket => {
+                // Out-of-order write: find and overwrite (rare).
+                if let Some(p) = series.points.iter_mut().find(|(pt, _)| *pt == bucket) {
+                    p.1 = value;
+                }
+            }
+            _ => series.points.push((bucket, value)),
+        }
+    }
+
+    /// The most recent sample for `key`, if any.
+    pub fn latest(&self, key: &str) -> Option<(SimTime, f64)> {
+        self.series.get(key)?.points.last().copied()
+    }
+
+    /// The most recent sample recorded at or before `t`.
+    pub fn latest_at(&self, key: &str, t: SimTime) -> Option<(SimTime, f64)> {
+        let points = &self.series.get(key)?.points;
+        let idx = points.partition_point(|(pt, _)| *pt <= t);
+        idx.checked_sub(1).map(|i| points[i])
+    }
+
+    /// All samples in `[from, to)` in time order.
+    pub fn range(&self, key: &str, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        match self.series.get(key) {
+            None => Vec::new(),
+            Some(s) => s
+                .points
+                .iter()
+                .filter(|(t, _)| *t >= from && *t < to)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Mean of samples in `[from, to)`, if any exist.
+    pub fn mean(&self, key: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        let pts = self.range(key, from, to);
+        if pts.is_empty() {
+            None
+        } else {
+            Some(pts.iter().map(|(_, v)| v).sum::<f64>() / pts.len() as f64)
+        }
+    }
+
+    /// Number of distinct series stored.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Drops samples older than `keep` before `now` (Graphite retention).
+    pub fn prune(&mut self, now: SimTime, keep: SimDuration) {
+        let cutoff = SimTime::from_nanos(now.as_nanos().saturating_sub(keep.as_nanos()));
+        for series in self.series.values_mut() {
+            series.points.retain(|(t, _)| *t >= cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn records_floor_to_resolution() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        store.record("a", secs(1) + SimDuration::from_millis(999), 5.0);
+        assert_eq!(store.latest("a"), Some((secs(1), 5.0)));
+    }
+
+    #[test]
+    fn last_write_wins_within_bucket() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        store.record("a", secs(1), 1.0);
+        store.record("a", secs(1) + SimDuration::from_millis(500), 2.0);
+        assert_eq!(store.latest("a"), Some((secs(1), 2.0)));
+    }
+
+    #[test]
+    fn latest_at_respects_cutoff() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        store.record("a", secs(1), 1.0);
+        store.record("a", secs(2), 2.0);
+        store.record("a", secs(3), 3.0);
+        assert_eq!(store.latest_at("a", secs(2)), Some((secs(2), 2.0)));
+        assert_eq!(
+            store.latest_at("a", secs(2) + SimDuration::from_millis(500)),
+            Some((secs(2), 2.0))
+        );
+        assert_eq!(store.latest_at("a", SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn range_and_mean() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        for s in 0..5 {
+            store.record("a", secs(s), s as f64);
+        }
+        assert_eq!(store.range("a", secs(1), secs(4)).len(), 3);
+        assert_eq!(store.mean("a", secs(1), secs(4)), Some(2.0));
+        assert_eq!(store.mean("missing", secs(0), secs(10)), None);
+    }
+
+    #[test]
+    fn prune_drops_old_samples() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        for s in 0..10 {
+            store.record("a", secs(s), s as f64);
+        }
+        store.prune(secs(10), SimDuration::from_secs(3));
+        assert_eq!(store.range("a", secs(0), secs(10)).len(), 3);
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        let store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        assert_eq!(store.latest("nope"), None);
+    }
+}

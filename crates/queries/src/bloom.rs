@@ -1,0 +1,132 @@
+//! A real Bloom filter, used by the ETL deduplication stage and the
+//! VoipStream detection cascade (the paper's VS query "makes intensive use
+//! of group-by distributions" and Bloom filters, §6.1).
+
+/// A fixed-size Bloom filter over `u64` items with `k` hash functions.
+///
+/// # Examples
+///
+/// ```
+/// use queries::BloomFilter;
+///
+/// let mut b = BloomFilter::new(1 << 12, 3);
+/// assert!(!b.contains(42));
+/// b.insert(42);
+/// assert!(b.contains(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    hashes: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits (rounded up to a power of two)
+    /// and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `hashes` is zero.
+    pub fn new(bits: usize, hashes: u32) -> Self {
+        assert!(bits > 0 && hashes > 0, "bloom filter needs bits and hashes");
+        let bits = bits.next_power_of_two().max(64);
+        BloomFilter {
+            bits: vec![0; bits / 64],
+            mask: bits as u64 - 1,
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    fn hash(item: u64, i: u32) -> u64 {
+        // Double hashing with two independent mixes (splitmix64 finalizers).
+        let mut h1 = item.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h1 = (h1 ^ (h1 >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h1 = (h1 ^ (h1 >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h1 ^= h1 >> 31;
+        let mut h2 = item.wrapping_mul(0xC2B2_AE3D_27D4_EB4F).wrapping_add(1);
+        h2 = (h2 ^ (h2 >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h2 ^= h2 >> 32;
+        h1.wrapping_add((i as u64).wrapping_mul(h2 | 1))
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: u64) {
+        for i in 0..self.hashes {
+            let bit = Self::hash(item, i) & self.mask;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether the item is (probably) present. False positives possible,
+    /// false negatives not.
+    pub fn contains(&self, item: u64) -> bool {
+        (0..self.hashes).all(|i| {
+            let bit = Self::hash(item, i) & self.mask;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Inserts and reports whether the item was (probably) already there.
+    pub fn check_and_insert(&mut self, item: u64) -> bool {
+        let present = self.contains(item);
+        self.insert(item);
+        present
+    }
+
+    /// Number of insert operations performed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilter::new(1 << 14, 4);
+        for i in 0..1000 {
+            b.insert(i * 31);
+        }
+        for i in 0..1000 {
+            assert!(b.contains(i * 31));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_when_sized_right() {
+        let mut b = BloomFilter::new(1 << 16, 4);
+        for i in 0..2000u64 {
+            b.insert(i);
+        }
+        let fp = (10_000..20_000u64).filter(|&i| b.contains(i)).count();
+        assert!(fp < 100, "false positives: {fp}/10000");
+    }
+
+    #[test]
+    fn check_and_insert_detects_duplicates() {
+        let mut b = BloomFilter::new(1 << 12, 3);
+        assert!(!b.check_and_insert(99));
+        assert!(b.check_and_insert(99));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = BloomFilter::new(1 << 10, 2);
+        b.insert(5);
+        b.clear();
+        assert!(!b.contains(5));
+        assert_eq!(b.inserted(), 0);
+    }
+}

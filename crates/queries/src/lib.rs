@@ -1,0 +1,33 @@
+//! # queries — the Lachesis evaluation workloads
+//!
+//! The five queries of the paper's evaluation (§6.1), built from scratch on
+//! the [`spe`] substrate with synthetic, seeded data generators standing in
+//! for the original traces:
+//!
+//! * [`etl`] — RIoTBench ETL, 10 operators (EdgeWise comparison, Figs. 5/6);
+//! * [`stats`] — RIoTBench STATS, 10 operators, ~15× selectivity and a
+//!   Kalman-filter bottleneck (Figs. 7/8);
+//! * [`lr`] — Linear Road, 9 operators, two toll branches (Figs. 9/11/17);
+//! * [`vs`] — VoipStream, 15 operators with Bloom-filter modules
+//!   (Figs. 10/12);
+//! * [`syn`] — 20 synthetic 5-operator pipelines with random cost and
+//!   selectivity (Haren comparison, Figs. 14–16).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bloom;
+mod data;
+mod etl;
+mod lr;
+mod stats_q;
+mod syn;
+mod vs;
+
+pub use bloom::BloomFilter;
+pub use data::{CdrGenerator, LinearRoadGenerator, SensorGenerator};
+pub use etl::{etl, ETL_OPS};
+pub use lr::{lr, lr_with_parallelism, LR_OPS};
+pub use stats_q::{stats, STATS_OPS};
+pub use syn::{downstream_indices, syn, syn_single, SynConfig};
+pub use vs::{vs, VS_OPS};

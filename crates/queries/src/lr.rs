@@ -1,0 +1,287 @@
+//! The **Linear Road (LR)** query (9 operators): the established streaming
+//! benchmark simulating a variable-tolling system for motor-vehicle
+//! expressways (paper §6.1, Figs. 1/2/9/11/17).
+//!
+//! The DAG follows the paper's Fig. 2: after parsing/dispatch, branch 1
+//! computes variable tolls from congestion statistics (average speed and
+//! number of vehicles per segment) plus accident alerts; branch 2 computes
+//! a fixed toll per report.
+
+use std::collections::HashMap;
+
+use spe::{
+    Consume, CostModel, Emitter, LogicalGraph, OperatorLogic, Partitioning, Role, Tuple, Value,
+};
+
+use crate::data::LinearRoadGenerator;
+
+/// Operator names, in topological order.
+pub const LR_OPS: [&str; 9] = [
+    "source",
+    "dispatcher",
+    "seg_stats",
+    "congestion",
+    "var_toll",
+    "acc_detect",
+    "toll_sink",
+    "fixed_toll",
+    "fixed_sink",
+];
+
+/// Routes position reports to both branches; drops non-position records.
+#[derive(Debug, Default)]
+struct Dispatcher;
+
+impl OperatorLogic for Dispatcher {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        if input.values[6].as_i64() != 0 {
+            return; // account-balance queries leave the toll pipeline
+        }
+        // Branch 1 (variable toll) on port 0, branch 2 (fixed toll) on 1,
+        // accident detection on port 2.
+        let seg_key =
+            (input.values[2].as_i64() as u64) << 32 | input.values[4].as_i64() as u64;
+        out.emit_to(0, input.derive(seg_key, input.values.clone()));
+        out.emit_to(1, input.derive(input.key, input.values.clone()));
+        out.emit_to(2, input.derive(input.key, input.values.clone()));
+    }
+}
+
+/// Per-segment rolling statistics: average speed and vehicle count.
+#[derive(Debug, Default)]
+struct SegStats {
+    state: HashMap<u64, (f64, u64)>,
+}
+
+impl OperatorLogic for SegStats {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let speed = input.values[1].as_f64();
+        let e = self.state.entry(input.key).or_insert((0.0, 0));
+        // Exponential moving average keeps state bounded.
+        e.0 = if e.1 == 0 { speed } else { 0.95 * e.0 + 0.05 * speed };
+        e.1 += 1;
+        out.emit(input.derive(
+            input.key,
+            vec![Value::F(e.0), Value::I(e.1.min(1_000) as i64)],
+        ));
+    }
+}
+
+/// Flags congested segments (low average speed).
+#[derive(Debug, Default)]
+struct Congestion;
+
+impl OperatorLogic for Congestion {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let avg_speed = input.values[0].as_f64();
+        let nov = input.values[1].as_i64();
+        let congested = avg_speed < 40.0 && nov > 5;
+        out.emit(input.derive(
+            input.key,
+            vec![
+                Value::F(avg_speed),
+                Value::I(nov),
+                Value::I(congested as i64),
+            ],
+        ));
+    }
+}
+
+/// LRB toll formula: `2 * (nov - 50)^2` pence when congested, else base.
+#[derive(Debug, Default)]
+struct VarToll;
+
+impl OperatorLogic for VarToll {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let congested = input.values[2].as_i64() != 0;
+        let nov = input.values[1].as_i64() as f64;
+        let toll = if congested {
+            2.0 * (nov - 50.0).max(0.0).powi(2)
+        } else {
+            1.0
+        };
+        out.emit(input.derive(input.key, vec![Value::F(toll)]));
+    }
+}
+
+/// Detects stopped vehicles (accident precursors); low selectivity.
+#[derive(Debug, Default)]
+struct AccidentDetect {
+    stopped: HashMap<u64, u32>,
+}
+
+impl OperatorLogic for AccidentDetect {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let vid = input.values[0].as_i64() as u64;
+        if input.values[1].as_f64() < 1.0 {
+            let n = self.stopped.entry(vid).or_insert(0);
+            *n += 1;
+            if *n >= 2 {
+                out.emit(input.derive(vid, vec![Value::I(1)]));
+            }
+        } else {
+            self.stopped.remove(&vid);
+        }
+    }
+}
+
+/// Builds the LR logical graph with the given ingress rate and operator
+/// parallelism (scale-out experiments raise parallelism to 2 and 4, §6.5).
+pub fn lr_with_parallelism(rate_tps: f64, seed: u64, parallelism: usize) -> LogicalGraph {
+    let p = parallelism.max(1);
+    let mut b = LogicalGraph::builder("lr");
+    let source = b.op("source", Role::Ingress, CostModel::micros(30), p, || {
+        Box::new(spe::PassThrough)
+    });
+    let dispatcher = b.op(
+        "dispatcher",
+        Role::Transform,
+        CostModel::micros(100),
+        p,
+        || Box::new(Dispatcher),
+    );
+    let seg_stats = b.op("seg_stats", Role::Transform, CostModel::micros(140), p, || {
+        Box::new(SegStats::default())
+    });
+    let congestion = b.op(
+        "congestion",
+        Role::Transform,
+        CostModel::micros(90),
+        p,
+        || Box::new(Congestion),
+    );
+    let var_toll = b.op("var_toll", Role::Transform, CostModel::micros(70), p, || {
+        Box::new(VarToll)
+    });
+    let acc_detect = b.op(
+        "acc_detect",
+        Role::Transform,
+        CostModel::micros(60),
+        p,
+        || Box::new(AccidentDetect::default()),
+    );
+    let toll_sink = b.op("toll_sink", Role::Egress, CostModel::micros(40), p, || {
+        Box::new(Consume)
+    });
+    let fixed_toll = b.op(
+        "fixed_toll",
+        Role::Transform,
+        CostModel::micros(60),
+        p,
+        || {
+            Box::new(spe::Map(|t: &Tuple| {
+                t.derive(t.key, vec![Value::F(1.0)])
+            }))
+        },
+    );
+    let fixed_sink = b.op("fixed_sink", Role::Egress, CostModel::micros(30), p, || {
+        Box::new(Consume)
+    });
+
+    b.edge(source, dispatcher, Partitioning::Shuffle);
+    b.edge_on_port(dispatcher, 0, seg_stats, Partitioning::KeyHash);
+    b.edge(seg_stats, congestion, Partitioning::Forward);
+    b.edge(congestion, var_toll, Partitioning::Forward);
+    b.edge(var_toll, toll_sink, Partitioning::Shuffle);
+    b.edge_on_port(dispatcher, 2, acc_detect, Partitioning::KeyHash);
+    b.edge(acc_detect, toll_sink, Partitioning::Shuffle);
+    b.edge_on_port(dispatcher, 1, fixed_toll, Partitioning::Shuffle);
+    b.edge(fixed_toll, fixed_sink, Partitioning::Forward);
+
+    let mut generator = LinearRoadGenerator::new(seed, 5_000, 2);
+    b.source("lr_feed", source, rate_tps, move |seq, now| {
+        generator.generate(seq, now)
+    });
+    b.build().expect("LR graph is valid")
+}
+
+/// Builds the single-node LR query (parallelism 1).
+pub fn lr(rate_tps: f64, seed: u64) -> LogicalGraph {
+    lr_with_parallelism(rate_tps, seed, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{Kernel, SimDuration};
+    use spe::{deploy, EngineConfig, Placement};
+
+    #[test]
+    fn graph_shape_matches_paper() {
+        let g = lr(100.0, 1);
+        assert_eq!(g.ops.len(), 9, "LR has 9 operators");
+        for (i, name) in LR_OPS.iter().enumerate() {
+            assert_eq!(g.ops[i].name, *name);
+        }
+    }
+
+    #[test]
+    fn both_branches_deliver_tolls() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let q = deploy(
+            &mut kernel,
+            lr(1000.0, 11),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(10));
+        let sinks = q.sinks();
+        assert_eq!(sinks.len(), 2);
+        for (l, s) in sinks {
+            assert!(
+                s.borrow().count() > 5_000,
+                "sink {l} got {}",
+                s.borrow().count()
+            );
+        }
+        // Two branches: roughly 2 egress tuples per position report.
+        let ratio = q.egress_total() as f64 / q.ingress_total() as f64;
+        assert!((1.8..=2.1).contains(&ratio), "selectivity {ratio}");
+    }
+
+    #[test]
+    fn parallel_deployment_replicates_ops() {
+        let g = lr_with_parallelism(100.0, 1, 4);
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let q = deploy(
+            &mut kernel,
+            g,
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        assert_eq!(q.op_count(), 36, "9 logical ops x 4 replicas");
+    }
+
+    #[test]
+    fn congestion_flags_slow_busy_segments() {
+        let mut c = Congestion;
+        let mut e = Emitter::new(simos::SimTime::ZERO);
+        let t = Tuple::new(
+            simos::SimTime::ZERO,
+            1,
+            vec![Value::F(25.0), Value::I(30)],
+        );
+        c.process(&t, &mut e);
+        assert_eq!(e.into_outputs()[0].1.values[2].as_i64(), 1);
+    }
+
+    #[test]
+    fn var_toll_grows_with_congestion() {
+        let mut v = VarToll;
+        let mut e = Emitter::new(simos::SimTime::ZERO);
+        let congested = Tuple::new(
+            simos::SimTime::ZERO,
+            1,
+            vec![Value::F(20.0), Value::I(60), Value::I(1)],
+        );
+        v.process(&congested, &mut e);
+        let toll = e.into_outputs()[0].1.values[0].as_f64();
+        assert_eq!(toll, 200.0, "2*(60-50)^2");
+    }
+}

@@ -1,0 +1,325 @@
+//! The RIoTBench **STATS** query (10 operators): parses sensor streams
+//! into individual observations and runs three statistical analytics in
+//! parallel branches (paper §6.1/§6.2).
+//!
+//! Key properties reproduced from the paper: selectivity ≈ 15 egress
+//! tuples per ingress tuple (the parser fans one record out into five
+//! observations, three branches each) and a single expensive bottleneck —
+//! the Kalman filter — that pins one core and causes the queue-size
+//! outlier of Fig. 8.
+
+use std::collections::HashMap;
+
+use spe::{
+    Consume, CostModel, Emitter, LogicalGraph, OperatorLogic, Partitioning, Role, Tuple, Value,
+};
+
+use crate::bloom::BloomFilter;
+use crate::data::SensorGenerator;
+
+/// Operator names, in topological order.
+pub const STATS_OPS: [&str; 10] = [
+    "source",
+    "senml_parse",
+    "bloom_filter",
+    "average",
+    "kalman_filter",
+    "sliding_linreg",
+    "distinct_count",
+    "group_viz",
+    "multiplexer",
+    "sink",
+];
+
+/// Explodes one sensor record into five per-field observations:
+/// `(sensor, field_idx, value)`.
+#[derive(Debug, Default)]
+struct ObservationParse;
+
+impl OperatorLogic for ObservationParse {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let base = [
+            input.values[1].as_f64(),
+            input.values[2].as_f64(),
+            input.values[3].as_f64(),
+        ];
+        // Five observations: temp, humidity, light, plus two synthetic
+        // derived channels (RIoTBench parses five SenML fields).
+        let obs = [
+            base[0],
+            base[1],
+            base[2],
+            base[0] * 1.8 + 32.0,
+            base[1] / 100.0,
+        ];
+        for (i, v) in obs.into_iter().enumerate() {
+            out.emit(input.derive(
+                input.key * 8 + i as u64,
+                vec![Value::I(i as i64), Value::F(v)],
+            ));
+        }
+    }
+}
+
+/// Running per-key average.
+#[derive(Debug, Default)]
+struct Average {
+    state: HashMap<u64, (f64, u64)>,
+}
+
+impl OperatorLogic for Average {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let v = input.values[1].as_f64();
+        let v = if v.is_nan() { 0.0 } else { v };
+        let e = self.state.entry(input.key).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+        out.emit(input.derive(input.key, vec![Value::F(e.0 / e.1 as f64)]));
+    }
+}
+
+/// A 1-D Kalman filter per key — the deliberately expensive analytic.
+#[derive(Debug, Default)]
+struct Kalman {
+    state: HashMap<u64, (f64, f64)>, // (estimate, error covariance)
+}
+
+impl OperatorLogic for Kalman {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let z = input.values[1].as_f64();
+        let z = if z.is_nan() { 0.0 } else { z };
+        let (x, p) = self.state.entry(input.key).or_insert((z, 1.0));
+        let q = 1e-4;
+        let r = 0.5;
+        let p_pred = *p + q;
+        let k = p_pred / (p_pred + r);
+        *x += k * (z - *x);
+        *p = (1.0 - k) * p_pred;
+        out.emit(input.derive(input.key, vec![Value::F(*x)]));
+    }
+}
+
+/// Sliding-window linear regression over the last `N` Kalman estimates.
+#[derive(Debug, Default)]
+struct SlidingLinReg {
+    windows: HashMap<u64, Vec<f64>>,
+}
+
+impl OperatorLogic for SlidingLinReg {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let w = self.windows.entry(input.key).or_default();
+        w.push(input.values[0].as_f64());
+        if w.len() > 16 {
+            w.remove(0);
+        }
+        let n = w.len() as f64;
+        let sx = (0..w.len()).map(|i| i as f64).sum::<f64>();
+        let sy: f64 = w.iter().sum();
+        let sxy: f64 = w.iter().enumerate().map(|(i, y)| i as f64 * y).sum();
+        let sxx: f64 = (0..w.len()).map(|i| (i * i) as f64).sum();
+        let denom = n * sxx - sx * sx;
+        let slope = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (n * sxy - sx * sy) / denom
+        };
+        out.emit(input.derive(input.key, vec![Value::F(slope)]));
+    }
+}
+
+/// Approximate distinct counting with a Bloom filter.
+#[derive(Debug)]
+struct DistinctCount {
+    filter: BloomFilter,
+    count: u64,
+}
+
+impl DistinctCount {
+    fn new() -> Self {
+        DistinctCount {
+            filter: BloomFilter::new(1 << 14, 3),
+            count: 0,
+        }
+    }
+}
+
+impl OperatorLogic for DistinctCount {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let v = input.values[1].as_f64();
+        let quantized = if v.is_nan() { u64::MAX } else { (v * 100.0) as u64 };
+        if !self.filter.check_and_insert(input.key << 24 | (quantized & 0xFFFFFF)) {
+            self.count += 1;
+        }
+        out.emit(input.derive(input.key, vec![Value::I(self.count as i64)]));
+    }
+}
+
+/// Builds the STATS logical graph with the given ingress rate.
+pub fn stats(rate_tps: f64, seed: u64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder("stats");
+    let source = b.op("source", Role::Ingress, CostModel::micros(40), 1, || {
+        Box::new(spe::PassThrough)
+    });
+    let parse = b.op(
+        "senml_parse",
+        Role::Transform,
+        CostModel::PerOutput {
+            base: simos::SimDuration::from_micros(150),
+            per_output: simos::SimDuration::from_micros(40),
+        },
+        1,
+        || Box::new(ObservationParse),
+    );
+    let bloom = b.op(
+        "bloom_filter",
+        Role::Transform,
+        CostModel::micros(70),
+        1,
+        || {
+            // RIoTBench pre-filters invalid observations.
+            Box::new(spe::Filter(|t: &Tuple| !t.values[1].as_f64().is_nan()))
+        },
+    );
+    let average = b.op("average", Role::Transform, CostModel::micros(90), 1, || {
+        Box::new(Average::default())
+    });
+    let kalman = b.op(
+        "kalman_filter",
+        Role::Transform,
+        CostModel::micros(550),
+        1,
+        || Box::new(Kalman::default()),
+    );
+    let linreg = b.op(
+        "sliding_linreg",
+        Role::Transform,
+        CostModel::micros(120),
+        1,
+        || Box::new(SlidingLinReg::default()),
+    );
+    let distinct = b.op(
+        "distinct_count",
+        Role::Transform,
+        CostModel::micros(100),
+        1,
+        || Box::new(DistinctCount::new()),
+    );
+    let viz = b.op("group_viz", Role::Transform, CostModel::micros(60), 1, || {
+        Box::new(spe::PassThrough)
+    });
+    let mux = b.op(
+        "multiplexer",
+        Role::Transform,
+        CostModel::micros(25),
+        1,
+        || Box::new(spe::PassThrough),
+    );
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+
+    b.edge(source, parse, Partitioning::Forward);
+    b.edge(parse, bloom, Partitioning::Forward);
+    // Three analytic branches.
+    b.edge(bloom, average, Partitioning::KeyHash);
+    b.edge(bloom, kalman, Partitioning::KeyHash);
+    b.edge(bloom, distinct, Partitioning::KeyHash);
+    b.edge(kalman, linreg, Partitioning::Forward);
+    // Merge into the visualization group.
+    b.edge(average, viz, Partitioning::Forward);
+    b.edge(linreg, viz, Partitioning::Forward);
+    b.edge(distinct, viz, Partitioning::Forward);
+    b.edge(viz, mux, Partitioning::Forward);
+    b.edge(mux, sink, Partitioning::Forward);
+
+    let mut generator = SensorGenerator::new(seed, 500);
+    b.source("sensors", source, rate_tps, move |seq, now| {
+        generator.generate(seq, now)
+    });
+    b.build().expect("STATS graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{Kernel, SimDuration};
+    use spe::{deploy, EngineConfig, Placement};
+
+    #[test]
+    fn graph_shape_matches_paper() {
+        let g = stats(100.0, 1);
+        assert_eq!(g.ops.len(), 10, "STATS has 10 operators");
+        for (i, name) in STATS_OPS.iter().enumerate() {
+            assert_eq!(g.ops[i].name, *name);
+        }
+    }
+
+    #[test]
+    fn selectivity_is_about_fifteen() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let q = deploy(
+            &mut kernel,
+            stats(100.0, 3),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(10));
+        let ratio = q.egress_total() as f64 / q.ingress_total() as f64;
+        assert!(
+            (13.0..=15.5).contains(&ratio),
+            "egress/ingress = {ratio} (want ~15)"
+        );
+    }
+
+    #[test]
+    fn kalman_is_the_bottleneck_under_load() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let q = deploy(
+            &mut kernel,
+            stats(420.0, 3),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(10));
+        let sizes = q.queue_sizes();
+        let kalman_idx = 4;
+        let max_idx = (0..sizes.len()).max_by_key(|&i| sizes[i]).unwrap();
+        assert_eq!(
+            max_idx, kalman_idx,
+            "kalman should dominate queues: {sizes:?}"
+        );
+        assert!(sizes[kalman_idx] > 1_000, "outlier queue: {sizes:?}");
+    }
+
+    #[test]
+    fn kalman_converges_toward_signal() {
+        let mut k = Kalman::default();
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let mut e = Emitter::new(simos::SimTime::ZERO);
+            let t = Tuple::new(simos::SimTime::ZERO, 1, vec![Value::I(0), Value::F(25.0)]);
+            k.process(&t, &mut e);
+            last = e.into_outputs()[0].1.values[0].as_f64();
+        }
+        assert!((last - 25.0).abs() < 0.5, "estimate {last}");
+    }
+
+    #[test]
+    fn linreg_detects_trend() {
+        let mut lr = SlidingLinReg::default();
+        let mut last = 0.0;
+        for i in 0..20 {
+            let mut e = Emitter::new(simos::SimTime::ZERO);
+            let t = Tuple::new(simos::SimTime::ZERO, 1, vec![Value::F(i as f64 * 2.0)]);
+            lr.process(&t, &mut e);
+            last = e.into_outputs()[0].1.values[0].as_f64();
+        }
+        assert!((last - 2.0).abs() < 1e-6, "slope {last}");
+    }
+}

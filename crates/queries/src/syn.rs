@@ -1,0 +1,213 @@
+//! The **SYN** workload: a set of synthetic queries, each a pipeline of 5
+//! operators with uniformly random cost and selectivity, exactly as in the
+//! Haren evaluation the paper reuses (§6.1, Figs. 14–16).
+//!
+//! All pipelines live in one [`LogicalGraph`] so a single engine instance
+//! (and a single user-level scheduler) executes all of them — the paper's
+//! multi-query Liebre deployment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simos::SimDuration;
+use spe::{
+    Consume, CostModel, Emitter, LogicalGraph, OperatorLogic, Partitioning, Role, Tuple,
+};
+
+/// Configuration of the SYN workload generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SynConfig {
+    /// Number of pipelines (the paper uses 20).
+    pub queries: usize,
+    /// Operators per pipeline including ingress and egress (paper: 5).
+    pub ops_per_query: usize,
+    /// Uniform range of mid-operator costs, microseconds.
+    pub cost_range_us: (u64, u64),
+    /// Uniform range of mid-operator selectivities.
+    pub selectivity_range: (f64, f64),
+    /// Seed for the random costs/selectivities and tuple generators.
+    pub seed: u64,
+}
+
+impl Default for SynConfig {
+    fn default() -> Self {
+        SynConfig {
+            queries: 20,
+            ops_per_query: 5,
+            cost_range_us: (200, 1000),
+            selectivity_range: (0.5, 1.5),
+            seed: 42,
+        }
+    }
+}
+
+/// A stateless operator with fractional selectivity: emits
+/// `floor(s)` copies always plus one more with probability `frac(s)`.
+#[derive(Debug)]
+struct SyntheticOp {
+    selectivity: f64,
+    rng: SmallRng,
+}
+
+impl SyntheticOp {
+    fn new(selectivity: f64, seed: u64) -> Self {
+        SyntheticOp {
+            selectivity: selectivity.max(0.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OperatorLogic for SyntheticOp {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let whole = self.selectivity.floor() as usize;
+        let frac = self.selectivity - whole as f64;
+        let n = whole + usize::from(self.rng.gen_bool(frac.clamp(0.0, 1.0)));
+        for _ in 0..n {
+            out.emit(input.clone());
+        }
+    }
+}
+
+/// Builds the SYN workload: `cfg.queries` pipelines sharing `total_rate`
+/// tuples/s evenly across their sources.
+pub fn syn(total_rate: f64, cfg: SynConfig) -> LogicalGraph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let per_query_rate = total_rate / cfg.queries.max(1) as f64;
+    let mut b = LogicalGraph::builder("syn");
+    for q in 0..cfg.queries {
+        let mut prev = None;
+        for o in 0..cfg.ops_per_query {
+            let first = o == 0;
+            let last = o == cfg.ops_per_query - 1;
+            let role = if first {
+                Role::Ingress
+            } else if last {
+                Role::Egress
+            } else {
+                Role::Transform
+            };
+            let cost = if first || last {
+                CostModel::Fixed(SimDuration::from_micros(30))
+            } else {
+                CostModel::Fixed(SimDuration::from_micros(
+                    rng.gen_range(cfg.cost_range_us.0..=cfg.cost_range_us.1),
+                ))
+            };
+            let name = format!("q{q}_op{o}");
+            let id = if last {
+                b.op(&name, role, cost, 1, || Box::new(Consume))
+            } else if first {
+                b.op(&name, role, cost, 1, || Box::new(spe::PassThrough))
+            } else {
+                let sel = rng.gen_range(cfg.selectivity_range.0..=cfg.selectivity_range.1);
+                let op_seed = cfg.seed ^ ((q as u64) << 16 | o as u64);
+                b.op(&name, role, cost, 1, move || {
+                    Box::new(SyntheticOp::new(sel, op_seed))
+                })
+            };
+            if let Some(prev) = prev {
+                b.edge(prev, id, Partitioning::Forward);
+            }
+            if first {
+                let mut k = 0u64;
+                b.source(&format!("syn_src{q}"), id, per_query_rate, move |seq, now| {
+                    k += 1;
+                    Tuple::new(now, seq.wrapping_mul(31).wrapping_add(k), vec![])
+                });
+            }
+            prev = Some(id);
+        }
+    }
+    b.build().expect("SYN graph is valid")
+}
+
+/// Builds one SYN pipeline as its own query named `syn{index}`, drawing
+/// the same kind of random costs/selectivities as the combined graph.
+/// Multi-SPE experiments (§6.6) deploy pipelines as separate queries so
+/// each gets its own cgroup entitlement.
+pub fn syn_single(index: usize, rate: f64, cfg: SynConfig) -> LogicalGraph {
+    let single = SynConfig {
+        queries: 1,
+        seed: cfg.seed ^ ((index as u64 + 1) << 24),
+        ..cfg
+    };
+    let mut g = syn(rate, single);
+    g.name = format!("syn{index}");
+    g
+}
+
+/// Downstream logical-operator indices per operator — the topology handed
+/// to Haren (which, being engine-coupled, knows its query graph). Valid as
+/// pool indices because SYN deploys with parallelism 1 and no chaining.
+pub fn downstream_indices(graph: &LogicalGraph) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); graph.ops.len()];
+    for e in &graph.edges {
+        out[e.from].push(e.to);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{Kernel, SimDuration};
+    use spe::{deploy, EngineConfig, Placement};
+
+    #[test]
+    fn builds_the_paper_shape() {
+        let g = syn(1000.0, SynConfig::default());
+        assert_eq!(g.ops.len(), 100, "20 pipelines x 5 ops");
+        assert_eq!(g.sources.len(), 20);
+        assert_eq!(g.edges.len(), 80);
+        let ds = downstream_indices(&g);
+        assert_eq!(ds[0], vec![1]);
+        assert!(ds[4].is_empty(), "sinks have no downstream");
+    }
+
+    #[test]
+    fn costs_and_selectivities_are_deterministic() {
+        let a = syn(1000.0, SynConfig::default());
+        let b = syn(1000.0, SynConfig::default());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.cost, y.cost);
+        }
+    }
+
+    #[test]
+    fn pipelines_flow_end_to_end() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let cfg = SynConfig {
+            queries: 4,
+            ..SynConfig::default()
+        };
+        let q = deploy(
+            &mut kernel,
+            syn(400.0, cfg),
+            EngineConfig::liebre(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(10));
+        assert_eq!(q.sinks().len(), 4);
+        assert!(q.ingress_total() > 3_800, "{}", q.ingress_total());
+        for (_, s) in q.sinks() {
+            assert!(s.borrow().count() > 100, "every pipeline delivers");
+        }
+    }
+
+    #[test]
+    fn synthetic_selectivity_matches_expectation() {
+        let mut op = SyntheticOp::new(1.5, 7);
+        let mut total = 0;
+        let t = Tuple::new(simos::SimTime::ZERO, 0, vec![]);
+        for _ in 0..2000 {
+            let mut e = Emitter::new(simos::SimTime::ZERO);
+            op.process(&t, &mut e);
+            total += e.emitted();
+        }
+        let avg = total as f64 / 2000.0;
+        assert!((avg - 1.5).abs() < 0.08, "selectivity {avg}");
+    }
+}

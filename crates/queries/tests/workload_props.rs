@@ -1,0 +1,114 @@
+//! Property tests of the workload builders: every seed yields a valid
+//! graph with the paper's structure, and the generators stay in range.
+
+use proptest::prelude::*;
+use simos::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All five workload builders validate for any seed and rate.
+    #[test]
+    fn builders_always_validate(seed in 0u64..1_000, rate in 1.0f64..10_000.0) {
+        prop_assert_eq!(queries::etl(rate, seed).ops.len(), 10);
+        prop_assert_eq!(queries::stats(rate, seed).ops.len(), 10);
+        prop_assert_eq!(queries::lr(rate, seed).ops.len(), 9);
+        prop_assert_eq!(queries::vs(rate, seed).ops.len(), 15);
+        let syn = queries::syn(rate, queries::SynConfig { seed, ..Default::default() });
+        prop_assert_eq!(syn.ops.len(), 100);
+    }
+
+    /// LR parallel deployments replicate every operator.
+    #[test]
+    fn lr_parallelism_scales_ops(p in 1usize..6) {
+        let g = queries::lr_with_parallelism(100.0, 1, p);
+        for op in &g.ops {
+            prop_assert_eq!(op.parallelism, p);
+        }
+    }
+
+    /// Sensor readings stay within the generator's documented envelope.
+    #[test]
+    fn sensor_values_in_range(seed in 0u64..500) {
+        let mut g = queries::SensorGenerator::new(seed, 100);
+        for i in 0..200 {
+            let t = g.generate(i, SimTime::ZERO);
+            let humidity = t.values[2].as_f64();
+            let light = t.values[3].as_f64();
+            prop_assert!((20.0..95.0).contains(&humidity));
+            prop_assert!((0.0..1000.0).contains(&light));
+            let temp = t.values[1].as_f64();
+            prop_assert!(temp.is_nan() || (10.0..1000.0).contains(&temp));
+        }
+    }
+
+    /// LR reports reference valid lanes/segments/directions.
+    #[test]
+    fn lr_reports_in_range(seed in 0u64..500) {
+        let mut g = queries::LinearRoadGenerator::new(seed, 100, 3);
+        for i in 0..200 {
+            let t = g.generate(i, SimTime::ZERO);
+            prop_assert!((0..3).contains(&t.values[2].as_i64()), "xway");
+            prop_assert!((0..5).contains(&t.values[3].as_i64()), "lane");
+            prop_assert!((0..100).contains(&t.values[4].as_i64()), "segment");
+            prop_assert!((0..2).contains(&t.values[5].as_i64()), "direction");
+            prop_assert!((0.0..=100.0).contains(&t.values[1].as_f64()), "speed");
+        }
+    }
+
+    /// CDRs reference subscribers inside the population.
+    #[test]
+    fn cdrs_in_population(seed in 0u64..500) {
+        let mut g = queries::CdrGenerator::new(seed, 500, 10);
+        for i in 0..200 {
+            let t = g.generate(i, SimTime::ZERO);
+            prop_assert!((0..500).contains(&t.values[0].as_i64()), "caller");
+            prop_assert!((0..500).contains(&t.values[1].as_i64()), "callee");
+            prop_assert!(t.values[2].as_f64() > 0.0, "duration");
+        }
+    }
+
+    /// SYN costs honour the configured range and pipelines are uniform.
+    #[test]
+    fn syn_costs_in_configured_range(
+        seed in 0u64..200,
+        lo in 50u64..300,
+        span in 1u64..700,
+    ) {
+        let cfg = queries::SynConfig {
+            cost_range_us: (lo, lo + span),
+            seed,
+            ..Default::default()
+        };
+        let g = queries::syn(1_000.0, cfg);
+        for (i, op) in g.ops.iter().enumerate() {
+            let stage = i % cfg.ops_per_query;
+            let spe::CostModel::Fixed(c) = op.cost else {
+                return Err(TestCaseError::fail("SYN uses fixed costs"));
+            };
+            let us = c.as_nanos() / 1_000;
+            if stage == 0 || stage == cfg.ops_per_query - 1 {
+                prop_assert_eq!(us, 30, "source/sink cost");
+            } else {
+                prop_assert!((lo..=lo + span).contains(&us), "mid cost {us}");
+            }
+        }
+    }
+}
+
+/// `syn_single` pipelines are disjointly named and structurally identical
+/// to one combined-pipeline slice.
+#[test]
+fn syn_single_pipelines_are_named_queries() {
+    let cfg = queries::SynConfig::default();
+    let a = queries::syn_single(0, 100.0, cfg);
+    let b = queries::syn_single(1, 100.0, cfg);
+    assert_eq!(a.name, "syn0");
+    assert_eq!(b.name, "syn1");
+    assert_eq!(a.ops.len(), cfg.ops_per_query);
+    // Different indices draw different random costs.
+    let costs = |g: &spe::LogicalGraph| -> Vec<spe::CostModel> {
+        g.ops.iter().map(|o| o.cost).collect()
+    };
+    assert_ne!(costs(&a), costs(&b));
+}

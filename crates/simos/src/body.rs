@@ -1,0 +1,211 @@
+//! Thread bodies: the code a simulated thread "runs".
+//!
+//! A simulated thread does not execute real instructions; instead its
+//! [`ThreadBody`] is asked, every time the previous action finishes, what the
+//! thread does next. Side effects (queue pushes, wake-ups) happen inside
+//! [`ThreadBody::next_action`], at the simulated instant the previous action
+//! completed, via the [`SimCtx`] handle.
+
+use crate::ids::WaitId;
+use crate::kernel::Kernel;
+use crate::time::{SimDuration, SimTime};
+
+/// What a thread wants to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Consume `cost` nanoseconds of CPU time (may be preempted and resumed).
+    Compute(SimDuration),
+    /// Block until some other thread (or callback) wakes the given channel.
+    Block(WaitId),
+    /// Sleep for a fixed span (timed block, e.g. simulated blocking I/O).
+    Sleep(SimDuration),
+    /// Give up the CPU but stay runnable.
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// Handle passed to a [`ThreadBody`] while it decides its next action.
+///
+/// Wake requests are buffered and applied by the kernel immediately after the
+/// body returns, at the same simulated instant. Deferred closures run after
+/// the given delay with full kernel access — bodies use them to model
+/// network transfers between nodes.
+pub struct SimCtx {
+    now: SimTime,
+    wakes: Vec<WaitId>,
+    deferred: Vec<Deferred>,
+}
+
+/// A deferred kernel effect: run the closure after the delay.
+type Deferred = (SimDuration, Box<dyn FnOnce(&mut Kernel)>);
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx")
+            .field("now", &self.now)
+            .field("wakes", &self.wakes)
+            .field("deferred", &self.deferred.len())
+            .finish()
+    }
+}
+
+impl SimCtx {
+    pub(crate) fn new(now: SimTime) -> Self {
+        SimCtx {
+            now,
+            wakes: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Creates a detached context for driving bodies outside a kernel.
+    ///
+    /// Intended for unit tests of body implementations; buffered wakes and
+    /// deferred closures are dropped when the context is.
+    pub fn detached(now: SimTime) -> Self {
+        SimCtx::new(now)
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Wakes every thread blocked on `channel` (at the current instant).
+    pub fn wake(&mut self, channel: WaitId) {
+        self.wakes.push(channel);
+    }
+
+    /// Runs `f` with kernel access after `delay` (e.g. a network transfer).
+    pub fn defer(&mut self, delay: SimDuration, f: impl FnOnce(&mut Kernel) + 'static) {
+        self.deferred.push((delay, Box::new(f)));
+    }
+
+    pub(crate) fn into_effects(self) -> (Vec<WaitId>, Vec<Deferred>) {
+        (self.wakes, self.deferred)
+    }
+}
+
+/// The behaviour of a simulated thread.
+///
+/// The kernel calls [`next_action`](ThreadBody::next_action) whenever the
+/// thread's previous action has fully completed: after a
+/// [`Action::Compute`] finishes, after a [`Action::Block`] is woken, after a
+/// [`Action::Sleep`] expires, immediately after spawn, and after a
+/// [`Action::Yield`] gets the CPU back. Bodies are state machines: perform
+/// the side effects of the work that just finished (pop/push queues, wake
+/// consumers), then return the next action.
+///
+/// # Examples
+///
+/// ```
+/// use simos::{Action, SimCtx, SimDuration, ThreadBody};
+///
+/// /// Burns 1ms of CPU forever.
+/// struct Spin;
+/// impl ThreadBody for Spin {
+///     fn next_action(&mut self, _ctx: &mut SimCtx) -> Action {
+///         Action::Compute(SimDuration::from_millis(1))
+///     }
+/// }
+/// ```
+pub trait ThreadBody {
+    /// Called when the previous action completed; returns the next one.
+    fn next_action(&mut self, ctx: &mut SimCtx) -> Action;
+}
+
+impl<F> ThreadBody for F
+where
+    F: FnMut(&mut SimCtx) -> Action,
+{
+    fn next_action(&mut self, ctx: &mut SimCtx) -> Action {
+        self(ctx)
+    }
+}
+
+/// A body that computes a fixed cost a given number of times, then exits.
+///
+/// Useful as a deterministic CPU-bound workload in tests and benchmarks.
+#[derive(Debug, Clone)]
+pub struct FixedWork {
+    cost: SimDuration,
+    remaining: u64,
+}
+
+impl FixedWork {
+    /// A body performing `iterations` compute bursts of `cost` each.
+    pub fn new(cost: SimDuration, iterations: u64) -> Self {
+        FixedWork {
+            cost,
+            remaining: iterations,
+        }
+    }
+
+    /// A body that computes `cost` bursts forever.
+    pub fn endless(cost: SimDuration) -> Self {
+        FixedWork {
+            cost,
+            remaining: u64::MAX,
+        }
+    }
+}
+
+impl ThreadBody for FixedWork {
+    fn next_action(&mut self, _ctx: &mut SimCtx) -> Action {
+        if self.remaining == 0 {
+            Action::Exit
+        } else {
+            if self.remaining != u64::MAX {
+                self.remaining -= 1;
+            }
+            Action::Compute(self.cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_work_counts_down_then_exits() {
+        let mut body = FixedWork::new(SimDuration::from_micros(10), 2);
+        let mut ctx = SimCtx::new(SimTime::ZERO);
+        assert_eq!(
+            body.next_action(&mut ctx),
+            Action::Compute(SimDuration::from_micros(10))
+        );
+        assert_eq!(
+            body.next_action(&mut ctx),
+            Action::Compute(SimDuration::from_micros(10))
+        );
+        assert_eq!(body.next_action(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn closures_are_bodies() {
+        let mut calls = 0;
+        {
+            let mut body = |_: &mut SimCtx| {
+                calls += 1;
+                Action::Exit
+            };
+            let mut ctx = SimCtx::new(SimTime::ZERO);
+            let _ = ThreadBody::next_action(&mut body, &mut ctx);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ctx_buffers_wakes() {
+        let mut ctx = SimCtx::new(SimTime::from_nanos(5));
+        assert_eq!(ctx.now(), SimTime::from_nanos(5));
+        ctx.wake(WaitId::from_u64(1));
+        ctx.wake(WaitId::from_u64(2));
+        ctx.defer(SimDuration::from_millis(1), |_| {});
+        let (wakes, deferred) = ctx.into_effects();
+        assert_eq!(wakes, vec![WaitId::from_u64(1), WaitId::from_u64(2)]);
+        assert_eq!(deferred.len(), 1);
+    }
+}

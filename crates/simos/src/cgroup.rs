@@ -1,0 +1,128 @@
+//! Simulated control groups (cgroup v1 CPU controller).
+//!
+//! Cgroups form a tree per node, rooted at the node's root group. Each group
+//! carries a `cpu.shares` value: the weight of the group *as a schedulable
+//! entity* in its parent's runqueue. Threads inside a group compete by their
+//! nice-derived weights without interference from threads outside — exactly
+//! the property Lachesis exploits for multi-dimensional schedules (paper §2,
+//! §5.3).
+
+use crate::ids::{CgroupId, NodeId};
+use crate::runqueue::RunQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Default `cpu.shares` (matches Linux).
+pub const DEFAULT_CPU_SHARES: u64 = 1024;
+/// Smallest accepted `cpu.shares` (matches Linux's floor of 2).
+pub const MIN_CPU_SHARES: u64 = 2;
+/// Largest `cpu.shares` accepted by this simulator.
+pub const MAX_CPU_SHARES: u64 = 262_144;
+
+/// Internal per-cgroup state.
+#[derive(Debug)]
+pub(crate) struct CgroupData {
+    pub id: CgroupId,
+    pub name: String,
+    pub node: NodeId,
+    pub parent: Option<CgroupId>,
+    pub children: Vec<CgroupId>,
+    /// Relative CPU weight of this group among its siblings.
+    pub shares: u64,
+    /// Virtual runtime of this group as an entity in the parent runqueue.
+    pub vruntime: u64,
+    /// Monotonic floor used to place newly woken entities.
+    pub min_vruntime: u64,
+    /// Deterministic tie-break for runqueue ordering.
+    pub seq: u64,
+    /// Ready (not running) child entities.
+    pub rq: RunQueue,
+    /// Whether this group's entity is currently queued in the parent rq.
+    pub queued: bool,
+    /// Total CPU time consumed by threads in this subtree.
+    pub cputime: SimDuration,
+    /// CFS bandwidth control (cpu.cfs_quota_us / cpu.cfs_period_us).
+    pub quota: Option<QuotaState>,
+    /// Whether the group is currently throttled by its quota.
+    pub throttled: bool,
+}
+
+/// Runtime state of a cgroup CPU quota.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaState {
+    /// CPU time allowed per period.
+    pub quota: SimDuration,
+    /// Enforcement period.
+    pub period: SimDuration,
+    /// Start of the current accounting window.
+    pub window_start: SimTime,
+    /// CPU time consumed in the current window.
+    pub usage: SimDuration,
+}
+
+impl CgroupData {
+    pub fn new(
+        id: CgroupId,
+        name: String,
+        node: NodeId,
+        parent: Option<CgroupId>,
+        shares: u64,
+        seq: u64,
+    ) -> Self {
+        CgroupData {
+            id,
+            name,
+            node,
+            parent,
+            children: Vec::new(),
+            shares,
+            vruntime: 0,
+            min_vruntime: 0,
+            seq,
+            rq: RunQueue::new(),
+            queued: false,
+            cputime: SimDuration::ZERO,
+            quota: None,
+            throttled: false,
+        }
+    }
+}
+
+/// Public, read-only view of a cgroup's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgroupInfo {
+    /// The cgroup's identifier.
+    pub id: CgroupId,
+    /// Human-readable name (unique within its parent is not enforced).
+    pub name: String,
+    /// The node whose CPU this group schedules.
+    pub node: NodeId,
+    /// Parent group, `None` for a node's root group.
+    pub parent: Option<CgroupId>,
+    /// Direct child groups.
+    pub children: Vec<CgroupId>,
+    /// Current `cpu.shares`.
+    pub shares: u64,
+    /// Total CPU time consumed by threads in this subtree.
+    pub cputime: SimDuration,
+    /// CPU quota as `(quota, period)`, if bandwidth-limited.
+    pub quota: Option<(SimDuration, SimDuration)>,
+    /// Whether the quota currently throttles the group.
+    pub throttled: bool,
+}
+
+/// Clamps a requested shares value into the accepted range.
+pub fn clamp_shares(shares: u64) -> u64 {
+    shares.clamp(MIN_CPU_SHARES, MAX_CPU_SHARES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_clamped_to_linux_range() {
+        assert_eq!(clamp_shares(0), MIN_CPU_SHARES);
+        assert_eq!(clamp_shares(1024), 1024);
+        assert_eq!(clamp_shares(u64::MAX), MAX_CPU_SHARES);
+    }
+}

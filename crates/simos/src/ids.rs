@@ -1,0 +1,88 @@
+//! Identifier newtypes for simulated kernel objects.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u64);
+
+        impl $name {
+            /// Returns the raw numeric id.
+            pub fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Reconstructs an id from its raw value.
+            ///
+            /// Intended for deserialization and test fixtures; an id that was
+            /// never handed out by a kernel will simply fail lookups.
+            pub fn from_u64(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a simulated kernel thread.
+    ThreadId,
+    "tid:"
+);
+id_type!(
+    /// Identifier of a simulated control group.
+    CgroupId,
+    "cg:"
+);
+id_type!(
+    /// Identifier of a simulated machine (node) within one simulation.
+    NodeId,
+    "node:"
+);
+id_type!(
+    /// Identifier of a wait channel threads can block on.
+    WaitId,
+    "wait:"
+);
+id_type!(
+    /// Identifier of a registered timer callback.
+    CallbackId,
+    "cb:"
+);
+
+/// Index of a CPU within one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(pub usize);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ThreadId(3).to_string(), "tid:3");
+        assert_eq!(CgroupId(1).to_string(), "cg:1");
+        assert_eq!(NodeId(0).to_string(), "node:0");
+        assert_eq!(WaitId(9).to_string(), "wait:9");
+        assert_eq!(CpuId(2).to_string(), "cpu:2");
+    }
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(ThreadId::from_u64(7).as_u64(), 7);
+        assert_eq!(CallbackId::from_u64(7).as_u64(), 7);
+    }
+}

@@ -1,0 +1,94 @@
+//! # simos — a deterministic simulated Linux-like scheduler
+//!
+//! `simos` is the operating-system substrate of the Lachesis reproduction.
+//! It simulates, with a discrete-event engine and a single virtual clock:
+//!
+//! * one or more **nodes** (machines) with a configurable CPU count,
+//! * **threads** whose behaviour is a [`ThreadBody`] state machine,
+//! * a **CFS-like scheduler**: per-cgroup runqueues ordered by virtual
+//!   runtime, nice→weight mapping identical to the kernel's table,
+//!   load-dependent timeslices, wake-up bonuses and context-switch costs,
+//! * a **cgroup hierarchy** whose `cpu.shares` divide CPU time between
+//!   sibling groups, nested arbitrarily,
+//! * **timers and callbacks** for simulated middleware and data sources.
+//!
+//! Everything is deterministic: the same program produces the same schedule
+//! on every run, which makes the paper's experiments exactly repeatable.
+//!
+//! ## Example
+//!
+//! ```
+//! use simos::{FixedWork, Kernel, Nice, SimDuration};
+//!
+//! let mut kernel = Kernel::default();
+//! let node = kernel.add_node("odroid", 4);
+//! let hog = kernel
+//!     .spawn(node, "operator", FixedWork::endless(SimDuration::from_micros(200)))
+//!     .nice(Nice::new(-5)?)
+//!     .build();
+//! kernel.run_for(SimDuration::from_secs(1));
+//! assert!(kernel.thread_info(hog)?.cputime > SimDuration::from_millis(900));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod body;
+mod cgroup;
+mod ids;
+mod kernel;
+mod nice;
+mod runqueue;
+mod thread;
+mod time;
+
+pub use body::{Action, FixedWork, SimCtx, ThreadBody};
+pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
+pub use ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
+pub use kernel::{Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
+pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
+pub use thread::{ThreadInfo, ThreadState};
+pub use time::{SimDuration, SimTime};
+
+/// Machine presets matching the paper's evaluation hardware (§6.1).
+pub mod machines {
+    use crate::{Kernel, KernelConfig, NodeId, SimDuration};
+
+    /// Scheduler parameters tuned for an Odroid-XU4-class edge device.
+    /// The context-switch cost models the direct switch plus the cache
+    /// re-population that follows it, which dominates on in-order edge
+    /// cores running JVM-based SPEs (see DESIGN.md calibration notes).
+    pub fn odroid_config() -> KernelConfig {
+        KernelConfig {
+            ctx_switch_cost: SimDuration::from_micros(60),
+            sched_latency: SimDuration::from_millis(6),
+            min_granularity: SimDuration::from_micros(750),
+            wakeup_bonus: SimDuration::from_millis(3),
+            wakeup_granularity: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Scheduler parameters for a Xeon-class server (faster switches,
+    /// larger caches than the edge device).
+    pub fn server_config() -> KernelConfig {
+        KernelConfig {
+            ctx_switch_cost: SimDuration::from_micros(20),
+            sched_latency: SimDuration::from_millis(6),
+            min_granularity: SimDuration::from_micros(750),
+            wakeup_bonus: SimDuration::from_millis(3),
+            wakeup_granularity: SimDuration::from_millis(1),
+        }
+    }
+
+    /// Adds an Odroid-XU4-like node: 4 usable big cores (the paper pins
+    /// SPEs to the big cluster).
+    pub fn add_odroid(kernel: &mut Kernel, name: &str) -> NodeId {
+        kernel.add_node(name, 4)
+    }
+
+    /// Adds a Xeon E5-2637 v4-like node: 4 cores / 8 hardware threads.
+    pub fn add_server(kernel: &mut Kernel, name: &str) -> NodeId {
+        kernel.add_node(name, 8)
+    }
+}

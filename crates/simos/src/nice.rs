@@ -1,0 +1,155 @@
+//! Thread niceness and the CFS weight table.
+//!
+//! Linux maps each nice level `n ∈ [-20, 19]` to a scheduling weight
+//! `w(n) = 1024 / 1.25^n` (the kernel's `sched_prio_to_weight` table). The
+//! ratio of CPU time between two always-runnable threads equals the ratio of
+//! their weights, so one nice step is a ~10% relative share change and
+//! `w(n1)/w(n2) = 1.25^(n2-n1)` in general — the exact relation Lachesis'
+//! nice translator inverts (paper §2, §5.3).
+
+use std::fmt;
+
+/// Lowest (most favourable) nice value.
+pub const NICE_MIN: i32 = -20;
+/// Highest (least favourable) nice value.
+pub const NICE_MAX: i32 = 19;
+/// Weight of the default nice level 0 (`NICE_0_LOAD` in the kernel).
+pub const NICE_0_WEIGHT: u64 = 1024;
+
+/// The kernel's `sched_prio_to_weight` table, index 0 = nice -20.
+///
+/// Values are the precomputed integer approximations of `1024 / 1.25^n`
+/// copied from `kernel/sched/core.c`, so weight ratios match real CFS
+/// exactly rather than accumulating floating-point drift.
+const PRIO_TO_WEIGHT: [u64; 40] = [
+    88761, 71755, 56483, 46273, 36291, // -20 .. -16
+    29154, 23254, 18705, 14949, 11916, // -15 .. -11
+    9548, 7620, 6100, 4904, 3906, // -10 .. -6
+    3121, 2501, 1991, 1586, 1277, // -5 .. -1
+    1024, 820, 655, 526, 423, // 0 .. 4
+    335, 272, 215, 172, 137, // 5 .. 9
+    110, 87, 70, 56, 45, // 10 .. 14
+    36, 29, 23, 18, 15, // 15 .. 19
+];
+
+/// A validated nice value in `[-20, 19]`.
+///
+/// # Examples
+///
+/// ```
+/// use simos::Nice;
+///
+/// let n = Nice::new(-5)?;
+/// assert_eq!(n.value(), -5);
+/// assert!(Nice::new(42).is_err());
+/// # Ok::<(), simos::NiceRangeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nice(i8);
+
+/// Error returned when constructing a [`Nice`] outside `[-20, 19]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NiceRangeError(pub i32);
+
+impl fmt::Display for NiceRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nice value {} outside [-20, 19]", self.0)
+    }
+}
+
+impl std::error::Error for NiceRangeError {}
+
+impl Nice {
+    /// The default nice level (0).
+    pub const DEFAULT: Nice = Nice(0);
+    /// The most favourable nice level (-20).
+    pub const MIN: Nice = Nice(NICE_MIN as i8);
+    /// The least favourable nice level (19).
+    pub const MAX: Nice = Nice(NICE_MAX as i8);
+
+    /// Creates a nice value, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NiceRangeError`] if `value` is outside `[-20, 19]`.
+    pub fn new(value: i32) -> Result<Nice, NiceRangeError> {
+        if (NICE_MIN..=NICE_MAX).contains(&value) {
+            Ok(Nice(value as i8))
+        } else {
+            Err(NiceRangeError(value))
+        }
+    }
+
+    /// Creates a nice value, clamping out-of-range input into `[-20, 19]`.
+    pub fn clamped(value: i32) -> Nice {
+        Nice(value.clamp(NICE_MIN, NICE_MAX) as i8)
+    }
+
+    /// Returns the raw nice level.
+    pub fn value(self) -> i32 {
+        self.0 as i32
+    }
+
+    /// Returns the CFS weight for this nice level.
+    pub fn weight(self) -> u64 {
+        PRIO_TO_WEIGHT[(self.0 as i32 - NICE_MIN) as usize]
+    }
+}
+
+impl fmt::Display for Nice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<i32> for Nice {
+    type Error = NiceRangeError;
+    fn try_from(value: i32) -> Result<Self, Self::Error> {
+        Nice::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_zero_weight_is_1024() {
+        assert_eq!(Nice::DEFAULT.weight(), NICE_0_WEIGHT);
+    }
+
+    #[test]
+    fn extreme_weights_match_kernel_table() {
+        assert_eq!(Nice::MIN.weight(), 88761);
+        assert_eq!(Nice::MAX.weight(), 15);
+    }
+
+    #[test]
+    fn weight_ratio_is_about_1_25_per_step() {
+        for n in NICE_MIN..NICE_MAX {
+            let w0 = Nice::new(n).unwrap().weight() as f64;
+            let w1 = Nice::new(n + 1).unwrap().weight() as f64;
+            let ratio = w0 / w1;
+            assert!(
+                (ratio - 1.25).abs() < 0.06,
+                "ratio at nice {n} was {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected_and_clamped() {
+        assert!(Nice::new(20).is_err());
+        assert!(Nice::new(-21).is_err());
+        assert_eq!(Nice::clamped(100), Nice::MAX);
+        assert_eq!(Nice::clamped(-100), Nice::MIN);
+    }
+
+    #[test]
+    fn error_displays_value() {
+        assert_eq!(
+            NiceRangeError(42).to_string(),
+            "nice value 42 outside [-20, 19]"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! CFS runqueues.
+//!
+//! Each cgroup owns one [`RunQueue`] holding its *ready* (runnable but not
+//! running) child entities — threads and child groups — ordered by virtual
+//! runtime, mirroring the kernel's per-`cfs_rq` red-black tree.
+
+use std::collections::BTreeSet;
+
+use crate::ids::{CgroupId, ThreadId};
+
+/// A schedulable entity: a thread or a whole child cgroup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Entity {
+    /// A runnable thread.
+    Thread(ThreadId),
+    /// A child cgroup with at least one ready descendant.
+    Group(CgroupId),
+}
+
+/// Key ordering entities within a runqueue: virtual runtime first, then a
+/// creation sequence number for deterministic tie-breaking.
+pub(crate) type RqKey = (u64, u64, Entity);
+
+/// A vruntime-ordered queue of ready entities.
+#[derive(Debug, Default)]
+pub(crate) struct RunQueue {
+    tree: BTreeSet<RqKey>,
+}
+
+impl RunQueue {
+    pub fn new() -> Self {
+        RunQueue {
+            tree: BTreeSet::new(),
+        }
+    }
+
+    /// Inserts an entity with the given vruntime and tie-break sequence.
+    pub fn insert(&mut self, vruntime: u64, seq: u64, entity: Entity) {
+        let inserted = self.tree.insert((vruntime, seq, entity));
+        debug_assert!(inserted, "entity {entity:?} double-enqueued");
+    }
+
+    /// Removes an entity (must be present with exactly this key).
+    pub fn remove(&mut self, vruntime: u64, seq: u64, entity: Entity) {
+        let removed = self.tree.remove(&(vruntime, seq, entity));
+        debug_assert!(removed, "entity {entity:?} not in runqueue on remove");
+    }
+
+    /// The leftmost (minimum-vruntime) entity, if any.
+    pub fn first(&self) -> Option<RqKey> {
+        self.tree.first().copied()
+    }
+
+    /// Removes and returns the leftmost entity.
+    #[cfg(test)]
+    pub fn pop_first(&mut self) -> Option<RqKey> {
+        self.tree.pop_first()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    #[allow(dead_code)] // diagnostics
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Iterates entities in vruntime order (for diagnostics).
+    #[allow(dead_code)]
+    pub fn iter(&self) -> impl Iterator<Item = &RqKey> {
+        self.tree.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(raw: u64) -> Entity {
+        Entity::Thread(ThreadId::from_u64(raw))
+    }
+
+    #[test]
+    fn orders_by_vruntime_then_seq() {
+        let mut rq = RunQueue::new();
+        rq.insert(20, 1, t(1));
+        rq.insert(10, 2, t(2));
+        rq.insert(10, 3, t(3));
+        assert_eq!(rq.len(), 3);
+        assert_eq!(rq.pop_first(), Some((10, 2, t(2))));
+        assert_eq!(rq.pop_first(), Some((10, 3, t(3))));
+        assert_eq!(rq.pop_first(), Some((20, 1, t(1))));
+        assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn remove_specific_entity() {
+        let mut rq = RunQueue::new();
+        rq.insert(5, 1, t(1));
+        rq.insert(6, 2, Entity::Group(CgroupId::from_u64(9)));
+        rq.remove(5, 1, t(1));
+        assert_eq!(rq.first(), Some((6, 2, Entity::Group(CgroupId::from_u64(9)))));
+    }
+}

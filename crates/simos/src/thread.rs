@@ -1,0 +1,107 @@
+//! Simulated kernel threads.
+
+use crate::body::ThreadBody;
+use crate::ids::{CgroupId, CpuId, NodeId, ThreadId, WaitId};
+use crate::nice::Nice;
+use crate::time::{SimDuration, SimTime};
+
+/// Lifecycle state of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Runnable, waiting in a runqueue.
+    Ready,
+    /// Currently executing on the given CPU.
+    Running(CpuId),
+    /// Blocked on a wait channel.
+    Blocked(WaitId),
+    /// Sleeping until a timer fires.
+    Sleeping,
+    /// Terminated; will never run again.
+    Exited,
+}
+
+impl ThreadState {
+    /// Whether the thread counts toward the node's runnable load.
+    pub fn is_active(self) -> bool {
+        matches!(self, ThreadState::Ready | ThreadState::Running(_))
+    }
+}
+
+/// Internal per-thread state.
+pub(crate) struct ThreadData {
+    pub id: ThreadId,
+    pub name: String,
+    pub node: NodeId,
+    pub cgroup: CgroupId,
+    pub nice: Nice,
+    /// SCHED_FIFO-style priority; `Some` lifts the thread out of CFS.
+    pub rt_priority: Option<u8>,
+    pub state: ThreadState,
+    /// Weighted virtual runtime within the enclosing cgroup.
+    pub vruntime: u64,
+    /// Deterministic tie-break for runqueue ordering.
+    pub seq: u64,
+    /// The thread's behaviour; `None` transiently while being invoked.
+    pub body: Option<Box<dyn ThreadBody>>,
+    /// Remaining CPU cost of the current compute action.
+    pub remaining: SimDuration,
+    /// Total CPU time consumed.
+    pub cputime: SimDuration,
+    /// Number of times the thread was placed on a CPU.
+    pub dispatches: u64,
+    /// Last instant the thread was seen on a CPU.
+    pub last_ran: SimTime,
+}
+
+impl std::fmt::Debug for ThreadData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadData")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("node", &self.node)
+            .field("cgroup", &self.cgroup)
+            .field("nice", &self.nice)
+            .field("state", &self.state)
+            .field("vruntime", &self.vruntime)
+            .field("remaining", &self.remaining)
+            .field("cputime", &self.cputime)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Public, read-only view of a thread's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadInfo {
+    /// The thread's identifier.
+    pub id: ThreadId,
+    /// Human-readable name.
+    pub name: String,
+    /// Node the thread runs on.
+    pub node: NodeId,
+    /// Enclosing cgroup.
+    pub cgroup: CgroupId,
+    /// Current nice level.
+    pub nice: Nice,
+    /// Real-time priority, if the thread is in the RT band.
+    pub rt_priority: Option<u8>,
+    /// Current lifecycle state.
+    pub state: ThreadState,
+    /// Total CPU time consumed.
+    pub cputime: SimDuration,
+    /// Number of dispatches onto a CPU.
+    pub dispatches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_states() {
+        assert!(ThreadState::Ready.is_active());
+        assert!(ThreadState::Running(CpuId(0)).is_active());
+        assert!(!ThreadState::Blocked(WaitId::from_u64(0)).is_active());
+        assert!(!ThreadState::Sleeping.is_active());
+        assert!(!ThreadState::Exited.is_active());
+    }
+}

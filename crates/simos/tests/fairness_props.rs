@@ -1,0 +1,142 @@
+//! Property-based tests of the CFS simulator's fairness invariants.
+
+use proptest::prelude::*;
+use simos::{FixedWork, Kernel, KernelConfig, Nice, SimDuration};
+
+fn quiet_config() -> KernelConfig {
+    KernelConfig {
+        ctx_switch_cost: SimDuration::ZERO,
+        ..KernelConfig::default()
+    }
+}
+
+fn hog() -> FixedWork {
+    FixedWork::endless(SimDuration::from_micros(100))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two always-runnable threads split one CPU in proportion to their
+    /// nice weights, within 8%.
+    #[test]
+    fn nice_ratio_controls_cpu_split(n1 in -20i32..=19, n2 in -20i32..=19) {
+        // Extreme weight ratios need very long runs to converge; keep the
+        // spread bounded like the paper's translators do.
+        prop_assume!((n1 - n2).abs() <= 15);
+        let mut k = Kernel::new(quiet_config());
+        let node = k.add_node("n", 1);
+        let a = k.spawn(node, "a", hog()).nice(Nice::new(n1).unwrap()).build();
+        let b = k.spawn(node, "b", hog()).nice(Nice::new(n2).unwrap()).build();
+        k.run_for(SimDuration::from_secs(20));
+        let ca = k.thread_info(a).unwrap().cputime.as_secs_f64();
+        let cb = k.thread_info(b).unwrap().cputime.as_secs_f64();
+        let measured = ca / cb;
+        let expected = Nice::new(n1).unwrap().weight() as f64
+            / Nice::new(n2).unwrap().weight() as f64;
+        prop_assert!(
+            (measured / expected - 1.0).abs() < 0.08,
+            "nice ({n1},{n2}): measured {measured}, expected {expected}"
+        );
+    }
+
+    /// Sibling cgroups split CPU in proportion to cpu.shares regardless of
+    /// how many threads each contains.
+    #[test]
+    fn shares_ratio_controls_group_split(
+        s1 in 64u64..8192,
+        s2 in 64u64..8192,
+        t1 in 1usize..4,
+        t2 in 1usize..4,
+    ) {
+        prop_assume!(s1.max(s2) as f64 / s1.min(s2) as f64 <= 16.0);
+        let mut k = Kernel::new(quiet_config());
+        let node = k.add_node("n", 1);
+        let root = k.node_root(node).unwrap();
+        let g1 = k.create_cgroup(root, "g1", s1).unwrap();
+        let g2 = k.create_cgroup(root, "g2", s2).unwrap();
+        for i in 0..t1 {
+            k.spawn(node, &format!("a{i}"), hog()).cgroup(g1).build();
+        }
+        for i in 0..t2 {
+            k.spawn(node, &format!("b{i}"), hog()).cgroup(g2).build();
+        }
+        k.run_for(SimDuration::from_secs(20));
+        let c1 = k.cgroup_info(g1).unwrap().cputime.as_secs_f64();
+        let c2 = k.cgroup_info(g2).unwrap().cputime.as_secs_f64();
+        let measured = c1 / c2;
+        let expected = s1 as f64 / s2 as f64;
+        prop_assert!(
+            (measured / expected - 1.0).abs() < 0.10,
+            "shares ({s1},{s2}) threads ({t1},{t2}): measured {measured}, expected {expected}"
+        );
+    }
+
+    /// CPU time is conserved: sum of thread cputime equals node busy time,
+    /// and busy + idle equals capacity.
+    #[test]
+    fn cpu_time_is_conserved(nthreads in 1usize..8, cpus in 1usize..4, secs in 1u64..5) {
+        let mut k = Kernel::new(quiet_config());
+        let node = k.add_node("n", cpus);
+        let mut tids = Vec::new();
+        for i in 0..nthreads {
+            tids.push(k.spawn(node, &format!("t{i}"), hog()).build());
+        }
+        k.run_for(SimDuration::from_secs(secs));
+        let stats = k.node_stats(node).unwrap();
+        let total_thread: u64 = tids
+            .iter()
+            .map(|t| k.thread_info(*t).unwrap().cputime.as_nanos())
+            .sum();
+        prop_assert_eq!(total_thread, stats.busy.as_nanos());
+        prop_assert_eq!(
+            stats.busy.as_nanos() + stats.idle.as_nanos(),
+            secs * 1_000_000_000 * cpus as u64
+        );
+    }
+
+    /// The simulation is deterministic: the same setup yields identical
+    /// per-thread cputimes on every run.
+    #[test]
+    fn simulation_is_deterministic(nthreads in 2usize..6, nice_step in 0i32..5) {
+        let run = || {
+            let mut k = Kernel::default();
+            let node = k.add_node("n", 2);
+            let mut out = Vec::new();
+            for i in 0..nthreads {
+                let nice = Nice::clamped(i as i32 * nice_step - 5);
+                let t = k
+                    .spawn(node, &format!("t{i}"), hog())
+                    .nice(nice)
+                    .build();
+                out.push(t);
+            }
+            k.run_for(SimDuration::from_secs(3));
+            out
+                .into_iter()
+                .map(|t| k.thread_info(t).unwrap().cputime.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Blocked threads consume no CPU and fairness holds among the rest.
+#[test]
+fn blocked_threads_consume_nothing() {
+    let mut k = Kernel::new(quiet_config());
+    let node = k.add_node("n", 1);
+    let ch = k.new_wait_channel();
+    let blocked = k
+        .spawn(node, "blocked", move |_: &mut simos::SimCtx| {
+            simos::Action::Block(ch)
+        })
+        .build();
+    let worker = k.spawn(node, "worker", hog()).build();
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(k.thread_info(blocked).unwrap().cputime, SimDuration::ZERO);
+    assert_eq!(
+        k.thread_info(worker).unwrap().cputime,
+        SimDuration::from_secs(1)
+    );
+}

@@ -1,0 +1,185 @@
+//! Edge-case tests of kernel APIs: one-shot callbacks, callback
+//! self-cancellation, state-transition errors, and cgroup moves of
+//! non-runnable threads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simos::{
+    Action, FixedWork, Kernel, KernelError, Nice, SimCtx, SimDuration, ThreadState,
+};
+
+#[test]
+fn schedule_once_fires_exactly_once() {
+    let mut k = Kernel::default();
+    let count: Rc<RefCell<u32>> = Rc::default();
+    let c = Rc::clone(&count);
+    k.schedule_once(SimDuration::from_millis(5), move |_| {
+        *c.borrow_mut() += 1;
+    });
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(*count.borrow(), 1);
+}
+
+#[test]
+fn callback_can_cancel_itself() {
+    let mut k = Kernel::default();
+    let count: Rc<RefCell<u32>> = Rc::default();
+    let c = Rc::clone(&count);
+    // The callback cancels itself on the third firing.
+    let id = Rc::new(RefCell::new(None));
+    let id2 = Rc::clone(&id);
+    let cb = k.schedule_periodic(SimDuration::from_millis(1), SimDuration::from_millis(1), move |kk| {
+        *c.borrow_mut() += 1;
+        if *c.borrow() == 3 {
+            kk.cancel_callback(id2.borrow().unwrap());
+        }
+    });
+    *id.borrow_mut() = Some(cb);
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(*count.borrow(), 3);
+}
+
+#[test]
+fn callbacks_can_schedule_callbacks() {
+    let mut k = Kernel::default();
+    let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let h = Rc::clone(&hits);
+    k.schedule_once(SimDuration::from_millis(1), move |kk| {
+        let h2 = Rc::clone(&h);
+        h.borrow_mut().push(kk.now().as_nanos());
+        kk.schedule_once(SimDuration::from_millis(2), move |kk2| {
+            h2.borrow_mut().push(kk2.now().as_nanos());
+        });
+    });
+    k.run_for(SimDuration::from_millis(10));
+    assert_eq!(*hits.borrow(), vec![1_000_000, 3_000_000]);
+}
+
+#[test]
+fn exited_thread_operations_error() {
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let t = k
+        .spawn(n, "short", FixedWork::new(SimDuration::from_micros(1), 1))
+        .build();
+    k.run_for(SimDuration::from_millis(1));
+    assert_eq!(k.thread_info(t).unwrap().state, ThreadState::Exited);
+    assert_eq!(
+        k.set_nice(t, Nice::DEFAULT),
+        Err(KernelError::ThreadExited(t))
+    );
+    assert_eq!(
+        k.set_rt_priority(t, Some(10)),
+        Err(KernelError::ThreadExited(t))
+    );
+    let root = k.node_root(n).unwrap();
+    let g = k.create_cgroup(root, "g", 1024).unwrap();
+    assert_eq!(k.move_to_cgroup(t, g), Err(KernelError::ThreadExited(t)));
+}
+
+#[test]
+fn unknown_ids_error() {
+    let mut k = Kernel::default();
+    let bogus_t = simos::ThreadId::from_u64(999);
+    let bogus_c = simos::CgroupId::from_u64(999);
+    let bogus_n = simos::NodeId::from_u64(999);
+    assert!(matches!(
+        k.set_nice(bogus_t, Nice::DEFAULT),
+        Err(KernelError::UnknownThread(_))
+    ));
+    assert!(matches!(
+        k.set_cpu_shares(bogus_c, 1024),
+        Err(KernelError::UnknownCgroup(_))
+    ));
+    assert!(matches!(k.node_root(bogus_n), Err(KernelError::UnknownNode(_))));
+    assert!(matches!(
+        k.cgroup_info(bogus_c),
+        Err(KernelError::UnknownCgroup(_))
+    ));
+}
+
+#[test]
+fn blocked_thread_can_move_cgroups() {
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let ch = k.new_wait_channel();
+    let mut phase = 0u32;
+    let t = k
+        .spawn(n, "blocked", move |_: &mut SimCtx| {
+            phase += 1;
+            match phase {
+                1 => Action::Block(ch),
+                2 => Action::Compute(SimDuration::from_millis(1)),
+                _ => Action::Exit,
+            }
+        })
+        .build();
+    k.run_for(SimDuration::from_millis(1));
+    assert!(matches!(
+        k.thread_info(t).unwrap().state,
+        ThreadState::Blocked(_)
+    ));
+    let root = k.node_root(n).unwrap();
+    let g = k.create_cgroup(root, "g", 512).unwrap();
+    k.move_to_cgroup(t, g).unwrap();
+    assert_eq!(k.thread_info(t).unwrap().cgroup, g);
+    // Wake it: it must run inside the new cgroup without issue.
+    k.wake(ch);
+    k.run_for(SimDuration::from_millis(1));
+    assert!(k.cgroup_info(g).unwrap().cputime.as_nanos() > 0);
+}
+
+#[test]
+fn moving_to_same_cgroup_is_a_noop() {
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let t = k
+        .spawn(n, "t", FixedWork::endless(SimDuration::from_micros(50)))
+        .build();
+    let root = k.node_root(n).unwrap();
+    k.run_for(SimDuration::from_millis(5));
+    k.move_to_cgroup(t, root).unwrap();
+    k.run_for(SimDuration::from_millis(5));
+    assert_eq!(k.thread_info(t).unwrap().cgroup, root);
+}
+
+#[test]
+fn yield_action_round_robins() {
+    // Two yield-looping threads must interleave rather than starve.
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let log: Rc<RefCell<Vec<u8>>> = Rc::default();
+    for id in 0..2u8 {
+        let l = Rc::clone(&log);
+        let mut work_next = true;
+        k.spawn(n, &format!("y{id}"), move |_: &mut SimCtx| {
+            if work_next {
+                work_next = false;
+                l.borrow_mut().push(id);
+                Action::Compute(SimDuration::from_micros(100))
+            } else {
+                work_next = true;
+                Action::Yield
+            }
+        })
+        .build();
+    }
+    k.run_for(SimDuration::from_millis(10));
+    let log = log.borrow();
+    let zeros = log.iter().filter(|&&b| b == 0).count();
+    let ones = log.len() - zeros;
+    assert!(zeros > 10 && ones > 10, "both progress: {zeros}/{ones}");
+}
+
+#[test]
+fn run_until_processes_events_at_deadline() {
+    let mut k = Kernel::default();
+    let fired: Rc<RefCell<bool>> = Rc::default();
+    let f = Rc::clone(&fired);
+    k.schedule_once(SimDuration::from_millis(10), move |_| {
+        *f.borrow_mut() = true;
+    });
+    k.run_until(simos::SimTime::ZERO + SimDuration::from_millis(10));
+    assert!(*fired.borrow(), "event exactly at the deadline fires");
+}

@@ -1,0 +1,192 @@
+//! Tests of the extension mechanisms from the paper's future-work list
+//! (§8): real-time (SCHED_FIFO-like) threads and cgroup CPU quotas.
+
+use simos::{FixedWork, Kernel, KernelConfig, SimDuration};
+
+fn quiet() -> KernelConfig {
+    KernelConfig {
+        ctx_switch_cost: SimDuration::ZERO,
+        ..KernelConfig::default()
+    }
+}
+
+fn hog() -> FixedWork {
+    FixedWork::endless(SimDuration::from_micros(100))
+}
+
+#[test]
+fn rt_thread_starves_cfs_threads() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let rt = k.spawn(n, "rt", hog()).build();
+    let cfs = k.spawn(n, "cfs", hog()).build();
+    k.set_rt_priority(rt, Some(50)).unwrap();
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        k.thread_info(rt).unwrap().cputime,
+        SimDuration::from_secs(1),
+        "CPU-bound RT thread owns the core"
+    );
+    assert_eq!(k.thread_info(cfs).unwrap().cputime, SimDuration::ZERO);
+}
+
+#[test]
+fn higher_rt_priority_wins() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let low = k.spawn(n, "low", hog()).build();
+    let high = k.spawn(n, "high", hog()).build();
+    k.set_rt_priority(low, Some(10)).unwrap();
+    k.set_rt_priority(high, Some(90)).unwrap();
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(
+        k.thread_info(high).unwrap().cputime,
+        SimDuration::from_secs(1)
+    );
+    assert_eq!(k.thread_info(low).unwrap().cputime, SimDuration::ZERO);
+}
+
+#[test]
+fn rt_thread_can_return_to_cfs() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let a = k.spawn(n, "a", hog()).build();
+    let b = k.spawn(n, "b", hog()).build();
+    k.set_rt_priority(a, Some(50)).unwrap();
+    k.run_for(SimDuration::from_secs(1));
+    k.set_rt_priority(a, None).unwrap();
+    let before_b = k.thread_info(b).unwrap().cputime;
+    k.run_for(SimDuration::from_secs(2));
+    let db = (k.thread_info(b).unwrap().cputime - before_b).as_secs_f64();
+    assert!((db - 1.0).abs() < 0.1, "b gets its fair half again: {db}");
+    assert_eq!(k.thread_info(a).unwrap().rt_priority, None);
+}
+
+#[test]
+fn rt_wake_preempts_running_cfs_thread() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let _cfs = k.spawn(n, "cfs", hog()).build();
+    // An RT thread that sleeps 10ms, computes 1ms, repeats.
+    let mut phase = 0u32;
+    let rt = k
+        .spawn(n, "rt", move |_: &mut simos::SimCtx| {
+            phase += 1;
+            if phase % 2 == 1 {
+                simos::Action::Sleep(SimDuration::from_millis(10))
+            } else {
+                simos::Action::Compute(SimDuration::from_millis(1))
+            }
+        })
+        .build();
+    k.set_rt_priority(rt, Some(50)).unwrap();
+    k.run_for(SimDuration::from_secs(1));
+    let rt_time = k.thread_info(rt).unwrap().cputime.as_secs_f64();
+    // ~1ms of work per ~11ms cycle => ~90ms of CPU; without wake preemption
+    // it would be delayed behind the hog's slices.
+    assert!((0.07..=0.1).contains(&rt_time), "rt got {rt_time}");
+}
+
+#[test]
+fn quota_caps_group_cpu_share() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let root = k.node_root(n).unwrap();
+    let limited = k.create_cgroup(root, "limited", 1024).unwrap();
+    let t = k.spawn(n, "t", hog()).cgroup(limited).build();
+    // 20ms per 100ms window = 20% cap, alone on the machine.
+    k.set_cpu_quota(
+        limited,
+        Some((SimDuration::from_millis(20), SimDuration::from_millis(100))),
+    )
+    .unwrap();
+    k.run_for(SimDuration::from_secs(5));
+    let used = k.thread_info(t).unwrap().cputime.as_secs_f64();
+    assert!((0.95..=1.1).contains(&used), "20% of 5s = ~1s, got {used}");
+    let info = k.cgroup_info(limited).unwrap();
+    assert_eq!(
+        info.quota,
+        Some((SimDuration::from_millis(20), SimDuration::from_millis(100)))
+    );
+}
+
+#[test]
+fn quota_releases_cpu_to_others() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let root = k.node_root(n).unwrap();
+    let limited = k.create_cgroup(root, "limited", 1024).unwrap();
+    let capped = k.spawn(n, "capped", hog()).cgroup(limited).build();
+    let free = k.spawn(n, "free", hog()).build();
+    k.set_cpu_quota(
+        limited,
+        Some((SimDuration::from_millis(10), SimDuration::from_millis(100))),
+    )
+    .unwrap();
+    k.run_for(SimDuration::from_secs(5));
+    let capped_t = k.thread_info(capped).unwrap().cputime.as_secs_f64();
+    let free_t = k.thread_info(free).unwrap().cputime.as_secs_f64();
+    assert!((0.45..=0.6).contains(&capped_t), "capped got {capped_t}");
+    assert!((4.4..=4.6).contains(&free_t), "free thread got {free_t}");
+}
+
+#[test]
+fn clearing_quota_unthrottles() {
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let root = k.node_root(n).unwrap();
+    let limited = k.create_cgroup(root, "limited", 1024).unwrap();
+    let t = k.spawn(n, "t", hog()).cgroup(limited).build();
+    k.set_cpu_quota(
+        limited,
+        Some((SimDuration::from_millis(1), SimDuration::from_secs(10))),
+    )
+    .unwrap();
+    k.run_for(SimDuration::from_secs(1)); // throttled almost immediately
+    assert!(k.cgroup_info(limited).unwrap().throttled);
+    k.set_cpu_quota(limited, None).unwrap();
+    let before = k.thread_info(t).unwrap().cputime;
+    k.run_for(SimDuration::from_secs(1));
+    let gained = (k.thread_info(t).unwrap().cputime - before).as_secs_f64();
+    assert!(gained > 0.99, "unthrottled thread runs again: {gained}");
+}
+
+#[test]
+fn quota_interacts_with_shares() {
+    // Two groups with equal shares, one also quota-capped at 10%: the
+    // capped one gets 10%, the other the rest.
+    let mut k = Kernel::new(quiet());
+    let n = k.add_node("n", 1);
+    let root = k.node_root(n).unwrap();
+    let g1 = k.create_cgroup(root, "g1", 1024).unwrap();
+    let g2 = k.create_cgroup(root, "g2", 1024).unwrap();
+    let a = k.spawn(n, "a", hog()).cgroup(g1).build();
+    let b = k.spawn(n, "b", hog()).cgroup(g2).build();
+    k.set_cpu_quota(
+        g1,
+        Some((SimDuration::from_millis(10), SimDuration::from_millis(100))),
+    )
+    .unwrap();
+    k.run_for(SimDuration::from_secs(4));
+    let ca = k.thread_info(a).unwrap().cputime.as_secs_f64();
+    let cb = k.thread_info(b).unwrap().cputime.as_secs_f64();
+    assert!((0.35..=0.45).contains(&ca), "capped group: {ca}");
+    assert!(cb > 3.5, "uncapped group absorbs the rest: {cb}");
+}
+
+#[test]
+fn psi_reports_cpu_pressure_under_contention() {
+    // One CPU, one thread: never stalled. Three threads: ~always stalled.
+    let run = |threads: usize| -> f64 {
+        let mut k = Kernel::new(quiet());
+        let n = k.add_node("n", 1);
+        for i in 0..threads {
+            k.spawn(n, &format!("t{i}"), hog()).build();
+        }
+        k.run_for(SimDuration::from_secs(2));
+        k.node_stats(n).unwrap().cpu_pressure_some()
+    };
+    assert!(run(1) < 0.01, "single thread has no CPU pressure");
+    let contended = run(3);
+    assert!(contended > 0.95, "3 hogs on 1 cpu stall constantly: {contended}");
+}

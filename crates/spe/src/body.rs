@@ -1,0 +1,167 @@
+//! Thread body driving one physical operator (thread-per-operator engines).
+//!
+//! This is the execution model of Storm, Flink and Liebre as the paper
+//! describes them (§2): each physical operator runs on a dedicated kernel
+//! thread scheduled by the OS. The body loops: pop a tuple, consume its CPU
+//! cost, deliver outputs; block when the input queue is empty; block on the
+//! producer channel when a bounded downstream queue is full; sleep for
+//! injected blocking I/O.
+
+use simos::{Action, SimCtx, SimDuration, ThreadBody};
+
+use crate::opcell::{Begin, FinishOutcome, OpCellRef, WorkItem};
+
+/// Spout wait strategy: how long a throttled ingress operator sleeps
+/// before re-checking the pending cap (Storm's `sleep-spout-wait`).
+const SPOUT_WAIT: SimDuration = SimDuration::from_millis(1);
+
+enum OpBodyState {
+    Idle,
+    Working(WorkItem),
+    Stalled(WorkItem),
+    /// Sleep issued after delivery (injected blocking I/O).
+    Blocking,
+}
+
+/// The [`ThreadBody`] of one physical operator.
+pub struct OpBody {
+    cell: OpCellRef,
+    state: OpBodyState,
+}
+
+impl std::fmt::Debug for OpBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpBody")
+            .field("op", &self.cell.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OpBody {
+    /// Creates the body for `cell`.
+    pub fn new(cell: OpCellRef) -> Self {
+        OpBody {
+            cell,
+            state: OpBodyState::Idle,
+        }
+    }
+
+    fn after_delivery(&mut self, block_after: Option<SimDuration>) -> Option<Action> {
+        if let Some(d) = block_after {
+            self.state = OpBodyState::Blocking;
+            Some(Action::Sleep(d))
+        } else {
+            self.state = OpBodyState::Idle;
+            None
+        }
+    }
+}
+
+impl ThreadBody for OpBody {
+    fn next_action(&mut self, ctx: &mut SimCtx) -> Action {
+        loop {
+            match std::mem::replace(&mut self.state, OpBodyState::Idle) {
+                OpBodyState::Idle | OpBodyState::Blocking => {
+                    match self.cell.begin(ctx) {
+                        Begin::Item(item) => {
+                            let cost = item.cost;
+                            self.state = OpBodyState::Working(item);
+                            return Action::Compute(cost);
+                        }
+                        Begin::Empty => {
+                            return Action::Block(self.cell.in_queue().consumer_wait())
+                        }
+                        Begin::Throttled => return Action::Sleep(SPOUT_WAIT),
+                    }
+                }
+                OpBodyState::Working(item) => {
+                    let block_after = item.block_after;
+                    match self.cell.finish(ctx, item) {
+                        FinishOutcome::Done => {
+                            if let Some(a) = self.after_delivery(block_after) {
+                                return a;
+                            }
+                        }
+                        FinishOutcome::Stalled { wait, item } => {
+                            self.state = OpBodyState::Stalled(item);
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+                OpBodyState::Stalled(item) => {
+                    let block_after = item.block_after;
+                    match self.cell.resume(ctx, item) {
+                        FinishOutcome::Done => {
+                            if let Some(a) = self.after_delivery(block_after) {
+                                return a;
+                            }
+                        }
+                        FinishOutcome::Stalled { wait, item } => {
+                            self.state = OpBodyState::Stalled(item);
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CostModel, PassThrough};
+    use crate::opcell::{OpCell, OpCellSpec, OutEdge, Stage};
+    use crate::queue::Queue;
+    use crate::tuple::Tuple;
+    use simos::{Kernel, SimTime};
+
+    #[test]
+    fn body_pipelines_tuples_through_kernel() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let q_in = Queue::new(&mut kernel, "in", node, None);
+        let q_out = Queue::new(&mut kernel, "out", node, None);
+        let cell = OpCell::new(
+            OpCellSpec {
+                id: 0,
+                name: "op#0".into(),
+                query: "q".into(),
+                node,
+                is_ingress: true,
+                in_queue: q_in.clone(),
+                sink: None,
+                blocking: None,
+                backlog_penalty: None,
+                net_delay: SimDuration::ZERO,
+                seed: 1,
+            },
+            vec![Stage {
+                logical: 0,
+                name: "op".into(),
+                logic: Box::new(PassThrough),
+                cost: CostModel::micros(100),
+            }],
+        );
+        cell.set_out_edges(vec![OutEdge::new(
+            0,
+            crate::graph::Partitioning::Forward,
+            vec![q_out.clone()],
+        )]);
+        kernel
+            .spawn(node, "op-thread", OpBody::new(cell.clone()))
+            .build();
+        for k in 0..5 {
+            q_in.push(Tuple::new(SimTime::ZERO, k, vec![]));
+        }
+        kernel.run_for(SimDuration::from_millis(10));
+        assert_eq!(q_out.len(), 5);
+        assert_eq!(cell.tuples_in(), 5);
+        // Thread is now blocked on the empty input queue; a new push with a
+        // wake resumes it.
+        q_in.push(Tuple::new(kernel.now(), 99, vec![]));
+        kernel.wake(q_in.consumer_wait());
+        kernel.run_for(SimDuration::from_millis(1));
+        assert_eq!(q_out.len(), 6);
+    }
+}

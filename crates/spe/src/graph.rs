@@ -1,0 +1,353 @@
+//! Logical query graphs: the DAG of operators and streams a user defines
+//! (paper §2), before the SPE turns it into a physical DAG.
+
+use std::fmt;
+
+use simos::{SimDuration, SimTime};
+
+use crate::operator::{CostModel, OperatorLogic};
+use crate::tuple::Tuple;
+
+/// Index of a logical operator within its graph.
+pub type LogicalOpId = usize;
+
+/// Role of a logical operator in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Reads ingress tuples from a Data Source (Spout/Source).
+    Ingress,
+    /// A mid-query transformation.
+    Transform,
+    /// Delivers egress tuples to the user (Sink); the runtime records
+    /// latency metrics here.
+    Egress,
+}
+
+/// How an edge distributes tuples among the consumer's replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Replica `i` of the producer feeds replica `i` of the consumer.
+    Forward,
+    /// Round-robin across consumer replicas.
+    Shuffle,
+    /// Hash of the tuple key selects the consumer replica (group-by).
+    KeyHash,
+}
+
+/// A logical operator: a named transformation with a cost model and a
+/// replica factory for its logic.
+pub struct LogicalOp {
+    /// Operator name, unique within the graph.
+    pub name: String,
+    /// Creates one logic instance per physical replica.
+    pub factory: Box<dyn Fn() -> Box<dyn OperatorLogic>>,
+    /// Simulated CPU cost per tuple.
+    pub cost: CostModel,
+    /// Fission degree (number of physical replicas).
+    pub parallelism: usize,
+    /// Position in the DAG.
+    pub role: Role,
+}
+
+impl fmt::Debug for LogicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogicalOp")
+            .field("name", &self.name)
+            .field("cost", &self.cost)
+            .field("parallelism", &self.parallelism)
+            .field("role", &self.role)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A logical stream between two operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogicalEdge {
+    /// Producer operator.
+    pub from: LogicalOpId,
+    /// Output port of the producer the edge binds to.
+    pub port: u16,
+    /// Consumer operator.
+    pub to: LogicalOpId,
+    /// Replica routing strategy.
+    pub partitioning: Partitioning,
+}
+
+/// A Data Source external to the query (paper §2): replays or generates
+/// ingress tuples at a controlled rate into an Ingress operator.
+pub struct SourceSpec {
+    /// Source name (for metric paths).
+    pub name: String,
+    /// The Ingress operator fed by this source.
+    pub target: LogicalOpId,
+    /// Ingress rate in tuples per second.
+    pub rate_tps: f64,
+    /// Generates the `seq`-th tuple with the given event time.
+    pub generator: Box<dyn FnMut(u64, SimTime) -> Tuple>,
+}
+
+impl fmt::Debug for SourceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceSpec")
+            .field("name", &self.name)
+            .field("target", &self.target)
+            .field("rate_tps", &self.rate_tps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A complete logical query: operators, streams and data sources.
+#[derive(Debug)]
+pub struct LogicalGraph {
+    /// Query name.
+    pub name: String,
+    /// Operators, indexed by [`LogicalOpId`].
+    pub ops: Vec<LogicalOp>,
+    /// Streams.
+    pub edges: Vec<LogicalEdge>,
+    /// External data sources.
+    pub sources: Vec<SourceSpec>,
+}
+
+impl LogicalGraph {
+    /// Starts building a query graph.
+    pub fn builder(name: &str) -> GraphBuilder {
+        GraphBuilder {
+            graph: LogicalGraph {
+                name: name.to_owned(),
+                ops: Vec::new(),
+                edges: Vec::new(),
+                sources: Vec::new(),
+            },
+        }
+    }
+
+    /// Outgoing edges of an operator.
+    pub fn out_edges(&self, op: LogicalOpId) -> impl Iterator<Item = &LogicalEdge> {
+        self.edges.iter().filter(move |e| e.from == op)
+    }
+
+    /// Incoming edges of an operator.
+    pub fn in_edges(&self, op: LogicalOpId) -> impl Iterator<Item = &LogicalEdge> {
+        self.edges.iter().filter(move |e| e.to == op)
+    }
+
+    /// Validates DAG structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found: dangling edge ids,
+    /// sources targeting non-ingress operators, cycles, ingress operators
+    /// with inputs, or zero parallelism.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.parallelism == 0 {
+                return Err(format!("operator {} has parallelism 0", op.name));
+            }
+            if op.role == Role::Ingress && self.in_edges(i).next().is_some() {
+                return Err(format!("ingress operator {} has an input edge", op.name));
+            }
+        }
+        for e in &self.edges {
+            if e.from >= self.ops.len() || e.to >= self.ops.len() {
+                return Err(format!("edge {e:?} references unknown operator"));
+            }
+        }
+        for s in &self.sources {
+            if s.target >= self.ops.len() {
+                return Err(format!("source {} targets unknown operator", s.name));
+            }
+            if self.ops[s.target].role != Role::Ingress {
+                return Err(format!(
+                    "source {} targets non-ingress operator {}",
+                    s.name, self.ops[s.target].name
+                ));
+            }
+        }
+        // Cycle check: repeated removal of zero-in-degree nodes.
+        let mut indeg = vec![0usize; self.ops.len()];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut stack: Vec<usize> = (0..self.ops.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(op) = stack.pop() {
+            seen += 1;
+            for e in self.out_edges(op) {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    stack.push(e.to);
+                }
+            }
+        }
+        if seen != self.ops.len() {
+            return Err(format!("query {} contains a cycle", self.name));
+        }
+        Ok(())
+    }
+
+    /// Looks up an operator id by name.
+    pub fn op_by_name(&self, name: &str) -> Option<LogicalOpId> {
+        self.ops.iter().position(|o| o.name == name)
+    }
+}
+
+/// Builder for [`LogicalGraph`] (see [`LogicalGraph::builder`]).
+///
+/// # Examples
+///
+/// ```
+/// use spe::{CostModel, LogicalGraph, Partitioning, PassThrough, Role, Tuple};
+///
+/// let mut b = LogicalGraph::builder("demo");
+/// let src = b.op("src", Role::Ingress, CostModel::micros(5), 1, || Box::new(PassThrough));
+/// let sink = b.op("sink", Role::Egress, CostModel::micros(5), 1, || Box::new(spe::Consume));
+/// b.edge(src, sink, Partitioning::Forward);
+/// b.source("gen", src, 100.0, |seq, now| Tuple::new(now, seq, vec![]));
+/// let graph = b.build().unwrap();
+/// assert_eq!(graph.ops.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: LogicalGraph,
+}
+
+impl GraphBuilder {
+    /// Adds an operator and returns its id.
+    pub fn op(
+        &mut self,
+        name: &str,
+        role: Role,
+        cost: CostModel,
+        parallelism: usize,
+        factory: impl Fn() -> Box<dyn OperatorLogic> + 'static,
+    ) -> LogicalOpId {
+        self.graph.ops.push(LogicalOp {
+            name: name.to_owned(),
+            factory: Box::new(factory),
+            cost,
+            parallelism,
+            role,
+        });
+        self.graph.ops.len() - 1
+    }
+
+    /// Adds a port-0 stream between two operators.
+    pub fn edge(&mut self, from: LogicalOpId, to: LogicalOpId, partitioning: Partitioning) {
+        self.edge_on_port(from, 0, to, partitioning);
+    }
+
+    /// Adds a stream bound to a specific output port of `from`.
+    pub fn edge_on_port(
+        &mut self,
+        from: LogicalOpId,
+        port: u16,
+        to: LogicalOpId,
+        partitioning: Partitioning,
+    ) {
+        self.graph.edges.push(LogicalEdge {
+            from,
+            port,
+            to,
+            partitioning,
+        });
+    }
+
+    /// Attaches a data source to an ingress operator.
+    pub fn source(
+        &mut self,
+        name: &str,
+        target: LogicalOpId,
+        rate_tps: f64,
+        generator: impl FnMut(u64, SimTime) -> Tuple + 'static,
+    ) {
+        self.graph.sources.push(SourceSpec {
+            name: name.to_owned(),
+            target,
+            rate_tps,
+            generator: Box::new(generator),
+        });
+    }
+
+    /// Finishes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation problem (see [`LogicalGraph::validate`]).
+    pub fn build(self) -> Result<LogicalGraph, String> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+/// Interval between consecutive source tuples at `rate_tps`.
+pub fn tuple_interval(rate_tps: f64) -> SimDuration {
+    SimDuration::from_secs_f64(1.0 / rate_tps.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Consume, PassThrough};
+
+    fn simple_graph() -> GraphBuilder {
+        let mut b = LogicalGraph::builder("t");
+        let a = b.op("a", Role::Ingress, CostModel::micros(1), 1, || {
+            Box::new(PassThrough)
+        });
+        let c = b.op("c", Role::Egress, CostModel::micros(1), 1, || {
+            Box::new(Consume)
+        });
+        b.edge(a, c, Partitioning::Forward);
+        b
+    }
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let g = simple_graph().build().unwrap();
+        assert_eq!(g.ops.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.op_by_name("c"), Some(1));
+        assert_eq!(g.out_edges(0).count(), 1);
+        assert_eq!(g.in_edges(1).count(), 1);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = simple_graph();
+        b.edge(1, 0, Partitioning::Forward); // back edge creates a cycle
+        // ...but edges into an ingress are also illegal, so use transforms:
+        let mut b2 = LogicalGraph::builder("cyc");
+        let x = b2.op("x", Role::Transform, CostModel::micros(1), 1, || {
+            Box::new(PassThrough)
+        });
+        let y = b2.op("y", Role::Transform, CostModel::micros(1), 1, || {
+            Box::new(PassThrough)
+        });
+        b2.edge(x, y, Partitioning::Forward);
+        b2.edge(y, x, Partitioning::Forward);
+        assert!(b2.build().is_err());
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn source_must_target_ingress() {
+        let mut b = simple_graph();
+        b.source("bad", 1, 10.0, |s, now| Tuple::new(now, s, vec![]));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn zero_parallelism_rejected() {
+        let mut b = LogicalGraph::builder("zp");
+        b.op("z", Role::Ingress, CostModel::micros(1), 0, || {
+            Box::new(PassThrough)
+        });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn tuple_interval_is_inverse_rate() {
+        assert_eq!(tuple_interval(1000.0), SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,248 @@
+//! Stream-stream interval joins.
+//!
+//! A keyed interval join matches tuples of two streams whose event times
+//! lie within a window of each other — the standard two-input stateful
+//! operator of one-at-a-time SPEs (the paper's VS query fuses module pairs
+//! this way). Because a physical operator has a single input queue, the
+//! two streams are distinguished by a caller-provided discriminator.
+
+use std::collections::HashMap;
+
+use simos::{SimDuration, SimTime};
+
+use crate::operator::{Emitter, OperatorLogic};
+use crate::tuple::Tuple;
+
+/// Which input stream a tuple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The left stream.
+    Left,
+    /// The right stream.
+    Right,
+}
+
+/// A keyed interval join: a left and a right tuple with equal keys match
+/// when `|event_time_left − event_time_right| <= window`. Each match emits
+/// one output built by the join function; retained state is evicted by
+/// event time as the streams advance.
+///
+/// # Examples
+///
+/// ```
+/// use simos::{SimDuration, SimTime};
+/// use spe::{Emitter, IntervalJoin, JoinSide, OperatorLogic, Tuple, Value};
+///
+/// // Side encoded in field 0: 0 = left, 1 = right.
+/// let mut join = IntervalJoin::new(
+///     SimDuration::from_secs(1),
+///     |t: &Tuple| if t.values[0].as_i64() == 0 { JoinSide::Left } else { JoinSide::Right },
+///     |l: &Tuple, r: &Tuple| l.derive(l.key, vec![l.values[1].clone(), r.values[1].clone()]),
+/// );
+/// let mut out = Emitter::new(SimTime::ZERO);
+/// let left = Tuple::new(SimTime::ZERO, 7, vec![Value::I(0), Value::F(1.0)]);
+/// let right = Tuple::new(SimTime::ZERO + SimDuration::from_millis(500), 7,
+///                        vec![Value::I(1), Value::F(2.0)]);
+/// join.process(&left, &mut out);
+/// join.process(&right, &mut out);
+/// assert_eq!(out.emitted(), 1);
+/// ```
+pub struct IntervalJoin<S, J> {
+    window: SimDuration,
+    side: S,
+    join: J,
+    left: HashMap<u64, Vec<Tuple>>,
+    right: HashMap<u64, Vec<Tuple>>,
+    /// High-water mark of observed event times, drives eviction.
+    watermark: SimTime,
+}
+
+impl<S, J> std::fmt::Debug for IntervalJoin<S, J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntervalJoin")
+            .field("window", &self.window)
+            .field("left_keys", &self.left.len())
+            .field("right_keys", &self.right.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S, J> IntervalJoin<S, J>
+where
+    S: FnMut(&Tuple) -> JoinSide,
+    J: FnMut(&Tuple, &Tuple) -> Tuple,
+{
+    /// Creates the join with the given matching window.
+    ///
+    /// `side` classifies each input tuple; `join` builds the output from a
+    /// matching (left, right) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration, side: S, join: J) -> Self {
+        assert!(!window.is_zero(), "join window must be > 0");
+        IntervalJoin {
+            window,
+            side,
+            join,
+            left: HashMap::new(),
+            right: HashMap::new(),
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Tuples currently retained on both sides (diagnostics).
+    pub fn retained(&self) -> usize {
+        self.left.values().map(Vec::len).sum::<usize>()
+            + self.right.values().map(Vec::len).sum::<usize>()
+    }
+
+    fn evict(&mut self) {
+        let horizon = SimTime::from_nanos(
+            self.watermark
+                .as_nanos()
+                .saturating_sub(self.window.as_nanos()),
+        );
+        for store in [&mut self.left, &mut self.right] {
+            store.retain(|_, v| {
+                v.retain(|t| t.event_time >= horizon);
+                !v.is_empty()
+            });
+        }
+    }
+}
+
+impl<S, J> OperatorLogic for IntervalJoin<S, J>
+where
+    S: FnMut(&Tuple) -> JoinSide,
+    J: FnMut(&Tuple, &Tuple) -> Tuple,
+{
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        self.watermark = self.watermark.max(input.event_time);
+        let window = self.window.as_nanos();
+        let side = (self.side)(input);
+        let (own, other) = match side {
+            JoinSide::Left => (&mut self.left, &self.right),
+            JoinSide::Right => (&mut self.right, &self.left),
+        };
+        if let Some(candidates) = other.get(&input.key) {
+            for c in candidates {
+                let dt = input.event_time.as_nanos().abs_diff(c.event_time.as_nanos());
+                if dt <= window {
+                    let joined = match side {
+                        JoinSide::Left => (self.join)(input, c),
+                        JoinSide::Right => (self.join)(c, input),
+                    };
+                    out.emit(joined);
+                }
+            }
+        }
+        own.entry(input.key).or_default().push(input.clone());
+        self.evict();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tuple(ms: u64, key: u64, side: i64, v: f64) -> Tuple {
+        Tuple::new(at(ms), key, vec![Value::I(side), Value::F(v)])
+    }
+
+    fn join() -> IntervalJoin<impl FnMut(&Tuple) -> JoinSide, impl FnMut(&Tuple, &Tuple) -> Tuple>
+    {
+        IntervalJoin::new(
+            SimDuration::from_secs(1),
+            |t: &Tuple| {
+                if t.values[0].as_i64() == 0 {
+                    JoinSide::Left
+                } else {
+                    JoinSide::Right
+                }
+            },
+            |l: &Tuple, r: &Tuple| {
+                Tuple::derive_from_many(
+                    [l, r],
+                    l.key,
+                    vec![l.values[1].clone(), r.values[1].clone()],
+                )
+            },
+        )
+    }
+
+    fn run(j: &mut dyn OperatorLogic, tuples: &[Tuple]) -> Vec<Tuple> {
+        let mut out = Emitter::new(SimTime::ZERO);
+        for t in tuples {
+            j.process(t, &mut out);
+        }
+        out.into_outputs().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn matches_within_window_and_key() {
+        let mut j = join();
+        let outs = run(
+            &mut j,
+            &[
+                tuple(0, 1, 0, 1.0),
+                tuple(500, 1, 1, 2.0),   // matches (same key, in window)
+                tuple(500, 2, 1, 3.0),   // different key: no match
+                tuple(5_000, 1, 1, 4.0), // out of window: no match
+            ],
+        );
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].values[0].as_f64(), 1.0);
+        assert_eq!(outs[0].values[1].as_f64(), 2.0);
+        // Output inherits the max contributor event time (§3.2).
+        assert_eq!(outs[0].event_time, at(500));
+    }
+
+    #[test]
+    fn join_is_symmetric_in_arrival_order() {
+        let mut j1 = join();
+        let a = run(&mut j1, &[tuple(0, 1, 0, 1.0), tuple(100, 1, 1, 2.0)]);
+        let mut j2 = join();
+        let b = run(&mut j2, &[tuple(100, 1, 1, 2.0), tuple(0, 1, 0, 1.0)]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // Left/right roles preserved regardless of arrival order.
+        assert_eq!(a[0].values[0].as_f64(), b[0].values[0].as_f64());
+        assert_eq!(a[0].values[1].as_f64(), b[0].values[1].as_f64());
+    }
+
+    #[test]
+    fn one_left_matches_many_rights() {
+        let mut j = join();
+        let outs = run(
+            &mut j,
+            &[
+                tuple(0, 1, 0, 1.0),
+                tuple(100, 1, 1, 2.0),
+                tuple(200, 1, 1, 3.0),
+                tuple(300, 1, 1, 4.0),
+            ],
+        );
+        assert_eq!(outs.len(), 3);
+    }
+
+    #[test]
+    fn state_is_evicted_past_the_window() {
+        let mut j = join();
+        let _ = run(
+            &mut j,
+            &[
+                tuple(0, 1, 0, 1.0),
+                tuple(0, 2, 0, 1.0),
+                tuple(10_000, 3, 0, 1.0), // watermark jumps far ahead
+            ],
+        );
+        assert_eq!(j.retained(), 1, "only the fresh tuple is retained");
+    }
+}

@@ -1,0 +1,57 @@
+//! # spe — a stream-processing-engine substrate on `simos`
+//!
+//! One-at-a-time stream processing engines in the style of Apache Storm,
+//! Apache Flink and Liebre, built for the Lachesis reproduction:
+//!
+//! * queries are [`LogicalGraph`]s of operators and streams, converted to
+//!   physical DAGs by fission and (optional) fusion ([`PhysicalGraph`]);
+//! * each physical operator runs on a dedicated simulated thread
+//!   ([`OpBody`]) or under a user-level scheduler's worker pool
+//!   ([`WorkerBody`], [`PoolScheduler`]);
+//! * Storm-like engines use unbounded queues, the Flink-like engine bounded
+//!   queues with producer blocking (backpressure);
+//! * data sources pace ingress tuples at a configurable rate and queries
+//!   report their runtime metrics to a Graphite-like store each second.
+//!
+//! Deploy with [`deploy`]; observe with [`RunningQuery`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod body;
+mod graph;
+mod join;
+mod opcell;
+mod operator;
+mod physical;
+mod pool;
+mod queue;
+mod runtime;
+mod sink;
+mod source;
+mod stats;
+mod tuple;
+mod window;
+
+pub use body::OpBody;
+pub use graph::{
+    tuple_interval, GraphBuilder, LogicalEdge, LogicalGraph, LogicalOp, LogicalOpId, Partitioning,
+    Role, SourceSpec,
+};
+pub use opcell::{
+    BacklogPenalty, Begin, Throttle,
+    BlockingSpec, FinishOutcome, OpCell, OpCellRef, OpCellSpec, OutEdge, Stage, WorkItem,
+};
+pub use operator::{Consume, CostModel, Emitter, Filter, Map, OperatorLogic, PassThrough};
+pub use physical::{PhysEdgeSpec, PhysOpId, PhysOpSpec, PhysicalGraph};
+pub use pool::{PoolScheduler, PoolShared, PoolTask, PoolView, RoundRobinScheduler, WorkerBody};
+pub use queue::{PushOutcome, Queue};
+pub use runtime::{
+    deploy, metric_path, BlockingConfig, EngineConfig, Execution, Placement, RunningQuery, SpeKind,
+};
+pub use sink::SinkCollector;
+pub use source::{install_source, SourceState};
+pub use stats::{Counter, LogHistogram};
+pub use join::{IntervalJoin, JoinSide};
+pub use tuple::{Tuple, Value};
+pub use window::{Aggregator, MeanAggregator, SlidingWindow, TumblingWindow};

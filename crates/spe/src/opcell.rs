@@ -1,0 +1,866 @@
+//! The physical operator execution cell.
+//!
+//! An [`OpCell`] holds everything one physical operator needs at runtime:
+//! its fused logic chain, input queue, output edges, counters, and optional
+//! blocking-I/O injection. It is deliberately decoupled from threads so the
+//! same cell can be driven by a dedicated thread (thread-per-operator
+//! engines), by a user-level scheduler's worker pool (EdgeWise, Haren), or
+//! directly by unit tests.
+//!
+//! Execution of one tuple is split in two so the simulated CPU cost lands
+//! between them:
+//!
+//! 1. [`begin`](OpCell::begin) pops a tuple, runs the logic chain, and
+//!    returns a [`WorkItem`] with the outputs and the CPU cost to charge;
+//! 2. after the executor consumed that cost, [`finish`](OpCell::finish)
+//!    delivers the outputs downstream (waking consumers, handling full
+//!    bounded queues and cross-node delays) and records egress latencies.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simos::{NodeId, SimCtx, SimDuration, SimTime, ThreadId, WaitId};
+
+use crate::graph::{LogicalOpId, Partitioning};
+use crate::operator::{CostModel, Emitter, OperatorLogic};
+use crate::queue::{PushOutcome, Queue};
+use crate::sink::SinkCollector;
+use crate::tuple::Tuple;
+
+/// One stage of a fused operator chain.
+pub struct Stage {
+    /// The logical operator this stage implements.
+    pub logical: LogicalOpId,
+    /// Stage name (the logical operator's name).
+    pub name: String,
+    /// The transformation.
+    pub logic: Box<dyn OperatorLogic>,
+    /// CPU cost model.
+    pub cost: CostModel,
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stage")
+            .field("logical", &self.logical)
+            .field("name", &self.name)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An output edge bound to a port of the chain tail.
+#[derive(Debug, Clone)]
+pub struct OutEdge {
+    /// Port of the tail stage this edge consumes.
+    pub port: u16,
+    /// Routing across target replicas.
+    pub partitioning: Partitioning,
+    /// Input queues of the target replicas, by replica index.
+    pub targets: Vec<Queue>,
+    rr: usize,
+}
+
+impl OutEdge {
+    /// Creates an edge.
+    pub fn new(port: u16, partitioning: Partitioning, targets: Vec<Queue>) -> Self {
+        OutEdge {
+            port,
+            partitioning,
+            targets,
+            rr: 0,
+        }
+    }
+
+    fn route(&mut self, tuple: &Tuple) -> usize {
+        match self.partitioning {
+            Partitioning::Forward | Partitioning::Shuffle => {
+                let i = self.rr % self.targets.len();
+                self.rr = self.rr.wrapping_add(1);
+                i
+            }
+            Partitioning::KeyHash => {
+                // Fibonacci hashing spreads small integer keys.
+                let h = tuple.key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h % self.targets.len() as u64) as usize
+            }
+        }
+    }
+}
+
+/// Simulated blocking I/O: with probability `probability`, processing a
+/// tuple is followed by a sleep of up to `max_duration` (paper §6.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingSpec {
+    /// Chance that a tuple triggers blocking (e.g. 0.001).
+    pub probability: f64,
+    /// Upper bound of the uniformly drawn block duration.
+    pub max_duration: SimDuration,
+}
+
+/// Backlog-dependent processing cost: operators draining deep queues run
+/// slower (cache misses on cold queue data, allocator/GC pressure from
+/// millions of buffered tuples). This is why throughput *decreases* past
+/// the saturation point in the paper's figures (§6.1) — schedulers that
+/// keep queues small also keep operators fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BacklogPenalty {
+    /// Maximum relative slowdown (e.g. 1.0 = up to 2x cost).
+    pub alpha: f64,
+    /// Queue length at which the full slowdown is reached.
+    pub ref_len: usize,
+}
+
+impl BacklogPenalty {
+    /// The cost multiplier for an operator whose input queue holds `len`
+    /// tuples.
+    pub fn multiplier(&self, len: usize) -> f64 {
+        let frac = (len as f64 / self.ref_len.max(1) as f64).min(1.0);
+        1.0 + self.alpha * frac
+    }
+}
+
+/// Spout-side flow control (Storm's `max.spout.pending` with acking): an
+/// ingress operator stops ingesting while the query's internal queues hold
+/// more than `cap` tuples, briefly sleeping instead (the spout wait
+/// strategy). This is what makes ingress throughput *plateau* at the
+/// saturation point in the paper's Storm experiments (§6.1).
+#[derive(Clone)]
+pub struct Throttle {
+    /// The query's internal (non-ingress) queues.
+    pub queues: Rc<Vec<Queue>>,
+    /// Maximum total internal backlog before the spout pauses.
+    pub cap: usize,
+}
+
+impl std::fmt::Debug for Throttle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Throttle")
+            .field("queues", &self.queues.len())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+impl Throttle {
+    /// Whether the spout must pause right now.
+    pub fn saturated(&self) -> bool {
+        let mut total = 0;
+        for q in self.queues.iter() {
+            total += q.len();
+            if total > self.cap {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Result of [`OpCell::begin`].
+#[derive(Debug)]
+pub enum Begin {
+    /// A tuple was popped and processed; consume its cost, then `finish`.
+    Item(WorkItem),
+    /// The input queue is empty; block on the consumer channel.
+    Empty,
+    /// Spout flow control engaged; retry after a short sleep.
+    Throttled,
+}
+
+impl Begin {
+    /// Extracts the work item, discarding `Empty`/`Throttled`.
+    pub fn item(self) -> Option<WorkItem> {
+        match self {
+            Begin::Item(i) => Some(i),
+            Begin::Empty | Begin::Throttled => None,
+        }
+    }
+}
+
+/// The units of work produced by [`OpCell::begin`].
+#[derive(Debug)]
+pub struct WorkItem {
+    outputs: Vec<(u16, Tuple)>,
+    /// Simulated CPU cost of processing this tuple through the chain.
+    pub cost: SimDuration,
+    /// If set, the executor must sleep this long after finishing.
+    pub block_after: Option<SimDuration>,
+    input_event: SimTime,
+    input_ingress: SimTime,
+    /// Resume position for stalled deliveries: next output index.
+    out_idx: usize,
+    /// Resume position: next edge index within the current output.
+    edge_idx: usize,
+}
+
+/// Result of [`OpCell::finish`] / [`OpCell::resume`].
+#[derive(Debug)]
+pub enum FinishOutcome {
+    /// All outputs delivered.
+    Done,
+    /// A bounded downstream queue is full: block on `wait`, then call
+    /// [`OpCell::resume`] with the returned item.
+    Stalled {
+        /// The producer-wait channel of the full queue.
+        wait: WaitId,
+        /// The partially delivered work item.
+        item: WorkItem,
+    },
+}
+
+#[derive(Debug, Default)]
+struct OpCounters {
+    tuples_in: u64,
+    tuples_out: u64,
+    cpu_cost: SimDuration,
+    blocking_events: u64,
+}
+
+struct OpInner {
+    stages: Vec<Stage>,
+    out_edges: Vec<OutEdge>,
+    counters: OpCounters,
+    rng: SmallRng,
+    thread: Option<ThreadId>,
+    /// Scratch buffers reused across stage invocations.
+    scratch_a: Vec<(u16, Tuple)>,
+    scratch_b: Vec<(u16, Tuple)>,
+}
+
+/// A physical operator's runtime state; shared via [`OpCellRef`].
+pub struct OpCell {
+    id: usize,
+    name: String,
+    query: String,
+    node: NodeId,
+    is_ingress: bool,
+    in_queue: Queue,
+    sink: Option<Rc<RefCell<SinkCollector>>>,
+    blocking: Option<BlockingSpec>,
+    backlog_penalty: Option<BacklogPenalty>,
+    net_delay: SimDuration,
+    throttle: RefCell<Option<Throttle>>,
+    inner: RefCell<OpInner>,
+}
+
+impl std::fmt::Debug for OpCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpCell")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("query", &self.query)
+            .field("node", &self.node)
+            .field("is_ingress", &self.is_ingress)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared handle to an [`OpCell`].
+pub type OpCellRef = Rc<OpCell>;
+
+/// Constructor parameters for [`OpCell::new`].
+#[derive(Debug)]
+pub struct OpCellSpec {
+    /// Physical operator id within the query.
+    pub id: usize,
+    /// Physical operator name.
+    pub name: String,
+    /// Owning query name.
+    pub query: String,
+    /// Node the operator runs on.
+    pub node: NodeId,
+    /// Whether the chain head is an ingress operator.
+    pub is_ingress: bool,
+    /// The operator's input queue.
+    pub in_queue: Queue,
+    /// Latency collector if the chain tail is an egress operator.
+    pub sink: Option<Rc<RefCell<SinkCollector>>>,
+    /// Optional blocking-I/O injection.
+    pub blocking: Option<BlockingSpec>,
+    /// Backlog-dependent slowdown (ignored for ingress operators, whose
+    /// "queue" is the external source buffer streamed sequentially).
+    pub backlog_penalty: Option<BacklogPenalty>,
+    /// Delay applied to pushes toward other nodes.
+    pub net_delay: SimDuration,
+    /// Deterministic RNG seed (blocking injection).
+    pub seed: u64,
+}
+
+impl OpCell {
+    /// Creates a cell; output edges are wired afterwards with
+    /// [`set_out_edges`](OpCell::set_out_edges).
+    pub fn new(spec: OpCellSpec, stages: Vec<Stage>) -> OpCellRef {
+        assert!(!stages.is_empty(), "an operator needs at least one stage");
+        Rc::new(OpCell {
+            id: spec.id,
+            name: spec.name,
+            query: spec.query,
+            node: spec.node,
+            is_ingress: spec.is_ingress,
+            in_queue: spec.in_queue,
+            sink: spec.sink,
+            blocking: spec.blocking,
+            backlog_penalty: spec.backlog_penalty,
+            net_delay: spec.net_delay,
+            throttle: RefCell::new(None),
+            inner: RefCell::new(OpInner {
+                stages,
+                out_edges: Vec::new(),
+                counters: OpCounters::default(),
+                rng: SmallRng::seed_from_u64(spec.seed),
+                thread: None,
+                scratch_a: Vec::new(),
+                scratch_b: Vec::new(),
+            }),
+        })
+    }
+
+    /// Wires the operator's output edges (done after all queues exist).
+    pub fn set_out_edges(&self, edges: Vec<OutEdge>) {
+        self.inner.borrow_mut().out_edges = edges;
+    }
+
+    /// Installs spout flow control (ingress operators only).
+    pub fn set_throttle(&self, throttle: Throttle) {
+        *self.throttle.borrow_mut() = Some(throttle);
+    }
+
+    /// Whether spout flow control currently blocks ingestion (pool
+    /// schedulers skip throttled spouts instead of spinning on them).
+    pub fn throttled(&self) -> bool {
+        self.throttle
+            .borrow()
+            .as_ref()
+            .is_some_and(Throttle::saturated)
+    }
+
+    /// Associates the executing thread (thread-per-operator engines).
+    pub fn set_thread(&self, tid: ThreadId) {
+        self.inner.borrow_mut().thread = Some(tid);
+    }
+
+    /// The executing thread, if bound.
+    pub fn thread(&self) -> Option<ThreadId> {
+        self.inner.borrow().thread
+    }
+
+    /// Physical operator id within the query.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Physical operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Owning query name.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// Node the operator runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the chain head ingests from a data source.
+    pub fn is_ingress(&self) -> bool {
+        self.is_ingress
+    }
+
+    /// The operator's input queue.
+    pub fn in_queue(&self) -> &Queue {
+        &self.in_queue
+    }
+
+    /// Logical operators fused into this physical operator.
+    pub fn logical_ops(&self) -> Vec<LogicalOpId> {
+        self.inner.borrow().stages.iter().map(|s| s.logical).collect()
+    }
+
+    /// Total tuples ingested.
+    pub fn tuples_in(&self) -> u64 {
+        self.inner.borrow().counters.tuples_in
+    }
+
+    /// Total tuples emitted by the chain tail.
+    pub fn tuples_out(&self) -> u64 {
+        self.inner.borrow().counters.tuples_out
+    }
+
+    /// Total simulated CPU cost consumed by tuple processing.
+    pub fn cpu_cost(&self) -> SimDuration {
+        self.inner.borrow().counters.cpu_cost
+    }
+
+    /// Number of injected blocking events.
+    pub fn blocking_events(&self) -> u64 {
+        self.inner.borrow().counters.blocking_events
+    }
+
+    /// Average CPU seconds per input tuple, if any were processed.
+    pub fn avg_cost(&self) -> Option<f64> {
+        let c = self.inner.borrow();
+        if c.counters.tuples_in == 0 {
+            None
+        } else {
+            Some(c.counters.cpu_cost.as_secs_f64() / c.counters.tuples_in as f64)
+        }
+    }
+
+    /// Average outputs per input tuple, if any were processed.
+    pub fn avg_selectivity(&self) -> Option<f64> {
+        let c = self.inner.borrow();
+        if c.counters.tuples_in == 0 {
+            None
+        } else {
+            Some(c.counters.tuples_out as f64 / c.counters.tuples_in as f64)
+        }
+    }
+
+    /// Resets counters (used to discard warm-up).
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().counters = OpCounters::default();
+        self.in_queue.reset_stats();
+    }
+
+    /// Pops and processes one tuple. The caller must consume
+    /// [`WorkItem::cost`] of CPU and then call [`finish`](OpCell::finish).
+    pub fn begin(&self, ctx: &mut SimCtx) -> Begin {
+        if let Some(t) = self.throttle.borrow().as_ref() {
+            if t.saturated() {
+                return Begin::Throttled;
+            }
+        }
+        let backlog = self.in_queue.len();
+        let Some((mut tuple, was_full)) = self.in_queue.pop() else {
+            return Begin::Empty;
+        };
+        if was_full {
+            ctx.wake(self.in_queue.producer_wait());
+        }
+        if self.is_ingress {
+            tuple.ingress_time = ctx.now();
+        }
+        let input_event = tuple.event_time;
+        let input_ingress = tuple.ingress_time;
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        inner.counters.tuples_in += 1;
+
+        // Run the fused chain. Stage k's port-0 outputs feed stage k+1;
+        // only the tail's outputs leave the operator (see physical.rs for
+        // why middle stages cannot have external edges).
+        let mut cost = SimDuration::ZERO;
+        let mut current = std::mem::take(&mut inner.scratch_a);
+        current.clear();
+        current.push((0, tuple));
+        let mut next = std::mem::take(&mut inner.scratch_b);
+        let n_stages = inner.stages.len();
+        for (k, stage) in inner.stages.iter_mut().enumerate() {
+            next.clear();
+            for (_, t) in current.drain(..) {
+                let mut emitter = Emitter::new(ctx.now());
+                stage.logic.process(&t, &mut emitter);
+                let outs = emitter.into_outputs();
+                cost += stage.cost.cost(outs.len());
+                if k + 1 < n_stages {
+                    // Internal hand-off: only port 0 continues the chain.
+                    next.extend(outs.into_iter().filter(|(p, _)| *p == 0));
+                } else {
+                    next.extend(outs);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        let outputs: Vec<(u16, Tuple)> = std::mem::take(&mut current);
+        inner.scratch_a = current;
+        inner.scratch_b = next;
+        inner.counters.tuples_out += outputs.len() as u64;
+        if !self.is_ingress {
+            if let Some(penalty) = self.backlog_penalty {
+                let scaled = cost.as_nanos() as f64 * penalty.multiplier(backlog);
+                cost = SimDuration::from_nanos(scaled as u64);
+            }
+        }
+        inner.counters.cpu_cost += cost;
+
+        let block_after = self.blocking.and_then(|spec| {
+            if inner.rng.gen_bool(spec.probability.clamp(0.0, 1.0)) {
+                inner.counters.blocking_events += 1;
+                let nanos = inner.rng.gen_range(0..=spec.max_duration.as_nanos());
+                Some(SimDuration::from_nanos(nanos))
+            } else {
+                None
+            }
+        });
+
+        Begin::Item(WorkItem {
+            cost,
+            block_after,
+            input_event,
+            input_ingress,
+            outputs,
+            out_idx: 0,
+            edge_idx: 0,
+        })
+    }
+
+    /// Delivers a work item's outputs downstream and records egress
+    /// latencies. Returns [`FinishOutcome::Stalled`] if a bounded queue is
+    /// full (Flink-style backpressure).
+    pub fn finish(&self, ctx: &mut SimCtx, item: WorkItem) -> FinishOutcome {
+        self.deliver(ctx, item)
+    }
+
+    /// Continues delivering a previously stalled item.
+    pub fn resume(&self, ctx: &mut SimCtx, item: WorkItem) -> FinishOutcome {
+        self.deliver(ctx, item)
+    }
+
+    fn deliver(&self, ctx: &mut SimCtx, mut item: WorkItem) -> FinishOutcome {
+        let mut inner = self.inner.borrow_mut();
+        while item.out_idx < item.outputs.len() {
+            let port = item.outputs[item.out_idx].0;
+            let n_edges = inner.out_edges.len();
+            while item.edge_idx < n_edges {
+                {
+                    let edge = &inner.out_edges[item.edge_idx];
+                    if edge.port != port || edge.targets.is_empty() {
+                        item.edge_idx += 1;
+                        continue;
+                    }
+                }
+                let target = {
+                    let tuple = &item.outputs[item.out_idx].1;
+                    let edge = &mut inner.out_edges[item.edge_idx];
+                    let target_idx = edge.route(tuple);
+                    edge.targets[target_idx].clone()
+                };
+                let tuple = item.outputs[item.out_idx].1.clone();
+                if target.node() == self.node {
+                    match target.push(tuple) {
+                        PushOutcome::Pushed(was_empty) => {
+                            if was_empty {
+                                ctx.wake(target.consumer_wait());
+                            }
+                        }
+                        PushOutcome::Full => {
+                            drop(inner);
+                            return FinishOutcome::Stalled {
+                                wait: target.producer_wait(),
+                                item,
+                            };
+                        }
+                    }
+                } else {
+                    // Cross-node transfer: reserve a slot now (credit-based
+                    // flow control), deliver after the network delay.
+                    if !target.reserve() {
+                        drop(inner);
+                        return FinishOutcome::Stalled {
+                            wait: target.producer_wait(),
+                            item,
+                        };
+                    }
+                    let q = target.clone();
+                    ctx.defer(self.net_delay, move |k| {
+                        if q.push_reserved(tuple) {
+                            k.wake(q.consumer_wait());
+                        }
+                    });
+                }
+                item.edge_idx += 1;
+            }
+            item.out_idx += 1;
+            item.edge_idx = 0;
+        }
+        drop(inner);
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut()
+                .record(ctx.now(), item.input_event, item.input_ingress);
+        }
+        FinishOutcome::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Consume, PassThrough};
+    use simos::Kernel;
+
+    struct Fixture {
+        kernel: Kernel,
+        node: NodeId,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let mut kernel = Kernel::default();
+            let node = kernel.add_node("n", 1);
+            Fixture { kernel, node }
+        }
+
+        fn queue(&mut self, name: &str, cap: Option<usize>) -> Queue {
+            Queue::new(&mut self.kernel, name, self.node, cap)
+        }
+
+        fn ctx(&self) -> SimCtx {
+            SimCtx::detached(self.kernel.now())
+        }
+    }
+
+    fn cell(
+        fx: &mut Fixture,
+        in_queue: Queue,
+        stages: Vec<Stage>,
+        sink: Option<Rc<RefCell<SinkCollector>>>,
+    ) -> OpCellRef {
+        OpCell::new(
+            OpCellSpec {
+                id: 0,
+                name: "op#0".into(),
+                query: "q".into(),
+                node: fx.node,
+                is_ingress: true,
+                in_queue,
+                sink,
+                blocking: None,
+                backlog_penalty: None,
+                net_delay: SimDuration::from_micros(100),
+                seed: 7,
+            },
+            stages,
+        )
+    }
+
+    fn stage(logic: impl OperatorLogic + 'static, us: u64) -> Stage {
+        Stage {
+            logical: 0,
+            name: "s".into(),
+            logic: Box::new(logic),
+            cost: CostModel::micros(us),
+        }
+    }
+
+    fn tuple(key: u64) -> Tuple {
+        Tuple::new(SimTime::ZERO, key, vec![])
+    }
+
+    #[test]
+    fn begin_empty_queue_returns_none() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 10)], None);
+        let mut ctx = fx.ctx();
+        assert!(c.begin(&mut ctx).item().is_none());
+    }
+
+    #[test]
+    fn begin_processes_and_counts() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        q.push(tuple(1));
+        let out_q = fx.queue("out", None);
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 10)], None);
+        c.set_out_edges(vec![OutEdge::new(
+            0,
+            Partitioning::Forward,
+            vec![out_q.clone()],
+        )]);
+        let mut ctx = fx.ctx();
+        let item = c.begin(&mut ctx).item().unwrap();
+        assert_eq!(item.cost, SimDuration::from_micros(10));
+        assert!(matches!(c.finish(&mut ctx, item), FinishOutcome::Done));
+        assert_eq!(out_q.len(), 1);
+        assert_eq!(c.tuples_in(), 1);
+        assert_eq!(c.tuples_out(), 1);
+        assert_eq!(c.avg_selectivity(), Some(1.0));
+        assert_eq!(c.avg_cost(), Some(10e-6));
+    }
+
+    #[test]
+    fn fused_chain_costs_accumulate() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        q.push(tuple(1));
+        // Stage 1 duplicates, stage 2 passes through: 2 tail outputs.
+        let dup = |t: &Tuple, out: &mut Emitter| {
+            out.emit(t.clone());
+            out.emit(t.clone());
+        };
+        let c = cell(
+            &mut fx,
+            q,
+            vec![stage(dup, 10), stage(PassThrough, 5)],
+            None,
+        );
+        let mut ctx = fx.ctx();
+        let item = c.begin(&mut ctx).item().unwrap();
+        // 10us for stage 1 (one invocation) + 2 × 5us for stage 2.
+        assert_eq!(item.cost, SimDuration::from_micros(20));
+        assert_eq!(c.tuples_out(), 2);
+    }
+
+    #[test]
+    fn bounded_queue_stalls_and_resumes() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        q.push(tuple(1));
+        let out_q = fx.queue("out", Some(1));
+        out_q.push(tuple(9)); // already full
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 10)], None);
+        c.set_out_edges(vec![OutEdge::new(
+            0,
+            Partitioning::Forward,
+            vec![out_q.clone()],
+        )]);
+        let mut ctx = fx.ctx();
+        let item = c.begin(&mut ctx).item().unwrap();
+        let FinishOutcome::Stalled { wait, item } = c.finish(&mut ctx, item) else {
+            panic!("expected stall");
+        };
+        assert_eq!(wait, out_q.producer_wait());
+        // Drain the target and resume.
+        out_q.pop();
+        assert!(matches!(c.resume(&mut ctx, item), FinishOutcome::Done));
+        assert_eq!(out_q.len(), 1);
+    }
+
+    #[test]
+    fn keyhash_routes_consistently() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        for k in 0..20 {
+            q.push(tuple(k));
+        }
+        let t0 = fx.queue("t0", None);
+        let t1 = fx.queue("t1", None);
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 1)], None);
+        c.set_out_edges(vec![OutEdge::new(
+            0,
+            Partitioning::KeyHash,
+            vec![t0.clone(), t1.clone()],
+        )]);
+        let mut ctx = fx.ctx();
+        for _ in 0..20 {
+            let item = c.begin(&mut ctx).item().unwrap();
+            let _ = c.finish(&mut ctx, item);
+        }
+        assert_eq!(t0.len() + t1.len(), 20);
+        assert!(!t0.is_empty() && !t1.is_empty(), "keys spread across replicas");
+        // Same key always goes to the same replica: replay key 3.
+        let q2 = fx.queue("in2", None);
+        q2.push(tuple(3));
+        q2.push(tuple(3));
+        let c2 = cell(&mut fx, q2, vec![stage(PassThrough, 1)], None);
+        let t0b = fx.queue("t0b", None);
+        let t1b = fx.queue("t1b", None);
+        c2.set_out_edges(vec![OutEdge::new(
+            0,
+            Partitioning::KeyHash,
+            vec![t0b.clone(), t1b.clone()],
+        )]);
+        for _ in 0..2 {
+            let item = c2.begin(&mut ctx).item().unwrap();
+            let _ = c2.finish(&mut ctx, item);
+        }
+        assert!(t0b.len() == 2 || t1b.len() == 2);
+    }
+
+    #[test]
+    fn shuffle_round_robins() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        for k in 0..10 {
+            q.push(tuple(k));
+        }
+        let t0 = fx.queue("t0", None);
+        let t1 = fx.queue("t1", None);
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 1)], None);
+        c.set_out_edges(vec![OutEdge::new(
+            0,
+            Partitioning::Shuffle,
+            vec![t0.clone(), t1.clone()],
+        )]);
+        let mut ctx = fx.ctx();
+        for _ in 0..10 {
+            let item = c.begin(&mut ctx).item().unwrap();
+            let _ = c.finish(&mut ctx, item);
+        }
+        assert_eq!(t0.len(), 5);
+        assert_eq!(t1.len(), 5);
+    }
+
+    #[test]
+    fn egress_records_latencies() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        q.push(tuple(1));
+        let sink = Rc::new(RefCell::new(SinkCollector::new("sink")));
+        let c = cell(&mut fx, q, vec![stage(Consume, 5)], Some(sink.clone()));
+        let mut ctx = fx.ctx();
+        let item = c.begin(&mut ctx).item().unwrap();
+        let _ = c.finish(&mut ctx, item);
+        assert_eq!(sink.borrow().count(), 1);
+    }
+
+    #[test]
+    fn blocking_injection_is_deterministic() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        for k in 0..2000 {
+            q.push(tuple(k));
+        }
+        let mut c = OpCell::new(
+            OpCellSpec {
+                id: 0,
+                name: "op#0".into(),
+                query: "q".into(),
+                node: fx.node,
+                is_ingress: false,
+                in_queue: q,
+                sink: None,
+                blocking: Some(BlockingSpec {
+                    probability: 0.05,
+                    max_duration: SimDuration::from_millis(200),
+                }),
+                backlog_penalty: None,
+                net_delay: SimDuration::ZERO,
+                seed: 42,
+            },
+            vec![stage(Consume, 1)],
+        );
+        let mut ctx = fx.ctx();
+        let mut blocks = 0;
+        while let Some(item) = c.begin(&mut ctx).item() {
+            if let Some(d) = item.block_after {
+                assert!(d <= SimDuration::from_millis(200));
+                blocks += 1;
+            }
+            let _ = c.finish(&mut ctx, item);
+        }
+        // ~5% of 2000 = 100 expected.
+        assert!((60..160).contains(&blocks), "blocks = {blocks}");
+        assert_eq!(c.blocking_events(), blocks);
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut fx = Fixture::new();
+        let q = fx.queue("in", None);
+        q.push(tuple(1));
+        let c = cell(&mut fx, q, vec![stage(PassThrough, 10)], None);
+        let mut ctx = fx.ctx();
+        let item = c.begin(&mut ctx).item().unwrap();
+        let _ = c.finish(&mut ctx, item);
+        c.reset_stats();
+        assert_eq!(c.tuples_in(), 0);
+        assert_eq!(c.avg_cost(), None);
+    }
+}

@@ -1,0 +1,229 @@
+//! Operator logic: the user-defined transformation a physical operator
+//! applies to each tuple, plus its (simulated) CPU cost model.
+//!
+//! An operator is characterised by its *cost* (average time to process a
+//! tuple) and *selectivity* (average outputs per input) — paper §2. Here
+//! selectivity emerges from the logic's emissions and cost from the
+//! [`CostModel`].
+
+use std::fmt;
+
+use simos::{SimDuration, SimTime};
+
+use crate::tuple::Tuple;
+
+/// Output collector handed to [`OperatorLogic::process`].
+///
+/// Tuples are emitted on numbered ports; edges of the query graph bind to a
+/// port (port 0 by default), which is how splitter operators route different
+/// record types down different branches.
+#[derive(Debug)]
+pub struct Emitter {
+    now: SimTime,
+    buf: Vec<(u16, Tuple)>,
+}
+
+impl Emitter {
+    /// Creates an emitter; useful for exercising logic outside an engine
+    /// (unit tests, benchmarks).
+    pub fn new(now: SimTime) -> Self {
+        Emitter {
+            now,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Emits a tuple on port 0.
+    pub fn emit(&mut self, tuple: Tuple) {
+        self.buf.push((0, tuple));
+    }
+
+    /// Emits a tuple on the given port.
+    pub fn emit_to(&mut self, port: u16, tuple: Tuple) {
+        self.buf.push((port, tuple));
+    }
+
+    /// Number of tuples emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes the emitter, returning the `(port, tuple)` outputs.
+    pub fn into_outputs(self) -> Vec<(u16, Tuple)> {
+        self.buf
+    }
+}
+
+/// The per-tuple transformation of an operator.
+///
+/// Implementations are stateful (windows, Bloom filters, counters); each
+/// physical replica gets its own instance from the logical operator's
+/// factory.
+pub trait OperatorLogic {
+    /// Processes one input tuple, emitting any outputs.
+    fn process(&mut self, input: &Tuple, out: &mut Emitter);
+}
+
+impl<F> OperatorLogic for F
+where
+    F: FnMut(&Tuple, &mut Emitter),
+{
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        self(input, out)
+    }
+}
+
+/// How much simulated CPU a tuple costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// A fixed cost per input tuple.
+    Fixed(SimDuration),
+    /// A base cost plus a cost per emitted output tuple.
+    PerOutput {
+        /// Cost charged for every input tuple.
+        base: SimDuration,
+        /// Additional cost per emitted output.
+        per_output: SimDuration,
+    },
+}
+
+impl CostModel {
+    /// The cost of processing one tuple that produced `outputs` tuples.
+    pub fn cost(&self, outputs: usize) -> SimDuration {
+        match *self {
+            CostModel::Fixed(c) => c,
+            CostModel::PerOutput { base, per_output } => base + per_output * outputs as u64,
+        }
+    }
+
+    /// Convenience constructor for a fixed cost in microseconds.
+    pub fn micros(us: u64) -> CostModel {
+        CostModel::Fixed(SimDuration::from_micros(us))
+    }
+}
+
+/// A logic that forwards every tuple unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassThrough;
+
+impl OperatorLogic for PassThrough {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        out.emit(input.clone());
+    }
+}
+
+/// A logic that forwards tuples satisfying a predicate.
+pub struct Filter<P>(pub P);
+
+impl<P> fmt::Debug for Filter<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Filter")
+    }
+}
+
+impl<P: FnMut(&Tuple) -> bool> OperatorLogic for Filter<P> {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        if (self.0)(input) {
+            out.emit(input.clone());
+        }
+    }
+}
+
+/// A logic that transforms each tuple one-to-one.
+pub struct Map<F>(pub F);
+
+impl<F> fmt::Debug for Map<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Map")
+    }
+}
+
+impl<F: FnMut(&Tuple) -> Tuple> OperatorLogic for Map<F> {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        out.emit((self.0)(input));
+    }
+}
+
+/// A logic that consumes tuples and emits nothing (egress endpoint work,
+/// e.g. publishing to an external broker, happens via its cost model).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Consume;
+
+impl OperatorLogic for Consume {
+    fn process(&mut self, _input: &Tuple, _out: &mut Emitter) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> Tuple {
+        Tuple::new(SimTime::ZERO, 7, vec![1.0.into()])
+    }
+
+    fn run(logic: &mut dyn OperatorLogic, t: &Tuple) -> Vec<(u16, Tuple)> {
+        let mut e = Emitter::new(SimTime::ZERO);
+        logic.process(t, &mut e);
+        e.into_outputs()
+    }
+
+    #[test]
+    fn pass_through_forwards() {
+        let out = run(&mut PassThrough, &tuple());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[0].1, tuple());
+    }
+
+    #[test]
+    fn filter_drops_and_keeps() {
+        let mut keep = Filter(|_: &Tuple| true);
+        let mut drop = Filter(|_: &Tuple| false);
+        assert_eq!(run(&mut keep, &tuple()).len(), 1);
+        assert_eq!(run(&mut drop, &tuple()).len(), 0);
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut m = Map(|t: &Tuple| t.derive(t.key * 2, vec![]));
+        let out = run(&mut m, &tuple());
+        assert_eq!(out[0].1.key, 14);
+    }
+
+    #[test]
+    fn emitter_ports() {
+        let mut e = Emitter::new(SimTime::ZERO);
+        e.emit(tuple());
+        e.emit_to(3, tuple());
+        assert_eq!(e.emitted(), 2);
+        let out = e.into_outputs();
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 3);
+    }
+
+    #[test]
+    fn cost_models() {
+        assert_eq!(CostModel::micros(5).cost(100), SimDuration::from_micros(5));
+        let per = CostModel::PerOutput {
+            base: SimDuration::from_micros(10),
+            per_output: SimDuration::from_micros(2),
+        };
+        assert_eq!(per.cost(0), SimDuration::from_micros(10));
+        assert_eq!(per.cost(5), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn closures_are_logic() {
+        let mut double = |t: &Tuple, out: &mut Emitter| {
+            out.emit(t.clone());
+            out.emit(t.clone());
+        };
+        let out = run(&mut double, &tuple());
+        assert_eq!(out.len(), 2);
+    }
+}

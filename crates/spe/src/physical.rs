@@ -1,0 +1,275 @@
+//! Logical → physical DAG conversion: operator **fission** (replication)
+//! and **fusion** (chaining), the deployment-time optimizations of §2.
+//!
+//! Fusion is conservative, matching Flink's chaining rules: an edge is
+//! chained only when it is a port-0 `Forward` edge, the producer's sole
+//! output, the consumer's sole input, and both ends have equal parallelism.
+//! With chaining disabled (the paper's Flink configuration in §6.3) every
+//! logical operator becomes `parallelism` standalone physical operators.
+
+use crate::graph::{LogicalGraph, LogicalOpId, Partitioning, Role};
+
+/// Index of a physical operator within its physical graph.
+pub type PhysOpId = usize;
+
+/// A physical edge: tuples emitted on `port` by the tail of a chain are
+/// routed to one of the target replicas according to `partitioning`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysEdgeSpec {
+    /// Output port of the producing chain's tail operator.
+    pub port: u16,
+    /// Routing across the consumer's replicas.
+    pub partitioning: Partitioning,
+    /// Consumer replicas, ordered by replica index.
+    pub targets: Vec<PhysOpId>,
+}
+
+/// A physical operator: one replica of a (possibly fused) chain of logical
+/// operators, executed by one thread in thread-per-operator engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysOpSpec {
+    /// Physical operator id.
+    pub id: PhysOpId,
+    /// Display name, e.g. `"parse+filter#1"`.
+    pub name: String,
+    /// The fused logical operators, upstream first.
+    pub chain: Vec<LogicalOpId>,
+    /// Replica index within the chain's fission group.
+    pub replica: usize,
+    /// Outgoing edges from the chain tail.
+    pub out_edges: Vec<PhysEdgeSpec>,
+    /// Whether the head of the chain is an Ingress operator.
+    pub is_ingress: bool,
+    /// The logical Egress operator at the chain tail, if any.
+    pub egress: Option<LogicalOpId>,
+}
+
+/// The physical DAG plus the logical↔physical mapping that Lachesis'
+/// transformation rules need (paper §5.1, Algorithm 2).
+#[derive(Debug)]
+pub struct PhysicalGraph {
+    /// Physical operators.
+    pub ops: Vec<PhysOpSpec>,
+    /// For each logical operator, its physical replicas.
+    pub logical_to_physical: Vec<Vec<PhysOpId>>,
+}
+
+impl PhysicalGraph {
+    /// Builds the physical DAG for `graph`.
+    pub fn build(graph: &LogicalGraph, chaining: bool) -> PhysicalGraph {
+        let n = graph.ops.len();
+
+        // 1. Decide chain edges.
+        let mut chained_into: Vec<Option<LogicalOpId>> = vec![None; n]; // consumer -> producer
+        let mut chains_to: Vec<Option<LogicalOpId>> = vec![None; n]; // producer -> consumer
+        if chaining {
+            for e in &graph.edges {
+                let from = &graph.ops[e.from];
+                let to = &graph.ops[e.to];
+                let chainable = e.port == 0
+                    && e.partitioning == Partitioning::Forward
+                    && from.parallelism == to.parallelism
+                    && graph.out_edges(e.from).count() == 1
+                    && graph.in_edges(e.to).count() == 1
+                    && to.role != Role::Ingress;
+                if chainable {
+                    chained_into[e.to] = Some(e.from);
+                    chains_to[e.from] = Some(e.to);
+                }
+            }
+        }
+
+        // 2. Materialize chains (heads are ops nobody chains into).
+        let mut chains: Vec<Vec<LogicalOpId>> = Vec::new();
+        let mut chain_of: Vec<usize> = vec![usize::MAX; n];
+        #[allow(clippy::needless_range_loop)] // head is also the chain seed
+        for head in 0..n {
+            if chained_into[head].is_some() {
+                continue;
+            }
+            let mut chain = vec![head];
+            let mut cur = head;
+            while let Some(next) = chains_to[cur] {
+                chain.push(next);
+                cur = next;
+            }
+            for &op in &chain {
+                chain_of[op] = chains.len();
+            }
+            chains.push(chain);
+        }
+
+        // 3. Replicate each chain (fission) and assign physical ids.
+        let mut ops: Vec<PhysOpSpec> = Vec::new();
+        let mut replicas_of_chain: Vec<Vec<PhysOpId>> = Vec::with_capacity(chains.len());
+        for chain in &chains {
+            let parallelism = graph.ops[chain[0]].parallelism;
+            let base_name = chain
+                .iter()
+                .map(|&l| graph.ops[l].name.as_str())
+                .collect::<Vec<_>>()
+                .join("+");
+            let mut ids = Vec::with_capacity(parallelism);
+            for r in 0..parallelism {
+                let id = ops.len();
+                ids.push(id);
+                let tail = *chain.last().expect("chains are non-empty");
+                ops.push(PhysOpSpec {
+                    id,
+                    name: format!("{base_name}#{r}"),
+                    chain: chain.clone(),
+                    replica: r,
+                    out_edges: Vec::new(),
+                    is_ingress: graph.ops[chain[0]].role == Role::Ingress,
+                    egress: (graph.ops[tail].role == Role::Egress).then_some(tail),
+                });
+            }
+            replicas_of_chain.push(ids);
+        }
+
+        // 4. Wire non-chained edges from chain tails.
+        for e in &graph.edges {
+            if chained_into[e.to] == Some(e.from) {
+                continue; // internal to a chain
+            }
+            let from_chain = chain_of[e.from];
+            debug_assert_eq!(
+                *chains[from_chain].last().unwrap(),
+                e.from,
+                "external edge must leave from a chain tail"
+            );
+            let to_chain = chain_of[e.to];
+            let targets = replicas_of_chain[to_chain].clone();
+            // Forward routing needs equal parallelism; degrade gracefully
+            // to shuffle otherwise (how real SPEs rebalance).
+            let same_par = replicas_of_chain[from_chain].len() == targets.len();
+            let partitioning = match e.partitioning {
+                Partitioning::Forward if !same_par => Partitioning::Shuffle,
+                p => p,
+            };
+            for &p in &replicas_of_chain[from_chain] {
+                ops[p].out_edges.push(PhysEdgeSpec {
+                    port: e.port,
+                    partitioning,
+                    targets: targets.clone(),
+                });
+            }
+        }
+
+        // 5. Logical → physical mapping.
+        let logical_to_physical = (0..n)
+            .map(|l| replicas_of_chain[chain_of[l]].clone())
+            .collect();
+
+        PhysicalGraph {
+            ops,
+            logical_to_physical,
+        }
+    }
+
+    /// Physical operators implementing a logical operator.
+    pub fn physical_of(&self, logical: LogicalOpId) -> &[PhysOpId] {
+        &self.logical_to_physical[logical]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LogicalGraph;
+    use crate::operator::{Consume, CostModel, PassThrough};
+
+    fn pipeline(parallelism: &[usize]) -> LogicalGraph {
+        let mut b = LogicalGraph::builder("p");
+        let mut prev = None;
+        for (i, &p) in parallelism.iter().enumerate() {
+            let role = if i == 0 {
+                Role::Ingress
+            } else if i == parallelism.len() - 1 {
+                Role::Egress
+            } else {
+                Role::Transform
+            };
+            let id = b.op(&format!("op{i}"), role, CostModel::micros(1), p, || {
+                Box::new(PassThrough)
+            });
+            if let Some(prev) = prev {
+                b.edge(prev, id, Partitioning::Forward);
+            }
+            prev = Some(id);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_chaining_one_phys_per_replica() {
+        let g = pipeline(&[1, 2, 1]);
+        let pg = PhysicalGraph::build(&g, false);
+        assert_eq!(pg.ops.len(), 4);
+        assert_eq!(pg.physical_of(1).len(), 2);
+        // op0 (1 replica) -> op1 (2 replicas): forward degraded to shuffle.
+        assert_eq!(pg.ops[0].out_edges[0].partitioning, Partitioning::Shuffle);
+        assert_eq!(pg.ops[0].out_edges[0].targets.len(), 2);
+        assert!(pg.ops[0].is_ingress);
+        assert_eq!(pg.ops[3].egress, Some(2));
+    }
+
+    #[test]
+    fn chaining_fuses_linear_pipeline() {
+        let g = pipeline(&[1, 1, 1]);
+        let pg = PhysicalGraph::build(&g, true);
+        assert_eq!(pg.ops.len(), 1, "whole pipeline fuses into one op");
+        assert_eq!(pg.ops[0].chain, vec![0, 1, 2]);
+        assert_eq!(pg.ops[0].name, "op0+op1+op2#0");
+        assert!(pg.ops[0].is_ingress);
+        assert_eq!(pg.ops[0].egress, Some(2));
+        assert_eq!(pg.physical_of(1), &[0]);
+    }
+
+    #[test]
+    fn chaining_breaks_on_parallelism_change() {
+        let g = pipeline(&[1, 2, 2]);
+        let pg = PhysicalGraph::build(&g, true);
+        // op0 alone; op1+op2 fused, 2 replicas.
+        assert_eq!(pg.ops.len(), 3);
+        assert_eq!(pg.ops[1].chain, vec![1, 2]);
+        assert_eq!(pg.ops[1].replica, 0);
+        assert_eq!(pg.ops[2].replica, 1);
+    }
+
+    #[test]
+    fn chaining_breaks_on_fanout() {
+        let mut b = LogicalGraph::builder("fan");
+        let src = b.op("src", Role::Ingress, CostModel::micros(1), 1, || {
+            Box::new(PassThrough)
+        });
+        let l = b.op("l", Role::Egress, CostModel::micros(1), 1, || {
+            Box::new(Consume)
+        });
+        let r = b.op("r", Role::Egress, CostModel::micros(1), 1, || {
+            Box::new(Consume)
+        });
+        b.edge(src, l, Partitioning::Forward);
+        b.edge(src, r, Partitioning::Forward);
+        let g = b.build().unwrap();
+        let pg = PhysicalGraph::build(&g, true);
+        assert_eq!(pg.ops.len(), 3, "fan-out edges never chain");
+        assert_eq!(pg.ops[0].out_edges.len(), 2);
+    }
+
+    #[test]
+    fn keyhash_routing_preserved() {
+        let mut b = LogicalGraph::builder("kh");
+        let src = b.op("src", Role::Ingress, CostModel::micros(1), 1, || {
+            Box::new(PassThrough)
+        });
+        let agg = b.op("agg", Role::Egress, CostModel::micros(1), 4, || {
+            Box::new(Consume)
+        });
+        b.edge(src, agg, Partitioning::KeyHash);
+        let g = b.build().unwrap();
+        let pg = PhysicalGraph::build(&g, true);
+        assert_eq!(pg.ops[0].out_edges[0].partitioning, Partitioning::KeyHash);
+        assert_eq!(pg.ops[0].out_edges[0].targets.len(), 4);
+    }
+}

@@ -1,0 +1,408 @@
+//! Worker-pool execution: the substrate for user-level streaming schedulers.
+//!
+//! UL-SS baselines (EdgeWise, Haren) do not bind operators to threads.
+//! Instead a small pool of worker threads repeatedly asks a
+//! [`PoolScheduler`] which operator to run next and for how many tuples —
+//! exactly the model of the paper's §1/§2. The scheduler sees *fresh*
+//! operator state (queue lengths, costs) because it runs inside the engine,
+//! the advantage Haren enjoys over Lachesis in Fig. 14.
+//!
+//! The known drawback reproduced here (paper §6.4): when an operator blocks
+//! (injected I/O), the *worker* sleeps, stalling a whole execution slot.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simos::{Action, SimCtx, SimDuration, SimTime, ThreadBody, WaitId};
+
+use crate::opcell::{Begin, FinishOutcome, OpCellRef, WorkItem};
+
+/// What the pool scheduler sees when picking work.
+pub struct PoolView<'a> {
+    /// All operator cells of the engine, by pool index.
+    pub ops: &'a [OpCellRef],
+    /// Whether an operator is currently claimed by a worker.
+    pub in_flight: &'a [bool],
+    /// Current simulated time.
+    pub now: SimTime,
+}
+
+impl std::fmt::Debug for PoolView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolView")
+            .field("ops", &self.ops.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A task assignment: which operator to run and for at most how many tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolTask {
+    /// Pool index of the operator.
+    pub op: usize,
+    /// Maximum tuples to process before asking again.
+    pub batch: usize,
+}
+
+/// A user-level scheduling strategy driving the worker pool.
+pub trait PoolScheduler {
+    /// Picks the next task for idle worker `worker`, or `None` if there is
+    /// nothing runnable for it (the worker then sleeps until new input
+    /// arrives). Schedulers that partition operators among workers (Haren)
+    /// key off the worker index; others ignore it.
+    fn next_task(&mut self, view: &PoolView<'_>, worker: usize) -> Option<PoolTask>;
+
+    /// Notifies that a worker finished (or abandoned) a task.
+    fn task_done(&mut self, op: usize, processed: usize);
+}
+
+/// State shared between the workers of one engine instance.
+pub struct PoolShared {
+    /// Operator cells, by pool index.
+    pub ops: Vec<OpCellRef>,
+    /// Claim flags preventing two workers from running the same operator.
+    pub in_flight: RefCell<Vec<bool>>,
+    /// Channel idle workers sleep on; pushes and task completions wake it.
+    pub wait: WaitId,
+    /// The scheduling strategy.
+    pub scheduler: RefCell<Box<dyn PoolScheduler>>,
+    /// CPU cost charged for each scheduling decision (pick overhead).
+    pub pick_cost: SimDuration,
+    /// CPU cost charged when a worker switches to a *different* operator
+    /// than it last executed: a user-level operator switch repopulates
+    /// caches just like a kernel context switch does.
+    pub op_switch_cost: SimDuration,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared")
+            .field("ops", &self.ops.len())
+            .field("wait", &self.wait)
+            .field("pick_cost", &self.pick_cost)
+            .finish_non_exhaustive()
+    }
+}
+
+enum WorkerState {
+    Idle,
+    /// Charged the pick cost; about to start the claimed task.
+    Claimed { task: PoolTask, processed: usize },
+    Working {
+        task: PoolTask,
+        processed: usize,
+        item: WorkItem,
+    },
+    Stalled {
+        task: PoolTask,
+        processed: usize,
+        item: WorkItem,
+    },
+    /// Sleeping out an injected blocking I/O inside a task.
+    Blocking { task: PoolTask, processed: usize },
+}
+
+/// The [`ThreadBody`] of one pool worker.
+pub struct WorkerBody {
+    pool: Rc<PoolShared>,
+    id: usize,
+    state: WorkerState,
+    last_op: Option<usize>,
+}
+
+impl std::fmt::Debug for WorkerBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerBody").finish_non_exhaustive()
+    }
+}
+
+impl WorkerBody {
+    /// Creates worker number `id` for the pool.
+    pub fn new(pool: Rc<PoolShared>, id: usize) -> Self {
+        WorkerBody {
+            pool,
+            id,
+            state: WorkerState::Idle,
+            last_op: None,
+        }
+    }
+
+    fn end_task(&mut self, ctx: &mut SimCtx, task: PoolTask, processed: usize) {
+        self.pool.in_flight.borrow_mut()[task.op] = false;
+        self.pool
+            .scheduler
+            .borrow_mut()
+            .task_done(task.op, processed);
+        // Other idle workers may now be able to claim this operator.
+        ctx.wake(self.pool.wait);
+        self.state = WorkerState::Idle;
+    }
+}
+
+impl ThreadBody for WorkerBody {
+    fn next_action(&mut self, ctx: &mut SimCtx) -> Action {
+        loop {
+            match std::mem::replace(&mut self.state, WorkerState::Idle) {
+                WorkerState::Idle => {
+                    let task = {
+                        let in_flight = self.pool.in_flight.borrow();
+                        let view = PoolView {
+                            ops: &self.pool.ops,
+                            in_flight: &in_flight,
+                            now: ctx.now(),
+                        };
+                        self.pool.scheduler.borrow_mut().next_task(&view, self.id)
+                    };
+                    match task {
+                        None => return Action::Block(self.pool.wait),
+                        Some(task) => {
+                            debug_assert!(task.op < self.pool.ops.len());
+                            debug_assert!(task.batch > 0);
+                            self.pool.in_flight.borrow_mut()[task.op] = true;
+                            self.state = WorkerState::Claimed { task, processed: 0 };
+                            let mut cost = self.pool.pick_cost;
+                            if self.last_op != Some(task.op) {
+                                cost += self.pool.op_switch_cost;
+                            }
+                            self.last_op = Some(task.op);
+                            if !cost.is_zero() {
+                                return Action::Compute(cost);
+                            }
+                        }
+                    }
+                }
+                WorkerState::Claimed { task, processed } => {
+                    if processed >= task.batch {
+                        self.end_task(ctx, task, processed);
+                        continue;
+                    }
+                    match self.pool.ops[task.op].begin(ctx) {
+                        // Queue drained or spout throttled: task over (the
+                        // scheduler will rotate to other work).
+                        Begin::Empty | Begin::Throttled => {
+                            self.end_task(ctx, task, processed);
+                        }
+                        Begin::Item(item) => {
+                            let cost = item.cost;
+                            self.state = WorkerState::Working {
+                                task,
+                                processed,
+                                item,
+                            };
+                            return Action::Compute(cost);
+                        }
+                    }
+                }
+                WorkerState::Working {
+                    task,
+                    processed,
+                    item,
+                } => {
+                    let block_after = item.block_after;
+                    match self.pool.ops[task.op].finish(ctx, item) {
+                        FinishOutcome::Done => {
+                            let processed = processed + 1;
+                            if let Some(d) = block_after {
+                                self.state = WorkerState::Blocking { task, processed };
+                                return Action::Sleep(d);
+                            }
+                            self.state = WorkerState::Claimed { task, processed };
+                        }
+                        FinishOutcome::Stalled { wait, item } => {
+                            self.state = WorkerState::Stalled {
+                                task,
+                                processed,
+                                item,
+                            };
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+                WorkerState::Stalled {
+                    task,
+                    processed,
+                    item,
+                } => {
+                    let block_after = item.block_after;
+                    match self.pool.ops[task.op].resume(ctx, item) {
+                        FinishOutcome::Done => {
+                            let processed = processed + 1;
+                            if let Some(d) = block_after {
+                                self.state = WorkerState::Blocking { task, processed };
+                                return Action::Sleep(d);
+                            }
+                            self.state = WorkerState::Claimed { task, processed };
+                        }
+                        FinishOutcome::Stalled { wait, item } => {
+                            self.state = WorkerState::Stalled {
+                                task,
+                                processed,
+                                item,
+                            };
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+                WorkerState::Blocking { task, processed } => {
+                    self.state = WorkerState::Claimed { task, processed };
+                }
+            }
+        }
+    }
+}
+
+/// A trivial pool scheduler processing operators round-robin; useful as a
+/// test double and as the simplest possible UL-SS.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    next: usize,
+    batch: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler with the given batch size.
+    pub fn new(batch: usize) -> Self {
+        RoundRobinScheduler {
+            next: 0,
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl PoolScheduler for RoundRobinScheduler {
+    fn next_task(&mut self, view: &PoolView<'_>, _worker: usize) -> Option<PoolTask> {
+        let n = view.ops.len();
+        for i in 0..n {
+            let op = (self.next + i) % n;
+            if !view.in_flight[op]
+                && !view.ops[op].in_queue().is_empty()
+                && !view.ops[op].throttled()
+            {
+                self.next = (op + 1) % n;
+                return Some(PoolTask {
+                    op,
+                    batch: self.batch,
+                });
+            }
+        }
+        None
+    }
+
+    fn task_done(&mut self, _op: usize, _processed: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CostModel, PassThrough};
+    use crate::opcell::{OpCell, OpCellSpec, OutEdge, Stage};
+    use crate::queue::Queue;
+    use crate::tuple::Tuple;
+    use simos::{Kernel, SimTime};
+
+    fn make_cell(_kernel: &mut Kernel, node: simos::NodeId, id: usize, q: Queue) -> OpCellRef {
+        OpCell::new(
+            OpCellSpec {
+                id,
+                name: format!("op#{id}"),
+                query: "q".into(),
+                node,
+                is_ingress: true,
+                in_queue: q,
+                sink: None,
+                blocking: None,
+                backlog_penalty: None,
+                net_delay: SimDuration::ZERO,
+                seed: id as u64,
+            },
+            vec![Stage {
+                logical: id,
+                name: format!("op{id}"),
+                logic: Box::new(PassThrough),
+                cost: CostModel::micros(50),
+            }],
+        )
+    }
+
+    #[test]
+    fn pool_processes_all_queues() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 2);
+        let pool_wait = kernel.new_wait_channel();
+        let mut queues = Vec::new();
+        let mut cells = Vec::new();
+        let out = Queue::new(&mut kernel, "out", node, None);
+        for i in 0..3 {
+            let q = Queue::new(&mut kernel, &format!("q{i}"), node, None);
+            q.set_consumer_wait(pool_wait);
+            let cell = make_cell(&mut kernel, node, i, q.clone());
+            cell.set_out_edges(vec![OutEdge::new(
+                0,
+                crate::graph::Partitioning::Forward,
+                vec![out.clone()],
+            )]);
+            queues.push(q);
+            cells.push(cell);
+        }
+        let pool = Rc::new(PoolShared {
+            ops: cells.clone(),
+            in_flight: RefCell::new(vec![false; 3]),
+            wait: pool_wait,
+            scheduler: RefCell::new(Box::new(RoundRobinScheduler::new(4))),
+            pick_cost: SimDuration::from_micros(2),
+            op_switch_cost: SimDuration::from_micros(10),
+        });
+        for w in 0..2 {
+            kernel
+                .spawn(node, &format!("worker{w}"), WorkerBody::new(Rc::clone(&pool), w))
+                .build();
+        }
+        for (i, q) in queues.iter().enumerate() {
+            for k in 0..10 {
+                q.push(Tuple::new(SimTime::ZERO, (i * 100 + k) as u64, vec![]));
+            }
+        }
+        kernel.wake(pool_wait);
+        kernel.run_for(SimDuration::from_millis(50));
+        assert_eq!(out.len(), 30, "all tuples processed by the pool");
+        for c in &cells {
+            assert_eq!(c.tuples_in(), 10);
+        }
+        // Workers idle now; a late push must wake them.
+        queues[1].push(Tuple::new(kernel.now(), 999, vec![]));
+        kernel.wake(pool_wait);
+        kernel.run_for(SimDuration::from_millis(5));
+        assert_eq!(out.len(), 31);
+    }
+
+    #[test]
+    fn no_two_workers_share_an_operator() {
+        // With one op and two workers, the in_flight flag must serialize.
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 2);
+        let pool_wait = kernel.new_wait_channel();
+        let q = Queue::new(&mut kernel, "q", node, None);
+        q.set_consumer_wait(pool_wait);
+        let cell = make_cell(&mut kernel, node, 0, q.clone());
+        let pool = Rc::new(PoolShared {
+            ops: vec![cell.clone()],
+            in_flight: RefCell::new(vec![false]),
+            wait: pool_wait,
+            scheduler: RefCell::new(Box::new(RoundRobinScheduler::new(2))),
+            pick_cost: SimDuration::ZERO,
+            op_switch_cost: SimDuration::ZERO,
+        });
+        for w in 0..2 {
+            kernel
+                .spawn(node, &format!("worker{w}"), WorkerBody::new(Rc::clone(&pool), w))
+                .build();
+        }
+        for k in 0..20 {
+            q.push(Tuple::new(SimTime::ZERO, k, vec![]));
+        }
+        kernel.wake(pool_wait);
+        kernel.run_for(SimDuration::from_millis(20));
+        assert_eq!(cell.tuples_in(), 20);
+    }
+}

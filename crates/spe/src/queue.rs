@@ -1,0 +1,280 @@
+//! Inter-operator tuple queues.
+//!
+//! Every physical operator has one input queue. Storm-like and Liebre-like
+//! engines use **unbounded** queues (imbalance accumulates, latency grows
+//! without limit — the behaviour Figs. 5–10 exploit); the Flink-like engine
+//! uses **bounded** queues with producer blocking, which yields the
+//! credit-based backpressure of Figs. 11–12.
+//!
+//! A queue lives on the consumer's node. Remote producers reserve a slot
+//! synchronously and deliver the tuple after a network delay, mimicking
+//! credit-based flow control across nodes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simos::{Kernel, NodeId, SimTime, WaitId};
+
+use crate::tuple::Tuple;
+
+#[derive(Debug)]
+struct QueueInner {
+    deque: VecDeque<Tuple>,
+    capacity: Option<usize>,
+    /// Slots reserved by in-flight remote pushes.
+    reserved: usize,
+    pushed: u64,
+    popped: u64,
+    peak: usize,
+    consumer_wait: WaitId,
+    producer_wait: WaitId,
+}
+
+/// A shared handle to an operator input queue.
+#[derive(Debug, Clone)]
+pub struct Queue {
+    inner: Rc<RefCell<QueueInner>>,
+    name: Rc<str>,
+    node: NodeId,
+}
+
+/// Result of a push attempt on a bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The tuple was enqueued; `true` if the queue was empty before (the
+    /// consumer may be blocked and should be woken).
+    Pushed(bool),
+    /// The queue is full; the producer must block on
+    /// [`producer_wait`](Queue::producer_wait) and retry.
+    Full,
+}
+
+impl Queue {
+    /// Creates a queue on `node`. `capacity: None` means unbounded.
+    ///
+    /// Allocates the queue's wake channels from `kernel`.
+    pub fn new(kernel: &mut Kernel, name: &str, node: NodeId, capacity: Option<usize>) -> Self {
+        Queue {
+            inner: Rc::new(RefCell::new(QueueInner {
+                deque: VecDeque::new(),
+                capacity,
+                reserved: 0,
+                pushed: 0,
+                popped: 0,
+                peak: 0,
+                consumer_wait: kernel.new_wait_channel(),
+                producer_wait: kernel.new_wait_channel(),
+            })),
+            name: Rc::from(name),
+            node,
+        }
+    }
+
+    /// The queue's name (for metric paths).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node the queue (and its consumer) lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Channel the consumer blocks on when the queue is empty.
+    pub fn consumer_wait(&self) -> WaitId {
+        self.inner.borrow().consumer_wait
+    }
+
+    /// Channel producers block on when the queue is full.
+    pub fn producer_wait(&self) -> WaitId {
+        self.inner.borrow().producer_wait
+    }
+
+    /// Overrides the consumer wake channel (worker-pool engines share one
+    /// channel across all operator queues). Visible through every clone of
+    /// this queue handle.
+    pub fn set_consumer_wait(&self, channel: WaitId) {
+        self.inner.borrow_mut().consumer_wait = channel;
+    }
+
+    /// Attempts to enqueue a tuple.
+    pub fn push(&self, tuple: Tuple) -> PushOutcome {
+        let mut q = self.inner.borrow_mut();
+        if let Some(cap) = q.capacity {
+            if q.deque.len() + q.reserved >= cap {
+                return PushOutcome::Full;
+            }
+        }
+        let was_empty = q.deque.is_empty();
+        q.deque.push_back(tuple);
+        q.pushed += 1;
+        let len = q.deque.len();
+        if len > q.peak {
+            q.peak = len;
+        }
+        PushOutcome::Pushed(was_empty)
+    }
+
+    /// Reserves a slot for an in-flight remote push.
+    ///
+    /// Returns false if the queue is full (the remote producer must block).
+    pub fn reserve(&self) -> bool {
+        let mut q = self.inner.borrow_mut();
+        if let Some(cap) = q.capacity {
+            if q.deque.len() + q.reserved >= cap {
+                return false;
+            }
+        }
+        q.reserved += 1;
+        true
+    }
+
+    /// Completes a reserved remote push; returns whether the queue was
+    /// empty before (consumer should be woken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot was reserved.
+    pub fn push_reserved(&self, tuple: Tuple) -> bool {
+        let mut q = self.inner.borrow_mut();
+        assert!(q.reserved > 0, "push_reserved without reserve on {}", self.name);
+        q.reserved -= 1;
+        let was_empty = q.deque.is_empty();
+        q.deque.push_back(tuple);
+        q.pushed += 1;
+        let len = q.deque.len();
+        if len > q.peak {
+            q.peak = len;
+        }
+        was_empty
+    }
+
+    /// Dequeues the oldest tuple; `was_full` tells the consumer to wake
+    /// blocked producers.
+    pub fn pop(&self) -> Option<(Tuple, bool)> {
+        let mut q = self.inner.borrow_mut();
+        let was_full = q
+            .capacity
+            .is_some_and(|cap| q.deque.len() + q.reserved >= cap);
+        let t = q.deque.pop_front()?;
+        q.popped += 1;
+        Some((t, was_full))
+    }
+
+    /// Current number of waiting tuples.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().deque.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().deque.is_empty()
+    }
+
+    /// Age of the head tuple (now − event time), i.e. how long the oldest
+    /// waiting input has been in the system — the FCFS policy's metric.
+    pub fn head_age(&self, now: SimTime) -> Option<f64> {
+        let q = self.inner.borrow();
+        q.deque
+            .front()
+            .map(|t| now.duration_since(t.event_time.min(now)).as_secs_f64())
+    }
+
+    /// Total tuples ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.inner.borrow().pushed
+    }
+
+    /// Total tuples ever popped.
+    pub fn popped(&self) -> u64 {
+        self.inner.borrow().popped
+    }
+
+    /// Largest length ever observed.
+    pub fn peak(&self) -> usize {
+        self.inner.borrow().peak
+    }
+
+    /// Resets counters (not contents); used to discard warm-up.
+    pub fn reset_stats(&self) {
+        let mut q = self.inner.borrow_mut();
+        q.pushed = 0;
+        q.popped = 0;
+        q.peak = q.deque.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::SimDuration;
+
+    fn tuple(ms: u64) -> Tuple {
+        Tuple::new(SimTime::ZERO + SimDuration::from_millis(ms), 0, vec![])
+    }
+
+    fn make(capacity: Option<usize>) -> Queue {
+        let mut k = Kernel::default();
+        let n = k.add_node("n", 1);
+        Queue::new(&mut k, "q", n, capacity)
+    }
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let q = make(None);
+        assert_eq!(q.push(tuple(1)), PushOutcome::Pushed(true));
+        assert_eq!(q.push(tuple(2)), PushOutcome::Pushed(false));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(q.pushed(), 2);
+        assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let q = make(Some(2));
+        assert_eq!(q.push(tuple(1)), PushOutcome::Pushed(true));
+        assert_eq!(q.push(tuple(2)), PushOutcome::Pushed(false));
+        assert_eq!(q.push(tuple(3)), PushOutcome::Full);
+        let (_, was_full) = q.pop().unwrap();
+        assert!(was_full, "pop from a full queue reports it");
+        assert_eq!(q.push(tuple(3)), PushOutcome::Pushed(false));
+    }
+
+    #[test]
+    fn reservations_count_toward_capacity() {
+        let q = make(Some(2));
+        assert!(q.reserve());
+        assert_eq!(q.push(tuple(1)), PushOutcome::Pushed(true));
+        assert_eq!(q.push(tuple(2)), PushOutcome::Full);
+        assert!(!q.reserve());
+        assert!(!q.push_reserved(tuple(3)), "queue was not empty");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.push(tuple(4)), PushOutcome::Full);
+    }
+
+    #[test]
+    fn head_age_uses_event_time() {
+        let q = make(None);
+        q.push(tuple(100));
+        let now = SimTime::ZERO + SimDuration::from_millis(350);
+        assert!((q.head_age(now).unwrap() - 0.25).abs() < 1e-9);
+        assert_eq!(make(None).head_age(now), None);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let q = make(None);
+        q.push(tuple(1));
+        q.push(tuple(2));
+        q.pop();
+        q.reset_stats();
+        assert_eq!(q.pushed(), 0);
+        assert_eq!(q.popped(), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peak(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Lightweight streaming statistics: counters and a log-bucketed histogram
+//! for latency distributions (averages, tail percentiles, letter values).
+
+use simos::SimDuration;
+
+/// Growth factor between histogram bucket boundaries (~5% resolution).
+const BUCKET_GROWTH: f64 = 1.05;
+/// Smallest resolvable value (1 microsecond, in seconds).
+const BUCKET_MIN: f64 = 1e-6;
+
+/// A histogram with logarithmically spaced buckets, tuned for latencies in
+/// seconds. Supports mean, min/max and arbitrary quantiles with ~5% relative
+/// error — plenty for reproducing the paper's latency plots.
+///
+/// # Examples
+///
+/// ```
+/// use spe::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for i in 1..=100 {
+///     h.record(i as f64 / 1000.0);
+/// }
+/// assert!((h.mean().unwrap() - 0.0505).abs() < 0.001);
+/// let p99 = h.quantile(0.99).unwrap();
+/// assert!(p99 > 0.09 && p99 < 0.105, "p99 = {p99}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= BUCKET_MIN {
+            0
+        } else {
+            ((value / BUCKET_MIN).ln() / BUCKET_GROWTH.ln()).floor() as usize + 1
+        }
+    }
+
+    fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            BUCKET_MIN
+        } else {
+            // Midpoint (geometric) of the bucket.
+            BUCKET_MIN * BUCKET_GROWTH.powf(index as f64 - 0.5)
+        }
+    }
+
+    /// Records a sample (negative samples are clamped to zero).
+    pub fn record(&mut self, value: f64) {
+        let value = value.max(0.0);
+        let idx = Self::bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a simulated duration as seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples, if any.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), if any samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (idx, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_value(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Letter values for boxen plots (paper Fig. 13): returns
+    /// `(quantile, value)` pairs for the median and successive halved tails
+    /// (p75/p25, p87.5/p12.5, ...), `depth` levels deep.
+    pub fn letter_values(&self, depth: u32) -> Vec<(f64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![(0.5, self.quantile(0.5).unwrap())];
+        let mut tail = 0.25;
+        for _ in 0..depth {
+            out.push((1.0 - tail, self.quantile(1.0 - tail).unwrap()));
+            out.push((tail, self.quantile(tail).unwrap()));
+            tail /= 2.0;
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples (used to discard warm-up).
+    pub fn reset(&mut self) {
+        *self = LogHistogram::new();
+    }
+}
+
+/// A monotonically increasing event counter with rate extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    total: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.total += 1;
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Resets to zero (used to discard warm-up).
+    pub fn reset(&mut self) {
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = LogHistogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.letter_values(3).is_empty());
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 0.5).abs() / 0.5 < 0.06, "p50={p50}");
+        let p999 = h.quantile(0.999).unwrap();
+        assert!((p999 - 0.999).abs() / 0.999 < 0.06, "p999={p999}");
+        assert_eq!(h.quantile(0.0), Some(0.001));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = LogHistogram::new();
+        h.record(0.1);
+        h.record(0.3);
+        assert_eq!(h.mean(), Some(0.2));
+        assert_eq!(h.min(), Some(0.1));
+        assert_eq!(h.max(), Some(0.3));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(0.1);
+        b.record(0.3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Some(0.2));
+    }
+
+    #[test]
+    fn letter_values_nest() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        let lv = h.letter_values(2);
+        assert_eq!(lv.len(), 5);
+        assert_eq!(lv[0].0, 0.5);
+        assert_eq!(lv[1].0, 0.75);
+        assert_eq!(lv[2].0, 0.25);
+        assert_eq!(lv[3].0, 0.875);
+        assert_eq!(lv[4].0, 0.125);
+    }
+
+    #[test]
+    fn negative_samples_clamped() {
+        let mut h = LogHistogram::new();
+        h.record(-5.0);
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.total(), 5);
+        c.reset();
+        assert_eq!(c.total(), 0);
+    }
+}

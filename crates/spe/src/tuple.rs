@@ -1,0 +1,202 @@
+//! Stream tuples.
+//!
+//! A tuple carries two timestamps used by the paper's performance metrics
+//! (§3.2): `event_time`, when the Data Source produced it (end-to-end
+//! latency), and `ingress_time`, when an Ingress operator ingested it
+//! (processing latency). Derived tuples inherit the *maximum* contributing
+//! timestamps, so aggregate outputs report the latency of their newest
+//! input, matching the paper's definition.
+
+use std::sync::Arc;
+
+use simos::SimTime;
+
+/// A field value. Streams are schemaful in real SPEs; a small dynamic value
+/// type keeps the substrate engine monomorphic while letting each workload
+/// define its own record layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 64-bit float.
+    F(f64),
+    /// A 64-bit signed integer.
+    I(i64),
+    /// An interned string (cheap to clone).
+    S(Arc<str>),
+}
+
+impl Value {
+    /// Returns the float value, converting integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a string.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::F(v) => *v,
+            Value::I(v) => *v as f64,
+            Value::S(s) => panic!("expected numeric value, found string {s:?}"),
+        }
+    }
+
+    /// Returns the integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::I(v) => *v,
+            other => panic!("expected integer value, found {other:?}"),
+        }
+    }
+
+    /// Returns the string value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a string.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::S(s) => s,
+            other => panic!("expected string value, found {other:?}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::S(Arc::from(v))
+    }
+}
+
+/// A stream tuple: timestamps, a routing key and a payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// When the Data Source produced the tuple.
+    pub event_time: SimTime,
+    /// When an Ingress operator ingested it (stamped by the runtime).
+    pub ingress_time: SimTime,
+    /// Key used by key-partitioned (group-by) routing.
+    pub key: u64,
+    /// Field values.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a fresh source tuple with the given event time.
+    pub fn new(event_time: SimTime, key: u64, values: Vec<Value>) -> Self {
+        Tuple {
+            event_time,
+            ingress_time: event_time,
+            key,
+            values,
+        }
+    }
+
+    /// Creates an output tuple derived from `self`, inheriting timestamps.
+    pub fn derive(&self, key: u64, values: Vec<Value>) -> Tuple {
+        Tuple {
+            event_time: self.event_time,
+            ingress_time: self.ingress_time,
+            key,
+            values,
+        }
+    }
+
+    /// Creates a tuple derived from several inputs (e.g. a window close):
+    /// timestamps are the maximum over the contributors, per §3.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contributors` is empty.
+    pub fn derive_from_many<'a>(
+        contributors: impl IntoIterator<Item = &'a Tuple>,
+        key: u64,
+        values: Vec<Value>,
+    ) -> Tuple {
+        let mut event_time = None;
+        let mut ingress_time = None;
+        for t in contributors {
+            event_time = Some(event_time.map_or(t.event_time, |e: SimTime| e.max(t.event_time)));
+            ingress_time =
+                Some(ingress_time.map_or(t.ingress_time, |i: SimTime| i.max(t.ingress_time)));
+        }
+        Tuple {
+            event_time: event_time.expect("derive_from_many: no contributors"),
+            ingress_time: ingress_time.expect("derive_from_many: no contributors"),
+            key,
+            values,
+        }
+    }
+
+    /// Field accessor shorthand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn field(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn derive_inherits_timestamps() {
+        let mut t = Tuple::new(at(5), 1, vec![Value::F(1.0)]);
+        t.ingress_time = at(7);
+        let d = t.derive(2, vec![]);
+        assert_eq!(d.event_time, at(5));
+        assert_eq!(d.ingress_time, at(7));
+        assert_eq!(d.key, 2);
+    }
+
+    #[test]
+    fn derive_from_many_takes_max_timestamps() {
+        let a = Tuple::new(at(5), 1, vec![]);
+        let mut b = Tuple::new(at(9), 1, vec![]);
+        b.ingress_time = at(11);
+        let w = Tuple::derive_from_many([&a, &b], 3, vec![Value::I(2)]);
+        assert_eq!(w.event_time, at(9));
+        assert_eq!(w.ingress_time, at(11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn derive_from_none_panics() {
+        let _ = Tuple::derive_from_many(std::iter::empty(), 0, vec![]);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(2.5).as_f64(), 2.5);
+        assert_eq!(Value::from(3i64).as_i64(), 3);
+        assert_eq!(Value::from(3i64).as_f64(), 3.0);
+        assert_eq!(Value::from("x").as_str(), "x");
+    }
+
+    #[test]
+    #[should_panic]
+    fn string_as_f64_panics() {
+        let _ = Value::from("x").as_f64();
+    }
+}

@@ -1,0 +1,284 @@
+//! Windowed aggregation operators.
+//!
+//! Real streaming queries aggregate over tumbling or sliding windows; the
+//! evaluation workloads hand-roll their analytics, but a reusable window
+//! library belongs in any SPE substrate a downstream user would adopt.
+//! Windows are keyed (per tuple key) and event-time driven; a closing
+//! window emits one tuple derived from its contributors, inheriting the
+//! *maximum* contributor timestamps as §3.2 requires.
+
+use std::collections::HashMap;
+
+use simos::{SimDuration, SimTime};
+
+use crate::operator::{Emitter, OperatorLogic};
+use crate::tuple::{Tuple, Value};
+
+/// An incremental aggregation over window contents.
+pub trait Aggregator {
+    /// Folds one tuple into the accumulator.
+    fn add(&mut self, tuple: &Tuple);
+    /// Produces the aggregate values and resets the accumulator.
+    fn emit_and_reset(&mut self) -> Vec<Value>;
+}
+
+/// Count and mean of a numeric field.
+#[derive(Debug, Clone, Default)]
+pub struct MeanAggregator {
+    /// Index of the aggregated field.
+    pub field: usize,
+    sum: f64,
+    count: u64,
+}
+
+impl MeanAggregator {
+    /// Aggregates the given field index.
+    pub fn new(field: usize) -> Self {
+        MeanAggregator {
+            field,
+            ..Default::default()
+        }
+    }
+}
+
+impl Aggregator for MeanAggregator {
+    fn add(&mut self, tuple: &Tuple) {
+        let v = tuple.values[self.field].as_f64();
+        if !v.is_nan() {
+            self.sum += v;
+            self.count += 1;
+        }
+    }
+
+    fn emit_and_reset(&mut self) -> Vec<Value> {
+        let mean = if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        };
+        let out = vec![Value::I(self.count as i64), Value::F(mean)];
+        self.sum = 0.0;
+        self.count = 0;
+        out
+    }
+}
+
+struct OpenWindow<A> {
+    aggregator: A,
+    /// Maximum contributor timestamps (for §3.2-compliant outputs).
+    max_event: SimTime,
+    max_ingress: SimTime,
+    window_start: SimTime,
+}
+
+/// A keyed tumbling event-time window: tuples fall into consecutive
+/// `[k·size, (k+1)·size)` buckets by event time; a bucket closes (emitting
+/// one aggregate tuple per key) when a tuple of a later bucket arrives for
+/// that key.
+///
+/// # Examples
+///
+/// ```
+/// use spe::{Emitter, MeanAggregator, OperatorLogic, Tuple, TumblingWindow, Value};
+/// use simos::{SimDuration, SimTime};
+///
+/// let mut w = TumblingWindow::new(SimDuration::from_secs(1), || MeanAggregator::new(0));
+/// let mut out = Emitter::new(SimTime::ZERO);
+/// let t0 = Tuple::new(SimTime::ZERO, 7, vec![Value::F(2.0)]);
+/// let t1 = Tuple::new(SimTime::ZERO + SimDuration::from_millis(1500), 7, vec![Value::F(4.0)]);
+/// w.process(&t0, &mut out);           // window [0s,1s) still open
+/// w.process(&t1, &mut out);           // closes it
+/// let outs = out.into_outputs();
+/// assert_eq!(outs.len(), 1);
+/// // closed-window tuples carry [window_start, count, mean]:
+/// assert_eq!(outs[0].1.values[2].as_f64(), 2.0);
+/// ```
+pub struct TumblingWindow<A, F> {
+    size: SimDuration,
+    factory: F,
+    open: HashMap<u64, OpenWindow<A>>,
+}
+
+impl<A, F> std::fmt::Debug for TumblingWindow<A, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TumblingWindow")
+            .field("size", &self.size)
+            .field("open_keys", &self.open.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Aggregator, F: FnMut() -> A> TumblingWindow<A, F> {
+    /// Creates a tumbling window of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: SimDuration, factory: F) -> Self {
+        assert!(!size.is_zero(), "window size must be > 0");
+        TumblingWindow {
+            size,
+            factory,
+            open: HashMap::new(),
+        }
+    }
+
+    fn bucket(&self, t: SimTime) -> SimTime {
+        let s = self.size.as_nanos();
+        SimTime::from_nanos(t.as_nanos() / s * s)
+    }
+}
+
+impl<A: Aggregator, F: FnMut() -> A> OperatorLogic for TumblingWindow<A, F> {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let bucket = self.bucket(input.event_time);
+        let entry = self.open.entry(input.key).or_insert_with(|| OpenWindow {
+            aggregator: (self.factory)(),
+            max_event: input.event_time,
+            max_ingress: input.ingress_time,
+            window_start: bucket,
+        });
+        if bucket > entry.window_start {
+            // Close the previous window for this key.
+            let mut values = entry.aggregator.emit_and_reset();
+            values.insert(0, Value::I(entry.window_start.as_nanos() as i64));
+            let mut closed = Tuple::new(entry.max_event, input.key, values);
+            closed.ingress_time = entry.max_ingress;
+            out.emit(closed);
+            entry.window_start = bucket;
+            entry.max_event = input.event_time;
+            entry.max_ingress = input.ingress_time;
+        } else {
+            entry.max_event = entry.max_event.max(input.event_time);
+            entry.max_ingress = entry.max_ingress.max(input.ingress_time);
+        }
+        entry.aggregator.add(input);
+    }
+}
+
+/// A keyed sliding window of the last `size` of event time: every input
+/// emits the aggregate over that key's retained tuples (like the STATS
+/// sliding analytics).
+pub struct SlidingWindow<A, F> {
+    size: SimDuration,
+    factory: F,
+    retained: HashMap<u64, Vec<Tuple>>,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A, F> std::fmt::Debug for SlidingWindow<A, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlidingWindow")
+            .field("size", &self.size)
+            .field("keys", &self.retained.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Aggregator, F: FnMut() -> A> SlidingWindow<A, F> {
+    /// Creates a sliding window of the given span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: SimDuration, factory: F) -> Self {
+        assert!(!size.is_zero(), "window size must be > 0");
+        SlidingWindow {
+            size,
+            factory,
+            retained: HashMap::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: Aggregator, F: FnMut() -> A> OperatorLogic for SlidingWindow<A, F> {
+    fn process(&mut self, input: &Tuple, out: &mut Emitter) {
+        let horizon = SimTime::from_nanos(
+            input
+                .event_time
+                .as_nanos()
+                .saturating_sub(self.size.as_nanos()),
+        );
+        let retained = self.retained.entry(input.key).or_default();
+        retained.retain(|t| t.event_time > horizon);
+        retained.push(input.clone());
+        let mut agg = (self.factory)();
+        for t in retained.iter() {
+            agg.add(t);
+        }
+        let result =
+            Tuple::derive_from_many(retained.iter(), input.key, agg.emit_and_reset());
+        out.emit(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn tuple(ms: u64, key: u64, v: f64) -> Tuple {
+        Tuple::new(at(ms), key, vec![Value::F(v)])
+    }
+
+    #[test]
+    fn tumbling_window_closes_per_key() {
+        let mut w = TumblingWindow::new(SimDuration::from_secs(1), || MeanAggregator::new(0));
+        let mut out = Emitter::new(SimTime::ZERO);
+        w.process(&tuple(100, 1, 10.0), &mut out);
+        w.process(&tuple(200, 1, 20.0), &mut out);
+        w.process(&tuple(300, 2, 99.0), &mut out);
+        assert_eq!(out.emitted(), 0, "windows still open");
+        // Key 1 rolls into the next window; key 2's stays open.
+        w.process(&tuple(1_100, 1, 50.0), &mut out);
+        let outs = out.into_outputs();
+        assert_eq!(outs.len(), 1);
+        let closed = &outs[0].1;
+        assert_eq!(closed.key, 1);
+        assert_eq!(closed.values[1].as_i64(), 2, "count");
+        assert_eq!(closed.values[2].as_f64(), 15.0, "mean");
+        assert_eq!(closed.event_time, at(200), "max contributor event time");
+    }
+
+    #[test]
+    fn sliding_window_evicts_old_tuples() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(1), || MeanAggregator::new(0));
+        let mut out = Emitter::new(SimTime::ZERO);
+        w.process(&tuple(0, 1, 10.0), &mut out);
+        w.process(&tuple(500, 1, 20.0), &mut out);
+        w.process(&tuple(1_400, 1, 30.0), &mut out);
+        let outs = out.into_outputs();
+        assert_eq!(outs.len(), 3, "one aggregate per input");
+        // At t=1.4s the horizon is 0.4s: the t=0 tuple is gone.
+        assert_eq!(outs[2].1.values[0].as_i64(), 2);
+        assert_eq!(outs[2].1.values[1].as_f64(), 25.0);
+    }
+
+    #[test]
+    fn sliding_window_output_inherits_max_timestamps() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(10), || MeanAggregator::new(0));
+        let mut out = Emitter::new(SimTime::ZERO);
+        w.process(&tuple(100, 1, 1.0), &mut out);
+        w.process(&tuple(50, 1, 2.0), &mut out); // out of order
+        let outs = out.into_outputs();
+        assert_eq!(outs[1].1.event_time, at(100), "max, not last");
+    }
+
+    #[test]
+    fn mean_aggregator_skips_nan() {
+        let mut a = MeanAggregator::new(0);
+        a.add(&tuple(0, 1, 4.0));
+        a.add(&Tuple::new(at(1), 1, vec![Value::F(f64::NAN)]));
+        let v = a.emit_and_reset();
+        assert_eq!(v[0].as_i64(), 1);
+        assert_eq!(v[1].as_f64(), 4.0);
+        // Reset: empty aggregate is NaN with count 0.
+        let v2 = a.emit_and_reset();
+        assert_eq!(v2[0].as_i64(), 0);
+        assert!(v2[1].as_f64().is_nan());
+    }
+}

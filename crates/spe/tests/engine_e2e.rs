@@ -1,0 +1,254 @@
+//! End-to-end tests of the SPE engines on the simulated OS.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis_metrics::{names, TimeSeriesStore};
+use simos::{Kernel, SimDuration};
+use spe::{
+    deploy, metric_path, Consume, CostModel, EngineConfig, Execution, LogicalGraph, Partitioning,
+    PassThrough, Placement, Role, RoundRobinScheduler, RunningQuery, SpeKind, Tuple,
+};
+
+/// A 4-operator pipeline: ingress -> a -> b -> sink, with uniform cost.
+fn pipeline(rate: f64, cost_us: u64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder("pipe");
+    let src = b.op("src", Role::Ingress, CostModel::micros(cost_us), 1, || {
+        Box::new(PassThrough)
+    });
+    let a = b.op("a", Role::Transform, CostModel::micros(cost_us), 1, || {
+        Box::new(PassThrough)
+    });
+    let bb = b.op("b", Role::Transform, CostModel::micros(cost_us), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(cost_us), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, a, Partitioning::Forward);
+    b.edge(a, bb, Partitioning::Forward);
+    b.edge(bb, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+fn run(config: EngineConfig, rate: f64, cost_us: u64, secs: u64) -> (Kernel, RunningQuery) {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("odroid", 4);
+    let q = deploy(
+        &mut kernel,
+        pipeline(rate, cost_us),
+        config,
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(secs));
+    (kernel, q)
+}
+
+#[test]
+fn underloaded_pipeline_keeps_up() {
+    // 1000 t/s, 50us per op over 4 CPUs: ~5% load.
+    let (_, q) = run(EngineConfig::storm(), 1000.0, 50, 10);
+    let ingested = q.ingress_total();
+    assert!((9_800..=10_100).contains(&ingested), "ingested {ingested}");
+    // Nearly everything ingested reaches the sink (a few tuples may be
+    // queued or in flight at the end of the run).
+    assert!(q.egress_total() + 20 >= q.ingress_total());
+    // Latency well under 10ms when underloaded.
+    let lat = q.latency_histogram().mean().unwrap();
+    assert!(lat < 0.01, "latency {lat}");
+}
+
+#[test]
+fn overloaded_storm_pipeline_grows_queues_unboundedly() {
+    // One operator needs 1000us per tuple => capacity ~1000 t/s per op
+    // (thread-per-op, each op its own core). Drive at 2000 t/s.
+    let (_, q) = run(EngineConfig::storm(), 2000.0, 1000, 10);
+    let sizes = q.queue_sizes();
+    let total: usize = sizes.iter().sum();
+    assert!(total > 5_000, "queues should explode, got {sizes:?}");
+    // End-to-end latency reflects the unbounded ingress queue.
+    let e2e = q.e2e_histogram().mean().unwrap();
+    assert!(e2e > 0.5, "e2e latency should explode, got {e2e}");
+}
+
+#[test]
+fn flink_backpressure_bounds_internal_queues() {
+    let (_, q) = run(EngineConfig::flink(), 2000.0, 1000, 10);
+    let sizes = q.queue_sizes();
+    // Non-ingress queues are capped at 128.
+    for (i, s) in sizes.iter().enumerate().skip(1) {
+        assert!(*s <= 128, "queue {i} exceeded capacity: {s}");
+    }
+    // The ingress (source-side) queue absorbs the overload instead.
+    assert!(sizes[0] > 2_000, "ingress queue should grow: {sizes:?}");
+    // Processing latency stays bounded thanks to backpressure...
+    let lat = q.latency_histogram().mean().unwrap();
+    assert!(lat < 1.0, "processing latency bounded: {lat}");
+    // ...while end-to-end latency explodes.
+    let e2e = q.e2e_histogram().mean().unwrap();
+    assert!(e2e > 1.0, "e2e latency explodes: {e2e}");
+}
+
+#[test]
+fn saturated_throughput_approaches_bottleneck_capacity() {
+    // 4 ops × 500us on 4 cores: per-op capacity 2000 t/s. Drive at 4000.
+    let (_, q) = run(EngineConfig::storm(), 4000.0, 500, 10);
+    let egress = q.egress_total();
+    // Should process close to 2000 t/s * 10s (minus scheduling losses).
+    assert!(
+        (15_000..=20_500).contains(&egress),
+        "egress {egress} not near saturation capacity"
+    );
+}
+
+#[test]
+fn fission_spreads_keyed_load() {
+    let mut b = LogicalGraph::builder("fiss");
+    let src = b.op("src", Role::Ingress, CostModel::micros(10), 1, || {
+        Box::new(PassThrough)
+    });
+    let work = b.op("work", Role::Transform, CostModel::micros(10), 4, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(10), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, work, Partitioning::KeyHash);
+    b.edge(work, sink, Partitioning::Shuffle);
+    b.source("gen", src, 1000.0, |seq, now| Tuple::new(now, seq, vec![]));
+    let graph = b.build().unwrap();
+
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 4);
+    let q = deploy(
+        &mut kernel,
+        graph,
+        EngineConfig::storm(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(5));
+    assert_eq!(q.op_count(), 6);
+    // All four replicas of "work" processed something.
+    let replicas = q.physical().physical_of(1).to_vec();
+    for r in replicas {
+        assert!(q.cell(r).tuples_in() > 200, "replica {r} starved");
+    }
+    assert!(q.egress_total() > 4_500);
+}
+
+#[test]
+fn scale_out_crosses_nodes() {
+    let mut b = LogicalGraph::builder("dist");
+    let src = b.op("src", Role::Ingress, CostModel::micros(50), 2, || {
+        Box::new(PassThrough)
+    });
+    let work = b.op("work", Role::Transform, CostModel::micros(50), 2, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(50), 2, || {
+        Box::new(Consume)
+    });
+    b.edge(src, work, Partitioning::Shuffle);
+    b.edge(work, sink, Partitioning::Shuffle);
+    b.source("gen", src, 1000.0, |seq, now| Tuple::new(now, seq, vec![]));
+    let graph = b.build().unwrap();
+
+    let mut kernel = Kernel::default();
+    let n0 = kernel.add_node("odroid0", 4);
+    let n1 = kernel.add_node("odroid1", 4);
+    let q = deploy(
+        &mut kernel,
+        graph,
+        EngineConfig::storm(),
+        &Placement::spread(vec![n0, n1]),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(5));
+    // Replica 0 on n0, replica 1 on n1; shuffle sends tuples across.
+    assert!(q.egress_total() > 4_000, "egress {}", q.egress_total());
+    let lat = q.latency_histogram().mean().unwrap();
+    // Network hops add latency but stay in the millisecond range.
+    assert!(lat < 0.05, "latency {lat}");
+}
+
+#[test]
+fn worker_pool_executes_query() {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 4);
+    let config = EngineConfig {
+        execution: Execution::WorkerPool {
+            workers: 4,
+            scheduler: Box::new(RoundRobinScheduler::new(16)),
+            pick_cost: SimDuration::from_micros(2),
+        },
+        ..EngineConfig::liebre()
+    };
+    let q = deploy(
+        &mut kernel,
+        pipeline(1000.0, 50),
+        config,
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(5));
+    assert!(q.pool().is_some());
+    let egress = q.egress_total();
+    assert!((4_700..=5_100).contains(&egress), "egress {egress}");
+}
+
+#[test]
+fn reporter_writes_exposed_metrics_only() {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 4);
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let q = deploy(
+        &mut kernel,
+        pipeline(500.0, 50),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(5));
+    let store = store.borrow();
+    // Storm exposes queue size but NOT cost/selectivity.
+    let qs = store.latest(&metric_path(SpeKind::Storm, "pipe", 1, names::QUEUE_SIZE));
+    assert!(qs.is_some());
+    let cost = store.latest(&metric_path(SpeKind::Storm, "pipe", 1, names::COST));
+    assert!(cost.is_none(), "storm must not expose op.cost directly");
+    let tin = store
+        .latest(&metric_path(SpeKind::Storm, "pipe", 0, names::TUPLES_IN))
+        .unwrap()
+        .1;
+    assert!(tin > 1_000.0, "tuples_in metric: {tin}");
+    let _ = q;
+}
+
+#[test]
+fn reset_stats_discards_warmup() {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 4);
+    let q = deploy(
+        &mut kernel,
+        pipeline(1000.0, 50),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(2));
+    q.reset_stats();
+    kernel.run_for(SimDuration::from_secs(3));
+    let ingested = q.ingress_total();
+    assert!(
+        (2_800..=3_200).contains(&ingested),
+        "post-reset count {ingested}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the logical→physical conversion and the
+//! histogram used for latency reporting.
+
+use proptest::prelude::*;
+use spe::{
+    CostModel, LogHistogram, LogicalGraph, Partitioning, PassThrough, PhysicalGraph, Role,
+};
+
+/// Builds a random layered DAG: `layers` layers of 1-3 operators with
+/// random parallelism; edges connect consecutive layers.
+fn arbitrary_graph(
+    layer_sizes: Vec<usize>,
+    parallelisms: Vec<usize>,
+    partition_choices: Vec<u8>,
+) -> LogicalGraph {
+    let mut b = LogicalGraph::builder("prop");
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    let mut op_count = 0;
+    for (li, &size) in layer_sizes.iter().enumerate() {
+        let mut layer = Vec::new();
+        for _ in 0..size.max(1) {
+            let role = if li == 0 {
+                Role::Ingress
+            } else if li == layer_sizes.len() - 1 {
+                Role::Egress
+            } else {
+                Role::Transform
+            };
+            let par = parallelisms
+                .get(op_count % parallelisms.len().max(1))
+                .copied()
+                .unwrap_or(1)
+                .clamp(1, 4);
+            let id = b.op(
+                &format!("op{op_count}"),
+                role,
+                CostModel::micros(10),
+                par,
+                || Box::new(PassThrough),
+            );
+            layer.push(id);
+            op_count += 1;
+        }
+        layers.push(layer);
+    }
+    for w in layers.windows(2) {
+        let (from_layer, to_layer) = (&w[0], &w[1]);
+        for (i, &from) in from_layer.iter().enumerate() {
+            let to = to_layer[i % to_layer.len()];
+            let p = match partition_choices
+                .get((from + to) % partition_choices.len().max(1))
+                .copied()
+                .unwrap_or(0)
+                % 3
+            {
+                0 => Partitioning::Forward,
+                1 => Partitioning::Shuffle,
+                _ => Partitioning::KeyHash,
+            };
+            b.edge(from, to, p);
+        }
+    }
+    b.build().expect("layered DAGs are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every logical operator appears in at least one physical operator and
+    /// the replica counts match the declared parallelism; edge targets are
+    /// valid physical ids.
+    #[test]
+    fn physical_graph_covers_logical_graph(
+        layer_sizes in proptest::collection::vec(1usize..=3, 2..=5),
+        parallelisms in proptest::collection::vec(1usize..=4, 1..=5),
+        partition_choices in proptest::collection::vec(0u8..3, 1..=5),
+        chaining in proptest::bool::ANY,
+    ) {
+        let g = arbitrary_graph(layer_sizes, parallelisms.clone(), partition_choices);
+        let pg = PhysicalGraph::build(&g, chaining);
+        for (l, op) in g.ops.iter().enumerate() {
+            let phys = pg.physical_of(l);
+            prop_assert_eq!(
+                phys.len(),
+                op.parallelism,
+                "logical {} has {} replicas, wanted {}",
+                op.name, phys.len(), op.parallelism
+            );
+            for &p in phys {
+                prop_assert!(pg.ops[p].chain.contains(&l));
+            }
+        }
+        let total: usize = pg.ops.len();
+        for spec in &pg.ops {
+            prop_assert!(spec.id < total);
+            for e in &spec.out_edges {
+                for &t in &e.targets {
+                    prop_assert!(t < total, "edge target {t} out of range");
+                }
+            }
+        }
+    }
+
+    /// Chaining never changes the logical operator set and never produces
+    /// MORE physical operators than the unchained deployment.
+    #[test]
+    fn chaining_only_fuses(
+        layer_sizes in proptest::collection::vec(1usize..=3, 2..=5),
+        parallelisms in proptest::collection::vec(1usize..=4, 1..=5),
+    ) {
+        let g1 = arbitrary_graph(layer_sizes.clone(), parallelisms.clone(), vec![0]);
+        let g2 = arbitrary_graph(layer_sizes, parallelisms, vec![0]);
+        let plain = PhysicalGraph::build(&g1, false);
+        let chained = PhysicalGraph::build(&g2, true);
+        prop_assert!(chained.ops.len() <= plain.ops.len());
+        let logical_in_chains: usize = chained.ops.iter().map(|o| o.chain.len()).sum();
+        let logical_in_plain: usize = plain.ops.iter().map(|o| o.chain.len()).sum();
+        prop_assert_eq!(logical_in_chains, logical_in_plain);
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in proptest::collection::vec(1e-6f64..10.0, 1..500),
+    ) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+            prev = v;
+        }
+    }
+
+    /// The histogram's quantile error stays within the bucket resolution.
+    #[test]
+    fn histogram_error_is_bounded(scale in 1e-4f64..1.0) {
+        let mut h = LogHistogram::new();
+        let n = 1_000;
+        for i in 1..=n {
+            h.record(i as f64 * scale / n as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let expect = 0.5 * scale;
+        prop_assert!((p50 - expect).abs() / expect < 0.07, "p50={p50} expect={expect}");
+    }
+}

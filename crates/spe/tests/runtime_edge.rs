@@ -1,0 +1,263 @@
+//! Edge-case tests of the engine runtimes: chaining, backpressure under
+//! multiple producers, cross-node flow control, and worker-pool guards.
+
+use simos::{Kernel, SimDuration};
+use spe::{
+    deploy, Consume, CostModel, EngineConfig, Execution, LogicalGraph, Partitioning, PassThrough,
+    Placement, Role, RoundRobinScheduler, Tuple,
+};
+
+fn pipeline(rate: f64, ops: usize, cost_us: u64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder("edge");
+    let mut prev = None;
+    for i in 0..ops {
+        let role = if i == 0 {
+            Role::Ingress
+        } else if i == ops - 1 {
+            Role::Egress
+        } else {
+            Role::Transform
+        };
+        let id = if role == Role::Egress {
+            b.op(&format!("op{i}"), role, CostModel::micros(cost_us), 1, || {
+                Box::new(Consume)
+            })
+        } else {
+            b.op(&format!("op{i}"), role, CostModel::micros(cost_us), 1, || {
+                Box::new(PassThrough)
+            })
+        };
+        if let Some(p) = prev {
+            b.edge(p, id, Partitioning::Forward);
+        }
+        prev = Some(id);
+    }
+    b.source("gen", 0, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+/// Flink chaining fuses the whole linear pipeline into one physical
+/// operator (minus the ingress-fusion restriction) and the query still
+/// computes the same result.
+#[test]
+fn chaining_end_to_end_matches_unchained() {
+    let run = |chaining: bool| -> (usize, u64) {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let config = EngineConfig {
+            chaining,
+            ..EngineConfig::flink()
+        };
+        let q = deploy(
+            &mut kernel,
+            pipeline(800.0, 5, 40),
+            config,
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(10));
+        (q.op_count(), q.egress_total())
+    };
+    let (plain_ops, plain_egress) = run(false);
+    let (chained_ops, chained_egress) = run(true);
+    assert_eq!(plain_ops, 5);
+    assert_eq!(
+        chained_ops, 1,
+        "the whole linear pipeline fuses (Flink chains sources too)"
+    );
+    // Same tuples delivered (modulo a few in flight at cutoff).
+    assert!(
+        (plain_egress as i64 - chained_egress as i64).abs() < 50,
+        "{plain_egress} vs {chained_egress}"
+    );
+}
+
+/// Two producers shuffling into one bounded consumer queue must both stall
+/// on overload and both resume — no lost wakeups, no deadlock.
+#[test]
+fn bounded_queue_with_multiple_producers() {
+    let mut b = LogicalGraph::builder("mp");
+    let s1 = b.op("src1", Role::Ingress, CostModel::micros(10), 1, || {
+        Box::new(PassThrough)
+    });
+    let s2 = b.op("src2", Role::Ingress, CostModel::micros(10), 1, || {
+        Box::new(PassThrough)
+    });
+    // A slow shared consumer: the bottleneck.
+    let slow = b.op("slow", Role::Transform, CostModel::micros(900), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(5), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(s1, slow, Partitioning::Shuffle);
+    b.edge(s2, slow, Partitioning::Shuffle);
+    b.edge(slow, sink, Partitioning::Forward);
+    b.source("g1", s1, 1_000.0, |seq, now| Tuple::new(now, seq, vec![]));
+    b.source("g2", s2, 1_000.0, |seq, now| Tuple::new(now, seq * 7 + 3, vec![]));
+    let graph = b.build().unwrap();
+
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 4);
+    let q = deploy(
+        &mut kernel,
+        graph,
+        EngineConfig::flink(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(10));
+    // The slow op caps at ~1100 t/s; its bounded queue stalls both
+    // sources, which must still make roughly equal progress.
+    let in1 = q.cell(0).tuples_out();
+    let in2 = q.cell(1).tuples_out();
+    assert!(in1 > 4_000 && in2 > 4_000, "both flow: {in1} {in2}");
+    assert!(
+        (in1 as f64 / in2 as f64 - 1.0).abs() < 0.2,
+        "balanced stalls: {in1} vs {in2}"
+    );
+    // Sink keeps receiving until the end (no deadlock).
+    assert!(q.egress_total() > 9_000, "{}", q.egress_total());
+    // And the slow op's queue respects its bound.
+    assert!(q.queue_sizes()[2] <= 128);
+}
+
+/// Cross-node bounded edges use the reserve/deliver path; backpressure
+/// still holds across the network.
+#[test]
+fn cross_node_backpressure_respects_capacity() {
+    let mut b = LogicalGraph::builder("xnode");
+    let src = b.op("src", Role::Ingress, CostModel::micros(10), 2, || {
+        Box::new(PassThrough)
+    });
+    let slow = b.op("slow", Role::Transform, CostModel::micros(700), 2, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(5), 2, || {
+        Box::new(Consume)
+    });
+    // Shuffle => half the traffic crosses nodes.
+    b.edge(src, slow, Partitioning::Shuffle);
+    b.edge(slow, sink, Partitioning::Shuffle);
+    b.source("g", src, 4_000.0, |seq, now| Tuple::new(now, seq, vec![]));
+    let graph = b.build().unwrap();
+
+    let mut kernel = Kernel::default();
+    let n0 = kernel.add_node("n0", 4);
+    let n1 = kernel.add_node("n1", 4);
+    let q = deploy(
+        &mut kernel,
+        graph,
+        EngineConfig::flink(),
+        &Placement::spread(vec![n0, n1]),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(10));
+    for (i, len) in q.queue_sizes().iter().enumerate() {
+        if !q.cell(i).is_ingress() {
+            assert!(*len <= 128, "queue {i} has {len} > capacity");
+        }
+    }
+    assert!(q.egress_total() > 20_000, "{}", q.egress_total());
+}
+
+/// Worker pools reject multi-node placements and bounded queues (both
+/// deadlock-prone), with descriptive errors.
+#[test]
+fn worker_pool_guards() {
+    let mut kernel = Kernel::default();
+    let n0 = kernel.add_node("n0", 2);
+    let n1 = kernel.add_node("n1", 2);
+    let pool = || Execution::WorkerPool {
+        workers: 2,
+        scheduler: Box::new(RoundRobinScheduler::new(4)),
+        pick_cost: SimDuration::ZERO,
+    };
+    let err = deploy(
+        &mut kernel,
+        pipeline(100.0, 3, 10),
+        EngineConfig {
+            execution: pool(),
+            ..EngineConfig::liebre()
+        },
+        &Placement::spread(vec![n0, n1]),
+        None,
+    )
+    .unwrap_err();
+    assert!(err.contains("single-node"), "{err}");
+
+    let err = deploy(
+        &mut kernel,
+        pipeline(100.0, 3, 10),
+        EngineConfig {
+            execution: pool(),
+            ..EngineConfig::flink()
+        },
+        &Placement::single(n0),
+        None,
+    )
+    .unwrap_err();
+    assert!(err.contains("unbounded"), "{err}");
+}
+
+/// Spout flow control keeps total internal backlog near the configured cap
+/// even under extreme overload.
+#[test]
+fn pending_cap_bounds_internal_backlog() {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 2);
+    let config = EngineConfig {
+        max_pending: Some(1_000),
+        ..EngineConfig::storm()
+    };
+    let q = deploy(
+        &mut kernel,
+        pipeline(20_000.0, 4, 300),
+        config,
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(10));
+    let internal: usize = q
+        .queue_sizes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !q.cell(*i).is_ingress())
+        .map(|(_, s)| *s)
+        .sum();
+    assert!(
+        internal <= 1_200,
+        "internal backlog {internal} far above the 1000 cap"
+    );
+    // The source buffer (ingress queue) absorbs the overload instead.
+    assert!(q.queue_sizes()[0] > 50_000);
+}
+
+/// Deterministic replay at the whole-engine level: identical deployments
+/// produce byte-identical statistics.
+#[test]
+fn engine_is_deterministic() {
+    let run = || -> (u64, u64, u64) {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 3);
+        let q = deploy(
+            &mut kernel,
+            pipeline(3_000.0, 6, 120),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        kernel.run_for(SimDuration::from_secs(7));
+        (
+            q.ingress_total(),
+            q.egress_total(),
+            kernel.node_stats(node).unwrap().ctx_switches,
+        )
+    };
+    assert_eq!(run(), run());
+}

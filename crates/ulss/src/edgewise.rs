@@ -1,0 +1,199 @@
+//! EdgeWise (Fu et al., USENIX ATC '19): a user-level streaming scheduler
+//! for Storm with a **fixed** queue-size policy.
+//!
+//! EdgeWise replaces Storm's thread-per-operator model with a worker pool
+//! (one worker per core) whose idle workers always run the ready operator
+//! with the most pending input. The paper uses it as the single-query
+//! baseline (§6.2); in contrast to Lachesis it is engine-coupled and has a
+//! fixed policy.
+
+use spe::{Execution, PoolScheduler, PoolTask, PoolView};
+
+use simos::SimDuration;
+
+/// The EdgeWise scheduling strategy: greedy maximum-queue-first.
+#[derive(Debug, Clone)]
+pub struct EdgeWise {
+    max_batch: usize,
+}
+
+impl EdgeWise {
+    /// Creates the strategy; `max_batch` caps how many tuples one task may
+    /// process before re-deciding (EdgeWise drains, but bounded for
+    /// responsiveness).
+    pub fn new(max_batch: usize) -> Self {
+        EdgeWise {
+            max_batch: max_batch.max(1),
+        }
+    }
+}
+
+impl Default for EdgeWise {
+    fn default() -> Self {
+        // Operation-granularity batches keep EdgeWise responsive.
+        EdgeWise::new(16)
+    }
+}
+
+impl PoolScheduler for EdgeWise {
+    fn next_task(&mut self, view: &PoolView<'_>, _worker: usize) -> Option<PoolTask> {
+        // EdgeWise schedules *bolts* by pending-queue size; spouts
+        // (ingress operators) run only when no bolt has work, and never
+        // while spout flow control holds them back.
+        let mut best: Option<(usize, usize)> = None;
+        let mut spout: Option<usize> = None;
+        for (i, op) in view.ops.iter().enumerate() {
+            if view.in_flight[i] || op.in_queue().is_empty() {
+                continue;
+            }
+            if op.is_ingress() {
+                if spout.is_none() && !op.throttled() {
+                    spout = Some(i);
+                }
+                continue;
+            }
+            let len = op.in_queue().len();
+            if best.is_none_or(|(_, blen)| len > blen) {
+                best = Some((i, len));
+            }
+        }
+        if let Some((op, len)) = best {
+            return Some(PoolTask {
+                op,
+                batch: len.min(self.max_batch),
+            });
+        }
+        spout.map(|op| PoolTask {
+            op,
+            batch: self.max_batch,
+        })
+    }
+
+    fn task_done(&mut self, _op: usize, _processed: usize) {}
+}
+
+/// The standard EdgeWise deployment: one worker per core, queue-scan
+/// overhead charged per decision.
+pub fn edgewise_execution(workers: usize) -> Execution {
+    Execution::WorkerPool {
+        workers,
+        scheduler: Box::new(EdgeWise::default()),
+        pick_cost: SimDuration::from_micros(15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{Kernel, SimTime};
+    use spe::{CostModel, OpCell, OpCellRef, OpCellSpec, PassThrough, Queue, Stage, Tuple};
+
+    fn cells(lens: &[usize]) -> (Kernel, Vec<OpCellRef>) {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let cells = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let q = Queue::new(&mut kernel, &format!("q{i}"), node, None);
+                for k in 0..len {
+                    q.push(Tuple::new(SimTime::ZERO, k as u64, vec![]));
+                }
+                OpCell::new(
+                    OpCellSpec {
+                        id: i,
+                        name: format!("op#{i}"),
+                        query: "q".into(),
+                        node,
+                        is_ingress: false,
+                        in_queue: q,
+                        sink: None,
+                        blocking: None,
+                        backlog_penalty: None,
+                        net_delay: SimDuration::ZERO,
+                        seed: i as u64,
+                    },
+                    vec![Stage {
+                        logical: i,
+                        name: format!("op{i}"),
+                        logic: Box::new(PassThrough),
+                        cost: CostModel::micros(10),
+                    }],
+                )
+            })
+            .collect();
+        (kernel, cells)
+    }
+
+    #[test]
+    fn picks_largest_queue() {
+        let (_k, ops) = cells(&[3, 10, 5]);
+        let in_flight = vec![false; 3];
+        let mut ew = EdgeWise::default();
+        let task = ew
+            .next_task(
+                &PoolView {
+                    ops: &ops,
+                    in_flight: &in_flight,
+                    now: SimTime::ZERO,
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(task.op, 1);
+        assert_eq!(task.batch, 10);
+    }
+
+    #[test]
+    fn skips_in_flight_and_empty() {
+        let (_k, ops) = cells(&[0, 10, 5]);
+        let in_flight = vec![false, true, false];
+        let mut ew = EdgeWise::default();
+        let task = ew
+            .next_task(
+                &PoolView {
+                    ops: &ops,
+                    in_flight: &in_flight,
+                    now: SimTime::ZERO,
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(task.op, 2);
+    }
+
+    #[test]
+    fn returns_none_when_nothing_ready() {
+        let (_k, ops) = cells(&[0, 0]);
+        let in_flight = vec![false, false];
+        let mut ew = EdgeWise::default();
+        assert!(ew
+            .next_task(
+                &PoolView {
+                    ops: &ops,
+                    in_flight: &in_flight,
+                    now: SimTime::ZERO,
+                },
+                0,
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn batch_capped() {
+        let (_k, ops) = cells(&[500]);
+        let in_flight = vec![false];
+        let mut ew = EdgeWise::new(32);
+        let task = ew
+            .next_task(
+                &PoolView {
+                    ops: &ops,
+                    in_flight: &in_flight,
+                    now: SimTime::ZERO,
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(task.batch, 32);
+    }
+}

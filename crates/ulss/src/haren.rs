@@ -1,0 +1,372 @@
+//! Haren (Palyvos-Giannas et al., DEBS '19): a framework for ad-hoc
+//! user-level thread scheduling policies in data streaming.
+//!
+//! Haren re-sorts operators by a pluggable priority function every
+//! *scheduling period* (50 ms in the paper's evaluation, §6.4) using fresh
+//! metrics read directly from the engine — the edge it holds over Lachesis'
+//! 1 s Graphite-limited loop (Fig. 14/15). At each refresh the sorted
+//! operators are **partitioned among the worker threads** (snake order for
+//! balance); between refreshes each worker executes only its assigned
+//! operators. A long period therefore leaves load imbalance uncorrected
+//! (Fig. 15), and a blocked operator stalls a whole worker (Fig. 16).
+
+use simos::{SimDuration, SimTime};
+use spe::{Execution, PoolScheduler, PoolTask, PoolView};
+
+/// Haren's pluggable priority functions (the ones evaluated in §6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarenPolicy {
+    /// Queue Size: more pending input → higher priority.
+    QueueSize,
+    /// First-Come-First-Serve: older head tuple → higher priority.
+    Fcfs,
+    /// Highest Rate: productive, inexpensive paths first.
+    HighestRate,
+}
+
+impl HarenPolicy {
+    /// The policy's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HarenPolicy::QueueSize => "qs",
+            HarenPolicy::Fcfs => "fcfs",
+            HarenPolicy::HighestRate => "hr",
+        }
+    }
+}
+
+/// The Haren scheduling strategy.
+#[derive(Debug)]
+pub struct Haren {
+    policy: HarenPolicy,
+    period: SimDuration,
+    batch: usize,
+    workers: usize,
+    /// Downstream pool indices per operator (for Highest Rate).
+    downstream: Vec<Vec<usize>>,
+    /// Per-worker operator assignments, priority order, refreshed each
+    /// period.
+    assignments: Vec<Vec<usize>>,
+    next_refresh: SimTime,
+}
+
+impl Haren {
+    /// Creates a Haren instance for a pool of `workers` threads.
+    ///
+    /// `downstream[i]` lists the pool indices fed by operator `i` (Haren is
+    /// engine-coupled, so it knows the topology). Required by
+    /// [`HarenPolicy::HighestRate`]; may be empty otherwise.
+    pub fn new(
+        policy: HarenPolicy,
+        period: SimDuration,
+        batch: usize,
+        workers: usize,
+        downstream: Vec<Vec<usize>>,
+    ) -> Self {
+        Haren {
+            policy,
+            period,
+            batch: batch.max(1),
+            workers: workers.max(1),
+            downstream,
+            assignments: Vec::new(),
+            next_refresh: SimTime::ZERO,
+        }
+    }
+
+    /// The paper's default configuration: 50 ms scheduling period.
+    pub fn with_default_period(
+        policy: HarenPolicy,
+        workers: usize,
+        downstream: Vec<Vec<usize>>,
+    ) -> Self {
+        Haren::new(policy, SimDuration::from_millis(50), 16, workers, downstream)
+    }
+
+    /// The re-sort period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn priority(&self, view: &PoolView<'_>, op: usize) -> f64 {
+        // Ingress operators read from the external source, not from an
+        // engine queue: queue-based policies rank them below every bolt
+        // with pending work (sources run on leftover cycles).
+        if view.ops[op].is_ingress()
+            && matches!(self.policy, HarenPolicy::QueueSize | HarenPolicy::Fcfs)
+        {
+            return -1.0;
+        }
+        match self.policy {
+            HarenPolicy::QueueSize => view.ops[op].in_queue().len() as f64,
+            HarenPolicy::Fcfs => view.ops[op].in_queue().head_age(view.now).unwrap_or(0.0),
+            HarenPolicy::HighestRate => self
+                .highest_rate(view, op, 0)
+                .map_or(0.0, |(s, c)| s / c.max(1e-12)),
+        }
+    }
+
+    /// Best (selectivity-product, cost-sum) over output paths, from fresh
+    /// per-operator averages.
+    fn highest_rate(&self, view: &PoolView<'_>, op: usize, depth: usize) -> Option<(f64, f64)> {
+        let sel = view.ops[op].avg_selectivity().unwrap_or(1.0);
+        let cost = view.ops[op].avg_cost().unwrap_or(1e-6);
+        let down = self.downstream.get(op).map(Vec::as_slice).unwrap_or(&[]);
+        if down.is_empty() || depth > 64 {
+            return Some((sel, cost));
+        }
+        let mut best: Option<(f64, f64)> = None;
+        for &d in down {
+            let (ds, dc) = self.highest_rate(view, d, depth + 1)?;
+            let (ps, pc) = (sel * ds, cost + dc);
+            if best.is_none_or(|(bs, bc)| ps / pc.max(1e-12) > bs / bc.max(1e-12)) {
+                best = Some((ps, pc));
+            }
+        }
+        best
+    }
+
+    /// Re-sorts operators by priority and partitions them among workers in
+    /// snake order (1st to worker 0, 2nd to worker 1, ..., then back).
+    fn refresh(&mut self, view: &PoolView<'_>) {
+        let mut scored: Vec<(usize, f64)> = (0..view.ops.len())
+            .map(|op| (op, self.priority(view, op)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        self.assignments = vec![Vec::new(); self.workers];
+        for (rank, (op, _)) in scored.into_iter().enumerate() {
+            let cycle = rank / self.workers;
+            let pos = rank % self.workers;
+            let w = if cycle.is_multiple_of(2) {
+                pos
+            } else {
+                self.workers - 1 - pos
+            };
+            self.assignments[w].push(op);
+        }
+        self.next_refresh = view.now + self.period;
+    }
+
+    /// The current assignment of a worker (test hook).
+    pub fn assignment(&self, worker: usize) -> &[usize] {
+        self.assignments.get(worker).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl PoolScheduler for Haren {
+    fn next_task(&mut self, view: &PoolView<'_>, worker: usize) -> Option<PoolTask> {
+        if view.now >= self.next_refresh || self.assignments.len() != self.workers {
+            self.refresh(view);
+        }
+        let list = self.assignments.get(worker % self.workers)?;
+        for &op in list {
+            if !view.in_flight[op]
+                && !view.ops[op].in_queue().is_empty()
+                && !view.ops[op].throttled()
+            {
+                return Some(PoolTask {
+                    op,
+                    batch: self.batch,
+                });
+            }
+        }
+        None
+    }
+
+    fn task_done(&mut self, _op: usize, _processed: usize) {}
+}
+
+/// The standard Haren deployment: one worker per core, the paper's 50 ms
+/// period, and a small per-decision overhead.
+pub fn haren_execution(
+    workers: usize,
+    policy: HarenPolicy,
+    downstream: Vec<Vec<usize>>,
+) -> Execution {
+    Execution::WorkerPool {
+        workers,
+        scheduler: Box::new(Haren::with_default_period(policy, workers, downstream)),
+        pick_cost: SimDuration::from_micros(3),
+    }
+}
+
+/// Haren with an explicit scheduling period (the HAREN-1000 ablation of
+/// Fig. 15 uses 1000 ms).
+pub fn haren_execution_with_period(
+    workers: usize,
+    policy: HarenPolicy,
+    period: SimDuration,
+    downstream: Vec<Vec<usize>>,
+) -> Execution {
+    Execution::WorkerPool {
+        workers,
+        scheduler: Box::new(Haren::new(policy, period, 16, workers, downstream)),
+        pick_cost: SimDuration::from_micros(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{Kernel, SimTime};
+    use spe::{CostModel, OpCell, OpCellRef, OpCellSpec, PassThrough, Queue, Stage, Tuple};
+
+    fn cells_with_queues(lens: &[usize]) -> (Kernel, Vec<OpCellRef>) {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let cells = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let q = Queue::new(&mut kernel, &format!("q{i}"), node, None);
+                for k in 0..len {
+                    q.push(Tuple::new(
+                        SimTime::ZERO + SimDuration::from_millis(k as u64),
+                        k as u64,
+                        vec![],
+                    ));
+                }
+                OpCell::new(
+                    OpCellSpec {
+                        id: i,
+                        name: format!("op#{i}"),
+                        query: "q".into(),
+                        node,
+                        is_ingress: false,
+                        in_queue: q,
+                        sink: None,
+                        blocking: None,
+                        backlog_penalty: None,
+                        net_delay: SimDuration::ZERO,
+                        seed: i as u64,
+                    },
+                    vec![Stage {
+                        logical: i,
+                        name: format!("op{i}"),
+                        logic: Box::new(PassThrough),
+                        cost: CostModel::micros(10),
+                    }],
+                )
+            })
+            .collect();
+        (kernel, cells)
+    }
+
+    fn view<'a>(ops: &'a [OpCellRef], in_flight: &'a [bool], now: SimTime) -> PoolView<'a> {
+        PoolView {
+            ops,
+            in_flight,
+            now,
+        }
+    }
+
+    #[test]
+    fn qs_policy_assigns_biggest_queue_to_worker_zero() {
+        let (_k, ops) = cells_with_queues(&[2, 9, 5]);
+        let in_flight = vec![false; 3];
+        let mut h = Haren::new(
+            HarenPolicy::QueueSize,
+            SimDuration::from_millis(50),
+            8,
+            1,
+            vec![],
+        );
+        let task = h.next_task(&view(&ops, &in_flight, SimTime::ZERO), 0).unwrap();
+        assert_eq!(task.op, 1);
+    }
+
+    #[test]
+    fn snake_partition_balances_priorities() {
+        let (_k, ops) = cells_with_queues(&[10, 9, 8, 7, 6, 5]);
+        let in_flight = vec![false; 6];
+        let mut h = Haren::new(
+            HarenPolicy::QueueSize,
+            SimDuration::from_millis(50),
+            8,
+            2,
+            vec![],
+        );
+        let _ = h.next_task(&view(&ops, &in_flight, SimTime::ZERO), 0);
+        // Priorities 10..5 -> ranks 0..5; snake over 2 workers:
+        // worker0: ranks 0,3,4 (ops 0,3,4); worker1: ranks 1,2,5 (ops 1,2,5).
+        assert_eq!(h.assignment(0), &[0, 3, 4]);
+        assert_eq!(h.assignment(1), &[1, 2, 5]);
+    }
+
+    #[test]
+    fn workers_only_run_their_assignment() {
+        let (_k, ops) = cells_with_queues(&[10, 0]);
+        let in_flight = vec![false; 2];
+        let mut h = Haren::new(
+            HarenPolicy::QueueSize,
+            SimDuration::from_millis(50),
+            8,
+            2,
+            vec![],
+        );
+        // Worker 0 owns op 0 (only non-empty op); worker 1 owns op 1.
+        assert!(h.next_task(&view(&ops, &in_flight, SimTime::ZERO), 0).is_some());
+        assert!(
+            h.next_task(&view(&ops, &in_flight, SimTime::ZERO), 1).is_none(),
+            "worker 1's assigned op is empty; it must NOT steal"
+        );
+    }
+
+    #[test]
+    fn assignments_are_stale_between_refreshes() {
+        let (_k, ops) = cells_with_queues(&[9, 2]);
+        let in_flight = vec![false; 2];
+        let mut h = Haren::new(
+            HarenPolicy::QueueSize,
+            SimDuration::from_millis(50),
+            8,
+            2,
+            vec![],
+        );
+        let t0 = SimTime::ZERO;
+        let _ = h.next_task(&view(&ops, &in_flight, t0), 0);
+        assert_eq!(h.assignment(0), &[0]);
+        // Flip the queue sizes: op 1 becomes the big one.
+        while ops[0].in_queue().pop().is_some() {}
+        for k in 0..20 {
+            ops[1].in_queue().push(Tuple::new(t0, k, vec![]));
+        }
+        // Before the period elapses, assignments don't change.
+        let t1 = t0 + SimDuration::from_millis(10);
+        let _ = h.next_task(&view(&ops, &in_flight, t1), 0);
+        assert_eq!(h.assignment(0), &[0], "stale until the period elapses");
+        // After the period, the refresh reassigns.
+        let t2 = t0 + SimDuration::from_millis(60);
+        let _ = h.next_task(&view(&ops, &in_flight, t2), 0);
+        assert_eq!(h.assignment(0), &[1]);
+    }
+
+    #[test]
+    fn fcfs_policy_orders_by_head_age() {
+        let (_k, ops) = cells_with_queues(&[1, 1]);
+        ops[0].in_queue().pop();
+        ops[0]
+            .in_queue()
+            .push(Tuple::new(SimTime::ZERO + SimDuration::from_millis(500), 0, vec![]));
+        let in_flight = vec![false; 2];
+        let mut h = Haren::new(HarenPolicy::Fcfs, SimDuration::from_millis(50), 8, 1, vec![]);
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        let task = h.next_task(&view(&ops, &in_flight, now), 0).unwrap();
+        assert_eq!(task.op, 1, "op1 head (t=0) is older than op0 head (t=0.5s)");
+    }
+
+    #[test]
+    fn hr_uses_topology() {
+        let (_k, ops) = cells_with_queues(&[1, 1, 1]);
+        let mut h = Haren::new(
+            HarenPolicy::HighestRate,
+            SimDuration::from_millis(50),
+            8,
+            1,
+            vec![vec![1], vec![2], vec![]],
+        );
+        let in_flight = vec![false; 3];
+        let task = h.next_task(&view(&ops, &in_flight, SimTime::ZERO), 0).unwrap();
+        assert_eq!(task.op, 2, "sink-adjacent op has the highest rate");
+    }
+}

@@ -1,0 +1,17 @@
+//! # ulss — baseline user-level streaming schedulers
+//!
+//! The state-of-the-art UL-SS baselines the Lachesis paper compares
+//! against: [`EdgeWise`] (USENIX ATC '19) and [`Haren`]
+//! (DEBS '19). Both schedule operators from user space on a worker pool
+//! inside the engine (see [`spe::PoolScheduler`]), which gives them fresh,
+//! fine-grained metrics but couples them to the SPE and makes blocking
+//! operators stall whole workers — the trade-off §6 of the paper explores.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod edgewise;
+mod haren;
+
+pub use edgewise::{edgewise_execution, EdgeWise};
+pub use haren::{haren_execution, haren_execution_with_period, Haren, HarenPolicy};

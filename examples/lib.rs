@@ -1,0 +1,1 @@
+//! Examples live next to this file; run with `cargo run -p lachesis-examples --example quickstart`.

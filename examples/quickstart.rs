@@ -1,0 +1,76 @@
+//! Quickstart: deploy a streaming query on the simulated edge device and
+//! let Lachesis schedule it.
+//!
+//! ```text
+//! cargo run -p lachesis-examples --example quickstart
+//! ```
+
+use std::error::Error;
+
+use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A simulated Odroid-class edge device (4 cores).
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+
+    // 2. The Graphite-like metric store every SPE reports into (1 s
+    //    resolution, which bounds Lachesis' scheduling period — §6.1).
+    let store = std::rc::Rc::new(std::cell::RefCell::new(TimeSeriesStore::new(
+        SimDuration::from_secs(1),
+    )));
+
+    // 3. Deploy the RIoTBench ETL query on the Storm-like engine at a rate
+    //    slightly past the default scheduler's comfort zone.
+    let query = deploy(
+        &mut kernel,
+        queries::etl(1_550.0, 7),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(store.clone()),
+    )?;
+
+    // 4. Start Lachesis: Queue-Size policy applied through thread nice.
+    //    No SPE internals touched — only the driver's public APIs.
+    LachesisBuilder::new()
+        .driver(StoreDriver::storm(vec![query.clone()], store))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build()
+        .start(&mut kernel);
+
+    // 5. Run one simulated minute and report.
+    kernel.run_for(SimDuration::from_secs(10));
+    query.reset_stats(); // discard warm-up
+    kernel.run_for(SimDuration::from_secs(50));
+
+    let throughput = query.ingress_total() as f64 / 50.0;
+    let latency = query.latency_histogram();
+    let e2e = query.e2e_histogram();
+    println!("ETL on storm-like engine, Lachesis-QS via nice:");
+    println!("  throughput : {throughput:.0} tuples/s");
+    println!(
+        "  latency    : mean {:.2} ms, p99 {:.2} ms",
+        latency.mean().unwrap_or(0.0) * 1e3,
+        latency.quantile(0.99).unwrap_or(0.0) * 1e3
+    );
+    println!(
+        "  end-to-end : mean {:.2} ms",
+        e2e.mean().unwrap_or(0.0) * 1e3
+    );
+    println!("  queues     : {:?}", query.queue_sizes());
+    let stats = kernel.node_stats(node)?;
+    println!(
+        "  cpu        : {:.0}% utilized, {} context switches",
+        stats.utilization() * 100.0,
+        stats.ctx_switches
+    );
+    Ok(())
+}

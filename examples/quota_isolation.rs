@@ -1,0 +1,83 @@
+//! Multi-tenant isolation with the §8 extension mechanisms: a well-behaved
+//! query shares an edge device with an overloaded "noisy neighbour". CPU
+//! quotas (hard caps, unlike the relative `cpu.shares`) protect the victim;
+//! the real-time band protects its sink's tail latency.
+//!
+//! ```text
+//! cargo run --release -p lachesis-examples --example quota_isolation
+//! ```
+
+use std::error::Error;
+
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement, RunningQuery};
+
+fn deploy_pair(kernel: &mut Kernel, node: simos::NodeId) -> (RunningQuery, RunningQuery) {
+    let victim = deploy(
+        kernel,
+        queries::lr(3_000.0, 1),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    let noisy = deploy(
+        kernel,
+        queries::lr(9_000.0, 2), // far beyond what the device can absorb
+        EngineConfig::storm(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    (victim, noisy)
+}
+
+fn run(quota: bool) -> Result<(f64, f64), Box<dyn Error>> {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let (victim, noisy) = deploy_pair(&mut kernel, node);
+
+    if quota {
+        // Cap the noisy tenant at 1 of the 4 cores (100ms per 100ms window).
+        let root = kernel.node_root(node)?;
+        let jail = kernel.create_cgroup(root, "noisy-tenant", 1024)?;
+        for &tid in noisy.threads() {
+            kernel.move_to_cgroup(tid, jail)?;
+        }
+        kernel.set_cpu_quota(
+            jail,
+            Some((SimDuration::from_millis(100), SimDuration::from_millis(100))),
+        )?;
+        // And lift the victim's egress operators into the RT band: they
+        // block most of the time, so this is starvation-safe and trims
+        // their scheduling delay.
+        for (i, spec) in victim.physical().ops.iter().enumerate() {
+            if spec.egress.is_some() {
+                kernel.set_rt_priority(victim.cell(i).thread().unwrap(), Some(50))?;
+            }
+        }
+    }
+
+    kernel.run_for(SimDuration::from_secs(5));
+    victim.reset_stats();
+    noisy.reset_stats();
+    kernel.run_for(SimDuration::from_secs(25));
+    Ok((
+        victim.latency_histogram().mean().unwrap_or(0.0) * 1e3,
+        noisy.ingress_total() as f64 / 25.0,
+    ))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Victim query (3000 t/s) vs noisy neighbour (9000 t/s offered)");
+    println!("on 4 cores, with and without a CPU quota on the neighbour:\n");
+    let (v_lat, n_tput) = run(false)?;
+    println!("  no quota : victim latency {v_lat:>10.2} ms, neighbour {n_tput:.0} t/s");
+    let (v_lat, n_tput) = run(true)?;
+    println!("  quota+RT : victim latency {v_lat:>10.2} ms, neighbour {n_tput:.0} t/s");
+    println!("\ncpu.shares alone cannot express this: shares are relative weights,");
+    println!("so an overloaded neighbour still claims idle cycles; the quota is a");
+    println!("hard ceiling (paper §8 future-work mechanisms, crates/simos +");
+    println!("lachesis::CpuQuotaTranslator / RealTimeTranslator).");
+    Ok(())
+}

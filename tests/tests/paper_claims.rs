@@ -1,0 +1,362 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end
+//! through the whole stack: simulated OS → SPE engines → metric store →
+//! drivers → policies → translators.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, BlockingConfig, EngineConfig, Execution, Placement, RunningQuery, SpeKind};
+use ulss::{edgewise_execution, haren_execution, HarenPolicy};
+
+fn store() -> Rc<RefCell<TimeSeriesStore>> {
+    Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))))
+}
+
+struct Run {
+    throughput: f64,
+    latency: f64,
+    e2e: f64,
+}
+
+fn run_lr_storm(rate: f64, with_lachesis: bool) -> Run {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let st = store();
+    let q = deploy(
+        &mut kernel,
+        queries::lr(rate, 1),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(Rc::clone(&st)),
+    )
+    .unwrap();
+    if with_lachesis {
+        LachesisBuilder::new()
+            .driver(StoreDriver::storm(vec![q.clone()], st))
+            .policy(
+                0,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                NiceTranslator::new(),
+            )
+            .build()
+            .start(&mut kernel);
+    }
+    kernel.run_for(SimDuration::from_secs(4));
+    q.reset_stats();
+    kernel.run_for(SimDuration::from_secs(16));
+    Run {
+        throughput: q.ingress_total() as f64 / 16.0,
+        latency: q.latency_histogram().mean().unwrap_or(0.0),
+        e2e: q.e2e_histogram().mean().unwrap_or(0.0),
+    }
+}
+
+/// §6.3 / Fig. 9: near the OS saturation point, Lachesis-QS sustains higher
+/// throughput and much lower latency on LR/Storm.
+#[test]
+fn lachesis_beats_os_on_linear_road() {
+    let os = run_lr_storm(4_500.0, false);
+    let la = run_lr_storm(4_500.0, true);
+    assert!(
+        la.throughput > os.throughput * 1.05,
+        "throughput: lachesis {} vs os {}",
+        la.throughput,
+        os.throughput
+    );
+    assert!(
+        la.latency < os.latency / 3.0,
+        "latency: lachesis {} vs os {}",
+        la.latency,
+        os.latency
+    );
+    assert!(la.e2e < os.e2e, "e2e: {} vs {}", la.e2e, os.e2e);
+}
+
+/// §6.1: below saturation every scheduler keeps up and latencies are small;
+/// custom scheduling must not hurt the easy case.
+#[test]
+fn all_schedulers_keep_up_below_saturation() {
+    for with_lachesis in [false, true] {
+        let r = run_lr_storm(2_000.0, with_lachesis);
+        assert!(
+            (1_960.0..=2_040.0).contains(&r.throughput),
+            "tput {} (lachesis={with_lachesis})",
+            r.throughput
+        );
+        assert!(r.latency < 0.05, "latency {} (lachesis={with_lachesis})", r.latency);
+    }
+}
+
+/// §6.2: on ETL, Lachesis-QS at least matches EdgeWise's throughput while
+/// both beat plain OS scheduling.
+#[test]
+fn etl_ordering_matches_paper() {
+    let run = |execution: Option<Execution>, with_lachesis: bool| -> Run {
+        let mut kernel = Kernel::new(machines::odroid_config());
+        let node = machines::add_odroid(&mut kernel, "odroid");
+        let st = store();
+        let mut config = EngineConfig::storm();
+        if let Some(e) = execution {
+            config.execution = e;
+        }
+        let q = deploy(
+            &mut kernel,
+            queries::etl(1_750.0, 1),
+            config,
+            &Placement::single(node),
+            Some(Rc::clone(&st)),
+        )
+        .unwrap();
+        if with_lachesis {
+            LachesisBuilder::new()
+                .driver(StoreDriver::storm(vec![q.clone()], st))
+                .policy(
+                    0,
+                    Scope::AllQueries,
+                    QueueSizePolicy::default(),
+                    NiceTranslator::new(),
+                )
+                .build()
+                .start(&mut kernel);
+        }
+        kernel.run_for(SimDuration::from_secs(4));
+        q.reset_stats();
+        kernel.run_for(SimDuration::from_secs(16));
+        Run {
+            throughput: q.ingress_total() as f64 / 16.0,
+            latency: q.latency_histogram().mean().unwrap_or(0.0),
+            e2e: q.e2e_histogram().mean().unwrap_or(0.0),
+        }
+    };
+    let os = run(None, false);
+    let edgewise = run(Some(edgewise_execution(4)), false);
+    let la = run(None, true);
+    assert!(
+        la.throughput >= edgewise.throughput * 0.99,
+        "lachesis {} vs edgewise {}",
+        la.throughput,
+        edgewise.throughput
+    );
+    assert!(
+        edgewise.throughput > os.throughput * 1.02,
+        "edgewise {} vs os {}",
+        edgewise.throughput,
+        os.throughput
+    );
+    assert!(la.e2e < os.e2e, "e2e: lachesis {} vs os {}", la.e2e, os.e2e);
+}
+
+/// §6.4 / Fig. 16: with blocking operators, Lachesis (OS threads) sustains
+/// more than Haren (whose workers stall).
+#[test]
+fn blocking_hurts_haren_more_than_lachesis() {
+    let blocking = Some(BlockingConfig {
+        fraction: 0.1,
+        probability: 0.01,
+        max_duration: SimDuration::from_millis(200),
+    });
+    let graph = || queries::syn(1_900.0, queries::SynConfig::default());
+    let downstream = queries::downstream_indices(&graph());
+    let run = |ulss: bool| -> f64 {
+        let mut kernel = Kernel::new(machines::odroid_config());
+        let node = machines::add_odroid(&mut kernel, "odroid");
+        let st = store();
+        let mut config = EngineConfig::liebre();
+        config.blocking = blocking;
+        if ulss {
+            config.execution = haren_execution(4, HarenPolicy::Fcfs, downstream.clone());
+        }
+        let q = deploy(
+            &mut kernel,
+            graph(),
+            config,
+            &Placement::single(node),
+            Some(Rc::clone(&st)),
+        )
+        .unwrap();
+        if !ulss {
+            LachesisBuilder::new()
+                .driver(StoreDriver::liebre(vec![q.clone()], st))
+                .policy(
+                    0,
+                    Scope::AllQueries,
+                    lachesis::FcfsPolicy::default(),
+                    lachesis::CpuSharesTranslator::new("fcfs"),
+                )
+                .build()
+                .start(&mut kernel);
+        }
+        kernel.run_for(SimDuration::from_secs(4));
+        q.reset_stats();
+        kernel.run_for(SimDuration::from_secs(16));
+        q.egress_total() as f64 / 16.0
+    };
+    let haren = run(true);
+    let la = run(false);
+    assert!(
+        la > haren * 1.05,
+        "egress throughput with blocking: lachesis {la} vs haren {haren}"
+    );
+}
+
+/// §6.5 / Fig. 17: doubling the nodes (and parallelism) raises sustainable
+/// throughput, and Lachesis still helps per node.
+#[test]
+fn scale_out_scales_and_lachesis_still_helps() {
+    let run = |parallelism: usize, with_lachesis: bool| -> f64 {
+        let mut kernel = Kernel::new(machines::odroid_config());
+        let nodes: Vec<_> = (0..parallelism)
+            .map(|i| machines::add_odroid(&mut kernel, &format!("o{i}")))
+            .collect();
+        let st = store();
+        let q = deploy(
+            &mut kernel,
+            queries::lr_with_parallelism(9_000.0, 1, parallelism),
+            EngineConfig::storm(),
+            &Placement::spread(nodes.clone()),
+            Some(Rc::clone(&st)),
+        )
+        .unwrap();
+        if with_lachesis {
+            for &node in &nodes {
+                LachesisBuilder::new()
+                    .driver(StoreDriver::storm(vec![q.clone()], Rc::clone(&st)))
+                    .policy(
+                        0,
+                        Scope::Node(node),
+                        QueueSizePolicy::default(),
+                        NiceTranslator::new(),
+                    )
+                    .build()
+                    .start(&mut kernel);
+            }
+        }
+        kernel.run_for(SimDuration::from_secs(4));
+        q.reset_stats();
+        kernel.run_for(SimDuration::from_secs(12));
+        q.ingress_total() as f64 / 12.0
+    };
+    let os1 = run(1, false);
+    let os2 = run(2, false);
+    let la2 = run(2, true);
+    assert!(os2 > os1 * 1.4, "scale-out: x1={os1} x2={os2}");
+    assert!(la2 > os2 * 1.05, "lachesis on 2 nodes: {la2} vs {os2}");
+}
+
+/// G2/Fig. 4: the same QS policy runs against Storm (which exposes raw
+/// counters) and Liebre (which exposes cost/selectivity directly), with the
+/// metric provider deriving whatever is missing.
+#[test]
+fn same_policy_schedules_different_spes() {
+    for kind in [SpeKind::Storm, SpeKind::Liebre] {
+        let mut kernel = Kernel::new(machines::odroid_config());
+        let node = machines::add_odroid(&mut kernel, "odroid");
+        let st = store();
+        let config = match kind {
+            SpeKind::Storm => EngineConfig::storm(),
+            _ => EngineConfig::liebre(),
+        };
+        let q = deploy(
+            &mut kernel,
+            queries::lr(4_500.0, 1),
+            config,
+            &Placement::single(node),
+            Some(Rc::clone(&st)),
+        )
+        .unwrap();
+        LachesisBuilder::new()
+            .driver(StoreDriver::new(kind, vec![q.clone()], st))
+            .policy(
+                0,
+                Scope::AllQueries,
+                lachesis::HighestRatePolicy::default(),
+                NiceTranslator::new(),
+            )
+            .build()
+            .start(&mut kernel);
+        kernel.run_for(SimDuration::from_secs(5));
+        // HR needs cost+selectivity: Liebre provides them, Storm needs the
+        // provider to derive them. If derivation failed, the middleware
+        // callback would have panicked by now.
+        let any_nice_set = q.threads().iter().any(|&t| {
+            kernel.thread_info(t).unwrap().nice != simos::Nice::DEFAULT
+        });
+        assert!(any_nice_set, "HR produced a schedule on {kind:?}");
+    }
+}
+
+/// The whole stack is deterministic: identical runs give identical results.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let r = run_lr_storm(5_000.0, true);
+        (r.throughput.to_bits(), r.latency.to_bits(), r.e2e.to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Lachesis' own footprint stays negligible: a scheduled run performs the
+/// same simulated work with <5% extra context switches.
+#[test]
+fn lachesis_overhead_is_small() {
+    let ctx = |with_lachesis: bool| -> u64 {
+        let mut kernel = Kernel::new(machines::odroid_config());
+        let node = machines::add_odroid(&mut kernel, "odroid");
+        let st = store();
+        let q = deploy(
+            &mut kernel,
+            queries::lr(2_000.0, 1),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            Some(Rc::clone(&st)),
+        )
+        .unwrap();
+        if with_lachesis {
+            LachesisBuilder::new()
+                .driver(StoreDriver::storm(vec![q.clone()], st))
+                .policy(
+                    0,
+                    Scope::AllQueries,
+                    QueueSizePolicy::default(),
+                    NiceTranslator::new(),
+                )
+                .build()
+                .start(&mut kernel);
+        }
+        kernel.run_for(SimDuration::from_secs(10));
+        kernel.node_stats(node).unwrap().ctx_switches
+    };
+    let base = ctx(false) as f64;
+    let with = ctx(true) as f64;
+    assert!(
+        with < base * 1.3,
+        "context switches: {with} with lachesis vs {base} without"
+    );
+}
+
+/// Helper used by several assertions: RunningQuery exposes consistent
+/// counters.
+#[test]
+fn running_query_counters_are_consistent() {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let q: RunningQuery = deploy(
+        &mut kernel,
+        queries::vs(1_000.0, 1),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        None,
+    )
+    .unwrap();
+    kernel.run_for(SimDuration::from_secs(10));
+    assert!(q.source_emitted() >= q.ingress_total());
+    assert!(q.op_count() == 15);
+    assert_eq!(q.threads().len(), 15);
+    assert_eq!(q.queue_sizes().len(), 15);
+}
