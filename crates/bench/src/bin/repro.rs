@@ -9,16 +9,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::experiments::{ablation, multi_query, multi_spe, scale_out, single_query, table1};
+use bench::experiments::{ablation, chaos, multi_query, multi_spe, scale_out, single_query, table1};
 use bench::report::Figure;
 use bench::ExpOptions;
 
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "ablation", "table1",
+    "fig17", "fig18", "figc1", "ablation", "table1",
 ];
 
 fn usage() -> ! {
@@ -63,6 +63,7 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "fig16" => multi_query::fig16(opts),
         "fig17" => scale_out::fig17(opts),
         "fig18" => multi_spe::fig18(opts),
+        "figc1" => chaos::figc1(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
     }
@@ -108,7 +109,7 @@ fn main() -> ExitCode {
                 && path.file_name().is_none_or(|n| n != "table1.json")
             {
                 let json = std::fs::read_to_string(&path).expect("read json");
-                match serde_json::from_str::<bench::report::Figure>(&json) {
+                match bench::report::Figure::from_json(&json) {
                     Ok(fig) => {
                         let files = bench::svg::save_charts(&fig, &opts.out_dir)
                             .expect("write charts");
@@ -129,9 +130,8 @@ fn main() -> ExitCode {
             let rows = table1::rows(&opts);
             println!("{}", table1::render(&rows));
             std::fs::create_dir_all(&opts.out_dir).ok();
-            if let Ok(json) = serde_json::to_string_pretty(&rows) {
-                std::fs::write(opts.out_dir.join("table1.json"), json).ok();
-            }
+            let json = table1::to_json(&rows).pretty();
+            std::fs::write(opts.out_dir.join("table1.json"), json).ok();
         } else {
             for fig in run_experiment(id, &opts) {
                 println!("{}", fig.render());

@@ -1,0 +1,211 @@
+//! Chaos experiment (robustness extension, not in the paper): a paper
+//! workload (RIoTBench ETL on Storm) scheduled by LACHESIS-QS while a
+//! seeded [`FaultPlan`] injects a metric outage, NaN corruption and
+//! scheduler-apply failures during the measured phase.
+//!
+//! The run verifies the two degradation claims of the supervisor design:
+//! latency stays *bounded* (the faulted run is compared against the clean
+//! run), and the schedule *re-converges* (every degraded interval in the
+//! fault log is closed by the end of the run). Verdicts are recorded in
+//! the figure notes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+use lachesis_metrics::FaultPlan;
+use simos::{machines, Kernel, SimDuration, SimTime};
+use spe::{deploy, EngineConfig, Placement};
+
+use crate::harness::{average_runs, new_store, run_trial, GoalKind, Measured, RunConfig};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::schedulers::{run_point, PointSpec, Sched};
+use crate::ExpOptions;
+
+/// Fault-log summary of one faulted run.
+#[derive(Debug, Clone, Default)]
+struct ChaosStats {
+    fetch_errors: u64,
+    apply_errors: u64,
+    intervals: usize,
+    open_intervals: usize,
+    fell_back: bool,
+    max_recovery_s: f64,
+}
+
+/// The chaos scenario, scaled to the run's measured phase: NaN corruption
+/// early, a hard metric outage (long enough to cross the fallback
+/// threshold on full-length runs) in the middle, apply failures near the
+/// end. All randomness derives from `seed`.
+fn chaos_plan(cfg: &RunConfig, seed: u64) -> FaultPlan {
+    let start = SimTime::ZERO + cfg.warmup;
+    let m = cfg.measure.as_nanos();
+    let tick = |tenths: u64| start + SimDuration::from_nanos(m / 10 * tenths);
+    let outage_len = SimDuration::from_nanos((m / 3).min(SimDuration::from_secs(8).as_nanos()));
+    FaultPlan::new(seed)
+        .nan_values(tick(1), tick(2), 1.0)
+        .metric_dropout(tick(1), tick(2), 0.3)
+        .fetch_failure(Some("storm"), tick(3), tick(3) + outage_len, 1.0)
+        .apply_failure(Some("set_nice"), tick(8), tick(9), 0.5)
+}
+
+/// One faulted LACHESIS-QS/nice point: like `run_point`, plus the fault
+/// plan wired into both the driver (metric faults) and the kernel
+/// (apply faults).
+fn run_faulted_point(rate: f64, seed: u64, cfg: RunConfig) -> (Measured, ChaosStats) {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = new_store();
+    let mut config = EngineConfig::storm();
+    config.seed = seed;
+    let query = deploy(
+        &mut kernel,
+        queries::etl(rate, seed),
+        config,
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+
+    let plan = Rc::new(RefCell::new(chaos_plan(&cfg, seed)));
+    {
+        let hook_plan = Rc::clone(&plan);
+        kernel.set_fault_hook(move |op, now| hook_plan.borrow_mut().kernel_fault(op, now));
+    }
+    let lachesis = LachesisBuilder::new()
+        .driver(
+            StoreDriver::storm(vec![query.clone()], Rc::clone(&store))
+                .with_faults(Rc::clone(&plan)),
+        )
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::new(SimDuration::from_secs(1)),
+            NiceTranslator::new(),
+        )
+        .build();
+    let log = lachesis.fault_log();
+    lachesis.start(&mut kernel);
+
+    let (m, _) = run_trial(&mut kernel, &[node], &[query], &cfg);
+    let log = log.borrow();
+    let stats = ChaosStats {
+        fetch_errors: log.error_count("metric_fetch"),
+        apply_errors: log.error_count("apply_kernel"),
+        intervals: log.degraded_intervals().len(),
+        open_intervals: log.currently_degraded().len(),
+        fell_back: log.degraded_intervals().iter().any(|i| i.fell_back),
+        max_recovery_s: log
+            .recovery_times()
+            .iter()
+            .map(|d| d.as_nanos() as f64 / 1e9)
+            .fold(0.0, f64::max),
+    };
+    (m, stats)
+}
+
+/// Runs the chaos experiment and returns its figure.
+pub fn figc1(opts: &ExpOptions) -> Vec<Figure> {
+    let rates: Vec<f64> = if opts.quick {
+        vec![1500.0]
+    } else {
+        vec![1200.0, 1375.0, 1500.0, 1625.0]
+    };
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+
+    let mut fig = Figure::new(
+        "figc1",
+        "ETL in Storm under fault injection: LACHESIS-QS vs faulted LACHESIS-QS",
+        "rate (t/s)",
+    );
+    fig.notes.push(format!(
+        "chaos scenario: NaN+dropout window, metric outage, set_nice faults; reps={}",
+        opts.reps
+    ));
+
+    let clean_sched = Sched::Lachesis(
+        crate::schedulers::PolicyChoice::Qs,
+        crate::schedulers::TranslatorChoice::Nice,
+    );
+    let mut clean_points = Vec::new();
+    let mut faulted_points = Vec::new();
+    for &rate in &rates {
+        let mut clean_runs = Vec::new();
+        let mut faulted_runs = Vec::new();
+        let mut stats = ChaosStats::default();
+        for rep in 0..opts.reps {
+            let seed = 1 + rep as u64;
+            let (m, _) = run_point(PointSpec {
+                graph: Box::new(queries::etl),
+                engine: spe::SpeKind::Storm,
+                sched: clean_sched.clone(),
+                rate,
+                seed,
+                cfg,
+                blocking: None,
+                downstream: vec![],
+            });
+            clean_runs.push(m);
+            let (m, s) = run_faulted_point(rate, seed, cfg);
+            faulted_runs.push(m);
+            stats.fetch_errors += s.fetch_errors;
+            stats.apply_errors += s.apply_errors;
+            stats.intervals += s.intervals;
+            stats.open_intervals += s.open_intervals;
+            stats.fell_back |= s.fell_back;
+            stats.max_recovery_s = stats.max_recovery_s.max(s.max_recovery_s);
+        }
+        let clean = average_runs(clean_runs);
+        let faulted = average_runs(faulted_runs);
+        // Verdicts: bounded latency (faulted p99 within 10x of clean and
+        // finite) and re-convergence (no degraded interval left open).
+        let bounded = faulted.latency_p.1.is_finite()
+            && faulted.latency_p.1 <= clean.latency_p.1.max(1e-3) * 10.0;
+        let reconverged = stats.open_intervals == 0 && stats.intervals > 0;
+        fig.notes.push(format!(
+            "rate {rate}: bounded_latency={} reconverged={} fetch_errors={} apply_errors={} \
+             intervals={} fell_back={} max_recovery={:.1}s",
+            if bounded { "PASS" } else { "FAIL" },
+            if reconverged { "PASS" } else { "FAIL" },
+            stats.fetch_errors,
+            stats.apply_errors,
+            stats.intervals,
+            stats.fell_back,
+            stats.max_recovery_s,
+        ));
+        if !bounded || !reconverged {
+            eprintln!(
+                "warning: figc1 rate {rate}: bounded={bounded} reconverged={reconverged}"
+            );
+        }
+        clean_points.push(SweepPoint {
+            x: rate,
+            m: {
+                let mut m = clean;
+                m.queue_samples.clear();
+                m
+            },
+        });
+        faulted_points.push(SweepPoint {
+            x: rate,
+            m: {
+                let mut m = faulted;
+                m.queue_samples.clear();
+                m
+            },
+        });
+    }
+    fig.series.push(Series {
+        label: "LACHESIS-QS".into(),
+        points: clean_points,
+    });
+    fig.series.push(Series {
+        label: "LACHESIS-QS+faults".into(),
+        points: faulted_points,
+    });
+    vec![fig]
+}

@@ -2,7 +2,6 @@
 //! Lachesis vs each experiment's baseline, at a representative
 //! near-saturation operating point.
 
-use serde::Serialize;
 use simos::SimDuration;
 use spe::{BlockingConfig, SpeKind};
 
@@ -12,7 +11,7 @@ use crate::schedulers::{run_point, PointSpec, PolicyChoice, Sched, TranslatorCho
 use crate::ExpOptions;
 
 /// One row of the summary table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Experiment name (paper section).
     pub experiment: String,
@@ -196,4 +195,24 @@ pub fn render(rows: &[Table1Row]) -> String {
         ));
     }
     s
+}
+
+/// The table as a JSON array (the `table1.json` result format).
+pub fn to_json(rows: &[Table1Row]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("experiment", Json::Str(r.experiment.clone())),
+                    ("baseline", Json::Str(r.baseline.clone())),
+                    ("goals", Json::Str(r.goals.clone())),
+                    ("rate", Json::Num(r.rate)),
+                    ("throughput_gain_pct", Json::Num(r.throughput_gain_pct)),
+                    ("latency_ratio", Json::Num(r.latency_ratio)),
+                    ("e2e_ratio", Json::Num(r.e2e_ratio)),
+                ])
+            })
+            .collect(),
+    )
 }

@@ -5,7 +5,6 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use lachesis_metrics::TimeSeriesStore;
-use serde::Serialize;
 use simos::{Kernel, NodeId, SimDuration};
 use spe::{LogHistogram, RunningQuery};
 
@@ -23,7 +22,7 @@ pub enum GoalKind {
 }
 
 /// Summary statistics of one trial run.
-#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measured {
     /// Offered load (sum of source rates), tuples/s.
     pub offered_tps: f64,

@@ -8,6 +8,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod harness;
+pub mod json;
 pub mod report;
 pub mod schedulers;
 pub mod svg;
@@ -15,6 +16,7 @@ pub mod svg;
 /// Experiment groups, one per paper section.
 pub mod experiments {
     pub mod ablation;
+    pub mod chaos;
     pub mod multi_query;
     pub mod multi_spe;
     pub mod scale_out;

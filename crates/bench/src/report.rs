@@ -3,12 +3,11 @@
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
-
 use crate::harness::Measured;
+use crate::json::Json;
 
 /// One x-position of a series.
-#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The x value (input rate, parallelism, % of max rate, ...).
     pub x: f64,
@@ -17,7 +16,7 @@ pub struct SweepPoint {
 }
 
 /// One line of a figure (a scheduler / configuration).
-#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -26,7 +25,7 @@ pub struct Series {
 }
 
 /// A reproduced figure: several series over a common x-axis.
-#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. `"fig5"`.
     pub id: String,
@@ -96,13 +95,183 @@ impl Figure {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem and serialization errors.
+    /// Propagates filesystem errors.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self)?;
-        fs::write(path, json)
+        fs::write(path, self.to_json().pretty())
     }
+
+    /// The figure as a JSON tree (the on-disk result format).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("x_label", Json::Str(self.x_label.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("label", Json::Str(s.label.clone())),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|p| {
+                                                Json::obj(vec![
+                                                    ("x", Json::Num(p.x)),
+                                                    ("m", measured_to_json(&p.m)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a figure back from its JSON result file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or shape problem.
+    pub fn from_json(text: &str) -> Result<Figure, String> {
+        let v = Json::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("figure is missing string field `{key}`"))
+        };
+        let series = v
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or("figure is missing `series` array")?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("series is missing `label`")?
+                    .to_owned();
+                let points = s
+                    .get("points")
+                    .and_then(Json::as_arr)
+                    .ok_or("series is missing `points`")?
+                    .iter()
+                    .map(|p| {
+                        Ok(SweepPoint {
+                            x: p.get("x").and_then(Json::as_f64).ok_or("point missing `x`")?,
+                            m: measured_from_json(
+                                p.get("m").ok_or("point missing `m`")?,
+                            )?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Series { label, points })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let notes = v
+            .get("notes")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_str)
+            .map(str::to_owned)
+            .collect();
+        Ok(Figure {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            x_label: str_field("x_label")?,
+            series,
+            notes,
+        })
+    }
+}
+
+fn measured_to_json(m: &Measured) -> Json {
+    let triple = |t: (f64, f64, f64)| Json::Arr(vec![Json::Num(t.0), Json::Num(t.1), Json::Num(t.2)]);
+    Json::obj(vec![
+        ("offered_tps", Json::Num(m.offered_tps)),
+        ("throughput_tps", Json::Num(m.throughput_tps)),
+        ("latency_mean_s", Json::Num(m.latency_mean_s)),
+        ("latency_p", triple(m.latency_p)),
+        ("e2e_mean_s", Json::Num(m.e2e_mean_s)),
+        ("e2e_p", triple(m.e2e_p)),
+        ("goal", Json::Num(m.goal)),
+        (
+            "queue_samples",
+            Json::Arr(
+                m.queue_samples
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&q| Json::Num(q as f64)).collect()))
+                    .collect(),
+            ),
+        ),
+        ("utilization", Json::Num(m.utilization)),
+        ("ctx_switches_per_s", Json::Num(m.ctx_switches_per_s)),
+        ("egress_tps", Json::Num(m.egress_tps)),
+    ])
+}
+
+fn measured_from_json(v: &Json) -> Result<Measured, String> {
+    let num = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("measurement is missing number `{key}`"))
+    };
+    let triple = |key: &str| -> Result<(f64, f64, f64), String> {
+        match v.get(key).and_then(Json::as_arr) {
+            Some([a, b, c]) => Ok((
+                a.as_f64().ok_or("non-numeric percentile")?,
+                b.as_f64().ok_or("non-numeric percentile")?,
+                c.as_f64().ok_or("non-numeric percentile")?,
+            )),
+            _ => Err(format!("measurement is missing triple `{key}`")),
+        }
+    };
+    let queue_samples = v
+        .get("queue_samples")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or("queue sample row is not an array")?
+                .iter()
+                .map(|q| {
+                    q.as_f64()
+                        .map(|f| f as usize)
+                        .ok_or_else(|| "non-numeric queue sample".to_owned())
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Measured {
+        offered_tps: num("offered_tps")?,
+        throughput_tps: num("throughput_tps")?,
+        latency_mean_s: num("latency_mean_s")?,
+        latency_p: triple("latency_p")?,
+        e2e_mean_s: num("e2e_mean_s")?,
+        e2e_p: triple("e2e_p")?,
+        goal: num("goal")?,
+        queue_samples,
+        utilization: num("utilization")?,
+        ctx_switches_per_s: num("ctx_switches_per_s")?,
+        egress_tps: num("egress_tps")?,
+    })
 }
 
 /// Pools queue-size samples into distribution statistics (Figs. 6/8):

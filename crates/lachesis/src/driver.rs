@@ -8,8 +8,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use lachesis_metrics::{EntityValues, MetricName, MetricSource, TimeSeriesStore};
-use simos::ThreadId;
+use lachesis_metrics::{
+    EntityValues, FaultPlan, FetchError, MetricName, MetricSource, TimeSeriesStore,
+};
+use simos::{SimTime, ThreadId};
 use spe::{metric_path, LogicalOpId, RunningQuery, SpeKind};
 
 use crate::entity::OpRef;
@@ -47,6 +49,7 @@ pub struct StoreDriver {
     kind: SpeKind,
     queries: Vec<RunningQuery>,
     store: Rc<RefCell<TimeSeriesStore>>,
+    faults: Option<Rc<RefCell<FaultPlan>>>,
 }
 
 impl std::fmt::Debug for StoreDriver {
@@ -76,7 +79,19 @@ impl StoreDriver {
             kind,
             queries,
             store,
+            faults: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`] whose rules this driver consults on every
+    /// fetch: `FetchFailure` rules make [`MetricSource::try_fetch`] error,
+    /// `StaleMetrics`/`FetchLatency` rules shift the store read-cursor back
+    /// in time, and `MetricDropout`/`NanValues` rules corrupt individual
+    /// points. Sharing one plan between several drivers (and the kernel's
+    /// fault hook) keeps the whole experiment on a single seed.
+    pub fn with_faults(mut self, faults: Rc<RefCell<FaultPlan>>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Convenience constructor for a Storm driver.
@@ -110,12 +125,45 @@ impl MetricSource<OpRef> for StoreDriver {
         for (qi, q) in self.queries.iter().enumerate() {
             for op in 0..q.op_count() {
                 let path = metric_path(self.kind, q.name(), op, metric);
-                if let Some((_, v)) = store.latest(&path) {
-                    out.insert(OpRef::new(qi, op), v);
+                if let Some((t, v)) = store.latest(&path) {
+                    out.insert_at(OpRef::new(qi, op), v, t);
                 }
             }
         }
         out
+    }
+
+    fn try_fetch(&self, metric: MetricName, now: SimTime) -> Result<EntityValues<OpRef>, FetchError> {
+        let Some(faults) = &self.faults else {
+            return Ok(self.fetch(metric));
+        };
+        let mut plan = faults.borrow_mut();
+        let name = self.kind.name();
+        if plan.fetch_fails(name, now) {
+            return Err(FetchError::new(format!(
+                "injected fetch failure for {name} at {now:?}"
+            )));
+        }
+        let cutoff = plan.fetch_cutoff(name, now);
+        let store = self.store.borrow();
+        let mut out = EntityValues::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                let path = metric_path(self.kind, q.name(), op, metric);
+                let point = match cutoff {
+                    Some(t) => store.latest_at(&path, t),
+                    None => store.latest(&path),
+                };
+                let Some((t, v)) = point else { continue };
+                let fault = plan.point_fault(name, now);
+                if fault.drop {
+                    continue;
+                }
+                let v = if fault.nan { f64::NAN } else { v };
+                out.insert_at(OpRef::new(qi, op), v, t);
+            }
+        }
+        Ok(out)
     }
 }
 

@@ -38,6 +38,7 @@ mod policies;
 mod policies_ext;
 mod policy;
 mod schedule;
+mod supervisor;
 mod transform;
 mod translate;
 mod translate_ext;
@@ -52,6 +53,9 @@ pub use policies::{
 pub use policies_ext::{ChainPolicy, RateBasedPolicy};
 pub use policy::{Policy, PolicyView};
 pub use schedule::{GroupingSchedule, Schedule, SinglePrioritySchedule};
+pub use supervisor::{
+    BindingHealth, DegradedInterval, FaultEvent, FaultLog, SupervisorConfig,
+};
 pub use transform::{transform_logical, LogicalSchedule};
 pub use translate::{
     CombinedTranslator, CpuSharesTranslator, NiceTranslator, TranslateError, Translator,

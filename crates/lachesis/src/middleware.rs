@@ -5,16 +5,19 @@
 //! provider, runs every due policy, and applies the resulting schedules
 //! through their translators.
 
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
 use lachesis_metrics::{ratio_metric, names, MetricError, MetricProvider, MetricSource};
-use simos::{CallbackId, Kernel, SimDuration, SimTime};
+use simos::{CallbackId, Kernel, Nice, SimDuration, SimTime};
 
 use crate::driver::SpeDriver;
 use crate::entity::OpRef;
 use crate::policy::{Policy, PolicyView};
 use crate::schedule::Schedule;
+use crate::supervisor::{BindingHealth, FaultLog, SupervisorConfig};
 use crate::translate::{TranslateError, Translator};
 
 /// Which operators a policy binding schedules.
@@ -49,6 +52,33 @@ impl fmt::Display for LachesisError {
 
 impl std::error::Error for LachesisError {}
 
+impl LachesisError {
+    /// Whether retrying later can plausibly succeed. Transient errors are
+    /// handled by the supervisor (degrade, retry, fall back); persistent
+    /// ones are misconfigurations surfaced to the caller.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            LachesisError::Metric(e) => e.is_transient(),
+            // A kernel refusal or an unbound thread can heal (fault windows
+            // end, threads respawn); a schedule-format mismatch cannot.
+            LachesisError::Translate(TranslateError::Kernel(_)) => true,
+            LachesisError::Translate(TranslateError::MissingThread(_)) => true,
+            LachesisError::Translate(TranslateError::WrongFormat { .. }) => false,
+        }
+    }
+
+    /// Stable label for [`FaultLog`] counters.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            LachesisError::Metric(MetricError::FetchFailed { .. }) => "metric_fetch",
+            LachesisError::Metric(_) => "metric_config",
+            LachesisError::Translate(TranslateError::Kernel(_)) => "apply_kernel",
+            LachesisError::Translate(TranslateError::MissingThread(_)) => "apply_missing_thread",
+            LachesisError::Translate(TranslateError::WrongFormat { .. }) => "apply_format",
+        }
+    }
+}
+
 impl From<MetricError> for LachesisError {
     fn from(e: MetricError) -> Self {
         LachesisError::Metric(e)
@@ -67,6 +97,7 @@ struct PolicyBinding {
     policy: Box<dyn Policy>,
     translator: Box<dyn Translator>,
     next_run: SimTime,
+    health: BindingHealth,
 }
 
 /// The Lachesis middleware.
@@ -78,6 +109,8 @@ pub struct Lachesis {
     drivers: Vec<Rc<dyn SpeDriver>>,
     provider: MetricProvider<OpRef>,
     bindings: Vec<PolicyBinding>,
+    supervisor: SupervisorConfig,
+    log: Rc<RefCell<FaultLog>>,
 }
 
 impl fmt::Debug for Lachesis {
@@ -105,6 +138,7 @@ impl fmt::Debug for Lachesis {
 pub struct LachesisBuilder {
     drivers: Vec<Rc<dyn SpeDriver>>,
     bindings: Vec<PolicyBinding>,
+    supervisor: Option<SupervisorConfig>,
 }
 
 impl fmt::Debug for LachesisBuilder {
@@ -143,7 +177,16 @@ impl LachesisBuilder {
             policy: Box::new(policy),
             translator: Box::new(translator),
             next_run: SimTime::ZERO,
+            health: BindingHealth::Engaged,
         });
+        self
+    }
+
+    /// Overrides the supervisor tunables (defaults: fall back after 3
+    /// consecutive failures, staleness threshold 3 policy periods, retry
+    /// backoff capped at 4 periods).
+    pub fn supervisor(mut self, config: SupervisorConfig) -> Self {
+        self.supervisor = Some(config);
         self
     }
 
@@ -182,6 +225,8 @@ impl LachesisBuilder {
             drivers: self.drivers,
             provider,
             bindings: self.bindings,
+            supervisor: self.supervisor.unwrap_or_default(),
+            log: Rc::new(RefCell::new(FaultLog::new())),
         }
     }
 }
@@ -205,77 +250,290 @@ impl Lachesis {
         SimDuration::from_nanos(nanos.max(1))
     }
 
+    /// The shared fault log. Clone the `Rc` *before*
+    /// [`start`](Lachesis::start) consumes the instance to observe health
+    /// while the simulation runs.
+    pub fn fault_log(&self) -> Rc<RefCell<FaultLog>> {
+        Rc::clone(&self.log)
+    }
+
+    /// The supervisor state of one policy binding (registration order).
+    pub fn binding_health(&self, idx: usize) -> Option<BindingHealth> {
+        self.bindings.get(idx).map(|b| b.health)
+    }
+
     /// Runs every due policy once (Algorithm 1 L3-L8). Call at each wake.
+    ///
+    /// Transient failures — metric fetch errors, kernel apply refusals —
+    /// never surface as `Err`: the per-binding supervisor records them in
+    /// the [`FaultLog`], holds the last applied schedule, retries with
+    /// backoff, and after
+    /// [`max_consecutive_failures`](SupervisorConfig::max_consecutive_failures)
+    /// resets the binding's operators to default CFS parameters until
+    /// metrics recover. Operators whose metric samples are older than the
+    /// staleness threshold are excluded from the policy view.
     ///
     /// # Errors
     ///
-    /// Returns the first metric or translation error; the middleware can be
-    /// driven further afterwards (the error is not fatal to the queries).
+    /// Returns the first *persistent* error (metric misconfiguration or a
+    /// schedule-format mismatch) after recording it; those will fail on
+    /// every retry and need a code or configuration fix.
     pub fn run_if_due(&mut self, kernel: &mut Kernel) -> Result<(), LachesisError> {
         let now = kernel.now();
         if !self.bindings.iter().any(|b| b.next_run <= now) {
             return Ok(());
         }
-        // L4: refresh all metrics once per wake with due policies.
+        // L4: refresh all metrics once per wake with due policies. A
+        // failing source holds its previous values (aging toward the
+        // staleness threshold) instead of poisoning the healthy ones.
+        let mut failed_sources: HashSet<usize> = HashSet::new();
+        let mut persistent: Option<LachesisError> = None;
         {
             let sources: Vec<&dyn MetricSource<OpRef>> = self
                 .drivers
                 .iter()
                 .map(|d| d.as_ref() as &dyn MetricSource<OpRef>)
                 .collect();
-            self.provider.update(&sources)?;
+            for (i, e) in self.provider.update_reporting(now, &sources) {
+                let e = LachesisError::from(e);
+                self.log
+                    .borrow_mut()
+                    .record_error(now, None, e.kind_label(), e.to_string());
+                failed_sources.insert(i);
+                if !e.is_transient() && persistent.is_none() {
+                    persistent = Some(e);
+                }
+            }
         }
-        let provider = &self.provider;
-        let drivers = &self.drivers;
-        for b in &mut self.bindings {
-            if b.next_run > now {
+        for idx in 0..self.bindings.len() {
+            if self.bindings[idx].next_run > now {
                 continue;
             }
-            b.next_run = now + b.policy.period();
-            let driver = Rc::clone(&drivers[b.driver_idx]);
-            let scope: Vec<OpRef> = match &b.scope {
-                Scope::AllQueries => driver.entities(),
-                Scope::Query(q) => driver
-                    .entities()
-                    .into_iter()
-                    .filter(|op| op.query == *q)
-                    .collect(),
-                Scope::Node(node) => driver
-                    .entities()
-                    .into_iter()
-                    .filter(|op| {
-                        driver
-                            .queries()
-                            .get(op.query)
-                            .is_some_and(|q| q.cell(op.op).node() == *node)
-                    })
-                    .collect(),
-            };
-            let schedule = {
-                let view = PolicyView::new(now, driver.as_ref(), &scope, provider, b.driver_idx);
-                b.policy.schedule(&view)
-            };
-            b.translator.apply(
-                kernel,
-                driver.as_ref(),
-                &Schedule::Single(schedule),
-                b.policy.priority_kind(),
-            )?;
+            let outcome = self.run_binding(kernel, idx, now, &failed_sources);
+            self.settle_binding(kernel, idx, now, outcome, &mut persistent);
         }
+        match persistent {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Resolves a binding's scope (before staleness filtering).
+    fn resolve_scope(driver: &dyn SpeDriver, scope: &Scope) -> Vec<OpRef> {
+        match scope {
+            Scope::AllQueries => driver.entities(),
+            Scope::Query(q) => driver
+                .entities()
+                .into_iter()
+                .filter(|op| op.query == *q)
+                .collect(),
+            Scope::Node(node) => driver
+                .entities()
+                .into_iter()
+                .filter(|op| {
+                    driver
+                        .queries()
+                        .get(op.query)
+                        .is_some_and(|q| q.cell(op.op).node() == *node)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether every timestamped sample the provider holds for `op` is
+    /// older than the staleness threshold (untimestamped samples count as
+    /// fresh; an operator with no samples at all is kept — policies already
+    /// handle missing metrics).
+    fn op_is_stale(&self, driver_idx: usize, op: OpRef, now: SimTime, max_age: SimDuration) -> bool {
+        let mut saw_sample = false;
+        for metric in self.provider.registered() {
+            let Some(values) = self.provider.get(driver_idx, metric) else {
+                continue;
+            };
+            let Some(sample) = values.sample(&op) else {
+                continue;
+            };
+            saw_sample = true;
+            if !sample.is_stale(now, max_age) {
+                return false;
+            }
+        }
+        saw_sample
+    }
+
+    /// One scheduling attempt for one due binding. `Ok(())` means a
+    /// schedule was computed and applied from fresh metrics.
+    fn run_binding(
+        &mut self,
+        kernel: &mut Kernel,
+        idx: usize,
+        now: SimTime,
+        failed_sources: &HashSet<usize>,
+    ) -> Result<(), LachesisError> {
+        let driver_idx = self.bindings[idx].driver_idx;
+        if failed_sources.contains(&driver_idx) {
+            // This round's view of the driver is last period's data; count
+            // the fetch failure against this binding and hold.
+            return Err(LachesisError::Metric(MetricError::FetchFailed {
+                metric: names::TUPLES_IN,
+                source: self.drivers[driver_idx].name().to_owned(),
+                reason: "metric refresh failed this period".to_owned(),
+            }));
+        }
+        let driver = Rc::clone(&self.drivers[driver_idx]);
+        let full_scope = Self::resolve_scope(driver.as_ref(), &self.bindings[idx].scope);
+        let max_age = self
+            .supervisor
+            .staleness_threshold(self.bindings[idx].policy.period());
+        let scope: Vec<OpRef> = full_scope
+            .iter()
+            .copied()
+            .filter(|&op| !self.op_is_stale(driver_idx, op, now, max_age))
+            .collect();
+        let excluded = full_scope.len() - scope.len();
+        if excluded > 0 {
+            self.log.borrow_mut().note(
+                now,
+                Some(idx),
+                "stale_excluded",
+                format!("{excluded} operator(s) with stale metrics excluded"),
+            );
+        }
+        if scope.is_empty() && !full_scope.is_empty() {
+            // Nothing fresh to schedule on: treat like a failed round so
+            // repeated total staleness eventually falls back to CFS.
+            return Err(LachesisError::Metric(MetricError::FetchFailed {
+                metric: names::TUPLES_IN,
+                source: driver.name().to_owned(),
+                reason: "all operators have stale metrics".to_owned(),
+            }));
+        }
+        let b = &mut self.bindings[idx];
+        let schedule = {
+            let view = PolicyView::new(now, driver.as_ref(), &scope, &self.provider, driver_idx);
+            b.policy.schedule(&view)
+        };
+        b.translator.apply(
+            kernel,
+            driver.as_ref(),
+            &Schedule::Single(schedule),
+            b.policy.priority_kind(),
+        )?;
         Ok(())
+    }
+
+    /// Updates supervisor state after a scheduling attempt: reschedules the
+    /// binding, records errors, applies backoff/fallback/recovery.
+    fn settle_binding(
+        &mut self,
+        kernel: &mut Kernel,
+        idx: usize,
+        now: SimTime,
+        outcome: Result<(), LachesisError>,
+        persistent: &mut Option<LachesisError>,
+    ) {
+        let period = self.bindings[idx].policy.period();
+        match outcome {
+            Ok(()) => {
+                let b = &mut self.bindings[idx];
+                b.next_run = now + period;
+                if b.health != BindingHealth::Engaged {
+                    b.health = BindingHealth::Engaged;
+                    self.log.borrow_mut().mark_recovered(now, idx);
+                }
+            }
+            Err(e) => {
+                self.log
+                    .borrow_mut()
+                    .record_error(now, Some(idx), e.kind_label(), e.to_string());
+                if !e.is_transient() {
+                    if persistent.is_none() {
+                        *persistent = Some(e);
+                    }
+                    // No retry-backoff dance for a persistent error: it is a
+                    // bug to fix, not an outage to ride out. Keep the period
+                    // so the log shows it recurring.
+                    self.bindings[idx].next_run = now + period;
+                    return;
+                }
+                let failures = self.bindings[idx].health.consecutive_failures();
+                if failures >= self.supervisor.max_consecutive_failures
+                    || matches!(self.bindings[idx].health, BindingHealth::FallenBack { .. })
+                {
+                    if !matches!(self.bindings[idx].health, BindingHealth::FallenBack { .. }) {
+                        self.apply_cfs_fallback(kernel, idx, now);
+                    }
+                    // Probe for recovery every period.
+                    self.bindings[idx].next_run = now + period;
+                } else {
+                    let failures = failures + 1;
+                    let b = &mut self.bindings[idx];
+                    b.health = BindingHealth::Degraded {
+                        consecutive_failures: failures,
+                    };
+                    b.next_run = now + self.supervisor.backoff(period, failures);
+                    self.log.borrow_mut().mark_degraded(now, idx);
+                }
+            }
+        }
+    }
+
+    /// Resets every operator in the binding's scope to default CFS
+    /// parameters (`nice` 0, `cpu.shares` 1024) — the schedule the SPE
+    /// would have without Lachesis. Best-effort: apply faults may still be
+    /// active; whatever fails is retried at the next probe.
+    fn apply_cfs_fallback(&mut self, kernel: &mut Kernel, idx: usize, now: SimTime) {
+        let driver = Rc::clone(&self.drivers[self.bindings[idx].driver_idx]);
+        let scope = Self::resolve_scope(driver.as_ref(), &self.bindings[idx].scope);
+        let nice0 = Nice::new(0).expect("nice 0 is always valid");
+        let mut reset_groups: HashSet<simos::CgroupId> = HashSet::new();
+        let mut complete = true;
+        for op in scope {
+            let Some(tid) = driver.thread_of(op) else {
+                continue;
+            };
+            if kernel.set_nice(tid, nice0).is_err() {
+                complete = false;
+                continue;
+            }
+            let Ok(info) = kernel.thread_info(tid) else {
+                continue;
+            };
+            let node_root = kernel.node_root(info.node).ok();
+            if Some(info.cgroup) != node_root && reset_groups.insert(info.cgroup) {
+                complete &= kernel
+                    .set_cpu_shares(info.cgroup, simos::DEFAULT_CPU_SHARES)
+                    .is_ok();
+            }
+        }
+        let b = &mut self.bindings[idx];
+        b.health = BindingHealth::FallenBack { since: now };
+        let mut log = self.log.borrow_mut();
+        log.mark_fallen_back(now, idx);
+        if !complete {
+            log.record_error(
+                now,
+                Some(idx),
+                "fallback_partial",
+                "some operators could not be reset to CFS defaults",
+            );
+        }
     }
 
     /// Installs the middleware as a periodic kernel activity and hands
     /// ownership to the kernel. Returns the callback id (for cancellation).
     ///
-    /// # Panics
-    ///
-    /// Scheduling errors inside the loop panic: experiments must fail
-    /// loudly rather than silently run unscheduled.
+    /// Errors never panic the simulation: transient ones are supervised
+    /// inside [`run_if_due`](Lachesis::run_if_due), and persistent ones are
+    /// recorded in the [`FaultLog`] (grab it with
+    /// [`fault_log`](Lachesis::fault_log) before calling this) — queries
+    /// keep running under the OS default schedule either way.
     pub fn start(mut self, kernel: &mut Kernel) -> CallbackId {
         let period = self.wake_period();
         kernel.schedule_periodic(period, period, move |k| {
-            self.run_if_due(k).expect("lachesis scheduling failed");
+            // Persistent errors were already recorded in the fault log by
+            // run_if_due; the loop keeps running so queries stay scheduled.
+            let _ = self.run_if_due(k);
         })
     }
 }

@@ -312,7 +312,7 @@ mod tests {
         }
         let mut p = MetricProvider::new();
         p.register(metric);
-        p.update(&[&Src(metric, vals.to_vec())]).unwrap();
+        p.update(SimTime::ZERO, &[&Src(metric, vals.to_vec())]).unwrap();
         p
     }
 
@@ -400,7 +400,7 @@ mod tests {
         let mut provider = MetricProvider::new();
         provider.register(names::COST);
         provider.register(names::SELECTIVITY);
-        provider.update(&[&Src]).unwrap();
+        provider.update(SimTime::ZERO, &[&Src]).unwrap();
         let driver = FakeDriver;
         let scope: Vec<OpRef> = (0..4).map(|o| OpRef::new(0, o)).collect();
         let mut hr = HighestRatePolicy::default();

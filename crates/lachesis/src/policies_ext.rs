@@ -213,7 +213,7 @@ mod tests {
         for m in policy.required_metrics() {
             provider.register(m);
         }
-        provider.update(&[&Src(metrics)]).unwrap();
+        provider.update(SimTime::ZERO, &[&Src(metrics)]).unwrap();
         let driver = PipeDriver(n);
         let scope: Vec<OpRef> = (0..n).map(|o| OpRef::new(0, o)).collect();
         let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);

@@ -57,9 +57,11 @@ impl<'a> PolicyView<'a> {
         self.provider.get(self.source_idx, name)
     }
 
-    /// One entity's metric value.
+    /// One entity's metric value. NaN values (e.g. from a corrupted metric
+    /// backend) are reported as missing so every policy falls back to its
+    /// per-metric default instead of propagating NaN into priorities.
     pub fn metric_of(&self, name: MetricName, op: OpRef) -> Option<f64> {
-        self.metric(name)?.get(&op).copied()
+        self.metric(name)?.get(&op).filter(|v| !v.is_nan())
     }
 }
 

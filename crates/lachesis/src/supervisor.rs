@@ -1,0 +1,342 @@
+//! Supervision and graceful degradation of the scheduling loop.
+//!
+//! The paper's prototype assumes metrics always arrive and `nice`/cgroup
+//! writes always succeed; a deployed middleware cannot. This module gives
+//! every policy binding a small supervisor state machine:
+//!
+//! * **Engaged** — the normal state: metrics are fresh, schedules apply.
+//! * **Degraded** — a transient failure (metric fetch error, failed apply)
+//!   was observed. The last successfully applied schedule is *held* (the
+//!   kernel keeps running it — doing nothing is the correct hold), and the
+//!   binding retries with exponential backoff.
+//! * **FallenBack** — after `max_consecutive_failures` the binding stops
+//!   trusting its stale view entirely and resets its operators to default
+//!   CFS scheduling (`nice` 0, `cpu.shares` 1024), the exact state they
+//!   would have without Lachesis. It keeps probing every period and
+//!   re-engages automatically once metrics flow again.
+//!
+//! Everything the supervisor observes is recorded in a [`FaultLog`] that
+//! tests and experiments can assert on: error counters by kind, degraded
+//! intervals per binding, and recovery times.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use simos::{SimDuration, SimTime};
+
+/// Tunables of the per-binding supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Consecutive failures after which a binding falls back to default
+    /// CFS parameters instead of holding a (by then old) schedule.
+    pub max_consecutive_failures: u32,
+    /// Staleness threshold, in units of the binding's policy period: a
+    /// metric sample older than `staleness_factor × period` no longer
+    /// represents the operator, and the operator is excluded from the
+    /// policy view.
+    pub staleness_factor: u64,
+    /// Cap on the exponential retry backoff, in policy periods.
+    pub max_backoff_periods: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_consecutive_failures: 3,
+            staleness_factor: 3,
+            max_backoff_periods: 4,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The age beyond which a sample is stale for a policy with `period`.
+    pub fn staleness_threshold(&self, period: SimDuration) -> SimDuration {
+        period * self.staleness_factor
+    }
+
+    /// Retry delay after `consecutive_failures` failures (exponential,
+    /// capped at [`max_backoff_periods`](Self::max_backoff_periods)).
+    pub fn backoff(&self, period: SimDuration, consecutive_failures: u32) -> SimDuration {
+        let exp = consecutive_failures.saturating_sub(1).min(63);
+        let factor = (1u64 << exp).min(self.max_backoff_periods.max(1));
+        period * factor
+    }
+}
+
+/// The supervisor state of one policy binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BindingHealth {
+    /// Scheduling normally.
+    #[default]
+    Engaged,
+    /// Transient failures observed; holding the last good schedule and
+    /// retrying with backoff.
+    Degraded {
+        /// Failures since the last successful scheduling round.
+        consecutive_failures: u32,
+    },
+    /// Operators were reset to default CFS parameters; probing for
+    /// recovery every period.
+    FallenBack {
+        /// When the fallback was applied.
+        since: SimTime,
+    },
+}
+
+impl BindingHealth {
+    /// Failures since the last success (0 when engaged).
+    pub fn consecutive_failures(&self) -> u32 {
+        match *self {
+            BindingHealth::Engaged => 0,
+            BindingHealth::Degraded {
+                consecutive_failures,
+            } => consecutive_failures,
+            // Fallback only happens after the threshold was crossed; the
+            // counter's job (deciding *when* to fall back) is done.
+            BindingHealth::FallenBack { .. } => u32::MAX,
+        }
+    }
+}
+
+/// One recorded supervisor observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The policy binding involved, if any (`None` = provider-level).
+    pub binding: Option<usize>,
+    /// Stable machine-readable kind (e.g. `"metric_fetch"`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A window during which a binding was not scheduling normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedInterval {
+    /// The policy binding.
+    pub binding: usize,
+    /// When degradation began.
+    pub from: SimTime,
+    /// When the binding re-engaged (`None` = still degraded).
+    pub until: Option<SimTime>,
+    /// Whether the binding fell back to default CFS during the window.
+    pub fell_back: bool,
+}
+
+impl DegradedInterval {
+    /// Time from degradation to recovery, if recovered.
+    pub fn recovery_time(&self) -> Option<SimDuration> {
+        self.until.map(|u| u - self.from)
+    }
+}
+
+/// Structured health record of a supervised Lachesis instance.
+///
+/// Shared (via `Rc<RefCell<_>>`) between the middleware loop and the test
+/// or experiment observing it; grab it with `Lachesis::fault_log()` before
+/// handing the instance to the kernel.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    errors: BTreeMap<&'static str, u64>,
+    events: Vec<FaultEvent>,
+    intervals: Vec<DegradedInterval>,
+    open: HashMap<usize, usize>,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an error observation, bumping the per-kind counter.
+    pub fn record_error(
+        &mut self,
+        at: SimTime,
+        binding: Option<usize>,
+        kind: &'static str,
+        detail: impl Into<String>,
+    ) {
+        *self.errors.entry(kind).or_insert(0) += 1;
+        self.events.push(FaultEvent {
+            at,
+            binding,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a state-transition event (not counted as an error).
+    pub fn note(
+        &mut self,
+        at: SimTime,
+        binding: Option<usize>,
+        kind: &'static str,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(FaultEvent {
+            at,
+            binding,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Opens a degraded interval for `binding` (no-op if one is open).
+    pub fn mark_degraded(&mut self, at: SimTime, binding: usize) {
+        if self.open.contains_key(&binding) {
+            return;
+        }
+        self.open.insert(binding, self.intervals.len());
+        self.intervals.push(DegradedInterval {
+            binding,
+            from: at,
+            until: None,
+            fell_back: false,
+        });
+        self.note(at, Some(binding), "degraded", "entering degraded mode");
+    }
+
+    /// Marks the binding's open degraded interval as fallen back (opening
+    /// one if needed).
+    pub fn mark_fallen_back(&mut self, at: SimTime, binding: usize) {
+        self.mark_degraded(at, binding);
+        if let Some(&i) = self.open.get(&binding) {
+            self.intervals[i].fell_back = true;
+        }
+        self.note(at, Some(binding), "fallback", "reset to default CFS");
+    }
+
+    /// Closes the binding's open degraded interval.
+    pub fn mark_recovered(&mut self, at: SimTime, binding: usize) {
+        if let Some(i) = self.open.remove(&binding) {
+            self.intervals[i].until = Some(at);
+            self.note(at, Some(binding), "recovered", "re-engaged");
+        }
+    }
+
+    /// Error counters by kind.
+    pub fn errors_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.errors
+    }
+
+    /// The counter for one error kind.
+    pub fn error_count(&self, kind: &str) -> u64 {
+        self.errors.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total errors across all kinds.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.values().sum()
+    }
+
+    /// All degraded intervals, open and closed, in order of opening.
+    pub fn degraded_intervals(&self) -> &[DegradedInterval] {
+        &self.intervals
+    }
+
+    /// Degradation→recovery durations of all *closed* intervals.
+    pub fn recovery_times(&self) -> Vec<SimDuration> {
+        self.intervals
+            .iter()
+            .filter_map(DegradedInterval::recovery_time)
+            .collect()
+    }
+
+    /// Bindings currently inside an open degraded interval.
+    pub fn currently_degraded(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.open.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Every recorded event, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+impl fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} errors ({}), {} degraded interval(s), {} open",
+            self.total_errors(),
+            self.errors
+                .iter()
+                .map(|(k, n)| format!("{k}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.intervals.len(),
+            self.open.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let cfg = SupervisorConfig::default();
+        let p = SimDuration::from_secs(1);
+        assert_eq!(cfg.backoff(p, 1), p);
+        assert_eq!(cfg.backoff(p, 2), p * 2);
+        assert_eq!(cfg.backoff(p, 3), p * 4);
+        assert_eq!(cfg.backoff(p, 10), p * 4, "capped at max_backoff_periods");
+        assert_eq!(cfg.backoff(p, 0), p, "zero failures still waits a period");
+    }
+
+    #[test]
+    fn staleness_threshold_scales_with_period() {
+        let cfg = SupervisorConfig::default();
+        assert_eq!(
+            cfg.staleness_threshold(SimDuration::from_millis(500)),
+            SimDuration::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn intervals_open_close_and_measure_recovery() {
+        let mut log = FaultLog::new();
+        log.record_error(t(1), Some(0), "metric_fetch", "boom");
+        log.mark_degraded(t(1), 0);
+        log.mark_degraded(t(2), 0); // idempotent while open
+        assert_eq!(log.currently_degraded(), vec![0]);
+        log.mark_fallen_back(t(3), 0);
+        log.mark_recovered(t(5), 0);
+        assert!(log.currently_degraded().is_empty());
+        let ints = log.degraded_intervals();
+        assert_eq!(ints.len(), 1);
+        assert_eq!(ints[0].from, t(1));
+        assert_eq!(ints[0].until, Some(t(5)));
+        assert!(ints[0].fell_back);
+        assert_eq!(log.recovery_times(), vec![SimDuration::from_secs(4)]);
+        // A second outage opens a fresh interval.
+        log.mark_degraded(t(7), 0);
+        assert_eq!(log.degraded_intervals().len(), 2);
+        assert_eq!(log.recovery_times().len(), 1, "open interval not counted");
+    }
+
+    #[test]
+    fn counters_accumulate_by_kind() {
+        let mut log = FaultLog::new();
+        log.record_error(t(0), None, "metric_fetch", "a");
+        log.record_error(t(1), Some(1), "apply_kernel", "b");
+        log.record_error(t(2), None, "metric_fetch", "c");
+        assert_eq!(log.error_count("metric_fetch"), 2);
+        assert_eq!(log.error_count("apply_kernel"), 1);
+        assert_eq!(log.error_count("nope"), 0);
+        assert_eq!(log.total_errors(), 3);
+        log.note(t(3), None, "recovered", "not an error");
+        assert_eq!(log.total_errors(), 3, "notes are not errors");
+        assert_eq!(log.events().len(), 4);
+    }
+}

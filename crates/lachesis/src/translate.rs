@@ -559,6 +559,51 @@ mod tests {
     }
 
     #[test]
+    fn combined_translator_rejects_grouped() {
+        let (mut kernel, driver) = setup(1);
+        let err = CombinedTranslator::new("t")
+            .apply(
+                &mut kernel,
+                &driver,
+                &Schedule::Grouped(GroupingSchedule::new()),
+                PriorityKind::Linear,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TranslateError::WrongFormat {
+                translator: "nice+cpu.shares",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn kernel_refusal_surfaces_as_kernel_error() {
+        let (mut kernel, driver) = setup(2);
+        kernel.set_fault_hook(|op, _| op == "set_nice");
+        let s: SinglePrioritySchedule = [(OpRef::new(0, 0), 1.0), (OpRef::new(0, 1), 5.0)]
+            .into_iter()
+            .collect();
+        let err = NiceTranslator::new()
+            .apply(
+                &mut kernel,
+                &driver,
+                &Schedule::Single(s),
+                PriorityKind::Linear,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, TranslateError::Kernel(simos::KernelError::InjectedFault { .. })),
+            "got {err:?}"
+        );
+        // The refusal left no partial nice changes behind.
+        for &tid in &driver.threads {
+            assert_eq!(kernel.thread_info(tid).unwrap().nice, Nice::DEFAULT);
+        }
+    }
+
+    #[test]
     fn missing_thread_is_an_error() {
         let (mut kernel, _) = setup(0);
         let driver = ThreadDriver { threads: vec![] };

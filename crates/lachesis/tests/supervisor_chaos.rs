@@ -1,0 +1,258 @@
+//! Chaos end-to-end test: Lachesis scheduling real (simulated) queries
+//! while a seeded [`FaultPlan`] breaks metric fetches, corrupts metric
+//! points and fails scheduler applies. The supervisor must keep the
+//! queries running (no panic), degrade to default CFS during the outage,
+//! record everything in the [`FaultLog`], and re-converge the schedule
+//! once metrics recover — deterministically under a fixed fault seed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    BindingHealth, FaultLog, LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver,
+};
+use lachesis_metrics::{FaultPlan, TimeSeriesStore};
+use simos::{machines, Kernel, Nice, SimDuration, SimTime};
+use spe::{
+    deploy, Consume, CostModel, EngineConfig, LogicalGraph, Partitioning, PassThrough, Placement,
+    Role, RunningQuery, Tuple,
+};
+
+fn skewed_pipeline(name: &str, rate: f64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+        Box::new(PassThrough)
+    });
+    let light = b.op("light", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let hot = b.op("hot", Role::Transform, CostModel::micros(400), 1, || {
+        Box::new(PassThrough)
+    });
+    let light2 = b.op("light2", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, light, Partitioning::Forward);
+    b.edge(light, hot, Partitioning::Forward);
+    b.edge(hot, light2, Partitioning::Forward);
+    b.edge(light2, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+struct Setup {
+    kernel: Kernel,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+}
+
+fn setup(n_queries: usize, rate: f64) -> Setup {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let queries = (0..n_queries)
+        .map(|i| {
+            deploy(
+                &mut kernel,
+                skewed_pipeline(&format!("q{i}"), rate),
+                EngineConfig::storm(),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .unwrap()
+        })
+        .collect();
+    Setup {
+        kernel,
+        queries,
+        store,
+    }
+}
+
+fn at(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// The chaos scenario: point corruption at [4, 6), a total metric outage
+/// at [6, 14) (long enough to cross the fallback threshold), and a
+/// scheduler-apply fault at [17, 18).
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .nan_values(at(4), at(6), 1.0)
+        .metric_dropout(at(4), at(6), 0.3)
+        .fetch_failure(Some("storm"), at(6), at(14), 1.0)
+        .apply_failure(Some("set_nice"), at(17), at(18), 1.0)
+}
+
+struct ChaosRun {
+    egress_mid: u64,
+    egress_end: u64,
+    mean_latency: f64,
+    hot_nice: Vec<i32>,
+    light_nice: Vec<i32>,
+    events: Vec<(&'static str, SimTime, Option<usize>)>,
+    errors: Vec<(&'static str, u64)>,
+    intervals: usize,
+    fell_back: bool,
+    recovery_secs: Vec<f64>,
+}
+
+fn run_chaos(seed: u64) -> ChaosRun {
+    let mut s = setup(3, 2500.0);
+    let plan = Rc::new(RefCell::new(chaos_plan(seed)));
+    {
+        let hook_plan = Rc::clone(&plan);
+        s.kernel
+            .set_fault_hook(move |op, now| hook_plan.borrow_mut().kernel_fault(op, now));
+    }
+    let lachesis = LachesisBuilder::new()
+        .driver(
+            StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store))
+                .with_faults(Rc::clone(&plan)),
+        )
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build();
+    let log: Rc<RefCell<FaultLog>> = lachesis.fault_log();
+    lachesis.start(&mut s.kernel);
+
+    // Through the corruption window and deep into the outage: the binding
+    // must be degraded by now (backoff rounds at 6, 7, 9, fallback at 13).
+    s.kernel.run_for(SimDuration::from_secs(13) + SimDuration::from_millis(500));
+    {
+        let log = log.borrow();
+        assert_eq!(log.currently_degraded(), vec![0], "binding 0 degraded mid-outage");
+        assert!(
+            log.degraded_intervals().iter().any(|i| i.fell_back),
+            "long outage must trigger the CFS fallback: {log}"
+        );
+    }
+    let egress_mid: u64 = s.queries.iter().map(|q| q.egress_total()).sum();
+    assert!(egress_mid > 0, "queries kept producing through the outage");
+
+    // Past recovery: the supervisor must close the degraded interval.
+    s.kernel.run_for(SimDuration::from_secs(2) + SimDuration::from_millis(500));
+    assert!(
+        log.borrow().currently_degraded().is_empty(),
+        "binding re-engaged once metrics recovered: {}",
+        log.borrow()
+    );
+
+    // Through the apply-fault window and out the other side.
+    s.kernel.run_for(SimDuration::from_secs(10));
+    let egress_end: u64 = s.queries.iter().map(|q| q.egress_total()).sum();
+    let mean_latency = s
+        .queries
+        .iter()
+        .filter_map(|q| q.latency_histogram().mean())
+        .sum::<f64>()
+        / s.queries.len() as f64;
+    let nice_of = |q: &RunningQuery, op: usize| -> i32 {
+        let tid = q.cell(op).thread().unwrap();
+        s.kernel.thread_info(tid).unwrap().nice.value()
+    };
+    let log = log.borrow();
+    ChaosRun {
+        egress_mid,
+        egress_end,
+        mean_latency,
+        hot_nice: s.queries.iter().map(|q| nice_of(q, 2)).collect(),
+        light_nice: s.queries.iter().map(|q| nice_of(q, 1)).collect(),
+        events: log
+            .events()
+            .iter()
+            .map(|e| (e.kind, e.at, e.binding))
+            .collect(),
+        errors: log.errors_by_kind().iter().map(|(&k, &n)| (k, n)).collect(),
+        intervals: log.degraded_intervals().len(),
+        fell_back: log.degraded_intervals().iter().any(|i| i.fell_back),
+        recovery_secs: log
+            .recovery_times()
+            .iter()
+            .map(|d| d.as_nanos() as f64 / 1e9)
+            .collect(),
+    }
+}
+
+#[test]
+fn chaos_run_degrades_and_reconverges() {
+    let r = run_chaos(42);
+
+    // Queries completed work throughout; latency stayed bounded.
+    assert!(r.egress_end > r.egress_mid, "egress resumed after recovery");
+    assert!(
+        r.mean_latency.is_finite() && r.mean_latency > 0.0,
+        "latency bounded: {}",
+        r.mean_latency
+    );
+
+    // Both fault windows were observed and recovered from.
+    assert!(r.fell_back, "metric outage triggered the CFS fallback");
+    assert!(
+        r.intervals >= 2,
+        "metric outage and apply fault each opened an interval, got {}",
+        r.intervals
+    );
+    assert_eq!(r.recovery_secs.len(), r.intervals, "all intervals closed");
+    // The outage began at t=6s and the first post-outage wake is t=14s.
+    assert!(
+        (7.0..=9.0).contains(&r.recovery_secs[0]),
+        "outage recovery took {:.1}s",
+        r.recovery_secs[0]
+    );
+    let kinds: Vec<&str> = r.errors.iter().map(|(k, _)| *k).collect();
+    assert!(kinds.contains(&"metric_fetch"), "fetch errors counted: {kinds:?}");
+    assert!(kinds.contains(&"apply_kernel"), "apply errors counted: {kinds:?}");
+
+    // Priorities re-converged after recovery: the hot operator again holds
+    // the best nice in every query.
+    for (q, (&hot, &light)) in r.hot_nice.iter().zip(&r.light_nice).enumerate() {
+        assert!(
+            hot <= 0 && hot < light,
+            "query {q}: hot nice {hot} vs light nice {light} after recovery"
+        );
+    }
+}
+
+#[test]
+fn chaos_run_is_deterministic_under_a_fixed_seed() {
+    let a = run_chaos(42);
+    let b = run_chaos(42);
+    assert_eq!(a.events, b.events, "identical fault-log event sequences");
+    assert_eq!(a.errors, b.errors, "identical error counters");
+    assert_eq!(a.egress_end, b.egress_end, "identical workload outcome");
+    assert_eq!(a.hot_nice, b.hot_nice, "identical final schedule");
+}
+
+/// Satellite: a policy scope that resolves to zero operators (e.g. a
+/// query index that does not exist) must be a clean no-op, not an error.
+#[test]
+fn zero_operator_scope_is_a_no_op() {
+    let mut s = setup(1, 500.0);
+    let mut lachesis = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::Query(99),
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build();
+    let log = lachesis.fault_log();
+    s.kernel.run_for(SimDuration::from_secs(3));
+    lachesis.run_if_due(&mut s.kernel).expect("empty scope is fine");
+    assert_eq!(lachesis.binding_health(0), Some(BindingHealth::Engaged));
+    assert_eq!(log.borrow().total_errors(), 0);
+    // No operator thread was touched: everything still at the default nice.
+    for i in 0..s.queries[0].op_count() {
+        let tid = s.queries[0].cell(i).thread().unwrap();
+        assert_eq!(s.kernel.thread_info(tid).unwrap().nice, Nice::DEFAULT);
+    }
+}

@@ -1,0 +1,440 @@
+//! Deterministic fault injection for the metric and scheduling pipeline.
+//!
+//! A [`FaultPlan`] describes *when* (sim-time windows), *where* (metric
+//! source / kernel operation) and *how often* (probability under a fixed
+//! seed) faults strike. Drivers consult it while fetching metrics and the
+//! simulated kernel consults it (via a fault hook) while applying
+//! schedules, so one plan exercises every failure mode the Lachesis
+//! supervisor must survive:
+//!
+//! * **fetch failures** — a whole driver fetch errors (metrics backend down),
+//! * **metric dropouts** — individual points vanish from a fetch,
+//! * **NaN values** — individual points are garbage,
+//! * **stale metrics** — the source freezes: it keeps serving the values it
+//!   had when the window opened, with their old timestamps,
+//! * **fetch latency spikes** — the fetch serves data as of `now − delay`,
+//! * **apply failures** — scheduler-control syscalls (nice/cgroup writes)
+//!   fail transiently.
+//!
+//! All randomness flows from one seed through a counter-mode splitmix64,
+//! so a run with the same plan and the same call sequence is bit-for-bit
+//! reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simos::{SimDuration, SimTime};
+
+/// How a fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The whole fetch call fails (metrics backend unreachable).
+    FetchFailure,
+    /// Individual metric points are dropped from fetch results.
+    MetricDropout,
+    /// Individual metric points are replaced by NaN.
+    NanValues,
+    /// The source freezes: it serves the values it had at the window start
+    /// (with their old timestamps) for the whole window.
+    StaleMetrics,
+    /// Fetches are slow: they serve data as of `now − delay`.
+    FetchLatency {
+        /// How far behind real time the served data lags.
+        delay: SimDuration,
+    },
+    /// A scheduler-control kernel operation fails (nice / cgroup write).
+    ApplyFailure {
+        /// Restrict to one kernel operation (e.g. `"set_nice"`); `None`
+        /// hits every operation.
+        op: Option<&'static str>,
+    },
+}
+
+impl FaultKind {
+    /// Stable label used for injection counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::FetchFailure => "fetch_failure",
+            FaultKind::MetricDropout => "metric_dropout",
+            FaultKind::NanValues => "nan_values",
+            FaultKind::StaleMetrics => "stale_metrics",
+            FaultKind::FetchLatency { .. } => "fetch_latency",
+            FaultKind::ApplyFailure { .. } => "apply_failure",
+        }
+    }
+}
+
+/// One fault rule: a kind, active window, target filter and probability.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Start of the active window (inclusive).
+    pub from: SimTime,
+    /// End of the active window (exclusive).
+    pub until: SimTime,
+    /// Restrict to one metric source by name; `None` hits all sources.
+    /// Ignored for [`FaultKind::ApplyFailure`].
+    pub source: Option<String>,
+    /// Chance that one decision (fetch call / point / kernel op) faults.
+    pub probability: f64,
+}
+
+impl FaultRule {
+    fn active(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+
+    fn matches_source(&self, source: &str) -> bool {
+        self.source.as_deref().is_none_or(|s| s == source)
+    }
+}
+
+/// Per-point verdict for one fetched metric sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PointFault {
+    /// Drop the point entirely.
+    pub drop: bool,
+    /// Replace the value by NaN.
+    pub nan: bool,
+}
+
+/// A seedable, windowed fault-injection plan (see the module docs).
+pub struct FaultPlan {
+    seed: u64,
+    counter: u64,
+    rules: Vec<FaultRule>,
+    injected: BTreeMap<&'static str, u64>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("rules", &self.rules.len())
+            .field("injected", &self.injected)
+            .finish()
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Creates an empty plan; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            counter: 0,
+            rules: Vec::new(),
+            injected: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a rule and returns the plan (builder style).
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Whole-fetch failures for `source` (`None` = all) in `[from, until)`.
+    pub fn fetch_failure(
+        self,
+        source: Option<&str>,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::FetchFailure,
+            from,
+            until,
+            source: source.map(str::to_owned),
+            probability,
+        })
+    }
+
+    /// Per-point dropouts for all sources in `[from, until)`.
+    pub fn metric_dropout(self, from: SimTime, until: SimTime, probability: f64) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::MetricDropout,
+            from,
+            until,
+            source: None,
+            probability,
+        })
+    }
+
+    /// Per-point NaN corruption for all sources in `[from, until)`.
+    pub fn nan_values(self, from: SimTime, until: SimTime, probability: f64) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::NanValues,
+            from,
+            until,
+            source: None,
+            probability,
+        })
+    }
+
+    /// Freezes `source` (`None` = all) during `[from, until)`: fetches
+    /// serve the values the store had at `from`.
+    pub fn stale_metrics(self, source: Option<&str>, from: SimTime, until: SimTime) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::StaleMetrics,
+            from,
+            until,
+            source: source.map(str::to_owned),
+            probability: 1.0,
+        })
+    }
+
+    /// Fetch latency spikes: with `probability`, a fetch in the window
+    /// serves data as of `now − delay`.
+    pub fn fetch_latency(
+        self,
+        from: SimTime,
+        until: SimTime,
+        delay: SimDuration,
+        probability: f64,
+    ) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::FetchLatency { delay },
+            from,
+            until,
+            source: None,
+            probability,
+        })
+    }
+
+    /// Scheduler-apply failures for kernel operation `op` (`None` = every
+    /// operation) in `[from, until)`.
+    pub fn apply_failure(
+        self,
+        op: Option<&'static str>,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::ApplyFailure { op },
+            from,
+            until,
+            source: None,
+            probability,
+        })
+    }
+
+    /// One deterministic coin flip with probability `p`.
+    fn decide(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.counter += 1;
+        let unit = (splitmix64(self.seed ^ self.counter.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11)
+            as f64
+            / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    fn count(&mut self, label: &'static str) {
+        *self.injected.entry(label).or_insert(0) += 1;
+    }
+
+    /// Should this whole fetch call fail? (Consult once per fetch.)
+    pub fn fetch_fails(&mut self, source: &str, now: SimTime) -> bool {
+        for i in 0..self.rules.len() {
+            let r = &self.rules[i];
+            if r.kind == FaultKind::FetchFailure && r.active(now) && r.matches_source(source) {
+                let p = r.probability;
+                if self.decide(p) {
+                    self.count("fetch_failure");
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// How far back in time this fetch should read, if a staleness or
+    /// latency fault is active. Returns the cutoff instant to read at.
+    pub fn fetch_cutoff(&mut self, source: &str, now: SimTime) -> Option<SimTime> {
+        let mut cutoff: Option<SimTime> = None;
+        for i in 0..self.rules.len() {
+            let (kind, from, p) = {
+                let r = &self.rules[i];
+                if !r.active(now) || !r.matches_source(source) {
+                    continue;
+                }
+                (r.kind, r.from, r.probability)
+            };
+            let candidate = match kind {
+                FaultKind::StaleMetrics => {
+                    if !self.decide(p) {
+                        continue;
+                    }
+                    self.count("stale_metrics");
+                    from
+                }
+                FaultKind::FetchLatency { delay } => {
+                    if !self.decide(p) {
+                        continue;
+                    }
+                    self.count("fetch_latency");
+                    SimTime::from_nanos(now.as_nanos().saturating_sub(delay.as_nanos()))
+                }
+                _ => continue,
+            };
+            cutoff = Some(match cutoff {
+                Some(c) if c <= candidate => c,
+                _ => candidate,
+            });
+        }
+        cutoff
+    }
+
+    /// Per-point verdict (dropout / NaN). Consult once per fetched point.
+    pub fn point_fault(&mut self, source: &str, now: SimTime) -> PointFault {
+        let mut out = PointFault::default();
+        for i in 0..self.rules.len() {
+            let (kind, p) = {
+                let r = &self.rules[i];
+                if !r.active(now) || !r.matches_source(source) {
+                    continue;
+                }
+                (r.kind, r.probability)
+            };
+            match kind {
+                FaultKind::MetricDropout if !out.drop && self.decide(p) => {
+                    self.count("metric_dropout");
+                    out.drop = true;
+                }
+                FaultKind::NanValues if !out.nan && self.decide(p) => {
+                    self.count("nan_values");
+                    out.nan = true;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Should this scheduler-control kernel operation fail? Plug into
+    /// `Kernel::set_fault_hook`.
+    pub fn kernel_fault(&mut self, op: &'static str, now: SimTime) -> bool {
+        for i in 0..self.rules.len() {
+            let (rule_op, p) = {
+                let r = &self.rules[i];
+                let FaultKind::ApplyFailure { op: rule_op } = r.kind else {
+                    continue;
+                };
+                if !r.active(now) {
+                    continue;
+                }
+                (rule_op, r.probability)
+            };
+            if rule_op.is_none_or(|o| o == op) && self.decide(p) {
+                self.count("apply_failure");
+                return true;
+            }
+        }
+        false
+    }
+
+    /// How many faults of each kind have been injected so far.
+    pub fn injected(&self) -> &BTreeMap<&'static str, u64> {
+        &self.injected
+    }
+
+    /// Total injected faults across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn windows_gate_injection() {
+        let mut plan = FaultPlan::new(1).fetch_failure(None, t(5), t(10), 1.0);
+        assert!(!plan.fetch_fails("storm", t(4)));
+        assert!(plan.fetch_fails("storm", t(5)));
+        assert!(plan.fetch_fails("storm", t(9)));
+        assert!(!plan.fetch_fails("storm", t(10)), "window end is exclusive");
+        assert_eq!(plan.injected()["fetch_failure"], 2);
+    }
+
+    #[test]
+    fn source_filter_applies() {
+        let mut plan = FaultPlan::new(1).fetch_failure(Some("flink"), t(0), t(10), 1.0);
+        assert!(plan.fetch_fails("flink", t(1)));
+        assert!(!plan.fetch_fails("storm", t(1)));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut plan = FaultPlan::new(seed).metric_dropout(t(0), t(100), 0.5);
+            (0..64)
+                .map(|i| plan.point_fault("s", t(i)).drop)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds diverge");
+        let hits = run(7).iter().filter(|&&d| d).count();
+        assert!(hits > 10 && hits < 54, "p=0.5 injects roughly half: {hits}");
+    }
+
+    #[test]
+    fn stale_metrics_freeze_at_window_start() {
+        let mut plan = FaultPlan::new(3).stale_metrics(None, t(20), t(30), );
+        assert_eq!(plan.fetch_cutoff("s", t(19)), None);
+        assert_eq!(plan.fetch_cutoff("s", t(25)), Some(t(20)));
+        assert_eq!(plan.fetch_cutoff("s", t(30)), None);
+    }
+
+    #[test]
+    fn fetch_latency_lags_now() {
+        let mut plan =
+            FaultPlan::new(3).fetch_latency(t(0), t(100), SimDuration::from_secs(4), 1.0);
+        assert_eq!(plan.fetch_cutoff("s", t(10)), Some(t(6)));
+    }
+
+    #[test]
+    fn overlapping_cutoffs_take_the_oldest() {
+        let mut plan = FaultPlan::new(3)
+            .stale_metrics(None, t(20), t(30))
+            .fetch_latency(t(0), t(100), SimDuration::from_secs(2), 1.0);
+        // At t=25: stale would read at 20, latency at 23 — oldest wins.
+        assert_eq!(plan.fetch_cutoff("s", t(25)), Some(t(20)));
+    }
+
+    #[test]
+    fn kernel_fault_filters_by_op() {
+        let mut plan = FaultPlan::new(9).apply_failure(Some("set_nice"), t(0), t(10), 1.0);
+        assert!(plan.kernel_fault("set_nice", t(1)));
+        assert!(!plan.kernel_fault("set_cpu_shares", t(1)));
+        assert_eq!(plan.injected_total(), 1);
+    }
+
+    #[test]
+    fn nan_and_dropout_can_coexist() {
+        let mut plan = FaultPlan::new(5)
+            .metric_dropout(t(0), t(10), 1.0)
+            .nan_values(t(0), t(10), 1.0);
+        let f = plan.point_fault("s", t(1));
+        assert!(f.drop && f.nan);
+    }
+}

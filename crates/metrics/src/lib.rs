@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod metric;
 mod provider;
 mod store;
 
-pub use metric::{names, ratio_metric, DepValues, EntityValues, MetricDef, MetricName};
-pub use provider::{MetricError, MetricProvider, MetricSource};
+pub use fault::{FaultKind, FaultPlan, FaultRule, PointFault};
+pub use metric::{names, ratio_metric, DepValues, EntityValues, MetricDef, MetricName, Sample};
+pub use provider::{FetchError, MetricError, MetricProvider, MetricSource};
 pub use store::TimeSeriesStore;

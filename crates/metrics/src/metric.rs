@@ -2,6 +2,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Index;
+
+use simos::{SimDuration, SimTime};
 
 /// The name of a metric, e.g. `"queue.size"`.
 ///
@@ -44,8 +47,163 @@ pub mod names {
     pub const LATENCY: MetricName = MetricName("sink.latency");
 }
 
+/// One sampled metric value and (if known) when it was sampled.
+///
+/// The timestamp lets consumers detect *stale* metrics — a source that
+/// keeps serving old data looks healthy by value but not by age. `at:
+/// None` means the source attached no timestamp; such samples are treated
+/// as fresh, which matches the previous (timestamp-less) behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// The metric value.
+    pub value: f64,
+    /// When the value was sampled, if the source knows.
+    pub at: Option<SimTime>,
+}
+
+impl Sample {
+    /// A sample without a timestamp (treated as fresh).
+    pub fn new(value: f64) -> Self {
+        Sample { value, at: None }
+    }
+
+    /// A sample taken at `at`.
+    pub fn taken_at(value: f64, at: SimTime) -> Self {
+        Sample {
+            value,
+            at: Some(at),
+        }
+    }
+
+    /// The sample's age relative to `now` (`None` if untimestamped).
+    pub fn age(&self, now: SimTime) -> Option<SimDuration> {
+        let at = self.at?;
+        Some(SimDuration::from_nanos(
+            now.as_nanos().saturating_sub(at.as_nanos()),
+        ))
+    }
+
+    /// Whether the sample is older than `max_age`. Untimestamped samples
+    /// are never considered stale.
+    pub fn is_stale(&self, now: SimTime, max_age: SimDuration) -> bool {
+        self.age(now).is_some_and(|a| a > max_age)
+    }
+}
+
 /// Per-entity metric values at one scheduling period.
-pub type EntityValues<K> = HashMap<K, f64>;
+///
+/// A thin wrapper over a hash map of [`Sample`]s that keeps the ergonomics
+/// of the plain `HashMap<K, f64>` it replaced: build it from `(K, f64)`
+/// pairs, read values with [`get`](EntityValues::get) or indexing, and
+/// reach for [`sample`](EntityValues::sample) / [`samples`](EntityValues::samples)
+/// only when timestamps matter.
+#[derive(Debug, Clone)]
+pub struct EntityValues<K> {
+    map: HashMap<K, Sample>,
+}
+
+impl<K: Eq + std::hash::Hash> PartialEq for EntityValues<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
+}
+
+impl<K> Default for EntityValues<K> {
+    fn default() -> Self {
+        EntityValues {
+            map: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash> EntityValues<K> {
+    /// Creates an empty value map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an untimestamped value.
+    pub fn insert(&mut self, key: K, value: f64) {
+        self.map.insert(key, Sample::new(value));
+    }
+
+    /// Inserts a value sampled at `at`.
+    pub fn insert_at(&mut self, key: K, value: f64, at: SimTime) {
+        self.map.insert(key, Sample::taken_at(value, at));
+    }
+
+    /// Inserts a full sample.
+    pub fn insert_sample(&mut self, key: K, sample: Sample) {
+        self.map.insert(key, sample);
+    }
+
+    /// One entity's value.
+    pub fn get(&self, key: &K) -> Option<f64> {
+        self.map.get(key).map(|s| s.value)
+    }
+
+    /// One entity's full sample (value + timestamp).
+    pub fn sample(&self, key: &K) -> Option<Sample> {
+        self.map.get(key).copied()
+    }
+
+    /// Whether the entity has a value.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of entities with values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no entity has a value.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(entity, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, f64)> + '_ {
+        self.map.iter().map(|(k, s)| (k, s.value))
+    }
+
+    /// Iterates `(entity, sample)` pairs.
+    pub fn samples(&self) -> impl Iterator<Item = (&K, &Sample)> + '_ {
+        self.map.iter()
+    }
+
+    /// Iterates the entities.
+    pub fn keys(&self) -> impl Iterator<Item = &K> + '_ {
+        self.map.keys()
+    }
+}
+
+impl<K: Eq + std::hash::Hash> Index<&K> for EntityValues<K> {
+    type Output = f64;
+
+    fn index(&self, key: &K) -> &f64 {
+        &self.map[key].value
+    }
+}
+
+impl<K: Eq + std::hash::Hash> FromIterator<(K, f64)> for EntityValues<K> {
+    fn from_iter<I: IntoIterator<Item = (K, f64)>>(iter: I) -> Self {
+        EntityValues {
+            map: iter
+                .into_iter()
+                .map(|(k, v)| (k, Sample::new(v)))
+                .collect(),
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash> FromIterator<(K, Sample)> for EntityValues<K> {
+    fn from_iter<I: IntoIterator<Item = (K, Sample)>>(iter: I) -> Self {
+        EntityValues {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
 
 /// Dependency values handed to a derived metric's combine function, in the
 /// same order as the metric's declared dependencies.
@@ -113,14 +271,24 @@ pub fn ratio_metric<K: Clone + Eq + std::hash::Hash + 'static>(
     MetricDef::new(name, vec![numerator, denominator], |deps: &DepValues<'_, K>| {
         let num = deps[0];
         let den = deps[1];
-        num.iter()
+        num.samples()
             .filter_map(|(k, n)| {
-                let d = *den.get(k)?;
-                if d == 0.0 {
-                    None
-                } else {
-                    Some((k.clone(), n / d))
+                let d = den.sample(k)?;
+                if d.value == 0.0 {
+                    return None;
                 }
+                // The derived sample is only as fresh as its oldest input.
+                let at = match (n.at, d.at) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                Some((
+                    k.clone(),
+                    Sample {
+                        value: n.value / d.value,
+                        at,
+                    },
+                ))
             })
             .collect()
     })
@@ -141,9 +309,35 @@ mod tests {
         let out: EntityValues<u32> = [(1, 30.0), (2, 10.0), (3, 5.0)].into_iter().collect();
         let inp: EntityValues<u32> = [(1, 10.0), (2, 0.0)].into_iter().collect();
         let result = def.combine(&[&out, &inp]);
-        assert_eq!(result.get(&1), Some(&3.0));
+        assert_eq!(result.get(&1), Some(3.0));
         assert_eq!(result.get(&2), None, "division by zero dropped");
         assert_eq!(result.get(&3), None, "missing denominator dropped");
+    }
+
+    #[test]
+    fn ratio_metric_keeps_oldest_timestamp() {
+        let def: MetricDef<u32> = ratio_metric(names::SELECTIVITY, names::TUPLES_OUT, names::TUPLES_IN);
+        let t5 = SimTime::ZERO + SimDuration::from_secs(5);
+        let t9 = SimTime::ZERO + SimDuration::from_secs(9);
+        let mut out: EntityValues<u32> = EntityValues::new();
+        out.insert_at(1, 30.0, t9);
+        out.insert(2, 12.0);
+        let mut inp: EntityValues<u32> = EntityValues::new();
+        inp.insert_at(1, 10.0, t5);
+        inp.insert_at(2, 4.0, t5);
+        let result = def.combine(&[&out, &inp]);
+        assert_eq!(result.sample(&1).unwrap().at, Some(t5), "oldest input wins");
+        assert_eq!(result.sample(&2).unwrap().at, Some(t5), "known side wins");
+    }
+
+    #[test]
+    fn sample_age_and_staleness() {
+        let now = SimTime::ZERO + SimDuration::from_secs(10);
+        let old = Sample::taken_at(1.0, SimTime::ZERO + SimDuration::from_secs(3));
+        assert_eq!(old.age(now), Some(SimDuration::from_secs(7)));
+        assert!(old.is_stale(now, SimDuration::from_secs(5)));
+        assert!(!old.is_stale(now, SimDuration::from_secs(7)), "boundary is fresh");
+        assert!(!Sample::new(1.0).is_stale(now, SimDuration::ZERO), "untimestamped never stale");
     }
 
     #[test]

@@ -8,7 +8,36 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
+use simos::SimTime;
+
 use crate::metric::{DepValues, EntityValues, MetricDef, MetricName};
+
+/// Why a source could not serve a fetch (backend down, timeout, ...).
+///
+/// Fetch failures are *transient* by nature — the supervisor retries them —
+/// unlike the configuration errors in [`MetricError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl FetchError {
+    /// Creates a fetch error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        FetchError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for FetchError {}
 
 /// Something metrics can be fetched from — implemented by SPE drivers.
 pub trait MetricSource<K> {
@@ -20,6 +49,13 @@ pub trait MetricSource<K> {
     ///
     /// Only called when [`provides`](MetricSource::provides) returned true.
     fn fetch(&self, metric: MetricName) -> EntityValues<K>;
+    /// Fallible, time-aware fetch. The default delegates to
+    /// [`fetch`](MetricSource::fetch) and never fails; drivers that talk to
+    /// an unreliable backend (or inject faults) override this.
+    fn try_fetch(&self, metric: MetricName, now: SimTime) -> Result<EntityValues<K>, FetchError> {
+        let _ = now;
+        Ok(self.fetch(metric))
+    }
 }
 
 /// Errors from metric resolution.
@@ -37,6 +73,23 @@ pub enum MetricError {
     DependencyCycle(MetricName),
     /// The metric has dependencies but no definition was installed.
     UndefinedDerived(MetricName),
+    /// A source failed to serve a fetch (transient backend failure).
+    FetchFailed {
+        /// The metric being fetched.
+        metric: MetricName,
+        /// The failing source.
+        source: String,
+        /// The failure reason.
+        reason: String,
+    },
+}
+
+impl MetricError {
+    /// Whether retrying later can plausibly succeed (transient failure),
+    /// as opposed to a configuration error that will fail forever.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MetricError::FetchFailed { .. })
+    }
 }
 
 impl fmt::Display for MetricError {
@@ -48,6 +101,13 @@ impl fmt::Display for MetricError {
             MetricError::DependencyCycle(m) => write!(f, "metric {m} depends on itself"),
             MetricError::UndefinedDerived(m) => {
                 write!(f, "metric {m} is not provided and has no definition")
+            }
+            MetricError::FetchFailed {
+                metric,
+                source,
+                reason,
+            } => {
+                write!(f, "fetching {metric} from source {source} failed: {reason}")
             }
         }
     }
@@ -77,7 +137,7 @@ impl std::error::Error for MetricError {}
 /// let mut provider = MetricProvider::new();
 /// provider.define(ratio_metric(names::SELECTIVITY, names::TUPLES_OUT, names::TUPLES_IN));
 /// provider.register(names::SELECTIVITY);
-/// provider.update(&[&RawSource]).unwrap();
+/// provider.update(simos::SimTime::ZERO, &[&RawSource]).unwrap();
 /// assert_eq!(provider.get(0, names::SELECTIVITY).unwrap()[&7], 2.5);
 /// ```
 pub struct MetricProvider<K> {
@@ -128,28 +188,63 @@ impl<K: Clone + Eq + std::hash::Hash> MetricProvider<K> {
 
     /// Computes all registered metrics for all sources (Algorithm 3).
     ///
+    /// One failing source does not poison the others: each healthy
+    /// source's values are committed, and a failing source *keeps its
+    /// previous values* (hold-last) so policies degrade gracefully instead
+    /// of losing the whole view.
+    ///
     /// # Errors
     ///
-    /// Fails if a required primitive metric is unavailable from a source,
-    /// a derived metric has no definition, or the dependency graph cycles.
-    pub fn update(&mut self, sources: &[&dyn MetricSource<K>]) -> Result<(), MetricError> {
-        let mut all = Vec::with_capacity(sources.len());
-        for source in sources {
+    /// Returns the first per-source error (all of them are reported by
+    /// [`update_reporting`](MetricProvider::update_reporting)): a required
+    /// primitive metric unavailable from a source, a derived metric with no
+    /// definition, a dependency cycle, or a failed fetch.
+    pub fn update(
+        &mut self,
+        now: SimTime,
+        sources: &[&dyn MetricSource<K>],
+    ) -> Result<(), MetricError> {
+        match self.update_reporting(now, sources).into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Like [`update`](MetricProvider::update), but reports *every* failing
+    /// source as `(source_index, error)` pairs (empty = all healthy).
+    pub fn update_reporting(
+        &mut self,
+        now: SimTime,
+        sources: &[&dyn MetricSource<K>],
+    ) -> Vec<(usize, MetricError)> {
+        let mut errors = Vec::new();
+        // Hold-last: pre-extend so a failing source keeps its old values.
+        while self.values.len() < sources.len() {
+            self.values.push(HashMap::new());
+        }
+        for (i, source) in sources.iter().enumerate() {
             // Per-driver cache, fresh each period (Algorithm 3, L4).
             let mut cache: HashMap<MetricName, EntityValues<K>> = HashMap::new();
             let mut visiting: HashSet<MetricName> = HashSet::new();
+            let mut failed = None;
             for &metric in &self.registered {
-                self.compute(metric, *source, &mut cache, &mut visiting)?;
+                if let Err(e) = self.compute(metric, now, *source, &mut cache, &mut visiting) {
+                    failed = Some(e);
+                    break;
+                }
             }
-            all.push(cache);
+            match failed {
+                Some(e) => errors.push((i, e)),
+                None => self.values[i] = cache,
+            }
         }
-        self.values = all;
-        Ok(())
+        errors
     }
 
     fn compute(
         &self,
         metric: MetricName,
+        now: SimTime,
         source: &dyn MetricSource<K>,
         cache: &mut HashMap<MetricName, EntityValues<K>>,
         visiting: &mut HashSet<MetricName>,
@@ -158,7 +253,15 @@ impl<K: Clone + Eq + std::hash::Hash> MetricProvider<K> {
             return Ok(()); // L10-11
         }
         if source.provides(metric) {
-            cache.insert(metric, source.fetch(metric)); // L12-13
+            let values =
+                source
+                    .try_fetch(metric, now)
+                    .map_err(|e| MetricError::FetchFailed {
+                        metric,
+                        source: source.source_name().to_owned(),
+                        reason: e.reason,
+                    })?;
+            cache.insert(metric, values); // L12-13
             return Ok(());
         }
         let Some(def) = self.defs.get(&metric) else {
@@ -175,7 +278,7 @@ impl<K: Clone + Eq + std::hash::Hash> MetricProvider<K> {
             return Err(MetricError::DependencyCycle(metric));
         }
         for &dep in def.deps() {
-            self.compute(dep, source, cache, visiting)?; // L16
+            self.compute(dep, now, source, cache, visiting)?; // L16
         }
         visiting.remove(&metric);
         let dep_refs: Vec<&EntityValues<K>> = def
@@ -200,6 +303,7 @@ impl<K: Clone + Eq + std::hash::Hash> MetricProvider<K> {
 mod tests {
     use super::*;
     use crate::metric::{names, ratio_metric};
+    use simos::SimDuration;
 
     /// SPE "A" from Fig. 4: exposes selectivity and cost directly.
     struct SpeA;
@@ -252,7 +356,7 @@ mod tests {
     fn fetches_directly_when_provided() {
         let mut p = provider_with_derivations();
         p.register(names::SELECTIVITY);
-        p.update(&[&SpeA]).unwrap();
+        p.update(SimTime::ZERO, &[&SpeA]).unwrap();
         assert_eq!(p.get(0, names::SELECTIVITY).unwrap()[&1], 2.0);
     }
 
@@ -261,7 +365,7 @@ mod tests {
         let mut p = provider_with_derivations();
         p.register(names::SELECTIVITY);
         p.register(names::COST);
-        p.update(&[&SpeB]).unwrap();
+        p.update(SimTime::ZERO, &[&SpeB]).unwrap();
         assert_eq!(p.get(0, names::SELECTIVITY).unwrap()[&1], 2.0);
         assert_eq!(p.get(0, names::COST).unwrap()[&1], 0.5);
     }
@@ -270,7 +374,7 @@ mod tests {
     fn same_policy_works_on_both_spes() {
         let mut p = provider_with_derivations();
         p.register(names::SELECTIVITY);
-        p.update(&[&SpeA, &SpeB]).unwrap();
+        p.update(SimTime::ZERO, &[&SpeA, &SpeB]).unwrap();
         assert_eq!(p.get(0, names::SELECTIVITY).unwrap()[&1], 2.0);
         assert_eq!(p.get(1, names::SELECTIVITY).unwrap()[&1], 2.0);
     }
@@ -282,7 +386,7 @@ mod tests {
             EntityValues::new()
         }));
         p.register(names::QUEUE_SIZE);
-        let err = p.update(&[&SpeA]).unwrap_err();
+        let err = p.update(SimTime::ZERO, &[&SpeA]).unwrap_err();
         assert!(matches!(err, MetricError::MissingPrimitive { .. }));
     }
 
@@ -290,7 +394,7 @@ mod tests {
     fn undefined_derived_is_an_error() {
         let mut p: MetricProvider<u32> = MetricProvider::new();
         p.register(names::HIGHEST_RATE);
-        let err = p.update(&[&SpeA]).unwrap_err();
+        let err = p.update(SimTime::ZERO, &[&SpeA]).unwrap_err();
         assert_eq!(err, MetricError::UndefinedDerived(names::HIGHEST_RATE));
     }
 
@@ -302,7 +406,7 @@ mod tests {
         p.define(MetricDef::new(a, vec![b], |_| EntityValues::new()));
         p.define(MetricDef::new(b, vec![a], |_| EntityValues::new()));
         p.register(a);
-        let err = p.update(&[&SpeA]).unwrap_err();
+        let err = p.update(SimTime::ZERO, &[&SpeA]).unwrap_err();
         assert!(matches!(err, MetricError::DependencyCycle(_)));
     }
 
@@ -333,7 +437,78 @@ mod tests {
         p.register(MetricName("d1"));
         p.register(MetricName("d2"));
         let src = Counting(Cell::new(0));
-        p.update(&[&src]).unwrap();
+        p.update(SimTime::ZERO, &[&src]).unwrap();
         assert_eq!(src.0.get(), 1, "TUPLES_IN fetched once per period");
+    }
+
+    /// Serves selectivity directly; fails every fetch when told to.
+    struct Flaky(std::cell::Cell<bool>);
+    impl MetricSource<u32> for Flaky {
+        fn source_name(&self) -> &str {
+            "flaky"
+        }
+        fn provides(&self, m: MetricName) -> bool {
+            m == names::SELECTIVITY
+        }
+        fn fetch(&self, _: MetricName) -> EntityValues<u32> {
+            [(1, 9.0)].into_iter().collect()
+        }
+        fn try_fetch(
+            &self,
+            m: MetricName,
+            _now: SimTime,
+        ) -> Result<EntityValues<u32>, FetchError> {
+            if self.0.get() {
+                Err(FetchError::new("backend down"))
+            } else {
+                Ok(self.fetch(m))
+            }
+        }
+    }
+
+    #[test]
+    fn failing_source_does_not_poison_healthy_ones() {
+        let mut p: MetricProvider<u32> = MetricProvider::new();
+        p.register(names::SELECTIVITY);
+        let flaky = Flaky(std::cell::Cell::new(true));
+        let errors = p.update_reporting(SimTime::ZERO, &[&flaky, &SpeA]);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 0, "only the flaky source errors");
+        assert!(errors[0].1.is_transient());
+        assert_eq!(
+            p.get(1, names::SELECTIVITY).unwrap()[&1],
+            2.0,
+            "healthy source committed"
+        );
+    }
+
+    #[test]
+    fn failing_source_holds_its_last_values() {
+        let mut p: MetricProvider<u32> = MetricProvider::new();
+        p.register(names::SELECTIVITY);
+        let flaky = Flaky(std::cell::Cell::new(false));
+        p.update(SimTime::ZERO, &[&flaky]).unwrap();
+        assert_eq!(p.get(0, names::SELECTIVITY).unwrap()[&1], 9.0);
+        flaky.0.set(true);
+        let now = SimTime::ZERO + SimDuration::from_secs(1);
+        let err = p.update(now, &[&flaky]).unwrap_err();
+        assert!(matches!(err, MetricError::FetchFailed { .. }));
+        assert_eq!(
+            p.get(0, names::SELECTIVITY).unwrap()[&1],
+            9.0,
+            "previous values held across the outage"
+        );
+    }
+
+    #[test]
+    fn config_errors_are_not_transient() {
+        let err = MetricError::UndefinedDerived(names::HIGHEST_RATE);
+        assert!(!err.is_transient());
+        assert!(MetricError::FetchFailed {
+            metric: names::QUEUE_SIZE,
+            source: "s".into(),
+            reason: "r".into(),
+        }
+        .is_transient());
     }
 }

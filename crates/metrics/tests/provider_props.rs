@@ -2,9 +2,9 @@
 //! dependency DAGs.
 
 use std::cell::Cell;
-use std::collections::HashMap;
 
 use lachesis_metrics::{EntityValues, MetricDef, MetricName, MetricProvider, MetricSource};
+use simos::SimTime;
 use proptest::prelude::*;
 
 /// Interned names for up to 16 synthetic metrics.
@@ -75,7 +75,7 @@ proptest! {
             deps_of[i] = deps.clone();
             let dep_names: Vec<MetricName> = deps.iter().map(|&j| NAMES[j]).collect();
             p.define(MetricDef::new(NAMES[i], dep_names, move |vals| {
-                let mut out: EntityValues<u32> = HashMap::new();
+                let mut out: EntityValues<u32> = EntityValues::new();
                 let sum: f64 = vals.iter().filter_map(|v| v.get(&0)).sum();
                 out.insert(0, sum);
                 out
@@ -86,7 +86,7 @@ proptest! {
             p.register(NAMES[r]);
         }
         let src = CountingSource { provided, fetches: Cell::new(0) };
-        p.update(&[&src]).expect("all leaves are provided");
+        p.update(SimTime::ZERO, &[&src]).expect("all leaves are provided");
 
         // Each provided metric fetched at most once per update.
         prop_assert!(src.fetches.get() as usize <= provided);
@@ -115,9 +115,9 @@ proptest! {
             p.register(*name);
         }
         let src = CountingSource { provided, fetches: Cell::new(0) };
-        p.update(&[&src]).unwrap();
+        p.update(SimTime::ZERO, &[&src]).unwrap();
         let first = src.fetches.get();
-        p.update(&[&src]).unwrap();
+        p.update(SimTime::ZERO, &[&src]).unwrap();
         prop_assert_eq!(src.fetches.get(), first * 2);
     }
 }

@@ -77,6 +77,13 @@ pub enum KernelError {
     },
     /// The target thread has exited.
     ThreadExited(ThreadId),
+    /// A fault hook injected a failure into this operation (fault testing;
+    /// see [`Kernel::set_fault_hook`]). Models transient syscall / cgroupfs
+    /// write errors, so callers should treat it as retryable.
+    InjectedFault {
+        /// The kernel operation that failed (e.g. `"set_nice"`).
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -89,6 +96,7 @@ impl fmt::Display for KernelError {
                 write!(f, "thread {thread} and cgroup {cgroup} are on different nodes")
             }
             KernelError::ThreadExited(t) => write!(f, "thread {t} has exited"),
+            KernelError::InjectedFault { op } => write!(f, "injected fault in {op}"),
         }
     }
 }
@@ -216,7 +224,12 @@ pub struct Kernel {
     next_wait: u64,
     next_seq: u64,
     invoke_guard: Vec<(SimTime, u32)>,
+    fault_hook: Option<FaultHook>,
 }
+
+/// Decides whether a mutating kernel operation fails at the given instant
+/// (`true` = inject [`KernelError::InjectedFault`]).
+pub type FaultHook = Box<dyn FnMut(&'static str, SimTime) -> bool>;
 
 impl Default for Kernel {
     fn default() -> Self {
@@ -327,7 +340,34 @@ impl Kernel {
             next_wait: 0,
             next_seq: 0,
             invoke_guard: Vec::new(),
+            fault_hook: None,
         }
+    }
+
+    /// Installs a fault hook consulted by the mutating scheduler-control
+    /// operations (`set_nice`, `set_cpu_shares`, `create_cgroup`,
+    /// `move_to_cgroup`, `set_rt_priority`, `set_cpu_quota`). When the hook
+    /// returns `true` for `(operation, now)`, the call fails with
+    /// [`KernelError::InjectedFault`] without mutating any state. Replaces
+    /// any previously installed hook.
+    pub fn set_fault_hook(&mut self, hook: impl FnMut(&'static str, SimTime) -> bool + 'static) {
+        self.fault_hook = Some(Box::new(hook));
+    }
+
+    /// Removes the installed fault hook, if any.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
+    }
+
+    /// Consults the fault hook before a mutating control operation.
+    fn fault_check(&mut self, op: &'static str) -> Result<(), KernelError> {
+        let now = self.now;
+        if let Some(hook) = self.fault_hook.as_mut() {
+            if hook(op, now) {
+                return Err(KernelError::InjectedFault { op });
+            }
+        }
+        Ok(())
     }
 
     /// The current simulated instant.
@@ -449,6 +489,7 @@ impl Kernel {
         name: &str,
         shares: u64,
     ) -> Result<CgroupId, KernelError> {
+        self.fault_check("create_cgroup")?;
         let (node, full_name, start_vr) = {
             let parent_data = self
                 .cgroups
@@ -477,6 +518,7 @@ impl Kernel {
     ///
     /// Returns [`KernelError::UnknownCgroup`] for an unknown id.
     pub fn set_cpu_shares(&mut self, cgroup: CgroupId, shares: u64) -> Result<(), KernelError> {
+        self.fault_check("set_cpu_shares")?;
         let cg = self
             .cgroups
             .get_mut(cgroup.0 as usize)
@@ -515,6 +557,7 @@ impl Kernel {
     /// Returns an error for unknown ids, exited threads, or a cgroup on a
     /// different node than the thread.
     pub fn move_to_cgroup(&mut self, tid: ThreadId, cgroup: CgroupId) -> Result<(), KernelError> {
+        self.fault_check("move_to_cgroup")?;
         let t = self
             .threads
             .get(tid.0 as usize)
@@ -592,6 +635,7 @@ impl Kernel {
     ///
     /// Returns an error for unknown or exited threads.
     pub fn set_nice(&mut self, tid: ThreadId, nice: Nice) -> Result<(), KernelError> {
+        self.fault_check("set_nice")?;
         let t = self
             .threads
             .get_mut(tid.0 as usize)
@@ -617,6 +661,7 @@ impl Kernel {
         tid: ThreadId,
         priority: Option<u8>,
     ) -> Result<(), KernelError> {
+        self.fault_check("set_rt_priority")?;
         let t = self
             .threads
             .get(tid.0 as usize)
@@ -678,6 +723,7 @@ impl Kernel {
         cgroup: CgroupId,
         quota: Option<(SimDuration, SimDuration)>,
     ) -> Result<(), KernelError> {
+        self.fault_check("set_cpu_quota")?;
         let now = self.now;
         let cg = self
             .cgroups

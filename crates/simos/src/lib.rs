@@ -46,7 +46,7 @@ mod time;
 pub use body::{Action, FixedWork, SimCtx, ThreadBody};
 pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
 pub use ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
-pub use kernel::{Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
+pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
 pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
 pub use thread::{ThreadInfo, ThreadState};
 pub use time::{SimDuration, SimTime};

@@ -183,3 +183,47 @@ fn run_until_processes_events_at_deadline() {
     k.run_until(simos::SimTime::ZERO + SimDuration::from_millis(10));
     assert!(*fired.borrow(), "event exactly at the deadline fires");
 }
+
+#[test]
+fn fault_hook_injects_and_clears() {
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let t = k
+        .spawn(n, "w", FixedWork::endless(SimDuration::from_millis(1)))
+        .build();
+    let root = k.node_root(n).unwrap();
+
+    // Fail every nice change; leave cgroup operations alone.
+    k.set_fault_hook(|op, _now| op == "set_nice");
+    assert_eq!(
+        k.set_nice(t, Nice::new(5).unwrap()),
+        Err(KernelError::InjectedFault { op: "set_nice" })
+    );
+    // The failed call must not have mutated the thread.
+    assert_eq!(k.thread_info(t).unwrap().nice, Nice::DEFAULT);
+    let g = k.create_cgroup(root, "g", 512).expect("unaffected op");
+    k.set_cpu_shares(g, 600).expect("unaffected op");
+
+    k.clear_fault_hook();
+    k.set_nice(t, Nice::new(5).unwrap()).expect("hook removed");
+    assert_eq!(k.thread_info(t).unwrap().nice, Nice::new(5).unwrap());
+}
+
+#[test]
+fn fault_hook_sees_sim_time() {
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 1);
+    let t = k
+        .spawn(n, "w", FixedWork::endless(SimDuration::from_millis(1)))
+        .build();
+    // Faults only during [5ms, 10ms).
+    k.set_fault_hook(|_op, now| {
+        now >= simos::SimTime::ZERO + SimDuration::from_millis(5)
+            && now < simos::SimTime::ZERO + SimDuration::from_millis(10)
+    });
+    k.set_nice(t, Nice::new(1).unwrap()).expect("before window");
+    k.run_for(SimDuration::from_millis(6));
+    assert!(k.set_nice(t, Nice::new(2).unwrap()).is_err(), "inside window");
+    k.run_for(SimDuration::from_millis(6));
+    k.set_nice(t, Nice::new(3).unwrap()).expect("after window");
+}
