@@ -1,0 +1,146 @@
+//! `kernel_bench` — measures how many simulated seconds the simos kernel
+//! replays per wall-clock second on the scale-out workload (LR with
+//! operator parallelism spread over as many Odroid nodes, Fig. 17 style).
+//!
+//! ```text
+//! cargo run -p bench --release --bin kernel_bench -- --sim-secs 120
+//! cargo run -p bench --release --bin kernel_bench -- --sim-secs 120 \
+//!     --check BENCH_kernel.json            # CI: fail on >30% regression
+//! cargo run -p bench --release --bin kernel_bench -- --write BENCH_kernel.json
+//! ```
+//!
+//! The emitted JSON is committed as `BENCH_kernel.json` so the
+//! simulated-seconds-per-wall-second figure is tracked across PRs.
+
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
+
+use bench::harness::new_store;
+use bench::json::Json;
+use simos::{machines, Kernel, NodeId, SimDuration};
+use spe::{deploy, EngineConfig, Placement};
+
+/// Fraction of the baseline throughput below which `--check` fails.
+const REGRESSION_FLOOR: f64 = 0.7;
+
+struct Opts {
+    sim_secs: u64,
+    parallelism: usize,
+    rate: f64,
+    check: Option<String>,
+    write: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kernel_bench [--sim-secs N] [--parallelism P] [--rate R]\n\
+         \u{20}                   [--check BASELINE.json] [--write OUT.json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        sim_secs: 30,
+        parallelism: 8,
+        rate: 0.0,
+        check: None,
+        write: None,
+    };
+    // Every flag takes exactly one value.
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--sim-secs" => opts.sim_secs = value.parse().unwrap_or_else(|_| usage()),
+            "--parallelism" => opts.parallelism = value.parse().unwrap_or_else(|_| usage()),
+            "--rate" => opts.rate = value.parse().unwrap_or_else(|_| usage()),
+            "--check" => opts.check = Some(value),
+            "--write" => opts.write = Some(value),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if opts.rate <= 0.0 {
+        // Keep per-node load comparable to the Fig. 17 mid-range points.
+        opts.rate = 2_000.0 * opts.parallelism as f64;
+    }
+    opts
+}
+
+/// Builds the scale-out workload: LR at `parallelism`, one Odroid per
+/// pipeline replica, source rate split across replicas by the deployer.
+fn build_workload(parallelism: usize, rate: f64, seed: u64) -> Kernel {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let nodes: Vec<NodeId> = (0..parallelism)
+        .map(|i| machines::add_odroid(&mut kernel, &format!("odroid{i}")))
+        .collect();
+    let store = new_store();
+    let graph = queries::lr_with_parallelism(rate, seed, parallelism);
+    let mut config = EngineConfig::storm();
+    config.seed = seed;
+    deploy(
+        &mut kernel,
+        graph,
+        config,
+        &Placement::spread(nodes),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+    kernel
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let mut kernel = build_workload(opts.parallelism, opts.rate, 1);
+
+    // Warm up: fill queues and reach steady state before timing.
+    kernel.run_for(SimDuration::from_secs(1));
+
+    let start = Instant::now();
+    kernel.run_for(SimDuration::from_secs(opts.sim_secs));
+    let wall = start.elapsed().as_secs_f64();
+    let sims_per_wall = opts.sim_secs as f64 / wall;
+    eprintln!(
+        "kernel_bench: {} sim-s in {:.2} wall-s => {:.1} sim-s/wall-s \
+         (parallelism={}, rate={} t/s)",
+        opts.sim_secs, wall, sims_per_wall, opts.parallelism, opts.rate
+    );
+
+    let report = Json::obj(vec![
+        ("workload", Json::Str("lr-scale-out".into())),
+        ("parallelism", Json::Num(opts.parallelism as f64)),
+        ("rate_tps", Json::Num(opts.rate)),
+        ("sim_secs", Json::Num(opts.sim_secs as f64)),
+        ("wall_secs", Json::Num(wall)),
+        ("sims_per_wall", Json::Num(sims_per_wall)),
+    ]);
+    if let Some(path) = &opts.write {
+        std::fs::write(path, report.pretty()).expect("write report");
+        eprintln!("kernel_bench: wrote {path}");
+    }
+
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = Json::parse(&text).expect("parse baseline");
+        let expect = baseline
+            .get("sims_per_wall")
+            .and_then(Json::as_f64)
+            .expect("baseline sims_per_wall");
+        let floor = expect * REGRESSION_FLOOR;
+        if sims_per_wall < floor {
+            eprintln!(
+                "kernel_bench: REGRESSION: {sims_per_wall:.1} sim-s/wall-s is below \
+                 {floor:.1} (70% of the {expect:.1} baseline in {path})"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "kernel_bench: OK: {sims_per_wall:.1} sim-s/wall-s >= {floor:.1} \
+             (70% of the {expect:.1} baseline)"
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -23,7 +23,7 @@ const ALL: [&str; 15] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment...|all> [--quick] [--reps N] [--out DIR]\n\
+        "usage: repro <experiment...|all> [--quick] [--reps N] [--out DIR] [--jobs N]\n\
          experiments: {} render\n\
          (fig5/fig7 also emit fig6/fig8; fig9-12 emit the fig13 panels;\n\
           `render` redraws SVG charts from JSON already in --out)",
@@ -87,6 +87,10 @@ fn main() -> ExitCode {
             "--out" => {
                 i += 1;
                 opts.out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),

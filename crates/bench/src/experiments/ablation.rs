@@ -47,16 +47,25 @@ fn run_cell(
 fn sweep(
     label: &str,
     rates: &[f64],
-    reps: usize,
+    opts: &ExpOptions,
     period: SimDuration,
     translator: TranslatorChoice,
     cfg: &RunConfig,
 ) -> Series {
+    // Independent (rate, rep) trials: pool them, fold back in input order.
+    let trials: Vec<(f64, u64)> = rates
+        .iter()
+        .flat_map(|&rate| (0..opts.reps as u64).map(move |rep| (rate, rep)))
+        .collect();
+    let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, rep)| {
+        run_cell(rate, 1 + rep, period, translator, cfg)
+    })
+    .into_iter();
     let points = rates
         .iter()
         .map(|&rate| {
-            let runs: Vec<_> = (0..reps)
-                .map(|rep| run_cell(rate, 1 + rep as u64, period, translator, cfg))
+            let runs: Vec<_> = (0..opts.reps)
+                .map(|_| results.next().expect("one result per trial"))
                 .collect();
             let mut m = average_runs(runs);
             m.queue_samples.clear();
@@ -96,7 +105,7 @@ pub fn ablation(opts: &ExpOptions) -> Vec<Figure> {
         translators.series.push(sweep(
             label,
             &rates,
-            opts.reps,
+            opts,
             SimDuration::from_secs(1),
             t,
             &cfg,
@@ -117,7 +126,7 @@ pub fn ablation(opts: &ExpOptions) -> Vec<Figure> {
         periods.series.push(sweep(
             &format!("{ms}ms"),
             &rates,
-            opts.reps,
+            opts,
             SimDuration::from_millis(ms),
             TranslatorChoice::Nice,
             &cfg,

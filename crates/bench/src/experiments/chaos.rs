@@ -131,14 +131,21 @@ pub fn figc1(opts: &ExpOptions) -> Vec<Figure> {
         crate::schedulers::PolicyChoice::Qs,
         crate::schedulers::TranslatorChoice::Nice,
     );
-    let mut clean_points = Vec::new();
-    let mut faulted_points = Vec::new();
-    for &rate in &rates {
-        let mut clean_runs = Vec::new();
-        let mut faulted_runs = Vec::new();
-        let mut stats = ChaosStats::default();
-        for rep in 0..opts.reps {
-            let seed = 1 + rep as u64;
+    // Each (rate, rep) needs one clean and one faulted trial; both are
+    // independent, so they all go through the pool as separate inputs and
+    // are folded back below in input order.
+    let trials: Vec<(f64, u64, bool)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            (0..opts.reps as u64)
+                .flat_map(move |rep| [(rate, 1 + rep, false), (rate, 1 + rep, true)])
+        })
+        .collect();
+    let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, seed, faulted)| {
+        if faulted {
+            let (m, s) = run_faulted_point(rate, seed, cfg);
+            (m, Some(s))
+        } else {
             let (m, _) = run_point(PointSpec {
                 graph: Box::new(queries::etl),
                 engine: spe::SpeKind::Storm,
@@ -149,8 +156,22 @@ pub fn figc1(opts: &ExpOptions) -> Vec<Figure> {
                 blocking: None,
                 downstream: vec![],
             });
+            (m, None)
+        }
+    })
+    .into_iter();
+
+    let mut clean_points = Vec::new();
+    let mut faulted_points = Vec::new();
+    for &rate in &rates {
+        let mut clean_runs = Vec::new();
+        let mut faulted_runs = Vec::new();
+        let mut stats = ChaosStats::default();
+        for _rep in 0..opts.reps {
+            let (m, _) = results.next().expect("clean trial result");
             clean_runs.push(m);
-            let (m, s) = run_faulted_point(rate, seed, cfg);
+            let (m, s) = results.next().expect("faulted trial result");
+            let s = s.expect("faulted trial carries stats");
             faulted_runs.push(m);
             stats.fetch_errors += s.fetch_errors;
             stats.apply_errors += s.apply_errors;

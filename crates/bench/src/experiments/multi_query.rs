@@ -47,23 +47,31 @@ fn run_series(
     } else {
         RunConfig::full(goal)
     };
+    // (rate, rep) trials are independent: run them on the worker pool and
+    // fold back in input order (identical output for any `--jobs`).
+    let trials: Vec<(f64, u64)> = rates
+        .iter()
+        .flat_map(|&rate| (0..opts.reps as u64).map(move |rep| (rate, rep)))
+        .collect();
+    let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, rep)| {
+        let (m, _) = run_point(PointSpec {
+            graph: Box::new(syn_graph),
+            engine: SpeKind::Liebre,
+            sched: sched.clone(),
+            rate,
+            seed: 1 + rep,
+            cfg,
+            blocking,
+            downstream: syn_downstream(),
+        });
+        m
+    })
+    .into_iter();
     let points = rates
         .iter()
         .map(|&rate| {
             let runs: Vec<_> = (0..opts.reps)
-                .map(|rep| {
-                    let (m, _) = run_point(PointSpec {
-                        graph: Box::new(syn_graph),
-                        engine: SpeKind::Liebre,
-                        sched: sched.clone(),
-                        rate,
-                        seed: 1 + rep as u64,
-                        cfg,
-                        blocking,
-                        downstream: syn_downstream(),
-                    });
-                    m
-                })
+                .map(|_| results.next().expect("one result per trial"))
                 .collect();
             let mut m = average_runs(runs);
             m.queue_samples.clear();

@@ -164,7 +164,7 @@ fn measure_queries(qs: &[RunningQuery], secs: f64, offered: f64) -> Measured {
 /// the machine under-loaded; half of standalone capacity per SPE puts the
 /// 100% point right at machine saturation, where the paper's comparison
 /// happens.
-fn calibrate_max_rates(secs: u64) -> (f64, f64, f64) {
+fn calibrate_max_rates(secs: u64, jobs: usize) -> (f64, f64, f64) {
     let probe = |kind: SpeKind, low: f64, high: f64| -> f64 {
         let run = |rate: f64| -> (f64, f64) {
             let mut kernel = Kernel::new(machines::server_config());
@@ -192,19 +192,22 @@ fn calibrate_max_rates(secs: u64) -> (f64, f64, f64) {
         let (_, out_high) = run(high);
         out_high / selectivity
     };
-    let standalone = (
-        probe(SpeKind::Storm, 1_000.0, 12_000.0),
-        probe(SpeKind::Flink, 2_000.0, 20_000.0),
-        probe(SpeKind::Liebre, 800.0, 8_000.0),
-    );
-    (standalone.0 / 2.0, standalone.1 / 2.0, standalone.2 / 2.0)
+    // The three probes are independent whole-kernel runs: pool them.
+    let probes = vec![
+        (SpeKind::Storm, 1_000.0, 12_000.0),
+        (SpeKind::Flink, 2_000.0, 20_000.0),
+        (SpeKind::Liebre, 800.0, 8_000.0),
+    ];
+    let standalone =
+        crate::pool::parallel_map(jobs, probes, |(kind, low, high)| probe(kind, low, high));
+    (standalone[0] / 2.0, standalone[1] / 2.0, standalone[2] / 2.0)
 }
 
 /// Fig. 18: multi-SPE/query scheduling at 20–100% of each query's maximum
 /// sustainable rate.
 pub fn fig18(opts: &ExpOptions) -> Vec<Figure> {
     let (warmup, measure) = if opts.quick { (3u64, 10u64) } else { (5, 30) };
-    let max = calibrate_max_rates(if opts.quick { 8 } else { 15 });
+    let max = calibrate_max_rates(if opts.quick { 8 } else { 15 }, opts.jobs);
     let percents: Vec<f64> = if opts.quick {
         vec![40.0, 100.0]
     } else {
@@ -233,13 +236,19 @@ pub fn fig18(opts: &ExpOptions) -> Vec<Figure> {
             points: vec![],
         });
     }
-    for &pct in &percents {
-        let rates = (
-            max.0 * pct / 100.0,
-            max.1 * pct / 100.0,
-            max.2 * pct / 100.0,
-        );
-        for with_lachesis in [false, true] {
+    // Each (pct, with_lachesis) cell is an independent full deployment:
+    // pool the cells, fold back in input order.
+    let cells: Vec<(f64, bool)> = percents
+        .iter()
+        .flat_map(|&pct| [(pct, false), (pct, true)])
+        .collect();
+    let mut results =
+        crate::pool::parallel_map(opts.jobs, cells, |(pct, with_lachesis)| {
+            let rates = (
+                max.0 * pct / 100.0,
+                max.1 * pct / 100.0,
+                max.2 * pct / 100.0,
+            );
             let mut d = deploy_all(rates, with_lachesis, 1);
             d.kernel.run_for(SimDuration::from_secs(warmup));
             d.storm_vs.reset_stats();
@@ -249,21 +258,21 @@ pub fn fig18(opts: &ExpOptions) -> Vec<Figure> {
             }
             d.kernel.run_for(SimDuration::from_secs(measure));
             let secs = measure as f64;
+            let _ = d.kernel.node_stats(d.node).unwrap();
+            (
+                measure_queries(std::slice::from_ref(&d.storm_vs), secs, rates.0),
+                measure_queries(std::slice::from_ref(&d.flink_lr), secs, rates.1),
+                measure_queries(&d.liebre_syn, secs, rates.2),
+            )
+        })
+        .into_iter();
+    for &pct in &percents {
+        for with_lachesis in [false, true] {
+            let (vs, lr, syn) = results.next().expect("one result per cell");
             let offset = usize::from(with_lachesis);
-            series[offset].points.push(SweepPoint {
-                x: pct,
-                m: measure_queries(std::slice::from_ref(&d.storm_vs), secs, rates.0),
-            });
-            series[2 + offset].points.push(SweepPoint {
-                x: pct,
-                m: measure_queries(std::slice::from_ref(&d.flink_lr), secs, rates.1),
-            });
-            series[4 + offset].points.push(SweepPoint {
-                x: pct,
-                m: measure_queries(&d.liebre_syn, secs, rates.2),
-            });
-            let stats = d.kernel.node_stats(d.node).unwrap();
-            let _ = stats;
+            series[offset].points.push(SweepPoint { x: pct, m: vs });
+            series[2 + offset].points.push(SweepPoint { x: pct, m: lr });
+            series[4 + offset].points.push(SweepPoint { x: pct, m: syn });
         }
     }
     fig.series = series;

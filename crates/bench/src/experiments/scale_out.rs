@@ -87,13 +87,20 @@ pub fn fig17(opts: &ExpOptions) -> Vec<Figure> {
         );
         for parallelism in [1usize, 2, 4] {
             for with_lachesis in [false, true] {
+                // Independent (rate, rep) trials: pool them, fold in order.
+                let trials: Vec<(f64, u64)> = rates
+                    .iter()
+                    .flat_map(|&rate| (0..opts.reps as u64).map(move |rep| (rate, rep)))
+                    .collect();
+                let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, rep)| {
+                    run_cell(engine, parallelism, with_lachesis, rate, 1 + rep, &cfg)
+                })
+                .into_iter();
                 let points = rates
                     .iter()
                     .map(|&rate| {
                         let runs: Vec<_> = (0..opts.reps)
-                            .map(|rep| {
-                                run_cell(engine, parallelism, with_lachesis, rate, 1 + rep as u64, &cfg)
-                            })
+                            .map(|_| results.next().expect("one result per trial"))
                             .collect();
                         let mut m = average_runs(runs);
                         m.queue_samples.clear();
@@ -136,11 +143,19 @@ pub fn fig1(opts: &ExpOptions) -> Vec<Figure> {
         "rate (t/s)",
     );
     for with_lachesis in [false, true] {
+        let trials: Vec<(f64, u64)> = rates
+            .iter()
+            .flat_map(|&rate| (0..opts.reps as u64).map(move |rep| (rate, rep)))
+            .collect();
+        let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, rep)| {
+            run_cell(SpeKind::Storm, 1, with_lachesis, rate, 1 + rep, &cfg)
+        })
+        .into_iter();
         let points = rates
             .iter()
             .map(|&rate| {
                 let runs: Vec<_> = (0..opts.reps)
-                    .map(|rep| run_cell(SpeKind::Storm, 1, with_lachesis, rate, 1 + rep as u64, &cfg))
+                    .map(|_| results.next().expect("one result per trial"))
                     .collect();
                 let mut m = average_runs(runs);
                 m.queue_samples.clear();

@@ -97,6 +97,34 @@ pub fn run(exp: &SingleQueryExp, opts: &ExpOptions) -> Vec<Figure> {
         .tail_fig
         .map(|(id, title)| Figure::new(id, title, "quantile"));
 
+    // Every (scheduler, rate, rep) trial is independent: fan them out
+    // across the worker pool, then fold the results back below in input
+    // order — identical output for any `--jobs` value.
+    let trials: Vec<(usize, f64, u64)> = exp
+        .scheds
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| {
+            rates
+                .iter()
+                .flat_map(move |&rate| (0..opts.reps as u64).map(move |rep| (si, rate, rep)))
+        })
+        .collect();
+    let mut results = crate::pool::parallel_map(opts.jobs, trials, |(si, rate, rep)| {
+        let query = exp.query;
+        run_point(PointSpec {
+            graph: Box::new(move |r, s| query.build(r, s)),
+            engine: exp.engine,
+            sched: exp.scheds[si].clone(),
+            rate,
+            seed: 1 + rep,
+            cfg,
+            blocking: None,
+            downstream: vec![],
+        })
+    })
+    .into_iter();
+
     for sched in &exp.scheds {
         let mut points = Vec::new();
         let mut qpoints = Vec::new();
@@ -104,18 +132,8 @@ pub fn run(exp: &SingleQueryExp, opts: &ExpOptions) -> Vec<Figure> {
         let mut tail_hist = LogHistogram::new();
         for &rate in &rates {
             let mut runs = Vec::new();
-            for rep in 0..opts.reps {
-                let query = exp.query;
-                let (m, d) = run_point(PointSpec {
-                    graph: Box::new(move |r, s| query.build(r, s)),
-                    engine: exp.engine,
-                    sched: sched.clone(),
-                    rate,
-                    seed: 1 + rep as u64,
-                    cfg,
-                    blocking: None,
-                    downstream: vec![],
-                });
+            for _rep in 0..opts.reps {
+                let (m, d) = results.next().expect("one result per trial");
                 if rate == *rates.last().unwrap() {
                     tail_hist.merge(&d.latency);
                 }

@@ -91,6 +91,13 @@ fn row(
     }
 }
 
+/// One trial of the summary table: a single-query point or a SYN point.
+#[derive(Debug, Clone)]
+enum Trial {
+    Single(QueryKind, SpeKind, Sched, f64, RunConfig),
+    Syn(Sched, f64, RunConfig, Option<BlockingConfig>),
+}
+
 /// Computes the summary rows.
 pub fn rows(opts: &ExpOptions) -> Vec<Table1Row> {
     let cfg = if opts.quick {
@@ -98,42 +105,11 @@ pub fn rows(opts: &ExpOptions) -> Vec<Table1Row> {
     } else {
         RunConfig::full(GoalKind::QueueSizeVariance)
     };
-    let mut out = Vec::new();
-
-    // §6.2: ETL vs EdgeWise, at Lachesis' saturation point.
-    let rate = 1750.0;
-    let ew = single_point(QueryKind::Etl, SpeKind::Storm, Sched::EdgeWise, rate, cfg, None, vec![]);
-    let la = single_point(
-        QueryKind::Etl,
-        SpeKind::Storm,
-        Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice),
-        rate,
-        cfg,
-        None,
-        vec![],
-    );
-    out.push(row("Single-Query ETL (§6.2)", "EdgeWise", "G1", rate, &ew, &la));
-
-    // §6.3: VS in Storm vs OS, at Lachesis' knee (OS far beyond its own).
-    let rate = 2000.0;
-    let os = single_point(QueryKind::Vs, SpeKind::Storm, Sched::Os, rate, cfg, None, vec![]);
-    let la = single_point(
-        QueryKind::Vs,
-        SpeKind::Storm,
-        Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice),
-        rate,
-        cfg,
-        None,
-        vec![],
-    );
-    out.push(row("Single-Query VS (§6.3)", "OS", "G1,G2", rate, &os, &la));
-
-    // §6.4: SYN with blocking vs Haren, near saturation.
-    let rate = 1750.0;
-    // The paper injects p=0.001 per tuple; a real blocked JVM thread also
-    // causes lock/GC convoying the simulator does not model, so the
-    // injection frequency is scaled x10 to yield a comparable fraction of
-    // stalled worker time (see EXPERIMENTS.md).
+    // §6.4: SYN with blocking vs Haren, near saturation. The paper injects
+    // p=0.001 per tuple; a real blocked JVM thread also causes lock/GC
+    // convoying the simulator does not model, so the injection frequency
+    // is scaled x10 to yield a comparable fraction of stalled worker time
+    // (see EXPERIMENTS.md).
     let blocking = Some(BlockingConfig {
         fraction: 0.1,
         probability: 0.01,
@@ -143,42 +119,53 @@ pub fn rows(opts: &ExpOptions) -> Vec<Table1Row> {
         goal: GoalKind::MaxHeadAge,
         ..cfg
     };
-    let haren = syn_point(
-        Sched::Haren(PolicyChoice::Fcfs, SimDuration::from_millis(50)),
-        rate,
-        cfg_fcfs,
-        blocking,
-    );
-    let la = syn_point(
-        Sched::Lachesis(PolicyChoice::Fcfs, TranslatorChoice::Shares),
-        rate,
-        cfg_fcfs,
-        blocking,
-    );
-    out.push(row(
-        "Multi-Query SYN + blocking (§6.4)",
-        "Haren-50ms",
-        "G3",
-        rate,
-        &haren,
-        &la,
-    ));
+    let qs_nice = Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice);
 
-    // §6.3: LR in Storm vs OS (also the scale-out workload).
-    let rate = 4_500.0;
-    let os = single_point(QueryKind::Lr, SpeKind::Storm, Sched::Os, rate, cfg, None, vec![]);
-    let la = single_point(
-        QueryKind::Lr,
-        SpeKind::Storm,
-        Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice),
-        rate,
-        cfg,
-        None,
-        vec![],
-    );
-    out.push(row("Single-Query LR (§6.3/§6.5)", "OS", "G1,G4", rate, &os, &la));
+    // Baseline/Lachesis pairs for each row, all independent: run the whole
+    // batch through the worker pool, then pair results up in order.
+    let trials = vec![
+        // §6.2: ETL vs EdgeWise, at Lachesis' saturation point.
+        Trial::Single(QueryKind::Etl, SpeKind::Storm, Sched::EdgeWise, 1750.0, cfg),
+        Trial::Single(QueryKind::Etl, SpeKind::Storm, qs_nice.clone(), 1750.0, cfg),
+        // §6.3: VS in Storm vs OS, at Lachesis' knee (OS far beyond its own).
+        Trial::Single(QueryKind::Vs, SpeKind::Storm, Sched::Os, 2000.0, cfg),
+        Trial::Single(QueryKind::Vs, SpeKind::Storm, qs_nice.clone(), 2000.0, cfg),
+        Trial::Syn(
+            Sched::Haren(PolicyChoice::Fcfs, SimDuration::from_millis(50)),
+            1750.0,
+            cfg_fcfs,
+            blocking,
+        ),
+        Trial::Syn(
+            Sched::Lachesis(PolicyChoice::Fcfs, TranslatorChoice::Shares),
+            1750.0,
+            cfg_fcfs,
+            blocking,
+        ),
+        // §6.3: LR in Storm vs OS (also the scale-out workload).
+        Trial::Single(QueryKind::Lr, SpeKind::Storm, Sched::Os, 4_500.0, cfg),
+        Trial::Single(QueryKind::Lr, SpeKind::Storm, qs_nice, 4_500.0, cfg),
+    ];
+    let m = crate::pool::parallel_map(opts.jobs, trials, |t| match t {
+        Trial::Single(query, engine, sched, rate, cfg) => {
+            single_point(query, engine, sched, rate, cfg, None, vec![])
+        }
+        Trial::Syn(sched, rate, cfg, blocking) => syn_point(sched, rate, cfg, blocking),
+    });
 
-    out
+    vec![
+        row("Single-Query ETL (§6.2)", "EdgeWise", "G1", 1750.0, &m[0], &m[1]),
+        row("Single-Query VS (§6.3)", "OS", "G1,G2", 2000.0, &m[2], &m[3]),
+        row(
+            "Multi-Query SYN + blocking (§6.4)",
+            "Haren-50ms",
+            "G3",
+            1750.0,
+            &m[4],
+            &m[5],
+        ),
+        row("Single-Query LR (§6.3/§6.5)", "OS", "G1,G4", 4_500.0, &m[6], &m[7]),
+    ]
 }
 
 /// Renders the table as text.

@@ -9,6 +9,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod pool;
 pub mod report;
 pub mod schedulers;
 pub mod svg;
@@ -35,6 +36,9 @@ pub struct ExpOptions {
     pub out_dir: PathBuf,
     /// Repetitions (distinct seeds) averaged per point.
     pub reps: usize,
+    /// Worker threads for independent trials (`--jobs`); results are
+    /// byte-identical for any value.
+    pub jobs: usize,
 }
 
 impl Default for ExpOptions {
@@ -43,6 +47,7 @@ impl Default for ExpOptions {
             quick: false,
             out_dir: PathBuf::from("results"),
             reps: 3,
+            jobs: pool::default_jobs(),
         }
     }
 }

@@ -1,0 +1,89 @@
+//! A minimal scoped thread pool for running independent trials in parallel.
+//!
+//! Each trial constructs its entire `Kernel`/`Rc` object graph *inside* the
+//! worker closure, so nothing non-`Send` ever crosses a thread boundary —
+//! only the (plain-data) inputs and outputs do. Results are returned in
+//! input order regardless of completion order or worker count, which keeps
+//! every downstream artifact (figures, JSON files) byte-identical between
+//! `--jobs 1` and `--jobs N`.
+
+use std::sync::Mutex;
+
+/// The default worker count: the host's available cores.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every input on up to `jobs` OS threads and returns the
+/// outputs in input order.
+///
+/// With `jobs <= 1` (or a single input) everything runs inline on the
+/// calling thread — the exact sequential path, with no pool overhead.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads have joined.
+pub fn parallel_map<I, T, F>(jobs: usize, inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let workers = jobs.max(1).min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+    let queue = Mutex::new(inputs.into_iter().enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Claim the next unstarted input; drop the lock before
+                // running it so workers claim strictly one at a time.
+                let Some((idx, input)) = queue.lock().expect("claim queue").next() else {
+                    return;
+                };
+                let out = f(input);
+                *slots[idx].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("worker finished every claimed trial")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(8, inputs.clone(), |x| x * 3);
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let out = parallel_map(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(4, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_inputs() {
+        let out = parallel_map(64, vec![5], |x: u32| x * 2);
+        assert_eq!(out, vec![10]);
+    }
+}

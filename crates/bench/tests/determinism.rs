@@ -1,0 +1,47 @@
+//! The hard correctness constraint of the parallel trial runner: for any
+//! `--jobs` value, every emitted artifact is byte-identical to the
+//! sequential run. Trials are seeded, independent, and folded back in
+//! input order, so thread scheduling must never leak into results.
+
+use bench::experiments::{ablation, scale_out, table1};
+use bench::ExpOptions;
+
+fn opts(jobs: usize) -> ExpOptions {
+    ExpOptions {
+        jobs,
+        reps: 2,
+        ..ExpOptions::quick()
+    }
+}
+
+/// Renders figures to their on-disk JSON form for comparison.
+fn figures_json(figs: &[bench::report::Figure]) -> String {
+    figs.iter()
+        .map(|f| f.to_json().pretty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fig1_is_byte_identical_across_jobs() {
+    let seq = figures_json(&scale_out::fig1(&opts(1)));
+    let par = figures_json(&scale_out::fig1(&opts(8)));
+    assert_eq!(seq, par, "fig1 JSON differs between --jobs 1 and --jobs 8");
+}
+
+#[test]
+fn ablation_is_byte_identical_across_jobs() {
+    let seq = figures_json(&ablation::ablation(&opts(1)));
+    let par = figures_json(&ablation::ablation(&opts(3)));
+    assert_eq!(
+        seq, par,
+        "ablation JSON differs between --jobs 1 and --jobs 3"
+    );
+}
+
+#[test]
+fn table1_is_byte_identical_across_jobs() {
+    let seq = table1::to_json(&table1::rows(&opts(1))).pretty();
+    let par = table1::to_json(&table1::rows(&opts(8))).pretty();
+    assert_eq!(seq, par, "table1 JSON differs between --jobs 1 and --jobs 8");
+}

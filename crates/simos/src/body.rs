@@ -38,7 +38,7 @@ pub struct SimCtx {
 }
 
 /// A deferred kernel effect: run the closure after the delay.
-type Deferred = (SimDuration, Box<dyn FnOnce(&mut Kernel)>);
+pub(crate) type Deferred = (SimDuration, Box<dyn FnOnce(&mut Kernel)>);
 
 impl std::fmt::Debug for SimCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -56,6 +56,18 @@ impl SimCtx {
             now,
             wakes: Vec::new(),
             deferred: Vec::new(),
+        }
+    }
+
+    /// Builds a context on top of recycled effect buffers (the kernel hands
+    /// the same two vectors to every body invocation so the hot path never
+    /// allocates for wakes).
+    pub(crate) fn from_buffers(now: SimTime, wakes: Vec<WaitId>, deferred: Vec<Deferred>) -> Self {
+        debug_assert!(wakes.is_empty() && deferred.is_empty());
+        SimCtx {
+            now,
+            wakes,
+            deferred,
         }
     }
 

@@ -1,0 +1,225 @@
+//! The unified event calendar: a min-heap of future events keyed by
+//! [`SimTime`] with a deterministic insertion-order tie-break.
+//!
+//! The kernel stores *everything* time-driven in one calendar — timer
+//! firings, per-CPU slice expiries and work completions — so the main loop
+//! finds the next interesting instant with one `O(log n)` pop instead of
+//! scanning every CPU of every node. Two events at the same instant fire
+//! in insertion order, which keeps the whole simulation deterministic.
+//!
+//! Cancellation is lazy: [`cancel`](EventCalendar::cancel) marks the id and
+//! the entry is discarded when it reaches the front, so cancelling is
+//! `O(1)` and never disturbs the heap.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, returned by
+/// [`insert`](EventCalendar::insert) and accepted by
+/// [`cancel`](EventCalendar::cancel). Ids are unique per calendar and are
+/// never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The id's raw sequence number: the calendar's same-instant tie-break.
+    pub fn seq(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Heap entry: ordered by `(at, seq)` only, so payloads need no ordering.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use simos::{EventCalendar, SimTime};
+///
+/// let mut cal: EventCalendar<&str> = EventCalendar::new();
+/// cal.insert(SimTime::from_nanos(20), "later");
+/// let first = cal.insert(SimTime::from_nanos(10), "sooner");
+/// cal.cancel(first);
+/// let (at, _, what) = cal.pop().unwrap();
+/// assert_eq!((at, what), (SimTime::from_nanos(20), "later"));
+/// ```
+pub struct EventCalendar<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> std::fmt::Debug for EventCalendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCalendar")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E> Default for EventCalendar<E> {
+    fn default() -> Self {
+        EventCalendar::new()
+    }
+}
+
+// `is_empty` takes `&mut self` (it must discard lazily-cancelled entries
+// to give an exact answer), which clippy doesn't recognize as pairing
+// with `len`.
+#[allow(clippy::len_without_is_empty)]
+impl<E> EventCalendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        EventCalendar {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at instant `at` (which may be in the past from
+    /// the caller's point of view; the calendar itself has no clock).
+    pub fn insert(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Allocates a sequence number from the calendar's tie-break space
+    /// without scheduling anything. Lets a sibling queue (e.g. a FIFO of
+    /// constant-delay events) order its entries against calendar events
+    /// firing at the same instant.
+    pub fn reserve_seq(&mut self) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Cancelling an event that already fired (or
+    /// was already cancelled) has no effect.
+    pub fn cancel(&mut self, id: EventId) {
+        if id.0 < self.next_seq {
+            self.cancelled.insert(id.0);
+        }
+    }
+
+    /// Drops cancelled entries sitting at the front of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.is_empty() || !self.cancelled.remove(&e.seq) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// The earliest pending event, without removing it.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| (e.at, &e.payload))
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.skip_cancelled();
+        self.heap
+            .pop()
+            .map(|Reverse(e)| (e.at, EventId(e.seq), e.payload))
+    }
+
+    /// Number of entries still in the heap (cancelled-but-not-yet-skipped
+    /// entries count, so this is an upper bound on pending events).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending. Takes `&mut self` (unlike the usual
+    /// `len`/`is_empty` pairing) because it must discard lazily-cancelled
+    /// entries to give an exact answer.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.insert(at(30), 'c');
+        cal.insert(at(10), 'a');
+        cal.insert(at(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut cal = EventCalendar::new();
+        for i in 0..10 {
+            cal.insert(at(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| cal.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut cal = EventCalendar::new();
+        let a = cal.insert(at(1), "a");
+        cal.insert(at(2), "b");
+        let c = cal.insert(at(3), "c");
+        cal.cancel(a);
+        cal.cancel(c);
+        assert_eq!(cal.peek().map(|(t, &p)| (t, p)), Some((at(2), "b")));
+        assert_eq!(cal.pop().map(|(_, _, p)| p), Some("b"));
+        assert!(cal.pop().is_none());
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_inert() {
+        let mut cal = EventCalendar::new();
+        let a = cal.insert(at(1), 1u8);
+        assert!(cal.pop().is_some());
+        cal.cancel(a); // already fired: must not poison later entries
+        cal.insert(at(2), 2u8);
+        assert_eq!(cal.pop().map(|(_, _, p)| p), Some(2u8));
+    }
+}

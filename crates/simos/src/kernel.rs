@@ -18,11 +18,11 @@
 //! wake-ups receive a bounded vruntime bonus, and time slices shrink as load
 //! grows, all mirroring CFS behaviour that matters for the paper's results.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::body::{Action, SimCtx, ThreadBody};
+use crate::calendar::EventCalendar;
 use crate::cgroup::{clamp_shares, CgroupData, CgroupInfo, DEFAULT_CPU_SHARES};
 use crate::ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
 use crate::nice::{Nice, NICE_0_WEIGHT};
@@ -107,15 +107,59 @@ impl std::error::Error for KernelError {}
 enum TimerKind {
     Wake(ThreadId),
     Callback(CallbackId),
+    /// A deferred internal effect ([`SimCtx::defer`], e.g. a network
+    /// delivery). Fires like a one-shot callback but skips the
+    /// accounting sync user callbacks get: deferred effects move tuples
+    /// and wake threads, they do not observe scheduler statistics.
+    Defer(CallbackId),
     Unthrottle(CgroupId),
 }
 
-type CallbackFn = Box<dyn FnMut(&mut Kernel)>;
+/// A timer-like event due at the current instant, from either the calendar
+/// or the defer FIFO, tagged with its tie-break sequence number.
+enum DueTimer {
+    Kind(TimerKind),
+    Defer(Box<dyn FnOnce(&mut Kernel)>),
+}
+
+/// A queued deferred effect: (due instant, calendar tie-break seq, effect).
+type DeferEntry = (SimTime, u64, Box<dyn FnOnce(&mut Kernel)>);
+
+// Per-CPU slice/completion expiries are NOT calendar entries: each CPU
+// stores its own `due` instant and the main loop takes the minimum over
+// the (at most a few dozen) CPUs directly. Dispatch re-arms a CPU every
+// block/wake cycle, so routing those through the heap would double the
+// heap traffic with entries that mostly go stale before firing; a field
+// write plus a linear scan is cheaper and leaves the calendar holding
+// only timers.
+
+/// A callback's code. One-shots are stored unboxed-by-wrapper (`FnOnce`
+/// directly) so the per-tuple network-transfer path pays a single
+/// allocation, and their slot is recycled after firing.
+enum CallbackFn {
+    Recurring(Box<dyn FnMut(&mut Kernel)>),
+    Once(Box<dyn FnOnce(&mut Kernel)>),
+}
 
 struct CallbackEntry {
     f: Option<CallbackFn>,
     period: Option<SimDuration>,
     cancelled: bool,
+    /// Incremented each time the slot is recycled; a [`CallbackId`] whose
+    /// generation no longer matches refers to an already-finished one-shot
+    /// and is ignored.
+    gen: u32,
+}
+
+/// Packs a callback slot index and its generation into a raw id.
+fn callback_id(slot: usize, gen: u32) -> CallbackId {
+    CallbackId::from_u64((gen as u64) << 32 | slot as u64)
+}
+
+/// Splits a raw callback id into `(slot, generation)`.
+fn callback_slot(id: CallbackId) -> (usize, u32) {
+    let raw = id.as_u64();
+    ((raw & 0xFFFF_FFFF) as usize, (raw >> 32) as u32)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +168,17 @@ struct Cpu {
     slice_end: SimTime,
     last_thread: Option<ThreadId>,
     busy: SimDuration,
+    /// Instant up to which the running thread has been charged. CPU time
+    /// is charged lazily, only when this CPU's own event fires (or an
+    /// observer needs consistent state), not on every global advance.
+    last_charged: SimTime,
+    /// Bumped whenever the CPU is freed or re-armed; a same-instant event
+    /// batch records the generation each due CPU was collected under and
+    /// skips it if an earlier settle or throttle changed it since.
+    gen: u64,
+    /// Instant the running thread's compute finishes or its slice expires,
+    /// whichever is earlier ([`SimTime::MAX`] when idle / unarmed).
+    due: SimTime,
 }
 
 #[derive(Debug)]
@@ -145,6 +200,14 @@ struct NodeData {
     /// Time during which at least one runnable thread was waiting for a
     /// CPU (the kernel's PSI "some" CPU pressure — §8 future work 4).
     stalled: SimDuration,
+    /// Instant up to which busy/idle/stalled have been accumulated; the
+    /// interval since is accounted lazily before any state change.
+    last_accounted: SimTime,
+    /// CPUs currently running a thread (kept incrementally so lazy
+    /// accounting is O(1) per node).
+    occupied: u64,
+    /// Whether the node is already on the dispatch worklist.
+    dirty: bool,
 }
 
 /// Cumulative per-node scheduling statistics.
@@ -218,13 +281,48 @@ pub struct Kernel {
     threads: Vec<ThreadData>,
     cgroups: Vec<CgroupData>,
     nodes: Vec<NodeData>,
-    waiters: HashMap<u64, Vec<ThreadId>>,
-    timers: BinaryHeap<Reverse<(u64, u64, TimerKind)>>,
+    /// Blocked threads by wait channel, indexed by the (dense) [`WaitId`].
+    /// Buffers are kept and reused so the block/wake cycle every tuple
+    /// transfer goes through never allocates.
+    waiters: Vec<Vec<ThreadId>>,
+    calendar: EventCalendar<TimerKind>,
     callbacks: Vec<CallbackEntry>,
+    /// Recycled one-shot callback slots.
+    free_callbacks: Vec<usize>,
     next_wait: u64,
     next_seq: u64,
     invoke_guard: Vec<(SimTime, u32)>,
     fault_hook: Option<FaultHook>,
+    /// FIFO worklist of node indexes whose runqueues or CPUs changed and
+    /// need a dispatch pass.
+    dispatch_worklist: VecDeque<usize>,
+    /// Scratch buffers for same-instant event batches (reused to avoid
+    /// allocating in the hot loop).
+    due_cpus: Vec<(usize, usize, u64)>,
+    due_timers: Vec<(u64, DueTimer)>,
+    /// In-flight deferred effects ([`SimCtx::defer`]), FIFO-ordered.
+    /// Defer delays are almost always one constant (the network delay), so
+    /// due times are nondecreasing and a plain queue replaces per-event
+    /// heap churn; each entry carries a sequence number from the
+    /// calendar's tie-break space so same-instant ordering against real
+    /// calendar events is preserved. An out-of-order defer (shorter delay
+    /// while longer ones are pending) falls back to the calendar.
+    defer_fifo: VecDeque<DeferEntry>,
+    /// Thread whose settle (body invocation) is on the call stack right
+    /// now. Lazy charging lets a quota throttle fire mid-settle; the
+    /// throttle must not enqueue this thread out from under the settle.
+    settling: Option<ThreadId>,
+    /// True once any cgroup ever had a CPU quota: wake-time preemption
+    /// checks must then commit charges eagerly (a charge may throttle a
+    /// group mid-wake). Without quotas they run on speculative vruntimes.
+    quota_in_use: bool,
+    /// Instant `sync_accounting` last ran; repeat syncs at the same instant
+    /// (several callbacks firing together) are no-ops and skipped.
+    synced_at: SimTime,
+    loop_iters: u64,
+    /// Recycled effect buffers handed to each body invocation.
+    ctx_wakes: Vec<WaitId>,
+    ctx_deferred: Vec<crate::body::Deferred>,
 }
 
 /// Decides whether a mutating kernel operation fails at the given instant
@@ -334,13 +432,24 @@ impl Kernel {
             threads: Vec::new(),
             cgroups: Vec::new(),
             nodes: Vec::new(),
-            waiters: HashMap::new(),
-            timers: BinaryHeap::new(),
+            waiters: Vec::new(),
+            calendar: EventCalendar::new(),
             callbacks: Vec::new(),
+            free_callbacks: Vec::new(),
             next_wait: 0,
             next_seq: 0,
             invoke_guard: Vec::new(),
             fault_hook: None,
+            dispatch_worklist: VecDeque::new(),
+            due_cpus: Vec::new(),
+            due_timers: Vec::new(),
+            defer_fifo: VecDeque::new(),
+            settling: None,
+            quota_in_use: false,
+            synced_at: SimTime::MAX,
+            loop_iters: 0,
+            ctx_wakes: Vec::new(),
+            ctx_deferred: Vec::new(),
         }
     }
 
@@ -408,6 +517,7 @@ impl Kernel {
             DEFAULT_CPU_SHARES,
             seq,
         ));
+        let now = self.now;
         self.nodes.push(NodeData {
             id: node,
             name: name.to_owned(),
@@ -417,6 +527,9 @@ impl Kernel {
                     slice_end: SimTime::MAX,
                     last_thread: None,
                     busy: SimDuration::ZERO,
+                    last_charged: now,
+                    gen: 0,
+                    due: SimTime::MAX,
                 };
                 cpus
             ],
@@ -428,6 +541,9 @@ impl Kernel {
             busy: SimDuration::ZERO,
             idle: SimDuration::ZERO,
             stalled: SimDuration::ZERO,
+            last_accounted: now,
+            occupied: 0,
+            dirty: false,
         });
         node
     }
@@ -696,8 +812,7 @@ impl Kernel {
                 for node_idx in 0..self.nodes.len() {
                     for cpu_idx in 0..self.nodes[node_idx].cpus.len() {
                         if self.nodes[node_idx].cpus[cpu_idx].current == Some(tid) {
-                            self.enqueue_thread(tid, false);
-                            self.free_cpu(node_idx, cpu_idx);
+                            self.preempt_running(node_idx, cpu_idx);
                         }
                     }
                 }
@@ -738,6 +853,7 @@ impl Kernel {
                     window_start: now,
                     usage: SimDuration::ZERO,
                 });
+                self.quota_in_use = true;
             }
             None => {
                 cg.quota = None;
@@ -777,6 +893,8 @@ impl Kernel {
     /// Throttles a group: removes its entity from the parent runqueue,
     /// preempts its running threads, and schedules the unthrottle timer.
     fn throttle(&mut self, cgroup: CgroupId, resume: SimTime) {
+        let node_idx = self.cgroups[cgroup.0 as usize].node.0 as usize;
+        self.account_node(node_idx);
         self.cgroups[cgroup.0 as usize].throttled = true;
         // Preempt running descendants (they re-queue inside the subtree,
         // unreachable until unthrottled).
@@ -785,9 +903,16 @@ impl Kernel {
                 let Some(cur) = self.nodes[node_idx].cpus[cpu_idx].current else {
                     continue;
                 };
+                if self.settling == Some(cur) {
+                    // Lazy charging lets a throttle trigger while this
+                    // thread's settle (body invocation) is on the stack;
+                    // enqueueing it here would leave it both queued and
+                    // mid-settle. It is parked at its next slice boundary
+                    // instead.
+                    continue;
+                }
                 if self.is_descendant(self.threads[cur.0 as usize].cgroup, cgroup) {
-                    self.enqueue_thread(cur, false);
-                    self.free_cpu(node_idx, cpu_idx);
+                    self.preempt_running(node_idx, cpu_idx);
                 }
             }
         }
@@ -801,13 +926,14 @@ impl Kernel {
             self.cgroups[cgroup.0 as usize].queued = false;
             self.cascade_dequeue(parent);
         }
-        let seq = self.alloc_seq();
-        self.timers
-            .push(Reverse((resume.as_nanos(), seq, TimerKind::Unthrottle(cgroup))));
+        self.calendar
+            .insert(resume, TimerKind::Unthrottle(cgroup));
     }
 
     /// Lifts a throttle: re-links the group into the runqueue tree.
     fn unthrottle(&mut self, cgroup: CgroupId) {
+        let node_idx = self.cgroups[cgroup.0 as usize].node.0 as usize;
+        self.account_node(node_idx);
         self.cgroups[cgroup.0 as usize].throttled = false;
         if let Some(q) = self.cgroups[cgroup.0 as usize].quota.as_mut() {
             let now = self.now;
@@ -838,6 +964,7 @@ impl Kernel {
                 child = parent;
             }
         }
+        self.mark_dirty(node_idx);
     }
 
     /// Whether `cgroup` is `ancestor` or nested below it.
@@ -889,22 +1016,44 @@ impl Kernel {
     pub fn new_wait_channel(&mut self) -> WaitId {
         let id = WaitId(self.next_wait);
         self.next_wait += 1;
+        if self.waiters.len() < self.next_wait as usize {
+            self.waiters.resize_with(self.next_wait as usize, Vec::new);
+        }
         id
     }
 
     /// Wakes every thread currently blocked on `channel`.
     pub fn wake(&mut self, channel: WaitId) {
-        let Some(list) = self.waiters.remove(&channel.0) else {
+        let ch = channel.0 as usize;
+        if ch >= self.waiters.len() || self.waiters[ch].is_empty() {
             return;
-        };
-        for tid in list {
-            if self.threads[tid.0 as usize].state == ThreadState::Blocked(channel) {
-                let node = self.threads[tid.0 as usize].node;
-                self.nodes[node.0 as usize].nr_active += 1;
-                self.enqueue_thread(tid, true);
-                self.maybe_preempt(tid);
+        }
+        let mut list = std::mem::take(&mut self.waiters[ch]);
+        list.retain(|&tid| self.threads[tid.0 as usize].state == ThreadState::Blocked(channel));
+        for &tid in &list {
+            let node = self.threads[tid.0 as usize].node;
+            self.nodes[node.0 as usize].nr_active += 1;
+            self.enqueue_thread(tid, true);
+        }
+        // Preemption checks are batched after all enqueues, with at most
+        // one preemption per node per wake batch: once a node yields a
+        // CPU it has an idle processor, so any further check there would
+        // see it and no-op anyway.
+        let mut preempted: Vec<usize> = Vec::new();
+        for &tid in &list {
+            let node_idx = self.threads[tid.0 as usize].node.0 as usize;
+            if preempted.contains(&node_idx) {
+                continue;
+            }
+            if self.maybe_preempt(tid) {
+                preempted.push(node_idx);
             }
         }
+        // Nothing above runs thread bodies, so no one can have re-blocked
+        // on the channel meanwhile; give the buffer back for reuse.
+        debug_assert!(self.waiters[ch].is_empty());
+        list.clear();
+        self.waiters[ch] = list;
     }
 
     /// CFS wake-up preemption: if a running thread of the *same* cgroup is
@@ -913,7 +1062,9 @@ impl Kernel {
     /// mechanism through which nice priorities shape batching: a heavily
     /// weighted producer accrues vruntime slowly and resists preemption by
     /// the light consumers it wakes, so it runs in long efficient bursts.
-    fn maybe_preempt(&mut self, woken: ThreadId) {
+    ///
+    /// Returns `true` when a running thread was preempted.
+    fn maybe_preempt(&mut self, woken: ThreadId) -> bool {
         // A woken RT thread preempts any CFS thread (or a lower-priority RT
         // thread) immediately when no CPU is idle.
         if let Some(prio) = self.threads[woken.0 as usize].rt_priority {
@@ -923,7 +1074,7 @@ impl Kernel {
                 .iter()
                 .any(|c| c.current.is_none())
             {
-                return;
+                return false;
             }
             let victim = (0..self.nodes[node.0 as usize].cpus.len()).find(|&i| {
                 let cur = self.nodes[node.0 as usize].cpus[i]
@@ -941,60 +1092,79 @@ impl Kernel {
                 }
             });
             if let Some(cpu_idx) = victim {
-                let cur = self.nodes[node.0 as usize].cpus[cpu_idx]
-                    .current
-                    .expect("victim present");
-                self.enqueue_thread(cur, false);
-                self.free_cpu(node.0 as usize, cpu_idx);
+                self.preempt_running(node.0 as usize, cpu_idx);
+                return true;
             }
-            return;
+            return false;
         }
         let (group, node, wvr, weight) = {
             let w = &self.threads[woken.0 as usize];
             if w.state != ThreadState::Ready {
-                return;
+                return false;
             }
             (w.cgroup, w.node, w.vruntime, w.nice.weight())
         };
+        let node_idx = node.0 as usize;
         // Like Linux's select_idle_sibling: a woken thread starts on an
         // idle CPU when one exists; preemption only matters under load.
-        if self.nodes[node.0 as usize]
-            .cpus
-            .iter()
-            .any(|c| c.current.is_none())
-        {
-            return;
+        if self.nodes[node_idx].cpus.iter().any(|c| c.current.is_none()) {
+            return false;
+        }
+        if self.quota_in_use {
+            // Eager path: bring same-group running threads' charges up to
+            // date, because a charge may throttle their group and free its
+            // CPUs — the woken thread then starts on one of those instead
+            // of preempting.
+            for cpu_idx in 0..self.nodes[node_idx].cpus.len() {
+                let Some(cur) = self.nodes[node_idx].cpus[cpu_idx].current else {
+                    continue;
+                };
+                if self.threads[cur.0 as usize].cgroup == group {
+                    self.charge_cpu(node_idx, cpu_idx);
+                }
+            }
+            if self.nodes[node_idx].cpus.iter().any(|c| c.current.is_none()) {
+                return false;
+            }
         }
         // The granularity is scaled by the woken thread's weight (CFS
         // `wakeup_gran`): light threads must lag further behind before
         // they may preempt, heavy threads preempt sooner.
-        let gran = (self.config.wakeup_granularity.as_nanos() as u128 * NICE_0_WEIGHT as u128
-            / weight as u128) as u64;
+        let gran = match self.config.wakeup_granularity.as_nanos().checked_mul(NICE_0_WEIGHT) {
+            Some(p) => p / weight,
+            None => (self.config.wakeup_granularity.as_nanos() as u128 * NICE_0_WEIGHT as u128
+                / weight as u128) as u64,
+        };
+        let now = self.now;
         let mut best: Option<(usize, u64)> = None;
-        for (cpu_idx, cpu) in self.nodes[node.0 as usize].cpus.iter().enumerate() {
+        for (cpu_idx, cpu) in self.nodes[node_idx].cpus.iter().enumerate() {
             let Some(cur) = cpu.current else { continue };
             let c = &self.threads[cur.0 as usize];
             if c.cgroup != group {
                 continue; // vruntimes of different runqueues don't compare
             }
-            if c.remaining.is_zero() {
+            // Candidates are charged lazily; evaluate them as if charged
+            // up to now (same decision as an eager charge, without the
+            // cgroup hierarchy walk — only the chosen victim pays one).
+            let lag = now - cpu.last_charged;
+            if c.remaining.saturating_sub(lag).is_zero() {
                 // Completion boundary: the settle loop is driving this
                 // thread right now; preempting would double-queue it.
                 continue;
             }
-            if c.vruntime > wvr.saturating_add(gran)
-                && best.is_none_or(|(_, d)| c.vruntime - wvr > d)
-            {
-                best = Some((cpu_idx, c.vruntime - wvr));
+            let mut vr = c.vruntime;
+            if !lag.is_zero() && c.rt_priority.is_none() {
+                vr += Kernel::weighted_vruntime(lag.as_nanos(), c.nice.weight());
+            }
+            if vr > wvr.saturating_add(gran) && best.is_none_or(|(_, d)| vr - wvr > d) {
+                best = Some((cpu_idx, vr - wvr));
             }
         }
         if let Some((cpu_idx, _)) = best {
-            let cur = self.nodes[node.0 as usize].cpus[cpu_idx]
-                .current
-                .expect("preempt target still running");
-            self.enqueue_thread(cur, false);
-            self.free_cpu(node.0 as usize, cpu_idx);
+            self.preempt_running(node_idx, cpu_idx);
+            return true;
         }
+        false
     }
 
     /// Schedules `f` to run once after `delay`.
@@ -1003,7 +1173,7 @@ impl Kernel {
         delay: SimDuration,
         f: impl FnMut(&mut Kernel) + 'static,
     ) -> CallbackId {
-        self.schedule_internal(delay, None, Box::new(f))
+        self.schedule_internal(delay, None, CallbackFn::Recurring(Box::new(f)))
     }
 
     /// Schedules `f` to run after `delay` and then every `period`.
@@ -1036,7 +1206,7 @@ impl Kernel {
         f: impl FnMut(&mut Kernel) + 'static,
     ) -> CallbackId {
         assert!(!period.is_zero(), "periodic callback period must be > 0");
-        self.schedule_internal(delay, Some(period), Box::new(f))
+        self.schedule_internal(delay, Some(period), CallbackFn::Recurring(Box::new(f)))
     }
 
     fn schedule_internal(
@@ -1045,26 +1215,60 @@ impl Kernel {
         period: Option<SimDuration>,
         f: CallbackFn,
     ) -> CallbackId {
-        let id = CallbackId(self.callbacks.len() as u64);
-        self.callbacks.push(CallbackEntry {
-            f: Some(f),
-            period,
-            cancelled: false,
-        });
-        let seq = self.alloc_seq();
-        self.timers.push(Reverse((
-            (self.now + delay).as_nanos(),
-            seq,
-            TimerKind::Callback(id),
-        )));
+        let id = self.alloc_callback(period, f);
+        self.calendar
+            .insert(self.now + delay, TimerKind::Callback(id));
         id
+    }
+
+    /// Schedules a deferred internal effect (see [`TimerKind::Defer`]).
+    ///
+    /// Fast path: appended to `defer_fifo` when its due time is no earlier
+    /// than the FIFO's tail (the common case — a single constant network
+    /// delay makes due times nondecreasing). Out-of-order defers go through
+    /// the calendar instead, which handles arbitrary times.
+    fn push_defer(&mut self, delay: SimDuration, f: Box<dyn FnOnce(&mut Kernel)>) {
+        let at = self.now + delay;
+        if self.defer_fifo.back().is_some_and(|&(t, _, _)| t > at) {
+            let id = self.alloc_callback(None, CallbackFn::Once(f));
+            self.calendar
+                .insert(at, TimerKind::Defer(id));
+        } else {
+            let seq = self.calendar.reserve_seq().seq();
+            self.defer_fifo.push_back((at, seq, f));
+        }
+    }
+
+    fn alloc_callback(&mut self, period: Option<SimDuration>, f: CallbackFn) -> CallbackId {
+        let slot = match self.free_callbacks.pop() {
+            Some(slot) => {
+                let e = &mut self.callbacks[slot];
+                e.f = Some(f);
+                e.period = period;
+                e.cancelled = false;
+                slot
+            }
+            None => {
+                self.callbacks.push(CallbackEntry {
+                    f: Some(f),
+                    period,
+                    cancelled: false,
+                    gen: 0,
+                });
+                self.callbacks.len() - 1
+            }
+        };
+        callback_id(slot, self.callbacks[slot].gen)
     }
 
     /// Cancels a scheduled callback; pending firings are skipped.
     pub fn cancel_callback(&mut self, id: CallbackId) {
-        if let Some(cb) = self.callbacks.get_mut(id.0 as usize) {
-            cb.cancelled = true;
-            cb.f = None;
+        let (slot, gen) = callback_slot(id);
+        if let Some(cb) = self.callbacks.get_mut(slot) {
+            if cb.gen == gen {
+                cb.cancelled = true;
+                cb.f = None;
+            }
         }
     }
 
@@ -1086,6 +1290,12 @@ impl Kernel {
     /// entities up to the root as needed. `wakeup` grants the bounded
     /// vruntime bonus.
     fn enqueue_thread(&mut self, tid: ThreadId, wakeup: bool) {
+        // The enqueue changes runqueue emptiness (the PSI condition) and
+        // creates dispatchable work: account the interval up to now first
+        // and put the node on the dispatch worklist.
+        let node_idx = self.threads[tid.0 as usize].node.0 as usize;
+        self.account_node(node_idx);
+        self.mark_dirty(node_idx);
         if let Some(prio) = self.threads[tid.0 as usize].rt_priority {
             let node = self.threads[tid.0 as usize].node;
             let seq = self.alloc_seq();
@@ -1138,6 +1348,8 @@ impl Kernel {
     /// Removes a Ready (queued, not running) thread from the runqueue tree.
     fn dequeue_ready_thread(&mut self, tid: ThreadId) {
         debug_assert_eq!(self.threads[tid.0 as usize].state, ThreadState::Ready);
+        let node_idx = self.threads[tid.0 as usize].node.0 as usize;
+        self.account_node(node_idx);
         if self.threads[tid.0 as usize].rt_priority.is_some() {
             let node = self.threads[tid.0 as usize].node;
             self.nodes[node.0 as usize]
@@ -1183,11 +1395,25 @@ impl Kernel {
             match ent {
                 Entity::Group(g) => cg = g,
                 Entity::Thread(t) => {
-                    self.cgroups[cg.0 as usize].rq.remove(vr, seq, ent);
+                    let popped = self.cgroups[cg.0 as usize].rq.pop_first();
+                    debug_assert_eq!(popped, Some((vr, seq, ent)));
                     self.cascade_dequeue(cg);
                     return Some(t);
                 }
             }
+        }
+    }
+
+    /// `dn · 1024 / weight`, at least 1: the vruntime earned over `dn`
+    /// nanoseconds at the given weight. The product fits in a `u64` for any
+    /// interval under ~208 days (2⁵⁴ ns), so the hot path stays clear of
+    /// 128-bit division.
+    #[inline]
+    fn weighted_vruntime(dn: u64, weight: u64) -> u64 {
+        if dn < (1 << 54) {
+            (dn * NICE_0_WEIGHT / weight).max(1)
+        } else {
+            ((dn as u128 * NICE_0_WEIGHT as u128 / weight as u128).max(1)) as u64
         }
     }
 
@@ -1206,7 +1432,7 @@ impl Kernel {
             let t = &mut self.threads[tid.0 as usize];
             t.remaining = t.remaining.saturating_sub(delta);
             t.cputime += delta;
-            t.last_ran = self.now + delta;
+            t.last_ran = self.now;
             let mut g = Some(group);
             while let Some(cg) = g {
                 self.cgroups[cg.0 as usize].cputime += delta;
@@ -1214,13 +1440,13 @@ impl Kernel {
             }
             return;
         }
-        let dvr = (dn as u128 * NICE_0_WEIGHT as u128 / weight as u128).max(1) as u64;
+        let dvr = Kernel::weighted_vruntime(dn, weight);
         {
             let t = &mut self.threads[tid.0 as usize];
             t.vruntime += dvr;
             t.remaining = t.remaining.saturating_sub(delta);
             t.cputime += delta;
-            t.last_ran = self.now + delta;
+            t.last_ran = self.now;
         }
         let running_vr = self.threads[tid.0 as usize].vruntime;
         self.bump_min_vruntime(group, running_vr);
@@ -1230,7 +1456,7 @@ impl Kernel {
             self.cgroups[child.0 as usize].cputime += delta;
             self.account_quota(child, delta);
             let shares = self.cgroups[child.0 as usize].shares;
-            let dg = (dn as u128 * NICE_0_WEIGHT as u128 / shares as u128).max(1) as u64;
+            let dg = Kernel::weighted_vruntime(dn, shares);
             // If the group entity is queued in the parent (other threads of
             // the group are ready), its key must be refreshed.
             if self.cgroups[child.0 as usize].queued {
@@ -1269,9 +1495,13 @@ impl Kernel {
         }
         let nr = self.nodes[node_idx].nr_active.max(1);
         let weight = self.threads[tid.0 as usize].nice.weight();
-        let base = self.config.sched_latency.as_nanos() as u128;
-        let slice = base * weight as u128 / (NICE_0_WEIGHT as u128 * nr as u128);
-        SimDuration::from_nanos(slice.min(u64::MAX as u128) as u64)
+        let base = self.config.sched_latency.as_nanos();
+        let slice = match base.checked_mul(weight) {
+            Some(p) => p / (NICE_0_WEIGHT * nr),
+            None => (base as u128 * weight as u128 / (NICE_0_WEIGHT as u128 * nr as u128))
+                .min(u64::MAX as u128) as u64,
+        };
+        SimDuration::from_nanos(slice)
             .max(self.config.min_granularity)
             .min(self.config.sched_latency)
     }
@@ -1299,35 +1529,156 @@ impl Kernel {
             .body
             .take()
             .expect("invoke_body: body missing");
-        let mut ctx = SimCtx::new(self.now);
+        let mut ctx = SimCtx::from_buffers(
+            self.now,
+            std::mem::take(&mut self.ctx_wakes),
+            std::mem::take(&mut self.ctx_deferred),
+        );
         let action = body.next_action(&mut ctx);
         self.threads[tid.0 as usize].body = Some(body);
-        let (wakes, deferred) = ctx.into_effects();
-        for w in wakes {
+        let (mut wakes, mut deferred) = ctx.into_effects();
+        for w in wakes.drain(..) {
             self.wake(w);
         }
-        for (delay, f) in deferred {
-            self.schedule_once(delay, f);
+        for (delay, f) in deferred.drain(..) {
+            self.push_defer(delay, f);
         }
+        // Bodies do not nest, so nothing refilled the scratch slots while
+        // the effects were applied; hand the buffers back for reuse.
+        self.ctx_wakes = wakes;
+        self.ctx_deferred = deferred;
         action
     }
 
     /// Schedules a one-shot closure (like [`schedule_in`](Kernel::schedule_in)
     /// but for `FnOnce`).
     pub fn schedule_once(&mut self, delay: SimDuration, f: impl FnOnce(&mut Kernel) + 'static) {
-        let mut slot = Some(f);
-        self.schedule_in(delay, move |k| {
-            if let Some(f) = slot.take() {
-                f(k);
+        self.schedule_internal(delay, None, CallbackFn::Once(Box::new(f)));
+    }
+
+    /// Returns a fired (or cancelled) callback slot to the free pool. The
+    /// generation bump turns any id still held for it into a dead handle.
+    fn recycle_callback(&mut self, slot: usize) {
+        let e = &mut self.callbacks[slot];
+        e.gen = e.gen.wrapping_add(1);
+        e.f = None;
+        e.period = None;
+        e.cancelled = false;
+        self.free_callbacks.push(slot);
+    }
+
+    /// Adds a node to the dispatch worklist unless it is already on it.
+    fn mark_dirty(&mut self, node_idx: usize) {
+        if !self.nodes[node_idx].dirty {
+            self.nodes[node_idx].dirty = true;
+            self.dispatch_worklist.push_back(node_idx);
+        }
+    }
+
+    /// Accumulates busy/idle/PSI time for one node over the interval since
+    /// its last accounting. Must be called *before* any mutation of CPU
+    /// occupancy or runqueue emptiness; calling it again within the same
+    /// instant is a no-op.
+    fn account_node(&mut self, node_idx: usize) {
+        let delta = self.now - self.nodes[node_idx].last_accounted;
+        self.nodes[node_idx].last_accounted = self.now;
+        if delta.is_zero() {
+            return;
+        }
+        let root = self.nodes[node_idx].root;
+        let stalled = !self.cgroups[root.0 as usize].rq.is_empty()
+            || !self.nodes[node_idx].rt_queue.is_empty();
+        let n = &mut self.nodes[node_idx];
+        let busy_cpus = n.occupied;
+        let idle_cpus = n.cpus.len() as u64 - busy_cpus;
+        n.busy += delta * busy_cpus;
+        n.idle += delta * idle_cpus;
+        // PSI "cpu some": runnable-but-waiting threads exist.
+        if stalled {
+            n.stalled += delta;
+        }
+    }
+
+    /// Charges the thread on `(node, cpu)` for the interval since the CPU
+    /// was last charged. Reentrancy-safe: `last_charged` advances *before*
+    /// the charge, so a throttle triggered by it sees a zero delta.
+    fn charge_cpu(&mut self, node_idx: usize, cpu_idx: usize) {
+        let Some(tid) = self.nodes[node_idx].cpus[cpu_idx].current else {
+            return;
+        };
+        let delta = self.now - self.nodes[node_idx].cpus[cpu_idx].last_charged;
+        self.nodes[node_idx].cpus[cpu_idx].last_charged = self.now;
+        if delta.is_zero() {
+            return;
+        }
+        self.nodes[node_idx].cpus[cpu_idx].busy += delta;
+        self.charge(tid, delta);
+    }
+
+    /// Brings every CPU charge and node account up to `now` so observers
+    /// (user callbacks, stats readers) see the same state the old eager
+    /// loop maintained continuously.
+    fn sync_accounting(&mut self) {
+        if self.synced_at == self.now {
+            return; // charges and accounts since then are all zero-delta
+        }
+        self.synced_at = self.now;
+        for node_idx in 0..self.nodes.len() {
+            for cpu_idx in 0..self.nodes[node_idx].cpus.len() {
+                self.charge_cpu(node_idx, cpu_idx);
             }
-        });
+            self.account_node(node_idx);
+        }
+    }
+
+    /// Preempts the thread running on `(node, cpu)`: charges it up to now,
+    /// re-queues it and releases the CPU.
+    fn preempt_running(&mut self, node_idx: usize, cpu_idx: usize) {
+        self.charge_cpu(node_idx, cpu_idx);
+        // The charge may throttle the thread's group, which preempts this
+        // very CPU underneath us; re-check before queueing.
+        if let Some(cur) = self.nodes[node_idx].cpus[cpu_idx].current {
+            self.enqueue_thread(cur, false);
+            self.free_cpu(node_idx, cpu_idx);
+        }
+    }
+
+    /// Arms (or re-arms) the calendar entry for an occupied CPU: the next
+    /// event is the earlier of slice expiry and work completion. Bumping
+    /// the generation invalidates any previously armed entry.
+    ///
+    /// The CPU must be charged up to `now` (its `remaining` is read as of
+    /// now).
+    fn rearm_cpu(&mut self, node_idx: usize, cpu_idx: usize) {
+        let Some(tid) = self.nodes[node_idx].cpus[cpu_idx].current else {
+            return;
+        };
+        debug_assert_eq!(self.nodes[node_idx].cpus[cpu_idx].last_charged, self.now);
+        let due = self.nodes[node_idx].cpus[cpu_idx]
+            .slice_end
+            .min(self.now + self.threads[tid.0 as usize].remaining);
+        let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
+        cpu.gen += 1;
+        cpu.due = due;
     }
 
     /// Releases a CPU; the thread keeps whatever state the caller set.
     fn free_cpu(&mut self, node_idx: usize, cpu_idx: usize) {
-        let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
-        cpu.last_thread = cpu.current.take();
-        cpu.slice_end = SimTime::MAX;
+        self.charge_cpu(node_idx, cpu_idx); // safety net; normally a no-op
+        self.account_node(node_idx);
+        let freed = {
+            let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
+            let was_occupied = cpu.current.is_some();
+            cpu.last_thread = cpu.current.take();
+            cpu.slice_end = SimTime::MAX;
+            cpu.gen += 1; // invalidates the collected due batch, if any
+            cpu.due = SimTime::MAX;
+            was_occupied
+        };
+        if freed {
+            self.nodes[node_idx].occupied -= 1;
+        }
+        self.mark_dirty(node_idx);
     }
 
     /// Applies a body action for a thread currently holding a CPU.
@@ -1347,7 +1698,13 @@ impl Kernel {
             }
             Action::Block(w) => {
                 self.threads[tid.0 as usize].state = ThreadState::Blocked(w);
-                self.waiters.entry(w.0).or_default().push(tid);
+                let ch = w.0 as usize;
+                if ch >= self.waiters.len() {
+                    // Channel id minted by `WaitId::from_u64` rather than
+                    // `new_wait_channel` (test fixtures do this).
+                    self.waiters.resize_with(ch + 1, Vec::new);
+                }
+                self.waiters[ch].push(tid);
                 self.nodes[node_idx].nr_active -= 1;
                 self.free_cpu(node_idx, cpu_idx);
                 false
@@ -1355,12 +1712,8 @@ impl Kernel {
             Action::Sleep(dur) => {
                 let dur = dur.max(SimDuration::from_nanos(1));
                 self.threads[tid.0 as usize].state = ThreadState::Sleeping;
-                let seq = self.alloc_seq();
-                self.timers.push(Reverse((
-                    (self.now + dur).as_nanos(),
-                    seq,
-                    TimerKind::Wake(tid),
-                )));
+                self.calendar
+                    .insert(self.now + dur, TimerKind::Wake(tid));
                 self.nodes[node_idx].nr_active -= 1;
                 self.free_cpu(node_idx, cpu_idx);
                 false
@@ -1382,6 +1735,9 @@ impl Kernel {
 
     /// Fills idle CPUs of one node from its runqueues.
     fn dispatch_node(&mut self, node_idx: usize) {
+        // Dispatching changes occupancy and drains runqueues: settle the
+        // accounting interval that ends here first.
+        self.account_node(node_idx);
         'cpus: loop {
             let Some(cpu_idx) = self.nodes[node_idx]
                 .cpus
@@ -1413,10 +1769,14 @@ impl Kernel {
                 }
             }
             let slice = self.slice_for(node_idx, tid);
+            let now = self.now;
             let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
             cpu.current = Some(tid);
             cpu.last_thread = Some(tid);
-            cpu.slice_end = self.now + slice;
+            cpu.slice_end = now + slice;
+            cpu.last_charged = now;
+            self.nodes[node_idx].occupied += 1;
+            self.rearm_cpu(node_idx, cpu_idx);
         }
     }
 
@@ -1426,12 +1786,16 @@ impl Kernel {
             return;
         };
         // Completion: keep invoking the body while it keeps computing.
+        debug_assert!(self.settling.is_none(), "settle_cpu re-entered");
+        self.settling = Some(tid);
         while self.threads[tid.0 as usize].remaining.is_zero() {
             let action = self.invoke_body(tid);
             if !self.apply_action(node_idx, cpu_idx, tid, action) {
+                self.settling = None;
                 return;
             }
         }
+        self.settling = None;
         // Slice expiry: preempt only if someone else is waiting.
         if self.nodes[node_idx].cpus[cpu_idx].slice_end <= self.now {
             let root = self.nodes[node_idx].root;
@@ -1460,27 +1824,53 @@ impl Kernel {
                     self.unthrottle(cg);
                 }
             }
-            TimerKind::Callback(id) => {
-                let entry = &mut self.callbacks[id.0 as usize];
+            TimerKind::Callback(id) | TimerKind::Defer(id) => {
+                let (slot, gen) = callback_slot(id);
+                let entry = &mut self.callbacks[slot];
+                if entry.gen != gen {
+                    return; // the slot was recycled out from under this event
+                }
                 if entry.cancelled {
+                    // A callback has at most one pending calendar event (the
+                    // next one is inserted only after a fire), and it just
+                    // popped: the slot can be reused immediately.
+                    self.recycle_callback(slot);
                     return;
                 }
-                let Some(mut f) = entry.f.take() else {
+                let Some(f) = entry.f.take() else {
                     return;
                 };
-                f(self);
-                let entry = &mut self.callbacks[id.0 as usize];
-                if entry.cancelled {
-                    return;
+                // User code observes kernel state: bring lazily charged CPU
+                // time and node accounting up to the present first. Deferred
+                // internal effects (network deliveries) only move tuples and
+                // wake threads, so they skip that sweep — it would otherwise
+                // run once per in-flight remote tuple.
+                if matches!(kind, TimerKind::Callback(_)) {
+                    self.sync_accounting();
                 }
-                entry.f = Some(f);
-                if let Some(period) = entry.period {
-                    let seq = self.alloc_seq();
-                    self.timers.push(Reverse((
-                        (self.now + period).as_nanos(),
-                        seq,
-                        TimerKind::Callback(id),
-                    )));
+                match f {
+                    CallbackFn::Once(f) => {
+                        f(self);
+                        self.recycle_callback(slot);
+                    }
+                    CallbackFn::Recurring(mut f) => {
+                        f(self);
+                        let entry = &mut self.callbacks[slot];
+                        if entry.cancelled {
+                            self.recycle_callback(slot);
+                            return;
+                        }
+                        match entry.period {
+                            Some(period) => {
+                                entry.f = Some(CallbackFn::Recurring(f));
+                                self.calendar.insert(
+                                    self.now + period,
+                                    TimerKind::Callback(id),
+                                );
+                            }
+                            None => self.recycle_callback(slot),
+                        }
+                    }
                 }
             }
         }
@@ -1504,95 +1894,174 @@ impl Kernel {
     /// Panics if `deadline` is in the past.
     pub fn run_until(&mut self, deadline: SimTime) {
         assert!(deadline >= self.now, "run_until: deadline in the past");
+        // Arbitrary external mutations (spawns, cgroup edits) may have
+        // happened while paused: give every node one dispatch pass.
+        for node_idx in 0..self.nodes.len() {
+            self.mark_dirty(node_idx);
+        }
         loop {
-            for node_idx in 0..self.nodes.len() {
+            self.loop_iters += 1;
+            while let Some(node_idx) = self.dispatch_worklist.pop_front() {
+                self.nodes[node_idx].dirty = false;
                 self.dispatch_node(node_idx);
             }
-
-            // Find the next interesting instant.
-            let mut t_next = deadline;
-            if let Some(Reverse((at, _, _))) = self.timers.peek() {
-                t_next = t_next.min(SimTime::from_nanos(*at));
-            }
-            for node in &self.nodes {
-                for cpu in &node.cpus {
-                    if let Some(tid) = cpu.current {
-                        let work_end = self.now + self.threads[tid.0 as usize].remaining;
-                        t_next = t_next.min(cpu.slice_end).min(work_end);
-                    }
-                }
-            }
-            debug_assert!(t_next >= self.now);
-
-            // Advance: charge running threads, account idle time.
-            let delta = t_next - self.now;
-            if !delta.is_zero() {
-                for node_idx in 0..self.nodes.len() {
-                    let mut busy_cpus = 0u64;
-                    let mut idle_cpus = 0u64;
-                    for cpu_idx in 0..self.nodes[node_idx].cpus.len() {
-                        if let Some(tid) = self.nodes[node_idx].cpus[cpu_idx].current {
-                            self.charge(tid, delta);
-                            self.nodes[node_idx].cpus[cpu_idx].busy += delta;
-                            busy_cpus += 1;
-                        } else {
-                            idle_cpus += 1;
-                        }
-                    }
-                    self.nodes[node_idx].busy += delta * busy_cpus;
-                    self.nodes[node_idx].idle += delta * idle_cpus;
-                    // PSI "cpu some": runnable-but-waiting threads exist.
-                    let root = self.nodes[node_idx].root;
-                    if !self.cgroups[root.0 as usize].rq.is_empty()
-                        || !self.nodes[node_idx].rt_queue.is_empty()
-                    {
-                        self.nodes[node_idx].stalled += delta;
-                    }
-                }
-                self.now = t_next;
-            }
-
-            // Settle CPUs whose thread completed or slice expired.
-            let mut progressed = false;
-            for node_idx in 0..self.nodes.len() {
-                for cpu_idx in 0..self.nodes[node_idx].cpus.len() {
-                    let Some(tid) = self.nodes[node_idx].cpus[cpu_idx].current else {
-                        continue;
-                    };
-                    let done = self.threads[tid.0 as usize].remaining.is_zero();
-                    let expired = self.nodes[node_idx].cpus[cpu_idx].slice_end <= self.now;
-                    if done || expired {
-                        self.settle_cpu(node_idx, cpu_idx);
-                        progressed = true;
-                    }
-                }
-            }
-
-            // Fire all timers due now.
-            while let Some(Reverse((at, _, _))) = self.timers.peek() {
-                if SimTime::from_nanos(*at) > self.now {
-                    break;
-                }
-                let Reverse((_, _, kind)) = self.timers.pop().expect("peeked timer");
-                self.fire_timer(kind);
-                progressed = true;
-            }
-
-            if self.now >= deadline && !progressed {
+            let Some(t) = self.next_event_time() else {
+                break; // idle forever: jump straight to the deadline
+            };
+            if t > deadline {
                 break;
             }
-            if !delta.is_zero() {
-                continue;
-            }
-            if !progressed {
-                // Nothing due now and nothing running: jump ahead happens on
-                // the next iteration via t_next; if we are already at the
-                // deadline we are done.
-                if self.now >= deadline {
-                    break;
-                }
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.process_events_at_now();
+        }
+        self.now = deadline;
+        self.sync_accounting();
+    }
+
+    /// The instant of the earliest pending event: the minimum over the
+    /// timer calendar, the defer FIFO's head, and every armed CPU's `due`.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let mut next = match self.calendar.peek() {
+            Some((at, _)) => at,
+            None => SimTime::MAX,
+        };
+        if let Some(&(at, _, _)) = self.defer_fifo.front() {
+            next = next.min(at);
+        }
+        for n in &self.nodes {
+            for c in &n.cpus {
+                next = next.min(c.due);
             }
         }
+        (next != SimTime::MAX).then_some(next)
+    }
+
+    /// Processes one batch of events due at the current instant, mirroring
+    /// the old eager loop's order within an instant: charge every due CPU,
+    /// settle them (completion / slice expiry), then fire timers. Timers
+    /// that schedule work at this same instant (zero-delay callbacks) are
+    /// handled before returning.
+    fn process_events_at_now(&mut self) {
+        loop {
+            debug_assert!(self.due_cpus.is_empty() && self.due_timers.is_empty());
+            while let Some((at, _)) = self.calendar.peek() {
+                if at > self.now {
+                    break;
+                }
+                let (_, id, kind) = self.calendar.pop().expect("peeked event");
+                self.due_timers.push((id.seq(), DueTimer::Kind(kind)));
+            }
+            while self.defer_fifo.front().is_some_and(|&(at, _, _)| at <= self.now) {
+                let (_, seq, f) = self.defer_fifo.pop_front().expect("peeked defer");
+                self.due_timers.push((seq, DueTimer::Defer(f)));
+            }
+            // Collect due CPUs by scanning — index order, matching the old
+            // eager loop's visit order, so same-instant interactions (quota
+            // throttles, preemptions during settles) resolve identically.
+            for node in 0..self.nodes.len() {
+                for cpu in 0..self.nodes[node].cpus.len() {
+                    let c = &self.nodes[node].cpus[cpu];
+                    if c.due <= self.now {
+                        self.due_cpus.push((node, cpu, c.gen));
+                    }
+                }
+            }
+            if self.due_cpus.is_empty() && self.due_timers.is_empty() {
+                return;
+            }
+            let mut due_cpus = std::mem::take(&mut self.due_cpus);
+            // Phase 1: charge every due CPU before settling any, so settle
+            // side-effects (wakes, preemptions) observe fully charged
+            // state. A charge can throttle a group and free other due
+            // CPUs; their bumped generation skips them below.
+            for &(node, cpu, gen) in &due_cpus {
+                if self.nodes[node].cpus[cpu].gen == gen {
+                    self.charge_cpu(node, cpu);
+                }
+            }
+            // Phase 2: settle still-valid CPUs and re-arm the survivors.
+            for &(node, cpu, gen) in &due_cpus {
+                if self.nodes[node].cpus[cpu].gen != gen {
+                    continue; // freed by an earlier settle or a throttle
+                }
+                self.settle_cpu(node, cpu);
+                self.rearm_cpu(node, cpu);
+            }
+            due_cpus.clear();
+            self.due_cpus = due_cpus;
+            // Phase 3: timers, in calendar (sequence) order. Calendar pops
+            // and FIFO drains are each already seq-sorted; the sort merges
+            // the two short runs.
+            let mut due_timers = std::mem::take(&mut self.due_timers);
+            due_timers.sort_unstable_by_key(|e| e.0);
+            for (_, t) in due_timers.drain(..) {
+                match t {
+                    DueTimer::Kind(kind) => self.fire_timer(kind),
+                    DueTimer::Defer(f) => f(self),
+                }
+            }
+            self.due_timers = due_timers;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Number of main-loop iterations executed so far, cumulative over
+    /// every `run_*` call. An idle kernel costs exactly one iteration per
+    /// run; each additional iteration corresponds to one processed event
+    /// batch. Useful for regression-testing the event-driven loop.
+    pub fn loop_iterations(&self) -> u64 {
+        self.loop_iters
+    }
+
+    /// A human-readable snapshot of scheduler state: per-node CPU
+    /// occupancy, runqueue depths and contents, and pending event count.
+    /// Intended for debugging and tests; the format is not stable.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel @ {} — {} pending events, {} loop iterations",
+            self.now,
+            self.calendar.len() + self.defer_fifo.len(),
+            self.loop_iters
+        );
+        for n in &self.nodes {
+            let _ = writeln!(
+                out,
+                "node {:?} ({} cpus, {} occupied, {} active, rt queue {})",
+                n.name,
+                n.cpus.len(),
+                n.occupied,
+                n.nr_active,
+                n.rt_queue.len()
+            );
+            for (i, cpu) in n.cpus.iter().enumerate() {
+                match cpu.current {
+                    Some(tid) => {
+                        let t = &self.threads[tid.0 as usize];
+                        let _ = writeln!(
+                            out,
+                            "  cpu{i}: {} ({:?}) slice_end={} gen={}",
+                            t.name, tid, cpu.slice_end, cpu.gen
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  cpu{i}: idle gen={}", cpu.gen);
+                    }
+                }
+            }
+            let root = &self.cgroups[n.root.0 as usize];
+            let _ = writeln!(out, "  rq {:?}: {} ready", root.name, root.rq.len());
+            for &(vr, seq, ent) in root.rq.iter() {
+                let _ = writeln!(out, "    vr={vr} seq={seq} {ent:?}");
+            }
+        }
+        out
     }
 }
 

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 mod body;
+mod calendar;
 mod cgroup;
 mod ids;
 mod kernel;
@@ -44,6 +45,7 @@ mod thread;
 mod time;
 
 pub use body::{Action, FixedWork, SimCtx, ThreadBody};
+pub use calendar::{EventCalendar, EventId};
 pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
 pub use ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
 pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};

@@ -4,8 +4,6 @@
 //! running) child entities — threads and child groups — ordered by virtual
 //! runtime, mirroring the kernel's per-`cfs_rq` red-black tree.
 
-use std::collections::BTreeSet;
-
 use crate::ids::{CgroupId, ThreadId};
 
 /// A schedulable entity: a thread or a whole child cgroup.
@@ -22,54 +20,68 @@ pub enum Entity {
 pub(crate) type RqKey = (u64, u64, Entity);
 
 /// A vruntime-ordered queue of ready entities.
+///
+/// Stored as a Vec sorted in *descending* key order, so the minimum-key
+/// entity sits at the tail: `first`/`pop_first` — the dispatch hot path —
+/// are O(1) with no tree-node allocation churn. Runqueues hold at most a
+/// node's ready entities (typically well under a hundred), where a sorted
+/// Vec beats a B-tree on every operation.
 #[derive(Debug, Default)]
 pub(crate) struct RunQueue {
-    tree: BTreeSet<RqKey>,
+    /// Keys sorted descending; the leftmost (minimum) entity is last.
+    desc: Vec<RqKey>,
 }
 
 impl RunQueue {
     pub fn new() -> Self {
-        RunQueue {
-            tree: BTreeSet::new(),
-        }
+        RunQueue { desc: Vec::new() }
+    }
+
+    /// Position of `key` in the descending order (`Err` = insertion point).
+    fn search(&self, key: &RqKey) -> Result<usize, usize> {
+        self.desc.binary_search_by(|probe| key.cmp(probe))
     }
 
     /// Inserts an entity with the given vruntime and tie-break sequence.
     pub fn insert(&mut self, vruntime: u64, seq: u64, entity: Entity) {
-        let inserted = self.tree.insert((vruntime, seq, entity));
-        debug_assert!(inserted, "entity {entity:?} double-enqueued");
+        match self.search(&(vruntime, seq, entity)) {
+            Ok(_) => debug_assert!(false, "entity {entity:?} double-enqueued"),
+            Err(pos) => self.desc.insert(pos, (vruntime, seq, entity)),
+        }
     }
 
     /// Removes an entity (must be present with exactly this key).
     pub fn remove(&mut self, vruntime: u64, seq: u64, entity: Entity) {
-        let removed = self.tree.remove(&(vruntime, seq, entity));
-        debug_assert!(removed, "entity {entity:?} not in runqueue on remove");
+        match self.search(&(vruntime, seq, entity)) {
+            Ok(pos) => {
+                self.desc.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "entity {entity:?} not in runqueue on remove"),
+        }
     }
 
     /// The leftmost (minimum-vruntime) entity, if any.
     pub fn first(&self) -> Option<RqKey> {
-        self.tree.first().copied()
+        self.desc.last().copied()
     }
 
     /// Removes and returns the leftmost entity.
-    #[cfg(test)]
     pub fn pop_first(&mut self) -> Option<RqKey> {
-        self.tree.pop_first()
+        self.desc.pop()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.desc.is_empty()
     }
 
-    #[allow(dead_code)] // diagnostics
+    /// Number of ready entities directly in this queue.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        self.desc.len()
     }
 
     /// Iterates entities in vruntime order (for diagnostics).
-    #[allow(dead_code)]
     pub fn iter(&self) -> impl Iterator<Item = &RqKey> {
-        self.tree.iter()
+        self.desc.iter().rev()
     }
 }
 

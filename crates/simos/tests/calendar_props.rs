@@ -1,0 +1,128 @@
+//! Property-based tests of the unified event calendar: under arbitrary
+//! interleavings of inserts and cancellations, events pop in nondecreasing
+//! time order, ties break by insertion order (FIFO), and cancelled events
+//! never fire.
+
+use proptest::prelude::*;
+use simos::{EventCalendar, EventId, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever the interleaving of insert / cancel / pop, pops come out
+    /// sorted by (time, insertion seq) and exclude exactly the cancelled
+    /// events. Each op is `(kind, micros, pick)`: kind 0-3 inserts at
+    /// `ZERO + micros` (duplicates likely), kind 4 cancels the pick-th
+    /// live event, kinds 5-6 pop.
+    #[test]
+    fn pops_nondecreasing_under_insert_cancel(
+        ops in collection::vec((0u8..7, 0u64..2_000, 0usize..4096), 1..120),
+    ) {
+        let mut cal: EventCalendar<u64> = EventCalendar::new();
+        let mut live: Vec<(EventId, SimTime, u64)> = Vec::new();
+        let mut cancelled: Vec<u64> = Vec::new();
+        let mut popped: Vec<(SimTime, u64)> = Vec::new();
+        let mut label = 0u64;
+
+        for (kind, micros, pick) in ops {
+            match kind {
+                0..=3 => {
+                    let at = SimTime::ZERO + SimDuration::from_micros(micros);
+                    let id = cal.insert(at, label);
+                    live.push((id, at, label));
+                    label += 1;
+                }
+                4 => {
+                    if !live.is_empty() {
+                        let (id, _, lab) = live.remove(pick % live.len());
+                        cal.cancel(id);
+                        cancelled.push(lab);
+                    }
+                }
+                _ => {
+                    if let Some((at, id, lab)) = cal.pop() {
+                        // The model agrees this event is live, due at `at`,
+                        // earliest-due, and earliest-inserted among ties.
+                        let pos = live
+                            .iter()
+                            .position(|&(_, _, l)| l == lab)
+                            .expect("popped event is live in the model");
+                        prop_assert_eq!(live[pos].1, at);
+                        let min_at = live.iter().map(|&(_, t, _)| t).min().unwrap();
+                        prop_assert_eq!(at, min_at, "pop must return the earliest due time");
+                        let first_at_min = live
+                            .iter()
+                            .filter(|&&(_, t, _)| t == min_at)
+                            .map(|&(i, _, _)| i.seq())
+                            .min()
+                            .unwrap();
+                        prop_assert_eq!(
+                            id.seq(),
+                            first_at_min,
+                            "ties must break FIFO by insertion order"
+                        );
+                        live.remove(pos);
+                        popped.push((at, lab));
+                    } else {
+                        prop_assert!(live.is_empty(), "empty pop with live events pending");
+                    }
+                }
+            }
+        }
+
+        // Drain the rest. With no more inserts interleaved, the drain
+        // must be nondecreasing in time (the kernel's situation: it never
+        // inserts in the past, so its pops never go backwards).
+        let drain_from = popped.len();
+        while let Some((at, _, lab)) = cal.pop() {
+            popped.push((at, lab));
+        }
+        for pair in popped[drain_from..].windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "pops went back in time: {:?}", pair);
+        }
+        for &(_, lab) in &popped {
+            prop_assert!(!cancelled.contains(&lab), "cancelled event {} fired", lab);
+        }
+        // Everything not cancelled was eventually popped.
+        prop_assert_eq!(popped.len() as u64, label - cancelled.len() as u64);
+    }
+
+    /// `peek` never disagrees with the following `pop`, even with
+    /// cancellations pending lazily inside the heap.
+    #[test]
+    fn peek_matches_pop(
+        times in collection::vec(0u64..500, 1..60),
+        cancels in collection::vec(0usize..4096, 0..20),
+    ) {
+        let mut cal: EventCalendar<usize> = EventCalendar::new();
+        let ids: Vec<EventId> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| cal.insert(SimTime::ZERO + SimDuration::from_micros(t), i))
+            .collect();
+        let mut gone = Vec::new();
+        for c in cancels {
+            let id = ids[c % ids.len()];
+            if !gone.contains(&id.seq()) {
+                cal.cancel(id);
+                gone.push(id.seq());
+            }
+        }
+        loop {
+            let peeked = cal.peek().map(|(at, &p)| (at, p));
+            match (peeked, cal.pop()) {
+                (Some((at, payload)), Some((pat, _, ppayload))) => {
+                    prop_assert_eq!(at, pat);
+                    prop_assert_eq!(payload, ppayload);
+                }
+                (None, None) => break,
+                (peeked, popped) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "peek {peeked:?} disagrees with pop {popped:?}"
+                    )));
+                }
+            }
+        }
+        prop_assert_eq!(cal.len(), 0);
+    }
+}

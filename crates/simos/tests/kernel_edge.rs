@@ -227,3 +227,40 @@ fn fault_hook_sees_sim_time() {
     k.run_for(SimDuration::from_millis(6));
     k.set_nice(t, Nice::new(3).unwrap()).expect("after window");
 }
+
+#[test]
+fn idle_kernel_costs_one_loop_iteration_per_run() {
+    // The event-driven main loop must not busy-spin through simulated
+    // time: with nothing scheduled, an hour of simulation is a single
+    // iteration that jumps straight to the deadline.
+    let mut k = Kernel::default();
+    k.add_node("n", 4); // idle CPUs must not generate events either
+    k.run_for(SimDuration::from_secs(3_600));
+    assert_eq!(k.loop_iterations(), 1);
+    k.run_for(SimDuration::from_secs(3_600));
+    assert_eq!(k.loop_iterations(), 2);
+}
+
+#[test]
+fn loop_iterations_match_event_batches() {
+    // Ten one-shot timers at distinct instants: one iteration per event
+    // batch plus the final idle iteration that hits the deadline. A
+    // redundant tail iteration (the old `run_until` bug) would add one.
+    let mut k = Kernel::default();
+    for i in 1..=10u64 {
+        k.schedule_once(SimDuration::from_millis(i), |_| {});
+    }
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(k.loop_iterations(), 11);
+}
+
+#[test]
+fn same_instant_timers_are_one_batch() {
+    // Timers due at the same instant fire in one batch => one iteration.
+    let mut k = Kernel::default();
+    for _ in 0..10 {
+        k.schedule_once(SimDuration::from_millis(5), |_| {});
+    }
+    k.run_for(SimDuration::from_secs(1));
+    assert_eq!(k.loop_iterations(), 2);
+}

@@ -127,34 +127,22 @@ impl BacklogPenalty {
 /// more than `cap` tuples, briefly sleeping instead (the spout wait
 /// strategy). This is what makes ingress throughput *plateau* at the
 /// saturation point in the paper's Storm experiments (§6.1).
-#[derive(Clone)]
+///
+/// The backlog is a counter every internal queue contributes to (see
+/// [`Queue::track_backlog`]), so the check ingress operators run before
+/// every single tuple is O(1) instead of a scan over all queues.
+#[derive(Debug, Clone)]
 pub struct Throttle {
-    /// The query's internal (non-ingress) queues.
-    pub queues: Rc<Vec<Queue>>,
+    /// Total tuples currently in the query's internal (non-ingress) queues.
+    pub pending: Rc<std::cell::Cell<u64>>,
     /// Maximum total internal backlog before the spout pauses.
     pub cap: usize,
-}
-
-impl std::fmt::Debug for Throttle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Throttle")
-            .field("queues", &self.queues.len())
-            .field("cap", &self.cap)
-            .finish()
-    }
 }
 
 impl Throttle {
     /// Whether the spout must pause right now.
     pub fn saturated(&self) -> bool {
-        let mut total = 0;
-        for q in self.queues.iter() {
-            total += q.len();
-            if total > self.cap {
-                return true;
-            }
-        }
-        false
+        self.pending.get() > self.cap as u64
     }
 }
 
@@ -227,6 +215,12 @@ struct OpInner {
     /// Scratch buffers reused across stage invocations.
     scratch_a: Vec<(u16, Tuple)>,
     scratch_b: Vec<(u16, Tuple)>,
+    /// Emission buffer recycled across every stage invocation.
+    emit_buf: Vec<(u16, Tuple)>,
+    /// Output vectors recycled between work items: `begin` draws from the
+    /// pool, delivery returns the emptied vector. Bounded so a burst of
+    /// stalled items cannot hoard memory.
+    out_pool: Vec<Vec<(u16, Tuple)>>,
 }
 
 /// A physical operator's runtime state; shared via [`OpCellRef`].
@@ -313,6 +307,8 @@ impl OpCell {
                 thread: None,
                 scratch_a: Vec::new(),
                 scratch_b: Vec::new(),
+                emit_buf: Vec::new(),
+                out_pool: Vec::new(),
             }),
         })
     }
@@ -463,22 +459,27 @@ impl OpCell {
         for (k, stage) in inner.stages.iter_mut().enumerate() {
             next.clear();
             for (_, t) in current.drain(..) {
-                let mut emitter = Emitter::new(ctx.now());
+                let mut emitter =
+                    Emitter::with_buffer(ctx.now(), std::mem::take(&mut inner.emit_buf));
                 stage.logic.process(&t, &mut emitter);
-                let outs = emitter.into_outputs();
+                let mut outs = emitter.into_outputs();
                 cost += stage.cost.cost(outs.len());
                 if k + 1 < n_stages {
                     // Internal hand-off: only port 0 continues the chain.
-                    next.extend(outs.into_iter().filter(|(p, _)| *p == 0));
+                    next.extend(outs.drain(..).filter(|(p, _)| *p == 0));
                 } else {
-                    next.extend(outs);
+                    next.append(&mut outs);
                 }
+                inner.emit_buf = outs;
             }
             std::mem::swap(&mut current, &mut next);
         }
-        let outputs: Vec<(u16, Tuple)> = std::mem::take(&mut current);
-        inner.scratch_a = current;
-        inner.scratch_b = next;
+        // `current` holds the tail outputs and travels with the work item
+        // (it returns through the recycling pool once delivered); `next` is
+        // an emptied scratch again.
+        let outputs = current;
+        inner.scratch_a = next;
+        inner.scratch_b = inner.out_pool.pop().unwrap_or_default();
         inner.counters.tuples_out += outputs.len() as u64;
         if !self.is_ingress {
             if let Some(penalty) = self.backlog_penalty {
@@ -523,6 +524,7 @@ impl OpCell {
 
     fn deliver(&self, ctx: &mut SimCtx, mut item: WorkItem) -> FinishOutcome {
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         while item.out_idx < item.outputs.len() {
             let port = item.outputs[item.out_idx].0;
             let n_edges = inner.out_edges.len();
@@ -534,51 +536,66 @@ impl OpCell {
                         continue;
                     }
                 }
-                let target = {
+                let target_idx = {
                     let tuple = &item.outputs[item.out_idx].1;
-                    let edge = &mut inner.out_edges[item.edge_idx];
-                    let target_idx = edge.route(tuple);
-                    edge.targets[target_idx].clone()
+                    inner.out_edges[item.edge_idx].route(tuple)
                 };
-                let tuple = item.outputs[item.out_idx].1.clone();
-                if target.node() == self.node {
-                    match target.push(tuple) {
-                        PushOutcome::Pushed(was_empty) => {
-                            if was_empty {
-                                ctx.wake(target.consumer_wait());
-                            }
-                        }
-                        PushOutcome::Full => {
-                            drop(inner);
-                            return FinishOutcome::Stalled {
-                                wait: target.producer_wait(),
-                                item,
-                            };
-                        }
-                    }
+                let target = &inner.out_edges[item.edge_idx].targets[target_idx];
+                let remote = target.node() != self.node;
+                // Admission first (local room check, or a reserved slot for
+                // credit-based cross-node flow control): a stall then never
+                // needs to clone or recover a consumed tuple.
+                let admitted = if remote {
+                    target.reserve()
                 } else {
-                    // Cross-node transfer: reserve a slot now (credit-based
-                    // flow control), deliver after the network delay.
-                    if !target.reserve() {
-                        drop(inner);
-                        return FinishOutcome::Stalled {
-                            wait: target.producer_wait(),
-                            item,
-                        };
-                    }
+                    target.has_room()
+                };
+                if !admitted {
+                    let wait = target.producer_wait();
+                    return FinishOutcome::Stalled { wait, item };
+                }
+                // The last edge consuming this output takes the tuple by
+                // move; only fan-out across several edges pays clones.
+                let is_last = !inner.out_edges[item.edge_idx + 1..]
+                    .iter()
+                    .any(|e| e.port == port && !e.targets.is_empty());
+                let tuple = if is_last {
+                    std::mem::replace(
+                        &mut item.outputs[item.out_idx].1,
+                        Tuple::new(SimTime::ZERO, 0, Vec::new()),
+                    )
+                } else {
+                    item.outputs[item.out_idx].1.clone()
+                };
+                if remote {
+                    // Deliver after the network delay.
                     let q = target.clone();
                     ctx.defer(self.net_delay, move |k| {
                         if q.push_reserved(tuple) {
                             k.wake(q.consumer_wait());
                         }
                     });
+                } else {
+                    match target.push(tuple) {
+                        PushOutcome::Pushed(was_empty) => {
+                            if was_empty {
+                                ctx.wake(target.consumer_wait());
+                            }
+                        }
+                        PushOutcome::Full => unreachable!("admission checked above"),
+                    }
                 }
                 item.edge_idx += 1;
             }
             item.out_idx += 1;
             item.edge_idx = 0;
         }
-        drop(inner);
+        // Recycle the outputs vector for future work items.
+        let mut buf = std::mem::take(&mut item.outputs);
+        buf.clear();
+        if inner.out_pool.len() < 8 {
+            inner.out_pool.push(buf);
+        }
         if let Some(sink) = &self.sink {
             sink.borrow_mut()
                 .record(ctx.now(), item.input_event, item.input_ingress);

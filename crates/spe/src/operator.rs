@@ -33,6 +33,14 @@ impl Emitter {
         }
     }
 
+    /// Creates an emitter backed by a recycled buffer (cleared first). The
+    /// engine hands each stage invocation the same buffer so the per-tuple
+    /// hot path does not allocate.
+    pub fn with_buffer(now: SimTime, mut buf: Vec<(u16, Tuple)>) -> Self {
+        buf.clear();
+        Emitter { now, buf }
+    }
+
     /// The current simulated instant.
     pub fn now(&self) -> SimTime {
         self.now

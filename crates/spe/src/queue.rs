@@ -10,7 +10,7 @@
 //! synchronously and deliver the tuple after a network delay, mimicking
 //! credit-based flow control across nodes.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -29,6 +29,9 @@ struct QueueInner {
     peak: usize,
     consumer_wait: WaitId,
     producer_wait: WaitId,
+    /// Shared backlog counter this queue contributes its length to (spout
+    /// flow control tracks the query's total internal backlog in O(1)).
+    backlog: Option<Rc<Cell<u64>>>,
 }
 
 /// A shared handle to an operator input queue.
@@ -65,6 +68,7 @@ impl Queue {
                 peak: 0,
                 consumer_wait: kernel.new_wait_channel(),
                 producer_wait: kernel.new_wait_channel(),
+                backlog: None,
             })),
             name: Rc::from(name),
             node,
@@ -98,6 +102,22 @@ impl Queue {
         self.inner.borrow_mut().consumer_wait = channel;
     }
 
+    /// Contributes this queue's length to a shared backlog counter from now
+    /// on. The counter starts accounting at the queue's current length.
+    pub fn track_backlog(&self, counter: Rc<Cell<u64>>) {
+        let mut q = self.inner.borrow_mut();
+        counter.set(counter.get() + q.deque.len() as u64);
+        q.backlog = Some(counter);
+    }
+
+    /// Whether a push would currently succeed. Always true for unbounded
+    /// queues; single-threaded simulation means the answer cannot change
+    /// between this check and the push it guards.
+    pub fn has_room(&self) -> bool {
+        let q = self.inner.borrow();
+        q.capacity.is_none_or(|cap| q.deque.len() + q.reserved < cap)
+    }
+
     /// Attempts to enqueue a tuple.
     pub fn push(&self, tuple: Tuple) -> PushOutcome {
         let mut q = self.inner.borrow_mut();
@@ -112,6 +132,9 @@ impl Queue {
         let len = q.deque.len();
         if len > q.peak {
             q.peak = len;
+        }
+        if let Some(c) = &q.backlog {
+            c.set(c.get() + 1);
         }
         PushOutcome::Pushed(was_empty)
     }
@@ -147,6 +170,9 @@ impl Queue {
         if len > q.peak {
             q.peak = len;
         }
+        if let Some(c) = &q.backlog {
+            c.set(c.get() + 1);
+        }
         was_empty
     }
 
@@ -159,6 +185,9 @@ impl Queue {
             .is_some_and(|cap| q.deque.len() + q.reserved >= cap);
         let t = q.deque.pop_front()?;
         q.popped += 1;
+        if let Some(c) = &q.backlog {
+            c.set(c.get() - 1);
+        }
         Some((t, was_full))
     }
 

@@ -502,20 +502,19 @@ pub fn deploy(
         .collect();
 
     // Spout flow control: ingress ops pause while internal queues exceed
-    // the pending cap.
+    // the pending cap. Every internal queue feeds one shared backlog
+    // counter so the per-tuple spout check is O(1).
     if let Some(cap) = config.max_pending {
-        let internal: Rc<Vec<Queue>> = Rc::new(
-            phys.ops
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.is_ingress)
-                .map(|(i, _)| queues[i].clone())
-                .collect(),
-        );
+        let pending = Rc::new(std::cell::Cell::new(0u64));
+        for (i, spec) in phys.ops.iter().enumerate() {
+            if !spec.is_ingress {
+                queues[i].track_backlog(Rc::clone(&pending));
+            }
+        }
         for (i, spec) in phys.ops.iter().enumerate() {
             if spec.is_ingress {
                 cells[i].set_throttle(crate::opcell::Throttle {
-                    queues: Rc::clone(&internal),
+                    pending: Rc::clone(&pending),
                     cap,
                 });
             }
