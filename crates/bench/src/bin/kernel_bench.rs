@@ -30,12 +30,14 @@ struct Opts {
     rate: f64,
     check: Option<String>,
     write: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: kernel_bench [--sim-secs N] [--parallelism P] [--rate R]\n\
-         \u{20}                   [--check BASELINE.json] [--write OUT.json]"
+         \u{20}                   [--check BASELINE.json] [--write OUT.json]\n\
+         \u{20}                   [--trace TRACE.json]"
     );
     std::process::exit(2)
 }
@@ -48,6 +50,7 @@ fn parse_args() -> Opts {
         rate: 0.0,
         check: None,
         write: None,
+        trace: None,
     };
     // Every flag takes exactly one value.
     let mut i = 0;
@@ -59,6 +62,7 @@ fn parse_args() -> Opts {
             "--rate" => opts.rate = value.parse().unwrap_or_else(|_| usage()),
             "--check" => opts.check = Some(value),
             "--write" => opts.write = Some(value),
+            "--trace" => opts.trace = Some(value),
             _ => usage(),
         }
         i += 2;
@@ -99,6 +103,16 @@ fn main() -> ExitCode {
     // Warm up: fill queues and reach steady state before timing.
     kernel.run_for(SimDuration::from_secs(1));
 
+    // Tracing is installed after warm-up so the trace covers exactly the
+    // timed region. Note the reported sim-s/wall-s then includes tracing
+    // overhead — the CI regression gate runs without `--trace`, which is
+    // what proves the zero-cost-when-off claim. Ring-bounded so long runs
+    // keep a fixed memory footprint (oldest records are dropped).
+    let trace_handle = opts
+        .trace
+        .as_ref()
+        .map(|_| kernel.install_tracing(Some(2_000_000)));
+
     let start = Instant::now();
     kernel.run_for(SimDuration::from_secs(opts.sim_secs));
     let wall = start.elapsed().as_secs_f64();
@@ -120,6 +134,18 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.write {
         std::fs::write(path, report.pretty()).expect("write report");
         eprintln!("kernel_bench: wrote {path}");
+    }
+
+    if let (Some(path), Some(handle)) = (&opts.trace, &trace_handle) {
+        let dump = bench::trace::capture(&kernel, handle, "kernel_bench: lr-scale-out");
+        let json = bench::trace::export_chrome(std::slice::from_ref(&dump)).compact();
+        if let Err(e) = bench::trace::validate_chrome(&json) {
+            eprintln!("kernel_bench: trace failed shape validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(path, json).expect("write trace");
+        eprint!("{}", bench::trace::summarize(std::slice::from_ref(&dump)));
+        eprintln!("kernel_bench: wrote {path} (open in https://ui.perfetto.dev)");
     }
 
     if let Some(path) = &opts.check {

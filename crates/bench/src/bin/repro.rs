@@ -24,9 +24,13 @@ const ALL: [&str; 15] = [
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment...|all> [--quick] [--reps N] [--out DIR] [--jobs N]\n\
+         \u{20}            [--trace FILE.json] [--trace-ring N]\n\
          experiments: {} render\n\
          (fig5/fig7 also emit fig6/fig8; fig9-12 emit the fig13 panels;\n\
-          `render` redraws SVG charts from JSON already in --out)",
+          `render` redraws SVG charts from JSON already in --out;\n\
+          `--trace` runs one traced representative trial per experiment and\n\
+          writes Perfetto-openable Chrome trace_event JSON plus a text\n\
+          summary; `--trace-ring` bounds the trace to the last N records)",
         ALL.join(" ")
     );
     std::process::exit(2)
@@ -73,6 +77,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<String> = Vec::new();
     let mut opts = ExpOptions::default();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_ring: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -92,6 +98,15 @@ fn main() -> ExitCode {
                 i += 1;
                 opts.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--trace-ring" => {
+                i += 1;
+                trace_ring =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if other.starts_with('-') => usage(),
             other => experiments.push(other.to_owned()),
@@ -103,6 +118,35 @@ fn main() -> ExitCode {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    // `--trace`: run one traced representative trial per experiment id and
+    // export everything into one Chrome trace file. Self-validates the
+    // JSON shape and the summary's finiteness so CI can gate on the exit
+    // code alone.
+    if let Some(path) = &trace_out {
+        if let Some(bad) = experiments.iter().find(|e| !ALL.contains(&e.as_str())) {
+            eprintln!("error: unknown experiment id '{bad}'");
+            usage();
+        }
+        let mut dumps = Vec::new();
+        for id in &experiments {
+            eprintln!(">> tracing {id} (quick={}, ring={trace_ring:?})", opts.quick);
+            dumps.extend(bench::trace::traced_experiment(id, &opts, trace_ring));
+        }
+        let json = bench::trace::export_chrome(&dumps).compact();
+        if let Err(e) = bench::trace::validate_chrome(&json) {
+            eprintln!("error: trace failed shape validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        let summary = bench::trace::summarize(&dumps);
+        if let Err(e) = bench::trace::validate_summary(&summary) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(path, &json).expect("write trace");
+        println!("{summary}");
+        eprintln!("wrote {} (open in https://ui.perfetto.dev)", path.display());
+        return ExitCode::SUCCESS;
     }
     // `render` re-draws SVG charts from previously saved JSON results.
     if experiments.iter().any(|e| e == "render") {

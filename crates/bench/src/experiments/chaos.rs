@@ -53,8 +53,20 @@ fn chaos_plan(cfg: &RunConfig, seed: u64) -> FaultPlan {
 /// plan wired into both the driver (metric faults) and the kernel
 /// (apply faults).
 fn run_faulted_point(rate: f64, seed: u64, cfg: RunConfig) -> (Measured, ChaosStats) {
+    let (m, s, _) = run_faulted_point_inner(rate, seed, cfg, None);
+    (m, s)
+}
+
+fn run_faulted_point_inner(
+    rate: f64,
+    seed: u64,
+    cfg: RunConfig,
+    trace: Option<crate::schedulers::TraceOpts>,
+) -> (Measured, ChaosStats, Option<crate::trace::TraceDump>) {
     let mut kernel = Kernel::new(machines::odroid_config());
     let node = machines::add_odroid(&mut kernel, "odroid");
+    // Install before deploy so operator bodies emit batch spans too.
+    let handle = trace.as_ref().map(|t| kernel.install_tracing(t.ring));
     let store = new_store();
     let mut config = EngineConfig::storm();
     config.seed = seed;
@@ -86,8 +98,14 @@ fn run_faulted_point(rate: f64, seed: u64, cfg: RunConfig) -> (Measured, ChaosSt
         .build();
     let log = lachesis.fault_log();
     lachesis.start(&mut kernel);
+    if let Some(h) = &handle {
+        crate::trace::install_counter_samplers(&mut kernel, h);
+    }
 
     let (m, _) = run_trial(&mut kernel, &[node], &[query], &cfg);
+    let dump = trace.map(|t| {
+        crate::trace::capture(&kernel, handle.as_ref().expect("handle installed"), &t.label)
+    });
     let log = log.borrow();
     let stats = ChaosStats {
         fetch_errors: log.error_count("metric_fetch"),
@@ -101,7 +119,30 @@ fn run_faulted_point(rate: f64, seed: u64, cfg: RunConfig) -> (Measured, ChaosSt
             .map(|d| d.as_nanos() as f64 / 1e9)
             .fold(0.0, f64::max),
     };
-    (m, stats)
+    (m, stats, dump)
+}
+
+/// Traced chaos trials for `repro figc1 --trace`: one faulted
+/// LACHESIS-QS run per repetition, through the worker pool (folded back
+/// in input order, so the trace artifact is byte-identical for any
+/// `--jobs`). These runs contain the full supervisor health timeline —
+/// engage, degrade, fallback, recover — as first-class trace events.
+pub fn trace_figc1(opts: &ExpOptions, ring: Option<usize>) -> Vec<crate::trace::TraceDump> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let rate = 1500.0;
+    let seeds: Vec<u64> = (0..opts.reps.max(1) as u64).map(|r| 1 + r).collect();
+    crate::pool::parallel_map(opts.jobs, seeds, move |seed| {
+        let trace = crate::schedulers::TraceOpts {
+            ring,
+            label: format!("figc1: ETL@{rate} faulted seed={seed}"),
+        };
+        let (_, _, dump) = run_faulted_point_inner(rate, seed, cfg, Some(trace));
+        dump.expect("traced run produces a dump")
+    })
 }
 
 /// Runs the chaos experiment and returns its figure.

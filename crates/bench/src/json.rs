@@ -72,6 +72,46 @@ impl Json {
         out
     }
 
+    /// Prints without any whitespace. Used for large machine-read
+    /// documents (trace exports run to hundreds of thousands of events,
+    /// where indentation would triple the file size).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -261,12 +301,19 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences included).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| format!("invalid utf-8 at byte {pos}"))?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run up to the next quote or escape in
+                // one step. Validating per-character with `from_utf8` on
+                // the full remaining input is O(document) per character —
+                // quadratic on large documents such as traces.
+                let start = *pos;
+                let mut end = *pos;
+                while end < bytes.len() && bytes[end] != b'"' && bytes[end] != b'\\' {
+                    end += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..end])
+                    .map_err(|_| format!("invalid utf-8 at byte {start}"))?;
+                out.push_str(run);
+                *pos = end;
             }
         }
     }
@@ -331,6 +378,31 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: string parsing must consume plain runs in one step.
+    /// The old per-character path re-validated the entire remaining
+    /// document for every character, which made parsing large documents
+    /// (e.g. exported traces) quadratic — this test would hang for
+    /// minutes under that implementation.
+    #[test]
+    fn parses_large_string_heavy_documents_in_linear_time() {
+        let long = "x".repeat(50_000);
+        let v = Json::Arr(
+            (0..20)
+                .map(|i| {
+                    Json::obj(vec![
+                        ("name", Json::Str(format!("thread-{i} {long} µs→ns"))),
+                        ("n", Json::Num(i as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let text = v.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        let back = Json::parse(&v.compact()).unwrap();
+        assert_eq!(back, v);
+    }
 
     #[test]
     fn round_trips_nested_structures() {

@@ -13,6 +13,7 @@ pub mod pool;
 pub mod report;
 pub mod schedulers;
 pub mod svg;
+pub mod trace;
 
 /// Experiment groups, one per paper section.
 pub mod experiments {

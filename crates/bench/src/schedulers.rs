@@ -213,11 +213,44 @@ pub fn attach_random(
         .start(kernel);
 }
 
+/// Tracing options for [`run_traced_point`].
+#[derive(Debug, Clone)]
+pub struct TraceOpts {
+    /// Ring-buffer capacity; `None` keeps every record.
+    pub ring: Option<usize>,
+    /// Label for the dump (summary header, Perfetto process names).
+    pub label: String,
+}
+
 /// Runs one (scheduler, rate) point on one Odroid-class node and returns
 /// the measurements.
 pub fn run_point(spec: PointSpec) -> (Measured, Distributions) {
+    let (m, d, _) = run_point_inner(spec, None);
+    (m, d)
+}
+
+/// Like [`run_point`] but with sim-time tracing installed across all
+/// layers (kernel switches, operator batch spans, middleware rounds) and
+/// the per-node utilization/runqueue counter samplers running. Returns
+/// the captured [`TraceDump`](crate::trace::TraceDump) alongside the
+/// measurements (which may differ slightly from an untraced run: the
+/// samplers add kernel callbacks).
+pub fn run_traced_point(
+    spec: PointSpec,
+    trace: TraceOpts,
+) -> (Measured, Distributions, crate::trace::TraceDump) {
+    let (m, d, dump) = run_point_inner(spec, Some(trace));
+    (m, d, dump.expect("traced run produces a dump"))
+}
+
+fn run_point_inner(
+    spec: PointSpec,
+    trace: Option<TraceOpts>,
+) -> (Measured, Distributions, Option<crate::trace::TraceDump>) {
     let mut kernel = Kernel::new(machines::odroid_config());
     let node = machines::add_odroid(&mut kernel, "odroid");
+    // The sink must exist before `deploy` so operator bodies pick it up.
+    let handle = trace.as_ref().map(|t| kernel.install_tracing(t.ring));
     let store = new_store();
     let graph = (spec.graph)(spec.rate, spec.seed);
 
@@ -265,5 +298,12 @@ pub fn run_point(spec: PointSpec) -> (Measured, Distributions) {
         ),
     }
 
-    run_trial(&mut kernel, &[node], &[query], &spec.cfg)
+    if let Some(h) = &handle {
+        crate::trace::install_counter_samplers(&mut kernel, h);
+    }
+    let (m, d) = run_trial(&mut kernel, &[node], &[query], &spec.cfg);
+    let dump = trace.map(|t| {
+        crate::trace::capture(&kernel, handle.as_ref().expect("handle installed"), &t.label)
+    });
+    (m, d, dump)
 }

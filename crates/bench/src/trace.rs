@@ -1,0 +1,750 @@
+//! Trace capture and export: Chrome `trace_event` JSON (openable in
+//! Perfetto or `chrome://tracing`) plus a compact text summary.
+//!
+//! The simulation layers emit [`TraceRecord`]s into a shared
+//! `simos::TraceBuffer`; this module snapshots the buffer together with
+//! the id → name tables needed to render it ([`TraceDump`]), and turns
+//! dumps into the two export formats. Dumps are plain data (`Send`), so
+//! traced trials can run through [`crate::pool::parallel_map`] and still
+//! fold back in input order — trace artifacts are byte-identical for any
+//! `--jobs` value, like every other emitted artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use simos::{CallbackId, Kernel, NodeId, SimDuration, TraceEvent, TraceHandle, TraceRecord, TraceTrack};
+use spe::Counter;
+
+use crate::harness::{GoalKind, RunConfig};
+use crate::json::Json;
+use crate::schedulers::{run_traced_point, PointSpec, PolicyChoice, Sched, TraceOpts, TranslatorChoice};
+use crate::ExpOptions;
+
+/// One thread's identity in a [`TraceDump`].
+#[derive(Debug, Clone)]
+pub struct ThreadMeta {
+    /// Raw thread id (matches `ThreadId::as_u64`).
+    pub tid: u64,
+    /// Thread name at capture time.
+    pub name: String,
+    /// Index of the node the thread runs on.
+    pub node: u64,
+}
+
+/// One node's identity in a [`TraceDump`].
+#[derive(Debug, Clone)]
+pub struct NodeMeta {
+    /// Node index.
+    pub index: u64,
+    /// Node name.
+    pub name: String,
+    /// Number of CPUs.
+    pub cpus: usize,
+}
+
+/// A drained trace plus the name tables needed to render it. Contains no
+/// `Rc`/`RefCell`, so it can cross the worker-pool boundary.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// Human-readable label (summary headers, Perfetto process names).
+    pub label: String,
+    /// Every thread ever spawned on the kernel.
+    pub threads: Vec<ThreadMeta>,
+    /// Every node of the kernel.
+    pub nodes: Vec<NodeMeta>,
+    /// The drained records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records evicted by ring mode before capture.
+    pub dropped: u64,
+}
+
+/// Snapshots the kernel's name tables and drains the trace buffer into a
+/// renderable [`TraceDump`].
+pub fn capture(kernel: &Kernel, handle: &TraceHandle, label: &str) -> TraceDump {
+    let threads = kernel
+        .thread_ids()
+        .filter_map(|tid| kernel.thread_info(tid).ok())
+        .map(|info| ThreadMeta {
+            tid: info.id.as_u64(),
+            name: info.name,
+            node: info.node.as_u64(),
+        })
+        .collect();
+    let nodes = (0..kernel.node_count())
+        .filter_map(|i| {
+            let stats = kernel.node_stats(NodeId::from_u64(i as u64)).ok()?;
+            Some(NodeMeta {
+                index: i as u64,
+                name: stats.name,
+                cpus: stats.cpus,
+            })
+        })
+        .collect();
+    let mut buf = handle.borrow_mut();
+    TraceDump {
+        label: label.to_owned(),
+        threads,
+        nodes,
+        records: buf.drain(),
+        dropped: buf.dropped(),
+    }
+}
+
+/// Sampling period of [`install_counter_samplers`].
+const SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(500);
+
+/// Installs a periodic activity that samples per-node CPU utilization
+/// (via [`Counter::rate_since`] over cumulative busy nanoseconds) and
+/// runqueue depth, emitting `Counter` trace events every 500 ms of sim
+/// time. Returns the callback id so callers can cancel the sampler.
+pub fn install_counter_samplers(kernel: &mut Kernel, handle: &TraceHandle) -> CallbackId {
+    let nodes: Vec<NodeId> = (0..kernel.node_count())
+        .map(|i| NodeId::from_u64(i as u64))
+        .collect();
+    let handle = Rc::clone(handle);
+    let mut busy: Vec<(Counter, u64)> = nodes.iter().map(|_| (Counter::new(), 0)).collect();
+    kernel.schedule_periodic(SAMPLE_PERIOD, SAMPLE_PERIOD, move |k| {
+        for (i, &node) in nodes.iter().enumerate() {
+            let Ok(per_cpu) = k.cpu_busy(node) else {
+                continue;
+            };
+            let cpus = per_cpu.len().max(1);
+            let total: u64 = per_cpu.iter().map(|d| d.as_nanos()).sum();
+            let (counter, prev) = &mut busy[i];
+            counter.add(total.saturating_sub(counter.total()));
+            // busy-ns per second, spread over the CPUs → fraction in [0, 1].
+            let util = counter.rate_since(*prev, SAMPLE_PERIOD) / 1e9 / cpus as f64;
+            *prev = counter.total();
+            let depth = k.runqueue_depth(node).unwrap_or(0);
+            let mut buf = handle.borrow_mut();
+            buf.push(
+                k.now(),
+                TraceEvent::Counter {
+                    track: TraceTrack::Node(node.as_u64()),
+                    name: "cpu_util",
+                    value: util,
+                },
+            );
+            buf.push(
+                k.now(),
+                TraceEvent::Counter {
+                    track: TraceTrack::Node(node.as_u64()),
+                    name: "rq_depth",
+                    value: depth as f64,
+                },
+            );
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------
+
+/// Each dump claims a block of `pid`s so several trials can share one
+/// trace file side by side.
+const PID_STRIDE: u64 = 10;
+/// CPU lane `tid`s are `node * CPU_LANE_STRIDE + cpu`.
+const CPU_LANE_STRIDE: u64 = 64;
+
+/// The three process lanes of one dump: CPUs, operator threads, Lachesis.
+fn pids(dump_idx: u64) -> (u64, u64, u64) {
+    let base = dump_idx * PID_STRIDE;
+    (base + 1, base + 2, base + 3)
+}
+
+/// One contiguous occupancy of a CPU by a thread, synthesized from
+/// `Switch`/`Block`/`Preempt`/`SliceExpire` events. Back-to-back
+/// re-dispatches of the same thread are merged into one slice.
+struct Slice {
+    node: u64,
+    cpu: usize,
+    tid: u64,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+fn cpu_slices(dump: &TraceDump) -> Vec<Slice> {
+    let mut open: BTreeMap<(u64, usize), (u64, u64)> = BTreeMap::new();
+    let mut slices = Vec::new();
+    let mut last_ts = 0u64;
+    for rec in &dump.records {
+        let ts = rec.at.as_nanos();
+        last_ts = last_ts.max(ts);
+        match &rec.event {
+            TraceEvent::Switch {
+                node, cpu, next, ..
+            } => {
+                let key = (*node, *cpu);
+                let next = next.as_u64();
+                match open.get(&key) {
+                    // Same thread re-dispatched: extend the open slice.
+                    Some(&(_, cur)) if cur == next => {}
+                    Some(&(start, cur)) => {
+                        slices.push(Slice {
+                            node: key.0,
+                            cpu: key.1,
+                            tid: cur,
+                            start_ns: start,
+                            end_ns: ts,
+                        });
+                        open.insert(key, (ts, next));
+                    }
+                    None => {
+                        open.insert(key, (ts, next));
+                    }
+                }
+            }
+            TraceEvent::Block { node, cpu, tid, .. }
+            | TraceEvent::Preempt { node, cpu, tid }
+            | TraceEvent::SliceExpire { node, cpu, tid } => {
+                let key = (*node, *cpu);
+                if let Some(&(start, cur)) = open.get(&key) {
+                    if cur == tid.as_u64() {
+                        slices.push(Slice {
+                            node: key.0,
+                            cpu: key.1,
+                            tid: cur,
+                            start_ns: start,
+                            end_ns: ts,
+                        });
+                        open.remove(&key);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Close whatever is still running at the end of the trace.
+    for ((node, cpu), (start, tid)) in open {
+        slices.push(Slice {
+            node,
+            cpu,
+            tid,
+            start_ns: start,
+            end_ns: last_ts.max(start),
+        });
+    }
+    slices
+}
+
+fn meta_event(kind: &str, pid: u64, tid: u64, name: &str) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(kind.into())),
+        ("ph", Json::Str("M".into())),
+        ("ts", Json::Num(0.0)),
+        ("pid", Json::Num(pid as f64)),
+        ("tid", Json::Num(tid as f64)),
+        ("args", Json::obj(vec![("name", Json::Str(name.into()))])),
+    ])
+}
+
+fn num_args(args: &[(&'static str, f64)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|&(k, v)| (k.to_owned(), Json::Num(v)))
+            .collect(),
+    )
+}
+
+/// A `B`/`E`/`i` event; instants carry thread scope (`"s": "t"`).
+fn phase_event(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    ts_ns: u64,
+    pid: u64,
+    tid: u64,
+    args: &[(&'static str, f64)],
+) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(name.into())),
+        ("cat", Json::Str(cat.into())),
+        ("ph", Json::Str(ph.into())),
+        ("ts", Json::Num(ts_ns as f64 / 1e3)),
+        ("pid", Json::Num(pid as f64)),
+        ("tid", Json::Num(tid as f64)),
+    ];
+    if ph == "i" {
+        pairs.push(("s", Json::Str("t".into())));
+    }
+    if !args.is_empty() {
+        pairs.push(("args", num_args(args)));
+    }
+    Json::obj(pairs)
+}
+
+/// Maps an upper-layer track to its (pid, tid) lane within a dump.
+fn track_lane(track: &TraceTrack, thr_pid: u64, mid_pid: u64) -> (u64, u64, &'static str) {
+    match track {
+        TraceTrack::Thread(t) => (thr_pid, t.as_u64(), "spe"),
+        TraceTrack::Middleware => (mid_pid, 0, "lachesis"),
+        TraceTrack::Supervisor => (mid_pid, 1, "lachesis"),
+        TraceTrack::Node(_) => (mid_pid, 2, "metrics"),
+    }
+}
+
+fn append_dump(events: &mut Vec<Json>, idx: u64, dump: &TraceDump) {
+    let (cpu_pid, thr_pid, mid_pid) = pids(idx);
+    let thread_name: BTreeMap<u64, &str> =
+        dump.threads.iter().map(|t| (t.tid, t.name.as_str())).collect();
+
+    events.push(meta_event("process_name", cpu_pid, 0, &format!("{}: cpus", dump.label)));
+    events.push(meta_event("process_name", thr_pid, 0, &format!("{}: operators", dump.label)));
+    events.push(meta_event("process_name", mid_pid, 0, &format!("{}: lachesis", dump.label)));
+    for n in &dump.nodes {
+        for cpu in 0..n.cpus {
+            events.push(meta_event(
+                "thread_name",
+                cpu_pid,
+                n.index * CPU_LANE_STRIDE + cpu as u64,
+                &format!("{} cpu{cpu}", n.name),
+            ));
+        }
+    }
+    for t in &dump.threads {
+        events.push(meta_event("thread_name", thr_pid, t.tid, &t.name));
+    }
+    events.push(meta_event("thread_name", mid_pid, 0, "middleware"));
+    events.push(meta_event("thread_name", mid_pid, 1, "supervisor"));
+    events.push(meta_event("thread_name", mid_pid, 2, "cgroups"));
+
+    for s in cpu_slices(dump) {
+        let name = thread_name.get(&s.tid).copied().unwrap_or("?");
+        events.push(Json::obj(vec![
+            ("name", Json::Str(name.into())),
+            ("cat", Json::Str("kernel".into())),
+            ("ph", Json::Str("X".into())),
+            ("ts", Json::Num(s.start_ns as f64 / 1e3)),
+            ("dur", Json::Num((s.end_ns - s.start_ns) as f64 / 1e3)),
+            ("pid", Json::Num(cpu_pid as f64)),
+            ("tid", Json::Num((s.node * CPU_LANE_STRIDE + s.cpu as u64) as f64)),
+            ("args", num_args(&[("thread", s.tid as f64)])),
+        ]));
+    }
+
+    for rec in &dump.records {
+        let ts = rec.at.as_nanos();
+        match &rec.event {
+            // Consumed by the CPU slices above.
+            TraceEvent::Switch { .. }
+            | TraceEvent::Block { .. }
+            | TraceEvent::Preempt { .. }
+            | TraceEvent::SliceExpire { .. } => {}
+            TraceEvent::Wake { tid } => {
+                events.push(phase_event("wake", "kernel", "i", ts, thr_pid, tid.as_u64(), &[]));
+            }
+            TraceEvent::NiceChange { tid, nice } => {
+                events.push(phase_event(
+                    "nice",
+                    "kernel",
+                    "i",
+                    ts,
+                    thr_pid,
+                    tid.as_u64(),
+                    &[("nice", *nice as f64)],
+                ));
+            }
+            TraceEvent::SharesChange { cgroup, shares } => {
+                events.push(phase_event(
+                    "cpu.shares",
+                    "kernel",
+                    "i",
+                    ts,
+                    mid_pid,
+                    2,
+                    &[("cgroup", cgroup.as_u64() as f64), ("shares", *shares as f64)],
+                ));
+            }
+            TraceEvent::Migration { tid, cgroup } => {
+                events.push(phase_event(
+                    "migrate",
+                    "kernel",
+                    "i",
+                    ts,
+                    mid_pid,
+                    2,
+                    &[("thread", tid.as_u64() as f64), ("cgroup", cgroup.as_u64() as f64)],
+                ));
+            }
+            TraceEvent::SpanBegin { track, name, args } => {
+                let (pid, tid, cat) = track_lane(track, thr_pid, mid_pid);
+                events.push(phase_event(name, cat, "B", ts, pid, tid, args));
+            }
+            TraceEvent::SpanEnd { track, name, args } => {
+                let (pid, tid, cat) = track_lane(track, thr_pid, mid_pid);
+                events.push(phase_event(name, cat, "E", ts, pid, tid, args));
+            }
+            TraceEvent::Instant { track, name, args } => {
+                let (pid, tid, cat) = track_lane(track, thr_pid, mid_pid);
+                events.push(phase_event(name, cat, "i", ts, pid, tid, args));
+            }
+            TraceEvent::Counter { track, name, value } => {
+                let node = match track {
+                    TraceTrack::Node(n) => *n,
+                    _ => 0,
+                };
+                events.push(Json::obj(vec![
+                    ("name", Json::Str(format!("node{node} {name}"))),
+                    ("cat", Json::Str("metrics".into())),
+                    ("ph", Json::Str("C".into())),
+                    ("ts", Json::Num(ts as f64 / 1e3)),
+                    ("pid", Json::Num(cpu_pid as f64)),
+                    ("tid", Json::Num(0.0)),
+                    ("args", num_args(&[("value", *value)])),
+                ]));
+            }
+        }
+    }
+}
+
+/// Renders dumps as one Chrome `trace_event` JSON document (object form,
+/// `traceEvents` array; timestamps in microseconds).
+pub fn export_chrome(dumps: &[TraceDump]) -> Json {
+    let mut events = Vec::new();
+    for (i, dump) in dumps.iter().enumerate() {
+        append_dump(&mut events, i as u64, dump);
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+/// Validates the shape of a Chrome-trace document: a `traceEvents` array
+/// where every event is an object carrying `ph` (string), finite `ts`,
+/// `pid` and `tid` numbers. Returns the event count.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed event.
+pub fn validate_chrome(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    for (i, ev) in events.iter().enumerate() {
+        for key in ["ts", "pid", "tid"] {
+            let v = ev
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric '{key}'"))?;
+            if !v.is_finite() {
+                return Err(format!("event {i}: non-finite '{key}'"));
+            }
+        }
+        ev.get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'ph'"))?;
+    }
+    Ok(events.len())
+}
+
+// ---------------------------------------------------------------------
+// Text summary
+// ---------------------------------------------------------------------
+
+/// Renders a compact text summary of each dump: per-thread CPU share,
+/// context-switch counts and the supervisor timeline. Every number
+/// printed is finite (enforced by [`validate_summary`] in CI).
+pub fn summarize(dumps: &[TraceDump]) -> String {
+    let mut out = String::new();
+    for dump in dumps {
+        summarize_one(&mut out, dump);
+    }
+    out
+}
+
+fn summarize_one(out: &mut String, dump: &TraceDump) {
+    let first = dump.records.first().map_or(0, |r| r.at.as_nanos());
+    let last = dump.records.last().map_or(first, |r| r.at.as_nanos());
+    let span_s = last.saturating_sub(first) as f64 / 1e9;
+    let total_cpus: usize = dump.nodes.iter().map(|n| n.cpus).sum();
+    let capacity_s = span_s * total_cpus.max(1) as f64;
+
+    let mut busy_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in cpu_slices(dump) {
+        *busy_ns.entry(s.tid).or_insert(0) += s.end_ns - s.start_ns;
+    }
+    let mut switches: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut total_switches = 0u64;
+    let mut rounds = 0u64;
+    for rec in &dump.records {
+        match &rec.event {
+            TraceEvent::Switch { next, fresh: true, .. } => {
+                *switches.entry(next.as_u64()).or_insert(0) += 1;
+                total_switches += 1;
+            }
+            TraceEvent::SpanBegin {
+                track: TraceTrack::Middleware,
+                name: "round",
+                ..
+            } => rounds += 1,
+            _ => {}
+        }
+    }
+
+    let _ = writeln!(out, "== trace: {} ==", dump.label);
+    let _ = writeln!(
+        out,
+        "events: {} (dropped: {})  span: {:.3}s  cpus: {}",
+        dump.records.len(),
+        dump.dropped,
+        span_s,
+        total_cpus
+    );
+    let _ = writeln!(out, "per-thread CPU share:");
+    for t in &dump.threads {
+        let busy_s = *busy_ns.get(&t.tid).unwrap_or(&0) as f64 / 1e9;
+        let share = if capacity_s > 0.0 {
+            busy_s / capacity_s * 100.0
+        } else {
+            0.0
+        };
+        let sw = *switches.get(&t.tid).unwrap_or(&0);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>9.3}s {:>6.2}% {:>8} switches",
+            t.name, busy_s, share, sw
+        );
+    }
+    let _ = writeln!(out, "context switches: {total_switches}");
+    let _ = writeln!(out, "middleware rounds: {rounds}");
+    let _ = writeln!(out, "supervisor timeline:");
+    let mut saw_supervisor = false;
+    for rec in &dump.records {
+        if let TraceEvent::Instant {
+            track: TraceTrack::Supervisor,
+            name,
+            args,
+        } = &rec.event
+        {
+            saw_supervisor = true;
+            let _ = write!(out, "  {:>9.3}s  {name}", rec.at.as_secs_f64());
+            for (k, v) in args {
+                let _ = write!(out, "  {k}={v}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if !saw_supervisor {
+        let _ = writeln!(out, "  (no supervisor events)");
+    }
+}
+
+/// Returns an error if the text summary contains a non-finite value
+/// (`NaN`/`inf`); the CI traced-chaos job gates on this.
+///
+/// # Errors
+///
+/// Returns the offending token.
+pub fn validate_summary(summary: &str) -> Result<(), String> {
+    for token in ["NaN", "nan", "inf"] {
+        if summary.contains(token) {
+            return Err(format!("summary contains non-finite value ({token})"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Traced experiment runners (`repro --trace`)
+// ---------------------------------------------------------------------
+
+/// Runs one traced representative trial of an experiment id and returns
+/// its dumps. `figc1` runs the faulted chaos trials (supervisor health
+/// transitions in the trace); every other id runs the single-query ETL
+/// point under LACHESIS-QS/nice. A single flag covers all experiments
+/// because the trace captures *mechanisms* (kernel switches, middleware
+/// rounds, supervisor transitions) rather than figure-specific sweeps.
+pub fn traced_experiment(id: &str, opts: &ExpOptions, ring: Option<usize>) -> Vec<TraceDump> {
+    match id {
+        "figc1" => crate::experiments::chaos::trace_figc1(opts, ring),
+        _ => vec![traced_single_query(id, opts, ring)],
+    }
+}
+
+/// One traced single-query trial: ETL on Storm at 1500 t/s under
+/// LACHESIS-QS with the nice translator. A single seeded trial, so the
+/// output is trivially identical for any `--jobs` value.
+pub fn traced_single_query(id: &str, opts: &ExpOptions, ring: Option<usize>) -> TraceDump {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let spec = PointSpec {
+        graph: Box::new(queries::etl),
+        engine: spe::SpeKind::Storm,
+        sched: Sched::Lachesis(PolicyChoice::Qs, TranslatorChoice::Nice),
+        rate: 1500.0,
+        seed: 1,
+        cfg,
+        blocking: None,
+        downstream: vec![],
+    };
+    let (_, _, dump) = run_traced_point(
+        spec,
+        TraceOpts {
+            ring,
+            label: format!("{id}: ETL@1500 LACHESIS-QS seed=1"),
+        },
+    );
+    dump
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::{SimTime, ThreadId};
+
+    fn t(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    fn tid(raw: u64) -> ThreadId {
+        ThreadId::from_u64(raw)
+    }
+
+    fn synthetic_dump() -> TraceDump {
+        let records = vec![
+            TraceRecord {
+                at: t(0),
+                event: TraceEvent::Switch {
+                    node: 0,
+                    cpu: 0,
+                    prev: None,
+                    next: tid(1),
+                    fresh: true,
+                },
+            },
+            TraceRecord {
+                at: t(100),
+                event: TraceEvent::SpanBegin {
+                    track: TraceTrack::Thread(tid(1)),
+                    name: "batch",
+                    args: vec![("queue_depth", 3.0)],
+                },
+            },
+            TraceRecord {
+                at: t(500),
+                event: TraceEvent::SpanEnd {
+                    track: TraceTrack::Thread(tid(1)),
+                    name: "batch",
+                    args: vec![],
+                },
+            },
+            // Re-dispatch of the same thread: must merge, not split.
+            TraceRecord {
+                at: t(600),
+                event: TraceEvent::Switch {
+                    node: 0,
+                    cpu: 0,
+                    prev: Some(tid(1)),
+                    next: tid(1),
+                    fresh: false,
+                },
+            },
+            TraceRecord {
+                at: t(1_000),
+                event: TraceEvent::Switch {
+                    node: 0,
+                    cpu: 0,
+                    prev: Some(tid(1)),
+                    next: tid(2),
+                    fresh: true,
+                },
+            },
+            TraceRecord {
+                at: t(1_500),
+                event: TraceEvent::Block {
+                    node: 0,
+                    cpu: 0,
+                    tid: tid(2),
+                    channel: None,
+                },
+            },
+            TraceRecord {
+                at: t(2_000),
+                event: TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "engage",
+                    args: vec![("binding", 0.0)],
+                },
+            },
+            TraceRecord {
+                at: t(2_500),
+                event: TraceEvent::Counter {
+                    track: TraceTrack::Node(0),
+                    name: "cpu_util",
+                    value: 0.75,
+                },
+            },
+        ];
+        TraceDump {
+            label: "synthetic".into(),
+            threads: vec![
+                ThreadMeta {
+                    tid: 1,
+                    name: "op-a".into(),
+                    node: 0,
+                },
+                ThreadMeta {
+                    tid: 2,
+                    name: "op-b".into(),
+                    node: 0,
+                },
+            ],
+            nodes: vec![NodeMeta {
+                index: 0,
+                name: "n0".into(),
+                cpus: 1,
+            }],
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn slices_merge_redispatches_and_close_on_block() {
+        let dump = synthetic_dump();
+        let slices = cpu_slices(&dump);
+        assert_eq!(slices.len(), 2, "one merged slice per thread");
+        assert_eq!((slices[0].tid, slices[0].start_ns, slices[0].end_ns), (1, 0, 1_000));
+        assert_eq!((slices[1].tid, slices[1].start_ns, slices[1].end_ns), (2, 1_000, 1_500));
+    }
+
+    #[test]
+    fn chrome_export_round_trips_and_validates() {
+        let text = export_chrome(&[synthetic_dump()]).compact();
+        let n = validate_chrome(&text).expect("valid trace");
+        assert!(n > 0, "events present");
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        for ph in ["M", "X", "B", "E", "i", "C"] {
+            assert!(phases.contains(&ph), "missing phase {ph}: {phases:?}");
+        }
+    }
+
+    #[test]
+    fn summary_is_finite_and_names_supervisor_events() {
+        let summary = summarize(&[synthetic_dump()]);
+        validate_summary(&summary).expect("finite summary");
+        assert!(summary.contains("engage"), "supervisor timeline rendered");
+        assert!(summary.contains("op-a"), "per-thread share rendered");
+        assert!(summary.contains("context switches: 2"), "{summary}");
+    }
+
+    #[test]
+    fn validate_chrome_rejects_missing_keys() {
+        assert!(validate_chrome("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
+        assert!(validate_chrome("{}").is_err());
+        assert!(validate_summary("share 12.5% NaN").is_err());
+    }
+}

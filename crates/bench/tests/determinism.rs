@@ -3,7 +3,7 @@
 //! sequential run. Trials are seeded, independent, and folded back in
 //! input order, so thread scheduling must never leak into results.
 
-use bench::experiments::{ablation, scale_out, table1};
+use bench::experiments::{ablation, chaos, scale_out, table1};
 use bench::ExpOptions;
 
 fn opts(jobs: usize) -> ExpOptions {
@@ -44,4 +44,25 @@ fn table1_is_byte_identical_across_jobs() {
     let seq = table1::to_json(&table1::rows(&opts(1))).pretty();
     let par = table1::to_json(&table1::rows(&opts(8))).pretty();
     assert_eq!(seq, par, "table1 JSON differs between --jobs 1 and --jobs 8");
+}
+
+/// Renders traced chaos runs to both export formats (the exact bytes
+/// `repro figc1 --trace` writes and prints).
+fn trace_artifacts(jobs: usize) -> String {
+    let dumps = chaos::trace_figc1(&opts(jobs), Some(200_000));
+    format!(
+        "{}\n{}",
+        bench::trace::export_chrome(&dumps).compact(),
+        bench::trace::summarize(&dumps)
+    )
+}
+
+/// The `--trace` artifact obeys the same hard constraint as every other
+/// emitted artifact: byte-identical between `--jobs 1` and `--jobs N`,
+/// ring-buffer mode included.
+#[test]
+fn chaos_trace_is_byte_identical_across_jobs() {
+    let seq = trace_artifacts(1);
+    let par = trace_artifacts(2);
+    assert_eq!(seq, par, "trace artifacts differ between --jobs 1 and --jobs 2");
 }

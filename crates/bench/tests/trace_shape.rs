@@ -1,0 +1,203 @@
+//! End-to-end tests of the observability layer: traced runs must export
+//! valid Chrome `trace_event` JSON, and scheduling properties must be
+//! checkable *from the trace alone* — without peeking at kernel state.
+
+use bench::json::Json;
+use bench::trace;
+use bench::ExpOptions;
+use simos::{Action, Kernel, Nice, SimCtx, SimDuration, ThreadBody};
+
+/// A thread that computes forever in 100 µs chunks (a CPU hog).
+#[derive(Debug)]
+struct Spin;
+
+impl ThreadBody for Spin {
+    fn next_action(&mut self, _ctx: &mut SimCtx) -> Action {
+        Action::Compute(SimDuration::from_micros(100))
+    }
+}
+
+/// Sums the `X` slice durations per thread from parsed Chrome-trace JSON:
+/// the per-thread CPU time as a Perfetto user would see it.
+fn cpu_time_by_thread(doc: &Json) -> Vec<(u64, f64)> {
+    let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for ev in doc.get("traceEvents").unwrap().as_arr().unwrap() {
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let dur = ev.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+        let tid = ev
+            .get("args")
+            .and_then(|a| a.get("thread"))
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0) as u64;
+        *acc.entry(tid).or_insert(0.0) += dur;
+    }
+    acc.into_iter().collect()
+}
+
+/// E2E: two CPU hogs share one CPU; the nice -5 thread must dominate.
+/// The assertion is made purely from the exported trace's `X` slices.
+#[test]
+fn nice_priority_dominates_cpu_share_in_the_trace() {
+    let mut kernel = Kernel::default();
+    let node = kernel.add_node("n", 1);
+    let favored = kernel.spawn(node, "favored", Spin).build();
+    let starved = kernel.spawn(node, "starved", Spin).build();
+    kernel.set_nice(favored, Nice::new(-5).unwrap()).unwrap();
+    kernel.set_nice(starved, Nice::new(5).unwrap()).unwrap();
+
+    let handle = kernel.install_tracing(None);
+    kernel.run_for(SimDuration::from_secs(2));
+
+    let dump = trace::capture(&kernel, &handle, "nice-hogs");
+    let text = trace::export_chrome(std::slice::from_ref(&dump)).compact();
+    trace::validate_chrome(&text).expect("valid Chrome trace");
+    let doc = Json::parse(&text).unwrap();
+
+    let shares = cpu_time_by_thread(&doc);
+    let time_of = |tid: u64| {
+        shares
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map(|(_, d)| *d)
+            .unwrap_or(0.0)
+    };
+    let fav = time_of(favored.as_u64());
+    let starv = time_of(starved.as_u64());
+    assert!(fav > 0.0 && starv > 0.0, "both threads ran: {shares:?}");
+    // nice -5 vs +5 is a ~28x CFS weight ratio; 2x is a loose floor that
+    // proves the ordering without being brittle.
+    assert!(
+        fav >= 2.0 * starv,
+        "favored thread should dominate: {fav} vs {starv} us"
+    );
+
+    let summary = trace::summarize(std::slice::from_ref(&dump));
+    trace::validate_summary(&summary).expect("finite summary");
+    assert!(summary.contains("favored"), "{summary}");
+}
+
+/// E2E: a traced chaos run (fault injection + supervisor) exports a valid
+/// trace containing all three layers — kernel switch slices, middleware
+/// round spans, and the supervisor health timeline — and a finite summary
+/// that shows the fallback/recovery sequence.
+#[test]
+fn traced_chaos_run_exports_all_three_layers() {
+    let opts = ExpOptions {
+        jobs: 1,
+        ..ExpOptions::quick()
+    };
+    let dumps = bench::experiments::chaos::trace_figc1(&opts, None);
+    assert_eq!(dumps.len(), 1, "quick mode runs one traced rep");
+    assert!(dumps[0].dropped == 0, "unbounded buffer drops nothing");
+
+    let text = trace::export_chrome(&dumps).compact();
+    let n = trace::validate_chrome(&text).expect("valid Chrome trace");
+    assert!(n > 100, "a real run produces plenty of events, got {n}");
+
+    let doc = Json::parse(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let names_with_ph = |ph: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect()
+    };
+    // Kernel layer: CPU occupancy slices.
+    assert!(!names_with_ph("X").is_empty(), "kernel switch slices present");
+    // SPE + middleware layers: batch spans and round spans.
+    let begins = names_with_ph("B");
+    assert!(begins.contains(&"batch"), "operator batch spans present");
+    assert!(begins.contains(&"round"), "middleware round spans present");
+    // Supervisor layer: the quick-mode outage is long enough to degrade
+    // and recover (the full fallback cycle is covered by the dedicated
+    // long-outage test below).
+    let instants = names_with_ph("i");
+    for transition in ["engage", "degrade", "recover"] {
+        assert!(
+            instants.contains(&transition),
+            "supervisor '{transition}' missing from trace instants"
+        );
+    }
+    // Counter samplers: per-node utilization fed by Counter::rate_since.
+    assert!(
+        names_with_ph("C").iter().any(|n| n.contains("cpu_util")),
+        "utilization counters present"
+    );
+
+    let summary = trace::summarize(&dumps);
+    trace::validate_summary(&summary).expect("finite summary");
+    for transition in ["degrade", "recover"] {
+        assert!(summary.contains(transition), "summary timeline has {transition}");
+    }
+}
+
+/// E2E: a metric outage long enough to cross the fallback threshold must
+/// leave the complete supervisor health cycle in the trace, in causal
+/// order: engage → degrade → fallback → retry → recover.
+#[test]
+fn supervisor_fallback_cycle_is_ordered_in_the_trace() {
+    use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
+    use lachesis_metrics::{FaultPlan, TimeSeriesStore};
+    use simos::{machines, SimTime};
+    use spe::{deploy, EngineConfig, Placement};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let handle = kernel.install_tracing(None);
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let query = deploy(
+        &mut kernel,
+        queries::etl(500.0, 1),
+        EngineConfig::storm(),
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .unwrap();
+
+    let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+    let plan = Rc::new(RefCell::new(
+        FaultPlan::new(7).fetch_failure(Some("storm"), at(4), at(14), 1.0),
+    ));
+    LachesisBuilder::new()
+        .driver(StoreDriver::storm(vec![query], Rc::clone(&store)).with_faults(plan))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build()
+        .start(&mut kernel);
+    kernel.run_for(SimDuration::from_secs(16));
+
+    let dump = trace::capture(&kernel, &handle, "long-outage");
+    let sequence: Vec<&str> = dump
+        .records
+        .iter()
+        .filter_map(|r| match &r.event {
+            simos::TraceEvent::Instant {
+                track: simos::TraceTrack::Supervisor,
+                name,
+                ..
+            } => Some(*name),
+            _ => None,
+        })
+        .collect();
+    let first = |name: &str| {
+        sequence
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("'{name}' missing from supervisor timeline: {sequence:?}"))
+    };
+    let (engage, degrade) = (first("engage"), first("degrade"));
+    let (fallback, retry, recover) = (first("fallback"), first("retry"), first("recover"));
+    assert!(engage < degrade, "{sequence:?}");
+    assert!(degrade < fallback, "{sequence:?}");
+    assert!(fallback < retry, "{sequence:?}");
+    assert!(retry < recover, "{sequence:?}");
+}

@@ -11,7 +11,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use lachesis_metrics::{ratio_metric, names, MetricError, MetricProvider, MetricSource};
-use simos::{CallbackId, Kernel, Nice, SimDuration, SimTime};
+use simos::{CallbackId, Kernel, Nice, SimDuration, SimTime, TraceEvent, TraceTrack};
 
 use crate::driver::SpeDriver;
 use crate::entity::OpRef;
@@ -98,6 +98,8 @@ struct PolicyBinding {
     translator: Box<dyn Translator>,
     next_run: SimTime,
     health: BindingHealth,
+    /// Whether the initial `engage` supervisor trace event was emitted.
+    announced: bool,
 }
 
 /// The Lachesis middleware.
@@ -178,6 +180,7 @@ impl LachesisBuilder {
             translator: Box::new(translator),
             next_run: SimTime::ZERO,
             health: BindingHealth::Engaged,
+            announced: false,
         });
         self
     }
@@ -309,12 +312,40 @@ impl Lachesis {
             if self.bindings[idx].next_run > now {
                 continue;
             }
+            if !self.bindings[idx].announced {
+                self.bindings[idx].announced = true;
+                Self::emit(kernel, || TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "engage",
+                    args: vec![("binding", idx as f64)],
+                });
+            }
+            Self::emit(kernel, || TraceEvent::SpanBegin {
+                track: TraceTrack::Middleware,
+                name: "round",
+                args: vec![("binding", idx as f64)],
+            });
             let outcome = self.run_binding(kernel, idx, now, &failed_sources);
+            let ok = outcome.is_ok();
             self.settle_binding(kernel, idx, now, outcome, &mut persistent);
+            Self::emit(kernel, || TraceEvent::SpanEnd {
+                track: TraceTrack::Middleware,
+                name: "round",
+                args: vec![("binding", idx as f64), ("ok", ok as u8 as f64)],
+            });
         }
         match persistent {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Appends a middleware/supervisor event to the kernel's trace sink,
+    /// if one is installed (one branch when tracing is off).
+    #[inline]
+    fn emit(kernel: &Kernel, event: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = kernel.trace_sink() {
+            t.borrow_mut().push(kernel.now(), event());
         }
     }
 
@@ -413,6 +444,33 @@ impl Lachesis {
             let view = PolicyView::new(now, driver.as_ref(), &scope, &self.provider, driver_idx);
             b.policy.schedule(&view)
         };
+        if kernel.trace_sink().is_some() {
+            // Record the round's policy inputs and computed priorities; the
+            // translated nice/shares values follow as kernel NiceChange /
+            // SharesChange events nested inside the same round span.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (_, p) in schedule.iter() {
+                if p.is_finite() {
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+            }
+            let mut args = vec![
+                ("binding", idx as f64),
+                ("ops", scope.len() as f64),
+                ("excluded", excluded as f64),
+            ];
+            if lo.is_finite() && hi.is_finite() {
+                args.push(("prio_min", lo));
+                args.push(("prio_max", hi));
+            }
+            Self::emit(kernel, move || TraceEvent::Instant {
+                track: TraceTrack::Middleware,
+                name: "schedule",
+                args,
+            });
+        }
         b.translator.apply(
             kernel,
             driver.as_ref(),
@@ -440,6 +498,11 @@ impl Lachesis {
                 if b.health != BindingHealth::Engaged {
                     b.health = BindingHealth::Engaged;
                     self.log.borrow_mut().mark_recovered(now, idx);
+                    Self::emit(kernel, || TraceEvent::Instant {
+                        track: TraceTrack::Supervisor,
+                        name: "recover",
+                        args: vec![("binding", idx as f64)],
+                    });
                 }
             }
             Err(e) => {
@@ -462,6 +525,12 @@ impl Lachesis {
                 {
                     if !matches!(self.bindings[idx].health, BindingHealth::FallenBack { .. }) {
                         self.apply_cfs_fallback(kernel, idx, now);
+                    } else {
+                        Self::emit(kernel, || TraceEvent::Instant {
+                            track: TraceTrack::Supervisor,
+                            name: "retry",
+                            args: vec![("binding", idx as f64)],
+                        });
                     }
                     // Probe for recovery every period.
                     self.bindings[idx].next_run = now + period;
@@ -473,6 +542,11 @@ impl Lachesis {
                     };
                     b.next_run = now + self.supervisor.backoff(period, failures);
                     self.log.borrow_mut().mark_degraded(now, idx);
+                    Self::emit(kernel, || TraceEvent::Instant {
+                        track: TraceTrack::Supervisor,
+                        name: "degrade",
+                        args: vec![("binding", idx as f64), ("failures", failures as f64)],
+                    });
                 }
             }
         }
@@ -508,6 +582,11 @@ impl Lachesis {
         }
         let b = &mut self.bindings[idx];
         b.health = BindingHealth::FallenBack { since: now };
+        Self::emit(kernel, || TraceEvent::Instant {
+            track: TraceTrack::Supervisor,
+            name: "fallback",
+            args: vec![("binding", idx as f64)],
+        });
         let mut log = self.log.borrow_mut();
         log.mark_fallen_back(now, idx);
         if !complete {

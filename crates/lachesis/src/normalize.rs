@@ -19,18 +19,29 @@ pub enum PriorityKind {
 
 /// Min-max normalizes `values` into `[lo, hi]`; constant inputs map to the
 /// midpoint. Returns an empty vector for empty input.
+///
+/// NaN entries (injected by faulty metric sources) are excluded from the
+/// min/max and map to the midpoint, so one poisoned value can neither
+/// skew the range nor flow through to a priority.
 pub fn min_max(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
+    let mid = (lo + hi) / 2.0;
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !(max - min).is_normal() {
-        return vec![(lo + hi) / 2.0; values.len()];
+        return vec![mid; values.len()];
     }
     values
         .iter()
-        .map(|v| lo + (v - min) / (max - min) * (hi - lo))
+        .map(|v| {
+            if v.is_nan() {
+                mid
+            } else {
+                lo + (v - min) / (max - min) * (hi - lo)
+            }
+        })
         .collect()
 }
 
@@ -46,15 +57,26 @@ pub fn min_max_anchored(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
+    let mid = (lo + hi) / 2.0;
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     if min < 0.0 {
         return min_max(values, lo, hi);
     }
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !max.is_normal() {
-        return vec![(lo + hi) / 2.0; values.len()];
+        return vec![mid; values.len()];
     }
-    values.iter().map(|v| lo + v / max * (hi - lo)).collect()
+    values
+        .iter()
+        // NaN entries map to the midpoint, as in [`min_max`].
+        .map(|v| {
+            if v.is_nan() {
+                mid
+            } else {
+                lo + v / max * (hi - lo)
+            }
+        })
+        .collect()
 }
 
 /// Like [`min_max`] but on the logarithms of the (positive) values; zero or
@@ -237,6 +259,21 @@ mod tests {
         let nices = to_nice(&[1.0, 1e9], PriorityKind::Logarithmic);
         assert_eq!(nices[1], Nice::MIN);
         assert_eq!(nices[0], Nice::MAX);
+    }
+
+    #[test]
+    fn nan_entries_map_to_midpoint() {
+        // NaN must neither poison its own slot nor shift the others.
+        let out = min_max(&[0.0, f64::NAN, 10.0], 0.0, 1.0);
+        assert_eq!(out, vec![0.0, 0.5, 1.0]);
+        let anchored = min_max_anchored(&[f64::NAN, 10.0], 0.0, 1.0);
+        assert_eq!(anchored, vec![0.5, 1.0]);
+        // End-to-end: the NaN operator gets middling shares, not the
+        // starvation minimum that `NaN as u64 == 0` used to produce.
+        let shares = to_shares(&[f64::NAN, 100.0, 50.0], PriorityKind::Linear, 2, 1024);
+        assert!(shares[0] > 400 && shares[0] < 600, "{shares:?}");
+        assert_eq!(shares[1], 1024);
+        assert!(shares.iter().all(|&s| (2..=1024).contains(&s)));
     }
 
     #[test]

@@ -57,10 +57,14 @@ impl SupervisorConfig {
 
     /// Retry delay after `consecutive_failures` failures (exponential,
     /// capped at [`max_backoff_periods`](Self::max_backoff_periods)).
+    ///
+    /// The exponent is capped at 16 doublings and the final multiply
+    /// saturates, so a long outage window (or a huge configured cap)
+    /// yields `SimDuration::MAX`-bounded delays instead of overflowing.
     pub fn backoff(&self, period: SimDuration, consecutive_failures: u32) -> SimDuration {
-        let exp = consecutive_failures.saturating_sub(1).min(63);
+        let exp = consecutive_failures.saturating_sub(1).min(16);
         let factor = (1u64 << exp).min(self.max_backoff_periods.max(1));
-        period * factor
+        period.saturating_mul(factor)
     }
 }
 

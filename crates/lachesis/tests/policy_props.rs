@@ -74,6 +74,37 @@ proptest! {
         }
     }
 
+    /// A NaN entry (an injected faulty metric) maps to the midpoint of the
+    /// target range and leaves every other entry's normalization exactly
+    /// as if the NaN were absent — it can no longer poison priorities.
+    #[test]
+    fn nan_priorities_do_not_poison_outputs(
+        values in proptest::collection::vec(0.0f64..1e6, 2..32),
+        pick in 0usize..32,
+    ) {
+        let idx = pick % values.len();
+        let mut poisoned = values.clone();
+        poisoned[idx] = f64::NAN;
+        let nices = to_nice_in_range(&poisoned, PriorityKind::Linear, -5, 5);
+        let shares = to_shares(&poisoned, PriorityKind::Linear, 205, 2048);
+
+        let mut clean = values.clone();
+        clean.remove(idx);
+        let clean_nices = to_nice_in_range(&clean, PriorityKind::Linear, -5, 5);
+        let clean_shares = to_shares(&clean, PriorityKind::Linear, 205, 2048);
+
+        let mut j = 0;
+        for i in 0..poisoned.len() {
+            prop_assert!((-5..=5).contains(&nices[i].value()), "nice {}", nices[i]);
+            prop_assert!((205..=2048).contains(&shares[i]), "shares {}", shares[i]);
+            if i != idx {
+                prop_assert_eq!(nices[i], clean_nices[j]);
+                prop_assert_eq!(shares[i], clean_shares[j]);
+                j += 1;
+            }
+        }
+    }
+
     /// Anchored min-max equals plain min-max whenever the minimum is 0, and
     /// never widens the spread of near-equal positive values.
     #[test]

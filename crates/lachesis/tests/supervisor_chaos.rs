@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use lachesis::{
     BindingHealth, FaultLog, LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver,
+    SupervisorConfig,
 };
 use lachesis_metrics::{FaultPlan, TimeSeriesStore};
 use simos::{machines, Kernel, Nice, SimDuration, SimTime};
@@ -255,4 +256,30 @@ fn zero_operator_scope_is_a_no_op() {
         let tid = s.queries[0].cell(i).thread().unwrap();
         assert_eq!(s.kernel.thread_info(tid).unwrap().nice, Nice::DEFAULT);
     }
+}
+
+/// Satellite: the exponential retry backoff must saturate, not overflow.
+/// A long outage window combined with a huge configured cap used to wrap
+/// `SimDuration` multiplication (`period * 2^63`) and panic in debug
+/// builds; the exponent is now capped at 16 doublings and the multiply
+/// saturates.
+#[test]
+fn backoff_saturates_instead_of_overflowing() {
+    let cfg = SupervisorConfig {
+        max_backoff_periods: u64::MAX,
+        ..SupervisorConfig::default()
+    };
+    let period = SimDuration::from_secs(1);
+    // Growth stops at 2^16 periods no matter how long the outage lasts.
+    assert_eq!(cfg.backoff(period, 17), period * 65_536);
+    assert_eq!(cfg.backoff(period, 64), cfg.backoff(period, 17));
+    assert_eq!(cfg.backoff(period, u32::MAX), cfg.backoff(period, 17));
+    // Extreme periods saturate instead of wrapping around.
+    assert_eq!(cfg.backoff(SimDuration::MAX, u32::MAX), SimDuration::MAX);
+    // The default config's cap and early doublings are unchanged.
+    let dflt = SupervisorConfig::default();
+    assert_eq!(dflt.backoff(period, 1), period);
+    assert_eq!(dflt.backoff(period, 2), period * 2);
+    assert_eq!(dflt.backoff(period, 3), period * 4);
+    assert_eq!(dflt.backoff(period, 9), period * 4);
 }

@@ -29,6 +29,7 @@ use crate::nice::{Nice, NICE_0_WEIGHT};
 use crate::runqueue::Entity;
 use crate::thread::{ThreadData, ThreadInfo, ThreadState};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceBuffer, TraceEvent, TraceHandle};
 
 /// Tunable scheduler parameters (defaults approximate Linux CFS).
 #[derive(Debug, Clone)]
@@ -200,6 +201,10 @@ struct NodeData {
     /// Time during which at least one runnable thread was waiting for a
     /// CPU (the kernel's PSI "some" CPU pressure — §8 future work 4).
     stalled: SimDuration,
+    /// Thread-weighted runqueue waiting time: each accounting interval
+    /// contributes `Δt · waiting_threads`, so dividing by wall time gives
+    /// the average runqueue depth.
+    rq_wait: SimDuration,
     /// Instant up to which busy/idle/stalled have been accumulated; the
     /// interval since is accounted lazily before any state change.
     last_accounted: SimTime,
@@ -230,6 +235,9 @@ pub struct NodeStats {
     /// Wall time during which at least one runnable thread waited for a
     /// CPU — Linux's pressure stall information, `cpu some` (PSI).
     pub stalled: SimDuration,
+    /// Thread-weighted runqueue waiting time (`Σ Δt · waiting_threads`);
+    /// see [`NodeStats::avg_runqueue_depth`].
+    pub rq_wait: SimDuration,
 }
 
 impl NodeStats {
@@ -253,6 +261,18 @@ impl NodeStats {
             0.0
         } else {
             self.stalled.as_nanos() as f64 / wall as f64
+        }
+    }
+
+    /// Average number of runnable threads waiting for a CPU over the
+    /// node's lifetime (time-weighted runqueue depth).
+    pub fn avg_runqueue_depth(&self) -> f64 {
+        let cpus = self.cpus.max(1) as u64;
+        let wall = (self.busy.as_nanos() + self.idle.as_nanos()) / cpus;
+        if wall == 0 {
+            0.0
+        } else {
+            self.rq_wait.as_nanos() as f64 / wall as f64
         }
     }
 }
@@ -293,6 +313,9 @@ pub struct Kernel {
     next_seq: u64,
     invoke_guard: Vec<(SimTime, u32)>,
     fault_hook: Option<FaultHook>,
+    /// Installed trace sink, if any. Every emission site is guarded by a
+    /// single `is_some` check, so tracing costs one branch when disabled.
+    tracer: Option<TraceHandle>,
     /// FIFO worklist of node indexes whose runqueues or CPUs changed and
     /// need a dispatch pass.
     dispatch_worklist: VecDeque<usize>,
@@ -440,6 +463,7 @@ impl Kernel {
             next_seq: 0,
             invoke_guard: Vec::new(),
             fault_hook: None,
+            tracer: None,
             dispatch_worklist: VecDeque::new(),
             due_cpus: Vec::new(),
             due_timers: Vec::new(),
@@ -466,6 +490,49 @@ impl Kernel {
     /// Removes the installed fault hook, if any.
     pub fn clear_fault_hook(&mut self) {
         self.fault_hook = None;
+    }
+
+    /// Installs a trace sink: from now on every scheduling decision
+    /// (dispatches, wake-ups, blocks, preemptions, slice expiries, nice /
+    /// shares / cgroup changes) is appended to the buffer as a structured
+    /// [`TraceEvent`]. Upper layers (SPE runtime, middleware) clone the
+    /// handle via [`trace_sink`](Kernel::trace_sink) so all layers share
+    /// one totally ordered stream. Replaces any previous sink.
+    pub fn set_trace_sink(&mut self, sink: TraceHandle) {
+        self.tracer = Some(sink);
+    }
+
+    /// Creates and installs a trace buffer (`capacity = None` for
+    /// unbounded, `Some(n)` for a ring keeping the most recent `n`
+    /// records) and returns a handle to it.
+    pub fn install_tracing(&mut self, capacity: Option<usize>) -> TraceHandle {
+        let buffer = match capacity {
+            Some(n) => TraceBuffer::ring(n),
+            None => TraceBuffer::unbounded(),
+        };
+        let handle = buffer.into_handle();
+        self.tracer = Some(handle.clone());
+        handle
+    }
+
+    /// Removes the installed trace sink, if any.
+    pub fn clear_trace_sink(&mut self) {
+        self.tracer = None;
+    }
+
+    /// The installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// Appends an event to the trace sink, if one is installed. The
+    /// closure only runs when tracing is on, so disabled-path cost is the
+    /// `is_some` branch.
+    #[inline]
+    fn emit(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.tracer {
+            sink.borrow_mut().push(self.now, event());
+        }
     }
 
     /// Consults the fault hook before a mutating control operation.
@@ -541,6 +608,7 @@ impl Kernel {
             busy: SimDuration::ZERO,
             idle: SimDuration::ZERO,
             stalled: SimDuration::ZERO,
+            rq_wait: SimDuration::ZERO,
             last_accounted: now,
             occupied: 0,
             dirty: false,
@@ -585,7 +653,38 @@ impl Kernel {
             overhead: n.overhead,
             nr_active: n.nr_active,
             stalled: n.stalled,
+            rq_wait: n.rq_wait,
         })
+    }
+
+    /// Cumulative per-CPU busy time for a node, indexed by CPU.
+    ///
+    /// Reflects charges up to the last accounting sweep; inside a user
+    /// callback (which runs after the kernel's accounting sync) it is
+    /// exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] for an unknown id.
+    pub fn cpu_busy(&self, node: NodeId) -> Result<Vec<SimDuration>, KernelError> {
+        let n = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(KernelError::UnknownNode(node))?;
+        Ok(n.cpus.iter().map(|c| c.busy).collect())
+    }
+
+    /// Number of runnable threads currently waiting for a CPU on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] for an unknown id.
+    pub fn runqueue_depth(&self, node: NodeId) -> Result<u64, KernelError> {
+        let n = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(KernelError::UnknownNode(node))?;
+        Ok(n.nr_active.saturating_sub(n.occupied))
     }
 
     // ------------------------------------------------------------------
@@ -639,7 +738,12 @@ impl Kernel {
             .cgroups
             .get_mut(cgroup.0 as usize)
             .ok_or(KernelError::UnknownCgroup(cgroup))?;
-        cg.shares = clamp_shares(shares);
+        let clamped = clamp_shares(shares);
+        cg.shares = clamped;
+        self.emit(|| TraceEvent::SharesChange {
+            cgroup,
+            shares: clamped,
+        });
         Ok(())
     }
 
@@ -708,6 +812,7 @@ impl Kernel {
         let lag = t.vruntime as i128 - old_min as i128;
         t.vruntime = (new_min as i128 + lag).max(0) as u64;
         t.cgroup = cgroup;
+        self.emit(|| TraceEvent::Migration { tid, cgroup });
         if was_ready {
             self.enqueue_thread(tid, false);
         }
@@ -760,6 +865,10 @@ impl Kernel {
             return Err(KernelError::ThreadExited(tid));
         }
         t.nice = nice;
+        self.emit(|| TraceEvent::NiceChange {
+            tid,
+            nice: nice.value(),
+        });
         Ok(())
     }
 
@@ -1296,6 +1405,9 @@ impl Kernel {
         let node_idx = self.threads[tid.0 as usize].node.0 as usize;
         self.account_node(node_idx);
         self.mark_dirty(node_idx);
+        if wakeup {
+            self.emit(|| TraceEvent::Wake { tid });
+        }
         if let Some(prio) = self.threads[tid.0 as usize].rt_priority {
             let node = self.threads[tid.0 as usize].node;
             let seq = self.alloc_seq();
@@ -1597,6 +1709,11 @@ impl Kernel {
         if stalled {
             n.stalled += delta;
         }
+        // Time-weighted runqueue depth: threads ready but not on a CPU.
+        let waiting = n.nr_active.saturating_sub(busy_cpus);
+        if waiting > 0 {
+            n.rq_wait += delta * waiting;
+        }
     }
 
     /// Charges the thread on `(node, cpu)` for the interval since the CPU
@@ -1638,6 +1755,11 @@ impl Kernel {
         // The charge may throttle the thread's group, which preempts this
         // very CPU underneath us; re-check before queueing.
         if let Some(cur) = self.nodes[node_idx].cpus[cpu_idx].current {
+            self.emit(|| TraceEvent::Preempt {
+                node: node_idx as u64,
+                cpu: cpu_idx,
+                tid: cur,
+            });
             self.enqueue_thread(cur, false);
             self.free_cpu(node_idx, cpu_idx);
         }
@@ -1697,6 +1819,12 @@ impl Kernel {
                 true
             }
             Action::Block(w) => {
+                self.emit(|| TraceEvent::Block {
+                    node: node_idx as u64,
+                    cpu: cpu_idx,
+                    tid,
+                    channel: Some(w),
+                });
                 self.threads[tid.0 as usize].state = ThreadState::Blocked(w);
                 let ch = w.0 as usize;
                 if ch >= self.waiters.len() {
@@ -1710,6 +1838,12 @@ impl Kernel {
                 false
             }
             Action::Sleep(dur) => {
+                self.emit(|| TraceEvent::Block {
+                    node: node_idx as u64,
+                    cpu: cpu_idx,
+                    tid,
+                    channel: None,
+                });
                 let dur = dur.max(SimDuration::from_nanos(1));
                 self.threads[tid.0 as usize].state = ThreadState::Sleeping;
                 self.calendar
@@ -1749,7 +1883,8 @@ impl Kernel {
             let Some(tid) = self.pick_thread(node_idx) else {
                 return;
             };
-            let switch = self.nodes[node_idx].cpus[cpu_idx].last_thread != Some(tid);
+            let prev = self.nodes[node_idx].cpus[cpu_idx].last_thread;
+            let switch = prev != Some(tid);
             {
                 let t = &mut self.threads[tid.0 as usize];
                 t.state = ThreadState::Running(CpuId(cpu_idx));
@@ -1776,6 +1911,13 @@ impl Kernel {
             cpu.slice_end = now + slice;
             cpu.last_charged = now;
             self.nodes[node_idx].occupied += 1;
+            self.emit(|| TraceEvent::Switch {
+                node: node_idx as u64,
+                cpu: cpu_idx,
+                prev,
+                next: tid,
+                fresh: switch,
+            });
             self.rearm_cpu(node_idx, cpu_idx);
         }
     }
@@ -1800,6 +1942,11 @@ impl Kernel {
         if self.nodes[node_idx].cpus[cpu_idx].slice_end <= self.now {
             let root = self.nodes[node_idx].root;
             if !self.cgroups[root.0 as usize].rq.is_empty() {
+                self.emit(|| TraceEvent::SliceExpire {
+                    node: node_idx as u64,
+                    cpu: cpu_idx,
+                    tid,
+                });
                 self.enqueue_thread(tid, false);
                 self.free_cpu(node_idx, cpu_idx);
             } else {

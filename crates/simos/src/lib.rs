@@ -43,6 +43,7 @@ mod nice;
 mod runqueue;
 mod thread;
 mod time;
+mod trace;
 
 pub use body::{Action, FixedWork, SimCtx, ThreadBody};
 pub use calendar::{EventCalendar, EventId};
@@ -52,6 +53,7 @@ pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnB
 pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
 pub use thread::{ThreadInfo, ThreadState};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceEvent, TraceHandle, TraceRecord, TraceTrack};
 
 /// Machine presets matching the paper's evaluation hardware (§6.1).
 pub mod machines {

@@ -133,6 +133,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
+    /// Saturating span multiplication by a scalar.
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
     /// Returns the smaller of two spans.
     pub fn min(self, other: SimDuration) -> SimDuration {
         if self.0 <= other.0 {
@@ -288,5 +293,7 @@ mod tests {
         assert_eq!(a.max(b), b);
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
         assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+        assert_eq!(a.saturating_mul(2).as_nanos(), 20);
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 }

@@ -1,0 +1,277 @@
+//! Structured sim-time scheduling traces.
+//!
+//! The kernel (and, through shared handles, the SPE runtime and the
+//! Lachesis middleware) can emit a stream of timestamped [`TraceEvent`]s
+//! into a [`TraceBuffer`]. The buffer is installed on a [`Kernel`] with
+//! [`Kernel::set_trace_sink`]; every emission site in the hot scheduling
+//! paths is guarded by a single `Option` check, so with no sink installed
+//! the layer costs one predictable branch per site and allocates nothing.
+//!
+//! Events carry raw ids ([`ThreadId`], [`CgroupId`], node/CPU indexes) and
+//! sim-time instants only — rendering them into Chrome `trace_event` JSON
+//! or text summaries is the `bench` crate's job, keeping this crate free
+//! of any serialization concerns.
+//!
+//! [`Kernel`]: crate::Kernel
+//! [`Kernel::set_trace_sink`]: crate::Kernel::set_trace_sink
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::ids::{CgroupId, ThreadId, WaitId};
+use crate::time::SimTime;
+
+/// Shared handle to a [`TraceBuffer`]; clones refer to the same buffer.
+///
+/// The kernel holds one (when tracing is on), and upper layers (SPE
+/// runtime, middleware) clone it so all layers interleave their events in
+/// one totally ordered stream.
+pub type TraceHandle = Rc<RefCell<TraceBuffer>>;
+
+/// Which logical track an upper-layer span/instant/counter belongs to.
+///
+/// Kernel events carry explicit node/CPU/thread ids; upper layers tag
+/// their events with a track so exporters can lay them out in lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceTrack {
+    /// A per-thread lane (operator lifecycle spans).
+    Thread(ThreadId),
+    /// The middleware lane (scheduling-round spans).
+    Middleware,
+    /// The supervisor lane (health-transition instants).
+    Supervisor,
+    /// A per-node lane (utilization / runqueue-depth counters).
+    Node(u64),
+}
+
+/// One structured scheduling event. Kernel variants mirror the scheduler's
+/// decisions one-to-one; the `SpanBegin`/`SpanEnd`/`Instant`/`Counter`
+/// variants are generic carriers for the SPE and middleware layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A CPU dispatched a thread. `prev` is the thread that last occupied
+    /// this CPU (`None` if it was never used); `fresh` is false when the
+    /// same thread is re-dispatched without an intervening switch.
+    Switch {
+        /// Node index.
+        node: u64,
+        /// CPU index within the node.
+        cpu: usize,
+        /// Thread previously on this CPU, if any.
+        prev: Option<ThreadId>,
+        /// Thread now running.
+        next: ThreadId,
+        /// Whether this dispatch counted as a context switch.
+        fresh: bool,
+    },
+    /// A thread became runnable via a wake-up.
+    Wake {
+        /// The woken thread.
+        tid: ThreadId,
+    },
+    /// A running thread blocked (`channel = None` for a timed sleep).
+    Block {
+        /// Node index.
+        node: u64,
+        /// CPU index the thread vacated.
+        cpu: usize,
+        /// The blocking thread.
+        tid: ThreadId,
+        /// Wait channel, or `None` for sleeps.
+        channel: Option<WaitId>,
+    },
+    /// A running thread was preempted by a wake-up or RT arrival.
+    Preempt {
+        /// Node index.
+        node: u64,
+        /// CPU index.
+        cpu: usize,
+        /// The preempted thread.
+        tid: ThreadId,
+    },
+    /// A running thread exhausted its timeslice and was requeued.
+    SliceExpire {
+        /// Node index.
+        node: u64,
+        /// CPU index.
+        cpu: usize,
+        /// The requeued thread.
+        tid: ThreadId,
+    },
+    /// A thread's nice level changed.
+    NiceChange {
+        /// The reniced thread.
+        tid: ThreadId,
+        /// New nice level.
+        nice: i32,
+    },
+    /// A cgroup's `cpu.shares` changed.
+    SharesChange {
+        /// The cgroup.
+        cgroup: CgroupId,
+        /// New shares value (post-clamp).
+        shares: u64,
+    },
+    /// A thread moved to another cgroup — the closest analogue of a
+    /// migration in this simulator (threads never change nodes).
+    Migration {
+        /// The moved thread.
+        tid: ThreadId,
+        /// Destination cgroup.
+        cgroup: CgroupId,
+    },
+    /// Opens an upper-layer span (e.g. an operator batch).
+    SpanBegin {
+        /// Lane the span belongs to.
+        track: TraceTrack,
+        /// Span name (static so emission never allocates strings).
+        name: &'static str,
+        /// Small numeric arguments attached to the span.
+        args: Vec<(&'static str, f64)>,
+    },
+    /// Closes the most recent open span with the same track and name.
+    SpanEnd {
+        /// Lane the span belongs to.
+        track: TraceTrack,
+        /// Span name (must match the opening event).
+        name: &'static str,
+        /// Small numeric arguments attached at close.
+        args: Vec<(&'static str, f64)>,
+    },
+    /// A point-in-time upper-layer event (e.g. a supervisor transition).
+    Instant {
+        /// Lane the instant belongs to.
+        track: TraceTrack,
+        /// Event name.
+        name: &'static str,
+        /// Small numeric arguments.
+        args: Vec<(&'static str, f64)>,
+    },
+    /// A sampled counter value (e.g. per-node utilization).
+    Counter {
+        /// Lane the counter belongs to.
+        track: TraceTrack,
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Sim-time instant the event occurred.
+    pub at: SimTime,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// An in-memory event sink: either unbounded, or a ring buffer that drops
+/// the oldest records once full (so long runs stay bounded).
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates an unbounded buffer (records are kept until drained).
+    pub fn unbounded() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Creates a ring buffer holding at most `capacity` records; the
+    /// oldest record is dropped (and counted) for each push past capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity > 0");
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Wraps a buffer in the shared-handle type used by the kernel.
+    pub fn into_handle(self) -> TraceHandle {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Appends a record, evicting the oldest one in ring mode.
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted by the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates buffered records oldest-first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Removes and returns all buffered records, oldest-first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.records.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_mode_drops_oldest() {
+        let mut b = TraceBuffer::ring(2);
+        for i in 0..5u64 {
+            b.push(
+                SimTime::from_nanos(i),
+                TraceEvent::Wake { tid: ThreadId(i) },
+            );
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        let recs = b.drain();
+        assert_eq!(recs[0].at, SimTime::from_nanos(3));
+        assert_eq!(recs[1].at, SimTime::from_nanos(4));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut b = TraceBuffer::unbounded();
+        for i in 0..100u64 {
+            b.push(
+                SimTime::from_nanos(i),
+                TraceEvent::Wake { tid: ThreadId(i) },
+            );
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.records().count(), 100);
+    }
+}

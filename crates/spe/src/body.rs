@@ -7,7 +7,7 @@
 //! producer channel when a bounded downstream queue is full; sleep for
 //! injected blocking I/O.
 
-use simos::{Action, SimCtx, SimDuration, ThreadBody};
+use simos::{Action, SimCtx, SimDuration, ThreadBody, TraceEvent, TraceHandle, TraceTrack};
 
 use crate::opcell::{Begin, FinishOutcome, OpCellRef, WorkItem};
 
@@ -27,6 +27,10 @@ enum OpBodyState {
 pub struct OpBody {
     cell: OpCellRef,
     state: OpBodyState,
+    /// Trace sink for operator lifecycle spans (batch start/end, tuples
+    /// processed, queue depth at poll); `None` keeps the hot loop at one
+    /// branch per event.
+    trace: Option<TraceHandle>,
 }
 
 impl std::fmt::Debug for OpBody {
@@ -43,6 +47,29 @@ impl OpBody {
         OpBody {
             cell,
             state: OpBodyState::Idle,
+            trace: None,
+        }
+    }
+
+    /// Like [`new`](OpBody::new) but emitting operator lifecycle spans to
+    /// `trace` (when `Some`): one `batch` span per processed tuple, with
+    /// the input-queue depth observed at poll time and the number of
+    /// output tuples as span arguments.
+    pub fn traced(cell: OpCellRef, trace: Option<TraceHandle>) -> Self {
+        OpBody {
+            cell,
+            state: OpBodyState::Idle,
+            trace,
+        }
+    }
+
+    /// Emits a span event on this operator's thread track; with tracing
+    /// off this is never called (call sites gate on `trace.is_some()`).
+    fn emit(&self, ctx: &SimCtx, event: impl FnOnce(TraceTrack) -> TraceEvent) {
+        if let Some(t) = &self.trace {
+            if let Some(tid) = self.cell.thread() {
+                t.borrow_mut().push(ctx.now(), event(TraceTrack::Thread(tid)));
+            }
         }
     }
 
@@ -62,8 +89,24 @@ impl ThreadBody for OpBody {
         loop {
             match std::mem::replace(&mut self.state, OpBodyState::Idle) {
                 OpBodyState::Idle | OpBodyState::Blocking => {
+                    let depth = if self.trace.is_some() {
+                        self.cell.in_queue().len()
+                    } else {
+                        0
+                    };
                     match self.cell.begin(ctx) {
                         Begin::Item(item) => {
+                            if self.trace.is_some() {
+                                let outs = item.output_count();
+                                self.emit(ctx, |track| TraceEvent::SpanBegin {
+                                    track,
+                                    name: "batch",
+                                    args: vec![
+                                        ("queue_depth", depth as f64),
+                                        ("tuples_out", outs as f64),
+                                    ],
+                                });
+                            }
                             let cost = item.cost;
                             self.state = OpBodyState::Working(item);
                             return Action::Compute(cost);
@@ -78,6 +121,13 @@ impl ThreadBody for OpBody {
                     let block_after = item.block_after;
                     match self.cell.finish(ctx, item) {
                         FinishOutcome::Done => {
+                            if self.trace.is_some() {
+                                self.emit(ctx, |track| TraceEvent::SpanEnd {
+                                    track,
+                                    name: "batch",
+                                    args: Vec::new(),
+                                });
+                            }
                             if let Some(a) = self.after_delivery(block_after) {
                                 return a;
                             }
@@ -92,6 +142,13 @@ impl ThreadBody for OpBody {
                     let block_after = item.block_after;
                     match self.cell.resume(ctx, item) {
                         FinishOutcome::Done => {
+                            if self.trace.is_some() {
+                                self.emit(ctx, |track| TraceEvent::SpanEnd {
+                                    track,
+                                    name: "batch",
+                                    args: Vec::new(),
+                                });
+                            }
                             if let Some(a) = self.after_delivery(block_after) {
                                 return a;
                             }

@@ -183,6 +183,13 @@ pub struct WorkItem {
     edge_idx: usize,
 }
 
+impl WorkItem {
+    /// Number of output tuples this item will deliver downstream.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
 /// Result of [`OpCell::finish`] / [`OpCell::resume`].
 #[derive(Debug)]
 pub enum FinishOutcome {

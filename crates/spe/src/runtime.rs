@@ -542,13 +542,17 @@ pub fn deploy(
     let mut pool_shared = None;
     match config.execution {
         Execution::ThreadPerOp => {
+            // With a trace sink on the kernel at deploy time, operator
+            // bodies emit batch lifecycle spans into the same stream as
+            // the kernel's scheduling events.
+            let trace = kernel.trace_sink().cloned();
             for (i, cell) in cells.iter().enumerate() {
                 let node = placement.node_for(phys.ops[i].replica);
                 let tid = kernel
                     .spawn(
                         node,
                         &format!("{}.{}", graph.name, phys.ops[i].name),
-                        OpBody::new(Rc::clone(cell)),
+                        OpBody::traced(Rc::clone(cell), trace.clone()),
                     )
                     .build();
                 cell.set_thread(tid);

@@ -7,6 +7,11 @@ use simos::SimDuration;
 const BUCKET_GROWTH: f64 = 1.05;
 /// Smallest resolvable value (1 microsecond, in seconds).
 const BUCKET_MIN: f64 = 1e-6;
+/// Largest recordable value (~31 years, in seconds). Samples above it —
+/// including `+∞`, which faulty metric sources can produce — are clamped
+/// so `bucket_index` stays bounded; `inf as usize` would otherwise yield
+/// `usize::MAX` and abort the process in `buckets.resize`.
+const BUCKET_CAP: f64 = 1e9;
 
 /// A histogram with logarithmically spaced buckets, tuned for latencies in
 /// seconds. Supports mean, min/max and arbitrary quantiles with ~5% relative
@@ -66,9 +71,14 @@ impl LogHistogram {
         }
     }
 
-    /// Records a sample (negative samples are clamped to zero).
+    /// Records a sample. Negative samples (and `-∞`) are clamped to zero,
+    /// values above ~1e9 seconds (and `+∞`) to that cap; NaN samples are
+    /// rejected without being recorded.
     pub fn record(&mut self, value: f64) {
-        let value = value.max(0.0);
+        if value.is_nan() {
+            return;
+        }
+        let value = value.clamp(0.0, BUCKET_CAP);
         let idx = Self::bucket_index(value);
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
@@ -212,6 +222,18 @@ impl Counter {
     pub fn reset(&mut self) {
         self.total = 0;
     }
+
+    /// Events per second accumulated since a previously observed total,
+    /// over the interval `dt`. Returns `0.0` for a zero-length interval
+    /// or a total that went backwards (e.g. across a [`reset`]).
+    ///
+    /// [`reset`]: Counter::reset
+    pub fn rate_since(&self, prev_total: u64, dt: SimDuration) -> f64 {
+        if dt.is_zero() {
+            return 0.0;
+        }
+        self.total.saturating_sub(prev_total) as f64 / dt.as_secs_f64()
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +306,34 @@ mod tests {
         let mut h = LogHistogram::new();
         h.record(-5.0);
         assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_abort() {
+        let mut h = LogHistogram::new();
+        h.record(f64::NAN); // rejected outright
+        assert_eq!(h.count(), 0);
+        h.record(f64::INFINITY); // clamped to the cap
+        h.record(f64::NEG_INFINITY); // clamped to zero
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0.0));
+        assert!(h.max().unwrap().is_finite());
+        assert!(h.mean().unwrap().is_finite());
+        assert!(h.quantile(0.99).unwrap().is_finite());
+        // Finite samples recorded alongside keep working.
+        h.record(0.5);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5).unwrap().is_finite());
+    }
+
+    #[test]
+    fn counter_rate_since() {
+        let mut c = Counter::new();
+        c.add(500);
+        assert_eq!(c.rate_since(0, SimDuration::from_secs(1)), 500.0);
+        assert_eq!(c.rate_since(250, SimDuration::from_millis(500)), 500.0);
+        assert_eq!(c.rate_since(0, SimDuration::ZERO), 0.0);
+        assert_eq!(c.rate_since(600, SimDuration::from_secs(1)), 0.0);
     }
 
     #[test]
