@@ -16,9 +16,9 @@ use bench::ExpOptions;
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "figc1", "ablation", "table1",
+    "fig17", "fig18", "figc1", "figc2", "ablation", "table1",
 ];
 
 fn usage() -> ! {
@@ -68,6 +68,7 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "fig17" => scale_out::fig17(opts),
         "fig18" => multi_spe::fig18(opts),
         "figc1" => chaos::figc1(opts),
+        "figc2" => chaos::figc2(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
     }

@@ -8,6 +8,12 @@
 //! run), and the schedule *re-converges* (every degraded interval in the
 //! fault log is closed by the end of the run). Verdicts are recorded in
 //! the figure notes.
+//!
+//! A second scenario ([`figc2`]) injects *substrate* faults instead of
+//! middleware faults: a CPU goes offline mid-run (hotplug), an operator
+//! fail-stops and is restarted by the SPE supervisor with backoff. The
+//! traced variant gates on trace-shape validation — migration events
+//! present, no thread left on a dead CPU ([`crate::trace::validate_hotplug`]).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -15,7 +21,7 @@ use std::rc::Rc;
 use lachesis::{LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope, StoreDriver};
 use lachesis_metrics::FaultPlan;
 use simos::{machines, Kernel, SimDuration, SimTime};
-use spe::{deploy, EngineConfig, Placement};
+use spe::{deploy, install_chaos, EngineConfig, Placement, RestartPolicy};
 
 use crate::harness::{average_runs, new_store, run_trial, GoalKind, Measured, RunConfig};
 use crate::report::{Figure, Series, SweepPoint};
@@ -267,6 +273,271 @@ pub fn figc1(opts: &ExpOptions) -> Vec<Figure> {
     });
     fig.series.push(Series {
         label: "LACHESIS-QS+faults".into(),
+        points: faulted_points,
+    });
+    vec![fig]
+}
+
+// ------------------------------------------------------------- substrate
+
+/// Substrate-fault summary of one run: SPE-level crash/restart counters
+/// plus the middleware supervisor's view of the same outage.
+#[derive(Debug, Clone, Default)]
+struct SubstrateStats {
+    crashes: u64,
+    restarts: u64,
+    crashed_left: usize,
+    intervals: usize,
+    open_intervals: usize,
+}
+
+/// Offset into the run: warm-up plus `tenths`/10 of the measured phase.
+fn phase_tick(cfg: &RunConfig, tenths: u64) -> SimDuration {
+    cfg.warmup + SimDuration::from_nanos(cfg.measure.as_nanos() / 10 * tenths)
+}
+
+/// The substrate scenario, scaled to the run's measured phase: the ETL
+/// `range_filter` operator fail-stops at 30% of the measured phase, with
+/// restart attempts themselves failing half the time until 50%. The CPU
+/// hotplug window ([`figc2`] offlines core 3 at 20%, back at 70%) is
+/// scheduled on the kernel calendar, not in the plan.
+fn substrate_plan(cfg: &RunConfig, seed: u64) -> FaultPlan {
+    let start = SimTime::ZERO + cfg.warmup;
+    let m = cfg.measure.as_nanos();
+    let tick = |tenths: u64| start + SimDuration::from_nanos(m / 10 * tenths);
+    FaultPlan::new(seed)
+        .operator_crash("range_filter#0", tick(3))
+        .restart_failure(Some("range_filter#0"), tick(3), tick(5), 0.5)
+}
+
+/// One substrate-faulted LACHESIS-QS point: ETL on Storm with a CPU
+/// hotplug window and an operator crash/restart cycle injected while the
+/// middleware keeps scheduling. The crashed operator's missing thread
+/// also exercises the middleware supervisor (apply failures degrade the
+/// binding until the operator is back).
+fn run_substrate_point_inner(
+    rate: f64,
+    seed: u64,
+    cfg: RunConfig,
+    trace: Option<crate::schedulers::TraceOpts>,
+) -> (Measured, SubstrateStats, Option<crate::trace::TraceDump>) {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let handle = trace.as_ref().map(|t| kernel.install_tracing(t.ring));
+    let store = new_store();
+    let mut config = EngineConfig::storm();
+    config.seed = seed;
+    let query = deploy(
+        &mut kernel,
+        queries::etl(rate, seed),
+        config,
+        &Placement::single(node),
+        Some(Rc::clone(&store)),
+    )
+    .expect("deploy");
+
+    let plan = Rc::new(RefCell::new(substrate_plan(&cfg, seed)));
+    install_chaos(&mut kernel, &query, &plan, RestartPolicy::default());
+    // Core 3 of the 4-core node goes offline at 20% of the measured
+    // phase and comes back at 70%: threads must migrate off, dispatch
+    // must avoid the dead CPU, and capacity returns for the tail.
+    kernel.schedule_cpu_offline(phase_tick(&cfg, 2), node, 3);
+    kernel.schedule_cpu_online(phase_tick(&cfg, 7), node, 3);
+
+    let lachesis = LachesisBuilder::new()
+        .driver(StoreDriver::storm(vec![query.clone()], Rc::clone(&store)))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::new(SimDuration::from_secs(1)),
+            NiceTranslator::new(),
+        )
+        .build();
+    let log = lachesis.fault_log();
+    lachesis.start(&mut kernel);
+    if let Some(h) = &handle {
+        crate::trace::install_counter_samplers(&mut kernel, h);
+    }
+
+    let (m, _) = run_trial(&mut kernel, &[node], std::slice::from_ref(&query), &cfg);
+    let dump = trace.map(|t| {
+        crate::trace::capture(&kernel, handle.as_ref().expect("handle installed"), &t.label)
+    });
+    let log = log.borrow();
+    let stats = SubstrateStats {
+        crashes: query.total_crashes(),
+        restarts: query.total_restarts(),
+        crashed_left: query.crashed_ops(),
+        intervals: log.degraded_intervals().len(),
+        open_intervals: log.currently_degraded().len(),
+    };
+    (m, stats, dump)
+}
+
+/// Traced substrate-chaos trials for `repro figc2 --trace`: each dump is
+/// gated on hotplug trace-shape validation — the offline and online
+/// events are present, threads migrated off the dying CPU, and nothing
+/// was ever dispatched to (or stranded on) a dead CPU.
+///
+/// # Panics
+///
+/// Panics (failing the CI gate) when a trace violates the hotplug shape
+/// or the crashed operator never restarted.
+pub fn trace_figc2(opts: &ExpOptions, ring: Option<usize>) -> Vec<crate::trace::TraceDump> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let rate = 1500.0;
+    let seeds: Vec<u64> = (0..opts.reps.max(1) as u64).map(|r| 1 + r).collect();
+    crate::pool::parallel_map(opts.jobs, seeds, move |seed| {
+        let trace = crate::schedulers::TraceOpts {
+            ring,
+            label: format!("figc2: ETL@{rate} substrate faults seed={seed}"),
+        };
+        let (_, stats, dump) = run_substrate_point_inner(rate, seed, cfg, Some(trace));
+        let dump = dump.expect("traced run produces a dump");
+        let hp = crate::trace::validate_hotplug(&dump)
+            .unwrap_or_else(|e| panic!("figc2 seed {seed}: hotplug trace invalid: {e}"));
+        assert!(
+            hp.offlines >= 1 && hp.onlines >= 1,
+            "figc2 seed {seed}: hotplug events missing from trace: {hp:?}"
+        );
+        assert!(
+            hp.migrations >= 1,
+            "figc2 seed {seed}: no thread migrated off the dying CPU: {hp:?}"
+        );
+        assert!(
+            stats.crashes >= 1 && stats.restarts >= 1 && stats.crashed_left == 0,
+            "figc2 seed {seed}: operator crash/restart cycle incomplete: {stats:?}"
+        );
+        dump
+    })
+}
+
+/// Runs the substrate-chaos experiment and returns its figure.
+pub fn figc2(opts: &ExpOptions) -> Vec<Figure> {
+    let rates: Vec<f64> = if opts.quick {
+        vec![1500.0]
+    } else {
+        vec![1200.0, 1375.0, 1500.0, 1625.0]
+    };
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+
+    let mut fig = Figure::new(
+        "figc2",
+        "ETL in Storm under substrate faults: CPU hotplug + operator crash/restart",
+        "rate (t/s)",
+    );
+    fig.notes.push(format!(
+        "substrate scenario: core 3 offline for 50% of the measured phase, \
+         range_filter fail-stop + supervised restart; reps={}",
+        opts.reps
+    ));
+
+    let clean_sched = Sched::Lachesis(
+        crate::schedulers::PolicyChoice::Qs,
+        crate::schedulers::TranslatorChoice::Nice,
+    );
+    let trials: Vec<(f64, u64, bool)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            (0..opts.reps as u64)
+                .flat_map(move |rep| [(rate, 1 + rep, false), (rate, 1 + rep, true)])
+        })
+        .collect();
+    let mut results = crate::pool::parallel_map(opts.jobs, trials, |(rate, seed, faulted)| {
+        if faulted {
+            let (m, s, _) = run_substrate_point_inner(rate, seed, cfg, None);
+            (m, Some(s))
+        } else {
+            let (m, _) = run_point(PointSpec {
+                graph: Box::new(queries::etl),
+                engine: spe::SpeKind::Storm,
+                sched: clean_sched.clone(),
+                rate,
+                seed,
+                cfg,
+                blocking: None,
+                downstream: vec![],
+            });
+            (m, None)
+        }
+    })
+    .into_iter();
+
+    let mut clean_points = Vec::new();
+    let mut faulted_points = Vec::new();
+    for &rate in &rates {
+        let mut clean_runs = Vec::new();
+        let mut faulted_runs = Vec::new();
+        let mut stats = SubstrateStats::default();
+        for _rep in 0..opts.reps {
+            let (m, _) = results.next().expect("clean trial result");
+            clean_runs.push(m);
+            let (m, s) = results.next().expect("faulted trial result");
+            let s = s.expect("faulted trial carries stats");
+            faulted_runs.push(m);
+            stats.crashes += s.crashes;
+            stats.restarts += s.restarts;
+            stats.crashed_left += s.crashed_left;
+            stats.intervals += s.intervals;
+            stats.open_intervals += s.open_intervals;
+        }
+        let clean = average_runs(clean_runs);
+        let faulted = average_runs(faulted_runs);
+        // Verdicts: the crashed operator recovered, and degradation was
+        // graceful — non-zero throughput at a meaningful fraction of the
+        // clean run's despite losing a core and an operator for a while.
+        let recovered = stats.crashes > 0 && stats.restarts > 0 && stats.crashed_left == 0;
+        let ratio = if clean.throughput_tps > 0.0 {
+            faulted.throughput_tps / clean.throughput_tps
+        } else {
+            0.0
+        };
+        let graceful = faulted.throughput_tps > 0.0 && ratio > 0.3;
+        fig.notes.push(format!(
+            "rate {rate}: recovered={} graceful_degradation={} tput_ratio={:.2} \
+             crashes={} restarts={} intervals={} open={}",
+            if recovered { "PASS" } else { "FAIL" },
+            if graceful { "PASS" } else { "FAIL" },
+            ratio,
+            stats.crashes,
+            stats.restarts,
+            stats.intervals,
+            stats.open_intervals,
+        ));
+        if !recovered || !graceful {
+            eprintln!("warning: figc2 rate {rate}: recovered={recovered} graceful={graceful}");
+        }
+        clean_points.push(SweepPoint {
+            x: rate,
+            m: {
+                let mut m = clean;
+                m.queue_samples.clear();
+                m
+            },
+        });
+        faulted_points.push(SweepPoint {
+            x: rate,
+            m: {
+                let mut m = faulted;
+                m.queue_samples.clear();
+                m
+            },
+        });
+    }
+    fig.series.push(Series {
+        label: "LACHESIS-QS".into(),
+        points: clean_points,
+    });
+    fig.series.push(Series {
+        label: "LACHESIS-QS+substrate-faults".into(),
         points: faulted_points,
     });
     vec![fig]

@@ -9,7 +9,7 @@
 //! fold back in input order — trace artifacts are byte-identical for any
 //! `--jobs` value, like every other emitted artifact.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::rc::Rc;
 
@@ -368,6 +368,28 @@ fn append_dump(events: &mut Vec<Json>, idx: u64, dump: &TraceDump) {
                     &[("thread", tid.as_u64() as f64), ("cgroup", cgroup.as_u64() as f64)],
                 ));
             }
+            TraceEvent::CpuOffline { node, cpu } => {
+                events.push(phase_event(
+                    "cpu_offline",
+                    "kernel",
+                    "i",
+                    ts,
+                    cpu_pid,
+                    *node * CPU_LANE_STRIDE + *cpu as u64,
+                    &[],
+                ));
+            }
+            TraceEvent::CpuOnline { node, cpu } => {
+                events.push(phase_event(
+                    "cpu_online",
+                    "kernel",
+                    "i",
+                    ts,
+                    cpu_pid,
+                    *node * CPU_LANE_STRIDE + *cpu as u64,
+                    &[],
+                ));
+            }
             TraceEvent::SpanBegin { track, name, args } => {
                 let (pid, tid, cat) = track_lane(track, thr_pid, mid_pid);
                 events.push(phase_event(name, cat, "B", ts, pid, tid, args));
@@ -440,6 +462,82 @@ pub fn validate_chrome(text: &str) -> Result<usize, String> {
             .ok_or_else(|| format!("event {i}: missing 'ph'"))?;
     }
     Ok(events.len())
+}
+
+// ---------------------------------------------------------------------
+// Hotplug shape validation
+// ---------------------------------------------------------------------
+
+/// Counts of the fault-relevant events found by [`validate_hotplug`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotplugStats {
+    /// Number of `CpuOffline` events.
+    pub offlines: u64,
+    /// Number of `CpuOnline` events.
+    pub onlines: u64,
+    /// Number of `Migration` (cgroup move) events.
+    pub migrations: u64,
+}
+
+/// Validates the hotplug shape of a trace from the raw records alone:
+/// replaying per-CPU occupancy (from `Switch`/`Block`/`Preempt`/
+/// `SliceExpire`) in record order, every `CpuOffline` must find its CPU
+/// vacated — the kernel preempts the occupant *before* the offline event
+/// at the same instant — and no thread may be dispatched onto a CPU
+/// inside its offline window. This is the "CPU-offline strands zero
+/// threads" acceptance check, asserted purely from the trace.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: a thread still occupying
+/// a CPU when it goes offline, a dispatch onto a dead CPU, or a
+/// double-offline/double-online of the same CPU.
+pub fn validate_hotplug(dump: &TraceDump) -> Result<HotplugStats, String> {
+    let mut stats = HotplugStats::default();
+    // (node, cpu) -> occupant tid, for CPUs currently running something.
+    let mut occupant: BTreeMap<(u64, usize), u64> = BTreeMap::new();
+    let mut offline: BTreeSet<(u64, usize)> = BTreeSet::new();
+    for rec in &dump.records {
+        let at = rec.at.as_secs_f64();
+        match &rec.event {
+            TraceEvent::Switch { node, cpu, next, .. } => {
+                if offline.contains(&(*node, *cpu)) {
+                    return Err(format!(
+                        "thread {} dispatched onto offline cpu {node}/{cpu} at {at:.6}s",
+                        next.as_u64()
+                    ));
+                }
+                occupant.insert((*node, *cpu), next.as_u64());
+            }
+            TraceEvent::Block { node, cpu, .. }
+            | TraceEvent::Preempt { node, cpu, .. }
+            | TraceEvent::SliceExpire { node, cpu, .. } => {
+                occupant.remove(&(*node, *cpu));
+            }
+            TraceEvent::CpuOffline { node, cpu } => {
+                stats.offlines += 1;
+                if let Some(tid) = occupant.get(&(*node, *cpu)) {
+                    return Err(format!(
+                        "thread {tid} left on cpu {node}/{cpu} going offline at {at:.6}s"
+                    ));
+                }
+                if !offline.insert((*node, *cpu)) {
+                    return Err(format!("double offline of cpu {node}/{cpu} at {at:.6}s"));
+                }
+            }
+            TraceEvent::CpuOnline { node, cpu } => {
+                stats.onlines += 1;
+                if !offline.remove(&(*node, *cpu)) {
+                    return Err(format!(
+                        "online of cpu {node}/{cpu} that was not offline at {at:.6}s"
+                    ));
+                }
+            }
+            TraceEvent::Migration { .. } => stats.migrations += 1,
+            _ => {}
+        }
+    }
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------
@@ -562,6 +660,7 @@ pub fn validate_summary(summary: &str) -> Result<(), String> {
 pub fn traced_experiment(id: &str, opts: &ExpOptions, ring: Option<usize>) -> Vec<TraceDump> {
     match id {
         "figc1" => crate::experiments::chaos::trace_figc1(opts, ring),
+        "figc2" => crate::experiments::chaos::trace_figc2(opts, ring),
         _ => vec![traced_single_query(id, opts, ring)],
     }
 }
@@ -746,5 +845,85 @@ mod tests {
         assert!(validate_chrome("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
         assert!(validate_chrome("{}").is_err());
         assert!(validate_summary("share 12.5% NaN").is_err());
+    }
+
+    /// A well-formed hotplug sequence: the occupant is preempted at the
+    /// same instant the CPU goes offline (record order: Preempt first),
+    /// migrates cgroups, and dispatch resumes after the CPU comes back.
+    fn hotplug_dump(preempt_before_offline: bool) -> TraceDump {
+        use simos::CgroupId;
+        let mut records = vec![TraceRecord {
+            at: t(0),
+            event: TraceEvent::Switch {
+                node: 0,
+                cpu: 1,
+                prev: None,
+                next: tid(1),
+                fresh: true,
+            },
+        }];
+        if preempt_before_offline {
+            records.push(TraceRecord {
+                at: t(1_000),
+                event: TraceEvent::Preempt { node: 0, cpu: 1, tid: tid(1) },
+            });
+        }
+        records.push(TraceRecord {
+            at: t(1_000),
+            event: TraceEvent::CpuOffline { node: 0, cpu: 1 },
+        });
+        records.push(TraceRecord {
+            at: t(1_100),
+            event: TraceEvent::Migration { tid: tid(1), cgroup: CgroupId::from_u64(0) },
+        });
+        records.push(TraceRecord {
+            at: t(2_000),
+            event: TraceEvent::CpuOnline { node: 0, cpu: 1 },
+        });
+        records.push(TraceRecord {
+            at: t(2_500),
+            event: TraceEvent::Switch {
+                node: 0,
+                cpu: 1,
+                prev: Some(tid(1)),
+                next: tid(1),
+                fresh: true,
+            },
+        });
+        TraceDump {
+            label: "hotplug".into(),
+            threads: vec![ThreadMeta { tid: 1, name: "op-a".into(), node: 0 }],
+            nodes: vec![NodeMeta { index: 0, name: "n0".into(), cpus: 2 }],
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn hotplug_validation_accepts_clean_sequence() {
+        let stats = validate_hotplug(&hotplug_dump(true)).expect("clean hotplug");
+        assert_eq!(
+            stats,
+            HotplugStats { offlines: 1, onlines: 1, migrations: 1 }
+        );
+        // The exported Chrome document carries the offline/online instants.
+        let text = export_chrome(&[hotplug_dump(true)]).compact();
+        validate_chrome(&text).expect("valid trace");
+        assert!(text.contains("cpu_offline") && text.contains("cpu_online"));
+    }
+
+    #[test]
+    fn hotplug_validation_catches_stranded_thread() {
+        let err = validate_hotplug(&hotplug_dump(false)).unwrap_err();
+        assert!(err.contains("left on cpu"), "{err}");
+    }
+
+    #[test]
+    fn hotplug_validation_catches_dispatch_to_dead_cpu() {
+        let mut dump = hotplug_dump(true);
+        // Remove the CpuOnline so the final Switch targets a dead CPU.
+        dump.records.retain(|r| !matches!(r.event, TraceEvent::CpuOnline { .. }));
+        let err = validate_hotplug(&dump).unwrap_err();
+        assert!(err.contains("offline cpu"), "{err}");
     }
 }

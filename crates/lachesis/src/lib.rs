@@ -38,6 +38,7 @@ mod policies;
 mod policies_ext;
 mod policy;
 mod schedule;
+mod snapshot;
 mod supervisor;
 mod transform;
 mod translate;
@@ -53,6 +54,7 @@ pub use policies::{
 pub use policies_ext::{ChainPolicy, RateBasedPolicy};
 pub use policy::{Policy, PolicyView};
 pub use schedule::{GroupingSchedule, Schedule, SinglePrioritySchedule};
+pub use snapshot::SnapshotError;
 pub use supervisor::{
     BindingHealth, DegradedInterval, FaultEvent, FaultLog, SupervisorConfig,
 };

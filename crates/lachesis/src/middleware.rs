@@ -17,6 +17,7 @@ use crate::driver::SpeDriver;
 use crate::entity::OpRef;
 use crate::policy::{Policy, PolicyView};
 use crate::schedule::Schedule;
+use crate::snapshot::SnapshotError;
 use crate::supervisor::{BindingHealth, FaultLog, SupervisorConfig};
 use crate::translate::{TranslateError, Translator};
 
@@ -100,6 +101,9 @@ struct PolicyBinding {
     health: BindingHealth,
     /// Whether the initial `engage` supervisor trace event was emitted.
     announced: bool,
+    /// The last successfully applied `(op, priority)` pairs — the state a
+    /// crash-recovery snapshot re-applies on cold restart.
+    last_applied: Vec<(OpRef, f64)>,
 }
 
 /// The Lachesis middleware.
@@ -181,6 +185,7 @@ impl LachesisBuilder {
             next_run: SimTime::ZERO,
             health: BindingHealth::Engaged,
             announced: false,
+            last_applied: Vec::new(),
         });
         self
     }
@@ -474,9 +479,10 @@ impl Lachesis {
         b.translator.apply(
             kernel,
             driver.as_ref(),
-            &Schedule::Single(schedule),
+            &Schedule::Single(schedule.clone()),
             b.policy.priority_kind(),
         )?;
+        b.last_applied = schedule.iter().collect();
         Ok(())
     }
 
@@ -599,6 +605,113 @@ impl Lachesis {
         }
     }
 
+    /// Serializes the middleware's recoverable state — per-binding
+    /// supervisor health, next run time and last applied priorities — into
+    /// the versioned text format of [`crate::snapshot`]. Everything else
+    /// (drivers, policies, metric caches) is configuration or soft state a
+    /// cold restart rebuilds from the builder and the next metric refresh.
+    pub fn snapshot(&self) -> String {
+        let bindings: Vec<crate::snapshot::BindingSnapshot> = self
+            .bindings
+            .iter()
+            .map(|b| crate::snapshot::BindingSnapshot {
+                health: b.health,
+                next_run: b.next_run,
+                announced: b.announced,
+                applied: b.last_applied.clone(),
+            })
+            .collect();
+        crate::snapshot::encode(&bindings)
+    }
+
+    /// Restores state captured by [`snapshot`](Lachesis::snapshot) into a
+    /// freshly built, identically configured instance (same drivers, same
+    /// policy bindings in the same order). A binding whose stored
+    /// `next_run` already passed while the middleware was down is simply
+    /// due at the first wake — no rounds are replayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the text is not a v1 snapshot or
+    /// its binding count does not match this instance.
+    pub fn restore(&mut self, text: &str) -> Result<(), SnapshotError> {
+        let decoded = crate::snapshot::decode(text)?;
+        if decoded.len() != self.bindings.len() {
+            return Err(SnapshotError::BindingCountMismatch {
+                expected: self.bindings.len(),
+                found: decoded.len(),
+            });
+        }
+        for (b, s) in self.bindings.iter_mut().zip(decoded) {
+            b.health = s.health;
+            b.next_run = s.next_run;
+            b.announced = s.announced;
+            b.last_applied = s.applied;
+        }
+        Ok(())
+    }
+
+    /// Re-applies every binding's last snapshotted schedule through its
+    /// translator, re-discovering live threads through the driver. Call
+    /// once after [`restore`](Lachesis::restore), before resuming the
+    /// loop: the OS-level priorities (lost if the kernel restarted, stale
+    /// if operators respawned) match the pre-crash schedule again without
+    /// waiting for fresh metrics. Idempotent — re-applying an already
+    /// in-force schedule is a no-op at the OS level.
+    ///
+    /// Best-effort by design: an operator that no longer resolves to a
+    /// live thread is skipped (the next regular round reschedules
+    /// whatever actually runs). Returns the number of bindings whose
+    /// schedule was re-applied cleanly.
+    pub fn reapply_snapshot(&mut self, kernel: &mut Kernel) -> usize {
+        let now = kernel.now();
+        let mut clean = 0;
+        for idx in 0..self.bindings.len() {
+            if self.bindings[idx].last_applied.is_empty() {
+                continue;
+            }
+            let driver = Rc::clone(&self.drivers[self.bindings[idx].driver_idx]);
+            let live: std::collections::HashSet<OpRef> =
+                driver.entities().into_iter().collect();
+            let b = &mut self.bindings[idx];
+            let schedule: crate::schedule::SinglePrioritySchedule = b
+                .last_applied
+                .iter()
+                .copied()
+                .filter(|(op, _)| live.contains(op))
+                .collect();
+            if schedule.is_empty() {
+                continue;
+            }
+            let outcome = b.translator.apply(
+                kernel,
+                driver.as_ref(),
+                &Schedule::Single(schedule),
+                b.policy.priority_kind(),
+            );
+            match outcome {
+                Ok(()) => {
+                    clean += 1;
+                    Self::emit(kernel, || TraceEvent::Instant {
+                        track: TraceTrack::Supervisor,
+                        name: "reapply",
+                        args: vec![("binding", idx as f64)],
+                    });
+                }
+                Err(e) => {
+                    let e = LachesisError::from(e);
+                    self.log.borrow_mut().record_error(
+                        now,
+                        Some(idx),
+                        e.kind_label(),
+                        format!("snapshot re-apply: {e}"),
+                    );
+                }
+            }
+        }
+        clean
+    }
+
     /// Installs the middleware as a periodic kernel activity and hands
     /// ownership to the kernel. Returns the callback id (for cancellation).
     ///
@@ -613,6 +726,25 @@ impl Lachesis {
             // Persistent errors were already recorded in the fault log by
             // run_if_due; the loop keeps running so queries stay scheduled.
             let _ = self.run_if_due(k);
+        })
+    }
+
+    /// Like [`start`](Lachesis::start), but writes a fresh crash-recovery
+    /// snapshot into `sink` after every wake — the write-ahead state an
+    /// external watchdog would persist. Killing the returned callback
+    /// ([`Kernel::cancel_callback`]), building an identically configured
+    /// instance, [`restore`](Lachesis::restore)-ing the sink's contents and
+    /// starting it again resumes scheduling where the dead process left
+    /// off.
+    pub fn start_with_snapshots(
+        mut self,
+        kernel: &mut Kernel,
+        sink: Rc<RefCell<String>>,
+    ) -> CallbackId {
+        let period = self.wake_period();
+        kernel.schedule_periodic(period, period, move |k| {
+            let _ = self.run_if_due(k);
+            *sink.borrow_mut() = self.snapshot();
         })
     }
 }

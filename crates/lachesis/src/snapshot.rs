@@ -1,0 +1,291 @@
+//! Middleware crash-recovery snapshots.
+//!
+//! Lachesis is stateful in exactly three places: per-binding supervisor
+//! health, the next scheduled run time, and the last successfully applied
+//! schedule. A snapshot captures those so a middleware process killed
+//! mid-experiment can cold-restart, re-discover live entities through its
+//! driver, idempotently re-apply the last known priorities and resume the
+//! periodic loop — converging to the same schedule as an uninterrupted run.
+//!
+//! The format is a versioned line-based text document (no serde in the
+//! dependency tree). Priorities are serialized as the hex bit pattern of
+//! the `f64` so the round-trip is exact:
+//!
+//! ```text
+//! lachesis-snapshot v1
+//! bindings 2
+//! binding 0 health=engaged next_run=1500000000 announced=1 applied=2
+//! apply 0 q0/op1 3ff0000000000000
+//! apply 0 q0/op2 4008000000000000
+//! binding 1 health=degraded:2 next_run=2000000000 announced=1 applied=0
+//! ```
+
+use std::fmt;
+
+use simos::SimTime;
+
+use crate::entity::OpRef;
+use crate::supervisor::BindingHealth;
+
+/// Magic first line of every snapshot.
+const HEADER: &str = "lachesis-snapshot v1";
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The text does not start with the v1 header.
+    BadHeader,
+    /// A line could not be parsed (1-based line number and content).
+    BadLine(usize, String),
+    /// The snapshot's binding count does not match the middleware it is
+    /// being restored into — snapshots only restore into an identically
+    /// configured instance.
+    BindingCountMismatch {
+        /// Bindings in the middleware being restored into.
+        expected: usize,
+        /// Bindings recorded in the snapshot.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadHeader => write!(f, "missing `{HEADER}` header"),
+            SnapshotError::BadLine(n, l) => write!(f, "unparseable snapshot line {n}: {l:?}"),
+            SnapshotError::BindingCountMismatch { expected, found } => write!(
+                f,
+                "snapshot has {found} binding(s) but the middleware has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The persisted state of one policy binding.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct BindingSnapshot {
+    pub health: BindingHealth,
+    pub next_run: SimTime,
+    pub announced: bool,
+    /// `(op, priority)` pairs of the last successfully applied schedule,
+    /// in entity order; empty when no apply has succeeded yet.
+    pub applied: Vec<(OpRef, f64)>,
+}
+
+fn encode_health(h: BindingHealth) -> String {
+    match h {
+        BindingHealth::Engaged => "engaged".to_owned(),
+        BindingHealth::Degraded {
+            consecutive_failures,
+        } => format!("degraded:{consecutive_failures}"),
+        BindingHealth::FallenBack { since } => format!("fallen_back:{}", since.as_nanos()),
+    }
+}
+
+fn decode_health(s: &str) -> Option<BindingHealth> {
+    if s == "engaged" {
+        return Some(BindingHealth::Engaged);
+    }
+    if let Some(n) = s.strip_prefix("degraded:") {
+        return Some(BindingHealth::Degraded {
+            consecutive_failures: n.parse().ok()?,
+        });
+    }
+    if let Some(n) = s.strip_prefix("fallen_back:") {
+        return Some(BindingHealth::FallenBack {
+            since: SimTime::from_nanos(n.parse().ok()?),
+        });
+    }
+    None
+}
+
+/// `q<i>/op<j>` — the `Display` form of [`OpRef`].
+fn decode_op(s: &str) -> Option<OpRef> {
+    let (q, op) = s.split_once('/')?;
+    Some(OpRef::new(
+        q.strip_prefix('q')?.parse().ok()?,
+        op.strip_prefix("op")?.parse().ok()?,
+    ))
+}
+
+pub(crate) fn encode(bindings: &[BindingSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("bindings {}\n", bindings.len()));
+    for (idx, b) in bindings.iter().enumerate() {
+        out.push_str(&format!(
+            "binding {idx} health={} next_run={} announced={} applied={}\n",
+            encode_health(b.health),
+            b.next_run.as_nanos(),
+            b.announced as u8,
+            b.applied.len(),
+        ));
+        for (op, p) in &b.applied {
+            out.push_str(&format!("apply {idx} {op} {:016x}\n", p.to_bits()));
+        }
+    }
+    out
+}
+
+pub(crate) fn decode(text: &str) -> Result<Vec<BindingSnapshot>, SnapshotError> {
+    let mut lines = text.lines().enumerate();
+    let bad = |n: usize, l: &str| SnapshotError::BadLine(n + 1, l.to_owned());
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        _ => return Err(SnapshotError::BadHeader),
+    }
+    let count: usize = match lines.next() {
+        Some((n, l)) => l
+            .strip_prefix("bindings ")
+            .and_then(|c| c.trim().parse().ok())
+            .ok_or_else(|| bad(n, l))?,
+        None => return Err(SnapshotError::BadHeader),
+    };
+    let mut out: Vec<BindingSnapshot> = Vec::with_capacity(count);
+    for (n, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("binding") => {
+                let idx: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                if idx != out.len() {
+                    return Err(bad(n, line));
+                }
+                let mut health = None;
+                let mut next_run = None;
+                let mut announced = None;
+                for f in fields {
+                    let (key, val) = f.split_once('=').ok_or_else(|| bad(n, line))?;
+                    match key {
+                        "health" => health = decode_health(val),
+                        "next_run" => {
+                            next_run = val.parse().ok().map(SimTime::from_nanos);
+                        }
+                        "announced" => announced = Some(val == "1"),
+                        // `applied=<m>` is advisory; the entry count is
+                        // implied by the `apply` lines that follow.
+                        "applied" => {}
+                        _ => return Err(bad(n, line)),
+                    }
+                }
+                out.push(BindingSnapshot {
+                    health: health.ok_or_else(|| bad(n, line))?,
+                    next_run: next_run.ok_or_else(|| bad(n, line))?,
+                    announced: announced.ok_or_else(|| bad(n, line))?,
+                    applied: Vec::new(),
+                });
+            }
+            Some("apply") => {
+                let idx: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                let op = fields
+                    .next()
+                    .and_then(decode_op)
+                    .ok_or_else(|| bad(n, line))?;
+                let bits = fields
+                    .next()
+                    .and_then(|f| u64::from_str_radix(f, 16).ok())
+                    .ok_or_else(|| bad(n, line))?;
+                if idx + 1 != out.len() || fields.next().is_some() {
+                    return Err(bad(n, line));
+                }
+                out[idx].applied.push((op, f64::from_bits(bits)));
+            }
+            _ => return Err(bad(n, line)),
+        }
+    }
+    if out.len() != count {
+        return Err(SnapshotError::BindingCountMismatch {
+            expected: count,
+            found: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<BindingSnapshot> {
+        vec![
+            BindingSnapshot {
+                health: BindingHealth::Engaged,
+                next_run: SimTime::from_nanos(1_500_000_000),
+                announced: true,
+                applied: vec![
+                    (OpRef::new(0, 1), 1.0),
+                    (OpRef::new(0, 2), -0.25),
+                    (OpRef::new(1, 0), f64::NEG_INFINITY),
+                ],
+            },
+            BindingSnapshot {
+                health: BindingHealth::Degraded {
+                    consecutive_failures: 2,
+                },
+                next_run: SimTime::from_nanos(2_000_000_000),
+                announced: false,
+                applied: Vec::new(),
+            },
+            BindingSnapshot {
+                health: BindingHealth::FallenBack {
+                    since: SimTime::from_nanos(7),
+                },
+                next_run: SimTime::ZERO,
+                announced: true,
+                applied: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let original = sample();
+        let text = encode(&original);
+        assert!(text.starts_with("lachesis-snapshot v1\n"));
+        let decoded = decode(&text).unwrap();
+        assert_eq!(decoded, original);
+        // Priorities round-trip bit-exactly, including non-finite values.
+        assert_eq!(decoded[0].applied[2].1, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode("not a snapshot"), Err(SnapshotError::BadHeader));
+        assert!(matches!(
+            decode("lachesis-snapshot v1\nbindings 1\nbogus line"),
+            Err(SnapshotError::BadLine(3, _))
+        ));
+        assert_eq!(
+            decode("lachesis-snapshot v1\nbindings 2\nbinding 0 health=engaged next_run=0 announced=1 applied=0"),
+            Err(SnapshotError::BindingCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+    }
+
+    #[test]
+    fn health_encoding_is_stable() {
+        assert_eq!(
+            decode_health("degraded:3"),
+            Some(BindingHealth::Degraded {
+                consecutive_failures: 3
+            })
+        );
+        assert_eq!(decode_health("nonsense"), None);
+        assert_eq!(decode_op("q2/op5"), Some(OpRef::new(2, 5)));
+        assert_eq!(decode_op("2/5"), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Middleware crash-recovery end-to-end test: Lachesis is killed at an
+//! arbitrary scheduling round mid-experiment, cold-restarted from its
+//! crash-recovery snapshot, and must converge to the same final priority
+//! assignment as an uninterrupted run (ISSUE acceptance criterion).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    BindingHealth, Lachesis, LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope,
+    SnapshotError, StoreDriver,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, SimDuration};
+use spe::{
+    deploy, Consume, CostModel, EngineConfig, LogicalGraph, Partitioning, PassThrough, Placement,
+    Role, RunningQuery, Tuple,
+};
+
+fn skewed_pipeline(name: &str, rate: f64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+        Box::new(PassThrough)
+    });
+    let light = b.op("light", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let hot = b.op("hot", Role::Transform, CostModel::micros(400), 1, || {
+        Box::new(PassThrough)
+    });
+    let light2 = b.op("light2", Role::Transform, CostModel::micros(30), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, light, Partitioning::Forward);
+    b.edge(light, hot, Partitioning::Forward);
+    b.edge(hot, light2, Partitioning::Forward);
+    b.edge(light2, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+struct Setup {
+    kernel: Kernel,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+}
+
+fn setup(n_queries: usize, rate: f64) -> Setup {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+    let queries = (0..n_queries)
+        .map(|i| {
+            deploy(
+                &mut kernel,
+                skewed_pipeline(&format!("q{i}"), rate),
+                EngineConfig::storm(),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .unwrap()
+        })
+        .collect();
+    Setup {
+        kernel,
+        queries,
+        store,
+    }
+}
+
+fn build_middleware(s: &Setup) -> Lachesis {
+    LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .build()
+}
+
+/// The final nice of every operator thread, in deterministic order.
+fn final_nices(s: &Setup) -> Vec<i32> {
+    s.queries
+        .iter()
+        .flat_map(|q| {
+            (0..q.op_count()).map(|i| {
+                let tid = q.cell(i).thread().unwrap();
+                s.kernel.thread_info(tid).unwrap().nice.value()
+            })
+        })
+        .collect()
+}
+
+const TOTAL: SimDuration = SimDuration::from_secs(30);
+
+/// Uninterrupted reference run: one middleware instance for the full
+/// experiment.
+fn run_uninterrupted() -> (Vec<i32>, u64) {
+    let mut s = setup(2, 2500.0);
+    build_middleware(&s).start(&mut s.kernel);
+    s.kernel.run_for(TOTAL);
+    let egress = s.queries.iter().map(|q| q.egress_total()).sum();
+    (final_nices(&s), egress)
+}
+
+/// Kill-and-restart run: the middleware is cancelled at `kill_ms` (an
+/// arbitrary offset, deliberately not aligned to a scheduling round), the
+/// experiment runs headless for `down_ms`, then an identically configured
+/// instance restores the last snapshot, re-applies it and resumes.
+fn run_interrupted(kill_ms: u64, down_ms: u64) -> (Vec<i32>, u64) {
+    let mut s = setup(2, 2500.0);
+    let sink = Rc::new(RefCell::new(String::new()));
+    let cb = build_middleware(&s).start_with_snapshots(&mut s.kernel, Rc::clone(&sink));
+
+    s.kernel.run_for(SimDuration::from_millis(kill_ms));
+    s.kernel.cancel_callback(cb);
+    let saved = sink.borrow().clone();
+    assert!(
+        saved.starts_with("lachesis-snapshot v1"),
+        "snapshot written before the kill"
+    );
+
+    // The outage: queries keep running, nobody schedules.
+    s.kernel.run_for(SimDuration::from_millis(down_ms));
+
+    // Cold restart: fresh instance, same configuration, restore + re-apply.
+    let mut restarted = build_middleware(&s);
+    restarted.restore(&saved).expect("snapshot restores");
+    assert_eq!(
+        restarted.binding_health(0),
+        Some(BindingHealth::Engaged),
+        "health restored from the snapshot"
+    );
+    assert_eq!(
+        restarted.reapply_snapshot(&mut s.kernel),
+        1,
+        "the saved schedule re-applied cleanly"
+    );
+    restarted.start(&mut s.kernel);
+
+    s.kernel
+        .run_for(TOTAL - SimDuration::from_millis(kill_ms + down_ms));
+    let egress = s.queries.iter().map(|q| q.egress_total()).sum();
+    (final_nices(&s), egress)
+}
+
+#[test]
+fn kill_and_restart_converges_to_uninterrupted_schedule() {
+    let (reference, egress_ref) = run_uninterrupted();
+    // Kill at t=11.3s (mid-experiment, not round-aligned), down for 4s.
+    let (restarted, egress_restarted) = run_interrupted(11_300, 4_000);
+
+    assert_eq!(
+        restarted, reference,
+        "kill-and-restart converged to the uninterrupted final assignment"
+    );
+    // The assignment is a real skewed schedule, not everything-default:
+    // each query's hot operator holds a better nice than its light one.
+    let per_query = reference.len() / 2;
+    for q in 0..2 {
+        let light = reference[q * per_query + 1];
+        let hot = reference[q * per_query + 2];
+        assert!(
+            hot <= 0 && hot < light,
+            "query {q}: hot nice {hot} vs light nice {light}"
+        );
+    }
+    // Graceful degradation during the outage, not collapse.
+    assert!(egress_restarted > 0, "queries produced throughout");
+    let ratio = egress_restarted as f64 / egress_ref as f64;
+    assert!(
+        ratio > 0.5,
+        "restarted run kept most of the throughput: {ratio:.2}"
+    );
+}
+
+#[test]
+fn convergence_holds_at_different_kill_points() {
+    let (reference, _) = run_uninterrupted();
+    for (kill_ms, down_ms) in [(5_700, 2_000), (19_100, 6_500)] {
+        let (restarted, _) = run_interrupted(kill_ms, down_ms);
+        assert_eq!(
+            restarted, reference,
+            "kill at {kill_ms}ms / down {down_ms}ms converged"
+        );
+    }
+}
+
+#[test]
+fn restore_round_trips_and_rejects_mismatched_config() {
+    let mut s = setup(1, 1000.0);
+    let sink = Rc::new(RefCell::new(String::new()));
+    build_middleware(&s).start_with_snapshots(&mut s.kernel, Rc::clone(&sink));
+    s.kernel.run_for(SimDuration::from_secs(5));
+    let saved = sink.borrow().clone();
+
+    // Restoring into an identical instance reproduces the snapshot.
+    let mut twin = build_middleware(&s);
+    twin.restore(&saved).unwrap();
+    assert_eq!(twin.snapshot(), saved, "restore/snapshot round-trips");
+
+    // A differently configured instance refuses the snapshot.
+    let mut other = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(0, Scope::AllQueries, QueueSizePolicy::default(), NiceTranslator::new())
+        .policy(0, Scope::Query(0), QueueSizePolicy::default(), NiceTranslator::new())
+        .build();
+    assert_eq!(
+        other.restore(&saved),
+        Err(SnapshotError::BindingCountMismatch {
+            expected: 2,
+            found: 1
+        })
+    );
+    assert_eq!(
+        twin.restore("corrupted checkpoint"),
+        Err(SnapshotError::BadHeader)
+    );
+}

@@ -48,6 +48,15 @@ pub enum FaultKind {
         /// hits every operation.
         op: Option<&'static str>,
     },
+    /// An SPE operator crashes (fail-stop) at the rule's window start.
+    /// The operator is named by the rule's `source` field; the SPE layer
+    /// consults [`FaultPlan::crash_time`] at deploy to schedule the
+    /// poison.
+    OperatorCrash,
+    /// A restart attempt for a crashed operator fails, forcing the
+    /// restart supervisor through its backoff schedule. The operator is
+    /// named by the rule's `source` field.
+    RestartFailure,
 }
 
 impl FaultKind {
@@ -60,6 +69,8 @@ impl FaultKind {
             FaultKind::StaleMetrics => "stale_metrics",
             FaultKind::FetchLatency { .. } => "fetch_latency",
             FaultKind::ApplyFailure { .. } => "apply_failure",
+            FaultKind::OperatorCrash => "operator_crash",
+            FaultKind::RestartFailure => "restart_failure",
         }
     }
 }
@@ -228,6 +239,37 @@ impl FaultPlan {
         })
     }
 
+    /// Crashes (fail-stop) the operator labelled `label` at sim time `at`.
+    /// The SPE layer consults [`FaultPlan::crash_time`] at deploy time.
+    pub fn operator_crash(self, label: &str, at: SimTime) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::OperatorCrash,
+            from: at,
+            until: at + SimDuration::from_nanos(1),
+            source: Some(label.to_owned()),
+            probability: 1.0,
+        })
+    }
+
+    /// Restart attempts for operator `label` (`None` = any operator) fail
+    /// with `probability` during `[from, until)`, forcing the restart
+    /// supervisor through its backoff schedule.
+    pub fn restart_failure(
+        self,
+        label: Option<&str>,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) -> Self {
+        self.rule(FaultRule {
+            kind: FaultKind::RestartFailure,
+            from,
+            until,
+            source: label.map(str::to_owned),
+            probability,
+        })
+    }
+
     /// One deterministic coin flip with probability `p`.
     fn decide(&mut self, p: f64) -> bool {
         if p <= 0.0 {
@@ -347,6 +389,47 @@ impl FaultPlan {
         false
     }
 
+    /// The earliest scheduled crash instant for operator `label`, if any
+    /// [`FaultKind::OperatorCrash`] rule names it. Pure query — the SPE
+    /// reads it at deploy time and materializes the crash itself (then
+    /// records it via [`FaultPlan::record_injected`]).
+    pub fn crash_time(&self, label: &str) -> Option<SimTime> {
+        self.rules
+            .iter()
+            .filter(|r| r.kind == FaultKind::OperatorCrash && r.matches_source(label))
+            .map(|r| r.from)
+            .min()
+    }
+
+    /// Should this restart attempt for operator `label` fail? Consult once
+    /// per attempt.
+    pub fn restart_fails(&mut self, label: &str, now: SimTime) -> bool {
+        for i in 0..self.rules.len() {
+            let p = {
+                let r = &self.rules[i];
+                if r.kind != FaultKind::RestartFailure
+                    || !r.active(now)
+                    || !r.matches_source(label)
+                {
+                    continue;
+                }
+                r.probability
+            };
+            if self.decide(p) {
+                self.count("restart_failure");
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a fault that an upper layer materialized itself (e.g. an
+    /// operator crash fired by the SPE at the instant returned by
+    /// [`FaultPlan::crash_time`]) so it appears in the injection counters.
+    pub fn record_injected(&mut self, label: &'static str) {
+        self.count(label);
+    }
+
     /// How many faults of each kind have been injected so far.
     pub fn injected(&self) -> &BTreeMap<&'static str, u64> {
         &self.injected
@@ -427,6 +510,29 @@ mod tests {
         assert!(plan.kernel_fault("set_nice", t(1)));
         assert!(!plan.kernel_fault("set_cpu_shares", t(1)));
         assert_eq!(plan.injected_total(), 1);
+    }
+
+    #[test]
+    fn operator_crash_is_a_pure_schedule_query() {
+        let plan = FaultPlan::new(1)
+            .operator_crash("etl/map", t(30))
+            .operator_crash("etl/map", t(12))
+            .operator_crash("etl/sink", t(5));
+        assert_eq!(plan.crash_time("etl/map"), Some(t(12)), "earliest wins");
+        assert_eq!(plan.crash_time("etl/sink"), Some(t(5)));
+        assert_eq!(plan.crash_time("etl/src"), None);
+    }
+
+    #[test]
+    fn restart_failures_window_and_filter_by_label() {
+        let mut plan = FaultPlan::new(2).restart_failure(Some("op"), t(5), t(10), 1.0);
+        assert!(!plan.restart_fails("op", t(4)));
+        assert!(plan.restart_fails("op", t(6)));
+        assert!(!plan.restart_fails("other", t(6)));
+        assert!(!plan.restart_fails("op", t(10)), "window end is exclusive");
+        assert_eq!(plan.injected()["restart_failure"], 1);
+        plan.record_injected("operator_crash");
+        assert_eq!(plan.injected()["operator_crash"], 1);
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod names {
     pub const HIGHEST_RATE: MetricName = MetricName("policy.highest_rate");
     /// Mean processing latency observed at an egress operator.
     pub const LATENCY: MetricName = MetricName("sink.latency");
+    /// Operator health: 1.0 up, 0.0 down (crashed, awaiting restart).
+    pub const HEALTH: MetricName = MetricName("op.health");
 }
 
 /// One sampled metric value and (if known) when it was sampled.

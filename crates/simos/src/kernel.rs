@@ -78,6 +78,15 @@ pub enum KernelError {
     },
     /// The target thread has exited.
     ThreadExited(ThreadId),
+    /// The CPU index is out of range for the node (hotplug).
+    UnknownCpu {
+        /// The node the CPU was looked up on.
+        node: NodeId,
+        /// The out-of-range CPU index.
+        cpu: usize,
+    },
+    /// Taking this CPU offline would leave its node with no online CPU.
+    LastOnlineCpu(NodeId),
     /// A fault hook injected a failure into this operation (fault testing;
     /// see [`Kernel::set_fault_hook`]). Models transient syscall / cgroupfs
     /// write errors, so callers should treat it as retryable.
@@ -97,6 +106,12 @@ impl fmt::Display for KernelError {
                 write!(f, "thread {thread} and cgroup {cgroup} are on different nodes")
             }
             KernelError::ThreadExited(t) => write!(f, "thread {t} has exited"),
+            KernelError::UnknownCpu { node, cpu } => {
+                write!(f, "node {node} has no cpu {cpu}")
+            }
+            KernelError::LastOnlineCpu(n) => {
+                write!(f, "cannot offline the last online cpu of node {n}")
+            }
             KernelError::InjectedFault { op } => write!(f, "injected fault in {op}"),
         }
     }
@@ -169,6 +184,9 @@ struct Cpu {
     slice_end: SimTime,
     last_thread: Option<ThreadId>,
     busy: SimDuration,
+    /// Whether the CPU participates in dispatch (CPU hotplug). Offline
+    /// CPUs never receive threads and count as neither busy nor idle.
+    online: bool,
     /// Instant up to which the running thread has been charged. CPU time
     /// is charged lazily, only when this CPU's own event fires (or an
     /// observer needs consistent state), not on every global advance.
@@ -594,6 +612,7 @@ impl Kernel {
                     slice_end: SimTime::MAX,
                     last_thread: None,
                     busy: SimDuration::ZERO,
+                    online: true,
                     last_charged: now,
                     gen: 0,
                     due: SimTime::MAX,
@@ -685,6 +704,152 @@ impl Kernel {
             .get(node.0 as usize)
             .ok_or(KernelError::UnknownNode(node))?;
         Ok(n.nr_active.saturating_sub(n.occupied))
+    }
+
+    // ------------------------------------------------------------------
+    // CPU hotplug
+    // ------------------------------------------------------------------
+
+    /// Takes a CPU offline (hotplug), migrating its occupant — if any —
+    /// back onto the node's shared runqueue, where it keeps its vruntime
+    /// and cgroup membership and any surviving CPU picks it up at the next
+    /// dispatch. Emits [`TraceEvent::Preempt`] + [`TraceEvent::Migration`]
+    /// for the displaced thread and [`TraceEvent::CpuOffline`] for the CPU.
+    ///
+    /// Idempotent: offlining an already-offline CPU is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] / [`KernelError::UnknownCpu`]
+    /// for bad ids and [`KernelError::LastOnlineCpu`] when the CPU is the
+    /// node's last online one (a node must keep at least one processor).
+    pub fn offline_cpu(&mut self, node: NodeId, cpu: usize) -> Result<(), KernelError> {
+        let node_idx = node.0 as usize;
+        let n = self
+            .nodes
+            .get(node_idx)
+            .ok_or(KernelError::UnknownNode(node))?;
+        if cpu >= n.cpus.len() {
+            return Err(KernelError::UnknownCpu { node, cpu });
+        }
+        if !n.cpus[cpu].online {
+            return Ok(());
+        }
+        let survivors = n
+            .cpus
+            .iter()
+            .enumerate()
+            .filter(|&(i, c)| i != cpu && c.online)
+            .count();
+        if survivors == 0 {
+            return Err(KernelError::LastOnlineCpu(node));
+        }
+        self.account_node(node_idx);
+        // Preempting charges the occupant up to now and re-enqueues it on
+        // its cgroup's runqueue — relative vruntime order and group
+        // membership survive because runqueues are per-node, not per-CPU.
+        let migrated = self.nodes[node_idx].cpus[cpu].current;
+        if migrated.is_some() {
+            self.preempt_running(node_idx, cpu);
+        }
+        {
+            let c = &mut self.nodes[node_idx].cpus[cpu];
+            c.online = false;
+            c.last_thread = None;
+            c.slice_end = SimTime::MAX;
+            c.gen += 1; // invalidates any collected due batch
+            c.due = SimTime::MAX;
+        }
+        if let Some(tid) = migrated {
+            let cgroup = self.threads[tid.0 as usize].cgroup;
+            self.emit(|| TraceEvent::Migration { tid, cgroup });
+        }
+        self.emit(|| TraceEvent::CpuOffline { node: node.0, cpu });
+        self.mark_dirty(node_idx);
+        Ok(())
+    }
+
+    /// Brings a previously offline CPU back into dispatch. Idempotent;
+    /// emits [`TraceEvent::CpuOnline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] / [`KernelError::UnknownCpu`]
+    /// for bad ids.
+    pub fn online_cpu(&mut self, node: NodeId, cpu: usize) -> Result<(), KernelError> {
+        let node_idx = node.0 as usize;
+        let n = self
+            .nodes
+            .get(node_idx)
+            .ok_or(KernelError::UnknownNode(node))?;
+        if cpu >= n.cpus.len() {
+            return Err(KernelError::UnknownCpu { node, cpu });
+        }
+        if n.cpus[cpu].online {
+            return Ok(());
+        }
+        self.account_node(node_idx);
+        let now = self.now;
+        {
+            let c = &mut self.nodes[node_idx].cpus[cpu];
+            debug_assert!(c.current.is_none(), "offline cpu had an occupant");
+            c.online = true;
+            c.last_charged = now;
+            c.gen += 1;
+        }
+        self.emit(|| TraceEvent::CpuOnline { node: node.0, cpu });
+        self.mark_dirty(node_idx);
+        Ok(())
+    }
+
+    /// Whether a CPU is currently online.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] / [`KernelError::UnknownCpu`]
+    /// for bad ids.
+    pub fn cpu_online(&self, node: NodeId, cpu: usize) -> Result<bool, KernelError> {
+        let n = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(KernelError::UnknownNode(node))?;
+        n.cpus
+            .get(cpu)
+            .map(|c| c.online)
+            .ok_or(KernelError::UnknownCpu { node, cpu })
+    }
+
+    /// Number of online CPUs on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownNode`] for an unknown id.
+    pub fn online_cpus(&self, node: NodeId) -> Result<usize, KernelError> {
+        let n = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(KernelError::UnknownNode(node))?;
+        Ok(n.cpus.iter().filter(|c| c.online).count())
+    }
+
+    /// Schedules a CPU-offline event on the calendar, `delay` from now
+    /// (the deterministic way to script hotplug into an experiment).
+    /// Failures at fire time (bad ids, last online CPU) are ignored — the
+    /// fault simply does not happen, mirroring a hotplug request the
+    /// kernel refused.
+    pub fn schedule_cpu_offline(&mut self, delay: SimDuration, node: NodeId, cpu: usize) {
+        self.schedule_once(delay, move |k| {
+            let _ = k.offline_cpu(node, cpu);
+        });
+    }
+
+    /// Schedules a CPU-online event on the calendar, `delay` from now.
+    /// Failures at fire time are ignored, like
+    /// [`schedule_cpu_offline`](Kernel::schedule_cpu_offline).
+    pub fn schedule_cpu_online(&mut self, delay: SimDuration, node: NodeId, cpu: usize) {
+        self.schedule_once(delay, move |k| {
+            let _ = k.online_cpu(node, cpu);
+        });
     }
 
     // ------------------------------------------------------------------
@@ -805,11 +970,18 @@ impl Kernel {
         }
         // Re-base the vruntime: keep the thread's lag relative to its old
         // group and re-apply it in the new group (what Linux does on
-        // migration between cfs_rqs).
+        // migration between cfs_rqs). The lag is clamped to one scheduling
+        // period in either direction — EEVDF-style bounded lag. Unbounded
+        // carry-over compounds across repeated moves through groups whose
+        // min_vruntime floors drifted apart (a zero-share group inflates
+        // its floor at NICE_0_WEIGHT/shares times wall rate), and a thread
+        // arriving with seconds of banked negative lag starves its new
+        // siblings until the bank drains.
+        let period = self.config.sched_latency.as_nanos() as i128;
         let old_min = self.cgroups[old.0 as usize].min_vruntime;
         let new_min = self.cgroups[cgroup.0 as usize].min_vruntime;
         let t = &mut self.threads[tid.0 as usize];
-        let lag = t.vruntime as i128 - old_min as i128;
+        let lag = (t.vruntime as i128 - old_min as i128).clamp(-period, period);
         t.vruntime = (new_min as i128 + lag).max(0) as u64;
         t.cgroup = cgroup;
         self.emit(|| TraceEvent::Migration { tid, cgroup });
@@ -1181,14 +1353,15 @@ impl Kernel {
             if self.nodes[node.0 as usize]
                 .cpus
                 .iter()
-                .any(|c| c.current.is_none())
+                .any(|c| c.online && c.current.is_none())
             {
                 return false;
             }
             let victim = (0..self.nodes[node.0 as usize].cpus.len()).find(|&i| {
-                let cur = self.nodes[node.0 as usize].cpus[i]
-                    .current
-                    .expect("no idle cpus");
+                // Offline CPUs have no occupant and are no dispatch target.
+                let Some(cur) = self.nodes[node.0 as usize].cpus[i].current else {
+                    return false;
+                };
                 // A thread at a completion boundary (remaining == 0) is
                 // being settled right now; preempting it here would leave
                 // it both queued and mid-settle.
@@ -1216,7 +1389,11 @@ impl Kernel {
         let node_idx = node.0 as usize;
         // Like Linux's select_idle_sibling: a woken thread starts on an
         // idle CPU when one exists; preemption only matters under load.
-        if self.nodes[node_idx].cpus.iter().any(|c| c.current.is_none()) {
+        if self.nodes[node_idx]
+            .cpus
+            .iter()
+            .any(|c| c.online && c.current.is_none())
+        {
             return false;
         }
         if self.quota_in_use {
@@ -1232,7 +1409,11 @@ impl Kernel {
                     self.charge_cpu(node_idx, cpu_idx);
                 }
             }
-            if self.nodes[node_idx].cpus.iter().any(|c| c.current.is_none()) {
+            if self.nodes[node_idx]
+                .cpus
+                .iter()
+                .any(|c| c.online && c.current.is_none())
+            {
                 return false;
             }
         }
@@ -1417,10 +1598,26 @@ impl Kernel {
                 .insert((255 - prio, seq, tid));
             return;
         }
-        let bonus = self.config.wakeup_bonus.as_nanos();
+        // Bounded negative lag: an entity re-enters the queue no further
+        // than one margin behind the group's floor. Wakeups get the small
+        // wakeup-bonus margin (sleeper credit); requeues get a full
+        // scheduling period. In healthy operation a runnable entity never
+        // trails `min_vruntime` (it is the monotonic min over runnables),
+        // so the floor is a no-op — it binds only when a sibling running
+        // on another CPU of the shared node runqueue dragged the floor
+        // ahead (e.g. a minimum-shares group soaking idle CPUs inflates
+        // its entity vruntime at NICE_0_WEIGHT/shares times wall rate),
+        // where unbounded banked lag would starve that sibling for sim-
+        // seconds once capacity shrinks. Per-CPU CFS cannot bank lag this
+        // way; the flattened per-node runqueue needs the explicit bound.
+        let margin = if wakeup {
+            self.config.wakeup_bonus.as_nanos()
+        } else {
+            self.config.sched_latency.as_nanos()
+        };
         let g = self.threads[tid.0 as usize].cgroup;
-        if wakeup {
-            let floor = self.cgroups[g.0 as usize].min_vruntime.saturating_sub(bonus);
+        {
+            let floor = self.cgroups[g.0 as usize].min_vruntime.saturating_sub(margin);
             let t = &mut self.threads[tid.0 as usize];
             if t.vruntime < floor {
                 t.vruntime = floor;
@@ -1441,10 +1638,11 @@ impl Kernel {
             {
                 break;
             }
-            if wakeup {
+            {
+                // Same bounded-lag floor as the thread placement above.
                 let floor = self.cgroups[parent.0 as usize]
                     .min_vruntime
-                    .saturating_sub(bonus);
+                    .saturating_sub(margin);
                 let c = &mut self.cgroups[child.0 as usize];
                 if c.vruntime < floor {
                     c.vruntime = floor;
@@ -1495,15 +1693,25 @@ impl Kernel {
             self.nodes[node_idx].rt_queue.remove(&key);
             return Some(key.2);
         }
-        let mut cg = self.nodes[node_idx].root;
+        let root = self.nodes[node_idx].root;
+        let mut cg = root;
         if self.cgroups[cg.0 as usize].rq.is_empty() {
             return None;
         }
         loop {
-            let (vr, seq, ent) = self.cgroups[cg.0 as usize]
-                .rq
-                .first()
-                .expect("descended into empty runqueue");
+            let Some((vr, seq, ent)) = self.cgroups[cg.0 as usize].rq.first() else {
+                // Descended into a stale, empty group entity (possible when
+                // an external mutation — e.g. a hotplug migration — races a
+                // cascade). Repair instead of panicking: unlink the empty
+                // group from its ancestors and restart from the root.
+                debug_assert!(cg != root, "root runqueue emptied mid-descent");
+                self.cascade_dequeue(cg);
+                cg = root;
+                if self.cgroups[cg.0 as usize].rq.is_empty() {
+                    return None;
+                }
+                continue;
+            };
             match ent {
                 Entity::Group(g) => cg = g,
                 Entity::Thread(t) => {
@@ -1606,7 +1814,22 @@ impl Kernel {
             return SimDuration::from_secs(3600);
         }
         let nr = self.nodes[node_idx].nr_active.max(1);
-        let weight = self.threads[tid.0 as usize].nice.weight();
+        // Hierarchical weight, as in CFS `sched_slice`: the thread's nice
+        // weight scaled by each ancestor group's shares. A thread inside a
+        // minimum-shares group must get a minimum-granularity slice, not a
+        // full nice-weight slice — its group entity's vruntime advances at
+        // NICE_0_WEIGHT/shares per ran nanosecond, so an over-long burst
+        // banks sim-seconds of vruntime debt and stretches the interval
+        // until the group is picked again far beyond the target latency.
+        let mut weight = self.threads[tid.0 as usize].nice.weight();
+        let mut g = Some(self.threads[tid.0 as usize].cgroup);
+        while let Some(cg) = g {
+            let data = &self.cgroups[cg.0 as usize];
+            if data.parent.is_some() {
+                weight = (weight * data.shares / NICE_0_WEIGHT).max(1);
+            }
+            g = data.parent;
+        }
         let base = self.config.sched_latency.as_nanos();
         let slice = match base.checked_mul(weight) {
             Some(p) => p / (NICE_0_WEIGHT * nr),
@@ -1702,7 +1925,9 @@ impl Kernel {
             || !self.nodes[node_idx].rt_queue.is_empty();
         let n = &mut self.nodes[node_idx];
         let busy_cpus = n.occupied;
-        let idle_cpus = n.cpus.len() as u64 - busy_cpus;
+        // Offline CPUs are neither busy nor idle: capacity shrinks.
+        let online = n.cpus.iter().filter(|c| c.online).count() as u64;
+        let idle_cpus = online.saturating_sub(busy_cpus);
         n.busy += delta * busy_cpus;
         n.idle += delta * idle_cpus;
         // PSI "cpu some": runnable-but-waiting threads exist.
@@ -1876,7 +2101,7 @@ impl Kernel {
             let Some(cpu_idx) = self.nodes[node_idx]
                 .cpus
                 .iter()
-                .position(|c| c.current.is_none())
+                .position(|c| c.online && c.current.is_none())
             else {
                 return;
             };
@@ -2177,7 +2402,7 @@ impl Kernel {
             self.calendar.len() + self.defer_fifo.len(),
             self.loop_iters
         );
-        for n in &self.nodes {
+        for (ni, n) in self.nodes.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "node {:?} ({} cpus, {} occupied, {} active, rt queue {})",
@@ -2193,22 +2418,162 @@ impl Kernel {
                         let t = &self.threads[tid.0 as usize];
                         let _ = writeln!(
                             out,
-                            "  cpu{i}: {} ({:?}) slice_end={} gen={}",
-                            t.name, tid, cpu.slice_end, cpu.gen
+                            "  cpu{i}: {} ({:?}) slice_end={} gen={} vr={}",
+                            t.name, tid, cpu.slice_end, cpu.gen, t.vruntime
                         );
+                    }
+                    None if !cpu.online => {
+                        let _ = writeln!(out, "  cpu{i}: offline gen={}", cpu.gen);
                     }
                     None => {
                         let _ = writeln!(out, "  cpu{i}: idle gen={}", cpu.gen);
                     }
                 }
             }
-            let root = &self.cgroups[n.root.0 as usize];
-            let _ = writeln!(out, "  rq {:?}: {} ready", root.name, root.rq.len());
-            for &(vr, seq, ent) in root.rq.iter() {
-                let _ = writeln!(out, "    vr={vr} seq={seq} {ent:?}");
+            for (gi, g) in self.cgroups.iter().enumerate() {
+                if g.node != NodeId(ni as u64) {
+                    continue;
+                }
+                if g.rq.is_empty() && g.parent.is_some() && !g.queued {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  rq {:?} (cg{gi}): {} ready, queued={} vr={} min_vr={}",
+                    g.name,
+                    g.rq.len(),
+                    g.queued,
+                    g.vruntime,
+                    g.min_vruntime
+                );
+                for &(vr, seq, ent) in g.rq.iter() {
+                    let _ = writeln!(out, "    vr={vr} seq={seq} {ent:?}");
+                }
             }
         }
         out
+    }
+
+    /// Cross-checks the runqueue tree against thread and cgroup state and
+    /// returns a description of the first inconsistency found, if any.
+    ///
+    /// The invariants checked are the ones dispatch correctness rests on:
+    /// a group's `queued` flag matches its presence in the parent runqueue,
+    /// every Ready CFS thread sits in its cgroup's runqueue under its
+    /// current key, and every queued entity's stored key matches the
+    /// entity's live vruntime (a stale key makes later removals corrupt the
+    /// queue silently). Intended for tests — property tests call this after
+    /// every mutation step — and for debugging; it never mutates state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn debug_check_runqueues(&self) -> Result<(), String> {
+        for (gi, g) in self.cgroups.iter().enumerate() {
+            let gid = CgroupId(gi as u64);
+            // queued flag vs. actual membership in the parent runqueue.
+            if let Some(parent) = g.parent {
+                let present = self.cgroups[parent.0 as usize]
+                    .rq
+                    .iter()
+                    .filter(|&&(_, _, ent)| ent == Entity::Group(gid))
+                    .count();
+                if present > 1 {
+                    return Err(format!(
+                        "group {:?} appears {present} times in parent {:?} rq",
+                        g.name, parent
+                    ));
+                }
+                if g.queued != (present == 1) {
+                    return Err(format!(
+                        "group {:?} queued={} but parent rq holds {present} entries",
+                        g.name, g.queued
+                    ));
+                }
+                if g.queued {
+                    let (vr, seq, ent) = self.group_entity_key(gid);
+                    let exact = self.cgroups[parent.0 as usize]
+                        .rq
+                        .iter()
+                        .any(|&k| k == (vr, seq, ent));
+                    if !exact {
+                        return Err(format!(
+                            "group {:?} queued under a stale key (live vr={vr} seq={seq})",
+                            g.name
+                        ));
+                    }
+                }
+            }
+            // Every entity in this group's runqueue is consistent.
+            for &(vr, _seq, ent) in g.rq.iter() {
+                match ent {
+                    Entity::Thread(t) => {
+                        let th = &self.threads[t.0 as usize];
+                        if th.state != ThreadState::Ready {
+                            return Err(format!(
+                                "thread {} in rq of {:?} but state is {:?}",
+                                th.name, g.name, th.state
+                            ));
+                        }
+                        if th.cgroup != gid {
+                            return Err(format!(
+                                "thread {} in rq of {:?} but belongs to cgroup {:?}",
+                                th.name, g.name, th.cgroup
+                            ));
+                        }
+                        if th.vruntime != vr {
+                            return Err(format!(
+                                "thread {} queued under stale vr={vr}, live vr={}",
+                                th.name, th.vruntime
+                            ));
+                        }
+                    }
+                    Entity::Group(child) => {
+                        if self.cgroups[child.0 as usize].parent != Some(gid) {
+                            return Err(format!(
+                                "group entity {:?} in rq of non-parent {:?}",
+                                child, g.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Every Ready CFS thread is reachable: present in its cgroup's rq
+        // and its ancestor chain is queued up to the root (unless a
+        // throttled ancestor legitimately detaches the subtree).
+        for (ti, th) in self.threads.iter().enumerate() {
+            let tid = ThreadId(ti as u64);
+            if th.state != ThreadState::Ready || th.rt_priority.is_some() {
+                continue;
+            }
+            let g = th.cgroup;
+            let here = self.cgroups[g.0 as usize]
+                .rq
+                .iter()
+                .any(|&(_, _, ent)| ent == Entity::Thread(tid));
+            if !here {
+                return Err(format!(
+                    "ready thread {} missing from rq of its cgroup {:?}",
+                    th.name, self.cgroups[g.0 as usize].name
+                ));
+            }
+            let mut cg = g;
+            while let Some(parent) = self.cgroups[cg.0 as usize].parent {
+                if self.cgroups[cg.0 as usize].throttled {
+                    break;
+                }
+                if !self.cgroups[cg.0 as usize].queued {
+                    return Err(format!(
+                        "ready thread {} unreachable: ancestor {:?} not queued in {:?}",
+                        th.name, self.cgroups[cg.0 as usize].name, self.cgroups[parent.0 as usize].name
+                    ));
+                }
+                cg = parent;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -2504,6 +2869,170 @@ mod tests {
         // top vs other: 50/50; within top: 3:1.
         assert!((cc - 4.0).abs() < 0.25, "other got {cc}");
         assert!((ca / cb - 3.0).abs() < 0.35, "inner ratio {}", ca / cb);
+    }
+
+    #[test]
+    fn offline_cpu_migrates_running_thread() {
+        let mut k = Kernel::new(zero_switch_config());
+        let n = k.add_node("n", 2);
+        let a = k.spawn(n, "a", cpu_hog()).build();
+        let b = k.spawn(n, "b", cpu_hog()).build();
+        k.run_for(SimDuration::from_secs(1));
+        // Each hog owned one CPU for 1s.
+        assert_eq!(k.thread_info(a).unwrap().cputime, SimDuration::from_secs(1));
+        assert_eq!(k.thread_info(b).unwrap().cputime, SimDuration::from_secs(1));
+        k.offline_cpu(n, 0).unwrap();
+        assert_eq!(k.online_cpus(n).unwrap(), 1);
+        k.run_for(SimDuration::from_secs(2));
+        // Both hogs survive on the one remaining CPU, splitting it fairly.
+        let ca = k.thread_info(a).unwrap().cputime.as_secs_f64();
+        let cb = k.thread_info(b).unwrap().cputime.as_secs_f64();
+        assert!((ca - 2.0).abs() < 0.05, "a got {ca}");
+        assert!((cb - 2.0).abs() < 0.05, "b got {cb}");
+        assert!((ca + cb - 4.0).abs() < 1e-6, "total {}", ca + cb);
+    }
+
+    #[test]
+    fn online_cpu_restores_capacity() {
+        let mut k = Kernel::new(zero_switch_config());
+        let n = k.add_node("n", 2);
+        let a = k.spawn(n, "a", cpu_hog()).build();
+        let b = k.spawn(n, "b", cpu_hog()).build();
+        k.offline_cpu(n, 1).unwrap();
+        k.run_for(SimDuration::from_secs(1));
+        k.online_cpu(n, 1).unwrap();
+        assert_eq!(k.online_cpus(n).unwrap(), 2);
+        k.run_for(SimDuration::from_secs(1));
+        // 0.5s each on the single CPU, then 1s each in parallel.
+        let ca = k.thread_info(a).unwrap().cputime.as_secs_f64();
+        let cb = k.thread_info(b).unwrap().cputime.as_secs_f64();
+        assert!((ca - 1.5).abs() < 0.05, "a got {ca}");
+        assert!((cb - 1.5).abs() < 0.05, "b got {cb}");
+    }
+
+    #[test]
+    fn offline_last_cpu_rejected() {
+        let mut k = Kernel::default();
+        let n = k.add_node("n", 1);
+        assert_eq!(k.offline_cpu(n, 0), Err(KernelError::LastOnlineCpu(n)));
+        let n2 = k.add_node("n2", 2);
+        k.offline_cpu(n2, 0).unwrap();
+        assert_eq!(k.offline_cpu(n2, 1), Err(KernelError::LastOnlineCpu(n2)));
+    }
+
+    #[test]
+    fn hotplug_rejects_bad_ids_and_is_idempotent() {
+        let mut k = Kernel::default();
+        let n = k.add_node("n", 2);
+        assert_eq!(
+            k.offline_cpu(n, 7),
+            Err(KernelError::UnknownCpu { node: n, cpu: 7 })
+        );
+        assert_eq!(
+            k.online_cpu(NodeId(9), 0),
+            Err(KernelError::UnknownNode(NodeId(9)))
+        );
+        k.offline_cpu(n, 1).unwrap();
+        k.offline_cpu(n, 1).unwrap(); // no-op
+        assert!(!k.cpu_online(n, 1).unwrap());
+        k.online_cpu(n, 1).unwrap();
+        k.online_cpu(n, 1).unwrap(); // no-op
+        assert!(k.cpu_online(n, 1).unwrap());
+    }
+
+    #[test]
+    fn offline_preserves_vruntime_order_and_cgroups() {
+        // Two cgroups with 2:1 shares on 2 CPUs; after losing a CPU the
+        // share ratio must persist on the survivor.
+        let mut k = Kernel::new(zero_switch_config());
+        let n = k.add_node("n", 2);
+        let root = k.node_root(n).unwrap();
+        let g1 = k.create_cgroup(root, "g1", 2048).unwrap();
+        let g2 = k.create_cgroup(root, "g2", 1024).unwrap();
+        let a = k.spawn(n, "a", cpu_hog()).cgroup(g1).build();
+        let b = k.spawn(n, "b", cpu_hog()).cgroup(g2).build();
+        k.run_for(SimDuration::from_secs(1));
+        k.offline_cpu(n, 0).unwrap();
+        // Settle: g1's group vruntime lagged g2's while each owned a CPU
+        // (heavier shares accrue slower), so it first catches up — real
+        // CFS lag physics. Measure the steady state after convergence.
+        k.run_for(SimDuration::from_secs(2));
+        let before_a = k.thread_info(a).unwrap().cputime;
+        let before_b = k.thread_info(b).unwrap().cputime;
+        k.run_for(SimDuration::from_secs(6));
+        assert_eq!(k.thread_info(a).unwrap().cgroup, g1);
+        let da = (k.thread_info(a).unwrap().cputime - before_a).as_secs_f64();
+        let db = (k.thread_info(b).unwrap().cputime - before_b).as_secs_f64();
+        assert!((da / db - 2.0).abs() < 0.25, "ratio {}", da / db);
+        assert!((da + db - 6.0).abs() < 1e-6, "survivor capacity {}", da + db);
+    }
+
+    #[test]
+    fn rt_wake_skips_offline_cpus() {
+        // Regression: the RT preemption victim scan used to unwrap every
+        // CPU's occupant and would panic on an (empty) offline CPU.
+        let mut k = Kernel::default();
+        let n = k.add_node("n", 2);
+        k.offline_cpu(n, 0).unwrap();
+        let hog = k.spawn(n, "hog", cpu_hog()).build();
+        // An RT thread that wakes while the only online CPU is busy: the
+        // wake-preemption victim scan must skip the empty offline CPU.
+        let mut phase = 0u32;
+        let rt = k
+            .spawn(n, "rt", move |_: &mut SimCtx| {
+                phase += 1;
+                match phase {
+                    1 => Action::Sleep(SimDuration::from_millis(5)),
+                    2 => Action::Compute(SimDuration::from_millis(1)),
+                    _ => Action::Exit,
+                }
+            })
+            .build();
+        k.set_rt_priority(rt, Some(50)).unwrap();
+        k.run_for(SimDuration::from_millis(20));
+        // The RT thread ran (preempting the hog on the surviving CPU).
+        assert!(k.thread_info(rt).unwrap().cputime >= SimDuration::from_millis(1));
+        assert!(!k.thread_info(hog).unwrap().cputime.is_zero());
+    }
+
+    #[test]
+    fn scheduled_hotplug_fires_on_calendar_and_traces() {
+        let mut k = Kernel::new(zero_switch_config());
+        let handle = k.install_tracing(None);
+        let n = k.add_node("n", 2);
+        let a = k.spawn(n, "a", cpu_hog()).build();
+        k.spawn(n, "b", cpu_hog()).build();
+        k.schedule_cpu_offline(SimDuration::from_millis(10), n, 1);
+        k.schedule_cpu_online(SimDuration::from_millis(30), n, 1);
+        k.run_for(SimDuration::from_millis(40));
+        assert!(k.cpu_online(n, 1).unwrap());
+        let recs = handle.borrow_mut().drain();
+        let off_at = recs
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::CpuOffline { node: 0, cpu: 1 }))
+            .map(|r| r.at)
+            .expect("CpuOffline traced");
+        let on_at = recs
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::CpuOnline { node: 0, cpu: 1 }))
+            .map(|r| r.at)
+            .expect("CpuOnline traced");
+        assert_eq!(off_at, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(on_at, SimTime::ZERO + SimDuration::from_millis(30));
+        // The displaced occupant left a Migration record at the same instant.
+        assert!(recs.iter().any(|r| r.at == off_at
+            && matches!(r.event, TraceEvent::Migration { .. })));
+        // Dead-CPU window: no dispatch onto cpu 1 while it was offline.
+        assert!(
+            !recs.iter().any(|r| r.at > off_at
+                && r.at < on_at
+                && matches!(r.event, TraceEvent::Switch { cpu: 1, .. })),
+            "thread dispatched onto an offline cpu"
+        );
+        // debug_dump renders the offline CPU without panicking mid-window.
+        k.offline_cpu(n, 1).unwrap();
+        assert!(k.debug_dump().contains("offline"));
+        let _ = k.thread_info(a).unwrap();
     }
 
     #[test]

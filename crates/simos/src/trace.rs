@@ -121,6 +121,24 @@ pub enum TraceEvent {
         /// Destination cgroup.
         cgroup: CgroupId,
     },
+    /// A CPU went offline (hotplug). Any occupant was preempted back onto
+    /// the node's shared runqueue first, so a well-formed trace shows no
+    /// `Switch` onto this CPU until the matching [`CpuOnline`].
+    ///
+    /// [`CpuOnline`]: TraceEvent::CpuOnline
+    CpuOffline {
+        /// Node index.
+        node: u64,
+        /// CPU index within the node.
+        cpu: usize,
+    },
+    /// A previously offline CPU rejoined dispatch.
+    CpuOnline {
+        /// Node index.
+        node: u64,
+        /// CPU index within the node.
+        cpu: usize,
+    },
     /// Opens an upper-layer span (e.g. an operator batch).
     SpanBegin {
         /// Lane the span belongs to.

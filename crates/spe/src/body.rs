@@ -89,6 +89,20 @@ impl ThreadBody for OpBody {
         loop {
             match std::mem::replace(&mut self.state, OpBodyState::Idle) {
                 OpBodyState::Idle | OpBodyState::Blocking => {
+                    // Injected fail-stop: crashes land at tuple boundaries
+                    // only, so the input queue (owned by the cell, not this
+                    // thread) survives intact for the restarted thread.
+                    if self.cell.crash_due(ctx.now()) {
+                        if self.trace.is_some() {
+                            self.emit(ctx, |track| TraceEvent::Instant {
+                                track,
+                                name: "op_crash",
+                                args: vec![("op", self.cell.id() as f64)],
+                            });
+                        }
+                        self.cell.mark_crashed();
+                        return Action::Exit;
+                    }
                     let depth = if self.trace.is_some() {
                         self.cell.in_queue().len()
                     } else {

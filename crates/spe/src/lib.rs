@@ -26,6 +26,7 @@ mod operator;
 mod physical;
 mod pool;
 mod queue;
+mod restart;
 mod runtime;
 mod sink;
 mod source;
@@ -46,6 +47,7 @@ pub use operator::{Consume, CostModel, Emitter, Filter, Map, OperatorLogic, Pass
 pub use physical::{PhysEdgeSpec, PhysOpId, PhysOpSpec, PhysicalGraph};
 pub use pool::{PoolScheduler, PoolShared, PoolTask, PoolView, RoundRobinScheduler, WorkerBody};
 pub use queue::{PushOutcome, Queue};
+pub use restart::{install_chaos, RestartPolicy};
 pub use runtime::{
     deploy, metric_path, BlockingConfig, EngineConfig, Execution, Placement, RunningQuery, SpeKind,
 };

@@ -243,6 +243,13 @@ pub struct OpCell {
     backlog_penalty: Option<BacklogPenalty>,
     net_delay: SimDuration,
     throttle: RefCell<Option<Throttle>>,
+    /// Scheduled fail-stop instant (fault injection): the executing thread
+    /// exits at the first tuple boundary at or after this time.
+    crash_at: std::cell::Cell<Option<SimTime>>,
+    /// True while the operator is down (crashed, not yet restarted).
+    crashed: std::cell::Cell<bool>,
+    crashes: std::cell::Cell<u64>,
+    restarts: std::cell::Cell<u64>,
     inner: RefCell<OpInner>,
 }
 
@@ -306,6 +313,10 @@ impl OpCell {
             backlog_penalty: spec.backlog_penalty,
             net_delay: spec.net_delay,
             throttle: RefCell::new(None),
+            crash_at: std::cell::Cell::new(None),
+            crashed: std::cell::Cell::new(false),
+            crashes: std::cell::Cell::new(0),
+            restarts: std::cell::Cell::new(0),
             inner: RefCell::new(OpInner {
                 stages,
                 out_edges: Vec::new(),
@@ -422,6 +433,48 @@ impl OpCell {
         } else {
             Some(c.counters.tuples_out as f64 / c.counters.tuples_in as f64)
         }
+    }
+
+    /// Arms fail-stop fault injection: the executing thread exits at the
+    /// first tuple boundary at or after `at` (crashes land between tuples,
+    /// never mid-delivery, so the input queue survives intact).
+    pub fn set_crash_at(&self, at: SimTime) {
+        self.crash_at.set(Some(at));
+    }
+
+    /// Whether an armed crash is due at `now` (and the cell is still up).
+    pub fn crash_due(&self, now: SimTime) -> bool {
+        !self.crashed.get() && self.crash_at.get().is_some_and(|at| now >= at)
+    }
+
+    /// Marks the operator down. Called by the executing thread as it
+    /// fail-stops; disarms the pending crash so a restarted thread runs.
+    pub fn mark_crashed(&self) {
+        self.crash_at.set(None);
+        self.crashed.set(true);
+        self.crashes.set(self.crashes.get() + 1);
+        self.inner.borrow_mut().thread = None;
+    }
+
+    /// Marks the operator back up after a successful restart.
+    pub fn mark_restarted(&self) {
+        self.crashed.set(false);
+        self.restarts.set(self.restarts.get() + 1);
+    }
+
+    /// True while the operator is down (crashed and not yet restarted).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    /// Number of injected crashes so far.
+    pub fn crash_count(&self) -> u64 {
+        self.crashes.get()
+    }
+
+    /// Number of successful restarts so far.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts.get()
     }
 
     /// Resets counters (used to discard warm-up).

@@ -1,0 +1,302 @@
+//! Operator crash injection and restart supervision.
+//!
+//! A [`FaultPlan`] (see `lachesis-metrics`) can name operators that must
+//! fail-stop at chosen sim times ([`FaultPlan::operator_crash`]).
+//! [`install_chaos`] arms those crashes on the deployed [`OpCell`]s and
+//! installs a per-operator restart supervisor driven by kernel callbacks:
+//!
+//! 1. at the scheduled instant the supervisor wakes the operator's
+//!    consumer channel so even an idle (blocked) operator reaches the
+//!    tuple boundary where the poison is checked and the thread exits;
+//! 2. a detection poll notices the down operator after a health-check
+//!    period (crash detection is never instantaneous in a real cluster);
+//! 3. restart attempts follow exponential backoff with bounded retries —
+//!    each attempt can itself fail via [`FaultPlan::restart_fails`] — and
+//!    a successful attempt re-spawns the operator thread on the same
+//!    [`OpCell`], whose input queue survived the crash (tuples that
+//!    arrived while the operator was down are processed after recovery).
+//!
+//! Everything is deterministic: crash times come from the plan, restart
+//! failures from the plan's seeded RNG, and all delays are sim-time
+//! calendar entries.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis_metrics::FaultPlan;
+use simos::{Kernel, SimDuration, TraceEvent, TraceTrack};
+
+use crate::body::OpBody;
+use crate::opcell::OpCellRef;
+use crate::runtime::RunningQuery;
+
+/// Restart policy for crashed operators: exponential backoff with bounded
+/// retries (the Storm/Flink supervisor model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Health-check period: how long after the crash instant the
+    /// supervisor notices the operator is down.
+    pub detect_period: SimDuration,
+    /// Backoff before the first restart attempt; doubles per failed
+    /// attempt.
+    pub initial_backoff: SimDuration,
+    /// Maximum restart attempts per crash before the supervisor gives up
+    /// and leaves the operator down (degraded, not fatal).
+    pub max_retries: u32,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            detect_period: SimDuration::from_millis(50),
+            initial_backoff: SimDuration::from_millis(100),
+            max_retries: 5,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff before attempt `n` (0-based): `initial_backoff * 2^n`,
+    /// with the exponent capped so the arithmetic never overflows.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        self.initial_backoff.saturating_mul(1u64 << attempt.min(16))
+    }
+}
+
+struct ChaosState {
+    cell: OpCellRef,
+    query: RunningQuery,
+    plan: Rc<RefCell<FaultPlan>>,
+    policy: RestartPolicy,
+}
+
+impl ChaosState {
+    fn supervisor_event(&self, k: &Kernel, name: &'static str, attempt: u32) {
+        let now = k.now();
+        if let Some(t) = k.trace_sink() {
+            t.borrow_mut().push(
+                now,
+                TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name,
+                    args: vec![
+                        ("op", self.cell.id() as f64),
+                        ("attempt", attempt as f64),
+                    ],
+                },
+            );
+        }
+    }
+}
+
+/// Arms every operator crash the plan schedules for `query`'s operators
+/// (matched by physical operator name) and installs restart supervision
+/// with `policy`. Call once right after [`deploy`](crate::deploy).
+///
+/// Operators the plan does not name are untouched. Thread-per-operator
+/// deployments only: worker-pool cells have no dedicated thread to crash.
+pub fn install_chaos(
+    kernel: &mut Kernel,
+    query: &RunningQuery,
+    plan: &Rc<RefCell<FaultPlan>>,
+    policy: RestartPolicy,
+) {
+    let now = kernel.now();
+    for cell in query.cells() {
+        let Some(at) = plan.borrow().crash_time(cell.name()) else {
+            continue;
+        };
+        cell.set_crash_at(at);
+        let st = Rc::new(ChaosState {
+            cell: Rc::clone(cell),
+            query: query.clone(),
+            plan: Rc::clone(plan),
+            policy,
+        });
+        let delay = if at > now { at - now } else { SimDuration::ZERO };
+        kernel.schedule_once(delay, move |k| {
+            // Nudge an idle (blocked) operator to its tuple boundary so
+            // the poison is observed at the scheduled instant.
+            k.wake(st.cell.in_queue().consumer_wait());
+            schedule_detect(k, st);
+        });
+    }
+}
+
+fn schedule_detect(k: &mut Kernel, st: Rc<ChaosState>) {
+    let period = st.policy.detect_period;
+    k.schedule_once(period, move |k| {
+        if st.cell.is_crashed() {
+            st.plan.borrow_mut().record_injected("operator_crash");
+            st.supervisor_event(k, "op_crash_detected", 0);
+            let backoff = st.policy.backoff(0);
+            schedule_attempt(k, st, 0, backoff);
+        } else {
+            // The thread was mid-sleep (injected I/O) or mid-tuple; wake
+            // and poll again.
+            k.wake(st.cell.in_queue().consumer_wait());
+            schedule_detect(k, st);
+        }
+    });
+}
+
+fn schedule_attempt(k: &mut Kernel, st: Rc<ChaosState>, attempt: u32, backoff: SimDuration) {
+    k.schedule_once(backoff, move |k| {
+        let now = k.now();
+        if st.plan.borrow_mut().restart_fails(st.cell.name(), now) {
+            let next = attempt + 1;
+            if next >= st.policy.max_retries {
+                st.supervisor_event(k, "op_restart_giveup", next);
+                return; // stays degraded; stats keep reporting it down
+            }
+            st.supervisor_event(k, "op_restart_failed", next);
+            let backoff = st.policy.backoff(next);
+            schedule_attempt(k, st, next, backoff);
+            return;
+        }
+        // Re-deploy the operator thread on the surviving cell. The input
+        // queue kept accumulating while the operator was down; the new
+        // thread drains it from where the old one stopped.
+        let trace = k.trace_sink().cloned();
+        let name = format!("{}.{}", st.cell.query(), st.cell.name());
+        let tid = k
+            .spawn(
+                st.cell.node(),
+                &name,
+                OpBody::traced(Rc::clone(&st.cell), trace),
+            )
+            .build();
+        st.cell.set_thread(tid);
+        st.cell.mark_restarted();
+        st.query.push_thread(tid);
+        st.supervisor_event(k, "op_restart", attempt);
+        // Kick the fresh thread if input is already waiting.
+        if !st.cell.in_queue().is_empty() {
+            k.wake(st.cell.in_queue().consumer_wait());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LogicalGraph, Partitioning, Role};
+    use crate::operator::{Consume, CostModel, PassThrough};
+    use crate::runtime::{deploy, EngineConfig, Placement};
+    use crate::tuple::Tuple;
+    use simos::SimTime;
+
+    fn pipeline(kernel: &mut Kernel, rate: f64) -> RunningQuery {
+        let mut b = LogicalGraph::builder("q");
+        let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+            Box::new(PassThrough)
+        });
+        let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+            Box::new(Consume)
+        });
+        b.edge(src, sink, Partitioning::Forward);
+        b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+        let node = kernel.add_node("n", 2);
+        deploy(
+            kernel,
+            b.build().unwrap(),
+            EngineConfig::storm(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap()
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn crashed_operator_restarts_and_drains_backlog() {
+        let mut kernel = Kernel::default();
+        let q = pipeline(&mut kernel, 500.0);
+        let plan = Rc::new(RefCell::new(FaultPlan::new(1).operator_crash("sink#0", t(2))));
+        install_chaos(&mut kernel, &q, &plan, RestartPolicy::default());
+        kernel.run_for(SimDuration::from_secs(10));
+        let sink = q
+            .cells()
+            .iter()
+            .find(|c| c.name() == "sink#0")
+            .expect("sink cell");
+        assert_eq!(sink.crash_count(), 1, "crash fired");
+        assert_eq!(sink.restart_count(), 1, "restart happened");
+        assert!(!sink.is_crashed(), "operator recovered");
+        assert_eq!(plan.borrow().injected()["operator_crash"], 1);
+        // The input queue survived the crash: everything the source kept
+        // emitting during the outage was processed after recovery.
+        let emitted = q.source_emitted();
+        assert!(emitted > 4000, "source kept running: {emitted}");
+        assert!(
+            q.egress_total() > emitted - 100,
+            "backlog drained after restart: egress {} of {}",
+            q.egress_total(),
+            emitted
+        );
+        assert_eq!(q.crashed_ops(), 0);
+    }
+
+    #[test]
+    fn restart_failures_back_off_and_eventually_recover() {
+        let mut kernel = Kernel::default();
+        let q = pipeline(&mut kernel, 200.0);
+        // Restarts fail unconditionally for 3 seconds after the crash.
+        let plan = Rc::new(RefCell::new(
+            FaultPlan::new(1)
+                .operator_crash("sink#0", t(1))
+                .restart_failure(Some("sink#0"), t(0), t(4), 1.0),
+        ));
+        let policy = RestartPolicy {
+            max_retries: 20,
+            ..RestartPolicy::default()
+        };
+        install_chaos(&mut kernel, &q, &plan, policy);
+        kernel.run_for(SimDuration::from_secs(12));
+        let sink = q.cells().iter().find(|c| c.name() == "sink#0").unwrap();
+        assert!(!sink.is_crashed(), "recovered once the failure window closed");
+        assert_eq!(sink.restart_count(), 1);
+        let fails = plan.borrow().injected()["restart_failure"];
+        assert!(fails >= 2, "several attempts failed first: {fails}");
+    }
+
+    #[test]
+    fn bounded_retries_leave_operator_degraded() {
+        let mut kernel = Kernel::default();
+        let q = pipeline(&mut kernel, 200.0);
+        let plan = Rc::new(RefCell::new(
+            FaultPlan::new(1)
+                .operator_crash("sink#0", t(1))
+                .restart_failure(Some("sink#0"), t(0), t(1_000), 1.0),
+        ));
+        let policy = RestartPolicy {
+            max_retries: 3,
+            ..RestartPolicy::default()
+        };
+        install_chaos(&mut kernel, &q, &plan, policy);
+        kernel.run_for(SimDuration::from_secs(10));
+        let sink = q.cells().iter().find(|c| c.name() == "sink#0").unwrap();
+        assert!(sink.is_crashed(), "supervisor gave up");
+        assert_eq!(sink.restart_count(), 0);
+        assert_eq!(q.crashed_ops(), 1);
+        // Graceful degradation, not collapse: the ingress half of the
+        // query keeps processing.
+        let src = q.cells().iter().find(|c| c.name() == "src#0").unwrap();
+        assert!(src.tuples_in() > 1000, "upstream still flowing");
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RestartPolicy {
+            initial_backoff: SimDuration::from_millis(100),
+            ..RestartPolicy::default()
+        };
+        assert_eq!(p.backoff(0), SimDuration::from_millis(100));
+        assert_eq!(p.backoff(1), SimDuration::from_millis(200));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(800));
+        assert_eq!(p.backoff(40), p.backoff(16), "exponent capped");
+    }
+}

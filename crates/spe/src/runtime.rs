@@ -224,7 +224,8 @@ struct QueryShared {
     logical_names: Vec<String>,
     sinks: Vec<(LogicalOpId, Rc<RefCell<SinkCollector>>)>,
     sources: Vec<Rc<RefCell<SourceState>>>,
-    threads: Vec<ThreadId>,
+    /// Grows when the restart supervisor re-deploys a crashed operator.
+    threads: RefCell<Vec<ThreadId>>,
     pool: Option<Rc<PoolShared>>,
 }
 
@@ -282,9 +283,32 @@ impl RunningQuery {
     }
 
     /// Threads executing the query: per-operator threads in
-    /// thread-per-operator mode, worker threads in pool mode.
-    pub fn threads(&self) -> &[ThreadId] {
-        &self.shared.threads
+    /// thread-per-operator mode, worker threads in pool mode. Includes
+    /// threads re-spawned by the restart supervisor after operator
+    /// crashes (exited threads are not removed — consult
+    /// [`OpCell::thread`](crate::OpCell::thread) for the live binding).
+    pub fn threads(&self) -> Vec<ThreadId> {
+        self.shared.threads.borrow().clone()
+    }
+
+    /// Registers a thread re-spawned for this query (restart supervisor).
+    pub(crate) fn push_thread(&self, tid: ThreadId) {
+        self.shared.threads.borrow_mut().push(tid);
+    }
+
+    /// Number of operators currently down (crashed, not restarted).
+    pub fn crashed_ops(&self) -> usize {
+        self.shared.cells.iter().filter(|c| c.is_crashed()).count()
+    }
+
+    /// Total injected operator crashes across the query.
+    pub fn total_crashes(&self) -> u64 {
+        self.shared.cells.iter().map(|c| c.crash_count()).sum()
+    }
+
+    /// Total successful operator restarts across the query.
+    pub fn total_restarts(&self) -> u64 {
+        self.shared.cells.iter().map(|c| c.restart_count()).sum()
     }
 
     /// The worker-pool state, if the query runs under a UL-SS.
@@ -619,7 +643,7 @@ pub fn deploy(
         logical_names: graph.ops.iter().map(|o| o.name.clone()).collect(),
         sinks,
         sources,
-        threads,
+        threads: RefCell::new(threads),
         pool: pool_shared,
     });
 
@@ -678,6 +702,14 @@ fn report_metrics(shared: &Rc<QueryShared>, store: &Rc<RefCell<TimeSeriesStore>>
                 store.record(&metric_path(kind, &shared.name, i, metric), now, v);
             }
         }
+        // Operator health is the simulator's own observability signal
+        // (every real SPE exposes liveness through its supervisor API),
+        // so it is reported for every engine personality.
+        store.record(
+            &metric_path(kind, &shared.name, i, names::HEALTH),
+            now,
+            if cell.is_crashed() { 0.0 } else { 1.0 },
+        );
     }
     for (l, sink) in &shared.sinks {
         if let Some(mean) = sink.borrow().latency().mean() {

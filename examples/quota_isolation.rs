@@ -41,7 +41,7 @@ fn run(quota: bool) -> Result<(f64, f64), Box<dyn Error>> {
         // Cap the noisy tenant at 1 of the 4 cores (100ms per 100ms window).
         let root = kernel.node_root(node)?;
         let jail = kernel.create_cgroup(root, "noisy-tenant", 1024)?;
-        for &tid in noisy.threads() {
+        for tid in noisy.threads() {
             kernel.move_to_cgroup(tid, jail)?;
         }
         kernel.set_cpu_quota(

@@ -34,7 +34,7 @@ fn cpu_quota_isolates_noisy_neighbour()  {
             // could perform: group the noisy tenant and cap it at 2 cores.
             let root = kernel.node_root(node).unwrap();
             let jail = kernel.create_cgroup(root, "noisy-tenant", 1024).unwrap();
-            for &tid in noisy.threads() {
+            for tid in noisy.threads() {
                 kernel.move_to_cgroup(tid, jail).unwrap();
             }
             kernel
