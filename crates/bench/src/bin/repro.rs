@@ -9,16 +9,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::experiments::{ablation, chaos, multi_query, multi_spe, scale_out, single_query, table1};
+use bench::experiments::{ablation, chaos, churn, multi_query, multi_spe, scale_out, single_query, table1};
 use bench::report::Figure;
 use bench::ExpOptions;
 
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "figc1", "figc2", "ablation", "table1",
+    "fig17", "fig18", "figc1", "figc2", "figc3", "ablation", "table1",
 ];
 
 fn usage() -> ! {
@@ -69,6 +69,7 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "fig18" => multi_spe::fig18(opts),
         "figc1" => chaos::figc1(opts),
         "figc2" => chaos::figc2(opts),
+        "figc3" => churn::figc3(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
     }

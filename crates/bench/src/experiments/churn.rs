@@ -1,0 +1,572 @@
+//! Multi-tenant churn experiment (`figc3`, robustness extension, not in
+//! the paper): three ETL tenants with different SLO classes arrive on a
+//! calendar, a flash crowd triples the premium tenant's rate mid-run, two
+//! more tenants probe admission while the box is saturated, and the
+//! best-effort tenant departs near the end — all while a seeded
+//! [`FaultPlan`] corrupts metrics.
+//!
+//! The run exercises the whole overload-protection stack at once:
+//!
+//! * **Admission control** gates every arrival on the DRS-style CPU
+//!   budget; the walk-in probe is queued and the whale probe rejected.
+//! * **Backpressure** throttles the premium/standard sources during the
+//!   flash crowd instead of letting queues grow without bound.
+//! * **Load shedding** drops from the best-effort tenant's queue heads,
+//!   keeping its latency bounded at the price of completeness.
+//! * **The starvation watchdog** boosts any operator that stops getting
+//!   CPU and would degrade the most expendable tenant if boosts failed.
+//!
+//! Verdicts are written to the figure notes and — like every robustness
+//! claim in this repo — validated *from the trace alone*: the run always
+//! records kernel events internally, and the no-starvation verdict comes
+//! from [`crate::trace::validate_no_starvation`] replaying them.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, LachesisBuilder, NiceTranslator,
+    QueueSizePolicy, Scope, SloClass, StoreDriver, WatchdogConfig,
+};
+use lachesis_metrics::FaultPlan;
+use simos::{machines, Kernel, SimDuration, SimTime, TraceEvent, TraceTrack};
+use spe::{deploy, EngineConfig, OverloadMode, Placement, RunningQuery, SpeKind};
+
+use crate::harness::{average_runs, new_store, GoalKind, Measured, RunConfig};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::ExpOptions;
+
+/// Bound on every operator input queue: small enough that overload
+/// surfaces quickly (throttling or shedding), large enough for batching.
+const QUEUE_CAP: usize = 32;
+
+/// Per-class end-to-end p99 latency target, in seconds. Generous on
+/// purpose: the claim under test is *bounded* latency under a 1.5×
+/// overload flash crowd, not low latency.
+fn slo_target_s(class: SloClass) -> f64 {
+    match class {
+        SloClass::Premium => 2.0,
+        SloClass::Standard => 4.0,
+        SloClass::BestEffort => 10.0,
+    }
+}
+
+/// The three resident tenants, in driver/watchdog registration order.
+const TENANTS: [(&str, SloClass, f64, OverloadMode); 3] = [
+    ("gold", SloClass::Premium, 500.0, OverloadMode::Backpressure),
+    ("silver", SloClass::Standard, 400.0, OverloadMode::Backpressure),
+    ("bronze", SloClass::BestEffort, 400.0, OverloadMode::Shed),
+];
+
+/// What one tenant did during its active window.
+#[derive(Debug, Clone)]
+struct TenantOutcome {
+    m: Measured,
+    shed: u64,
+    emitted: u64,
+    throttled: u64,
+    active_s: f64,
+}
+
+/// Cross-tenant summary of one churn run.
+#[derive(Debug, Clone, Default)]
+struct ChurnStats {
+    /// `tenant=decision` strings, in decision order.
+    decisions: Vec<String>,
+    admitted: u64,
+    queued: u64,
+    rejected: u64,
+    /// `starve_boost` instants found in the trace.
+    boosts: u64,
+    /// `degrade_tenant` instants found in the trace.
+    degrades: u64,
+    /// No runnable thread waited longer than the watchdog window.
+    starvation_ok: bool,
+    starvation_detail: String,
+    /// Longest observed dispatch wait, seconds.
+    max_wait_s: f64,
+}
+
+fn decision_word(d: AdmissionDecision) -> &'static str {
+    match d {
+        AdmissionDecision::Admit => "admit",
+        AdmissionDecision::Queue => "queue",
+        AdmissionDecision::Reject => "reject",
+    }
+}
+
+/// Emits a supervisor-track instant marking a calendar event, so the
+/// churn timeline is reconstructible from the trace alone.
+fn mark(kernel: &mut Kernel, name: &'static str, args: Vec<(&'static str, f64)>) {
+    if let Some(t) = kernel.trace_sink() {
+        let now = kernel.now();
+        t.borrow_mut()
+            .push(now, TraceEvent::Instant { track: TraceTrack::Supervisor, name, args });
+    }
+}
+
+/// Builds one tenant's ETL graph, renamed so metric paths stay disjoint.
+fn tenant_graph(name: &str, rate: f64, seed: u64) -> spe::LogicalGraph {
+    let mut g = queries::etl(rate, seed);
+    g.name = format!("etl-{name}");
+    g
+}
+
+fn tenant_config(overload: OverloadMode, seed: u64) -> EngineConfig {
+    let mut config = EngineConfig::storm();
+    config.seed = seed;
+    config.queue_capacity = Some(QUEUE_CAP);
+    config.overload = overload;
+    config
+}
+
+/// Metric-fault windows, kept clear of the flash crowd so the watchdog
+/// sees fresh samples while the box is actually overloaded.
+fn churn_plan(cfg: &RunConfig, seed: u64) -> FaultPlan {
+    let m = cfg.measure.as_nanos();
+    let tick = |tenths: u64| SimTime::ZERO + cfg.warmup + SimDuration::from_nanos(m / 10 * tenths);
+    FaultPlan::new(seed)
+        .nan_values(tick(1), tick(2), 0.5)
+        .metric_dropout(tick(3), tick(4), 0.3)
+        .fetch_failure(Some("storm"), tick(8), tick(9), 0.5)
+}
+
+/// One churn run. Tracing is always installed (the no-starvation verdict
+/// needs the raw kernel events); `ring` sizes the record buffer.
+fn run_churn_inner(
+    seed: u64,
+    cfg: RunConfig,
+    ring: Option<usize>,
+    label: String,
+) -> (Vec<TenantOutcome>, ChurnStats, crate::trace::TraceDump) {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    // Install before deploy so operator bodies emit batch spans too.
+    let handle = kernel.install_tracing(ring);
+    let store = new_store();
+
+    let m = cfg.measure.as_nanos();
+    let tick = |tenths: u64| cfg.warmup + SimDuration::from_nanos(m / 10 * tenths);
+
+    let admission = Rc::new(RefCell::new(AdmissionController::new(
+        AdmissionConfig::default(),
+    )));
+    // The driver's query list, shared with the arrival callbacks below so
+    // tenants deployed mid-run become visible to the policies.
+    let queries: Rc<RefCell<Vec<RunningQuery>>> = Rc::new(RefCell::new(Vec::new()));
+    // Per-tenant handle slot (filled at arrival) and arrival/departure
+    // bookkeeping for the active-window accounting.
+    let slots: Vec<Rc<RefCell<Option<RunningQuery>>>> =
+        (0..TENANTS.len()).map(|_| Rc::new(RefCell::new(None))).collect();
+    let arrived: Rc<RefCell<Vec<Option<SimTime>>>> =
+        Rc::new(RefCell::new(vec![None; TENANTS.len()]));
+    let departed: Rc<RefCell<Vec<Option<SimTime>>>> =
+        Rc::new(RefCell::new(vec![None; TENANTS.len()]));
+
+    // Tenant 0 (gold/premium) is resident from the start.
+    {
+        let (name, _, rate, overload) = TENANTS[0];
+        let g = tenant_graph(name, rate, seed);
+        let d = admission
+            .borrow_mut()
+            .decide(&mut kernel, name, &g, &[node]);
+        assert_eq!(d, AdmissionDecision::Admit, "empty box must admit gold");
+        let q = deploy(
+            &mut kernel,
+            g,
+            tenant_config(overload, seed),
+            &Placement::single(node),
+            Some(Rc::clone(&store)),
+        )
+        .expect("deploy gold");
+        queries.borrow_mut().push(q.clone());
+        *slots[0].borrow_mut() = Some(q);
+        arrived.borrow_mut()[0] = Some(kernel.now());
+    }
+
+    // Arrivals of silver (2/10) and bronze (3/10 of the measured phase).
+    for (idx, tenths) in [(1usize, 2u64), (2, 3)] {
+        let (name, _, rate, overload) = TENANTS[idx];
+        let admission = Rc::clone(&admission);
+        let queries = Rc::clone(&queries);
+        let slot = Rc::clone(&slots[idx]);
+        let arrived = Rc::clone(&arrived);
+        let store = Rc::clone(&store);
+        let tenant_seed = seed.wrapping_add(idx as u64);
+        kernel.schedule_once(tick(tenths), move |k| {
+            let g = tenant_graph(name, rate, tenant_seed);
+            let d = admission.borrow_mut().decide(k, name, &g, &[node]);
+            if d != AdmissionDecision::Admit {
+                return;
+            }
+            let q = deploy(
+                k,
+                g,
+                tenant_config(overload, tenant_seed),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .expect("deploy arriving tenant");
+            queries.borrow_mut().push(q.clone());
+            *slot.borrow_mut() = Some(q);
+            arrived.borrow_mut()[idx] = Some(k.now());
+        });
+    }
+
+    // Flash crowd: gold triples its rate for 2/10 of the measured phase.
+    for (tenths, rate, name) in [(5u64, 1500.0, "flash_crowd"), (7, 500.0, "flash_end")] {
+        let slot = Rc::clone(&slots[0]);
+        kernel.schedule_once(tick(tenths), move |k| {
+            if let Some(q) = slot.borrow().as_ref() {
+                for s in q.sources() {
+                    s.borrow_mut().set_rate(rate);
+                }
+            }
+            mark(k, name, vec![("tenant", 0.0), ("rate", rate)]);
+        });
+    }
+
+    // Admission probes while the box is saturated: a walk-in standard
+    // tenant (expect queue: it alone would fit, the box is full) and a
+    // whale whose demand exceeds the whole budget (expect reject). Probes
+    // record the decision without deploying; an admitted probe departs
+    // again immediately so it cannot distort the resident tenants.
+    for (tenths, name, rate) in [(6u64, "walkin", 400.0), (6, "whale", 2600.0)] {
+        let admission = Rc::clone(&admission);
+        kernel.schedule_once(tick(tenths), move |k| {
+            let g = tenant_graph(name, rate, 1);
+            let d = admission.borrow_mut().decide(k, name, &g, &[node]);
+            if d == AdmissionDecision::Admit {
+                admission.borrow_mut().depart(name);
+            }
+        });
+    }
+
+    // Bronze departs at 8/10: its source stops and its demand is released.
+    {
+        let slot = Rc::clone(&slots[2]);
+        let admission = Rc::clone(&admission);
+        let departed = Rc::clone(&departed);
+        kernel.schedule_once(tick(8), move |k| {
+            if let Some(q) = slot.borrow().as_ref() {
+                for s in q.sources() {
+                    s.borrow_mut().set_rate(0.0);
+                }
+            }
+            admission.borrow_mut().depart("bronze");
+            departed.borrow_mut()[2] = Some(k.now());
+            mark(k, "depart", vec![("tenant", 2.0)]);
+        });
+    }
+
+    // Live demand refinement: Δcpu/Δt per admitted tenant, once a second.
+    {
+        let admission = Rc::clone(&admission);
+        let slots: Vec<_> = slots.iter().map(Rc::clone).collect();
+        kernel.schedule_periodic(cfg.warmup, SimDuration::from_secs(1), move |k| {
+            let now = k.now();
+            for ((name, ..), slot) in TENANTS.iter().zip(&slots) {
+                if let Some(q) = slot.borrow().as_ref() {
+                    admission.borrow_mut().observe(now, name, q);
+                }
+            }
+        });
+    }
+
+    let plan = Rc::new(RefCell::new(churn_plan(&cfg, seed)));
+    let mut builder = LachesisBuilder::new()
+        .driver(
+            StoreDriver::shared(SpeKind::Storm, Rc::clone(&queries), Rc::clone(&store))
+                .with_faults(Rc::clone(&plan)),
+        )
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::new(SimDuration::from_secs(1)),
+            NiceTranslator::new(),
+        )
+        .watchdog(WatchdogConfig::default());
+    for (idx, (name, class, _, overload)) in TENANTS.iter().enumerate() {
+        // Degradation hooks: backpressure tenants flip to shedding (stay
+        // deployed, get cheaper); the shed tenant is suspended outright.
+        let slot = Rc::clone(&slots[idx]);
+        let admission = Rc::clone(&admission);
+        let hook: lachesis::DegradeHook = if *overload == OverloadMode::Backpressure {
+            Box::new(move |k: &mut Kernel| {
+                if let Some(q) = slot.borrow().as_ref() {
+                    q.set_shed_mode(k);
+                }
+            })
+        } else {
+            Box::new(move |k: &mut Kernel| {
+                if let Some(q) = slot.borrow().as_ref() {
+                    for s in q.sources() {
+                        s.borrow_mut().set_rate(0.0);
+                    }
+                }
+                admission.borrow_mut().depart(name);
+                let _ = k;
+            })
+        };
+        builder = builder.tenant(name, 0, idx, *class, hook);
+    }
+    let lachesis = builder.build();
+    lachesis.start(&mut kernel);
+    crate::trace::install_counter_samplers(&mut kernel, &handle);
+
+    // Warm up with gold alone, then measure across the churn calendar.
+    kernel.run_for(cfg.warmup);
+    let warm_end = kernel.now();
+    if let Some(q) = slots[0].borrow().as_ref() {
+        q.reset_stats();
+    }
+    let before = kernel.node_stats(node).expect("node stats");
+    kernel.run_for(cfg.measure);
+    let after = kernel.node_stats(node).expect("node stats");
+
+    let end = kernel.now();
+    let secs = cfg.measure.as_secs_f64();
+    let utilization =
+        (after.busy - before.busy).as_secs_f64() / (secs * after.cpus.max(1) as f64);
+    let ctx_per_s = (after.ctx_switches - before.ctx_switches) as f64 / secs;
+    let mut tenants = Vec::new();
+    for (idx, (_, _, rate, _)) in TENANTS.iter().enumerate() {
+        let slot = slots[idx].borrow();
+        let q = slot.as_ref().expect("resident tenant deployed");
+        // Active window: from arrival (or the start of the measured phase,
+        // for tenants reset at warm-up end) to departure or run end.
+        let from = arrived.borrow()[idx].map_or(warm_end, |t| t.max(warm_end));
+        let until = departed.borrow()[idx].unwrap_or(end);
+        let active_s = (until - from).as_secs_f64().max(1e-9);
+        let latency = q.latency_histogram();
+        let e2e = q.e2e_histogram();
+        let pct = |h: &spe::LogHistogram, p: f64| h.quantile(p).unwrap_or(0.0);
+        let emitted = q.source_emitted();
+        let shed = q.total_shed();
+        tenants.push(TenantOutcome {
+            m: Measured {
+                offered_tps: *rate,
+                throughput_tps: q.ingress_total() as f64 / active_s,
+                latency_mean_s: latency.mean().unwrap_or(0.0),
+                latency_p: (pct(&latency, 0.5), pct(&latency, 0.99), pct(&latency, 0.999)),
+                e2e_mean_s: e2e.mean().unwrap_or(0.0),
+                e2e_p: (pct(&e2e, 0.5), pct(&e2e, 0.99), pct(&e2e, 0.999)),
+                goal: 0.0,
+                queue_samples: Vec::new(),
+                utilization,
+                ctx_switches_per_s: ctx_per_s,
+                egress_tps: q.egress_total() as f64 / active_s,
+            },
+            shed,
+            emitted,
+            throttled: q.sources().iter().map(|s| s.borrow().throttled()).sum(),
+            active_s,
+        });
+    }
+
+    let dump = crate::trace::capture(&kernel, &handle, &label);
+    let mut stats = ChurnStats::default();
+    for r in admission.borrow().history() {
+        stats.decisions
+            .push(format!("{}={}", r.tenant, decision_word(r.decision)));
+        match r.decision {
+            AdmissionDecision::Admit => stats.admitted += 1,
+            AdmissionDecision::Queue => stats.queued += 1,
+            AdmissionDecision::Reject => stats.rejected += 1,
+        }
+    }
+    for rec in &dump.records {
+        if let TraceEvent::Instant { track: TraceTrack::Supervisor, name, .. } = &rec.event {
+            match *name {
+                "starve_boost" => stats.boosts += 1,
+                "degrade_tenant" => stats.degrades += 1,
+                _ => {}
+            }
+        }
+    }
+    // The watchdog degrades a tenant after `degrade_after` one-second
+    // rounds; any runnable thread waiting much longer than that window
+    // means the whole protection stack failed.
+    match crate::trace::validate_no_starvation(&dump, SimDuration::from_secs(5)) {
+        Ok(s) => {
+            stats.starvation_ok = true;
+            stats.max_wait_s = s.max_wait_s;
+        }
+        Err(e) => {
+            stats.starvation_ok = false;
+            stats.starvation_detail = e;
+        }
+    }
+    (tenants, stats, dump)
+}
+
+/// Runs the churn experiment and returns its figure.
+pub fn figc3(opts: &ExpOptions) -> Vec<Figure> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let ring = Some(if opts.quick { 1 << 21 } else { 1 << 23 });
+    let seeds: Vec<u64> = (0..opts.reps.max(1) as u64).map(|r| 1 + r).collect();
+    let results = crate::pool::parallel_map(opts.jobs, seeds, move |seed| {
+        let (tenants, stats, _) =
+            run_churn_inner(seed, cfg, ring, format!("figc3 seed={seed}"));
+        (tenants, stats)
+    });
+
+    let mut fig = Figure::new(
+        "figc3",
+        "ETL multi-tenant churn: admission control, backpressure/shedding, starvation watchdog",
+        "tenant (0=gold/premium, 1=silver/standard, 2=bronze/best-effort)",
+    );
+    fig.notes.push(format!(
+        "calendar: gold resident; silver +2/10, bronze +3/10; gold flash 500->1500 t/s \
+         [5/10,7/10); walkin+whale probes 6/10; bronze departs 8/10; reps={}",
+        opts.reps
+    ));
+
+    let mut per_tenant: Vec<Vec<Measured>> = vec![Vec::new(); TENANTS.len()];
+    let mut shed: Vec<u64> = vec![0; TENANTS.len()];
+    let mut throttled: Vec<u64> = vec![0; TENANTS.len()];
+    let mut emitted: Vec<u64> = vec![0; TENANTS.len()];
+    let mut active: Vec<f64> = vec![0.0; TENANTS.len()];
+    let mut all_starvation_ok = true;
+    for (rep, (tenants, stats)) in results.into_iter().enumerate() {
+        for (idx, t) in tenants.iter().enumerate() {
+            per_tenant[idx].push(t.m.clone());
+            shed[idx] += t.shed;
+            throttled[idx] += t.throttled;
+            emitted[idx] += t.emitted;
+            active[idx] = active[idx].max(t.active_s);
+        }
+        all_starvation_ok &= stats.starvation_ok;
+        fig.notes.push(format!(
+            "rep {rep}: decisions [{}] admitted={} queued={} rejected={} boosts={} degrades={} \
+             no_starvation={} max_wait={:.2}s{}",
+            stats.decisions.join(" "),
+            stats.admitted,
+            stats.queued,
+            stats.rejected,
+            stats.boosts,
+            stats.degrades,
+            if stats.starvation_ok { "PASS" } else { "FAIL" },
+            stats.max_wait_s,
+            if stats.starvation_ok {
+                String::new()
+            } else {
+                format!(" ({})", stats.starvation_detail)
+            },
+        ));
+        let admission_ok =
+            stats.admitted == 3 && stats.queued >= 1 && stats.rejected >= 1;
+        if !admission_ok {
+            eprintln!(
+                "warning: figc3 rep {rep}: unexpected admission mix \
+                 ({} admit / {} queue / {} reject)",
+                stats.admitted, stats.queued, stats.rejected
+            );
+        }
+    }
+
+    for (idx, (name, class, ..)) in TENANTS.iter().enumerate() {
+        let avg = average_runs(per_tenant[idx].clone());
+        let target = slo_target_s(*class);
+        let slo_ok = avg.e2e_p.1.is_finite() && avg.e2e_p.1 <= target;
+        let shed_ratio = shed[idx] as f64 / (emitted[idx].max(1)) as f64;
+        fig.notes.push(format!(
+            "tenant {name}: slo={} (e2e p99 {:.3}s <= {target:.1}s) shed_ratio={:.4} \
+             throttled={} throughput={:.0} t/s active={:.1}s",
+            if slo_ok { "PASS" } else { "FAIL" },
+            avg.e2e_p.1,
+            shed_ratio,
+            throttled[idx],
+            avg.throughput_tps,
+            active[idx],
+        ));
+        if !slo_ok {
+            eprintln!("warning: figc3 tenant {name}: e2e p99 {:.3}s > {target}s", avg.e2e_p.1);
+        }
+        fig.series.push(Series {
+            label: format!("{name} ({class:?})"),
+            points: vec![SweepPoint { x: idx as f64, m: avg }],
+        });
+    }
+    // Overload-protection shape: the shed tenant dropped tuples, the
+    // backpressure tenants throttled instead of shedding.
+    let shape_ok = shed[2] > 0 && shed[0] == 0 && shed[1] == 0 && throttled[0] > 0;
+    fig.notes.push(format!(
+        "overload_shape={} (bronze shed {} / gold+silver shed {}+{} / gold throttled {})",
+        if shape_ok { "PASS" } else { "FAIL" },
+        shed[2],
+        shed[0],
+        shed[1],
+        throttled[0],
+    ));
+    fig.notes.push(format!(
+        "no_starvation={} (validated from the kernel trace, watchdog window 5s)",
+        if all_starvation_ok { "PASS" } else { "FAIL" },
+    ));
+    if !shape_ok || !all_starvation_ok {
+        eprintln!("warning: figc3: shape_ok={shape_ok} starvation_ok={all_starvation_ok}");
+    }
+    vec![fig]
+}
+
+/// Traced churn trials for `repro figc3 --trace`: one run per repetition
+/// through the worker pool (folded in input order, so the artifact is
+/// byte-identical for any `--jobs`). Panics if the trace fails the
+/// no-starvation replay or lacks the admission/churn markers — the traced
+/// CI job gates on exactly this.
+pub fn trace_figc3(opts: &ExpOptions, ring: Option<usize>) -> Vec<crate::trace::TraceDump> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::QueueSizeVariance)
+    } else {
+        RunConfig::full(GoalKind::QueueSizeVariance)
+    };
+    let seeds: Vec<u64> = (0..opts.reps.max(1) as u64).map(|r| 1 + r).collect();
+    crate::pool::parallel_map(opts.jobs, seeds, move |seed| {
+        let (_, stats, dump) = run_churn_inner(
+            seed,
+            cfg,
+            ring.or(Some(1 << 23)),
+            format!("figc3: multi-tenant churn seed={seed}"),
+        );
+        assert!(
+            stats.starvation_ok,
+            "figc3 trace (seed {seed}) failed no-starvation replay: {}",
+            stats.starvation_detail
+        );
+        let mut admissions = 0u64;
+        let mut queued_or_rejected = 0u64;
+        let mut departs = 0u64;
+        let mut flashes = 0u64;
+        for rec in &dump.records {
+            if let TraceEvent::Instant { track: TraceTrack::Supervisor, name, args } = &rec.event
+            {
+                match *name {
+                    "admission" => {
+                        admissions += 1;
+                        if args.iter().any(|(k, v)| *k == "decision" && *v > 0.0) {
+                            queued_or_rejected += 1;
+                        }
+                    }
+                    "depart" => departs += 1,
+                    "flash_crowd" | "flash_end" => flashes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            admissions >= 5,
+            "figc3 trace (seed {seed}): expected >=5 admission instants, found {admissions}"
+        );
+        assert!(
+            queued_or_rejected >= 1,
+            "figc3 trace (seed {seed}): no queue/reject admission decision recorded"
+        );
+        assert_eq!(departs, 1, "figc3 trace (seed {seed}): missing depart marker");
+        assert_eq!(flashes, 2, "figc3 trace (seed {seed}): missing flash markers");
+        dump
+    })
+}

@@ -379,6 +379,26 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 mod tests {
     use super::*;
 
+    /// Regression: control characters in strings (operator names, trace
+    /// labels) must survive a compact→parse round trip as `\uXXXX`
+    /// escapes — raw control bytes inside a JSON string are invalid and
+    /// would corrupt exported trace artifacts.
+    #[test]
+    fn compact_escapes_control_characters() {
+        let nasty = "a\u{0}b\u{1f}c\"d\\e\nf\rg\th\u{8}i\u{c}j";
+        let v = Json::obj(vec![("s", Json::Str(nasty.into()))]);
+        for text in [v.compact(), v.pretty()] {
+            for (i, b) in text.bytes().enumerate() {
+                assert!(
+                    b >= 0x20 || b == b'\n',
+                    "raw control byte {b:#04x} at {i} in {text:?}"
+                );
+            }
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+        assert!(v.compact().contains("\\u0000") && v.compact().contains("\\u001f"));
+    }
+
     /// Regression: string parsing must consume plain runs in one step.
     /// The old per-character path re-validated the entire remaining
     /// document for every character, which made parsing large documents

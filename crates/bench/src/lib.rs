@@ -19,6 +19,7 @@ pub mod trace;
 pub mod experiments {
     pub mod ablation;
     pub mod chaos;
+    pub mod churn;
     pub mod multi_query;
     pub mod multi_spe;
     pub mod scale_out;

@@ -541,6 +541,114 @@ pub fn validate_hotplug(dump: &TraceDump) -> Result<HotplugStats, String> {
 }
 
 // ---------------------------------------------------------------------
+// Starvation validation
+// ---------------------------------------------------------------------
+
+/// What [`validate_no_starvation`] measured while replaying the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StarvationStats {
+    /// Number of runnable→dispatched wait intervals measured.
+    pub waits: u64,
+    /// The longest such wait, in seconds.
+    pub max_wait_s: f64,
+}
+
+/// Validates, from the raw records alone, that no runnable thread waited
+/// longer than `max_wait` for a CPU — the figc3 "no starvation" verdict.
+///
+/// The replay tracks per-thread runnable intervals: `Wake` opens one
+/// (unless the thread is running), `Preempt`/`SliceExpire` re-open one
+/// (the thread lost its CPU but still wants it, as does a `Switch` whose
+/// `prev` was not descheduled by an explicit event), `Switch{next}`
+/// closes it (measuring the wait) and `Block` cancels it (the thread
+/// stopped being runnable). A wait still open at the end of the trace is
+/// measured against the last record's timestamp (zero-length waits opened
+/// by the final record itself are ignored).
+///
+/// # Errors
+///
+/// Returns a description of the first wait exceeding `max_wait`, or of a
+/// truncated ring (dropped records would make the replay unsound).
+pub fn validate_no_starvation(
+    dump: &TraceDump,
+    max_wait: SimDuration,
+) -> Result<StarvationStats, String> {
+    if dump.dropped > 0 {
+        return Err(format!(
+            "{} records dropped: ring too small for a sound starvation replay",
+            dump.dropped
+        ));
+    }
+    let lim = max_wait.as_nanos();
+    let mut stats = StarvationStats::default();
+    // tid -> runnable-since nanos, for threads waiting for a CPU.
+    let mut waiting: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut running: BTreeSet<u64> = BTreeSet::new();
+    let check = |tid: u64, since: u64, now: u64, stats: &mut StarvationStats| {
+        let w = now.saturating_sub(since);
+        stats.waits += 1;
+        stats.max_wait_s = stats.max_wait_s.max(w as f64 / 1e9);
+        if w > lim {
+            return Err(format!(
+                "thread {tid} runnable since {:.3}s waited {:.3}s (> {:.3}s) for a CPU",
+                since as f64 / 1e9,
+                w as f64 / 1e9,
+                lim as f64 / 1e9,
+            ));
+        }
+        Ok(())
+    };
+    let mut last = 0u64;
+    for rec in &dump.records {
+        let now = rec.at.as_nanos();
+        last = now;
+        match &rec.event {
+            TraceEvent::Switch { prev, next, .. } => {
+                let n = next.as_u64();
+                if let Some(since) = waiting.remove(&n) {
+                    check(n, since, now, &mut stats)?;
+                }
+                if let Some(p) = prev {
+                    let p = p.as_u64();
+                    // A prev not already descheduled by Block/Preempt/
+                    // SliceExpire was displaced while still runnable.
+                    if p != n && running.remove(&p) {
+                        waiting.insert(p, now);
+                    }
+                }
+                running.insert(n);
+            }
+            TraceEvent::Wake { tid } => {
+                let t = tid.as_u64();
+                if !running.contains(&t) {
+                    waiting.entry(t).or_insert(now);
+                }
+            }
+            TraceEvent::Preempt { tid, .. } | TraceEvent::SliceExpire { tid, .. } => {
+                let t = tid.as_u64();
+                running.remove(&t);
+                waiting.entry(t).or_insert(now);
+            }
+            TraceEvent::Block { tid, .. } => {
+                let t = tid.as_u64();
+                running.remove(&t);
+                waiting.remove(&t);
+            }
+            _ => {}
+        }
+    }
+    for (&tid, &since) in &waiting {
+        // A wait opened by the final record has zero observed length
+        // (e.g. the prev displaced by the trace's last Switch) and says
+        // nothing about starvation.
+        if since < last {
+            check(tid, since, last, &mut stats)?;
+        }
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
 // Text summary
 // ---------------------------------------------------------------------
 
@@ -639,8 +747,9 @@ fn summarize_one(out: &mut String, dump: &TraceDump) {
 ///
 /// Returns the offending token.
 pub fn validate_summary(summary: &str) -> Result<(), String> {
-    for token in ["NaN", "nan", "inf"] {
-        if summary.contains(token) {
+    // Token-wise, not substring: "tenant" contains "nan" and must pass.
+    for token in summary.split(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '-')) {
+        if matches!(token, "NaN" | "nan" | "-NaN" | "-nan" | "inf" | "-inf") {
             return Err(format!("summary contains non-finite value ({token})"));
         }
     }
@@ -661,6 +770,7 @@ pub fn traced_experiment(id: &str, opts: &ExpOptions, ring: Option<usize>) -> Ve
     match id {
         "figc1" => crate::experiments::chaos::trace_figc1(opts, ring),
         "figc2" => crate::experiments::chaos::trace_figc2(opts, ring),
+        "figc3" => crate::experiments::churn::trace_figc3(opts, ring),
         _ => vec![traced_single_query(id, opts, ring)],
     }
 }
@@ -845,6 +955,11 @@ mod tests {
         assert!(validate_chrome("{\"traceEvents\": [{\"ph\": \"X\"}]}").is_err());
         assert!(validate_chrome("{}").is_err());
         assert!(validate_summary("share 12.5% NaN").is_err());
+        assert!(validate_summary("e2e=inf").is_err());
+        assert!(
+            validate_summary("degrade_tenant tenant=2 infra=1").is_ok(),
+            "words merely containing nan/inf are fine"
+        );
     }
 
     /// A well-formed hotplug sequence: the occupant is preempted at the
@@ -925,5 +1040,94 @@ mod tests {
         dump.records.retain(|r| !matches!(r.event, TraceEvent::CpuOnline { .. }));
         let err = validate_hotplug(&dump).unwrap_err();
         assert!(err.contains("offline cpu"), "{err}");
+    }
+
+    /// Thread 1 waits 400 ns from wake to dispatch, loses its slice at
+    /// t=1000 and waits another 600 ns for its re-dispatch.
+    fn starvation_dump(records: Vec<TraceRecord>) -> TraceDump {
+        TraceDump {
+            label: "starve".into(),
+            threads: vec![ThreadMeta { tid: 1, name: "op-a".into(), node: 0 }],
+            nodes: vec![NodeMeta { index: 0, name: "n0".into(), cpus: 1 }],
+            records,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn starvation_replay_measures_dispatch_waits() {
+        let records = vec![
+            TraceRecord { at: t(0), event: TraceEvent::Wake { tid: tid(1) } },
+            TraceRecord {
+                at: t(400),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: None, next: tid(1), fresh: true },
+            },
+            TraceRecord {
+                at: t(1_000),
+                event: TraceEvent::SliceExpire { node: 0, cpu: 0, tid: tid(1) },
+            },
+            TraceRecord {
+                at: t(1_000),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: Some(tid(1)), next: tid(2), fresh: true },
+            },
+            TraceRecord {
+                at: t(1_600),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: Some(tid(2)), next: tid(1), fresh: true },
+            },
+        ];
+        let stats = validate_no_starvation(&starvation_dump(records.clone()), SimDuration::from_nanos(1_000))
+            .expect("waits under limit");
+        assert_eq!(stats.waits, 2);
+        assert!((stats.max_wait_s - 600e-9).abs() < 1e-15, "{}", stats.max_wait_s);
+        // A tighter limit catches the 600 ns re-dispatch wait.
+        let err = validate_no_starvation(&starvation_dump(records), SimDuration::from_nanos(500))
+            .unwrap_err();
+        assert!(err.contains("waited"), "{err}");
+    }
+
+    #[test]
+    fn starvation_replay_catches_wait_open_at_end_of_trace() {
+        let records = vec![
+            TraceRecord { at: t(0), event: TraceEvent::Wake { tid: tid(1) } },
+            TraceRecord {
+                at: t(10_000),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: None, next: tid(2), fresh: true },
+            },
+        ];
+        let err = validate_no_starvation(&starvation_dump(records), SimDuration::from_nanos(5_000))
+            .unwrap_err();
+        assert!(err.contains("waited"), "{err}");
+    }
+
+    #[test]
+    fn starvation_replay_ignores_blocked_threads() {
+        // Wake then Block: the thread stopped being runnable, so the long
+        // quiet stretch afterwards is not a starvation wait.
+        let records = vec![
+            TraceRecord { at: t(0), event: TraceEvent::Wake { tid: tid(1) } },
+            TraceRecord {
+                at: t(100),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: None, next: tid(1), fresh: true },
+            },
+            TraceRecord {
+                at: t(200),
+                event: TraceEvent::Block { node: 0, cpu: 0, tid: tid(1), channel: None },
+            },
+            TraceRecord {
+                at: t(1_000_000),
+                event: TraceEvent::Switch { node: 0, cpu: 0, prev: None, next: tid(2), fresh: true },
+            },
+        ];
+        let stats = validate_no_starvation(&starvation_dump(records), SimDuration::from_nanos(500))
+            .expect("blocked thread is not starved");
+        assert_eq!(stats.waits, 1);
+    }
+
+    #[test]
+    fn starvation_replay_rejects_truncated_rings() {
+        let mut dump = starvation_dump(Vec::new());
+        dump.dropped = 7;
+        let err = validate_no_starvation(&dump, SimDuration::from_secs(1)).unwrap_err();
+        assert!(err.contains("dropped"), "{err}");
     }
 }

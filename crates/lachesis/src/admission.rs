@@ -1,0 +1,313 @@
+//! Admission control for multi-tenant deployments.
+//!
+//! Lachesis's policies assume the admitted query set fits the box; this
+//! module decides whether it does *before* `deploy`, in the style of DRS:
+//! a query's resource demand is the sum of its per-operator service
+//! demands (arrival rate × service time, in cores), compared against the
+//! node's online CPU budget scaled by a target utilization. Demand for a
+//! query that has not run yet comes from the static graph estimate
+//! ([`spe::LogicalGraph::estimated_cores`]); once a tenant runs, its
+//! demand is refined from live CPU-time metrics so the estimate tracks
+//! reality (flash crowds included).
+//!
+//! Every decision is traced as a supervisor-track instant so experiments
+//! can reconstruct the admission log from the trace alone.
+
+use std::collections::HashMap;
+
+use simos::{Kernel, NodeId, SimTime, TraceEvent, TraceTrack};
+use spe::{LogicalGraph, RunningQuery};
+
+/// SLO class of a tenant, ordered from most to least expendable.
+///
+/// Graceful degradation under overload walks this order upward:
+/// best-effort tenants are shed or suspended before standard ones, and
+/// premium tenants only as a last resort (Cameo's insight that per-query
+/// latency targets are the currency of degradation decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// No latency promise; first to be degraded.
+    BestEffort,
+    /// Ordinary latency target.
+    Standard,
+    /// Strictest latency target; degraded last.
+    Premium,
+}
+
+impl SloClass {
+    /// Stable numeric code used in trace-instant arguments.
+    pub fn code(self) -> f64 {
+        match self {
+            SloClass::BestEffort => 0.0,
+            SloClass::Standard => 1.0,
+            SloClass::Premium => 2.0,
+        }
+    }
+}
+
+/// The outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Capacity suffices: deploy now.
+    Admit,
+    /// The box is currently full but the query alone would fit: hold it
+    /// and retry when a tenant departs or demand drops.
+    Queue,
+    /// The query's own demand exceeds the whole budget: it can never run
+    /// acceptably on this box.
+    Reject,
+}
+
+impl AdmissionDecision {
+    /// Stable numeric code used in trace-instant arguments
+    /// (0 = admit, 1 = queue, 2 = reject).
+    pub fn code(self) -> f64 {
+        match self {
+            AdmissionDecision::Admit => 0.0,
+            AdmissionDecision::Queue => 1.0,
+            AdmissionDecision::Reject => 2.0,
+        }
+    }
+}
+
+/// Tunables of the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Fraction of the online CPU budget the admitted set may claim.
+    /// Below 1.0 leaves headroom for estimation error and the middleware
+    /// itself (DRS keeps utilization strictly under capacity so queues
+    /// stay stable).
+    pub target_utilization: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            target_utilization: 0.9,
+        }
+    }
+}
+
+/// One recorded admission decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRecord {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// The arriving tenant.
+    pub tenant: String,
+    /// The decision.
+    pub decision: AdmissionDecision,
+    /// The arriving query's estimated demand, in cores.
+    pub demand_cores: f64,
+    /// Demand already admitted at decision time, in cores.
+    pub used_cores: f64,
+    /// The usable budget (target utilization × online CPUs), in cores.
+    pub budget_cores: f64,
+}
+
+/// Live demand book-keeping for one admitted tenant.
+#[derive(Debug, Clone)]
+struct TenantDemand {
+    demand_cores: f64,
+    /// Cumulative CPU seconds at the last observation, summed over the
+    /// query's operators.
+    last_cpu_s: f64,
+    last_at: SimTime,
+}
+
+/// DRS-style admission controller: tracks the demand of admitted tenants
+/// and gates `deploy` on the remaining CPU budget.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    admitted: HashMap<String, TenantDemand>,
+    history: Vec<AdmissionRecord>,
+}
+
+impl AdmissionController {
+    /// Creates a controller with the given tunables.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            admitted: HashMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The usable budget in cores: target utilization × online CPUs
+    /// across `nodes` (offline CPUs — hotplug faults — shrink it).
+    pub fn budget_cores(&self, kernel: &Kernel, nodes: &[NodeId]) -> f64 {
+        let online: usize = nodes
+            .iter()
+            .map(|&n| kernel.online_cpus(n).unwrap_or(0))
+            .sum();
+        self.config.target_utilization * online as f64
+    }
+
+    /// Total demand of the currently admitted tenants, in cores.
+    pub fn used_cores(&self) -> f64 {
+        self.admitted.values().map(|t| t.demand_cores).sum()
+    }
+
+    /// Decides whether `tenant`'s query may deploy now. The caller
+    /// deploys on [`Admit`](AdmissionDecision::Admit), holds the query
+    /// for a retry on [`Queue`](AdmissionDecision::Queue) and drops it on
+    /// [`Reject`](AdmissionDecision::Reject). The decision (with its
+    /// inputs) is appended to [`history`](Self::history) and emitted as a
+    /// supervisor-track `admission` trace instant.
+    pub fn decide(
+        &mut self,
+        kernel: &mut Kernel,
+        tenant: &str,
+        graph: &LogicalGraph,
+        nodes: &[NodeId],
+    ) -> AdmissionDecision {
+        let demand = graph.estimated_cores();
+        let budget = self.budget_cores(kernel, nodes);
+        let used = self.used_cores();
+        let decision = if used + demand <= budget {
+            AdmissionDecision::Admit
+        } else if demand <= budget {
+            AdmissionDecision::Queue
+        } else {
+            AdmissionDecision::Reject
+        };
+        let now = kernel.now();
+        if decision == AdmissionDecision::Admit {
+            self.admitted.insert(
+                tenant.to_owned(),
+                TenantDemand {
+                    demand_cores: demand,
+                    last_cpu_s: 0.0,
+                    last_at: now,
+                },
+            );
+        }
+        self.history.push(AdmissionRecord {
+            at: now,
+            tenant: tenant.to_owned(),
+            decision,
+            demand_cores: demand,
+            used_cores: used,
+            budget_cores: budget,
+        });
+        if let Some(t) = kernel.trace_sink() {
+            t.borrow_mut().push(
+                now,
+                TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "admission",
+                    args: vec![
+                        ("decision", decision.code()),
+                        ("demand", demand),
+                        ("used", used),
+                        ("budget", budget),
+                    ],
+                },
+            );
+        }
+        decision
+    }
+
+    /// Refines an admitted tenant's demand from the live CPU time its
+    /// query consumed since the last observation (Δcpu/Δt in cores) —
+    /// the same signal DRS reads from its queueing model, here taken
+    /// from the SPE's public monitoring handle. Call it periodically;
+    /// flash crowds raise the measured demand and tenant departures
+    /// release it. Negative deltas (stats reset at the end of warm-up)
+    /// re-anchor the baseline without changing the estimate.
+    pub fn observe(&mut self, now: SimTime, tenant: &str, query: &RunningQuery) {
+        let Some(t) = self.admitted.get_mut(tenant) else {
+            return;
+        };
+        let cpu_s: f64 = (0..query.op_count())
+            .map(|i| query.cell(i).cpu_cost().as_secs_f64())
+            .sum();
+        let dt = (now - t.last_at).as_secs_f64();
+        let dcpu = cpu_s - t.last_cpu_s;
+        if dcpu >= 0.0 && dt > 0.0 {
+            t.demand_cores = dcpu / dt;
+        }
+        t.last_cpu_s = cpu_s;
+        t.last_at = now;
+    }
+
+    /// Releases a tenant's demand (departure or suspension).
+    pub fn depart(&mut self, tenant: &str) {
+        self.admitted.remove(tenant);
+    }
+
+    /// The current demand estimate for an admitted tenant, in cores.
+    pub fn tenant_demand(&self, tenant: &str) -> Option<f64> {
+        self.admitted.get(tenant).map(|t| t.demand_cores)
+    }
+
+    /// Every decision made, in order.
+    pub fn history(&self) -> &[AdmissionRecord] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe::{Consume, CostModel, PassThrough, Role, Tuple};
+
+    fn graph(rate_tps: f64, cost_us: u64) -> LogicalGraph {
+        let mut b = LogicalGraph::builder("g");
+        let src = b.op("src", Role::Ingress, CostModel::micros(cost_us), 1, || {
+            Box::new(PassThrough)
+        });
+        let sink = b.op("sink", Role::Egress, CostModel::micros(cost_us), 1, || {
+            Box::new(Consume)
+        });
+        b.edge(src, sink, spe::Partitioning::Forward);
+        b.source("gen", src, rate_tps, |s, now| Tuple::new(now, s, vec![]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn admits_until_budget_then_queues_then_rejects() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4); // budget = 0.9 × 4 = 3.6 cores
+        let mut ac = AdmissionController::new(AdmissionConfig::default());
+        // 1000 t/s × 1000 µs × 2 ops = 2 cores.
+        let g = graph(1000.0, 1000);
+        assert_eq!(
+            ac.decide(&mut kernel, "a", &g, &[node]),
+            AdmissionDecision::Admit
+        );
+        // Second identical query: 2 + 2 > 3.6, but 2 ≤ 3.6 → queue.
+        assert_eq!(
+            ac.decide(&mut kernel, "b", &g, &[node]),
+            AdmissionDecision::Queue
+        );
+        // A query needing 4 cores can never fit → reject.
+        let big = graph(2000.0, 1000);
+        assert_eq!(
+            ac.decide(&mut kernel, "c", &big, &[node]),
+            AdmissionDecision::Reject
+        );
+        // Departure frees the budget.
+        ac.depart("a");
+        assert_eq!(
+            ac.decide(&mut kernel, "b", &g, &[node]),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(ac.history().len(), 4);
+        assert!((ac.history()[0].budget_cores - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_cpus_shrink_the_budget() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 4);
+        let ac = AdmissionController::new(AdmissionConfig {
+            target_utilization: 1.0,
+        });
+        assert!((ac.budget_cores(&kernel, &[node]) - 4.0).abs() < 1e-9);
+        kernel.schedule_cpu_offline(simos::SimDuration::from_millis(1), node, 3);
+        kernel.run_for(simos::SimDuration::from_millis(2));
+        assert!((ac.budget_cores(&kernel, &[node]) - 3.0).abs() < 1e-9);
+    }
+}

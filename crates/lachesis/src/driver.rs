@@ -25,8 +25,10 @@ pub trait SpeDriver: MetricSource<OpRef> {
     fn name(&self) -> &str;
     /// The SPE personality this driver talks to.
     fn kind(&self) -> SpeKind;
-    /// The queries managed by this driver.
-    fn queries(&self) -> &[RunningQuery];
+    /// The queries managed by this driver. Returns clones of the cheap
+    /// `Rc`-backed handles so the set can grow at runtime (tenant churn)
+    /// behind a shared cell without invalidating callers.
+    fn queries(&self) -> Vec<RunningQuery>;
     /// All physical operators across all queries.
     fn entities(&self) -> Vec<OpRef>;
     /// The kernel thread executing an operator, if bound.
@@ -47,7 +49,7 @@ pub trait SpeDriver: MetricSource<OpRef> {
 /// differs per SPE is *which* raw metrics exist in the store.
 pub struct StoreDriver {
     kind: SpeKind,
-    queries: Vec<RunningQuery>,
+    queries: Rc<RefCell<Vec<RunningQuery>>>,
     store: Rc<RefCell<TimeSeriesStore>>,
     faults: Option<Rc<RefCell<FaultPlan>>>,
 }
@@ -56,7 +58,7 @@ impl std::fmt::Debug for StoreDriver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreDriver")
             .field("kind", &self.kind)
-            .field("queries", &self.queries.len())
+            .field("queries", &self.queries.borrow().len())
             .finish_non_exhaustive()
     }
 }
@@ -72,7 +74,23 @@ impl StoreDriver {
         queries: Vec<RunningQuery>,
         store: Rc<RefCell<TimeSeriesStore>>,
     ) -> Self {
-        for q in &queries {
+        Self::shared(kind, Rc::new(RefCell::new(queries)), store)
+    }
+
+    /// Creates a driver over a *shared* query list: a churn harness keeps
+    /// the `Rc` and pushes freshly deployed queries into it while the
+    /// middleware runs, so arriving tenants become visible to the policies
+    /// at their next round without rebuilding the driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query's engine kind differs from `kind`.
+    pub fn shared(
+        kind: SpeKind,
+        queries: Rc<RefCell<Vec<RunningQuery>>>,
+        store: Rc<RefCell<TimeSeriesStore>>,
+    ) -> Self {
+        for q in queries.borrow().iter() {
             assert_eq!(q.kind(), kind, "query {} runs on {:?}", q.name(), q.kind());
         }
         StoreDriver {
@@ -81,6 +99,22 @@ impl StoreDriver {
             store,
             faults: None,
         }
+    }
+
+    /// Appends a query to the managed set (tenant arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's engine kind differs from the driver's.
+    pub fn add_query(&self, query: RunningQuery) {
+        assert_eq!(
+            query.kind(),
+            self.kind,
+            "query {} runs on {:?}",
+            query.name(),
+            query.kind()
+        );
+        self.queries.borrow_mut().push(query);
     }
 
     /// Attaches a [`FaultPlan`] whose rules this driver consults on every
@@ -122,7 +156,7 @@ impl MetricSource<OpRef> for StoreDriver {
     fn fetch(&self, metric: MetricName) -> EntityValues<OpRef> {
         let store = self.store.borrow();
         let mut out = EntityValues::new();
-        for (qi, q) in self.queries.iter().enumerate() {
+        for (qi, q) in self.queries.borrow().iter().enumerate() {
             for op in 0..q.op_count() {
                 let path = metric_path(self.kind, q.name(), op, metric);
                 if let Some((t, v)) = store.latest(&path) {
@@ -147,7 +181,7 @@ impl MetricSource<OpRef> for StoreDriver {
         let cutoff = plan.fetch_cutoff(name, now);
         let store = self.store.borrow();
         let mut out = EntityValues::new();
-        for (qi, q) in self.queries.iter().enumerate() {
+        for (qi, q) in self.queries.borrow().iter().enumerate() {
             for op in 0..q.op_count() {
                 let path = metric_path(self.kind, q.name(), op, metric);
                 let point = match cutoff {
@@ -176,13 +210,13 @@ impl SpeDriver for StoreDriver {
         self.kind
     }
 
-    fn queries(&self) -> &[RunningQuery] {
-        &self.queries
+    fn queries(&self) -> Vec<RunningQuery> {
+        self.queries.borrow().clone()
     }
 
     fn entities(&self) -> Vec<OpRef> {
         let mut out = Vec::new();
-        for (qi, q) in self.queries.iter().enumerate() {
+        for (qi, q) in self.queries.borrow().iter().enumerate() {
             for op in 0..q.op_count() {
                 out.push(OpRef::new(qi, op));
             }
@@ -191,11 +225,12 @@ impl SpeDriver for StoreDriver {
     }
 
     fn thread_of(&self, op: OpRef) -> Option<ThreadId> {
-        self.queries.get(op.query)?.cell(op.op).thread()
+        self.queries.borrow().get(op.query)?.cell(op.op).thread()
     }
 
     fn downstream(&self, op: OpRef) -> Vec<OpRef> {
-        let Some(q) = self.queries.get(op.query) else {
+        let queries = self.queries.borrow();
+        let Some(q) = queries.get(op.query) else {
             return Vec::new();
         };
         let mut out: Vec<OpRef> = q.physical().ops[op.op]
@@ -209,7 +244,8 @@ impl SpeDriver for StoreDriver {
     }
 
     fn physical_of(&self, query: usize, logical: LogicalOpId) -> Vec<OpRef> {
-        let Some(q) = self.queries.get(query) else {
+        let queries = self.queries.borrow();
+        let Some(q) = queries.get(query) else {
             return Vec::new();
         };
         q.physical()
@@ -221,6 +257,7 @@ impl SpeDriver for StoreDriver {
 
     fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId> {
         self.queries
+            .borrow()
             .get(op.query)
             .map(|q| q.physical().ops[op.op].chain.clone())
             .unwrap_or_default()
@@ -228,6 +265,7 @@ impl SpeDriver for StoreDriver {
 
     fn is_egress(&self, op: OpRef) -> bool {
         self.queries
+            .borrow()
             .get(op.query)
             .is_some_and(|q| q.physical().ops[op.op].egress.is_some())
     }

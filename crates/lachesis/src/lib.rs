@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod admission;
 mod driver;
 mod entity;
 mod middleware;
@@ -43,7 +44,11 @@ mod supervisor;
 mod transform;
 mod translate;
 mod translate_ext;
+mod watchdog;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionRecord, SloClass,
+};
 pub use driver::{SpeDriver, StoreDriver};
 pub use entity::OpRef;
 pub use middleware::{Lachesis, LachesisBuilder, LachesisError, Scope};
@@ -63,3 +68,4 @@ pub use translate::{
     CombinedTranslator, CpuSharesTranslator, NiceTranslator, TranslateError, Translator,
 };
 pub use translate_ext::{CpuQuotaTranslator, RealTimeTranslator};
+pub use watchdog::{DegradeHook, StarvationWatchdog, WatchdogConfig};

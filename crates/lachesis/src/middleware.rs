@@ -13,6 +13,7 @@ use std::rc::Rc;
 use lachesis_metrics::{ratio_metric, names, MetricError, MetricProvider, MetricSource};
 use simos::{CallbackId, Kernel, Nice, SimDuration, SimTime, TraceEvent, TraceTrack};
 
+use crate::admission::SloClass;
 use crate::driver::SpeDriver;
 use crate::entity::OpRef;
 use crate::policy::{Policy, PolicyView};
@@ -20,6 +21,7 @@ use crate::schedule::Schedule;
 use crate::snapshot::SnapshotError;
 use crate::supervisor::{BindingHealth, FaultLog, SupervisorConfig};
 use crate::translate::{TranslateError, Translator};
+use crate::watchdog::{DegradeHook, StarvationWatchdog, TenantEntry, WatchdogConfig};
 
 /// Which operators a policy binding schedules.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +118,7 @@ pub struct Lachesis {
     provider: MetricProvider<OpRef>,
     bindings: Vec<PolicyBinding>,
     supervisor: SupervisorConfig,
+    watchdog: Option<StarvationWatchdog>,
     log: Rc<RefCell<FaultLog>>,
 }
 
@@ -145,6 +148,7 @@ pub struct LachesisBuilder {
     drivers: Vec<Rc<dyn SpeDriver>>,
     bindings: Vec<PolicyBinding>,
     supervisor: Option<SupervisorConfig>,
+    watchdog: Option<StarvationWatchdog>,
 }
 
 impl fmt::Debug for LachesisBuilder {
@@ -198,6 +202,47 @@ impl LachesisBuilder {
         self
     }
 
+    /// Enables the [`StarvationWatchdog`]: after every wake's policy
+    /// rounds it checks each operator for metric-visible starvation
+    /// (queued input, zero progress), escalates priority floors and —
+    /// when starvation persists — degrades the most expendable
+    /// registered [tenant](Self::tenant).
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(StarvationWatchdog::new(config));
+        self
+    }
+
+    /// Registers a tenant for graceful degradation: `query_idx` names
+    /// the tenant's query within driver `driver_idx`, `class` orders who
+    /// is degraded first, and `hook` performs the degradation (flip the
+    /// query to shed mode, zero its source rate, …). Requires
+    /// [`watchdog`](Self::watchdog) to have been called first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no watchdog is configured.
+    pub fn tenant(
+        mut self,
+        name: &str,
+        driver_idx: usize,
+        query_idx: usize,
+        class: SloClass,
+        hook: DegradeHook,
+    ) -> Self {
+        self.watchdog
+            .as_mut()
+            .expect("call .watchdog(..) before .tenant(..)")
+            .add_tenant(TenantEntry {
+                name: name.to_owned(),
+                driver_idx,
+                query_idx,
+                class,
+                degraded: false,
+                hook,
+            });
+        self
+    }
+
     /// Finalizes the middleware: installs the standard derived-metric
     /// definitions and registers every policy's required metrics
     /// (Algorithm 1, L1).
@@ -229,11 +274,17 @@ impl LachesisBuilder {
                 provider.register(m);
             }
         }
+        if self.watchdog.is_some() {
+            for m in StarvationWatchdog::required_metrics() {
+                provider.register(m);
+            }
+        }
         Lachesis {
             drivers: self.drivers,
             provider,
             bindings: self.bindings,
             supervisor: self.supervisor.unwrap_or_default(),
+            watchdog: self.watchdog,
             log: Rc::new(RefCell::new(FaultLog::new())),
         }
     }
@@ -338,6 +389,12 @@ impl Lachesis {
                 name: "round",
                 args: vec![("binding", idx as f64), ("ok", ok as u8 as f64)],
             });
+        }
+        // The watchdog runs after the policy rounds so its priority
+        // boosts override this round's schedule for starved operators.
+        if let Some(wd) = &mut self.watchdog {
+            let mut log = self.log.borrow_mut();
+            wd.run(kernel, &self.drivers, &self.provider, &mut log);
         }
         match persistent {
             Some(e) => Err(e),
@@ -642,11 +699,27 @@ impl Lachesis {
                 found: decoded.len(),
             });
         }
-        for (b, s) in self.bindings.iter_mut().zip(decoded) {
+        for (idx, (b, s)) in self.bindings.iter_mut().zip(decoded).enumerate() {
             b.health = s.health;
             b.next_run = s.next_run;
             b.announced = s.announced;
             b.last_applied = s.applied;
+            // Reconcile the (fresh) fault log with the restored health so
+            // health accounting stays truthful across the restart: a
+            // binding restored into a degraded state gets its interval
+            // re-opened (so its eventual recovery is recorded), and a
+            // binding restored as Engaged closes any stale open interval
+            // (so it does not report unhealthy forever).
+            let mut log = self.log.borrow_mut();
+            match b.health {
+                BindingHealth::Engaged => log.mark_recovered(b.next_run, idx),
+                BindingHealth::Degraded { .. } => {
+                    log.reopen_degraded(b.next_run, idx, false);
+                }
+                BindingHealth::FallenBack { since } => {
+                    log.reopen_degraded(since, idx, true);
+                }
+            }
         }
         Ok(())
     }

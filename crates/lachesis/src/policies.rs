@@ -258,8 +258,8 @@ mod tests {
         fn kind(&self) -> spe::SpeKind {
             spe::SpeKind::Liebre
         }
-        fn queries(&self) -> &[spe::RunningQuery] {
-            &[]
+        fn queries(&self) -> Vec<spe::RunningQuery> {
+            Vec::new()
         }
         fn entities(&self) -> Vec<OpRef> {
             (0..4).map(|o| OpRef::new(0, o)).collect()

@@ -221,6 +221,20 @@ impl FaultLog {
         }
     }
 
+    /// Re-opens a degraded interval for a binding restored from a crash
+    /// snapshot in a non-engaged state. A fresh log has no record of the
+    /// pre-crash outage; without this, the later recovery would be a
+    /// no-op ([`mark_recovered`](Self::mark_recovered) needs an open
+    /// interval) and the binding would count as healthy during a window
+    /// it demonstrably was not.
+    pub fn reopen_degraded(&mut self, at: SimTime, binding: usize, fell_back: bool) {
+        if fell_back {
+            self.mark_fallen_back(at, binding);
+        } else {
+            self.mark_degraded(at, binding);
+        }
+    }
+
     /// Error counters by kind.
     pub fn errors_by_kind(&self) -> &BTreeMap<&'static str, u64> {
         &self.errors

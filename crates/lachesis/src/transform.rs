@@ -68,8 +68,8 @@ mod tests {
         fn kind(&self) -> spe::SpeKind {
             spe::SpeKind::Storm
         }
-        fn queries(&self) -> &[spe::RunningQuery] {
-            &[]
+        fn queries(&self) -> Vec<spe::RunningQuery> {
+            Vec::new()
         }
         fn entities(&self) -> Vec<OpRef> {
             (0..3).map(|o| OpRef::new(0, o)).collect()

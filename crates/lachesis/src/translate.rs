@@ -375,8 +375,8 @@ mod tests {
         fn kind(&self) -> SpeKind {
             SpeKind::Storm
         }
-        fn queries(&self) -> &[spe::RunningQuery] {
-            &[]
+        fn queries(&self) -> Vec<spe::RunningQuery> {
+            Vec::new()
         }
         fn entities(&self) -> Vec<OpRef> {
             (0..self.threads.len()).map(|o| OpRef::new(0, o)).collect()

@@ -1,0 +1,289 @@
+//! Starvation detection and graceful degradation under overload.
+//!
+//! When demand exceeds capacity, nice-based schedules can leave the
+//! lowest-priority operators with *no* CPU at all — queues grow, latency
+//! explodes, and the policies (which need fresh metrics from those very
+//! operators) cannot fix it. The [`StarvationWatchdog`] rides the
+//! middleware loop: from the metrics the policies already pull it detects
+//! operators that received no CPU for N consecutive rounds despite having
+//! queued input, escalates their priority floor (a nice boost the next
+//! policy round can override once the operator runs again), and — if
+//! starvation persists — triggers graceful degradation of the most
+//! expendable tenant (shed-mode flip or suspension via its registered
+//! hook). Every decision is traced as a supervisor-track instant.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lachesis_metrics::{names, MetricProvider, Sample};
+use simos::{Kernel, Nice, SimTime, TraceEvent, TraceTrack};
+
+use crate::admission::SloClass;
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::supervisor::FaultLog;
+
+/// Tunables of the starvation watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive starved rounds before the first priority boost.
+    pub starved_rounds: u32,
+    /// Nice decrement applied per escalation level.
+    pub escalate_step: i32,
+    /// The lowest (strongest) nice the escalation ladder reaches.
+    pub escalate_limit: i32,
+    /// Consecutive starved rounds before a tenant is degraded. Must be
+    /// ≥ [`starved_rounds`](Self::starved_rounds): boosts get a chance
+    /// to work before anyone is degraded.
+    pub degrade_after: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            starved_rounds: 2,
+            escalate_step: 3,
+            escalate_limit: -15,
+            degrade_after: 6,
+        }
+    }
+}
+
+/// A degradation hook: flips the tenant's query to shed mode, zeroes its
+/// source rate, or whatever else makes the tenant cheaper. Runs at most
+/// once per tenant.
+pub type DegradeHook = Box<dyn FnMut(&mut Kernel)>;
+
+pub(crate) struct TenantEntry {
+    pub name: String,
+    pub driver_idx: usize,
+    pub query_idx: usize,
+    pub class: SloClass,
+    pub degraded: bool,
+    pub hook: DegradeHook,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct OpWatch {
+    /// Cumulative CPU seconds (or tuples, for SPEs without a CPU-time
+    /// metric) at the last observed sample.
+    last_progress: Option<f64>,
+    /// Timestamp of that sample: an unchanged timestamp means no fresh
+    /// data, not starvation.
+    last_at: Option<SimTime>,
+    starved: u32,
+    level: u32,
+}
+
+/// Detects starved operators from pulled metrics, escalates their
+/// priority floor and degrades tenants when starvation persists.
+///
+/// Owned by [`Lachesis`](crate::Lachesis) (see
+/// [`LachesisBuilder::watchdog`](crate::LachesisBuilder::watchdog)); runs
+/// once per middleware wake, after the policy rounds, so its boosts
+/// override this round's schedule and the next healthy round can take
+/// back over.
+pub struct StarvationWatchdog {
+    config: WatchdogConfig,
+    watch: HashMap<(usize, OpRef), OpWatch>,
+    tenants: Vec<TenantEntry>,
+}
+
+impl std::fmt::Debug for StarvationWatchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StarvationWatchdog")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StarvationWatchdog {
+    pub(crate) fn new(config: WatchdogConfig) -> Self {
+        StarvationWatchdog {
+            config,
+            watch: HashMap::new(),
+            tenants: Vec::new(),
+        }
+    }
+
+    pub(crate) fn add_tenant(&mut self, entry: TenantEntry) {
+        self.tenants.push(entry);
+    }
+
+    /// Metrics the watchdog needs registered with the provider.
+    pub(crate) fn required_metrics() -> [lachesis_metrics::MetricName; 3] {
+        [names::CPU_TIME, names::TUPLES_IN, names::QUEUE_SIZE]
+    }
+
+    /// One watchdog round over every driver's operators.
+    pub(crate) fn run(
+        &mut self,
+        kernel: &mut Kernel,
+        drivers: &[Rc<dyn SpeDriver>],
+        provider: &MetricProvider<OpRef>,
+        log: &mut FaultLog,
+    ) {
+        let now = kernel.now();
+        let mut worst: Option<(usize, OpRef, u32)> = None;
+        for (di, driver) in drivers.iter().enumerate() {
+            let cpu = provider.get(di, names::CPU_TIME);
+            let tuples = provider.get(di, names::TUPLES_IN);
+            let queue = provider.get(di, names::QUEUE_SIZE);
+            let mut entities = driver.entities();
+            entities.sort_unstable();
+            for op in entities {
+                // Progress signal: cumulative CPU time where the SPE
+                // exposes it, cumulative input tuples otherwise.
+                let progress: Option<Sample> = cpu
+                    .and_then(|v| v.sample(&op))
+                    .or_else(|| tuples.and_then(|v| v.sample(&op)));
+                let queued = queue
+                    .and_then(|v| v.sample(&op))
+                    .map(|s| s.value)
+                    .unwrap_or(0.0);
+                let w = self.watch.entry((di, op)).or_default();
+                let Some(sample) = progress else { continue };
+                if w.last_at.is_some() && w.last_at == sample.at {
+                    // Stale fetch (dropout/outage): no new information,
+                    // so neither count nor clear starvation.
+                    continue;
+                }
+                let delta = sample.value - w.last_progress.unwrap_or(sample.value);
+                let had_baseline = w.last_progress.is_some();
+                w.last_progress = Some(sample.value);
+                w.last_at = sample.at;
+                // Starved: a fresh sample shows zero progress while input
+                // is queued. Negative deltas are stat resets (warm-up
+                // end): re-anchor without judging.
+                if had_baseline && delta == 0.0 && queued > 0.0 {
+                    w.starved += 1;
+                } else {
+                    w.starved = 0;
+                    w.level = 0;
+                    continue;
+                }
+                if w.starved >= self.config.starved_rounds {
+                    self.boost(kernel, drivers, di, op);
+                }
+                let s = self.watch[&(di, op)].starved;
+                if s >= self.config.degrade_after
+                    && worst.is_none_or(|(_, _, ws)| s > ws)
+                {
+                    worst = Some((di, op, s));
+                }
+            }
+        }
+        if let Some((di, op, rounds)) = worst {
+            self.degrade(kernel, log, now, di, op, rounds);
+        }
+    }
+
+    /// Raises the operator's priority floor one escalation level.
+    fn boost(
+        &mut self,
+        kernel: &mut Kernel,
+        drivers: &[Rc<dyn SpeDriver>],
+        di: usize,
+        op: OpRef,
+    ) {
+        let Some(tid) = drivers[di].thread_of(op) else {
+            return;
+        };
+        let w = self.watch.get_mut(&(di, op)).expect("entry exists");
+        w.level += 1;
+        let nice_val = (-(w.level as i64 * self.config.escalate_step as i64))
+            .max(self.config.escalate_limit as i64) as i32;
+        let Ok(nice) = Nice::new(nice_val) else {
+            return;
+        };
+        if kernel.set_nice(tid, nice).is_err() {
+            return;
+        }
+        let rounds = w.starved;
+        if let Some(t) = kernel.trace_sink() {
+            t.borrow_mut().push(
+                kernel.now(),
+                TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "starve_boost",
+                    args: vec![
+                        ("driver", di as f64),
+                        ("query", op.query as f64),
+                        ("op", op.op as f64),
+                        ("nice", nice_val as f64),
+                        ("rounds", rounds as f64),
+                    ],
+                },
+            );
+        }
+    }
+
+    /// Degrades the most expendable non-degraded tenant: lowest SLO
+    /// class first, registration order as the tiebreak.
+    fn degrade(
+        &mut self,
+        kernel: &mut Kernel,
+        log: &mut FaultLog,
+        now: SimTime,
+        di: usize,
+        op: OpRef,
+        rounds: u32,
+    ) {
+        // Never sacrifice a higher class than the one starving: if the
+        // starved operator belongs to a registered tenant, the victim's
+        // class must not exceed it (degrading a Premium tenant to save a
+        // BestEffort one would invert the SLO order).
+        let starving_class = self
+            .tenants
+            .iter()
+            .find(|t| t.driver_idx == di && t.query_idx == op.query)
+            .map(|t| t.class);
+        let Some(ti) = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.degraded)
+            .filter(|(_, t)| starving_class.is_none_or(|c| t.class <= c))
+            .min_by_key(|(i, t)| (t.class, *i))
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let t = &mut self.tenants[ti];
+        t.degraded = true;
+        (t.hook)(kernel);
+        log.note(
+            now,
+            None,
+            "watchdog_degrade",
+            format!(
+                "operator q{}op{} of driver {di} starved {rounds} rounds; degraded tenant {}",
+                op.query, op.op, t.name
+            ),
+        );
+        let class = t.class;
+        if let Some(tr) = kernel.trace_sink() {
+            tr.borrow_mut().push(
+                kernel.now(),
+                TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "degrade_tenant",
+                    args: vec![
+                        ("tenant", ti as f64),
+                        ("class", class.code()),
+                        ("driver", di as f64),
+                        ("query", op.query as f64),
+                        ("op", op.op as f64),
+                        ("rounds", rounds as f64),
+                    ],
+                },
+            );
+        }
+        // Give the degradation a full window to take effect before the
+        // next tenant is considered.
+        for w in self.watch.values_mut() {
+            w.starved = 0;
+        }
+    }
+}

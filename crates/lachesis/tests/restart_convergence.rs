@@ -191,6 +191,79 @@ fn convergence_holds_at_different_kill_points() {
     }
 }
 
+/// Restoring a snapshot taken mid-outage must reconcile the fresh fault
+/// log with the restored health: a non-engaged binding reopens a degraded
+/// interval, so the eventual recovery is recorded instead of silently
+/// no-opping (`mark_recovered` needs an open interval) and the restored
+/// instance never reports the outage window as healthy.
+#[test]
+fn restore_reopens_degraded_intervals_from_snapshot_health() {
+    use lachesis_metrics::FaultPlan;
+    use simos::SimTime;
+
+    // Snapshot at 4.5s (one failure in: Degraded) and at 10s (past the
+    // consecutive-failure threshold: FallenBack).
+    for (kill_ms, expect_fallen_back) in [(4_500u64, false), (10_000, true)] {
+        let mut s = setup(1, 1000.0);
+        let outage_from = SimTime::ZERO + SimDuration::from_secs(3);
+        let outage_until = SimTime::ZERO + SimDuration::from_secs(60);
+        let plan = Rc::new(RefCell::new(
+            FaultPlan::new(7).fetch_failure(Some("storm"), outage_from, outage_until, 1.0),
+        ));
+        let sink = Rc::new(RefCell::new(String::new()));
+        let faulted = LachesisBuilder::new()
+            .driver(
+                StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)).with_faults(plan),
+            )
+            .policy(
+                0,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                NiceTranslator::new(),
+            )
+            .build();
+        let cb = faulted.start_with_snapshots(&mut s.kernel, Rc::clone(&sink));
+        s.kernel.run_for(SimDuration::from_millis(kill_ms));
+        s.kernel.cancel_callback(cb);
+        let saved = sink.borrow().clone();
+
+        // Fresh instance with a healthy driver restores mid-outage state.
+        let mut restored = build_middleware(&s);
+        restored.restore(&saved).expect("snapshot restores");
+        let health = restored.binding_health(0).expect("binding exists");
+        assert_eq!(
+            matches!(health, BindingHealth::FallenBack { .. }),
+            expect_fallen_back,
+            "kill at {kill_ms}ms: {health:?}"
+        );
+        assert!(
+            !matches!(health, BindingHealth::Engaged),
+            "snapshot was taken mid-outage: {health:?}"
+        );
+        let log = restored.fault_log();
+        assert_eq!(
+            log.borrow().currently_degraded(),
+            vec![0],
+            "fresh log reconciled with restored health"
+        );
+        assert_eq!(
+            log.borrow().degraded_intervals()[0].fell_back,
+            expect_fallen_back
+        );
+        assert!(log.borrow().recovery_times().is_empty());
+
+        // With metrics flowing again the binding re-engages, and the
+        // recovery closes the reopened interval.
+        restored.start(&mut s.kernel);
+        s.kernel.run_for(SimDuration::from_secs(10));
+        assert!(
+            log.borrow().currently_degraded().is_empty(),
+            "recovery closed the reopened interval"
+        );
+        assert_eq!(log.borrow().recovery_times().len(), 1);
+    }
+}
+
 #[test]
 fn restore_round_trips_and_rejects_mismatched_config() {
     let mut s = setup(1, 1000.0);

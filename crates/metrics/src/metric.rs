@@ -47,6 +47,9 @@ pub mod names {
     pub const LATENCY: MetricName = MetricName("sink.latency");
     /// Operator health: 1.0 up, 0.0 down (crashed, awaiting restart).
     pub const HEALTH: MetricName = MetricName("op.health");
+    /// Total tuples dropped from an operator's input queue by shed-mode
+    /// overload protection (cumulative, like the tuple counters).
+    pub const SHED: MetricName = MetricName("queue.shed");
 }
 
 /// One sampled metric value and (if known) when it was sampled.

@@ -190,6 +190,38 @@ impl LogicalGraph {
     pub fn op_by_name(&self, name: &str) -> Option<LogicalOpId> {
         self.ops.iter().position(|o| o.name == name)
     }
+
+    /// DRS-style static service-demand estimate: the number of CPU cores
+    /// the query needs at its configured source rates, assuming unit
+    /// selectivity on every edge (each input tuple produces one output on
+    /// each out-edge). An admission controller uses this as the a-priori
+    /// demand of a query that has not run yet; live metrics refine it.
+    pub fn estimated_cores(&self) -> f64 {
+        // Propagate rates in topological order (validate() guarantees a
+        // DAG; unvalidated graphs still terminate because each edge is
+        // visited at most once per pass).
+        let mut in_rate = vec![0.0f64; self.ops.len()];
+        for s in &self.sources {
+            in_rate[s.target] += s.rate_tps;
+        }
+        let mut indeg = vec![0usize; self.ops.len()];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut stack: Vec<usize> = (0..self.ops.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut demand = 0.0f64;
+        while let Some(op) = stack.pop() {
+            demand += in_rate[op] * self.ops[op].cost.cost(1).as_secs_f64();
+            for e in self.out_edges(op) {
+                in_rate[e.to] += in_rate[op];
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    stack.push(e.to);
+                }
+            }
+        }
+        demand
+    }
 }
 
 /// Builder for [`LogicalGraph`] (see [`LogicalGraph::builder`]).
@@ -349,5 +381,26 @@ mod tests {
     #[test]
     fn tuple_interval_is_inverse_rate() {
         assert_eq!(tuple_interval(1000.0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn estimated_cores_sums_service_demand() {
+        let mut b = LogicalGraph::builder("d");
+        let src = b.op("src", Role::Ingress, CostModel::micros(100), 1, || {
+            Box::new(PassThrough)
+        });
+        let mid = b.op("mid", Role::Transform, CostModel::micros(300), 1, || {
+            Box::new(PassThrough)
+        });
+        let sink = b.op("sink", Role::Egress, CostModel::micros(100), 1, || {
+            Box::new(Consume)
+        });
+        b.edge(src, mid, Partitioning::Forward);
+        b.edge(mid, sink, Partitioning::Forward);
+        b.source("gen", src, 1000.0, |s, now| Tuple::new(now, s, vec![]));
+        let g = b.build().unwrap();
+        // 1000 t/s × (100 + 300 + 100)µs = 0.5 cores.
+        let cores = g.estimated_cores();
+        assert!((cores - 0.5).abs() < 1e-9, "cores {cores}");
     }
 }

@@ -46,10 +46,11 @@ pub use opcell::{
 pub use operator::{Consume, CostModel, Emitter, Filter, Map, OperatorLogic, PassThrough};
 pub use physical::{PhysEdgeSpec, PhysOpId, PhysOpSpec, PhysicalGraph};
 pub use pool::{PoolScheduler, PoolShared, PoolTask, PoolView, RoundRobinScheduler, WorkerBody};
-pub use queue::{PushOutcome, Queue};
+pub use queue::{PushOutcome, Queue, QueueDiscipline};
 pub use restart::{install_chaos, RestartPolicy};
 pub use runtime::{
-    deploy, metric_path, BlockingConfig, EngineConfig, Execution, Placement, RunningQuery, SpeKind,
+    deploy, metric_path, BlockingConfig, EngineConfig, Execution, OverloadMode, Placement,
+    RunningQuery, SpeKind,
 };
 pub use sink::SinkCollector;
 pub use source::{install_source, SourceState};

@@ -18,20 +18,57 @@ use simos::{Kernel, NodeId, SimTime, WaitId};
 
 use crate::tuple::Tuple;
 
+/// What a bounded queue does when a push arrives while it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Reject the push: the producer blocks and retries (credit-based
+    /// backpressure). Unbounded queues never reject, so this is a no-op
+    /// for them.
+    #[default]
+    Block,
+    /// Admit the push by shedding the oldest waiting tuple. Producers
+    /// never block on a shedding queue; drops are counted in
+    /// [`shed`](Queue::shed). Only whole tuples are dropped — a tuple
+    /// that was popped is never retracted, so downstream window/join
+    /// state never sees a partial or duplicated input.
+    Shed,
+}
+
 #[derive(Debug)]
 struct QueueInner {
     deque: VecDeque<Tuple>,
     capacity: Option<usize>,
+    discipline: QueueDiscipline,
     /// Slots reserved by in-flight remote pushes.
     reserved: usize,
     pushed: u64,
     popped: u64,
+    /// Tuples dropped from the head by shed-mode overload protection.
+    shed: u64,
     peak: usize,
     consumer_wait: WaitId,
     producer_wait: WaitId,
     /// Shared backlog counter this queue contributes its length to (spout
     /// flow control tracks the query's total internal backlog in O(1)).
     backlog: Option<Rc<Cell<u64>>>,
+}
+
+impl QueueInner {
+    /// Makes room for one incoming tuple on a shedding queue by dropping
+    /// the oldest waiting tuples. The incoming tuple is always admitted —
+    /// shedding is strictly drop-from-head. A shedding queue bounds its
+    /// *backlog* at the capacity; in-flight reservations are not counted
+    /// (they always succeed and shed again on delivery if needed).
+    fn shed_for_push(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        while self.deque.len() >= cap.max(1) {
+            self.deque.pop_front();
+            self.shed += 1;
+            if let Some(c) = &self.backlog {
+                c.set(c.get() - 1);
+            }
+        }
+    }
 }
 
 /// A shared handle to an operator input queue.
@@ -62,9 +99,11 @@ impl Queue {
             inner: Rc::new(RefCell::new(QueueInner {
                 deque: VecDeque::new(),
                 capacity,
+                discipline: QueueDiscipline::Block,
                 reserved: 0,
                 pushed: 0,
                 popped: 0,
+                shed: 0,
                 peak: 0,
                 consumer_wait: kernel.new_wait_channel(),
                 producer_wait: kernel.new_wait_channel(),
@@ -110,21 +149,46 @@ impl Queue {
         q.backlog = Some(counter);
     }
 
+    /// The queue's full-queue behaviour.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.inner.borrow().discipline
+    }
+
+    /// Changes the full-queue behaviour at runtime (graceful-degradation
+    /// flips from backpressure to shedding). After flipping to
+    /// [`QueueDiscipline::Shed`] the caller must wake
+    /// [`producer_wait`](Queue::producer_wait): producers blocked on a
+    /// full queue would otherwise never retry.
+    pub fn set_discipline(&self, discipline: QueueDiscipline) {
+        self.inner.borrow_mut().discipline = discipline;
+    }
+
+    /// Total tuples dropped by shed-mode overload protection.
+    pub fn shed(&self) -> u64 {
+        self.inner.borrow().shed
+    }
+
     /// Whether a push would currently succeed. Always true for unbounded
-    /// queues; single-threaded simulation means the answer cannot change
-    /// between this check and the push it guards.
+    /// and shedding queues; single-threaded simulation means the answer
+    /// cannot change between this check and the push it guards.
     pub fn has_room(&self) -> bool {
         let q = self.inner.borrow();
-        q.capacity.is_none_or(|cap| q.deque.len() + q.reserved < cap)
+        q.discipline == QueueDiscipline::Shed
+            || q.capacity.is_none_or(|cap| q.deque.len() + q.reserved < cap)
     }
 
     /// Attempts to enqueue a tuple.
     pub fn push(&self, tuple: Tuple) -> PushOutcome {
         let mut q = self.inner.borrow_mut();
-        if let Some(cap) = q.capacity {
-            if q.deque.len() + q.reserved >= cap {
-                return PushOutcome::Full;
+        match q.discipline {
+            QueueDiscipline::Block => {
+                if let Some(cap) = q.capacity {
+                    if q.deque.len() + q.reserved >= cap {
+                        return PushOutcome::Full;
+                    }
+                }
             }
+            QueueDiscipline::Shed => q.shed_for_push(),
         }
         let was_empty = q.deque.is_empty();
         q.deque.push_back(tuple);
@@ -141,12 +205,16 @@ impl Queue {
 
     /// Reserves a slot for an in-flight remote push.
     ///
-    /// Returns false if the queue is full (the remote producer must block).
+    /// Returns false if the queue is full (the remote producer must
+    /// block). Shedding queues always accept the reservation — the
+    /// arriving tuple sheds the head on delivery if needed.
     pub fn reserve(&self) -> bool {
         let mut q = self.inner.borrow_mut();
-        if let Some(cap) = q.capacity {
-            if q.deque.len() + q.reserved >= cap {
-                return false;
+        if q.discipline == QueueDiscipline::Block {
+            if let Some(cap) = q.capacity {
+                if q.deque.len() + q.reserved >= cap {
+                    return false;
+                }
             }
         }
         q.reserved += 1;
@@ -163,6 +231,9 @@ impl Queue {
         let mut q = self.inner.borrow_mut();
         assert!(q.reserved > 0, "push_reserved without reserve on {}", self.name);
         q.reserved -= 1;
+        if q.discipline == QueueDiscipline::Shed {
+            q.shed_for_push();
+        }
         let was_empty = q.deque.is_empty();
         q.deque.push_back(tuple);
         q.pushed += 1;
@@ -180,9 +251,11 @@ impl Queue {
     /// blocked producers.
     pub fn pop(&self) -> Option<(Tuple, bool)> {
         let mut q = self.inner.borrow_mut();
-        let was_full = q
-            .capacity
-            .is_some_and(|cap| q.deque.len() + q.reserved >= cap);
+        // Shedding queues never block producers, so there is nobody to wake.
+        let was_full = q.discipline == QueueDiscipline::Block
+            && q
+                .capacity
+                .is_some_and(|cap| q.deque.len() + q.reserved >= cap);
         let t = q.deque.pop_front()?;
         q.popped += 1;
         if let Some(c) = &q.backlog {
@@ -230,6 +303,7 @@ impl Queue {
         let mut q = self.inner.borrow_mut();
         q.pushed = 0;
         q.popped = 0;
+        q.shed = 0;
         q.peak = q.deque.len();
     }
 }
@@ -292,6 +366,74 @@ mod tests {
         let now = SimTime::ZERO + SimDuration::from_millis(350);
         assert!((q.head_age(now).unwrap() - 0.25).abs() < 1e-9);
         assert_eq!(make(None).head_age(now), None);
+    }
+
+    #[test]
+    fn shed_discipline_drops_from_head() {
+        let q = make(Some(2));
+        q.set_discipline(QueueDiscipline::Shed);
+        assert_eq!(q.push(tuple(1)), PushOutcome::Pushed(true));
+        assert_eq!(q.push(tuple(2)), PushOutcome::Pushed(false));
+        assert!(q.has_room(), "shedding queues always admit");
+        // Third push sheds tuple(1): the consumer sees 2 then 3.
+        assert_eq!(q.push(tuple(3)), PushOutcome::Pushed(false));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed(), 1);
+        let (t, was_full) = q.pop().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(2));
+        assert!(!was_full, "shed queues have no blocked producers");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(3));
+        // Accounting: len == pushed - popped - shed.
+        assert_eq!(q.pushed(), 3);
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn shed_discipline_remote_reservations() {
+        let q = make(Some(2));
+        q.set_discipline(QueueDiscipline::Shed);
+        assert!(q.reserve(), "shedding queues always grant credits");
+        assert!(q.reserve());
+        assert!(q.reserve());
+        assert!(q.push_reserved(tuple(1)), "queue was empty");
+        assert!(!q.push_reserved(tuple(2)), "still room: one reservation left");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed(), 0);
+        // Third delivery sheds the head (tuple 1): len + reserved is over
+        // capacity until the backlog drains.
+        assert!(!q.push_reserved(tuple(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.shed(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn discipline_flip_unblocks_full_queue() {
+        let q = make(Some(1));
+        assert_eq!(q.push(tuple(1)), PushOutcome::Pushed(true));
+        assert_eq!(q.push(tuple(2)), PushOutcome::Full);
+        q.set_discipline(QueueDiscipline::Shed);
+        // Capacity 1: the old head is shed, so the queue is empty at admit
+        // time and the consumer must be woken.
+        assert_eq!(q.push(tuple(2)), PushOutcome::Pushed(true));
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn shed_tracks_shared_backlog() {
+        let q = make(Some(2));
+        q.set_discipline(QueueDiscipline::Shed);
+        let counter = Rc::new(Cell::new(0u64));
+        q.track_backlog(Rc::clone(&counter));
+        q.push(tuple(1));
+        q.push(tuple(2));
+        q.push(tuple(3)); // sheds one, admits one: net backlog unchanged
+        assert_eq!(counter.get(), 2);
+        q.pop();
+        assert_eq!(counter.get(), 1);
     }
 
     #[test]

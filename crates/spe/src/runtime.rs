@@ -113,6 +113,25 @@ impl std::fmt::Debug for Execution {
     }
 }
 
+/// Per-deployment overload protection (robustness extension, not in the
+/// paper): what a query does when demand exceeds what its operators can
+/// drain. Requires bounded queues ([`EngineConfig::queue_capacity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadMode {
+    /// Personality defaults: ingress queues stay unbounded (they model the
+    /// external source buffer) and internal queues behave per `kind`.
+    #[default]
+    Disabled,
+    /// Every queue — including ingress — is bounded and blocking; a full
+    /// ingress queue throttles the data source, propagating backpressure
+    /// all the way upstream. No tuple is ever dropped.
+    Backpressure,
+    /// Every queue is bounded and sheds from the head when full; producers
+    /// (and sources) never block. Drops are counted per operator in the
+    /// [`names::SHED`] metric.
+    Shed,
+}
+
 /// Blocking-I/O injection over a random subset of operators (paper §6.4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockingConfig {
@@ -148,6 +167,8 @@ pub struct EngineConfig {
     /// Spout flow control: maximum total internal backlog (tuples) before
     /// ingress operators pause (Storm's `max.spout.pending` with acking).
     pub max_pending: Option<usize>,
+    /// Overload protection mode (requires `queue_capacity` when enabled).
+    pub overload: OverloadMode,
     /// Seed for deterministic per-deployment randomness.
     pub seed: u64,
 }
@@ -166,6 +187,7 @@ impl EngineConfig {
             blocking: None,
             backlog_penalty: None,
             max_pending: Some(4_000),
+            overload: OverloadMode::Disabled,
             seed: 1,
         }
     }
@@ -227,6 +249,8 @@ struct QueryShared {
     /// Grows when the restart supervisor re-deploys a crashed operator.
     threads: RefCell<Vec<ThreadId>>,
     pool: Option<Rc<PoolShared>>,
+    /// Current overload mode (graceful degradation can flip it at runtime).
+    overload: std::cell::Cell<OverloadMode>,
 }
 
 /// Handle to a deployed query: the "public monitoring API" of the SPE,
@@ -370,6 +394,38 @@ impl RunningQuery {
         self.shared.cells.iter().map(|c| c.in_queue().len()).collect()
     }
 
+    /// The query's current overload mode.
+    pub fn overload_mode(&self) -> OverloadMode {
+        self.shared.overload.get()
+    }
+
+    /// Total tuples shed from input queues by overload protection.
+    pub fn total_shed(&self) -> u64 {
+        self.shared.cells.iter().map(|c| c.in_queue().shed()).sum()
+    }
+
+    /// Shed counts by physical operator.
+    pub fn shed_by_op(&self) -> Vec<u64> {
+        self.shared.cells.iter().map(|c| c.in_queue().shed()).collect()
+    }
+
+    /// Flips every input queue to the shed-from-head discipline (graceful
+    /// degradation of a backpressured query under persistent starvation).
+    /// Producers blocked on full queues are woken so they can retry —
+    /// their pending push now sheds instead of stalling. No-op when the
+    /// query has unbounded queues (nothing to flip) or already sheds.
+    pub fn set_shed_mode(&self, kernel: &mut Kernel) {
+        if self.shared.overload.get() == OverloadMode::Shed {
+            return;
+        }
+        for c in &self.shared.cells {
+            let q = c.in_queue();
+            q.set_discipline(crate::queue::QueueDiscipline::Shed);
+            kernel.wake(q.producer_wait());
+        }
+        self.shared.overload.set(OverloadMode::Shed);
+    }
+
     /// Resets all statistics (operators, queues, sinks, sources) — called
     /// at the end of the warm-up phase.
     pub fn reset_stats(&self) {
@@ -428,14 +484,18 @@ pub fn deploy(
     store: Option<Rc<RefCell<TimeSeriesStore>>>,
 ) -> Result<RunningQuery, String> {
     graph.validate()?;
+    if config.overload != OverloadMode::Disabled && config.queue_capacity.is_none() {
+        return Err("overload protection requires bounded queues (queue_capacity)".into());
+    }
     if matches!(config.execution, Execution::WorkerPool { .. }) {
         if placement.nodes.len() > 1 {
             return Err("worker-pool execution requires a single-node placement".into());
         }
-        if config.queue_capacity.is_some() {
+        if config.queue_capacity.is_some() && config.overload != OverloadMode::Shed {
             // A worker stalled on a full queue may be the only thread that
-            // could drain it: guaranteed deadlock potential.
-            return Err("worker-pool execution requires unbounded queues".into());
+            // could drain it: guaranteed deadlock potential. Shedding
+            // queues never stall producers, so they are safe in a pool.
+            return Err("worker-pool execution requires unbounded or shedding queues".into());
         }
     }
 
@@ -456,23 +516,30 @@ pub fn deploy(
         })
         .collect();
 
-    // Queues (ingress queues are unbounded: they model the source buffer).
+    // Queues. With overload protection off, ingress queues are unbounded
+    // (they model the source buffer); with it on, they are bounded too so
+    // overload surfaces as source throttling (Backpressure) or head drops
+    // (Shed) instead of an unbounded buffer.
     let queues: Vec<Queue> = phys
         .ops
         .iter()
         .map(|spec| {
             let node = placement.node_for(spec.replica);
-            let cap = if spec.is_ingress {
+            let cap = if spec.is_ingress && config.overload == OverloadMode::Disabled {
                 None
             } else {
                 config.queue_capacity
             };
-            Queue::new(
+            let q = Queue::new(
                 kernel,
                 &format!("{}.{}", graph.name, spec.name),
                 node,
                 cap,
-            )
+            );
+            if config.overload == OverloadMode::Shed {
+                q.set_discipline(crate::queue::QueueDiscipline::Shed);
+            }
+            q
         })
         .collect();
 
@@ -645,6 +712,7 @@ pub fn deploy(
         sources,
         threads: RefCell::new(threads),
         pool: pool_shared,
+        overload: std::cell::Cell::new(config.overload),
     });
 
     // Metric reporter: writes the SPE's exposed metrics to the store.
@@ -710,6 +778,15 @@ fn report_metrics(shared: &Rc<QueryShared>, store: &Rc<RefCell<TimeSeriesStore>>
             now,
             if cell.is_crashed() { 0.0 } else { 1.0 },
         );
+        // Same for shed counts: overload protection is a runtime feature
+        // of this simulator, visible regardless of SPE personality.
+        if shared.overload.get() == OverloadMode::Shed {
+            store.record(
+                &metric_path(kind, &shared.name, i, names::SHED),
+                now,
+                cell.in_queue().shed() as f64,
+            );
+        }
     }
     for (l, sink) in &shared.sinks {
         if let Some(mean) = sink.borrow().latency().mean() {

@@ -20,6 +20,7 @@ use crate::tuple::Tuple;
 pub struct SourceState {
     name: String,
     emitted: u64,
+    throttled: u64,
     rate_tps: f64,
 }
 
@@ -34,14 +35,28 @@ impl SourceState {
         self.emitted
     }
 
+    /// Total tuple emissions deferred because a bounded ingress queue was
+    /// full (backpressure propagated to the external source). Deferred
+    /// tuples are not lost: they are produced once the queue drains.
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
     /// The configured ingress rate.
     pub fn rate_tps(&self) -> f64 {
         self.rate_tps
     }
 
-    /// Resets the emission counter (used to discard warm-up).
+    /// Changes the ingress rate from the next tick on (tenant churn, flash
+    /// crowds, suspension via rate 0).
+    pub fn set_rate(&mut self, rate_tps: f64) {
+        self.rate_tps = rate_tps.max(0.0);
+    }
+
+    /// Resets the counters (used to discard warm-up).
     pub fn reset(&mut self) {
         self.emitted = 0;
+        self.throttled = 0;
     }
 }
 
@@ -63,6 +78,7 @@ pub fn install_source(
     let state = Rc::new(RefCell::new(SourceState {
         name: name.to_owned(),
         emitted: 0,
+        throttled: 0,
         rate_tps,
     }));
     let state_cb = Rc::clone(&state);
@@ -71,14 +87,25 @@ pub fn install_source(
     let mut rr = 0usize;
     kernel.schedule_periodic(tick, tick, move |k| {
         let now = k.now();
-        acc += rate_tps * tick.as_secs_f64();
+        // The rate is re-read every tick so churn harnesses can change it
+        // (flash crowds, tenant departure) through the shared state.
+        acc += state_cb.borrow().rate_tps() * tick.as_secs_f64();
         let n = acc.floor() as u64;
-        acc -= n as f64;
         if n == 0 {
+            acc -= n as f64;
             return;
         }
         let spacing = tick.as_nanos() / n;
+        let mut sent = 0u64;
         for i in 0..n {
+            let target = &targets[rr % targets.len()];
+            // Bounded ingress queue full: backpressure to the source. The
+            // un-emitted remainder stays in `acc` and is produced (with
+            // fresh event times) once the queue drains — the external
+            // source slows down rather than dropping data.
+            if !target.has_room() {
+                break;
+            }
             // Event times are spread across the *previous* tick interval:
             // these tuples "arrived" while we slept.
             let event_time = SimTime::from_nanos(
@@ -86,20 +113,23 @@ pub fn install_source(
             );
             let tuple = generator(seq, event_time);
             seq += 1;
-            let target = &targets[rr % targets.len()];
             rr += 1;
+            sent += 1;
             match target.push(tuple) {
                 PushOutcome::Pushed(was_empty) => {
                     if was_empty {
                         k.wake(target.consumer_wait());
                     }
                 }
-                PushOutcome::Full => {
-                    unreachable!("ingress queues are unbounded")
-                }
+                // has_room() was checked above and nothing runs between
+                // the check and the push in a single-threaded simulation.
+                PushOutcome::Full => unreachable!("admission checked above"),
             }
         }
-        state_cb.borrow_mut().emitted += n;
+        acc -= sent as f64;
+        let mut s = state_cb.borrow_mut();
+        s.emitted += sent;
+        s.throttled += n - sent;
     });
     state
 }
@@ -142,6 +172,51 @@ mod tests {
         );
         kernel.run_for(SimDuration::from_secs(4));
         assert_eq!(state.borrow().emitted(), 10);
+    }
+
+    #[test]
+    fn bounded_ingress_throttles_source() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let q = Queue::new(&mut kernel, "ingress", node, Some(10));
+        let state = install_source(
+            &mut kernel,
+            "gen",
+            1000.0,
+            Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+            vec![q.clone()],
+            SimDuration::from_millis(1),
+        );
+        kernel.run_for(SimDuration::from_secs(1));
+        // Nobody consumes: the queue caps at 10, the source defers the rest
+        // instead of overflowing, and nothing is dropped.
+        assert_eq!(q.len(), 10);
+        assert_eq!(state.borrow().emitted(), 10);
+        assert!(state.borrow().throttled() > 0);
+    }
+
+    #[test]
+    fn set_rate_takes_effect() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let q = Queue::new(&mut kernel, "ingress", node, None);
+        let state = install_source(
+            &mut kernel,
+            "gen",
+            100.0,
+            Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+            vec![q.clone()],
+            SimDuration::from_millis(10),
+        );
+        kernel.run_for(SimDuration::from_secs(1));
+        assert_eq!(state.borrow().emitted(), 100);
+        state.borrow_mut().set_rate(0.0);
+        kernel.run_for(SimDuration::from_secs(1));
+        assert_eq!(state.borrow().emitted(), 100, "suspended source emits nothing");
+        state.borrow_mut().set_rate(300.0);
+        kernel.run_for(SimDuration::from_secs(1));
+        let total = state.borrow().emitted();
+        assert!((395..=405).contains(&total), "flash crowd rate applied: {total}");
     }
 
     #[test]
