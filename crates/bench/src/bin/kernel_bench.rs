@@ -7,10 +7,15 @@
 //! cargo run -p bench --release --bin kernel_bench -- --sim-secs 120 \
 //!     --check BENCH_kernel.json            # CI: fail on >30% regression
 //! cargo run -p bench --release --bin kernel_bench -- --write BENCH_kernel.json
+//! cargo run -p bench --release --bin kernel_bench -- --batch 1   # scalar path
 //! ```
 //!
 //! The emitted JSON is committed as `BENCH_kernel.json` so the
-//! simulated-seconds-per-wall-second figure is tracked across PRs.
+//! simulated-seconds-per-wall-second figure is tracked across PRs. Besides
+//! raw speed the report carries the work done (`tuples_processed`,
+//! `batches`, `avg_batch_size`), so a regression can be told apart from a
+//! workload change: `--check` failures print old-vs-new deltas for every
+//! recorded field.
 
 use std::process::ExitCode;
 use std::rc::Rc;
@@ -19,7 +24,7 @@ use std::time::Instant;
 use bench::harness::new_store;
 use bench::json::Json;
 use simos::{machines, Kernel, NodeId, SimDuration};
-use spe::{deploy, EngineConfig, Placement};
+use spe::{deploy, EngineConfig, Placement, RunningQuery};
 
 /// Fraction of the baseline throughput below which `--check` fails.
 const REGRESSION_FLOOR: f64 = 0.7;
@@ -28,6 +33,7 @@ struct Opts {
     sim_secs: u64,
     parallelism: usize,
     rate: f64,
+    batch: Option<usize>,
     check: Option<String>,
     write: Option<String>,
     trace: Option<String>,
@@ -36,8 +42,8 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: kernel_bench [--sim-secs N] [--parallelism P] [--rate R]\n\
-         \u{20}                   [--check BASELINE.json] [--write OUT.json]\n\
-         \u{20}                   [--trace TRACE.json]"
+         \u{20}                   [--batch N] [--check BASELINE.json]\n\
+         \u{20}                   [--write OUT.json] [--trace TRACE.json]"
     );
     std::process::exit(2)
 }
@@ -48,6 +54,7 @@ fn parse_args() -> Opts {
         sim_secs: 30,
         parallelism: 8,
         rate: 0.0,
+        batch: None,
         check: None,
         write: None,
         trace: None,
@@ -60,6 +67,7 @@ fn parse_args() -> Opts {
             "--sim-secs" => opts.sim_secs = value.parse().unwrap_or_else(|_| usage()),
             "--parallelism" => opts.parallelism = value.parse().unwrap_or_else(|_| usage()),
             "--rate" => opts.rate = value.parse().unwrap_or_else(|_| usage()),
+            "--batch" => opts.batch = Some(value.parse().unwrap_or_else(|_| usage())),
             "--check" => opts.check = Some(value),
             "--write" => opts.write = Some(value),
             "--trace" => opts.trace = Some(value),
@@ -76,7 +84,12 @@ fn parse_args() -> Opts {
 
 /// Builds the scale-out workload: LR at `parallelism`, one Odroid per
 /// pipeline replica, source rate split across replicas by the deployer.
-fn build_workload(parallelism: usize, rate: f64, seed: u64) -> Kernel {
+fn build_workload(
+    parallelism: usize,
+    rate: f64,
+    seed: u64,
+    batch: Option<usize>,
+) -> (Kernel, RunningQuery) {
     let mut kernel = Kernel::new(machines::odroid_config());
     let nodes: Vec<NodeId> = (0..parallelism)
         .map(|i| machines::add_odroid(&mut kernel, &format!("odroid{i}")))
@@ -85,7 +98,10 @@ fn build_workload(parallelism: usize, rate: f64, seed: u64) -> Kernel {
     let graph = queries::lr_with_parallelism(rate, seed, parallelism);
     let mut config = EngineConfig::storm();
     config.seed = seed;
-    deploy(
+    if let Some(n) = batch {
+        config.batch_max = n.max(1);
+    }
+    let query = deploy(
         &mut kernel,
         graph,
         config,
@@ -93,15 +109,16 @@ fn build_workload(parallelism: usize, rate: f64, seed: u64) -> Kernel {
         Some(Rc::clone(&store)),
     )
     .expect("deploy");
-    kernel
+    (kernel, query)
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let mut kernel = build_workload(opts.parallelism, opts.rate, 1);
+    let (mut kernel, query) = build_workload(opts.parallelism, opts.rate, 1, opts.batch);
 
     // Warm up: fill queues and reach steady state before timing.
     kernel.run_for(SimDuration::from_secs(1));
+    query.reset_stats();
 
     // Tracing is installed after warm-up so the trace covers exactly the
     // timed region. Note the reported sim-s/wall-s then includes tracing
@@ -117,10 +134,30 @@ fn main() -> ExitCode {
     kernel.run_for(SimDuration::from_secs(opts.sim_secs));
     let wall = start.elapsed().as_secs_f64();
     let sims_per_wall = opts.sim_secs as f64 / wall;
+
+    // Work done during the timed region (warm-up stats were reset): how
+    // many tuples the operators processed and in how many `begin` rounds —
+    // `tuples / batches` is the realized average batch size (1.0 when the
+    // scalar path ran, e.g. under `--batch 1`).
+    let tuples_processed: u64 = query.cells().iter().map(|c| c.tuples_in()).sum();
+    let batches: u64 = query.cells().iter().map(|c| c.batches()).sum();
+    let avg_batch_size = if batches == 0 {
+        0.0
+    } else {
+        tuples_processed as f64 / batches as f64
+    };
     eprintln!(
         "kernel_bench: {} sim-s in {:.2} wall-s => {:.1} sim-s/wall-s \
          (parallelism={}, rate={} t/s)",
         opts.sim_secs, wall, sims_per_wall, opts.parallelism, opts.rate
+    );
+    eprintln!(
+        "kernel_bench: {} tuples in {} batches (avg batch {:.2}), \
+         {} kernel loop iterations",
+        tuples_processed,
+        batches,
+        avg_batch_size,
+        kernel.loop_iterations()
     );
 
     let report = Json::obj(vec![
@@ -130,6 +167,9 @@ fn main() -> ExitCode {
         ("sim_secs", Json::Num(opts.sim_secs as f64)),
         ("wall_secs", Json::Num(wall)),
         ("sims_per_wall", Json::Num(sims_per_wall)),
+        ("tuples_processed", Json::Num(tuples_processed as f64)),
+        ("batches", Json::Num(batches as f64)),
+        ("avg_batch_size", Json::Num(avg_batch_size)),
     ]);
     if let Some(path) = &opts.write {
         std::fs::write(path, report.pretty()).expect("write report");
@@ -161,6 +201,30 @@ fn main() -> ExitCode {
                 "kernel_bench: REGRESSION: {sims_per_wall:.1} sim-s/wall-s is below \
                  {floor:.1} (70% of the {expect:.1} baseline in {path})"
             );
+            // Old-vs-new per-field deltas: a workload drift (tuple counts
+            // moved) reads very differently from a plain slowdown.
+            for (field, new) in [
+                ("sims_per_wall", sims_per_wall),
+                ("wall_secs", wall),
+                ("tuples_processed", tuples_processed as f64),
+                ("batches", batches as f64),
+                ("avg_batch_size", avg_batch_size),
+            ] {
+                let old = baseline.get(field).and_then(Json::as_f64);
+                match old {
+                    Some(old) if old != 0.0 => eprintln!(
+                        "kernel_bench:   {field}: baseline {old:.3} -> now {new:.3} \
+                         ({:+.1}%)",
+                        (new - old) / old * 100.0
+                    ),
+                    Some(old) => eprintln!(
+                        "kernel_bench:   {field}: baseline {old:.3} -> now {new:.3}"
+                    ),
+                    None => eprintln!(
+                        "kernel_bench:   {field}: not in baseline -> now {new:.3}"
+                    ),
+                }
+            }
             return ExitCode::FAILURE;
         }
         eprintln!(

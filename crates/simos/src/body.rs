@@ -6,8 +6,8 @@
 //! [`ThreadBody::next_action`], at the simulated instant the previous action
 //! completed, via the [`SimCtx`] handle.
 
-use crate::ids::WaitId;
-use crate::kernel::Kernel;
+use crate::ids::{DeferCallId, WaitId};
+use crate::kernel::{DeferOp, Kernel};
 use crate::time::{SimDuration, SimTime};
 
 /// What a thread wants to do next.
@@ -37,8 +37,8 @@ pub struct SimCtx {
     deferred: Vec<Deferred>,
 }
 
-/// A deferred kernel effect: run the closure after the delay.
-pub(crate) type Deferred = (SimDuration, Box<dyn FnOnce(&mut Kernel)>);
+/// A deferred kernel effect: run the operation after the delay.
+pub(crate) type Deferred = (SimDuration, DeferOp);
 
 impl std::fmt::Debug for SimCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -91,7 +91,16 @@ impl SimCtx {
 
     /// Runs `f` with kernel access after `delay` (e.g. a network transfer).
     pub fn defer(&mut self, delay: SimDuration, f: impl FnOnce(&mut Kernel) + 'static) {
-        self.deferred.push((delay, Box::new(f)));
+        self.deferred.push((delay, DeferOp::Boxed(Box::new(f))));
+    }
+
+    /// Schedules one firing of a persistent handler registered with
+    /// [`Kernel::register_defer_call`] after `delay`. Equivalent to
+    /// [`defer`](SimCtx::defer) but allocation-free: hot paths that defer
+    /// the same effect millions of times (remote tuple deliveries) queue
+    /// their payload out-of-band and fire the shared handler per event.
+    pub fn defer_call(&mut self, delay: SimDuration, id: DeferCallId) {
+        self.deferred.push((delay, DeferOp::Call(id)));
     }
 
     pub(crate) fn into_effects(self) -> (Vec<WaitId>, Vec<Deferred>) {

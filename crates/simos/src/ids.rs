@@ -56,6 +56,15 @@ id_type!(
     CallbackId,
     "cb:"
 );
+id_type!(
+    /// Identifier of a persistent deferred-effect callback
+    /// ([`Kernel::register_defer_call`](crate::Kernel::register_defer_call)):
+    /// a reusable network-delivery handler that
+    /// [`SimCtx::defer_call`](crate::SimCtx::defer_call) schedules without
+    /// allocating a closure per event.
+    DeferCallId,
+    "dc:"
+);
 
 /// Index of a CPU within one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -24,7 +24,7 @@ use std::fmt;
 use crate::body::{Action, SimCtx, ThreadBody};
 use crate::calendar::EventCalendar;
 use crate::cgroup::{clamp_shares, CgroupData, CgroupInfo, DEFAULT_CPU_SHARES};
-use crate::ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
+use crate::ids::{CallbackId, CgroupId, CpuId, DeferCallId, NodeId, ThreadId, WaitId};
 use crate::nice::{Nice, NICE_0_WEIGHT};
 use crate::runqueue::Entity;
 use crate::thread::{ThreadData, ThreadInfo, ThreadState};
@@ -135,11 +135,24 @@ enum TimerKind {
 /// or the defer FIFO, tagged with its tie-break sequence number.
 enum DueTimer {
     Kind(TimerKind),
-    Defer(Box<dyn FnOnce(&mut Kernel)>),
+    Defer(DeferOp),
+}
+
+/// A deferred internal effect: either a one-shot boxed closure, or one
+/// firing of a persistent [`Kernel::register_defer_call`] handler. The
+/// `Call` form exists for the hot path — a remote tuple delivery happens
+/// millions of times per run, and a per-event `Box` allocation (plus the
+/// captured payload move) dwarfs the work the closure actually does.
+pub(crate) enum DeferOp {
+    Boxed(Box<dyn FnOnce(&mut Kernel)>),
+    Call(DeferCallId),
 }
 
 /// A queued deferred effect: (due instant, calendar tie-break seq, effect).
-type DeferEntry = (SimTime, u64, Box<dyn FnOnce(&mut Kernel)>);
+type DeferEntry = (SimTime, u64, DeferOp);
+
+/// A persistent deferred-effect handler ([`Kernel::register_defer_call`]).
+type DeferCall = Box<dyn FnMut(&mut Kernel)>;
 
 // Per-CPU slice/completion expiries are NOT calendar entries: each CPU
 // stores its own `due` instant and the main loop takes the minimum over
@@ -327,6 +340,10 @@ pub struct Kernel {
     callbacks: Vec<CallbackEntry>,
     /// Recycled one-shot callback slots.
     free_callbacks: Vec<usize>,
+    /// Persistent deferred-effect handlers ([`Kernel::register_defer_call`]),
+    /// indexed by [`DeferCallId`]. `None` while a handler is on the call
+    /// stack (taken out to fire, put back after).
+    defer_calls: Vec<Option<DeferCall>>,
     next_wait: u64,
     next_seq: u64,
     invoke_guard: Vec<(SimTime, u32)>,
@@ -349,10 +366,25 @@ pub struct Kernel {
     /// calendar events is preserved. An out-of-order defer (shorter delay
     /// while longer ones are pending) falls back to the calendar.
     defer_fifo: VecDeque<DeferEntry>,
+    /// Per-node minimum over the CPUs' `due` instants, maintained at every
+    /// `due` mutation. Stored contiguously (not in `NodeData`) so the main
+    /// loop's next-event lookup and due-CPU collection read one small array
+    /// instead of touching every node's cache lines each iteration.
+    node_min_due: Vec<SimTime>,
     /// Thread whose settle (body invocation) is on the call stack right
     /// now. Lazy charging lets a quota throttle fire mid-settle; the
     /// throttle must not enqueue this thread out from under the settle.
     settling: Option<ThreadId>,
+    /// CPU chosen by an in-flight [`place_thread`](Kernel::place_thread)
+    /// whose occupant is still running its body (so `current` is `None`
+    /// but the CPU is spoken for). A re-entrant fast-path wake must not
+    /// grab it. Saved/restored around nested placements.
+    reserving: Option<(usize, usize)>,
+    /// Nesting depth of fast-path wake placements on the call stack. Each
+    /// level runs a body inside `wake`, so a same-instant wake chain
+    /// recurses; past the cap we fall back to the worklist to bound stack
+    /// growth.
+    fast_wake_depth: u32,
     /// True once any cgroup ever had a CPU quota: wake-time preemption
     /// checks must then commit charges eagerly (a charge may throttle a
     /// group mid-wake). Without quotas they run on speculative vruntimes.
@@ -464,6 +496,7 @@ impl SpawnBuilder<'_> {
     }
 }
 
+#[allow(missing_docs)]
 impl Kernel {
     /// Creates an empty kernel with the given scheduler configuration.
     pub fn new(config: KernelConfig) -> Self {
@@ -483,10 +516,14 @@ impl Kernel {
             fault_hook: None,
             tracer: None,
             dispatch_worklist: VecDeque::new(),
+            defer_calls: Vec::new(),
             due_cpus: Vec::new(),
             due_timers: Vec::new(),
             defer_fifo: VecDeque::new(),
+            node_min_due: Vec::new(),
             settling: None,
+            reserving: None,
+            fast_wake_depth: 0,
             quota_in_use: false,
             synced_at: SimTime::MAX,
             loop_iters: 0,
@@ -603,6 +640,7 @@ impl Kernel {
             seq,
         ));
         let now = self.now;
+        self.node_min_due.push(SimTime::MAX);
         self.nodes.push(NodeData {
             id: node,
             name: name.to_owned(),
@@ -760,6 +798,7 @@ impl Kernel {
             c.gen += 1; // invalidates any collected due batch
             c.due = SimTime::MAX;
         }
+        self.refresh_min_due(node_idx);
         if let Some(tid) = migrated {
             let cgroup = self.threads[tid.0 as usize].cgroup;
             self.emit(|| TraceEvent::Migration { tid, cgroup });
@@ -1311,6 +1350,16 @@ impl Kernel {
         }
         let mut list = std::mem::take(&mut self.waiters[ch]);
         list.retain(|&tid| self.threads[tid.0 as usize].state == ThreadState::Blocked(channel));
+        // Single-waiter wake onto an idle CPU skips the runqueue entirely.
+        // The fast path runs the woken body, which may re-block threads on
+        // this very channel — recycle the buffer only if none did.
+        if list.len() == 1 && self.try_fast_wake(list[0]) {
+            if self.waiters[ch].is_empty() {
+                list.clear();
+                self.waiters[ch] = list;
+            }
+            return;
+        }
         for &tid in &list {
             let node = self.threads[tid.0 as usize].node;
             self.nodes[node.0 as usize].nr_active += 1;
@@ -1511,21 +1560,55 @@ impl Kernel {
         id
     }
 
+    /// Registers a persistent deferred-effect handler and returns its id.
+    ///
+    /// The handler fires once per [`SimCtx::defer_call`] scheduling it,
+    /// after the given delay, with full kernel access — like
+    /// [`SimCtx::defer`], but the closure is allocated once here instead
+    /// of once per event. Callers queue the per-event payload themselves
+    /// (e.g. a network queue buffers in-flight tuples in arrival order and
+    /// its handler delivers exactly one per firing). Handlers live for the
+    /// kernel's lifetime.
+    pub fn register_defer_call(
+        &mut self,
+        f: impl FnMut(&mut Kernel) + 'static,
+    ) -> DeferCallId {
+        self.defer_calls.push(Some(Box::new(f)));
+        DeferCallId((self.defer_calls.len() - 1) as u64)
+    }
+
+    /// Fires one registered deferred-effect handler. The handler is taken
+    /// out of its slot for the duration of the call so it can borrow the
+    /// kernel mutably; re-entrant firings of the *same* handler are a bug
+    /// in the caller (a handler never defers to itself with zero delay).
+    fn run_defer_call(&mut self, id: DeferCallId) {
+        let slot = id.0 as usize;
+        let mut f = self.defer_calls[slot]
+            .take()
+            .expect("defer-call handler fired re-entrantly");
+        f(self);
+        self.defer_calls[slot] = Some(f);
+    }
+
     /// Schedules a deferred internal effect (see [`TimerKind::Defer`]).
     ///
     /// Fast path: appended to `defer_fifo` when its due time is no earlier
     /// than the FIFO's tail (the common case — a single constant network
     /// delay makes due times nondecreasing). Out-of-order defers go through
     /// the calendar instead, which handles arbitrary times.
-    fn push_defer(&mut self, delay: SimDuration, f: Box<dyn FnOnce(&mut Kernel)>) {
+    fn push_defer(&mut self, delay: SimDuration, op: DeferOp) {
         let at = self.now + delay;
         if self.defer_fifo.back().is_some_and(|&(t, _, _)| t > at) {
+            let f: Box<dyn FnOnce(&mut Kernel)> = match op {
+                DeferOp::Boxed(f) => f,
+                DeferOp::Call(id) => Box::new(move |k: &mut Kernel| k.run_defer_call(id)),
+            };
             let id = self.alloc_callback(None, CallbackFn::Once(f));
             self.calendar
                 .insert(at, TimerKind::Defer(id));
         } else {
             let seq = self.calendar.reserve_seq().seq();
-            self.defer_fifo.push_back((at, seq, f));
+            self.defer_fifo.push_back((at, seq, op));
         }
     }
 
@@ -2006,26 +2089,60 @@ impl Kernel {
             .min(self.now + self.threads[tid.0 as usize].remaining);
         let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
         cpu.gen += 1;
+        let old_due = cpu.due;
         cpu.due = due;
+        if due <= self.node_min_due[node_idx] {
+            self.node_min_due[node_idx] = due;
+        } else if old_due == self.node_min_due[node_idx] {
+            // Raised the minimum holder: rescan for the new minimum.
+            self.refresh_min_due(node_idx);
+        }
+    }
+
+    /// Recomputes a node's cached minimum `due`; called after any mutation
+    /// that may have raised the previous minimum.
+    fn refresh_min_due(&mut self, node_idx: usize) {
+        let mut min = SimTime::MAX;
+        for c in &self.nodes[node_idx].cpus {
+            if c.due < min {
+                min = c.due;
+            }
+        }
+        self.node_min_due[node_idx] = min;
     }
 
     /// Releases a CPU; the thread keeps whatever state the caller set.
     fn free_cpu(&mut self, node_idx: usize, cpu_idx: usize) {
         self.charge_cpu(node_idx, cpu_idx); // safety net; normally a no-op
         self.account_node(node_idx);
-        let freed = {
+        let (freed, old_due) = {
             let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
             let was_occupied = cpu.current.is_some();
             cpu.last_thread = cpu.current.take();
             cpu.slice_end = SimTime::MAX;
             cpu.gen += 1; // invalidates the collected due batch, if any
+            let old_due = cpu.due;
             cpu.due = SimTime::MAX;
-            was_occupied
+            (was_occupied, old_due)
         };
+        // Raising a CPU's `due` only moves the node minimum if this CPU
+        // held it; otherwise the cached minimum (some other CPU) stands.
+        if old_due == self.node_min_due[node_idx] {
+            self.refresh_min_due(node_idx);
+        }
         if freed {
             self.nodes[node_idx].occupied -= 1;
         }
-        self.mark_dirty(node_idx);
+        // A freed CPU only creates dispatchable work if something is
+        // already queued; everything that *makes* a thread runnable
+        // (enqueue, unthrottle, hotplug) marks the node dirty itself, so
+        // an empty-runqueue release can skip the worklist round-trip.
+        let root = self.nodes[node_idx].root;
+        if !self.cgroups[root.0 as usize].rq.is_empty()
+            || !self.nodes[node_idx].rt_queue.is_empty()
+        {
+            self.mark_dirty(node_idx);
+        }
     }
 
     /// Applies a body action for a thread currently holding a CPU.
@@ -2108,43 +2225,122 @@ impl Kernel {
             let Some(tid) = self.pick_thread(node_idx) else {
                 return;
             };
-            let prev = self.nodes[node_idx].cpus[cpu_idx].last_thread;
-            let switch = prev != Some(tid);
-            {
-                let t = &mut self.threads[tid.0 as usize];
-                t.state = ThreadState::Running(CpuId(cpu_idx));
-                t.dispatches += 1;
+            if !self.place_thread(node_idx, cpu_idx, tid) {
+                continue 'cpus;
             }
-            if switch && !self.config.ctx_switch_cost.is_zero() {
-                let cost = self.config.ctx_switch_cost;
-                self.threads[tid.0 as usize].remaining += cost;
-                self.nodes[node_idx].ctx_switches += 1;
-                self.nodes[node_idx].overhead += cost;
-            }
-            // Make sure the thread has pending work; run its body if not.
-            while self.threads[tid.0 as usize].remaining.is_zero() {
-                let action = self.invoke_body(tid);
-                if !self.apply_action(node_idx, cpu_idx, tid, action) {
-                    continue 'cpus;
-                }
-            }
-            let slice = self.slice_for(node_idx, tid);
-            let now = self.now;
-            let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
-            cpu.current = Some(tid);
-            cpu.last_thread = Some(tid);
-            cpu.slice_end = now + slice;
-            cpu.last_charged = now;
-            self.nodes[node_idx].occupied += 1;
-            self.emit(|| TraceEvent::Switch {
-                node: node_idx as u64,
-                cpu: cpu_idx,
-                prev,
-                next: tid,
-                fresh: switch,
-            });
-            self.rearm_cpu(node_idx, cpu_idx);
         }
+    }
+
+    /// Puts a dequeued (or fast-woken) thread on an idle CPU: context-switch
+    /// accounting, body invocation until it has pending work, slice arming.
+    /// Returns `false` if the body immediately blocked/yielded/exited — the
+    /// CPU was released by `apply_action` and stays free.
+    fn place_thread(&mut self, node_idx: usize, cpu_idx: usize, tid: ThreadId) -> bool {
+        let prev = self.nodes[node_idx].cpus[cpu_idx].last_thread;
+        let switch = prev != Some(tid);
+        {
+            let t = &mut self.threads[tid.0 as usize];
+            t.state = ThreadState::Running(CpuId(cpu_idx));
+            t.dispatches += 1;
+        }
+        if switch && !self.config.ctx_switch_cost.is_zero() {
+            let cost = self.config.ctx_switch_cost;
+            self.threads[tid.0 as usize].remaining += cost;
+            self.nodes[node_idx].ctx_switches += 1;
+            self.nodes[node_idx].overhead += cost;
+        }
+        // Make sure the thread has pending work; run its body if not. The
+        // CPU is reserved but not yet occupied while the body runs, so a
+        // re-entrant fast-path wake (triggered by this body's own pushes)
+        // must be told not to place another thread on it.
+        let outer = self.reserving;
+        self.reserving = Some((node_idx, cpu_idx));
+        while self.threads[tid.0 as usize].remaining.is_zero() {
+            let action = self.invoke_body(tid);
+            if !self.apply_action(node_idx, cpu_idx, tid, action) {
+                self.reserving = outer;
+                return false;
+            }
+        }
+        self.reserving = outer;
+        let slice = self.slice_for(node_idx, tid);
+        let now = self.now;
+        let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
+        cpu.current = Some(tid);
+        cpu.last_thread = Some(tid);
+        cpu.slice_end = now + slice;
+        cpu.last_charged = now;
+        self.nodes[node_idx].occupied += 1;
+        self.emit(|| TraceEvent::Switch {
+            node: node_idx as u64,
+            cpu: cpu_idx,
+            prev,
+            next: tid,
+            fresh: switch,
+        });
+        self.rearm_cpu(node_idx, cpu_idx);
+        true
+    }
+
+    /// Wake-to-idle-CPU fast path. When a woken CFS thread's node has an
+    /// idle online CPU and nothing else runnable, the dispatch outcome is
+    /// forced: the regular path would enqueue the thread, mark the node
+    /// dirty and — on the worklist pass — pop that same thread straight
+    /// back off the runqueue onto that same CPU. This path performs the
+    /// identical state transitions (accounting order, vruntime floor,
+    /// trace events, context-switch cost) while skipping the runqueue
+    /// insert/remove round-trip and the worklist pass. Returns `true` if
+    /// the thread was placed; `false` means the caller must take the
+    /// regular enqueue path.
+    ///
+    /// The only scalar the fast path does not replicate is the runqueue
+    /// tie-break sequence number the regular path would have allocated;
+    /// skipping an allocation preserves the relative order of all others,
+    /// so schedules stay deterministic.
+    fn try_fast_wake(&mut self, tid: ThreadId) -> bool {
+        if self.fast_wake_depth >= 64 {
+            return false; // bound same-instant wake-chain recursion
+        }
+        if self.quota_in_use || self.threads[tid.0 as usize].rt_priority.is_some() {
+            return false;
+        }
+        let node_idx = self.threads[tid.0 as usize].node.0 as usize;
+        let root = self.nodes[node_idx].root;
+        // Child-cgroup placement cascades group entities; keep that on the
+        // regular path (Lachesis-managed queries; the floor per level and
+        // descent order are not worth replicating here).
+        if self.threads[tid.0 as usize].cgroup != root {
+            return false;
+        }
+        if !self.nodes[node_idx].rt_queue.is_empty()
+            || !self.cgroups[root.0 as usize].rq.is_empty()
+        {
+            return false;
+        }
+        let reserved = self.reserving;
+        let Some(cpu_idx) = (0..self.nodes[node_idx].cpus.len()).find(|&i| {
+            let c = &self.nodes[node_idx].cpus[i];
+            c.online && c.current.is_none() && reserved != Some((node_idx, i))
+        }) else {
+            return false;
+        };
+        // Commit. Order matches wake() + enqueue_thread(wakeup=true) +
+        // dispatch_node: nr_active first, then the account boundary, then
+        // the Wake trace and the sleeper-credit vruntime floor.
+        self.fast_wake_depth += 1;
+        self.nodes[node_idx].nr_active += 1;
+        self.account_node(node_idx);
+        self.emit(|| TraceEvent::Wake { tid });
+        let floor = self.cgroups[root.0 as usize]
+            .min_vruntime
+            .saturating_sub(self.config.wakeup_bonus.as_nanos());
+        let t = &mut self.threads[tid.0 as usize];
+        if t.vruntime < floor {
+            t.vruntime = floor;
+        }
+        self.place_thread(node_idx, cpu_idx, tid);
+        self.fast_wake_depth -= 1;
+        true
     }
 
     /// Handles a running thread whose compute finished or slice expired.
@@ -2184,7 +2380,9 @@ impl Kernel {
     fn fire_timer(&mut self, kind: TimerKind) {
         match kind {
             TimerKind::Wake(tid) => {
-                if self.threads[tid.0 as usize].state == ThreadState::Sleeping {
+                if self.threads[tid.0 as usize].state == ThreadState::Sleeping
+                    && !self.try_fast_wake(tid)
+                {
                     let node = self.threads[tid.0 as usize].node;
                     self.nodes[node.0 as usize].nr_active += 1;
                     self.enqueue_thread(tid, true);
@@ -2301,10 +2499,8 @@ impl Kernel {
         if let Some(&(at, _, _)) = self.defer_fifo.front() {
             next = next.min(at);
         }
-        for n in &self.nodes {
-            for c in &n.cpus {
-                next = next.min(c.due);
-            }
+        for &d in &self.node_min_due {
+            next = next.min(d);
         }
         (next != SimTime::MAX).then_some(next)
     }
@@ -2331,7 +2527,11 @@ impl Kernel {
             // Collect due CPUs by scanning — index order, matching the old
             // eager loop's visit order, so same-instant interactions (quota
             // throttles, preemptions during settles) resolve identically.
+            // The cached per-node minimum skips nodes with nothing due.
             for node in 0..self.nodes.len() {
+                if self.node_min_due[node] > self.now {
+                    continue;
+                }
                 for cpu in 0..self.nodes[node].cpus.len() {
                     let c = &self.nodes[node].cpus[cpu];
                     if c.due <= self.now {
@@ -2370,7 +2570,8 @@ impl Kernel {
             for (_, t) in due_timers.drain(..) {
                 match t {
                     DueTimer::Kind(kind) => self.fire_timer(kind),
-                    DueTimer::Defer(f) => f(self),
+                    DueTimer::Defer(DeferOp::Boxed(f)) => f(self),
+                    DueTimer::Defer(DeferOp::Call(id)) => self.run_defer_call(id),
                 }
             }
             self.due_timers = due_timers;

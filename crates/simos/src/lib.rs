@@ -48,7 +48,7 @@ mod trace;
 pub use body::{Action, FixedWork, SimCtx, ThreadBody};
 pub use calendar::{EventCalendar, EventId};
 pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
-pub use ids::{CallbackId, CgroupId, CpuId, NodeId, ThreadId, WaitId};
+pub use ids::{CallbackId, CgroupId, CpuId, DeferCallId, NodeId, ThreadId, WaitId};
 pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
 pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
 pub use thread::{ThreadInfo, ThreadState};

@@ -9,7 +9,7 @@
 
 use simos::{Action, SimCtx, SimDuration, ThreadBody, TraceEvent, TraceHandle, TraceTrack};
 
-use crate::opcell::{Begin, FinishOutcome, OpCellRef, WorkItem};
+use crate::opcell::{Begin, BatchOutcome, FinishOutcome, OpBatch, OpCellRef, WorkItem};
 
 /// Spout wait strategy: how long a throttled ingress operator sleeps
 /// before re-checking the pending cap (Storm's `sleep-spout-wait`).
@@ -21,6 +21,12 @@ enum OpBodyState {
     Stalled(WorkItem),
     /// Sleep issued after delivery (injected blocking I/O).
     Blocking,
+    /// Computing the current tuple of a batch.
+    BatchWorking(OpBatch),
+    /// A bounded downstream queue stalled a batch tuple's delivery.
+    BatchStalled(OpBatch),
+    /// Sleeping out injected blocking I/O between batch tuples.
+    BatchBlocking(OpBatch),
 }
 
 /// The [`ThreadBody`] of one physical operator.
@@ -82,6 +88,42 @@ impl OpBody {
             None
         }
     }
+
+    /// Advances a delivered batch to its next tuple — the batch analogue
+    /// of falling through to `begin` after a scalar `finish`. Returns the
+    /// compute action for the next tuple, or `None` when the chunk is
+    /// exhausted (state is then `Idle`; the caller's loop re-polls).
+    fn advance_batch(&mut self, ctx: &mut SimCtx, batch: OpBatch) -> Option<Action> {
+        // Queue depth at this boundary: the scalar path samples it just
+        // before its pop, which the uncommitted ghost tuples reproduce.
+        let depth = if self.trace.is_some() {
+            self.cell.in_queue().len()
+        } else {
+            0
+        };
+        match self.cell.next_in_batch(batch) {
+            Some(batch) => {
+                if self.trace.is_some() {
+                    let outs = batch.output_count();
+                    self.emit(ctx, |track| TraceEvent::SpanBegin {
+                        track,
+                        name: "batch",
+                        args: vec![
+                            ("queue_depth", depth as f64),
+                            ("tuples_out", outs as f64),
+                        ],
+                    });
+                }
+                let cost = batch.cost;
+                self.state = OpBodyState::BatchWorking(batch);
+                Some(Action::Compute(cost))
+            }
+            None => {
+                self.state = OpBodyState::Idle;
+                None
+            }
+        }
+    }
 }
 
 impl ThreadBody for OpBody {
@@ -123,6 +165,22 @@ impl ThreadBody for OpBody {
                             }
                             let cost = item.cost;
                             self.state = OpBodyState::Working(item);
+                            return Action::Compute(cost);
+                        }
+                        Begin::Batch(batch) => {
+                            if self.trace.is_some() {
+                                let outs = batch.output_count();
+                                self.emit(ctx, |track| TraceEvent::SpanBegin {
+                                    track,
+                                    name: "batch",
+                                    args: vec![
+                                        ("queue_depth", depth as f64),
+                                        ("tuples_out", outs as f64),
+                                    ],
+                                });
+                            }
+                            let cost = batch.cost;
+                            self.state = OpBodyState::BatchWorking(batch);
                             return Action::Compute(cost);
                         }
                         Begin::Empty => {
@@ -173,6 +231,62 @@ impl ThreadBody for OpBody {
                         }
                     }
                 }
+                OpBodyState::BatchWorking(batch) => {
+                    match self.cell.finish_batch(ctx, batch) {
+                        BatchOutcome::Delivered(batch) => {
+                            if self.trace.is_some() {
+                                self.emit(ctx, |track| TraceEvent::SpanEnd {
+                                    track,
+                                    name: "batch",
+                                    args: Vec::new(),
+                                });
+                            }
+                            if let Some(d) = batch.block_after {
+                                self.state = OpBodyState::BatchBlocking(batch);
+                                return Action::Sleep(d);
+                            }
+                            if let Some(a) = self.advance_batch(ctx, batch) {
+                                return a;
+                            }
+                        }
+                        BatchOutcome::Stalled { wait, batch } => {
+                            self.state = OpBodyState::BatchStalled(batch);
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+                OpBodyState::BatchStalled(batch) => {
+                    match self.cell.resume_batch(ctx, batch) {
+                        BatchOutcome::Delivered(batch) => {
+                            if self.trace.is_some() {
+                                self.emit(ctx, |track| TraceEvent::SpanEnd {
+                                    track,
+                                    name: "batch",
+                                    args: Vec::new(),
+                                });
+                            }
+                            if let Some(d) = batch.block_after {
+                                self.state = OpBodyState::BatchBlocking(batch);
+                                return Action::Sleep(d);
+                            }
+                            if let Some(a) = self.advance_batch(ctx, batch) {
+                                return a;
+                            }
+                        }
+                        BatchOutcome::Stalled { wait, batch } => {
+                            self.state = OpBodyState::BatchStalled(batch);
+                            return Action::Block(wait);
+                        }
+                    }
+                }
+                OpBodyState::BatchBlocking(batch) => {
+                    // Woke from injected blocking I/O between batch tuples
+                    // (an armed crash cannot be pending: batches only start
+                    // with none armed, and arming happens pre-run).
+                    if let Some(a) = self.advance_batch(ctx, batch) {
+                        return a;
+                    }
+                }
             }
         }
     }
@@ -206,6 +320,7 @@ mod tests {
                 backlog_penalty: None,
                 net_delay: SimDuration::ZERO,
                 seed: 1,
+                batch_max: 1,
             },
             vec![Stage {
                 logical: 0,

@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 mod body;
+mod chunk;
 mod graph;
 mod join;
 mod opcell;
@@ -35,12 +36,13 @@ mod tuple;
 mod window;
 
 pub use body::OpBody;
+pub use chunk::{ChunkEmitter, TupleChunk};
 pub use graph::{
     tuple_interval, GraphBuilder, LogicalEdge, LogicalGraph, LogicalOp, LogicalOpId, Partitioning,
     Role, SourceSpec,
 };
 pub use opcell::{
-    BacklogPenalty, Begin, Throttle,
+    BacklogPenalty, BatchOutcome, Begin, OpBatch, Throttle,
     BlockingSpec, FinishOutcome, OpCell, OpCellRef, OpCellSpec, OutEdge, Stage, WorkItem,
 };
 pub use operator::{Consume, CostModel, Emitter, Filter, Map, OperatorLogic, PassThrough};
@@ -50,7 +52,7 @@ pub use queue::{PushOutcome, Queue, QueueDiscipline};
 pub use restart::{install_chaos, RestartPolicy};
 pub use runtime::{
     deploy, metric_path, BlockingConfig, EngineConfig, Execution, OverloadMode, Placement,
-    RunningQuery, SpeKind,
+    RunningQuery, SpeKind, DEFAULT_BATCH_MAX,
 };
 pub use sink::SinkCollector;
 pub use source::{install_source, SourceState};

@@ -23,6 +23,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use simos::{NodeId, SimCtx, SimDuration, SimTime, ThreadId, WaitId};
 
+use crate::chunk::{ChunkEmitter, TupleChunk};
 use crate::graph::{LogicalOpId, Partitioning};
 use crate::operator::{CostModel, Emitter, OperatorLogic};
 use crate::queue::{PushOutcome, Queue};
@@ -151,6 +152,10 @@ impl Throttle {
 pub enum Begin {
     /// A tuple was popped and processed; consume its cost, then `finish`.
     Item(WorkItem),
+    /// A whole chunk was drained and processed in one dispatch; the first
+    /// tuple's boundary is committed — consume [`OpBatch::cost`], then
+    /// [`finish_batch`](OpCell::finish_batch).
+    Batch(OpBatch),
     /// The input queue is empty; block on the consumer channel.
     Empty,
     /// Spout flow control engaged; retry after a short sleep.
@@ -159,9 +164,15 @@ pub enum Begin {
 
 impl Begin {
     /// Extracts the work item, discarding `Empty`/`Throttled`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Begin::Batch`] — scalar-only test drivers must build
+    /// their cells with `batch_max = 1`.
     pub fn item(self) -> Option<WorkItem> {
         match self {
             Begin::Item(i) => Some(i),
+            Begin::Batch(_) => panic!("Begin::item on a batch; use batch_max = 1"),
             Begin::Empty | Begin::Throttled => None,
         }
     }
@@ -205,12 +216,97 @@ pub enum FinishOutcome {
     },
 }
 
+/// Per-tuple bookkeeping of a chunk, recorded when the chunk is processed
+/// and replayed at each tuple's boundary.
+#[derive(Debug, Clone, Copy)]
+struct BatchMeta {
+    /// Stage cost before any backlog-penalty scaling (the penalty depends
+    /// on the queue length *at the tuple's boundary*, which mid-batch
+    /// pushes can change, so scaling happens at commit time).
+    raw_cost: SimDuration,
+    /// Blocking-I/O draw (made upfront in queue order — the cell-private
+    /// RNG yields the exact values a scalar run would draw).
+    block_after: Option<SimDuration>,
+    input_event: SimTime,
+    input_ingress: SimTime,
+}
+
+/// A chunk of tuples processed in one dispatch, delivered and accounted
+/// one tuple at a time.
+///
+/// Produced by [`OpCell::begin`] when the cell is batch-eligible. The
+/// executor consumes [`cost`](OpBatch::cost), calls
+/// [`finish_batch`](OpCell::finish_batch) to deliver the current tuple's
+/// outputs, handles [`block_after`](OpBatch::block_after), then advances
+/// with [`next_in_batch`](OpCell::next_in_batch) — exactly the scalar
+/// begin/finish cadence, minus the per-tuple pops and dynamic dispatch.
+#[derive(Debug)]
+pub struct OpBatch {
+    /// Shared output buffer for the whole chunk.
+    outputs: Vec<(u16, Tuple)>,
+    /// `bounds[i]` = offset into `outputs` where input `i`'s outputs begin.
+    bounds: Vec<usize>,
+    meta: Vec<BatchMeta>,
+    /// Current input index (its boundary is committed).
+    idx: usize,
+    /// Delivery cursor: absolute index into `outputs`.
+    out_idx: usize,
+    /// Delivery cursor: next edge for the current output.
+    edge_idx: usize,
+    /// Simulated CPU cost of the current tuple (boundary-committed).
+    pub cost: SimDuration,
+    /// If set, the executor must sleep this long after delivering the
+    /// current tuple's outputs.
+    pub block_after: Option<SimDuration>,
+}
+
+impl OpBatch {
+    /// Number of input tuples in the chunk.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the chunk holds no inputs (never true for a live batch).
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// End offset (exclusive) of input `i`'s outputs.
+    fn bound_end(&self, i: usize) -> usize {
+        self.bounds.get(i + 1).copied().unwrap_or(self.outputs.len())
+    }
+
+    /// Number of output tuples the current input will deliver.
+    pub fn output_count(&self) -> usize {
+        self.bound_end(self.idx) - self.bounds[self.idx]
+    }
+}
+
+/// Result of [`OpCell::finish_batch`] / [`OpCell::resume_batch`].
+#[derive(Debug)]
+pub enum BatchOutcome {
+    /// The current tuple's outputs are delivered. Handle
+    /// [`OpBatch::block_after`], then call
+    /// [`next_in_batch`](OpCell::next_in_batch).
+    Delivered(OpBatch),
+    /// A bounded downstream queue is full: block on `wait`, then call
+    /// [`OpCell::resume_batch`].
+    Stalled {
+        /// The producer-wait channel of the full queue.
+        wait: WaitId,
+        /// The partially delivered batch.
+        batch: OpBatch,
+    },
+}
+
 #[derive(Debug, Default)]
 struct OpCounters {
     tuples_in: u64,
     tuples_out: u64,
     cpu_cost: SimDuration,
     blocking_events: u64,
+    /// Execution batches: one per drained chunk, and one per scalar tuple.
+    batches: u64,
 }
 
 struct OpInner {
@@ -228,6 +324,14 @@ struct OpInner {
     /// pool, delivery returns the emptied vector. Bounded so a burst of
     /// stalled items cannot hoard memory.
     out_pool: Vec<Vec<(u16, Tuple)>>,
+    /// Input chunk recycled across batches (batch-eligible cells only).
+    chunk: TupleChunk,
+    /// Chunk-wide output buffer recycled across batches.
+    batch_out: Vec<(u16, Tuple)>,
+    /// Per-input output bounds recycled across batches.
+    batch_bounds: Vec<usize>,
+    /// Per-input bookkeeping recycled across batches.
+    batch_meta: Vec<BatchMeta>,
 }
 
 /// A physical operator's runtime state; shared via [`OpCellRef`].
@@ -242,6 +346,12 @@ pub struct OpCell {
     blocking: Option<BlockingSpec>,
     backlog_penalty: Option<BacklogPenalty>,
     net_delay: SimDuration,
+    /// Largest chunk one `begin` may drain (1 = always scalar).
+    batch_max: usize,
+    /// Structural batch eligibility, fixed at construction: a single-stage,
+    /// non-ingress chain with `batch_max > 1`. Dynamic conditions (queue
+    /// kind and depth, armed crashes) are checked per `begin`.
+    batch_ok: bool,
     throttle: RefCell<Option<Throttle>>,
     /// Scheduled fail-stop instant (fault injection): the executing thread
     /// exits at the first tuple boundary at or after this time.
@@ -294,6 +404,10 @@ pub struct OpCellSpec {
     pub net_delay: SimDuration,
     /// Deterministic RNG seed (blocking injection).
     pub seed: u64,
+    /// Largest chunk one `begin` may drain (1 disables batching; values
+    /// above 1 engage the batch path where it is exact — see
+    /// [`OpCell::begin`]).
+    pub batch_max: usize,
 }
 
 impl OpCell {
@@ -301,6 +415,8 @@ impl OpCell {
     /// [`set_out_edges`](OpCell::set_out_edges).
     pub fn new(spec: OpCellSpec, stages: Vec<Stage>) -> OpCellRef {
         assert!(!stages.is_empty(), "an operator needs at least one stage");
+        let batch_max = spec.batch_max.max(1);
+        let batch_ok = batch_max > 1 && !spec.is_ingress && stages.len() == 1;
         Rc::new(OpCell {
             id: spec.id,
             name: spec.name,
@@ -312,6 +428,8 @@ impl OpCell {
             blocking: spec.blocking,
             backlog_penalty: spec.backlog_penalty,
             net_delay: spec.net_delay,
+            batch_max,
+            batch_ok,
             throttle: RefCell::new(None),
             crash_at: std::cell::Cell::new(None),
             crashed: std::cell::Cell::new(false),
@@ -327,6 +445,10 @@ impl OpCell {
                 scratch_b: Vec::new(),
                 emit_buf: Vec::new(),
                 out_pool: Vec::new(),
+                chunk: TupleChunk::new(batch_max),
+                batch_out: Vec::new(),
+                batch_bounds: Vec::new(),
+                batch_meta: Vec::new(),
             }),
         })
     }
@@ -415,6 +537,12 @@ impl OpCell {
         self.inner.borrow().counters.blocking_events
     }
 
+    /// Execution batches run: one per drained chunk, one per scalar tuple.
+    /// `tuples_in / batches` is the average batch size.
+    pub fn batches(&self) -> u64 {
+        self.inner.borrow().counters.batches
+    }
+
     /// Average CPU seconds per input tuple, if any were processed.
     pub fn avg_cost(&self) -> Option<f64> {
         let c = self.inner.borrow();
@@ -483,16 +611,40 @@ impl OpCell {
         self.in_queue.reset_stats();
     }
 
-    /// Pops and processes one tuple. The caller must consume
-    /// [`WorkItem::cost`] of CPU and then call [`finish`](OpCell::finish).
+    /// Pops and processes work. The caller must consume the returned CPU
+    /// cost and then call [`finish`](OpCell::finish) (scalar items) or
+    /// [`finish_batch`](OpCell::finish_batch) (batches).
+    ///
+    /// The batch path engages only where it is provably exact: a
+    /// single-stage, non-ingress chain reading an unbounded non-shedding
+    /// queue holding at least two tuples, with no armed crash. Everything
+    /// else — ingress/throttled spouts, bounded credit-flow queues,
+    /// shedding queues, fused chains, crash-armed cells — takes the scalar
+    /// path unchanged, which is how backpressure/shed bookkeeping,
+    /// producer wakes and throttle checks stay identical to a scalar run.
     pub fn begin(&self, ctx: &mut SimCtx) -> Begin {
+        self.begin_limited(ctx, usize::MAX)
+    }
+
+    /// Like [`begin`](OpCell::begin) with the chunk additionally capped at
+    /// `limit` tuples — worker pools cap it at the scheduling quantum's
+    /// remainder so a batch never overruns the task the scheduler granted.
+    pub fn begin_limited(&self, ctx: &mut SimCtx, limit: usize) -> Begin {
         if let Some(t) = self.throttle.borrow().as_ref() {
             if t.saturated() {
                 return Begin::Throttled;
             }
         }
-        let backlog = self.in_queue.len();
-        let Some((mut tuple, was_full)) = self.in_queue.pop() else {
+        if self.batch_ok
+            && limit > 1
+            && self.crash_at.get().is_none()
+            && self.in_queue.chunk_ready()
+        {
+            if let Some(batch) = self.begin_batch(ctx, self.batch_max.min(limit)) {
+                return Begin::Batch(batch);
+            }
+        }
+        let Some((mut tuple, was_full, backlog)) = self.in_queue.pop_observed() else {
             return Begin::Empty;
         };
         if was_full {
@@ -506,6 +658,45 @@ impl OpCell {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         inner.counters.tuples_in += 1;
+        inner.counters.batches += 1;
+
+        // Single-stage cells (the common case) skip the fused-chain
+        // scratch rotation: the logic emits straight into the recycled
+        // output buffer, which then travels with the work item.
+        if inner.stages.len() == 1 {
+            let mut emitter = Emitter::with_buffer(ctx.now(), std::mem::take(&mut inner.emit_buf));
+            let stage = &mut inner.stages[0];
+            stage.logic.process(&tuple, &mut emitter);
+            let outputs = emitter.into_outputs();
+            let mut cost = stage.cost.cost(outputs.len());
+            inner.emit_buf = inner.out_pool.pop().unwrap_or_default();
+            inner.counters.tuples_out += outputs.len() as u64;
+            if !self.is_ingress {
+                if let Some(penalty) = self.backlog_penalty {
+                    let scaled = cost.as_nanos() as f64 * penalty.multiplier(backlog);
+                    cost = SimDuration::from_nanos(scaled as u64);
+                }
+            }
+            inner.counters.cpu_cost += cost;
+            let block_after = self.blocking.and_then(|spec| {
+                if inner.rng.gen_bool(spec.probability.clamp(0.0, 1.0)) {
+                    inner.counters.blocking_events += 1;
+                    let nanos = inner.rng.gen_range(0..=spec.max_duration.as_nanos());
+                    Some(SimDuration::from_nanos(nanos))
+                } else {
+                    None
+                }
+            });
+            return Begin::Item(WorkItem {
+                cost,
+                block_after,
+                input_event,
+                input_ingress,
+                outputs,
+                out_idx: 0,
+                edge_idx: 0,
+            });
+        }
 
         // Run the fused chain. Stage k's port-0 outputs feed stage k+1;
         // only the tail's outputs leave the operator (see physical.rs for
@@ -515,12 +706,14 @@ impl OpCell {
         current.clear();
         current.push((0, tuple));
         let mut next = std::mem::take(&mut inner.scratch_b);
+        // One recycled emission buffer serves every stage invocation; it is
+        // taken once per `begin`, not once per tuple×stage.
+        let mut emit_buf = std::mem::take(&mut inner.emit_buf);
         let n_stages = inner.stages.len();
         for (k, stage) in inner.stages.iter_mut().enumerate() {
             next.clear();
             for (_, t) in current.drain(..) {
-                let mut emitter =
-                    Emitter::with_buffer(ctx.now(), std::mem::take(&mut inner.emit_buf));
+                let mut emitter = Emitter::with_buffer(ctx.now(), emit_buf);
                 stage.logic.process(&t, &mut emitter);
                 let mut outs = emitter.into_outputs();
                 cost += stage.cost.cost(outs.len());
@@ -530,10 +723,11 @@ impl OpCell {
                 } else {
                     next.append(&mut outs);
                 }
-                inner.emit_buf = outs;
+                emit_buf = outs;
             }
             std::mem::swap(&mut current, &mut next);
         }
+        inner.emit_buf = emit_buf;
         // `current` holds the tail outputs and travels with the work item
         // (it returns through the recycling pool once delivered); `next` is
         // an emptied scratch again.
@@ -570,6 +764,122 @@ impl OpCell {
         })
     }
 
+    /// Drains up to `max` tuples, processes them with one `process_batch`
+    /// dispatch, and commits the first tuple's boundary. Returns `None` if
+    /// the queue turned out empty (the caller falls back to the scalar
+    /// path, which reports `Empty`).
+    fn begin_batch(&self, ctx: &mut SimCtx, max: usize) -> Option<OpBatch> {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let mut chunk = std::mem::take(&mut inner.chunk);
+        chunk.clear();
+        let n = self
+            .in_queue
+            .pop_chunk(max.min(chunk.capacity()), chunk.buf_mut());
+        if n == 0 {
+            inner.chunk = chunk;
+            return None;
+        }
+        // One dynamic dispatch for the whole chunk. Processing runs ahead
+        // of the per-tuple boundaries; that is unobservable because the
+        // gate guarantees no tuple of an open chunk can be invalidated
+        // (nothing sheds an unbounded Block queue, no crash is armed) and
+        // no built-in logic reads `Emitter::now`.
+        let out_buf = std::mem::take(&mut inner.batch_out);
+        let bounds_buf = std::mem::take(&mut inner.batch_bounds);
+        let mut em = ChunkEmitter::with_buffers(ctx.now(), out_buf, bounds_buf);
+        inner.stages[0].logic.process_batch(&chunk, &mut em);
+        let (outputs, bounds) = em.into_parts();
+        assert_eq!(
+            bounds.len(),
+            n,
+            "process_batch must call start_tuple once per input ({})",
+            self.name
+        );
+        let mut meta = std::mem::take(&mut inner.batch_meta);
+        meta.clear();
+        let cost_model = inner.stages[0].cost;
+        for (i, t) in chunk.iter().enumerate() {
+            let end = bounds.get(i + 1).copied().unwrap_or(outputs.len());
+            let raw_cost = cost_model.cost(end - bounds[i]);
+            let block_after = self.blocking.and_then(|spec| {
+                if inner.rng.gen_bool(spec.probability.clamp(0.0, 1.0)) {
+                    let nanos = inner.rng.gen_range(0..=spec.max_duration.as_nanos());
+                    Some(SimDuration::from_nanos(nanos))
+                } else {
+                    None
+                }
+            });
+            meta.push(BatchMeta {
+                raw_cost,
+                block_after,
+                input_event: t.event_time,
+                input_ingress: t.ingress_time,
+            });
+        }
+        chunk.clear();
+        inner.chunk = chunk;
+        inner.counters.batches += 1;
+        let mut batch = OpBatch {
+            outputs,
+            bounds,
+            meta,
+            idx: 0,
+            out_idx: 0,
+            edge_idx: 0,
+            cost: SimDuration::ZERO,
+            block_after: None,
+        };
+        self.commit_boundary(inner, &mut batch);
+        Some(batch)
+    }
+
+    /// Replays, at one tuple's processing boundary, everything the scalar
+    /// `begin` would have done at that instant: commit the queue pop, read
+    /// the backlog for penalty scaling, and bump the counters a mid-batch
+    /// metrics sample must see.
+    fn commit_boundary(&self, inner: &mut OpInner, batch: &mut OpBatch) {
+        // Visible length before this commit == the length the scalar
+        // `begin` would read just before its pop.
+        let backlog = self.in_queue.len();
+        self.in_queue.commit_pop();
+        let m = batch.meta[batch.idx];
+        let start = batch.bounds[batch.idx];
+        let end = batch.bound_end(batch.idx);
+        let mut cost = m.raw_cost;
+        if let Some(penalty) = self.backlog_penalty {
+            let scaled = cost.as_nanos() as f64 * penalty.multiplier(backlog);
+            cost = SimDuration::from_nanos(scaled as u64);
+        }
+        inner.counters.tuples_in += 1;
+        inner.counters.tuples_out += (end - start) as u64;
+        inner.counters.cpu_cost += cost;
+        if m.block_after.is_some() {
+            inner.counters.blocking_events += 1;
+        }
+        batch.cost = cost;
+        batch.block_after = m.block_after;
+        batch.out_idx = start;
+        batch.edge_idx = 0;
+    }
+
+    /// Advances a delivered batch to its next tuple, committing that
+    /// boundary; `None` when the chunk is exhausted (buffers recycle back
+    /// into the cell).
+    pub fn next_in_batch(&self, mut batch: OpBatch) -> Option<OpBatch> {
+        let mut inner = self.inner.borrow_mut();
+        batch.idx += 1;
+        if batch.idx >= batch.meta.len() {
+            batch.outputs.clear();
+            inner.batch_out = batch.outputs;
+            inner.batch_bounds = batch.bounds;
+            inner.batch_meta = batch.meta;
+            return None;
+        }
+        self.commit_boundary(&mut inner, &mut batch);
+        Some(batch)
+    }
+
     /// Delivers a work item's outputs downstream and records egress
     /// latencies. Returns [`FinishOutcome::Stalled`] if a bounded queue is
     /// full (Flink-style backpressure).
@@ -585,70 +895,16 @@ impl OpCell {
     fn deliver(&self, ctx: &mut SimCtx, mut item: WorkItem) -> FinishOutcome {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
-        while item.out_idx < item.outputs.len() {
-            let port = item.outputs[item.out_idx].0;
-            let n_edges = inner.out_edges.len();
-            while item.edge_idx < n_edges {
-                {
-                    let edge = &inner.out_edges[item.edge_idx];
-                    if edge.port != port || edge.targets.is_empty() {
-                        item.edge_idx += 1;
-                        continue;
-                    }
-                }
-                let target_idx = {
-                    let tuple = &item.outputs[item.out_idx].1;
-                    inner.out_edges[item.edge_idx].route(tuple)
-                };
-                let target = &inner.out_edges[item.edge_idx].targets[target_idx];
-                let remote = target.node() != self.node;
-                // Admission first (local room check, or a reserved slot for
-                // credit-based cross-node flow control): a stall then never
-                // needs to clone or recover a consumed tuple.
-                let admitted = if remote {
-                    target.reserve()
-                } else {
-                    target.has_room()
-                };
-                if !admitted {
-                    let wait = target.producer_wait();
-                    return FinishOutcome::Stalled { wait, item };
-                }
-                // The last edge consuming this output takes the tuple by
-                // move; only fan-out across several edges pays clones.
-                let is_last = !inner.out_edges[item.edge_idx + 1..]
-                    .iter()
-                    .any(|e| e.port == port && !e.targets.is_empty());
-                let tuple = if is_last {
-                    std::mem::replace(
-                        &mut item.outputs[item.out_idx].1,
-                        Tuple::new(SimTime::ZERO, 0, Vec::new()),
-                    )
-                } else {
-                    item.outputs[item.out_idx].1.clone()
-                };
-                if remote {
-                    // Deliver after the network delay.
-                    let q = target.clone();
-                    ctx.defer(self.net_delay, move |k| {
-                        if q.push_reserved(tuple) {
-                            k.wake(q.consumer_wait());
-                        }
-                    });
-                } else {
-                    match target.push(tuple) {
-                        PushOutcome::Pushed(was_empty) => {
-                            if was_empty {
-                                ctx.wake(target.consumer_wait());
-                            }
-                        }
-                        PushOutcome::Full => unreachable!("admission checked above"),
-                    }
-                }
-                item.edge_idx += 1;
-            }
-            item.out_idx += 1;
-            item.edge_idx = 0;
+        let end = item.outputs.len();
+        if let Err(wait) = self.deliver_range(
+            ctx,
+            inner,
+            &mut item.outputs,
+            &mut item.out_idx,
+            &mut item.edge_idx,
+            end,
+        ) {
+            return FinishOutcome::Stalled { wait, item };
         }
         // Recycle the outputs vector for future work items.
         let mut buf = std::mem::take(&mut item.outputs);
@@ -661,6 +917,121 @@ impl OpCell {
                 .record(ctx.now(), item.input_event, item.input_ingress);
         }
         FinishOutcome::Done
+    }
+
+    /// Delivers the current batch tuple's outputs downstream and records
+    /// its egress latency — the batch counterpart of
+    /// [`finish`](OpCell::finish).
+    pub fn finish_batch(&self, ctx: &mut SimCtx, batch: OpBatch) -> BatchOutcome {
+        self.deliver_batch(ctx, batch)
+    }
+
+    /// Continues delivering a previously stalled batch tuple.
+    pub fn resume_batch(&self, ctx: &mut SimCtx, batch: OpBatch) -> BatchOutcome {
+        self.deliver_batch(ctx, batch)
+    }
+
+    fn deliver_batch(&self, ctx: &mut SimCtx, mut batch: OpBatch) -> BatchOutcome {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let end = batch.bound_end(batch.idx);
+        let (mut out_idx, mut edge_idx) = (batch.out_idx, batch.edge_idx);
+        let res = self.deliver_range(
+            ctx,
+            inner,
+            &mut batch.outputs,
+            &mut out_idx,
+            &mut edge_idx,
+            end,
+        );
+        batch.out_idx = out_idx;
+        batch.edge_idx = edge_idx;
+        if let Err(wait) = res {
+            return BatchOutcome::Stalled { wait, batch };
+        }
+        if let Some(sink) = &self.sink {
+            let m = batch.meta[batch.idx];
+            sink.borrow_mut()
+                .record(ctx.now(), m.input_event, m.input_ingress);
+        }
+        BatchOutcome::Delivered(batch)
+    }
+
+    /// Delivers `outputs[*out_idx..end]` downstream, advancing the cursors
+    /// so a stalled delivery resumes exactly where it left off. `Err(wait)`
+    /// reports a full bounded queue's producer-wait channel.
+    fn deliver_range(
+        &self,
+        ctx: &mut SimCtx,
+        inner: &mut OpInner,
+        outputs: &mut [(u16, Tuple)],
+        out_idx: &mut usize,
+        edge_idx: &mut usize,
+        end: usize,
+    ) -> Result<(), WaitId> {
+        while *out_idx < end {
+            let port = outputs[*out_idx].0;
+            let n_edges = inner.out_edges.len();
+            while *edge_idx < n_edges {
+                {
+                    let edge = &inner.out_edges[*edge_idx];
+                    if edge.port != port || edge.targets.is_empty() {
+                        *edge_idx += 1;
+                        continue;
+                    }
+                }
+                let target_idx = {
+                    let tuple = &outputs[*out_idx].1;
+                    inner.out_edges[*edge_idx].route(tuple)
+                };
+                let target = &inner.out_edges[*edge_idx].targets[target_idx];
+                let remote = target.node() != self.node;
+                // Admission first (local room check, or a reserved slot for
+                // credit-based cross-node flow control): a stall then never
+                // needs to clone or recover a consumed tuple.
+                let admitted = if remote {
+                    target.reserve()
+                } else {
+                    target.has_room()
+                };
+                if !admitted {
+                    return Err(target.producer_wait());
+                }
+                // The last edge consuming this output takes the tuple by
+                // move; only fan-out across several edges pays clones.
+                let is_last = !inner.out_edges[*edge_idx + 1..]
+                    .iter()
+                    .any(|e| e.port == port && !e.targets.is_empty());
+                let tuple = if is_last {
+                    std::mem::replace(
+                        &mut outputs[*out_idx].1,
+                        Tuple::new(SimTime::ZERO, 0, Vec::new()),
+                    )
+                } else {
+                    outputs[*out_idx].1.clone()
+                };
+                if remote {
+                    // Deliver after the network delay: the tuple rides the
+                    // target queue's in-flight buffer and its registered
+                    // handler completes the push — no closure allocation.
+                    target.net_enqueue(tuple);
+                    ctx.defer_call(self.net_delay, target.net_call());
+                } else {
+                    match target.push(tuple) {
+                        PushOutcome::Pushed(was_empty) => {
+                            if was_empty {
+                                ctx.wake(target.consumer_wait());
+                            }
+                        }
+                        PushOutcome::Full => unreachable!("admission checked above"),
+                    }
+                }
+                *edge_idx += 1;
+            }
+            *out_idx += 1;
+            *edge_idx = 0;
+        }
+        Ok(())
     }
 }
 
@@ -710,6 +1081,7 @@ mod tests {
                 backlog_penalty: None,
                 net_delay: SimDuration::from_micros(100),
                 seed: 7,
+                batch_max: 1,
             },
             stages,
         )
@@ -909,6 +1281,7 @@ mod tests {
                 backlog_penalty: None,
                 net_delay: SimDuration::ZERO,
                 seed: 42,
+                batch_max: 1,
             },
             vec![stage(Consume, 1)],
         );

@@ -10,6 +10,7 @@ use std::fmt;
 
 use simos::{SimDuration, SimTime};
 
+use crate::chunk::{ChunkEmitter, TupleChunk};
 use crate::tuple::Tuple;
 
 /// Output collector handed to [`OperatorLogic::process`].
@@ -75,6 +76,26 @@ impl Emitter {
 pub trait OperatorLogic {
     /// Processes one input tuple, emitting any outputs.
     fn process(&mut self, input: &Tuple, out: &mut Emitter);
+
+    /// Processes a whole chunk of inputs with one dynamic dispatch. The
+    /// default delegates to [`process`](OperatorLogic::process) per tuple,
+    /// so custom bodies keep working unchanged; built-in logics override
+    /// it with a monomorphic loop the compiler can inline and vectorize.
+    ///
+    /// Implementations **must** call [`ChunkEmitter::start_tuple`] exactly
+    /// once per input, in order, before emitting that input's outputs —
+    /// the engine relies on the recorded bounds to replay delivery, cost
+    /// and latency accounting per tuple.
+    ///
+    /// Note [`Emitter::now`] inside a batch reads the chunk-drain instant,
+    /// not each tuple's own processing boundary; logic that consults it
+    /// should run with `batch_max = 1`. No built-in logic reads it.
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            self.process(t, out.emitter());
+        }
+    }
 }
 
 impl<F> OperatorLogic for F
@@ -83,6 +104,13 @@ where
 {
     fn process(&mut self, input: &Tuple, out: &mut Emitter) {
         self(input, out)
+    }
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            self(t, out.emitter());
+        }
     }
 }
 
@@ -123,6 +151,13 @@ impl OperatorLogic for PassThrough {
     fn process(&mut self, input: &Tuple, out: &mut Emitter) {
         out.emit(input.clone());
     }
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            out.emit(t.clone());
+        }
+    }
 }
 
 /// A logic that forwards tuples satisfying a predicate.
@@ -140,6 +175,15 @@ impl<P: FnMut(&Tuple) -> bool> OperatorLogic for Filter<P> {
             out.emit(input.clone());
         }
     }
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            if (self.0)(t) {
+                out.emit(t.clone());
+            }
+        }
+    }
 }
 
 /// A logic that transforms each tuple one-to-one.
@@ -155,6 +199,13 @@ impl<F: FnMut(&Tuple) -> Tuple> OperatorLogic for Map<F> {
     fn process(&mut self, input: &Tuple, out: &mut Emitter) {
         out.emit((self.0)(input));
     }
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            out.emit((self.0)(t));
+        }
+    }
 }
 
 /// A logic that consumes tuples and emits nothing (egress endpoint work,
@@ -164,6 +215,12 @@ pub struct Consume;
 
 impl OperatorLogic for Consume {
     fn process(&mut self, _input: &Tuple, _out: &mut Emitter) {}
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for _ in 0..chunk.len() {
+            out.start_tuple();
+        }
+    }
 }
 
 #[cfg(test)]

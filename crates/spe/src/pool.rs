@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use simos::{Action, SimCtx, SimDuration, SimTime, ThreadBody, WaitId};
 
-use crate::opcell::{Begin, FinishOutcome, OpCellRef, WorkItem};
+use crate::opcell::{Begin, BatchOutcome, FinishOutcome, OpBatch, OpCellRef, WorkItem};
 
 /// What the pool scheduler sees when picking work.
 pub struct PoolView<'a> {
@@ -101,6 +101,25 @@ enum WorkerState {
     },
     /// Sleeping out an injected blocking I/O inside a task.
     Blocking { task: PoolTask, processed: usize },
+    /// Computing the current tuple of a batch (chunked execution within
+    /// the scheduler-granted quantum).
+    BatchWorking {
+        task: PoolTask,
+        processed: usize,
+        batch: OpBatch,
+    },
+    /// A bounded downstream queue stalled a batch tuple's delivery.
+    BatchStalled {
+        task: PoolTask,
+        processed: usize,
+        batch: OpBatch,
+    },
+    /// Sleeping out injected blocking I/O between batch tuples.
+    BatchBlocking {
+        task: PoolTask,
+        processed: usize,
+        batch: OpBatch,
+    },
 }
 
 /// The [`ThreadBody`] of one pool worker.
@@ -125,6 +144,32 @@ impl WorkerBody {
             id,
             state: WorkerState::Idle,
             last_op: None,
+        }
+    }
+
+    /// Advances a delivered batch to its next tuple; on exhaustion the
+    /// worker returns to `Claimed` (quantum check, then next chunk or
+    /// task end).
+    fn advance_batch(
+        &mut self,
+        task: PoolTask,
+        processed: usize,
+        batch: OpBatch,
+    ) -> Option<Action> {
+        match self.pool.ops[task.op].next_in_batch(batch) {
+            Some(batch) => {
+                let cost = batch.cost;
+                self.state = WorkerState::BatchWorking {
+                    task,
+                    processed,
+                    batch,
+                };
+                Some(Action::Compute(cost))
+            }
+            None => {
+                self.state = WorkerState::Claimed { task, processed };
+                None
+            }
         }
     }
 
@@ -177,7 +222,10 @@ impl ThreadBody for WorkerBody {
                         self.end_task(ctx, task, processed);
                         continue;
                     }
-                    match self.pool.ops[task.op].begin(ctx) {
+                    // A chunk may not overrun the quantum the scheduler
+                    // granted, so cap it at the task's remainder.
+                    let limit = task.batch - processed;
+                    match self.pool.ops[task.op].begin_limited(ctx, limit) {
                         // Queue drained or spout throttled: task over (the
                         // scheduler will rotate to other work).
                         Begin::Empty | Begin::Throttled => {
@@ -189,6 +237,15 @@ impl ThreadBody for WorkerBody {
                                 task,
                                 processed,
                                 item,
+                            };
+                            return Action::Compute(cost);
+                        }
+                        Begin::Batch(batch) => {
+                            let cost = batch.cost;
+                            self.state = WorkerState::BatchWorking {
+                                task,
+                                processed,
+                                batch,
                             };
                             return Action::Compute(cost);
                         }
@@ -246,6 +303,71 @@ impl ThreadBody for WorkerBody {
                 }
                 WorkerState::Blocking { task, processed } => {
                     self.state = WorkerState::Claimed { task, processed };
+                }
+                WorkerState::BatchWorking {
+                    task,
+                    processed,
+                    batch,
+                } => match self.pool.ops[task.op].finish_batch(ctx, batch) {
+                    BatchOutcome::Delivered(batch) => {
+                        let processed = processed + 1;
+                        if let Some(d) = batch.block_after {
+                            self.state = WorkerState::BatchBlocking {
+                                task,
+                                processed,
+                                batch,
+                            };
+                            return Action::Sleep(d);
+                        }
+                        if let Some(a) = self.advance_batch(task, processed, batch) {
+                            return a;
+                        }
+                    }
+                    BatchOutcome::Stalled { wait, batch } => {
+                        self.state = WorkerState::BatchStalled {
+                            task,
+                            processed,
+                            batch,
+                        };
+                        return Action::Block(wait);
+                    }
+                },
+                WorkerState::BatchStalled {
+                    task,
+                    processed,
+                    batch,
+                } => match self.pool.ops[task.op].resume_batch(ctx, batch) {
+                    BatchOutcome::Delivered(batch) => {
+                        let processed = processed + 1;
+                        if let Some(d) = batch.block_after {
+                            self.state = WorkerState::BatchBlocking {
+                                task,
+                                processed,
+                                batch,
+                            };
+                            return Action::Sleep(d);
+                        }
+                        if let Some(a) = self.advance_batch(task, processed, batch) {
+                            return a;
+                        }
+                    }
+                    BatchOutcome::Stalled { wait, batch } => {
+                        self.state = WorkerState::BatchStalled {
+                            task,
+                            processed,
+                            batch,
+                        };
+                        return Action::Block(wait);
+                    }
+                },
+                WorkerState::BatchBlocking {
+                    task,
+                    processed,
+                    batch,
+                } => {
+                    if let Some(a) = self.advance_batch(task, processed, batch) {
+                        return a;
+                    }
                 }
             }
         }
@@ -315,6 +437,7 @@ mod tests {
                 backlog_penalty: None,
                 net_delay: SimDuration::ZERO,
                 seed: id as u64,
+                batch_max: 1,
             },
             vec![Stage {
                 logical: id,

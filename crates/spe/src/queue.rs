@@ -14,7 +14,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use simos::{Kernel, NodeId, SimTime, WaitId};
+use simos::{DeferCallId, Kernel, NodeId, SimTime, WaitId};
 
 use crate::tuple::Tuple;
 
@@ -41,6 +41,13 @@ struct QueueInner {
     discipline: QueueDiscipline,
     /// Slots reserved by in-flight remote pushes.
     reserved: usize,
+    /// Event times of tuples drained by [`Queue::pop_chunk`] whose pops
+    /// have not been committed yet. Externally the queue still "contains"
+    /// these tuples — `len`, `head_age`, `popped` and the shared backlog
+    /// counter all treat them as queued until [`Queue::commit_pop`] runs at
+    /// the tuple's processing boundary, so batched execution is
+    /// indistinguishable from scalar pops to every observer.
+    ghosts: VecDeque<SimTime>,
     pushed: u64,
     popped: u64,
     /// Tuples dropped from the head by shed-mode overload protection.
@@ -51,6 +58,20 @@ struct QueueInner {
     /// Shared backlog counter this queue contributes its length to (spout
     /// flow control tracks the query's total internal backlog in O(1)).
     backlog: Option<Rc<Cell<u64>>>,
+    /// Tuples in flight from remote producers, in send order. Each
+    /// [`Queue::net_enqueue`] pairs with one firing of the queue's
+    /// registered delivery handler ([`Queue::net_call`]), which completes
+    /// the oldest in-flight tuple's reserved push — the handler is
+    /// allocated once per queue instead of boxing a closure per tuple.
+    net_buf: VecDeque<Tuple>,
+}
+
+impl QueueInner {
+    /// Tuples an outside observer sees queued: the deque plus any
+    /// chunk-drained tuples whose pops are not yet committed.
+    fn visible_len(&self) -> usize {
+        self.deque.len() + self.ghosts.len()
+    }
 }
 
 impl QueueInner {
@@ -69,6 +90,27 @@ impl QueueInner {
             }
         }
     }
+
+    /// Completes one reserved remote push (shared by [`Queue::push_reserved`]
+    /// and the per-queue network-delivery handler). Returns whether the
+    /// queue was empty before (consumer should be woken).
+    fn complete_reserved(&mut self, tuple: Tuple) -> bool {
+        self.reserved -= 1;
+        if self.discipline == QueueDiscipline::Shed {
+            self.shed_for_push();
+        }
+        let was_empty = self.visible_len() == 0;
+        self.deque.push_back(tuple);
+        self.pushed += 1;
+        let len = self.visible_len();
+        if len > self.peak {
+            self.peak = len;
+        }
+        if let Some(c) = &self.backlog {
+            c.set(c.get() + 1);
+        }
+        was_empty
+    }
 }
 
 /// A shared handle to an operator input queue.
@@ -77,6 +119,8 @@ pub struct Queue {
     inner: Rc<RefCell<QueueInner>>,
     name: Rc<str>,
     node: NodeId,
+    /// Per-queue network-delivery handler (see [`Queue::net_call`]).
+    net_call: DeferCallId,
 }
 
 /// Result of a push attempt on a bounded queue.
@@ -95,22 +139,41 @@ impl Queue {
     ///
     /// Allocates the queue's wake channels from `kernel`.
     pub fn new(kernel: &mut Kernel, name: &str, node: NodeId, capacity: Option<usize>) -> Self {
+        let inner = Rc::new(RefCell::new(QueueInner {
+            deque: VecDeque::new(),
+            capacity,
+            discipline: QueueDiscipline::Block,
+            reserved: 0,
+            ghosts: VecDeque::new(),
+            pushed: 0,
+            popped: 0,
+            shed: 0,
+            peak: 0,
+            consumer_wait: kernel.new_wait_channel(),
+            producer_wait: kernel.new_wait_channel(),
+            backlog: None,
+            net_buf: VecDeque::new(),
+        }));
+        // Delivery handler, registered once: completes the oldest in-flight
+        // remote tuple exactly as the per-tuple closure used to, without
+        // boxing one per delivery.
+        let h = Rc::clone(&inner);
+        let net_call = kernel.register_defer_call(move |k| {
+            let (wake, channel) = {
+                let mut q = h.borrow_mut();
+                let tuple = q.net_buf.pop_front().expect("net delivery without tuple");
+                debug_assert!(q.reserved > 0, "net delivery without reserve");
+                (q.complete_reserved(tuple), q.consumer_wait)
+            };
+            if wake {
+                k.wake(channel);
+            }
+        });
         Queue {
-            inner: Rc::new(RefCell::new(QueueInner {
-                deque: VecDeque::new(),
-                capacity,
-                discipline: QueueDiscipline::Block,
-                reserved: 0,
-                pushed: 0,
-                popped: 0,
-                shed: 0,
-                peak: 0,
-                consumer_wait: kernel.new_wait_channel(),
-                producer_wait: kernel.new_wait_channel(),
-                backlog: None,
-            })),
+            inner,
             name: Rc::from(name),
             node,
+            net_call,
         }
     }
 
@@ -145,7 +208,7 @@ impl Queue {
     /// on. The counter starts accounting at the queue's current length.
     pub fn track_backlog(&self, counter: Rc<Cell<u64>>) {
         let mut q = self.inner.borrow_mut();
-        counter.set(counter.get() + q.deque.len() as u64);
+        counter.set(counter.get() + q.visible_len() as u64);
         q.backlog = Some(counter);
     }
 
@@ -174,7 +237,7 @@ impl Queue {
     pub fn has_room(&self) -> bool {
         let q = self.inner.borrow();
         q.discipline == QueueDiscipline::Shed
-            || q.capacity.is_none_or(|cap| q.deque.len() + q.reserved < cap)
+            || q.capacity.is_none_or(|cap| q.visible_len() + q.reserved < cap)
     }
 
     /// Attempts to enqueue a tuple.
@@ -183,17 +246,17 @@ impl Queue {
         match q.discipline {
             QueueDiscipline::Block => {
                 if let Some(cap) = q.capacity {
-                    if q.deque.len() + q.reserved >= cap {
+                    if q.visible_len() + q.reserved >= cap {
                         return PushOutcome::Full;
                     }
                 }
             }
             QueueDiscipline::Shed => q.shed_for_push(),
         }
-        let was_empty = q.deque.is_empty();
+        let was_empty = q.visible_len() == 0;
         q.deque.push_back(tuple);
         q.pushed += 1;
-        let len = q.deque.len();
+        let len = q.visible_len();
         if len > q.peak {
             q.peak = len;
         }
@@ -201,6 +264,41 @@ impl Queue {
             c.set(c.get() + 1);
         }
         PushOutcome::Pushed(was_empty)
+    }
+
+    /// Enqueues a run of tuples with one queue lock, preserving per-tuple
+    /// semantics: the consumer-wake signal is exactly the scalar loop's
+    /// (only the first push of a run can find the queue empty — nothing
+    /// pops in between), and `peak`/backlog accounting count every tuple.
+    ///
+    /// Only unbounded, non-shedding queues accept chunks — bounded queues
+    /// need a per-tuple admission decision, so callers push to those
+    /// tuple-at-a-time. Returns whether the queue was empty before and at
+    /// least one tuple was pushed (the consumer may need waking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is bounded or shedding.
+    pub fn push_chunk(&self, tuples: impl IntoIterator<Item = Tuple>) -> bool {
+        let mut q = self.inner.borrow_mut();
+        assert!(
+            q.capacity.is_none() && q.discipline == QueueDiscipline::Block,
+            "push_chunk requires an unbounded non-shedding queue ({})",
+            self.name
+        );
+        let was_empty = q.visible_len() == 0;
+        let before = q.deque.len();
+        q.deque.extend(tuples);
+        let n = q.deque.len() - before;
+        q.pushed += n as u64;
+        let len = q.visible_len();
+        if len > q.peak {
+            q.peak = len;
+        }
+        if let Some(c) = &q.backlog {
+            c.set(c.get() + n as u64);
+        }
+        was_empty && n > 0
     }
 
     /// Reserves a slot for an in-flight remote push.
@@ -212,7 +310,7 @@ impl Queue {
         let mut q = self.inner.borrow_mut();
         if q.discipline == QueueDiscipline::Block {
             if let Some(cap) = q.capacity {
-                if q.deque.len() + q.reserved >= cap {
+                if q.visible_len() + q.reserved >= cap {
                     return false;
                 }
             }
@@ -230,27 +328,33 @@ impl Queue {
     pub fn push_reserved(&self, tuple: Tuple) -> bool {
         let mut q = self.inner.borrow_mut();
         assert!(q.reserved > 0, "push_reserved without reserve on {}", self.name);
-        q.reserved -= 1;
-        if q.discipline == QueueDiscipline::Shed {
-            q.shed_for_push();
-        }
-        let was_empty = q.deque.is_empty();
-        q.deque.push_back(tuple);
-        q.pushed += 1;
-        let len = q.deque.len();
-        if len > q.peak {
-            q.peak = len;
-        }
-        if let Some(c) = &q.backlog {
-            c.set(c.get() + 1);
-        }
-        was_empty
+        q.complete_reserved(tuple)
+    }
+
+    /// Hands a tuple to the simulated network for delayed delivery: the
+    /// caller must have [`reserve`](Queue::reserve)d a slot, and must
+    /// schedule one firing of [`net_call`](Queue::net_call) after the
+    /// network delay ([`SimCtx::defer_call`](simos::SimCtx::defer_call)).
+    /// In-flight tuples deliver in send order — the network preserves
+    /// FIFO per destination queue, like the one-TCP-stream-per-channel
+    /// transport of the real engines.
+    pub fn net_enqueue(&self, tuple: Tuple) {
+        self.inner.borrow_mut().net_buf.push_back(tuple);
+    }
+
+    /// The queue's registered network-delivery handler; each firing
+    /// completes the oldest in-flight [`net_enqueue`](Queue::net_enqueue)d
+    /// tuple's push and wakes the consumer if the queue was empty.
+    pub fn net_call(&self) -> DeferCallId {
+        self.net_call
     }
 
     /// Dequeues the oldest tuple; `was_full` tells the consumer to wake
     /// blocked producers.
     pub fn pop(&self) -> Option<(Tuple, bool)> {
         let mut q = self.inner.borrow_mut();
+        // The single consumer never mixes scalar pops into an open chunk.
+        debug_assert!(q.ghosts.is_empty(), "scalar pop with uncommitted chunk");
         // Shedding queues never block producers, so there is nobody to wake.
         let was_full = q.discipline == QueueDiscipline::Block
             && q
@@ -264,23 +368,104 @@ impl Queue {
         Some((t, was_full))
     }
 
-    /// Current number of waiting tuples.
-    pub fn len(&self) -> usize {
-        self.inner.borrow().deque.len()
+    /// Dequeues the oldest tuple, also reporting the queue length *before*
+    /// the pop — one lock where the scalar hot path previously took two
+    /// (`len()` then `pop()`). Semantically `(self.len(), self.pop())`.
+    pub fn pop_observed(&self) -> Option<(Tuple, bool, usize)> {
+        let mut q = self.inner.borrow_mut();
+        debug_assert!(q.ghosts.is_empty(), "scalar pop with uncommitted chunk");
+        let len_before = q.deque.len();
+        let was_full = q.discipline == QueueDiscipline::Block
+            && q
+                .capacity
+                .is_some_and(|cap| len_before + q.reserved >= cap);
+        let t = q.deque.pop_front()?;
+        q.popped += 1;
+        if let Some(c) = &q.backlog {
+            c.set(c.get() - 1);
+        }
+        Some((t, was_full, len_before))
     }
 
-    /// Whether the queue is currently empty.
+    /// Drains up to `max` tuples into `chunk` under a single lock without
+    /// committing their pops: each drained tuple becomes a *ghost* that
+    /// still counts toward `len`/`head_age`/peak/backlog until the caller
+    /// reaches its processing boundary and calls [`commit_pop`]. This keeps
+    /// batched execution observationally identical to scalar pops — a 1 Hz
+    /// metrics reporter or backlog-driven throttle sampling mid-batch sees
+    /// the same queue state it would have under tuple-at-a-time runs.
+    ///
+    /// Only valid on unbounded non-shedding queues (bounded/shedding queues
+    /// need per-pop producer wakes or can drop ghosts, so their consumers
+    /// stay scalar). Returns the number of tuples drained.
+    ///
+    /// [`commit_pop`]: Queue::commit_pop
+    pub fn pop_chunk(&self, max: usize, chunk: &mut Vec<Tuple>) -> usize {
+        let mut q = self.inner.borrow_mut();
+        debug_assert!(
+            q.capacity.is_none() && q.discipline == QueueDiscipline::Block,
+            "pop_chunk requires an unbounded non-shedding queue ({})",
+            self.name
+        );
+        let n = max.min(q.deque.len());
+        for _ in 0..n {
+            let t = q.deque.pop_front().expect("counted above");
+            q.ghosts.push_back(t.event_time);
+            chunk.push(t);
+        }
+        n
+    }
+
+    /// Commits the pop of the oldest uncommitted chunk tuple: the point in
+    /// a batch where the scalar path would have called [`pop`](Queue::pop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no uncommitted chunk tuple.
+    pub fn commit_pop(&self) {
+        let mut q = self.inner.borrow_mut();
+        q.ghosts.pop_front().expect("commit_pop without pop_chunk");
+        q.popped += 1;
+        if let Some(c) = &q.backlog {
+            c.set(c.get() - 1);
+        }
+    }
+
+    /// Chunk tuples drained but not yet committed.
+    pub fn uncommitted(&self) -> usize {
+        self.inner.borrow().ghosts.len()
+    }
+
+    /// Whether the batch path may drain this queue right now: unbounded,
+    /// non-shedding, and holding at least two tuples (a one-tuple "chunk"
+    /// would just be a slower scalar pop). One borrow answers all three.
+    pub fn chunk_ready(&self) -> bool {
+        let q = self.inner.borrow();
+        q.capacity.is_none() && q.discipline == QueueDiscipline::Block && q.deque.len() > 1
+    }
+
+    /// Current number of waiting tuples (including chunk-drained tuples
+    /// whose pops are not yet committed).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().visible_len()
+    }
+
+    /// Whether the queue is currently empty (no waiting tuples and no
+    /// uncommitted chunk tuples).
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().deque.is_empty()
+        self.inner.borrow().visible_len() == 0
     }
 
     /// Age of the head tuple (now − event time), i.e. how long the oldest
     /// waiting input has been in the system — the FCFS policy's metric.
+    /// The oldest uncommitted chunk tuple, if any, is the visible head.
     pub fn head_age(&self, now: SimTime) -> Option<f64> {
         let q = self.inner.borrow();
-        q.deque
+        q.ghosts
             .front()
-            .map(|t| now.duration_since(t.event_time.min(now)).as_secs_f64())
+            .copied()
+            .or_else(|| q.deque.front().map(|t| t.event_time))
+            .map(|et| now.duration_since(et.min(now)).as_secs_f64())
     }
 
     /// Total tuples ever pushed.
@@ -304,7 +489,7 @@ impl Queue {
         q.pushed = 0;
         q.popped = 0;
         q.shed = 0;
-        q.peak = q.deque.len();
+        q.peak = q.visible_len();
     }
 }
 
@@ -434,6 +619,93 @@ mod tests {
         assert_eq!(counter.get(), 2);
         q.pop();
         assert_eq!(counter.get(), 1);
+    }
+
+    #[test]
+    fn chunk_pops_are_invisible_until_committed() {
+        let q = make(None);
+        let counter = Rc::new(Cell::new(0u64));
+        q.track_backlog(Rc::clone(&counter));
+        q.push(tuple(1));
+        q.push(tuple(2));
+        q.push(tuple(3));
+
+        let mut chunk = Vec::new();
+        assert_eq!(q.pop_chunk(2, &mut chunk), 2);
+        assert_eq!(chunk.len(), 2);
+        // Drained tuples are still visible to every observer.
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.uncommitted(), 2);
+        assert_eq!(q.popped(), 0);
+        assert_eq!(counter.get(), 3);
+        // Visible head is the oldest *uncommitted* tuple.
+        let now = SimTime::ZERO + SimDuration::from_millis(11);
+        assert!((q.head_age(now).unwrap() - 0.010).abs() < 1e-9);
+
+        // A push during the batch sees a non-empty queue (no spurious
+        // consumer wake) and peak counts the ghosts.
+        assert_eq!(q.push(tuple(4)), PushOutcome::Pushed(false));
+        assert_eq!(q.peak(), 4);
+
+        q.commit_pop();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.popped(), 1);
+        assert_eq!(counter.get(), 3);
+        assert!((q.head_age(now).unwrap() - 0.009).abs() < 1e-9);
+        q.commit_pop();
+        assert_eq!(q.uncommitted(), 0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(counter.get(), 2);
+        // Head reverts to the deque once all ghosts are committed.
+        assert!((q.head_age(now).unwrap() - 0.008).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pop_chunk_drains_at_most_queue_len() {
+        let q = make(None);
+        q.push(tuple(1));
+        let mut chunk = Vec::new();
+        assert_eq!(q.pop_chunk(64, &mut chunk), 1);
+        assert_eq!(chunk.len(), 1);
+        assert_eq!(q.pop_chunk(64, &mut chunk), 0);
+        q.commit_pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pushed(), 1);
+        assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
+    fn push_chunk_matches_scalar_accounting() {
+        let q = make(None);
+        q.push(tuple(1));
+        assert!(
+            !q.push_chunk([tuple(2), tuple(3)]),
+            "queue was not empty: no wake needed"
+        );
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(1));
+        q.pop().unwrap();
+        q.pop().unwrap();
+        assert!(q.push_chunk([tuple(4)]), "empty queue: consumer wake");
+        assert!(!q.push_chunk([]), "pushing nothing wakes nobody");
+        assert_eq!(q.pushed(), 4);
+        assert_eq!(q.peak(), 3);
+    }
+
+    #[test]
+    fn pop_observed_reports_pre_pop_length() {
+        let q = make(Some(2));
+        q.push(tuple(1));
+        q.push(tuple(2));
+        let (t, was_full, len_before) = q.pop_observed().unwrap();
+        assert_eq!(t.event_time, SimTime::ZERO + SimDuration::from_millis(1));
+        assert!(was_full);
+        assert_eq!(len_before, 2);
+        let (_, was_full, len_before) = q.pop_observed().unwrap();
+        assert!(!was_full);
+        assert_eq!(len_before, 1);
+        assert!(q.pop_observed().is_none());
     }
 
     #[test]

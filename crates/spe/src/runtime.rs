@@ -171,6 +171,29 @@ pub struct EngineConfig {
     pub overload: OverloadMode,
     /// Seed for deterministic per-deployment randomness.
     pub seed: u64,
+    /// Largest chunk one scheduling quantum may drain from an operator's
+    /// input queue (push-based batch execution). `1` forces the scalar
+    /// tuple-at-a-time path everywhere; batching engages only where it is
+    /// observationally exact, so any value yields identical results (see
+    /// `OpCell::begin`). The `LACHESIS_BATCH_MAX` environment variable
+    /// overrides the constructors' default, which CI uses to prove
+    /// batched and scalar runs byte-identical.
+    pub batch_max: usize,
+}
+
+/// Default chunk capacity for batched execution.
+pub const DEFAULT_BATCH_MAX: usize = 64;
+
+fn default_batch_max() -> usize {
+    match std::env::var("LACHESIS_BATCH_MAX") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_BATCH_MAX),
+        Err(_) => DEFAULT_BATCH_MAX,
+    }
 }
 
 impl EngineConfig {
@@ -189,6 +212,7 @@ impl EngineConfig {
             max_pending: Some(4_000),
             overload: OverloadMode::Disabled,
             seed: 1,
+            batch_max: default_batch_max(),
         }
     }
 
@@ -586,6 +610,7 @@ pub fn deploy(
                     backlog_penalty: config.backlog_penalty,
                     net_delay: config.net_delay,
                     seed: config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37),
+                    batch_max: config.batch_max,
                 },
                 stages,
             )

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use simos::{SimDuration, SimTime};
 
+use crate::chunk::{ChunkEmitter, TupleChunk};
 use crate::operator::{Emitter, OperatorLogic};
 use crate::tuple::{Tuple, Value};
 
@@ -154,6 +155,14 @@ impl<A: Aggregator, F: FnMut() -> A> OperatorLogic for TumblingWindow<A, F> {
         }
         entry.aggregator.add(input);
     }
+
+    // One dynamic dispatch per chunk; the per-tuple fold is monomorphic.
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            self.process(t, out.emitter());
+        }
+    }
 }
 
 /// A keyed sliding window of the last `size` of event time: every input
@@ -210,6 +219,13 @@ impl<A: Aggregator, F: FnMut() -> A> OperatorLogic for SlidingWindow<A, F> {
         let result =
             Tuple::derive_from_many(retained.iter(), input.key, agg.emit_and_reset());
         out.emit(result);
+    }
+
+    fn process_batch(&mut self, chunk: &TupleChunk, out: &mut ChunkEmitter) {
+        for t in chunk.iter() {
+            out.start_tuple();
+            self.process(t, out.emitter());
+        }
     }
 }
 

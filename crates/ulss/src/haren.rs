@@ -239,6 +239,7 @@ mod tests {
                         backlog_penalty: None,
                         net_delay: SimDuration::ZERO,
                         seed: i as u64,
+                        batch_max: 1,
                     },
                     vec![Stage {
                         logical: i,
