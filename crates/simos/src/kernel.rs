@@ -375,11 +375,14 @@ pub struct Kernel {
     /// now. Lazy charging lets a quota throttle fire mid-settle; the
     /// throttle must not enqueue this thread out from under the settle.
     settling: Option<ThreadId>,
-    /// CPU chosen by an in-flight [`place_thread`](Kernel::place_thread)
-    /// whose occupant is still running its body (so `current` is `None`
-    /// but the CPU is spoken for). A re-entrant fast-path wake must not
-    /// grab it. Saved/restored around nested placements.
-    reserving: Option<(usize, usize)>,
+    /// CPUs chosen by in-flight [`place_thread`](Kernel::place_thread)
+    /// frames whose occupants are still running their bodies (so
+    /// `current` is `None` but the CPU is spoken for). A re-entrant
+    /// fast-path wake must not grab any of them — wake chains nest
+    /// placements (A's body wakes B, B's delivery wakes C), and every
+    /// frame on the stack still holds its reservation, so this is a
+    /// stack, pushed/popped around each placement.
+    reserving: Vec<(usize, usize)>,
     /// Nesting depth of fast-path wake placements on the call stack. Each
     /// level runs a body inside `wake`, so a same-instant wake chain
     /// recurses; past the cap we fall back to the worklist to bound stack
@@ -522,7 +525,7 @@ impl Kernel {
             defer_fifo: VecDeque::new(),
             node_min_due: Vec::new(),
             settling: None,
-            reserving: None,
+            reserving: Vec::new(),
             fast_wake_depth: 0,
             quota_in_use: false,
             synced_at: SimTime::MAX,
@@ -2252,17 +2255,18 @@ impl Kernel {
         // Make sure the thread has pending work; run its body if not. The
         // CPU is reserved but not yet occupied while the body runs, so a
         // re-entrant fast-path wake (triggered by this body's own pushes)
-        // must be told not to place another thread on it.
-        let outer = self.reserving;
-        self.reserving = Some((node_idx, cpu_idx));
+        // must be told not to place another thread on it. The reservation
+        // stays live across nested placements (a wake chain inside the
+        // body recurses into place_thread), hence a stack, not a slot.
+        self.reserving.push((node_idx, cpu_idx));
         while self.threads[tid.0 as usize].remaining.is_zero() {
             let action = self.invoke_body(tid);
             if !self.apply_action(node_idx, cpu_idx, tid, action) {
-                self.reserving = outer;
+                self.reserving.pop();
                 return false;
             }
         }
-        self.reserving = outer;
+        self.reserving.pop();
         let slice = self.slice_for(node_idx, tid);
         let now = self.now;
         let cpu = &mut self.nodes[node_idx].cpus[cpu_idx];
@@ -2317,10 +2321,14 @@ impl Kernel {
         {
             return false;
         }
-        let reserved = self.reserving;
-        let Some(cpu_idx) = (0..self.nodes[node_idx].cpus.len()).find(|&i| {
-            let c = &self.nodes[node_idx].cpus[i];
-            c.online && c.current.is_none() && reserved != Some((node_idx, i))
+        // Skip every CPU reserved by any in-flight place_thread frame, not
+        // just the innermost: a depth-2 same-instant wake chain still has
+        // the outer frame's reservation live on the stack.
+        let reserved = &self.reserving;
+        let cpus = &self.nodes[node_idx].cpus;
+        let Some(cpu_idx) = (0..cpus.len()).find(|&i| {
+            let c = &cpus[i];
+            c.online && c.current.is_none() && !reserved.contains(&(node_idx, i))
         }) else {
             return false;
         };

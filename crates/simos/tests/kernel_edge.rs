@@ -264,3 +264,67 @@ fn same_instant_timers_are_one_batch() {
     k.run_for(SimDuration::from_secs(1));
     assert_eq!(k.loop_iterations(), 2);
 }
+
+#[test]
+fn nested_wake_chain_respects_outer_reservation() {
+    // Depth-2 same-instant wake chain through the wake-to-idle-CPU fast
+    // path: A's wake-up body wakes B (fast-placed while A's CPU is still
+    // reserved), and B's body wakes C while B's own placement is in
+    // flight. Both CPUs are reserved by in-flight place_thread frames at
+    // that point, so C must take the runqueue path — a fast placement
+    // onto A's reserved CPU would be overwritten when A's outer frame
+    // commits, leaving C Running with no CPU (lost thread).
+    let mut k = Kernel::default();
+    let n = k.add_node("n", 2);
+    let ch_b = k.new_wait_channel();
+    let ch_c = k.new_wait_channel();
+
+    let mut cp = 0u32;
+    let c = k
+        .spawn(n, "c", move |_: &mut SimCtx| {
+            cp += 1;
+            match cp {
+                1 => Action::Block(ch_c),
+                2 => Action::Compute(SimDuration::from_millis(1)),
+                _ => Action::Exit,
+            }
+        })
+        .build();
+    let mut bp = 0u32;
+    let b = k
+        .spawn(n, "b", move |ctx: &mut SimCtx| {
+            bp += 1;
+            match bp {
+                1 => Action::Block(ch_b),
+                2 => {
+                    ctx.wake(ch_c);
+                    Action::Compute(SimDuration::from_millis(1))
+                }
+                _ => Action::Exit,
+            }
+        })
+        .build();
+    let mut ap = 0u32;
+    let a = k
+        .spawn(n, "a", move |ctx: &mut SimCtx| {
+            ap += 1;
+            match ap {
+                1 => Action::Sleep(SimDuration::from_millis(5)),
+                2 => {
+                    ctx.wake(ch_b);
+                    Action::Compute(SimDuration::from_millis(1))
+                }
+                _ => Action::Exit,
+            }
+        })
+        .build();
+
+    k.run_for(SimDuration::from_millis(50));
+    for tid in [a, b, c] {
+        assert_eq!(
+            k.thread_info(tid).unwrap().state,
+            ThreadState::Exited,
+            "thread {tid:?} was lost by the wake chain"
+        );
+    }
+}

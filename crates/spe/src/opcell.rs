@@ -1014,7 +1014,7 @@ impl OpCell {
                     // Deliver after the network delay: the tuple rides the
                     // target queue's in-flight buffer and its registered
                     // handler completes the push — no closure allocation.
-                    target.net_enqueue(tuple);
+                    target.net_enqueue(tuple, self.net_delay);
                     ctx.defer_call(self.net_delay, target.net_call());
                 } else {
                     match target.push(tuple) {

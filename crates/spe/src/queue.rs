@@ -14,7 +14,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use simos::{DeferCallId, Kernel, NodeId, SimTime, WaitId};
+use simos::{DeferCallId, Kernel, NodeId, SimDuration, SimTime, WaitId};
 
 use crate::tuple::Tuple;
 
@@ -64,6 +64,12 @@ struct QueueInner {
     /// the oldest in-flight tuple's reserved push — the handler is
     /// allocated once per queue instead of boxing a closure per tuple.
     net_buf: VecDeque<Tuple>,
+    /// Network delay of the first remote edge that delivered into this
+    /// queue. The delivery handler completes in-flight tuples strictly in
+    /// send order, which is only equivalent to per-tuple delays if every
+    /// edge into the queue shares one delay — asserted on each
+    /// [`Queue::net_enqueue`].
+    net_delay: Option<SimDuration>,
 }
 
 impl QueueInner {
@@ -153,6 +159,7 @@ impl Queue {
             producer_wait: kernel.new_wait_channel(),
             backlog: None,
             net_buf: VecDeque::new(),
+            net_delay: None,
         }));
         // Delivery handler, registered once: completes the oldest in-flight
         // remote tuple exactly as the per-tuple closure used to, without
@@ -333,13 +340,30 @@ impl Queue {
 
     /// Hands a tuple to the simulated network for delayed delivery: the
     /// caller must have [`reserve`](Queue::reserve)d a slot, and must
-    /// schedule one firing of [`net_call`](Queue::net_call) after the
-    /// network delay ([`SimCtx::defer_call`](simos::SimCtx::defer_call)).
+    /// schedule one firing of [`net_call`](Queue::net_call) after `delay`
+    /// ([`SimCtx::defer_call`](simos::SimCtx::defer_call)).
     /// In-flight tuples deliver in send order — the network preserves
     /// FIFO per destination queue, like the one-TCP-stream-per-channel
-    /// transport of the real engines.
-    pub fn net_enqueue(&self, tuple: Tuple) {
-        self.inner.borrow_mut().net_buf.push_back(tuple);
+    /// transport of the real engines. Send-order delivery is only correct
+    /// when every remote edge into this queue uses the same delay (a
+    /// shorter-delay firing would otherwise complete an earlier
+    /// longer-delay tuple before its delay elapsed), so mixed delays are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` differs from a previous `net_enqueue`'s delay.
+    pub fn net_enqueue(&self, tuple: Tuple, delay: SimDuration) {
+        let mut q = self.inner.borrow_mut();
+        match q.net_delay {
+            None => q.net_delay = Some(delay),
+            Some(d) => assert_eq!(
+                d, delay,
+                "mixed net delays into queue {}: FIFO delivery needs one delay per queue",
+                self.name
+            ),
+        }
+        q.net_buf.push_back(tuple);
     }
 
     /// The queue's registered network-delivery handler; each firing

@@ -185,14 +185,19 @@ pub struct EngineConfig {
 pub const DEFAULT_BATCH_MAX: usize = 64;
 
 fn default_batch_max() -> usize {
+    // CI's scalar-equivalence step relies on this variable being honored;
+    // a silent fallback would run the batched path while claiming to
+    // verify the scalar one, so anything unparseable is a hard error.
     match std::env::var("LACHESIS_BATCH_MAX") {
-        Ok(v) => v
-            .trim()
-            .parse()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or(DEFAULT_BATCH_MAX),
-        Err(_) => DEFAULT_BATCH_MAX,
+        Err(std::env::VarError::NotPresent) => DEFAULT_BATCH_MAX,
+        Err(e) => panic!("invalid LACHESIS_BATCH_MAX: {e}"),
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => 1, // explicit scalar, same as 1
+            Ok(n) => n,
+            Err(_) => panic!(
+                "invalid LACHESIS_BATCH_MAX {v:?}: expected a non-negative integer"
+            ),
+        },
     }
 }
 
