@@ -1,0 +1,326 @@
+//! `cluster_bench` — measures what sharding the simulation buys: the same
+//! figd1-style rack is replayed once on a single merged kernel and once as
+//! 8 lockstep shards on real threads, and the two runs must produce the
+//! same snapshot digest (sharding is a pure wall-clock optimization).
+//!
+//! ```text
+//! cargo run -p bench --release --bin cluster_bench -- --sim-secs 20
+//! cargo run -p bench --release --bin cluster_bench -- --check BENCH_cluster.json
+//! cargo run -p bench --release --bin cluster_bench -- --write BENCH_cluster.json
+//! cargo run -p bench --release --bin cluster_bench -- --trace rack.json
+//! ```
+//!
+//! The emitted JSON is committed as `BENCH_cluster.json`. `--check` gates
+//! three things:
+//!
+//! - **determinism** (always): the merged and sharded digests of this run
+//!   agree, and — when the workload knobs match the baseline — equal the
+//!   committed digest, so a cross-PR behavior drift cannot hide behind a
+//!   speed discussion;
+//! - **throughput** (always): the sharded run replays at least 70% of the
+//!   baseline's simulated-seconds-per-wall-second;
+//! - **speedup** (core-aware): with 8+ CPUs available the sharded run must
+//!   beat the merged run by at least [`SPEEDUP_FLOOR`]×; on smaller
+//!   machines the gate is skipped with an explicit message, since 8
+//!   shards cannot physically outrun one kernel on one core.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::experiments::rack::{build_rack, RackSpec};
+use bench::json::Json;
+use bench::trace::{split_by_node, validate_cluster};
+use simos::SimDuration;
+
+/// Fraction of the baseline sim-rate below which `--check` fails.
+const REGRESSION_FLOOR: f64 = 0.7;
+/// Minimum merged/sharded wall-clock ratio on machines with enough cores.
+const SPEEDUP_FLOOR: f64 = 3.0;
+/// Cores needed before the speedup gate is meaningful for 8 shards.
+const SPEEDUP_CORES: usize = 8;
+/// Shards (and driver threads) of the sharded run.
+const SHARDS: usize = 8;
+
+struct Opts {
+    sim_secs: u64,
+    nodes: usize,
+    pipelines: usize,
+    rate: f64,
+    check: Option<String>,
+    write: Option<String>,
+    trace: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cluster_bench [--sim-secs N] [--nodes N] [--pipelines P] [--rate R]\n\
+         \u{20}                    [--check BASELINE.json] [--write OUT.json]\n\
+         \u{20}                    [--trace TRACE.json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts {
+        sim_secs: 20,
+        nodes: 9,
+        pipelines: 2,
+        rate: 250.0,
+        check: None,
+        write: None,
+        trace: None,
+    };
+    // Every flag takes exactly one value.
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--sim-secs" => opts.sim_secs = value.parse().unwrap_or_else(|_| usage()),
+            "--nodes" => opts.nodes = value.parse().unwrap_or_else(|_| usage()),
+            "--pipelines" => opts.pipelines = value.parse().unwrap_or_else(|_| usage()),
+            "--rate" => opts.rate = value.parse().unwrap_or_else(|_| usage()),
+            "--check" => opts.check = Some(value),
+            "--write" => opts.write = Some(value),
+            "--trace" => opts.trace = Some(value),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn spec(opts: &Opts, shards: usize, threads: usize) -> RackSpec {
+    RackSpec {
+        nodes: opts.nodes,
+        shards,
+        shard_threads: threads,
+        latency: SimDuration::from_millis(1),
+        pipelines: opts.pipelines,
+        rate_tps: opts.rate,
+        with_lachesis: true,
+        seed: 1,
+    }
+}
+
+struct RunOut {
+    wall: f64,
+    digest: u64,
+    tuples: u64,
+    deliveries: u64,
+    epochs: u64,
+}
+
+/// One timed replay: warm-up, timed region, digest + work counters. With
+/// `trace`, tracing is installed on every shard kernel after warm-up and
+/// the dumps are split per rack node so Perfetto shows one `pid` per
+/// simulated machine.
+fn run(spec: &RackSpec, sim_secs: u64, trace: bool) -> (RunOut, Vec<bench::trace::TraceDump>) {
+    let mut cluster = build_rack(spec);
+    cluster.run_for(SimDuration::from_secs(1));
+    if trace {
+        cluster.map_shards(|_| {
+            Box::new(|s| {
+                s.trace = Some(s.kernel.install_tracing(Some(2_000_000)));
+            })
+        });
+    }
+    let start = Instant::now();
+    cluster.run_for(SimDuration::from_secs(sim_secs));
+    let wall = start.elapsed().as_secs_f64();
+
+    let dumps: Vec<bench::trace::TraceDump> = cluster
+        .map_shards(|i| {
+            Box::new(move |s| {
+                s.trace
+                    .as_ref()
+                    .map(|h| bench::trace::capture(&s.kernel, h, &format!("shard{i}")))
+            })
+        })
+        .into_iter()
+        .flatten()
+        .flat_map(|d| split_by_node(&d))
+        .collect();
+
+    let tuples: u64 = cluster
+        .map_shards(|_| {
+            Box::new(|s| {
+                s.rack_nodes()
+                    .iter()
+                    .flat_map(|nr| nr.queries())
+                    .map(|q| q.ingress_total())
+                    .sum::<u64>()
+            })
+        })
+        .into_iter()
+        .sum();
+    let stats = validate_cluster(cluster.journal(), cluster.topology())
+        .expect("fabric journal replays cleanly");
+    let out = RunOut {
+        wall,
+        digest: cluster.snapshot().digest(),
+        tuples,
+        deliveries: stats.deliveries,
+        epochs: cluster.epochs(),
+    };
+    (out, dumps)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = SHARDS.min(cores);
+
+    eprintln!(
+        "cluster_bench: rack of {} nodes x {} pipelines @ {} t/s, {} sim-s \
+         (merged, then {SHARDS} shards on {threads} threads)",
+        opts.nodes, opts.pipelines, opts.rate, opts.sim_secs
+    );
+    let (merged, dumps) = run(&spec(&opts, 1, 1), opts.sim_secs, opts.trace.is_some());
+    let (sharded, _) = run(&spec(&opts, SHARDS, threads), opts.sim_secs, false);
+
+    // The whole point of the fabric: the shard layout must be invisible in
+    // the results. This holds regardless of flags, so it is asserted even
+    // outside --check.
+    if merged.digest != sharded.digest {
+        eprintln!(
+            "cluster_bench: DETERMINISM VIOLATION: merged digest {:016x} != sharded \
+             digest {:016x}",
+            merged.digest, sharded.digest
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let speedup = merged.wall / sharded.wall;
+    let sims_per_wall = opts.sim_secs as f64 / sharded.wall;
+    eprintln!(
+        "cluster_bench: merged {:.2} wall-s, sharded {:.2} wall-s => {speedup:.2}x \
+         ({sims_per_wall:.1} sim-s/wall-s sharded, digest {:016x})",
+        merged.wall, sharded.wall, merged.digest
+    );
+    eprintln!(
+        "cluster_bench: {} tuples ingested, {} fabric deliveries, {} epochs",
+        sharded.tuples, sharded.deliveries, sharded.epochs
+    );
+
+    let report = Json::obj(vec![
+        ("workload", Json::Str("rack-syn".into())),
+        ("nodes", Json::Num(opts.nodes as f64)),
+        ("pipelines", Json::Num(opts.pipelines as f64)),
+        ("rate_tps", Json::Num(opts.rate)),
+        ("sim_secs", Json::Num(opts.sim_secs as f64)),
+        ("shards", Json::Num(SHARDS as f64)),
+        ("wall_merged", Json::Num(merged.wall)),
+        ("wall_sharded", Json::Num(sharded.wall)),
+        ("speedup", Json::Num(speedup)),
+        ("sims_per_wall", Json::Num(sims_per_wall)),
+        ("digest", Json::Str(format!("{:016x}", merged.digest))),
+        ("tuples_processed", Json::Num(sharded.tuples as f64)),
+        ("deliveries", Json::Num(sharded.deliveries as f64)),
+        ("epochs", Json::Num(sharded.epochs as f64)),
+    ]);
+    if let Some(path) = &opts.write {
+        std::fs::write(path, report.pretty()).expect("write report");
+        eprintln!("cluster_bench: wrote {path}");
+    }
+
+    if let Some(path) = &opts.trace {
+        let json = bench::trace::export_chrome(&dumps).compact();
+        if let Err(e) = bench::trace::validate_chrome(&json) {
+            eprintln!("cluster_bench: trace failed shape validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        std::fs::write(path, json).expect("write trace");
+        eprintln!(
+            "cluster_bench: wrote {path} with {} per-node process lanes \
+             (open in https://ui.perfetto.dev)",
+            dumps.len()
+        );
+    }
+
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path).expect("read baseline");
+        let baseline = Json::parse(&text).expect("parse baseline");
+        let field = |name: &str| baseline.get(name).and_then(Json::as_f64);
+
+        // Digest comparison is only meaningful when this run replayed the
+        // baseline's workload.
+        let same_workload = [
+            ("nodes", opts.nodes as f64),
+            ("pipelines", opts.pipelines as f64),
+            ("rate_tps", opts.rate),
+            ("sim_secs", opts.sim_secs as f64),
+        ]
+        .iter()
+        .all(|(name, now)| field(name) == Some(*now));
+        if same_workload {
+            let expect = baseline.get("digest").and_then(Json::as_str).unwrap_or("");
+            let got = format!("{:016x}", merged.digest);
+            if got != expect {
+                eprintln!(
+                    "cluster_bench: DIGEST MISMATCH: baseline {expect} -> now {got}; \
+                     the rack behaves differently than when {path} was written"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("cluster_bench: OK: digest matches the {path} baseline");
+        } else {
+            eprintln!(
+                "cluster_bench: note: workload knobs differ from {path}; digest not \
+                 compared"
+            );
+        }
+
+        let expect = field("sims_per_wall").expect("baseline sims_per_wall");
+        let floor = expect * REGRESSION_FLOOR;
+        if sims_per_wall < floor {
+            eprintln!(
+                "cluster_bench: REGRESSION: {sims_per_wall:.1} sim-s/wall-s is below \
+                 {floor:.1} (70% of the {expect:.1} baseline in {path})"
+            );
+            for (name, new) in [
+                ("sims_per_wall", sims_per_wall),
+                ("wall_merged", merged.wall),
+                ("wall_sharded", sharded.wall),
+                ("speedup", speedup),
+                ("tuples_processed", sharded.tuples as f64),
+                ("deliveries", sharded.deliveries as f64),
+            ] {
+                match field(name) {
+                    Some(old) if old != 0.0 => eprintln!(
+                        "cluster_bench:   {name}: baseline {old:.3} -> now {new:.3} \
+                         ({:+.1}%)",
+                        (new - old) / old * 100.0
+                    ),
+                    Some(old) => {
+                        eprintln!("cluster_bench:   {name}: baseline {old:.3} -> now {new:.3}")
+                    }
+                    None => eprintln!("cluster_bench:   {name}: not in baseline -> now {new:.3}"),
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "cluster_bench: OK: {sims_per_wall:.1} sim-s/wall-s >= {floor:.1} \
+             (70% of the {expect:.1} baseline)"
+        );
+
+        if cores >= SPEEDUP_CORES {
+            if speedup < SPEEDUP_FLOOR {
+                eprintln!(
+                    "cluster_bench: SPEEDUP REGRESSION: {speedup:.2}x < {SPEEDUP_FLOOR}x \
+                     with {cores} cores available"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("cluster_bench: OK: {speedup:.2}x >= {SPEEDUP_FLOOR}x on {cores} cores");
+        } else {
+            eprintln!(
+                "cluster_bench: skipping the {SPEEDUP_FLOOR}x speedup gate: only {cores} \
+                 core(s) available, {SPEEDUP_CORES} needed for {SHARDS} shards to outrun \
+                 one kernel (determinism and sim-rate were still checked)"
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,24 +9,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::experiments::{ablation, chaos, churn, multi_query, multi_spe, scale_out, single_query, table1};
+use bench::experiments::{
+    ablation, chaos, churn, multi_query, multi_spe, rack, scale_out, single_query, table1,
+};
 use bench::report::Figure;
 use bench::ExpOptions;
 
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "figc1", "figc2", "figc3", "ablation", "table1",
+    "fig17", "fig18", "figc1", "figc2", "figc3", "figd1", "ablation", "table1",
 ];
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment...|all> [--quick] [--reps N] [--out DIR] [--jobs N]\n\
-         \u{20}            [--trace FILE.json] [--trace-ring N]\n\
+         \u{20}            [--shard-threads N] [--trace FILE.json] [--trace-ring N]\n\
          experiments: {} render\n\
          (fig5/fig7 also emit fig6/fig8; fig9-12 emit the fig13 panels;\n\
+          figd1 runs on the sharded cluster; `--shard-threads` drives its\n\
+          shards in parallel without changing any byte of the output;\n\
           `render` redraws SVG charts from JSON already in --out;\n\
           `--trace` runs one traced representative trial per experiment and\n\
           writes Perfetto-openable Chrome trace_event JSON plus a text\n\
@@ -70,8 +74,28 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "figc1" => chaos::figc1(opts),
         "figc2" => chaos::figc2(opts),
         "figc3" => churn::figc3(opts),
+        "figd1" => rack::figd1(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
+    }
+}
+
+/// Rejects unknown experiment ids up front with an explicit error naming
+/// the offender and the valid vocabulary (instead of silently falling
+/// through to the usage text mid-run).
+fn reject_unknown(experiments: &[String], extra: &[&str]) {
+    if let Some(bad) = experiments
+        .iter()
+        .find(|e| !ALL.contains(&e.as_str()) && !extra.contains(&e.as_str()))
+    {
+        eprintln!("error: unknown experiment id '{bad}'");
+        eprintln!(
+            "valid ids: {}{}{}",
+            ALL.join(" "),
+            if extra.is_empty() { "" } else { " " },
+            extra.join(" ")
+        );
+        usage();
     }
 }
 
@@ -100,6 +124,11 @@ fn main() -> ExitCode {
                 i += 1;
                 opts.jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--shard-threads" => {
+                i += 1;
+                opts.shard_threads =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--trace" => {
                 i += 1;
                 trace_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
@@ -126,10 +155,7 @@ fn main() -> ExitCode {
     // JSON shape and the summary's finiteness so CI can gate on the exit
     // code alone.
     if let Some(path) = &trace_out {
-        if let Some(bad) = experiments.iter().find(|e| !ALL.contains(&e.as_str())) {
-            eprintln!("error: unknown experiment id '{bad}'");
-            usage();
-        }
+        reject_unknown(&experiments, &[]);
         let mut dumps = Vec::new();
         for id in &experiments {
             eprintln!(">> tracing {id} (quick={}, ring={trace_ring:?})", opts.quick);
@@ -172,6 +198,7 @@ fn main() -> ExitCode {
         eprintln!("rendered {count} charts into {}", opts.out_dir.display());
         return ExitCode::SUCCESS;
     }
+    reject_unknown(&experiments, &["fig13", "render"]);
 
     for id in &experiments {
         let start = std::time::Instant::now();

@@ -1,0 +1,938 @@
+//! A sharded rack simulation: N independent [`Kernel`]s advancing in
+//! lockstep epochs under conservative lookahead.
+//!
+//! The rack is a set of *rack nodes* connected by a modeled network
+//! ([`NetTopology`]). Rack nodes are assigned to *shards*; each shard is
+//! one `Kernel` instance pinned to a persistent worker thread
+//! ([`crate::pool::ShardSet`]). Because every modeled link has a non-zero
+//! latency, a shard can run one *epoch* — `min` link latency of simulated
+//! time — without observing any other shard: a message sent during epoch
+//! `k` cannot arrive before the barrier that ends epoch `k` (classic
+//! conservative-lookahead parallel discrete-event simulation).
+//!
+//! At each barrier the shards' outboxes are merged, sorted by
+//! [`Envelope::order_key`] — `(recv_time, src, seq, dst)`, built only from
+//! rack-level identifiers — and injected into the destination shards as
+//! `schedule_once` events at exactly `recv_time`. **All** cross-rack-node
+//! traffic goes through this fabric even when both nodes share a shard, so
+//! simulation results are byte-identical for any shard count and any
+//! worker-thread count; sharding changes wall-clock time only.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use lachesis::{CmdApplier, CmdOutbox, RemoteCmd};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{
+    CallbackId, Envelope, Kernel, LinkStamper, NetTopology, RackNodeId, SimDuration, SimTime,
+};
+use spe::{PhysOpId, RunningQuery, Tuple};
+
+use crate::pool::ShardSet;
+
+/// A message crossing the modeled rack network.
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// A data tuple for physical operator `op` of the destination node's
+    /// query `query` (deployment-order index — the rack-wide address space
+    /// shared with [`lachesis::RemoteCmd`]).
+    Tuple {
+        /// Destination query index on the destination node.
+        query: usize,
+        /// Destination physical operator within that query.
+        op: PhysOpId,
+        /// The tuple itself.
+        tuple: Tuple,
+    },
+    /// One completed Graphite bucket shipped by a metric relay
+    /// ([`install_metric_relay`]).
+    Metric {
+        /// Metric path in the destination store.
+        path: String,
+        /// Bucket start time.
+        bucket: SimTime,
+        /// Bucket value (last write wins, like the source store).
+        value: f64,
+    },
+    /// A Lachesis scheduling command for the destination node's
+    /// [`CmdApplier`].
+    Cmd(RemoteCmd),
+}
+
+impl ClusterMsg {
+    /// Payload discriminant used by journals and snapshots.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            ClusterMsg::Tuple { .. } => MsgKind::Tuple,
+            ClusterMsg::Metric { .. } => MsgKind::Metric,
+            ClusterMsg::Cmd(_) => MsgKind::Cmd,
+        }
+    }
+}
+
+/// Discriminant of a [`ClusterMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    /// Data tuple.
+    Tuple,
+    /// Metric bucket.
+    Metric,
+    /// Scheduling command.
+    Cmd,
+}
+
+/// One fabric delivery, journaled for [`crate::trace::validate_cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Source rack node.
+    pub src: RackNodeId,
+    /// Destination rack node.
+    pub dst: RackNodeId,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// When the source handed the message to the network.
+    pub send_time: SimTime,
+    /// Modeled arrival time (`send_time` + link latency).
+    pub recv_time: SimTime,
+    /// Barrier at which the fabric injected the delivery event.
+    pub injected_at: SimTime,
+    /// Kernel time when the delivery event fired (must equal `recv_time`).
+    pub delivered_at: SimTime,
+    /// Payload discriminant.
+    pub kind: MsgKind,
+}
+
+/// An un-stamped send collected inside a shard between two barriers.
+#[derive(Debug)]
+struct RawSend {
+    src: RackNodeId,
+    dst: RackNodeId,
+    at: SimTime,
+    msg: ClusterMsg,
+}
+
+/// The shard-local buffer producers write into: relay sources, metric
+/// relays and (via [`ClusterShard::step`]'s drain) Lachesis command
+/// outboxes. Sends are stamped with per-link sequence numbers at the next
+/// barrier, after a stable sort by `(src, dst, send_time)` — so the stream
+/// of envelopes per link is identical no matter how rack nodes are packed
+/// into shards.
+#[derive(Debug, Default)]
+pub struct ClusterOutbox {
+    pending: RefCell<Vec<RawSend>>,
+}
+
+impl ClusterOutbox {
+    /// Queues a message from rack node `src` to rack node `dst`, handed to
+    /// the network at simulated time `at`.
+    pub fn send(&self, src: RackNodeId, dst: RackNodeId, at: SimTime, msg: ClusterMsg) {
+        self.pending.borrow_mut().push(RawSend { src, dst, at, msg });
+    }
+
+    /// Number of queued sends (drained at the next barrier).
+    pub fn len(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.borrow().is_empty()
+    }
+}
+
+/// Per-rack-node runtime state inside a shard.
+#[derive(Debug)]
+pub struct NodeRuntime {
+    rack_id: RackNodeId,
+    node: simos::NodeId,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    applier: Rc<RefCell<CmdApplier>>,
+    cmd_outbox: Option<CmdOutbox>,
+}
+
+impl NodeRuntime {
+    /// The rack-level node id.
+    pub fn rack_id(&self) -> RackNodeId {
+        self.rack_id
+    }
+
+    /// The simulated node inside this shard's kernel.
+    pub fn node(&self) -> simos::NodeId {
+        self.node
+    }
+
+    /// The node's queries in deployment order (the fabric address space).
+    pub fn queries(&self) -> &[RunningQuery] {
+        &self.queries
+    }
+
+    /// The node-local metric store.
+    pub fn store(&self) -> &Rc<RefCell<TimeSeriesStore>> {
+        &self.store
+    }
+
+    /// The node's command applier (counts applied/skipped commands).
+    pub fn applier(&self) -> &Rc<RefCell<CmdApplier>> {
+        &self.applier
+    }
+}
+
+/// What one shard hands back at a barrier.
+struct StepOut {
+    sent: Vec<Envelope<ClusterMsg>>,
+    delivered: Vec<DeliveryRecord>,
+}
+
+/// One shard: a kernel hosting a subset of the rack nodes, plus the fabric
+/// plumbing ([`ClusterOutbox`], per-node [`LinkStamper`]s, the delivery
+/// journal).
+#[derive(Debug)]
+pub struct ClusterShard {
+    /// The shard's kernel. Public so experiment builders can deploy
+    /// queries, install sources and tracing.
+    pub kernel: Kernel,
+    /// Trace handle for this shard's kernel, if a caller installed
+    /// tracing (via [`Cluster::map_shards`]); kept here because handles
+    /// are shard-thread-local and cannot cross the pool boundary.
+    pub trace: Option<simos::TraceHandle>,
+    topo: NetTopology,
+    nodes: Vec<NodeRuntime>,
+    stampers: BTreeMap<RackNodeId, LinkStamper>,
+    outbox: Rc<ClusterOutbox>,
+    delivered: Rc<RefCell<Vec<DeliveryRecord>>>,
+}
+
+impl ClusterShard {
+    /// Wraps a kernel as a shard of the rack described by `topo`.
+    pub fn new(kernel: Kernel, topo: NetTopology) -> ClusterShard {
+        ClusterShard {
+            kernel,
+            trace: None,
+            topo,
+            nodes: Vec::new(),
+            stampers: BTreeMap::new(),
+            outbox: Rc::new(ClusterOutbox::default()),
+            delivered: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// The shared outbox handle for producers on this shard (relay
+    /// sources, metric relays).
+    pub fn outbox(&self) -> Rc<ClusterOutbox> {
+        Rc::clone(&self.outbox)
+    }
+
+    /// Registers rack node `rack_id` as hosted by this shard, backed by
+    /// simulated node `node` in this shard's kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rack id is out of range or already registered.
+    pub fn add_rack_node(
+        &mut self,
+        rack_id: RackNodeId,
+        node: simos::NodeId,
+        store: Rc<RefCell<TimeSeriesStore>>,
+    ) {
+        assert!(rack_id < self.topo.nodes(), "rack node {rack_id} out of range");
+        assert!(
+            !self.stampers.contains_key(&rack_id),
+            "rack node {rack_id} registered twice"
+        );
+        self.stampers
+            .insert(rack_id, LinkStamper::new(rack_id, self.topo.nodes()));
+        self.nodes.push(NodeRuntime {
+            rack_id,
+            node,
+            queries: Vec::new(),
+            store,
+            applier: Rc::new(RefCell::new(CmdApplier::new(Vec::new()))),
+            cmd_outbox: None,
+        });
+    }
+
+    /// Sets rack node `rack_id`'s queries (deployment order = fabric
+    /// address space) and rebuilds its command applier around them.
+    pub fn set_queries(&mut self, rack_id: RackNodeId, queries: Vec<RunningQuery>) {
+        let nr = self.node_mut(rack_id);
+        nr.applier = Rc::new(RefCell::new(CmdApplier::new(queries.clone())));
+        nr.queries = queries;
+    }
+
+    /// Attaches the Lachesis command outbox whose entries originate from
+    /// rack node `rack_id` (the controller node). Drained at each barrier.
+    pub fn set_cmd_outbox(&mut self, rack_id: RackNodeId, outbox: CmdOutbox) {
+        self.node_mut(rack_id).cmd_outbox = Some(outbox);
+    }
+
+    /// The rack ids hosted by this shard, in registration order.
+    pub fn rack_ids(&self) -> Vec<RackNodeId> {
+        self.nodes.iter().map(|n| n.rack_id).collect()
+    }
+
+    /// The runtime state of hosted rack node `rack_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not hosted by this shard.
+    pub fn node(&self, rack_id: RackNodeId) -> &NodeRuntime {
+        self.nodes
+            .iter()
+            .find(|n| n.rack_id == rack_id)
+            .unwrap_or_else(|| panic!("rack node {rack_id} not on this shard"))
+    }
+
+    fn node_mut(&mut self, rack_id: RackNodeId) -> &mut NodeRuntime {
+        self.nodes
+            .iter_mut()
+            .find(|n| n.rack_id == rack_id)
+            .unwrap_or_else(|| panic!("rack node {rack_id} not on this shard"))
+    }
+
+    /// All hosted rack nodes.
+    pub fn rack_nodes(&self) -> &[NodeRuntime] {
+        &self.nodes
+    }
+
+    /// Runs one epoch: injects `deliveries` (already sorted by
+    /// [`Envelope::order_key`]) as kernel events at their `recv_time`,
+    /// advances the kernel to `deadline`, and drains + stamps this shard's
+    /// outbox.
+    fn step(&mut self, deliveries: Vec<Envelope<ClusterMsg>>, deadline: SimTime) -> StepOut {
+        let barrier = self.kernel.now();
+        for env in deliveries {
+            self.inject(env, barrier);
+        }
+        self.kernel.run_until(deadline);
+
+        // Drain raw sends (+ Lachesis command outboxes) and stamp them.
+        let mut raw: Vec<RawSend> = self.outbox.pending.borrow_mut().drain(..).collect();
+        for nr in &self.nodes {
+            if let Some(ob) = &nr.cmd_outbox {
+                for send in ob.borrow_mut().drain(..) {
+                    raw.push(RawSend {
+                        src: nr.rack_id,
+                        dst: send.dst,
+                        at: send.at,
+                        msg: ClusterMsg::Cmd(send.cmd),
+                    });
+                }
+            }
+        }
+        // Stable by (src, dst, send_time): per-link order is send order,
+        // independent of how nodes interleave inside a shard, so the seq
+        // numbers stamped below are layout-invariant.
+        raw.sort_by_key(|r| (r.src, r.dst, r.at));
+        let sent = raw
+            .into_iter()
+            .map(|r| {
+                let stamper = self
+                    .stampers
+                    .get_mut(&r.src)
+                    .unwrap_or_else(|| panic!("send from foreign rack node {}", r.src));
+                let env = stamper.stamp(&self.topo, r.dst, r.at, r.msg);
+                // Conservative lookahead: nothing sent during this epoch
+                // may arrive before the barrier that ends it.
+                assert!(
+                    env.recv_time >= deadline,
+                    "lookahead violated: sent {:?} -> recv {:?} < barrier {:?}",
+                    env.send_time,
+                    env.recv_time,
+                    deadline
+                );
+                env
+            })
+            .collect();
+        StepOut {
+            sent,
+            delivered: self.delivered.borrow_mut().drain(..).collect(),
+        }
+    }
+
+    fn inject(&mut self, env: Envelope<ClusterMsg>, barrier: SimTime) {
+        assert!(
+            env.recv_time >= barrier,
+            "fabric delivered an envelope into the past"
+        );
+        let latency = self.topo.latency(env.src, env.dst);
+        assert_eq!(
+            env.recv_time,
+            env.send_time + latency,
+            "envelope recv time disagrees with the latency matrix"
+        );
+        let delay = env.recv_time - barrier;
+        let mut record = DeliveryRecord {
+            src: env.src,
+            dst: env.dst,
+            seq: env.seq,
+            send_time: env.send_time,
+            recv_time: env.recv_time,
+            injected_at: barrier,
+            delivered_at: SimTime::ZERO,
+            kind: env.payload.kind(),
+        };
+        let journal = Rc::clone(&self.delivered);
+        match env.payload {
+            ClusterMsg::Tuple { query, op, tuple } => {
+                let nr = self.node(env.dst);
+                let q = nr.queries.get(query).unwrap_or_else(|| {
+                    panic!("tuple for unknown query {query} on rack node {}", env.dst)
+                });
+                let queue = q.cell(op).in_queue().clone();
+                // One modeled latency per destination queue: remote edges
+                // share the invariant local `net_enqueue` edges have.
+                queue.assert_net_delay(latency);
+                self.kernel.schedule_once(delay, move |k| {
+                    record.delivered_at = k.now();
+                    journal.borrow_mut().push(record);
+                    queue.deliver_remote(k, tuple);
+                });
+            }
+            ClusterMsg::Metric { path, bucket, value } => {
+                let store = Rc::clone(&self.node(env.dst).store);
+                self.kernel.schedule_once(delay, move |k| {
+                    record.delivered_at = k.now();
+                    journal.borrow_mut().push(record);
+                    store.borrow_mut().record(&path, bucket, value);
+                });
+            }
+            ClusterMsg::Cmd(cmd) => {
+                let applier = Rc::clone(&self.node(env.dst).applier);
+                self.kernel.schedule_once(delay, move |k| {
+                    record.delivered_at = k.now();
+                    journal.borrow_mut().push(record);
+                    applier.borrow_mut().apply(k, cmd);
+                });
+            }
+        }
+    }
+}
+
+/// Ships completed metric buckets from a node-local store to another rack
+/// node's store, once per `period` (the push-based Graphite exporter: the
+/// controller sees metrics `link latency + export period` stale). Returns
+/// the callback id so callers can cancel the relay.
+pub fn install_metric_relay(
+    kernel: &mut Kernel,
+    outbox: Rc<ClusterOutbox>,
+    src: RackNodeId,
+    dst: RackNodeId,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    period: SimDuration,
+) -> CallbackId {
+    let mut cutoff = SimTime::ZERO;
+    kernel.schedule_periodic(period, period, move |k| {
+        let now = k.now();
+        let res = store.borrow().resolution();
+        for (path, bucket, value) in store.borrow().export_since(cutoff) {
+            // Only completed buckets: the current bucket may still be
+            // written to, and re-exports never happen.
+            if bucket + res > now {
+                continue;
+            }
+            cutoff = cutoff.max(bucket);
+            outbox.send(src, dst, now, ClusterMsg::Metric { path, bucket, value });
+        }
+    })
+}
+
+/// Deterministic plain-data digest of one query's final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySnapshot {
+    /// Query name.
+    pub name: String,
+    /// Total tuples ingested.
+    pub ingress: u64,
+    /// Total tuples emitted by sinks.
+    pub egress: u64,
+    /// Per-operator `(tuples_in, tuples_out)`.
+    pub ops: Vec<(u64, u64)>,
+    /// Per-operator input queue length at snapshot time.
+    pub queue_len: Vec<usize>,
+    /// Per-operator `nice` at snapshot time (thread-less operators report
+    /// the neutral 0).
+    pub nice: Vec<i32>,
+}
+
+/// Deterministic digest of one rack node's final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Rack node id.
+    pub rack_id: RackNodeId,
+    /// Per-query digests in deployment order.
+    pub queries: Vec<QuerySnapshot>,
+    /// Commands applied / skipped by this node's [`CmdApplier`].
+    pub cmds: (u64, u64),
+}
+
+/// Deterministic digest of the whole rack: the byte-identity artifact the
+/// proptests and `cluster_bench` compare across shard layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Simulated time of the snapshot.
+    pub at: SimTime,
+    /// Per-rack-node digests, ascending rack id.
+    pub nodes: Vec<NodeSnapshot>,
+    /// In-flight envelopes `(src, dst, seq, send_ns, recv_ns, kind)`,
+    /// sorted by order key.
+    pub in_flight: Vec<(RackNodeId, RackNodeId, u64, u64, u64, MsgKind)>,
+}
+
+impl ClusterSnapshot {
+    /// A stable 64-bit digest (FNV-1a over the debug rendering) for quick
+    /// equality checks in JSON artifacts.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+fn snapshot_node(kernel: &Kernel, nr: &NodeRuntime) -> NodeSnapshot {
+    let queries = nr
+        .queries
+        .iter()
+        .map(|q| {
+            let mut ops = Vec::new();
+            let mut queue_len = Vec::new();
+            let mut nice = Vec::new();
+            for c in q.cells() {
+                ops.push((c.tuples_in(), c.tuples_out()));
+                queue_len.push(c.in_queue().len());
+                nice.push(match c.thread() {
+                    Some(tid) => kernel
+                        .thread_info(tid)
+                        .map(|i| i.nice.value())
+                        .unwrap_or(0),
+                    None => 0,
+                });
+            }
+            QuerySnapshot {
+                name: q.name().to_owned(),
+                ingress: q.ingress_total(),
+                egress: q.egress_total(),
+                ops,
+                queue_len,
+                nice,
+            }
+        })
+        .collect();
+    let applier = nr.applier.borrow();
+    NodeSnapshot {
+        rack_id: nr.rack_id,
+        queries,
+        cmds: (applier.applied(), applier.skipped()),
+    }
+}
+
+/// The lockstep rack simulation: routes envelopes between shards at epoch
+/// barriers and keeps the delivery journal.
+pub struct Cluster {
+    set: ShardSet<ClusterShard>,
+    topo: NetTopology,
+    now: SimTime,
+    pending: Vec<Envelope<ClusterMsg>>,
+    node_shard: Vec<usize>,
+    journal: Vec<DeliveryRecord>,
+    epochs: u64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.topo.nodes())
+            .field("shards", &self.set.shards())
+            .field("now", &self.now)
+            .field("in_flight", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds the rack: one [`ClusterShard`] per builder, constructed on
+    /// its worker thread (`shard_threads` of them; `<= 1` runs everything
+    /// inline on the caller). Every rack node of `topo` must be claimed by
+    /// exactly one shard.
+    pub fn new(
+        topo: NetTopology,
+        shard_threads: usize,
+        builders: Vec<Box<dyn FnOnce() -> ClusterShard + Send>>,
+    ) -> Cluster {
+        assert!(!builders.is_empty(), "a cluster needs at least one shard");
+        let mut set = ShardSet::new(shard_threads, builders);
+        let per_shard: Vec<Vec<RackNodeId>> = set.run(
+            (0..set.shards())
+                .map(|_| {
+                    Box::new(|s: &mut ClusterShard| s.rack_ids())
+                        as Box<dyn FnOnce(&mut ClusterShard) -> Vec<RackNodeId> + Send>
+                })
+                .collect(),
+        );
+        let mut node_shard = vec![usize::MAX; topo.nodes()];
+        for (shard, nodes) in per_shard.iter().enumerate() {
+            for &rack_id in nodes {
+                assert!(rack_id < topo.nodes(), "rack node {rack_id} out of range");
+                assert_eq!(
+                    node_shard[rack_id],
+                    usize::MAX,
+                    "rack node {rack_id} claimed by two shards"
+                );
+                node_shard[rack_id] = shard;
+            }
+        }
+        for (rack_id, &shard) in node_shard.iter().enumerate() {
+            assert_ne!(shard, usize::MAX, "rack node {rack_id} claimed by no shard");
+        }
+        Cluster {
+            set,
+            topo,
+            now: SimTime::ZERO,
+            pending: Vec::new(),
+            node_shard,
+            journal: Vec::new(),
+            epochs: 0,
+        }
+    }
+
+    /// The rack topology.
+    pub fn topology(&self) -> &NetTopology {
+        &self.topo
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.set.shards()
+    }
+
+    /// Number of worker threads actually running shards.
+    pub fn threads(&self) -> usize {
+        self.set.threads()
+    }
+
+    /// Current simulated time (a barrier).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Epoch barriers crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The epoch length: the minimum modeled link latency.
+    pub fn lookahead(&self) -> SimDuration {
+        self.topo.lookahead()
+    }
+
+    /// The fabric delivery journal (all shards, per-epoch shard order).
+    pub fn journal(&self) -> &[DeliveryRecord] {
+        &self.journal
+    }
+
+    /// Runs the rack until simulated time `t` in lockstep epochs (the last
+    /// epoch may be shorter than the lookahead).
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(t >= self.now, "run_until: deadline in the past");
+        while self.now < t {
+            let deadline = (self.now + self.lookahead()).min(t);
+            self.step_to(deadline);
+        }
+    }
+
+    /// Runs the rack for `dur` of simulated time.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        self.run_until(self.now + dur);
+    }
+
+    /// One epoch: exchange pending envelopes, advance every shard to
+    /// `deadline` in parallel, collect fresh envelopes.
+    fn step_to(&mut self, deadline: SimTime) {
+        assert!(deadline > self.now && deadline - self.now <= self.lookahead());
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by_key(Envelope::order_key);
+        let mut per_shard: Vec<Vec<Envelope<ClusterMsg>>> =
+            (0..self.set.shards()).map(|_| Vec::new()).collect();
+        for env in pending {
+            per_shard[self.node_shard[env.dst]].push(env);
+        }
+        let outs: Vec<StepOut> = self.set.run(
+            per_shard
+                .into_iter()
+                .map(|deliveries| {
+                    Box::new(move |s: &mut ClusterShard| s.step(deliveries, deadline))
+                        as Box<dyn FnOnce(&mut ClusterShard) -> StepOut + Send>
+                })
+                .collect(),
+        );
+        for out in outs {
+            self.journal.extend(out.delivered);
+            self.pending.extend(out.sent);
+        }
+        self.now = deadline;
+        self.epochs += 1;
+    }
+
+    /// Runs one closure per shard (in parallel) and returns the results in
+    /// shard order — measurement, tracing and snapshot plumbing.
+    pub fn map_shards<O: Send + 'static>(
+        &mut self,
+        mut make: impl FnMut(usize) -> Box<dyn FnOnce(&mut ClusterShard) -> O + Send>,
+    ) -> Vec<O> {
+        let jobs = (0..self.set.shards()).map(&mut make).collect();
+        self.set.run(jobs)
+    }
+
+    /// Takes the deterministic digest of the whole rack (layout-invariant:
+    /// identical for any shard count / thread count at the same simulated
+    /// time).
+    pub fn snapshot(&mut self) -> ClusterSnapshot {
+        let mut nodes: Vec<NodeSnapshot> = self
+            .map_shards(|_| {
+                Box::new(|s: &mut ClusterShard| {
+                    s.nodes
+                        .iter()
+                        .map(|nr| snapshot_node(&s.kernel, nr))
+                        .collect::<Vec<NodeSnapshot>>()
+                })
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        nodes.sort_by_key(|n| n.rack_id);
+        let mut in_flight: Vec<_> = self
+            .pending
+            .iter()
+            .map(|e| {
+                (
+                    e.src,
+                    e.dst,
+                    e.seq,
+                    e.send_time.as_nanos(),
+                    e.recv_time.as_nanos(),
+                    e.payload.kind(),
+                )
+            })
+            .collect();
+        in_flight.sort_unstable();
+        ClusterSnapshot {
+            at: self.now,
+            nodes,
+            in_flight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simos::SimTime;
+    use spe::{
+        deploy, install_relay_source, CostModel, EngineConfig, LogicalGraph, Partitioning,
+        Placement, Role, Tuple,
+    };
+
+    /// A one-op sink query fed only from the fabric.
+    fn remote_fed_graph(name: &str) -> LogicalGraph {
+        let mut b = LogicalGraph::builder(name);
+        let ing = b.op("in", Role::Ingress, CostModel::micros(20), 1, || {
+            Box::new(spe::PassThrough)
+        });
+        let sink = b.op("out", Role::Egress, CostModel::micros(10), 1, || {
+            Box::new(spe::Consume)
+        });
+        b.edge(ing, sink, Partitioning::Forward);
+        b.build().expect("valid remote-fed graph")
+    }
+
+    /// Two rack nodes: node 0 runs a relay source, node 1 the query. The
+    /// same builder body works for 1 or 2 shards.
+    fn build_rack(topo: &NetTopology, shards: usize) -> Cluster {
+        let assignments: Vec<Vec<RackNodeId>> = match shards {
+            1 => vec![vec![0, 1]],
+            2 => vec![vec![0], vec![1]],
+            _ => panic!("test rack supports 1 or 2 shards"),
+        };
+        let builders = assignments
+            .into_iter()
+            .map(|racks| {
+                let topo = topo.clone();
+                Box::new(move || {
+                    let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+                    for rack_id in racks {
+                        let node = shard.kernel.add_node(&format!("rack{rack_id}"), 2);
+                        let store = Rc::new(RefCell::new(TimeSeriesStore::new(
+                            SimDuration::from_secs(1),
+                        )));
+                        shard.add_rack_node(rack_id, node, Rc::clone(&store));
+                        if rack_id == 1 {
+                            let q = deploy(
+                                &mut shard.kernel,
+                                remote_fed_graph("sinkq"),
+                                EngineConfig::liebre(),
+                                &Placement::single(node),
+                                None,
+                            )
+                            .expect("deploy remote-fed query");
+                            shard.set_queries(1, vec![q]);
+                        } else {
+                            let outbox = shard.outbox();
+                            install_relay_source(
+                                &mut shard.kernel,
+                                "feeder",
+                                1000.0,
+                                Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+                                Box::new(move |k, t| {
+                                    outbox.send(
+                                        0,
+                                        1,
+                                        k.now(),
+                                        ClusterMsg::Tuple { query: 0, op: 0, tuple: t },
+                                    );
+                                }),
+                                SimDuration::from_millis(1),
+                            );
+                        }
+                    }
+                    shard
+                }) as Box<dyn FnOnce() -> ClusterShard + Send>
+            })
+            .collect();
+        Cluster::new(topo.clone(), 1, builders)
+    }
+
+    #[test]
+    fn tuples_cross_the_fabric_and_are_processed() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let mut cluster = build_rack(&topo, 2);
+        cluster.run_for(SimDuration::from_secs(2));
+        let snap = cluster.snapshot();
+        let q = &snap.nodes[1].queries[0];
+        assert!(q.ingress > 1_500, "fabric-fed ingress: {}", q.ingress);
+        assert!(q.egress > 1_000, "processed through to the sink: {}", q.egress);
+    }
+
+    #[test]
+    fn snapshots_are_identical_across_shard_layouts() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let mut merged = build_rack(&topo, 1);
+        let mut split = build_rack(&topo, 2);
+        merged.run_for(SimDuration::from_secs(2));
+        split.run_for(SimDuration::from_secs(2));
+        let a = merged.snapshot();
+        let b = split.snapshot();
+        assert_eq!(a, b, "sharding must not change simulation results");
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn deliveries_land_exactly_at_modeled_latency() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let mut cluster = build_rack(&topo, 2);
+        cluster.run_for(SimDuration::from_millis(50));
+        let journal = cluster.journal();
+        assert!(!journal.is_empty(), "tuples delivered");
+        for rec in journal {
+            assert_eq!(rec.delivered_at, rec.recv_time, "fires at recv_time");
+            assert_eq!(
+                rec.recv_time,
+                rec.send_time + topo.latency(rec.src, rec.dst),
+                "latency honored"
+            );
+            assert!(rec.recv_time >= rec.injected_at, "never into the past");
+        }
+    }
+
+    #[test]
+    fn metric_relay_ships_completed_buckets() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let shard_builder = {
+            let topo = topo.clone();
+            Box::new(move || {
+                let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+                let n0 = shard.kernel.add_node("rack0", 1);
+                let n1 = shard.kernel.add_node("rack1", 1);
+                let store0 = Rc::new(RefCell::new(TimeSeriesStore::new(
+                    SimDuration::from_secs(1),
+                )));
+                let store1 = Rc::new(RefCell::new(TimeSeriesStore::new(
+                    SimDuration::from_secs(1),
+                )));
+                shard.add_rack_node(0, n0, Rc::clone(&store0));
+                shard.add_rack_node(1, n1, Rc::clone(&store1));
+                // Node 1 writes a metric each second; a relay ships it to
+                // node 0 (the "controller").
+                let w = Rc::clone(&store1);
+                shard.kernel.schedule_periodic(
+                    SimDuration::from_secs(1),
+                    SimDuration::from_secs(1),
+                    move |k| {
+                        let now = k.now();
+                        w.borrow_mut().record("liebre.q.0.queue_size", now, 7.0);
+                    },
+                );
+                let outbox = shard.outbox();
+                install_metric_relay(
+                    &mut shard.kernel,
+                    outbox,
+                    1,
+                    0,
+                    store1,
+                    SimDuration::from_secs(1),
+                );
+                shard
+            }) as Box<dyn FnOnce() -> ClusterShard + Send>
+        };
+        let mut cluster = Cluster::new(topo, 1, vec![shard_builder]);
+        cluster.run_for(SimDuration::from_secs(5));
+        let shipped = cluster.map_shards(|_| {
+            Box::new(|s: &mut ClusterShard| {
+                s.node(0)
+                    .store()
+                    .borrow()
+                    .latest("liebre.q.0.queue_size")
+                    .map(|(t, v)| (t.as_nanos(), v))
+            })
+        });
+        let (bucket_ns, v) = shipped[0].expect("metric arrived at the controller");
+        assert_eq!(v, 7.0);
+        assert!(bucket_ns >= 1_000_000_000, "a completed bucket");
+        assert!(
+            cluster.journal().iter().any(|r| r.kind == MsgKind::Metric),
+            "journaled as metric deliveries"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by no shard")]
+    fn unclaimed_rack_nodes_are_rejected() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let t = topo.clone();
+        let builder = Box::new(move || {
+            let mut shard = ClusterShard::new(Kernel::default(), t.clone());
+            let n0 = shard.kernel.add_node("rack0", 1);
+            shard.add_rack_node(
+                0,
+                n0,
+                Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1)))),
+            );
+            shard
+        }) as Box<dyn FnOnce() -> ClusterShard + Send>;
+        let _ = Cluster::new(topo, 1, vec![builder]);
+    }
+
+    #[test]
+    fn snapshot_captures_in_flight_envelopes() {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(5));
+        let mut cluster = build_rack(&topo, 2);
+        // One epoch: sends from epoch 0 are in flight, not yet delivered.
+        cluster.run_until(SimTime::ZERO + SimDuration::from_millis(5));
+        let snap = cluster.snapshot();
+        assert!(!snap.in_flight.is_empty(), "epoch-0 sends are in flight");
+        assert_eq!(snap.nodes[1].queries[0].ingress, 0, "nothing delivered yet");
+    }
+}

@@ -1,0 +1,445 @@
+//! **figd1** — rack-scale Lachesis: one controller node schedules SYN
+//! pipelines on 8–16 heterogeneous worker nodes across a modeled network.
+//!
+//! This generalizes the single-server multi-SPE experiment (§6.6) to the
+//! paper's actual deployment shape: queries run on *other machines* than
+//! the middleware, metrics arrive over the network through a push-based
+//! Graphite relay, and `nice` commands travel back the other way. The
+//! rack runs on the sharded lockstep simulation ([`crate::cluster`]), so
+//! results are byte-identical for any shard/thread layout — sharding is a
+//! pure wall-clock optimization (measured by the `cluster_bench` binary).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    LachesisBuilder, MirrorDriver, MirrorQuery, QueueSizePolicy, RemoteNiceTranslator, Scope,
+};
+use lachesis_metrics::TimeSeriesStore;
+use simos::{machines, Kernel, NetTopology, RackNodeId, SimDuration};
+use spe::{
+    deploy, install_relay_source, EngineConfig, LogHistogram, LogicalGraph, Placement, SpeKind,
+    Tuple,
+};
+
+use crate::cluster::{install_metric_relay, Cluster, ClusterMsg, ClusterShard};
+use crate::harness::Measured;
+use crate::report::{Figure, Series, SweepPoint};
+use crate::trace::validate_cluster;
+use crate::ExpOptions;
+
+/// Everything needed to build the rack deterministically on any shard
+/// thread. Plain data, `Clone + Send`.
+#[derive(Debug, Clone)]
+pub struct RackSpec {
+    /// Rack nodes including the controller (rack node 0).
+    pub nodes: usize,
+    /// Kernel shards; rack node `i` runs on shard `i % shards`.
+    pub shards: usize,
+    /// Worker threads driving the shards (`<= 1` = inline).
+    pub shard_threads: usize,
+    /// Uniform link latency (also the epoch length).
+    pub latency: SimDuration,
+    /// SYN pipelines per worker node; pipeline 0 is fed from the
+    /// controller through the fabric (the paper's remote Kafka producers).
+    pub pipelines: usize,
+    /// Ingress rate per pipeline, tuples/s.
+    pub rate_tps: f64,
+    /// Whether the controller runs Lachesis (vs. plain OS scheduling).
+    pub with_lachesis: bool,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RackSpec {
+    /// The figd1 rack for the given options (8 nodes quick, 16 full).
+    pub fn figd1(opts: &ExpOptions, with_lachesis: bool) -> RackSpec {
+        let nodes = if opts.quick { 8 } else { 16 };
+        RackSpec {
+            nodes,
+            shards: nodes,
+            shard_threads: opts.shard_threads,
+            latency: SimDuration::from_millis(1),
+            pipelines: if opts.quick { 2 } else { 3 },
+            rate_tps: 250.0,
+            with_lachesis,
+            seed: 1,
+        }
+    }
+
+    /// The uniform topology of this rack.
+    pub fn topology(&self) -> NetTopology {
+        NetTopology::uniform(self.nodes, self.latency)
+    }
+
+    /// Per-node CPU speed multiplier in percent: the rack is heterogeneous
+    /// (100 / 125 / 160 / 80 cycling), modeled by scaling operator costs —
+    /// a slower node spends more microseconds per tuple.
+    pub fn speed_pct(&self, rack_id: RackNodeId) -> u64 {
+        [100, 125, 160, 80][rack_id % 4]
+    }
+
+    /// The logical graphs deployed on worker node `rack_id`, in deployment
+    /// order (= the fabric's query address space). Pipeline 0 has its
+    /// sources stripped: it is fed by a controller-side relay source.
+    pub fn node_graphs(&self, rack_id: RackNodeId) -> Vec<LogicalGraph> {
+        assert!(rack_id >= 1, "the controller hosts no pipelines");
+        let pct = self.speed_pct(rack_id);
+        let base = queries::SynConfig::default();
+        let cfg = queries::SynConfig {
+            queries: 1,
+            cost_range_us: (
+                base.cost_range_us.0 * pct / 100,
+                base.cost_range_us.1 * pct / 100,
+            ),
+            seed: self.seed,
+            ..base
+        };
+        (0..self.pipelines)
+            .map(|j| {
+                let mut g =
+                    queries::syn_single(rack_id * 100 + j, self.rate_tps, cfg);
+                g.name = format!("n{rack_id}q{j}");
+                if j == 0 {
+                    // Remote-fed: the relay source on the controller
+                    // produces these tuples across the fabric.
+                    g.sources.clear();
+                }
+                g
+            })
+            .collect()
+    }
+}
+
+/// Builds one shard of the rack: deploys the worker nodes it hosts, wires
+/// metric relays, and — on the shard hosting rack node 0 — the relay
+/// sources and (optionally) the Lachesis controller.
+fn build_shard(spec: &RackSpec, racks: Vec<RackNodeId>) -> ClusterShard {
+    let topo = spec.topology();
+    let mut shard = ClusterShard::new(Kernel::new(machines::server_config()), topo);
+    for rack_id in racks {
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        if rack_id == 0 {
+            build_controller(spec, &mut shard, store);
+        } else {
+            build_worker(spec, &mut shard, rack_id, store);
+        }
+    }
+    shard
+}
+
+fn build_worker(
+    spec: &RackSpec,
+    shard: &mut ClusterShard,
+    rack_id: RackNodeId,
+    store: Rc<RefCell<TimeSeriesStore>>,
+) {
+    let node = shard.kernel.add_node(&format!("rack{rack_id}"), 2);
+    shard.add_rack_node(rack_id, node, Rc::clone(&store));
+    let graphs = spec.node_graphs(rack_id);
+    let mirrors: Vec<MirrorQuery> = graphs.iter().map(|g| MirrorQuery::new(g, false)).collect();
+    let queries = graphs
+        .into_iter()
+        .map(|g| {
+            let mut config = EngineConfig::liebre();
+            config.seed = spec.seed;
+            deploy(
+                &mut shard.kernel,
+                g,
+                config,
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .expect("deploy rack pipeline")
+        })
+        .collect();
+    shard.set_queries(rack_id, queries);
+    // The worker's command address space must agree with the mirrors the
+    // controller schedules against (both derive from the same graphs).
+    shard.node(rack_id).applier().borrow().check_against(&mirrors);
+    let outbox = shard.outbox();
+    install_metric_relay(
+        &mut shard.kernel,
+        outbox,
+        rack_id,
+        0,
+        store,
+        SimDuration::from_secs(1),
+    );
+}
+
+fn build_controller(
+    spec: &RackSpec,
+    shard: &mut ClusterShard,
+    store: Rc<RefCell<TimeSeriesStore>>,
+) {
+    let node = shard.kernel.add_node("rack0", 4);
+    shard.add_rack_node(0, node, Rc::clone(&store));
+    // Relay sources: one per worker node, feeding its remote-fed pipeline
+    // (query 0, ingress op 0) across the fabric.
+    for dst in 1..spec.nodes {
+        let outbox = shard.outbox();
+        let mut k = 0u64;
+        install_relay_source(
+            &mut shard.kernel,
+            &format!("feed_n{dst}"),
+            spec.rate_tps,
+            Box::new(move |seq, now| {
+                k += 1;
+                Tuple::new(now, seq.wrapping_mul(31).wrapping_add(k), vec![])
+            }),
+            Box::new(move |kernel, tuple| {
+                outbox.send(
+                    0,
+                    dst,
+                    kernel.now(),
+                    ClusterMsg::Tuple { query: 0, op: 0, tuple },
+                );
+            }),
+            SimDuration::from_millis(1),
+        );
+    }
+    if !spec.with_lachesis {
+        return;
+    }
+    // One Lachesis instance scheduling every worker node: a MirrorDriver
+    // per node (topology from the shared deployment config, metrics from
+    // the relayed store) and a RemoteNiceTranslator emitting commands into
+    // the fabric outbox.
+    let cmd_outbox = Rc::new(RefCell::new(Vec::new()));
+    let mut builder = LachesisBuilder::new();
+    for dst in 1..spec.nodes {
+        let mirrors: Vec<MirrorQuery> = spec
+            .node_graphs(dst)
+            .iter()
+            .map(|g| MirrorQuery::new(g, false))
+            .collect();
+        builder = builder
+            .driver(MirrorDriver::new(
+                &format!("liebre@n{dst}"),
+                SpeKind::Liebre,
+                mirrors,
+                Rc::clone(&store),
+            ))
+            .policy(
+                dst - 1,
+                Scope::AllQueries,
+                QueueSizePolicy::default(),
+                RemoteNiceTranslator::new(dst, Rc::clone(&cmd_outbox)),
+            );
+    }
+    builder.build().start(&mut shard.kernel);
+    shard.set_cmd_outbox(0, cmd_outbox);
+}
+
+/// Builds the whole rack as a [`Cluster`].
+pub fn build_rack(spec: &RackSpec) -> Cluster {
+    assert!(spec.nodes >= 2, "a rack needs a controller and a worker");
+    assert!(spec.shards >= 1);
+    let mut assignment: Vec<Vec<RackNodeId>> = vec![Vec::new(); spec.shards.min(spec.nodes)];
+    for rack_id in 0..spec.nodes {
+        let shard = rack_id % assignment.len();
+        assignment[shard].push(rack_id);
+    }
+    let builders = assignment
+        .into_iter()
+        .map(|racks| {
+            let spec = spec.clone();
+            Box::new(move || build_shard(&spec, racks)) as Box<dyn FnOnce() -> ClusterShard + Send>
+        })
+        .collect();
+    Cluster::new(spec.topology(), spec.shard_threads, builders)
+}
+
+/// Per-worker-node measurement over one rack run.
+#[derive(Debug, Clone)]
+pub struct NodeMeasure {
+    /// Rack node id.
+    pub rack_id: RackNodeId,
+    /// Aggregated metrics over the node's pipelines.
+    pub m: Measured,
+    /// Scheduling commands applied by the node.
+    pub cmds_applied: u64,
+}
+
+/// Runs the rack through warm-up + measurement and returns per-node
+/// results (ascending rack id) plus the final snapshot digest.
+pub fn run_rack(spec: &RackSpec, warmup: SimDuration, measure: SimDuration) -> (Vec<NodeMeasure>, u64) {
+    let mut cluster = build_rack(spec);
+    cluster.run_for(warmup);
+    cluster.map_shards(|_| {
+        Box::new(|s: &mut ClusterShard| {
+            for nr in s.rack_nodes() {
+                for q in nr.queries() {
+                    q.reset_stats();
+                }
+            }
+        })
+    });
+    cluster.run_for(measure);
+
+    let secs = measure.as_secs_f64();
+    let offered = spec.rate_tps * spec.pipelines as f64;
+    let mut per_node: Vec<NodeMeasure> = cluster
+        .map_shards(|_| {
+            Box::new(move |s: &mut ClusterShard| {
+                s.rack_nodes()
+                    .iter()
+                    .filter(|nr| nr.rack_id() != 0)
+                    .map(|nr| {
+                        let mut latency = LogHistogram::new();
+                        let mut e2e = LogHistogram::new();
+                        let mut ingress = 0u64;
+                        let mut egress = 0u64;
+                        for q in nr.queries() {
+                            latency.merge(&q.latency_histogram());
+                            e2e.merge(&q.e2e_histogram());
+                            ingress += q.ingress_total();
+                            egress += q.egress_total();
+                        }
+                        let p = |h: &LogHistogram, q: f64| h.quantile(q).unwrap_or(0.0);
+                        NodeMeasure {
+                            rack_id: nr.rack_id(),
+                            m: Measured {
+                                offered_tps: offered,
+                                throughput_tps: ingress as f64 / secs,
+                                latency_mean_s: latency.mean().unwrap_or(0.0),
+                                latency_p: (
+                                    p(&latency, 0.5),
+                                    p(&latency, 0.99),
+                                    p(&latency, 0.999),
+                                ),
+                                e2e_mean_s: e2e.mean().unwrap_or(0.0),
+                                e2e_p: (p(&e2e, 0.5), p(&e2e, 0.99), p(&e2e, 0.999)),
+                                goal: 0.0,
+                                queue_samples: vec![],
+                                utilization: 0.0,
+                                ctx_switches_per_s: 0.0,
+                                egress_tps: egress as f64 / secs,
+                            },
+                            cmds_applied: nr.applier().borrow().applied(),
+                        }
+                    })
+                    .collect::<Vec<NodeMeasure>>()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    per_node.sort_by_key(|n| n.rack_id);
+
+    let stats = validate_cluster(cluster.journal(), cluster.topology())
+        .expect("fabric journal replays cleanly");
+    assert!(stats.tuples > 0, "fabric carried data tuples");
+
+    let digest = cluster.snapshot().digest();
+    (per_node, digest)
+}
+
+/// figd1: per-node throughput and end-to-end latency on the rack, OS vs
+/// LACHESIS (one middleware instance scheduling all worker nodes).
+pub fn figd1(opts: &ExpOptions) -> Vec<Figure> {
+    let (warmup, measure) = if opts.quick {
+        (SimDuration::from_secs(2), SimDuration::from_secs(6))
+    } else {
+        (SimDuration::from_secs(3), SimDuration::from_secs(10))
+    };
+    let mut fig = Figure::new(
+        "figd1",
+        "Rack-scale scheduling: SYN pipelines on heterogeneous nodes, one Lachesis for the rack",
+        "rack node",
+    );
+    let mut series = Vec::new();
+    for with_lachesis in [false, true] {
+        let spec = RackSpec::figd1(opts, with_lachesis);
+        let (nodes, digest) = run_rack(&spec, warmup, measure);
+        let label = if with_lachesis { "LACHESIS" } else { "OS" };
+        let cmds: u64 = nodes.iter().map(|n| n.cmds_applied).sum();
+        // The note must not mention `shard_threads`: the artifact is
+        // byte-identical for any thread count, and CI compares the bytes.
+        fig.notes.push(format!(
+            "{label}: rack={} shards={} lookahead={:?} snapshot_digest={digest:016x} cmds_applied={cmds}",
+            spec.nodes, spec.shards, spec.latency,
+        ));
+        series.push(Series {
+            label: label.into(),
+            points: nodes
+                .into_iter()
+                .map(|n| SweepPoint {
+                    x: n.rack_id as f64,
+                    m: n.m,
+                })
+                .collect(),
+        });
+    }
+    fig.series = series;
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(with_lachesis: bool) -> RackSpec {
+        RackSpec {
+            nodes: 3,
+            shards: 3,
+            shard_threads: 1,
+            latency: SimDuration::from_millis(1),
+            pipelines: 2,
+            rate_tps: 150.0,
+            with_lachesis,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn rack_pipelines_process_remote_and_local_feeds() {
+        let spec = tiny_spec(false);
+        let (nodes, _) = run_rack(
+            &spec,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+        );
+        assert_eq!(nodes.len(), 2, "two worker nodes measured");
+        for n in &nodes {
+            // Both the locally-sourced and the fabric-fed pipeline flow:
+            // ~150 t/s x 2 pipelines.
+            assert!(
+                n.m.throughput_tps > 200.0,
+                "node {} ingests both feeds: {}",
+                n.rack_id,
+                n.m.throughput_tps
+            );
+            assert!(n.m.egress_tps > 0.0, "tuples reach the sinks");
+        }
+    }
+
+    #[test]
+    fn lachesis_commands_cross_the_fabric_and_apply() {
+        let spec = tiny_spec(true);
+        let (nodes, _) = run_rack(
+            &spec,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+        );
+        let cmds: u64 = nodes.iter().map(|n| n.cmds_applied).sum();
+        assert!(cmds > 0, "remote nice commands were applied");
+    }
+
+    #[test]
+    fn rack_results_are_identical_for_any_layout() {
+        let warmup = SimDuration::from_secs(1);
+        let measure = SimDuration::from_secs(2);
+        let base = tiny_spec(true);
+        let (_, d1) = run_rack(&RackSpec { shards: 1, ..base.clone() }, warmup, measure);
+        let (_, d3) = run_rack(&RackSpec { shards: 3, ..base.clone() }, warmup, measure);
+        let (_, d3t) = run_rack(
+            &RackSpec { shards: 3, shard_threads: 3, ..base },
+            warmup,
+            measure,
+        );
+        assert_eq!(d1, d3, "one merged kernel == three shards");
+        assert_eq!(d3, d3t, "threading the shards changes nothing");
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod harness;
 pub mod json;
 pub mod pool;
@@ -22,6 +23,7 @@ pub mod experiments {
     pub mod churn;
     pub mod multi_query;
     pub mod multi_spe;
+    pub mod rack;
     pub mod scale_out;
     pub mod single_query;
     pub mod table1;
@@ -41,6 +43,9 @@ pub struct ExpOptions {
     /// Worker threads for independent trials (`--jobs`); results are
     /// byte-identical for any value.
     pub jobs: usize,
+    /// Worker threads driving cluster shards (`--shard-threads`); results
+    /// are byte-identical for any value (`<= 1` runs shards inline).
+    pub shard_threads: usize,
 }
 
 impl Default for ExpOptions {
@@ -50,6 +55,7 @@ impl Default for ExpOptions {
             out_dir: PathBuf::from("results"),
             reps: 3,
             jobs: pool::default_jobs(),
+            shard_threads: pool::default_jobs(),
         }
     }
 }

@@ -1,17 +1,216 @@
-//! A minimal scoped thread pool for running independent trials in parallel.
+//! Persistent worker pool for parallel trials and pinned shard workers.
 //!
-//! Each trial constructs its entire `Kernel`/`Rc` object graph *inside* the
-//! worker closure, so nothing non-`Send` ever crosses a thread boundary —
-//! only the (plain-data) inputs and outputs do. Results are returned in
-//! input order regardless of completion order or worker count, which keeps
-//! every downstream artifact (figures, JSON files) byte-identical between
-//! `--jobs 1` and `--jobs N`.
+//! Two pieces live here:
+//!
+//! * [`parallel_map`] — the experiment runner's fork/join primitive. Each
+//!   trial constructs its entire `Kernel`/`Rc` object graph *inside* the
+//!   worker closure, so nothing non-`Send` ever crosses a thread boundary —
+//!   only the (plain-data) inputs and outputs do. Results are returned in
+//!   input order regardless of completion order or worker count, which keeps
+//!   every downstream artifact (figures, JSON files) byte-identical between
+//!   `--jobs 1` and `--jobs N`. Since PR 8 the helpers run on a persistent
+//!   process-wide pool instead of freshly spawned scoped threads: the cluster
+//!   layer reaches an epoch barrier every few simulated milliseconds, and at
+//!   thousands of joins per trial the per-call `thread::spawn` cost would
+//!   dominate the parallel win.
+//!
+//! * [`ShardSet`] — pinned persistent workers for the sharded cluster
+//!   simulation. A `Kernel` is `!Send` (its object graph is `Rc`/`RefCell`
+//!   all the way down), so a shard must live its whole life on one OS
+//!   thread. `ShardSet` builds each shard *on* its worker thread from a
+//!   `Send` factory closure and then ships `Send` job closures to it each
+//!   epoch; only plain-data inputs and outputs cross threads, exactly like
+//!   `parallel_map`.
+//!
+//! # Deadlock freedom of the persistent pool
+//!
+//! The caller of `parallel_map` always participates in draining its own
+//! claim queue, so a map completes even if the pool never gets around to
+//! running a single one of its helper tasks. Helper tasks never block on
+//! other tasks: a nested `parallel_map` issued from inside a pool worker
+//! runs inline (sequentially) on that worker, so every task submitted to the
+//! pool terminates on its own. The FIFO task queue therefore always drains.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// The default worker count: the host's available cores.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------------------
+// The persistent process-wide helper pool.
+// ---------------------------------------------------------------------------
+
+/// A queued unit of work: a type-erased pointer to a `parallel_map` call's
+/// shared state plus the monomorphized entry function that knows its real
+/// type. Lifetime safety is the *caller's* obligation: `parallel_map` does
+/// not return until every task it submitted has finished running, so the
+/// pointed-to state outlives every use of the pointer.
+struct Task {
+    ptr: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is a `Shared<I, T, F>` with `I: Send`, `T: Send`,
+// `F: Sync` (enforced by `helper_entry`'s bounds at submission time), and is
+// only accessed through `&Shared` from `helper_entry`.
+unsafe impl Send for Task {}
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    /// Workers currently parked waiting for work.
+    idle: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            idle: 0,
+        }),
+        work_ready: Condvar::new(),
+    })
+}
+
+thread_local! {
+    /// Set while a pool worker is running a task. A nested `parallel_map` on
+    /// a worker runs inline rather than submitting (and then waiting on)
+    /// tasks the pool may never get to — see the module docs.
+    static ON_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Enqueues `tasks` and makes sure enough workers exist to pick them up.
+/// Workers are spawned lazily and persist for the life of the process.
+fn submit(tasks: Vec<Task>) {
+    let p = pool();
+    let spawn_count;
+    {
+        let mut st = p.state.lock().expect("pool state");
+        let backlog = st.queue.len() + tasks.len();
+        st.queue.extend(tasks);
+        spawn_count = backlog.saturating_sub(st.idle);
+        // Wake every parked worker that has something to do.
+        p.work_ready.notify_all();
+    }
+    for _ in 0..spawn_count {
+        std::thread::Builder::new()
+            .name("bench-pool".into())
+            .spawn(worker_main)
+            .expect("spawn pool worker");
+    }
+}
+
+fn worker_main() {
+    let p = pool();
+    ON_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        let task = {
+            let mut st = p.state.lock().expect("pool state");
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    break t;
+                }
+                st.idle += 1;
+                st = p.work_ready.wait(st).expect("pool state");
+                st.idle -= 1;
+            }
+        };
+        // SAFETY: see `Task` — the submitting `parallel_map` call keeps the
+        // pointee alive until this task reports completion.
+        unsafe { (task.run)(task.ptr) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_map over the pool.
+// ---------------------------------------------------------------------------
+
+struct MapCtl<I> {
+    /// Unclaimed inputs, in input order (claim order does not matter for
+    /// determinism: outputs land in slots indexed by input position).
+    queue: VecDeque<(usize, I)>,
+    /// Inputs not yet finished (still queued or currently running).
+    unfinished: usize,
+    /// Helper tasks submitted to the pool that have not yet exited.
+    helpers: usize,
+    /// First panic payload observed in any worker, if any.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared<I, T, F> {
+    ctl: Mutex<MapCtl<I>>,
+    done: Condvar,
+    slots: Vec<Mutex<Option<T>>>,
+    f: F,
+}
+
+/// Claims and runs inputs until the queue is empty (or a panic aborted the
+/// map). Runs on the caller *and* on every helper.
+fn drain_map<I, T, F>(shared: &Shared<I, T, F>)
+where
+    F: Fn(I) -> T,
+{
+    loop {
+        let claimed = {
+            let mut ctl = shared.ctl.lock().expect("map ctl");
+            if ctl.panic.is_some() {
+                None
+            } else {
+                ctl.queue.pop_front()
+            }
+        };
+        let Some((idx, input)) = claimed else { return };
+        let result = catch_unwind(AssertUnwindSafe(|| (shared.f)(input)));
+        let mut ctl = shared.ctl.lock().expect("map ctl");
+        match result {
+            Ok(out) => *shared.slots[idx].lock().expect("result slot") = Some(out),
+            Err(payload) => {
+                if ctl.panic.is_none() {
+                    ctl.panic = Some(payload);
+                }
+                // Abandon unclaimed inputs so the map can complete.
+                ctl.unfinished -= ctl.queue.len();
+                ctl.queue.clear();
+            }
+        }
+        ctl.unfinished -= 1;
+        if ctl.unfinished == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The type-erased pool entry for one helper of one `parallel_map` call.
+///
+/// # Safety
+///
+/// `ptr` must point to a live `Shared<I, T, F>`; the submitting call keeps
+/// it alive until `helpers` drops to zero, which this function signals last.
+unsafe fn helper_entry<I, T, F>(ptr: *const ())
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let shared = &*(ptr as *const Shared<I, T, F>);
+    drain_map(shared);
+    let mut ctl = shared.ctl.lock().expect("map ctl");
+    ctl.helpers -= 1;
+    if ctl.helpers == 0 {
+        shared.done.notify_all();
+    }
 }
 
 /// Applies `f` to every input on up to `jobs` OS threads and returns the
@@ -19,10 +218,13 @@ pub fn default_jobs() -> usize {
 ///
 /// With `jobs <= 1` (or a single input) everything runs inline on the
 /// calling thread — the exact sequential path, with no pool overhead.
+/// Helpers come from a persistent process-wide pool; the calling thread
+/// always participates, so a map never waits on pool capacity to make
+/// progress. Nested calls from inside a pool worker run inline.
 ///
 /// # Panics
 ///
-/// Propagates the first worker panic after all threads have joined.
+/// Propagates the first worker panic after the whole map has settled.
 pub fn parallel_map<I, T, F>(jobs: usize, inputs: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -30,25 +232,47 @@ where
     F: Fn(I) -> T + Sync,
 {
     let workers = jobs.max(1).min(inputs.len().max(1));
-    if workers <= 1 {
+    if workers <= 1 || ON_POOL_WORKER.with(|fl| fl.get()) {
         return inputs.into_iter().map(f).collect();
     }
-    let slots: Vec<Mutex<Option<T>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
-    let queue = Mutex::new(inputs.into_iter().enumerate());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                // Claim the next unstarted input; drop the lock before
-                // running it so workers claim strictly one at a time.
-                let Some((idx, input)) = queue.lock().expect("claim queue").next() else {
-                    return;
-                };
-                let out = f(input);
-                *slots[idx].lock().expect("result slot") = Some(out);
-            });
+    let n = inputs.len();
+    let helpers = workers - 1;
+    let shared = Shared {
+        ctl: Mutex::new(MapCtl {
+            queue: inputs.into_iter().enumerate().collect(),
+            unfinished: n,
+            helpers,
+            panic: None,
+        }),
+        done: Condvar::new(),
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        f,
+    };
+    let ptr = &shared as *const Shared<I, T, F> as *const ();
+    submit(
+        (0..helpers)
+            .map(|_| Task {
+                ptr,
+                run: helper_entry::<I, T, F>,
+            })
+            .collect(),
+    );
+    drain_map(&shared);
+    // Wait until every input has finished *and* every helper has exited:
+    // helpers hold a raw pointer to `shared`, so both conditions gate the
+    // borrow's end.
+    {
+        let mut ctl = shared.ctl.lock().expect("map ctl");
+        while ctl.unfinished > 0 || ctl.helpers > 0 {
+            ctl = shared.done.wait(ctl).expect("map ctl");
         }
-    });
-    slots
+    }
+    let ctl = shared.ctl.into_inner().expect("map ctl");
+    if let Some(payload) = ctl.panic {
+        resume_unwind(payload);
+    }
+    shared
+        .slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
@@ -56,6 +280,257 @@ where
                 .expect("worker finished every claimed trial")
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// ShardSet: pinned persistent workers owning !Send shard state.
+// ---------------------------------------------------------------------------
+
+/// A boxed job shipped to the worker owning shard `T`. The closure itself is
+/// `Send` (it captures only plain data); `T` appears only as a parameter, so
+/// `T: !Send` is fine.
+type ShardJob<T> = Box<dyn FnOnce(&mut T) -> Box<dyn Any + Send> + Send>;
+/// A closure that constructs one shard's state on its pinned worker.
+type ShardBuilder<T> = Box<dyn FnOnce() -> T + Send>;
+/// One [`ShardSet::run`] job: runs against one shard's state, returns `O`.
+pub type ShardSetJob<T, O> = Box<dyn FnOnce(&mut T) -> O + Send>;
+
+enum ShardMsg<T> {
+    /// `(global shard index, job)` pairs for this worker, in shard order.
+    Step(Vec<(usize, ShardJob<T>)>),
+    Shutdown,
+}
+
+enum ShardReply {
+    /// `(global shard index, job output)` in the order the jobs ran.
+    Done(Vec<(usize, Box<dyn Any + Send>)>),
+    /// A job (or a builder) panicked; the payload is re-raised on the caller.
+    Panicked(Box<dyn Any + Send>),
+}
+
+struct ShardWorker<T> {
+    tx: mpsc::Sender<ShardMsg<T>>,
+    rx: mpsc::Receiver<ShardReply>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+enum ShardMode<T> {
+    /// `threads <= 1`: shards live on the calling thread and jobs run
+    /// sequentially in shard order — the exact single-threaded semantics.
+    Inline(Vec<T>),
+    /// Shard `i` lives on worker `i % threads` for the set's whole life.
+    Threaded(Vec<ShardWorker<T>>),
+}
+
+/// A fixed set of `!Send` shard states pinned to persistent worker threads.
+///
+/// Shards are built *on* their worker from `Send` factory closures and never
+/// move; each [`ShardSet::run`] call ships one `Send` job per shard and
+/// returns the outputs in shard order, so results are identical for any
+/// thread count (including the inline `threads <= 1` mode).
+pub struct ShardSet<T> {
+    mode: ShardMode<T>,
+    shards: usize,
+    threads: usize,
+}
+
+impl<T> std::fmt::Debug for ShardSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<T: 'static> ShardSet<T> {
+    /// Builds `builders.len()` shards distributed over `threads` pinned
+    /// workers (`threads <= 1` keeps everything on the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a builder panic on the caller.
+    pub fn new(threads: usize, builders: Vec<Box<dyn FnOnce() -> T + Send>>) -> ShardSet<T> {
+        let shards = builders.len();
+        let threads = threads.max(1).min(shards.max(1));
+        if threads <= 1 {
+            return ShardSet {
+                mode: ShardMode::Inline(builders.into_iter().map(|b| b()).collect()),
+                shards,
+                threads: 1,
+            };
+        }
+        let mut per_worker: Vec<Vec<(usize, ShardBuilder<T>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (idx, b) in builders.into_iter().enumerate() {
+            per_worker[idx % threads].push((idx, b));
+        }
+        let workers: Vec<ShardWorker<T>> = per_worker
+            .into_iter()
+            .enumerate()
+            .map(|(w, builders)| {
+                let (tx, job_rx) = mpsc::channel::<ShardMsg<T>>();
+                let (reply_tx, rx) = mpsc::channel::<ShardReply>();
+                let join = std::thread::Builder::new()
+                    .name(format!("shard-worker-{w}"))
+                    .spawn(move || shard_worker_main(builders, job_rx, reply_tx))
+                    .expect("spawn shard worker");
+                ShardWorker {
+                    tx,
+                    rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        // Builders run on first Step; confirm they succeed up front by
+        // running an empty step (which forces construction).
+        let mut set = ShardSet {
+            mode: ShardMode::Threaded(workers),
+            shards,
+            threads,
+        };
+        let _: Vec<()> = set.run((0..shards).map(|_| noop_job::<T>()).collect());
+        set
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of worker threads actually in use (1 = inline mode).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one job per shard (jobs\[i\] on shard i) and returns the outputs
+    /// in shard order. Jobs on distinct workers run in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len() != self.shards()`; re-raises job panics.
+    pub fn run<O: Send + 'static>(&mut self, jobs: Vec<ShardSetJob<T, O>>) -> Vec<O> {
+        assert_eq!(jobs.len(), self.shards, "one job per shard");
+        match &mut self.mode {
+            ShardMode::Inline(states) => states
+                .iter_mut()
+                .zip(jobs)
+                .map(|(state, job)| job(state))
+                .collect(),
+            ShardMode::Threaded(workers) => {
+                let threads = workers.len();
+                let mut per_worker: Vec<Vec<(usize, ShardJob<T>)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (idx, job) in jobs.into_iter().enumerate() {
+                    let erased: ShardJob<T> =
+                        Box::new(move |state| Box::new(job(state)) as Box<dyn Any + Send>);
+                    per_worker[idx % threads].push((idx, erased));
+                }
+                for (worker, batch) in workers.iter().zip(per_worker) {
+                    worker
+                        .tx
+                        .send(ShardMsg::Step(batch))
+                        .expect("shard worker alive");
+                }
+                let mut outs: Vec<Option<O>> = (0..self.shards).map(|_| None).collect();
+                let mut panic: Option<Box<dyn Any + Send>> = None;
+                for worker in workers.iter() {
+                    match worker.rx.recv().expect("shard worker reply") {
+                        ShardReply::Done(results) => {
+                            for (idx, boxed) in results {
+                                outs[idx] = Some(
+                                    *boxed.downcast::<O>().expect("shard job output type"),
+                                );
+                            }
+                        }
+                        ShardReply::Panicked(payload) => {
+                            if panic.is_none() {
+                                panic = Some(payload);
+                            }
+                        }
+                    }
+                }
+                if let Some(payload) = panic {
+                    resume_unwind(payload);
+                }
+                outs.into_iter()
+                    .map(|o| o.expect("every shard produced an output"))
+                    .collect()
+            }
+        }
+    }
+
+    /// The inline shard states, if this set runs in inline mode.
+    pub fn inline_states(&mut self) -> Option<&mut [T]> {
+        match &mut self.mode {
+            ShardMode::Inline(states) => Some(states),
+            ShardMode::Threaded(_) => None,
+        }
+    }
+}
+
+fn noop_job<T: 'static>() -> Box<dyn FnOnce(&mut T) + Send> {
+    Box::new(|_| ())
+}
+
+impl<T> Drop for ShardSet<T> {
+    fn drop(&mut self) {
+        if let ShardMode::Threaded(workers) = &mut self.mode {
+            for worker in workers.iter() {
+                let _ = worker.tx.send(ShardMsg::Shutdown);
+            }
+            for worker in workers.iter_mut() {
+                if let Some(join) = worker.join.take() {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+}
+
+fn shard_worker_main<T>(
+    builders: Vec<(usize, Box<dyn FnOnce() -> T + Send>)>,
+    rx: mpsc::Receiver<ShardMsg<T>>,
+    tx: mpsc::Sender<ShardReply>,
+) {
+    // Shards are built lazily on the first step so a builder panic is
+    // reported through the normal reply path.
+    let mut builders = Some(builders);
+    let mut shards: Vec<(usize, T)> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(ShardMsg::Step(jobs)) => {
+                let reply = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(pending) = builders.take() {
+                        shards = pending.into_iter().map(|(i, b)| (i, b())).collect();
+                    }
+                    let states = &mut shards;
+                    let mut results = Vec::with_capacity(jobs.len());
+                    for (idx, job) in jobs {
+                        let (_, state) = states
+                            .iter_mut()
+                            .find(|(i, _)| *i == idx)
+                            .expect("job routed to owning worker");
+                        results.push((idx, job(state)));
+                    }
+                    results
+                }));
+                match reply {
+                    Ok(results) => {
+                        if tx.send(ShardReply::Done(results)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(payload) => {
+                        if tx.send(ShardReply::Panicked(payload)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Ok(ShardMsg::Shutdown) | Err(_) => return,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +560,93 @@ mod tests {
     fn more_jobs_than_inputs() {
         let out = parallel_map(64, vec![5], |x: u32| x * 2);
         assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn repeated_maps_reuse_the_pool() {
+        // Thousands of joins — the epoch-barrier pattern. This is a smoke
+        // test that the persistent pool neither deadlocks nor leaks workers.
+        for round in 0..2_000u64 {
+            let out = parallel_map(4, vec![round, round + 1], |x| x + 1);
+            assert_eq!(out, vec![round + 1, round + 2]);
+        }
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let out = parallel_map(4, (0..8u64).collect(), |x| {
+            parallel_map(4, (0..4u64).collect(), |y| y * x)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out, (0..8u64).map(|x| 6 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(4, (0..16u64).collect(), |x| {
+                if x == 7 {
+                    panic!("trial 7 failed");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let out = parallel_map(4, vec![1u64, 2], |x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn shard_set_inline_matches_threaded() {
+        use std::rc::Rc;
+        // Shard state is deliberately !Send (Rc) to mirror Kernel.
+        let build = |i: usize| -> Box<dyn FnOnce() -> Rc<std::cell::RefCell<u64>> + Send> {
+            Box::new(move || Rc::new(std::cell::RefCell::new(i as u64 * 100)))
+        };
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let mut set = ShardSet::new(threads, (0..8).map(build).collect());
+            let mut trace: Vec<Vec<u64>> = Vec::new();
+            for step in 0..5u64 {
+                let outs = set.run(
+                    (0..8)
+                        .map(|_| {
+                            Box::new(move |state: &mut Rc<std::cell::RefCell<u64>>| {
+                                *state.borrow_mut() += step;
+                                *state.borrow()
+                            })
+                                as Box<dyn FnOnce(&mut _) -> u64 + Send>
+                        })
+                        .collect(),
+                );
+                trace.push(outs);
+            }
+            results.push(trace);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn shard_set_panic_propagates() {
+        let mut set: ShardSet<u64> =
+            ShardSet::new(4, (0..4).map(|i| -> Box<dyn FnOnce() -> u64 + Send> {
+                Box::new(move || i as u64)
+            }).collect());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            set.run(
+                (0..4)
+                    .map(|i| {
+                        Box::new(move |_: &mut u64| {
+                            if i == 2 {
+                                panic!("shard job failed");
+                            }
+                        }) as Box<dyn FnOnce(&mut u64) + Send>
+                    })
+                    .collect(),
+            )
+        }));
+        assert!(result.is_err());
     }
 }

@@ -13,9 +13,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::rc::Rc;
 
-use simos::{CallbackId, Kernel, NodeId, SimDuration, TraceEvent, TraceHandle, TraceRecord, TraceTrack};
+use simos::{
+    CallbackId, Kernel, NetTopology, NodeId, SimDuration, TraceEvent, TraceHandle, TraceRecord,
+    TraceTrack,
+};
 use spe::Counter;
 
+use crate::cluster::{DeliveryRecord, MsgKind};
 use crate::harness::{GoalKind, RunConfig};
 use crate::json::Json;
 use crate::schedulers::{run_traced_point, PointSpec, PolicyChoice, Sched, TraceOpts, TranslatorChoice};
@@ -802,6 +806,186 @@ pub fn traced_single_query(id: &str, opts: &ExpOptions, ring: Option<usize>) -> 
         },
     );
     dump
+}
+
+/// Splits one shard's dump into per-node dumps so [`export_chrome`] gives
+/// every rack node its own `pid` block in Perfetto (a cluster run renders
+/// as one process per simulated machine instead of one undifferentiated
+/// kernel). Events that belong to no node — middleware/supervisor lanes,
+/// cgroup shares changes — land in the first node's dump, which also
+/// keeps the drop counter so nothing is double-reported. Splitting is a
+/// pure partition: concatenating the outputs' records (in node order) is
+/// a permutation of the input's.
+pub fn split_by_node(dump: &TraceDump) -> Vec<TraceDump> {
+    if dump.nodes.len() <= 1 {
+        return vec![dump.clone()];
+    }
+    let thread_node: BTreeMap<u64, u64> = dump
+        .threads
+        .iter()
+        .map(|t| (t.tid, t.node))
+        .collect();
+    let first = dump.nodes[0].index;
+    let node_of = |event: &TraceEvent| -> u64 {
+        let by_tid = |tid: u64| thread_node.get(&tid).copied().unwrap_or(first);
+        let by_track = |track: &TraceTrack| match track {
+            TraceTrack::Thread(tid) => by_tid(tid.as_u64()),
+            TraceTrack::Node(node) => *node,
+            TraceTrack::Middleware | TraceTrack::Supervisor => first,
+        };
+        match event {
+            TraceEvent::Switch { node, .. }
+            | TraceEvent::Block { node, .. }
+            | TraceEvent::Preempt { node, .. }
+            | TraceEvent::SliceExpire { node, .. }
+            | TraceEvent::CpuOffline { node, .. }
+            | TraceEvent::CpuOnline { node, .. } => *node,
+            TraceEvent::Wake { tid } => by_tid(tid.as_u64()),
+            TraceEvent::NiceChange { tid, .. } => by_tid(tid.as_u64()),
+            TraceEvent::Migration { tid, .. } => by_tid(tid.as_u64()),
+            TraceEvent::SharesChange { .. } => first,
+            TraceEvent::SpanBegin { track, .. }
+            | TraceEvent::SpanEnd { track, .. }
+            | TraceEvent::Instant { track, .. }
+            | TraceEvent::Counter { track, .. } => by_track(track),
+        }
+    };
+    dump.nodes
+        .iter()
+        .map(|meta| TraceDump {
+            label: format!("{} / {}", dump.label, meta.name),
+            threads: dump
+                .threads
+                .iter()
+                .filter(|t| t.node == meta.index)
+                .cloned()
+                .collect(),
+            nodes: vec![meta.clone()],
+            records: dump
+                .records
+                .iter()
+                .filter(|r| node_of(&r.event) == meta.index)
+                .cloned()
+                .collect(),
+            dropped: if meta.index == first { dump.dropped } else { 0 },
+        })
+        .collect()
+}
+
+/// What a clean cluster journal contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Total deliveries replayed.
+    pub deliveries: u64,
+    /// Data tuples among them.
+    pub tuples: u64,
+    /// Metric samples among them.
+    pub metrics: u64,
+    /// Scheduling commands among them.
+    pub cmds: u64,
+    /// Distinct (src, dst) links that carried traffic.
+    pub links: usize,
+}
+
+/// Replays a cluster's delivery journal against the modeled topology and
+/// checks the fabric invariants that make sharding sound:
+///
+/// - every delivery arrived exactly one modeled link latency after it was
+///   sent (`recv == send + latency(src, dst)`);
+/// - no delivery was injected before its receive time (conservative
+///   lookahead: nothing ever schedules in a shard's past), and each was
+///   handed to the destination kernel at exactly its receive time;
+/// - per link, sequence numbers are the contiguous range `0..n` and both
+///   send and receive times are non-decreasing in sequence order (FIFO
+///   links, no loss, no duplication).
+///
+/// The journal's record order is layout-dependent (shards drain barriers
+/// concurrently), so records are re-sorted internally; the verdict is
+/// layout-invariant like every other cluster artifact.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_cluster(
+    journal: &[DeliveryRecord],
+    topo: &NetTopology,
+) -> Result<ClusterStats, String> {
+    let mut stats = ClusterStats::default();
+    let mut links: BTreeMap<(usize, usize), Vec<&DeliveryRecord>> = BTreeMap::new();
+    for rec in journal {
+        if rec.src >= topo.nodes() || rec.dst >= topo.nodes() {
+            return Err(format!(
+                "delivery {}→{} seq {} names a rack node outside the {}-node topology",
+                rec.src,
+                rec.dst,
+                rec.seq,
+                topo.nodes()
+            ));
+        }
+        let expect = rec.send_time + topo.latency(rec.src, rec.dst);
+        if rec.recv_time != expect {
+            return Err(format!(
+                "delivery {}→{} seq {}: recv {:?} != send {:?} + link latency {:?}",
+                rec.src,
+                rec.dst,
+                rec.seq,
+                rec.recv_time,
+                rec.send_time,
+                topo.latency(rec.src, rec.dst)
+            ));
+        }
+        if rec.injected_at > rec.recv_time {
+            return Err(format!(
+                "delivery {}→{} seq {} injected at {:?}, after its receive time {:?} — \
+                 the lookahead bound was violated",
+                rec.src, rec.dst, rec.seq, rec.injected_at, rec.recv_time
+            ));
+        }
+        if rec.delivered_at != rec.recv_time {
+            return Err(format!(
+                "delivery {}→{} seq {} handed to the kernel at {:?}, not at its receive \
+                 time {:?}",
+                rec.src, rec.dst, rec.seq, rec.delivered_at, rec.recv_time
+            ));
+        }
+        stats.deliveries += 1;
+        match rec.kind {
+            MsgKind::Tuple => stats.tuples += 1,
+            MsgKind::Metric => stats.metrics += 1,
+            MsgKind::Cmd => stats.cmds += 1,
+        }
+        links.entry((rec.src, rec.dst)).or_default().push(rec);
+    }
+    stats.links = links.len();
+    for ((src, dst), mut recs) in links {
+        recs.sort_by_key(|r| r.seq);
+        for (i, rec) in recs.iter().enumerate() {
+            if rec.seq != i as u64 {
+                return Err(format!(
+                    "link {src}→{dst}: delivered seqs are not the contiguous range 0..{} \
+                     (hole before seq {})",
+                    recs.len(),
+                    rec.seq
+                ));
+            }
+        }
+        for pair in recs.windows(2) {
+            if pair[1].send_time < pair[0].send_time {
+                return Err(format!(
+                    "link {src}→{dst}: seq {} was sent at {:?}, before seq {} at {:?}",
+                    pair[1].seq, pair[1].send_time, pair[0].seq, pair[0].send_time
+                ));
+            }
+            if pair[1].recv_time < pair[0].recv_time {
+                return Err(format!(
+                    "link {src}→{dst}: seq {} arrived at {:?}, before seq {} at {:?} — \
+                     the link reordered",
+                    pair[1].seq, pair[1].recv_time, pair[0].seq, pair[0].recv_time
+                ));
+            }
+        }
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]

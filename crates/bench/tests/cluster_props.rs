@@ -1,0 +1,255 @@
+//! Property-based tests of the sharded cluster fabric: for random rack
+//! sizes, random per-link latencies and random source rates, the final
+//! cluster state is **identical** no matter how rack nodes are packed
+//! into shards or how many threads drive them — sharding is observable
+//! only as wall-clock time. Also pins the fabric's network-modeling
+//! invariants: every delivery arrives exactly one link latency after it
+//! was sent, and a destination queue accepts exactly one modeled delay
+//! (mixing two latencies into one queue is a bug, not a race).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bench::cluster::{Cluster, ClusterMsg, ClusterShard, DeliveryRecord, MsgKind, install_metric_relay};
+use bench::trace::validate_cluster;
+use lachesis_metrics::TimeSeriesStore;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simos::{Kernel, NetTopology, RackNodeId, SimDuration, SimTime};
+use spe::{
+    deploy, install_relay_source, CostModel, EngineConfig, LogicalGraph, Partitioning, Placement,
+    Role, Tuple,
+};
+
+/// A two-op sink query fed only from the fabric.
+fn remote_fed_graph(name: &str) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let ing = b.op("in", Role::Ingress, CostModel::micros(25), 1, || {
+        Box::new(spe::PassThrough)
+    });
+    let sink = b.op("out", Role::Egress, CostModel::micros(10), 1, || {
+        Box::new(spe::Consume)
+    });
+    b.edge(ing, sink, Partitioning::Forward);
+    b.build().expect("valid remote-fed graph")
+}
+
+/// Builds a rack on `topo`: node 0 hosts one relay source per worker node
+/// (rates `rates[i-1]`), every worker node hosts one fabric-fed query and
+/// relays its metrics back to node 0. `assignment[s]` lists the rack
+/// nodes of shard `s`.
+fn build(
+    topo: &NetTopology,
+    assignment: Vec<Vec<RackNodeId>>,
+    threads: usize,
+    rates: Vec<u64>,
+) -> Cluster {
+    let builders = assignment
+        .into_iter()
+        .map(|racks| {
+            let topo = topo.clone();
+            let rates = rates.clone();
+            Box::new(move || {
+                let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+                for rack_id in racks {
+                    let node = shard.kernel.add_node(&format!("rack{rack_id}"), 2);
+                    let store =
+                        Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+                    shard.add_rack_node(rack_id, node, Rc::clone(&store));
+                    if rack_id == 0 {
+                        for (w, &rate) in rates.iter().enumerate() {
+                            let dst = w + 1;
+                            let outbox = shard.outbox();
+                            install_relay_source(
+                                &mut shard.kernel,
+                                &format!("feed{dst}"),
+                                rate as f64,
+                                Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+                                Box::new(move |k, t| {
+                                    outbox.send(
+                                        0,
+                                        dst,
+                                        k.now(),
+                                        ClusterMsg::Tuple { query: 0, op: 0, tuple: t },
+                                    );
+                                }),
+                                SimDuration::from_millis(1),
+                            );
+                        }
+                    } else {
+                        let q = deploy(
+                            &mut shard.kernel,
+                            remote_fed_graph(&format!("sink{rack_id}")),
+                            EngineConfig::liebre(),
+                            &Placement::single(node),
+                            Some(Rc::clone(&store)),
+                        )
+                        .expect("deploy remote-fed query");
+                        shard.set_queries(rack_id, vec![q]);
+                        let outbox = shard.outbox();
+                        install_metric_relay(
+                            &mut shard.kernel,
+                            outbox,
+                            rack_id,
+                            0,
+                            store,
+                            SimDuration::from_millis(500),
+                        );
+                    }
+                }
+                shard
+            }) as Box<dyn FnOnce() -> ClusterShard + Send>
+        })
+        .collect();
+    Cluster::new(topo.clone(), threads, builders)
+}
+
+/// Rack nodes dealt round-robin over `shards` shards.
+fn deal(nodes: usize, shards: usize) -> Vec<Vec<RackNodeId>> {
+    let mut assignment = vec![Vec::new(); shards.min(nodes)];
+    for rack_id in 0..nodes {
+        let s = rack_id % assignment.len();
+        assignment[s].push(rack_id);
+    }
+    assignment
+}
+
+/// A journal in a layout-independent order (per-epoch drain order depends
+/// on how shards are packed).
+fn canonical(journal: &[DeliveryRecord]) -> Vec<DeliveryRecord> {
+    let mut j = journal.to_vec();
+    j.sort_by_key(|r| (r.src, r.dst, r.seq));
+    j
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random topology (2-4 rack nodes, every link its own latency),
+    /// random rates: the snapshot, its digest, and the canonicalized
+    /// delivery journal are identical across shard counts {1, 2, nodes}
+    /// x shard threads {1, 4}, and the journal replays cleanly against
+    /// the modeled network in every layout.
+    #[test]
+    fn any_layout_yields_the_same_cluster(
+        nodes in 2usize..=4,
+        all_lat_us in vec(300u64..2_500, 16),
+        all_rates in vec(200u64..900, 3),
+    ) {
+        // The strategies are sized for the largest rack; smaller racks
+        // use a prefix.
+        let rates = all_rates[..nodes - 1].to_vec();
+        let topo = NetTopology::from_matrix(
+            nodes,
+            all_lat_us[..nodes * nodes]
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect(),
+        );
+        let run = |shards: usize, threads: usize| {
+            let mut cluster = build(&topo, deal(nodes, shards), threads, rates.clone());
+            cluster.run_until(SimTime::ZERO + SimDuration::from_millis(500));
+            let journal = canonical(cluster.journal());
+            let stats = validate_cluster(cluster.journal(), cluster.topology())
+                .expect("journal replays against the topology");
+            assert!(stats.tuples > 0, "the fabric carried tuples");
+            let snap = cluster.snapshot();
+            let digest = snap.digest();
+            (snap, digest, journal)
+        };
+        let (snap0, digest0, journal0) = run(1, 1);
+        for (shards, threads) in [(2, 1), (2, 4), (nodes, 1), (nodes, 4)] {
+            let (snap, digest, journal) = run(shards, threads);
+            prop_assert_eq!(&snap, &snap0, "snapshot drifted at {} shards x {} threads", shards, threads);
+            prop_assert_eq!(digest, digest0);
+            prop_assert_eq!(&journal, &journal0);
+        }
+    }
+}
+
+/// Two sources whose links have different modeled latencies must not feed
+/// the same destination queue: the queue's one-delay invariant fires
+/// instead of silently interleaving two delay models.
+#[test]
+#[should_panic(expected = "mixed net delays")]
+fn mixed_link_latencies_into_one_queue_are_rejected() {
+    // latency(0->2) = 1 ms, latency(1->2) = 2 ms, everything else 1 ms.
+    let mut lat = vec![SimDuration::from_millis(1); 9];
+    lat[3 + 2] = SimDuration::from_millis(2); // link 1 -> 2
+    let topo = NetTopology::from_matrix(3, lat);
+    let builders = vec![Box::new({
+        let topo = topo.clone();
+        move || {
+            let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+            for rack_id in 0..3 {
+                let node = shard.kernel.add_node(&format!("rack{rack_id}"), 2);
+                let store =
+                    Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+                shard.add_rack_node(rack_id, node, store);
+                if rack_id == 2 {
+                    let q = deploy(
+                        &mut shard.kernel,
+                        remote_fed_graph("sink"),
+                        EngineConfig::liebre(),
+                        &Placement::single(node),
+                        None,
+                    )
+                    .expect("deploy");
+                    shard.set_queries(2, vec![q]);
+                } else {
+                    let outbox = shard.outbox();
+                    install_relay_source(
+                        &mut shard.kernel,
+                        &format!("feed_from_{rack_id}"),
+                        500.0,
+                        Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+                        Box::new(move |k, t| {
+                            outbox.send(
+                                rack_id,
+                                2,
+                                k.now(),
+                                ClusterMsg::Tuple { query: 0, op: 0, tuple: t },
+                            );
+                        }),
+                        SimDuration::from_millis(1),
+                    );
+                }
+            }
+            shard
+        }
+    }) as Box<dyn FnOnce() -> ClusterShard + Send>];
+    let mut cluster = Cluster::new(topo, 1, builders);
+    cluster.run_for(SimDuration::from_millis(50));
+}
+
+/// `validate_cluster` rejects journals that break the network model.
+#[test]
+fn corrupt_journals_are_rejected() {
+    let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+    let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    let good = DeliveryRecord {
+        src: 0,
+        dst: 1,
+        seq: 0,
+        send_time: t(5),
+        recv_time: t(6),
+        injected_at: t(6),
+        delivered_at: t(6),
+        kind: MsgKind::Tuple,
+    };
+    let stats = validate_cluster(&[good], &topo).expect("a clean journal passes");
+    assert_eq!(stats.deliveries, 1);
+    assert_eq!(stats.tuples, 1);
+
+    let wrong_latency = DeliveryRecord { recv_time: t(7), delivered_at: t(7), ..good };
+    let err = validate_cluster(&[wrong_latency], &topo).unwrap_err();
+    assert!(err.contains("link latency"), "{err}");
+
+    let late_injection = DeliveryRecord { injected_at: t(8), ..good };
+    let err = validate_cluster(&[late_injection], &topo).unwrap_err();
+    assert!(err.contains("lookahead"), "{err}");
+
+    let seq_hole = DeliveryRecord { seq: 1, ..good };
+    let err = validate_cluster(&[seq_hole], &topo).unwrap_err();
+    assert!(err.contains("contiguous"), "{err}");
+}

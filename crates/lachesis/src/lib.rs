@@ -38,6 +38,7 @@ mod normalize;
 mod policies;
 mod policies_ext;
 mod policy;
+mod remote;
 mod schedule;
 mod snapshot;
 mod supervisor;
@@ -58,6 +59,9 @@ pub use policies::{
 };
 pub use policies_ext::{ChainPolicy, RateBasedPolicy};
 pub use policy::{Policy, PolicyView};
+pub use remote::{
+    CmdApplier, CmdOutbox, MirrorDriver, MirrorQuery, RemoteCmd, RemoteNiceTranslator, RemoteSend,
+};
 pub use schedule::{GroupingSchedule, Schedule, SinglePrioritySchedule};
 pub use snapshot::SnapshotError;
 pub use supervisor::{

@@ -1,0 +1,482 @@
+//! Multi-node entity addressing over the modeled network (rack-scale
+//! deployments).
+//!
+//! The paper runs one Lachesis instance per server; the rack experiment
+//! (figd1) goes further: a single controller instance on rack node 0
+//! schedules operators on *every* node. Three pieces make that work, all of
+//! them built strictly on SPE-public information (G2):
+//!
+//! * [`MirrorDriver`] — the controller-side driver for one remote node. It
+//!   derives the topology from the same deterministic [`LogicalGraph`]s the
+//!   remote node deployed (deployment is config-driven, so the controller
+//!   can rebuild the physical plan bit-for-bit without talking to the
+//!   node), and reads metrics from the controller's store, which a metric
+//!   relay fills with the remote node's samples after the modeled network
+//!   latency — the exact staleness a Graphite-backed deployment sees.
+//! * [`RemoteNiceTranslator`] — translates schedules with the same
+//!   normalization as the local nice translator, but emits [`RemoteCmd`]
+//!   messages into an outbox instead of touching a kernel: the commands
+//!   cross the modeled network and take effect one link latency later.
+//! * [`CmdApplier`] — the remote node's side: maps an arriving command's
+//!   `(query, op)` address back to the locally bound kernel thread and
+//!   applies the nice value.
+//!
+//! Query indices are the address space: the controller's `MirrorDriver` and
+//! the remote node's `CmdApplier` must list the same queries in the same
+//! order (both are built from the same deployment config, so this is a
+//! deterministic contract, asserted by name at applier construction).
+//!
+//! [`LogicalGraph`]: spe::LogicalGraph
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis_metrics::{EntityValues, MetricName, MetricSource, TimeSeriesStore};
+use simos::{Kernel, Nice, SimTime, ThreadId};
+use spe::{metric_path, LogicalGraph, LogicalOpId, PhysOpId, PhysicalGraph, RunningQuery, SpeKind};
+
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::normalize::{to_nice_in_range, PriorityKind};
+use crate::schedule::Schedule;
+use crate::translate::{TranslateError, Translator};
+
+/// A scheduling command addressed to an operator on a remote rack node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteCmd {
+    /// Query index in the destination node's deployment order.
+    pub query: usize,
+    /// Physical operator within the query.
+    pub op: PhysOpId,
+    /// The nice value to apply to the operator's thread.
+    pub nice: Nice,
+}
+
+/// One outgoing command: destination rack node, send time, payload.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteSend {
+    /// Destination rack node index.
+    pub dst: usize,
+    /// Simulated time the controller issued the command.
+    pub at: SimTime,
+    /// The command itself.
+    pub cmd: RemoteCmd,
+}
+
+/// Shared outbox the cluster fabric drains at each epoch barrier.
+pub type CmdOutbox = Rc<RefCell<Vec<RemoteSend>>>;
+
+/// The controller-side mirror of one remote node's deployment: query names
+/// plus physical plans rebuilt from the deployment config.
+#[derive(Debug)]
+pub struct MirrorQuery {
+    name: String,
+    phys: PhysicalGraph,
+}
+
+impl MirrorQuery {
+    /// Mirrors a query from its logical graph, applying the same chaining
+    /// flag the remote deployment used (the physical plan is a pure
+    /// function of both).
+    pub fn new(graph: &LogicalGraph, chaining: bool) -> MirrorQuery {
+        MirrorQuery {
+            name: graph.name.clone(),
+            phys: PhysicalGraph::build(graph, chaining),
+        }
+    }
+
+    /// The query's name (metric-path namespace).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Physical operator count.
+    pub fn op_count(&self) -> usize {
+        self.phys.ops.len()
+    }
+}
+
+/// A driver for queries running on a **remote** rack node.
+///
+/// Topology answers come from the mirrored physical plans; metric answers
+/// come from the controller-local store (filled by the metric relay).
+/// [`SpeDriver::thread_of`] is always `None` — the threads live in another
+/// kernel — so this driver must be paired with a translator that addresses
+/// operators by `(query, op)` instead, i.e. [`RemoteNiceTranslator`].
+/// [`SpeDriver::queries`] is empty for the same reason; bind policies with
+/// [`Scope::AllQueries`](crate::Scope::AllQueries) or
+/// [`Scope::Query`](crate::Scope::Query), not `Scope::Node`.
+pub struct MirrorDriver {
+    label: String,
+    kind: SpeKind,
+    queries: Vec<MirrorQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+}
+
+impl std::fmt::Debug for MirrorDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MirrorDriver")
+            .field("label", &self.label)
+            .field("kind", &self.kind)
+            .field("queries", &self.queries.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MirrorDriver {
+    /// Creates the driver. `label` names the remote node in logs and
+    /// supervisor messages (e.g. `"liebre@node3"`); `queries` must list the
+    /// remote node's queries in deployment order.
+    pub fn new(
+        label: &str,
+        kind: SpeKind,
+        queries: Vec<MirrorQuery>,
+        store: Rc<RefCell<TimeSeriesStore>>,
+    ) -> MirrorDriver {
+        MirrorDriver {
+            label: label.to_owned(),
+            kind,
+            queries,
+            store,
+        }
+    }
+
+    /// The mirrored queries, in address order.
+    pub fn mirrored(&self) -> &[MirrorQuery] {
+        &self.queries
+    }
+}
+
+impl MetricSource<OpRef> for MirrorDriver {
+    fn source_name(&self) -> &str {
+        &self.label
+    }
+
+    fn provides(&self, metric: MetricName) -> bool {
+        self.kind.exposed_metrics().contains(&metric)
+    }
+
+    fn fetch(&self, metric: MetricName) -> EntityValues<OpRef> {
+        let store = self.store.borrow();
+        let mut out = EntityValues::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                let path = metric_path(self.kind, q.name(), op, metric);
+                if let Some((t, v)) = store.latest(&path) {
+                    out.insert_at(OpRef::new(qi, op), v, t);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SpeDriver for MirrorDriver {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> SpeKind {
+        self.kind
+    }
+
+    fn queries(&self) -> Vec<RunningQuery> {
+        // No local handles exist for remote queries; `Scope::Node` (the
+        // only caller) is not meaningful across the network.
+        Vec::new()
+    }
+
+    fn entities(&self) -> Vec<OpRef> {
+        let mut out = Vec::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                out.push(OpRef::new(qi, op));
+            }
+        }
+        out
+    }
+
+    fn thread_of(&self, _op: OpRef) -> Option<ThreadId> {
+        None
+    }
+
+    fn downstream(&self, op: OpRef) -> Vec<OpRef> {
+        let Some(q) = self.queries.get(op.query) else {
+            return Vec::new();
+        };
+        let mut out: Vec<OpRef> = q.phys.ops[op.op]
+            .out_edges
+            .iter()
+            .flat_map(|e| e.targets.iter().map(|&t| OpRef::new(op.query, t)))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn physical_of(&self, query: usize, logical: LogicalOpId) -> Vec<OpRef> {
+        let Some(q) = self.queries.get(query) else {
+            return Vec::new();
+        };
+        q.phys
+            .physical_of(logical)
+            .iter()
+            .map(|&p| OpRef::new(query, p))
+            .collect()
+    }
+
+    fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId> {
+        self.queries
+            .get(op.query)
+            .map(|q| q.phys.ops[op.op].chain.clone())
+            .unwrap_or_default()
+    }
+
+    fn is_egress(&self, op: OpRef) -> bool {
+        self.queries
+            .get(op.query)
+            .is_some_and(|q| q.phys.ops[op.op].egress.is_some())
+    }
+}
+
+/// Applies single-priority schedules to a remote node by emitting nice
+/// commands onto the modeled network.
+///
+/// Normalization is identical to the local
+/// [`NiceTranslator`](crate::NiceTranslator) (same default `[-5, 5]`
+/// range), so a rack node managed remotely converges to the same nice
+/// assignment it would get from a node-local Lachesis instance — just one
+/// link latency later.
+#[derive(Debug)]
+pub struct RemoteNiceTranslator {
+    dst: usize,
+    lo: i32,
+    hi: i32,
+    outbox: CmdOutbox,
+}
+
+impl RemoteNiceTranslator {
+    /// Creates a translator addressing rack node `dst`, emitting into the
+    /// cluster's shared `outbox`.
+    pub fn new(dst: usize, outbox: CmdOutbox) -> RemoteNiceTranslator {
+        RemoteNiceTranslator {
+            dst,
+            lo: -5,
+            hi: 5,
+            outbox,
+        }
+    }
+
+    /// Overrides the target nice range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `-20 <= lo < hi <= 19`.
+    pub fn with_range(mut self, lo: i32, hi: i32) -> Self {
+        assert!((-20..=19).contains(&lo) && (-20..=19).contains(&hi) && lo < hi);
+        self.lo = lo;
+        self.hi = hi;
+        self
+    }
+}
+
+impl Translator for RemoteNiceTranslator {
+    fn name(&self) -> &str {
+        "remote-nice"
+    }
+
+    fn apply(
+        &mut self,
+        kernel: &mut Kernel,
+        _driver: &dyn SpeDriver,
+        schedule: &Schedule,
+        kind: PriorityKind,
+    ) -> Result<(), TranslateError> {
+        let Schedule::Single(s) = schedule else {
+            return Err(TranslateError::WrongFormat {
+                translator: "remote-nice",
+                expected: "single-priority",
+            });
+        };
+        if s.is_empty() {
+            return Ok(());
+        }
+        let values = s.values();
+        let nices = to_nice_in_range(&values, kind, self.lo, self.hi);
+        let now = kernel.now();
+        let mut outbox = self.outbox.borrow_mut();
+        for ((op, _), nice) in s.iter().zip(nices) {
+            outbox.push(RemoteSend {
+                dst: self.dst,
+                at: now,
+                cmd: RemoteCmd {
+                    query: op.query,
+                    op: op.op,
+                    nice,
+                },
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The receiving side: resolves arriving [`RemoteCmd`]s against the node's
+/// locally deployed queries and applies them to the bound kernel threads.
+#[derive(Debug)]
+pub struct CmdApplier {
+    queries: Vec<RunningQuery>,
+    applied: u64,
+    skipped: u64,
+}
+
+impl CmdApplier {
+    /// Creates an applier over the node's queries **in deployment order** —
+    /// the same order the controller's [`MirrorDriver`] lists them.
+    pub fn new(queries: Vec<RunningQuery>) -> CmdApplier {
+        CmdApplier {
+            queries,
+            applied: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Asserts the address space matches a mirror's (names, positions and
+    /// operator counts) — catches deployment-order drift at startup rather
+    /// than as silently misdirected commands.
+    pub fn check_against(&self, mirrored: &[MirrorQuery]) {
+        assert_eq!(self.queries.len(), mirrored.len(), "query count mismatch");
+        for (local, mirror) in self.queries.iter().zip(mirrored) {
+            assert_eq!(local.name(), mirror.name(), "query order mismatch");
+            assert_eq!(
+                local.op_count(),
+                mirror.op_count(),
+                "physical plan mismatch for {}",
+                local.name()
+            );
+        }
+    }
+
+    /// Applies one arriving command. Commands for unknown addresses or
+    /// unbound threads (an operator mid-restart after a crash) are counted
+    /// in [`skipped`](CmdApplier::skipped) and dropped — the controller
+    /// resends a fresh schedule every period anyway.
+    pub fn apply(&mut self, kernel: &mut Kernel, cmd: RemoteCmd) {
+        let tid = self
+            .queries
+            .get(cmd.query)
+            .filter(|q| cmd.op < q.op_count())
+            .and_then(|q| q.cell(cmd.op).thread());
+        match tid {
+            Some(tid) if kernel.set_nice(tid, cmd.nice).is_ok() => self.applied += 1,
+            _ => self.skipped += 1,
+        }
+    }
+
+    /// Commands successfully applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Commands dropped (unknown address or unbound thread).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::SinglePrioritySchedule;
+    use simos::SimDuration;
+    use spe::{CostModel, EngineConfig, Partitioning, Placement, Role};
+
+    fn graph(name: &str) -> LogicalGraph {
+        let mut b = LogicalGraph::builder(name);
+        let src = b.op("src", Role::Ingress, CostModel::micros(50), 1, || {
+            Box::new(spe::PassThrough)
+        });
+        let sink = b.op("sink", Role::Egress, CostModel::micros(50), 1, || {
+            Box::new(spe::Consume)
+        });
+        b.edge(src, sink, Partitioning::Forward);
+        b.source("gen", src, 100.0, |seq, now| spe::Tuple::new(now, seq, vec![]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mirror_matches_local_topology() {
+        let g = graph("q0");
+        let mirror = MirrorQuery::new(&g, true);
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        let driver = MirrorDriver::new("liebre@node1", SpeKind::Liebre, vec![mirror], store);
+        let ents = driver.entities();
+        assert!(!ents.is_empty());
+        assert!(driver.thread_of(ents[0]).is_none());
+        assert!(driver.is_egress(*ents.last().unwrap()));
+    }
+
+    #[test]
+    fn mirror_reads_relayed_metrics() {
+        let g = graph("q0");
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        let t = SimTime::ZERO + SimDuration::from_secs(2);
+        store.borrow_mut().record(
+            &metric_path(SpeKind::Liebre, "q0", 0, lachesis_metrics::names::QUEUE_SIZE),
+            t,
+            17.0,
+        );
+        let driver =
+            MirrorDriver::new("liebre@node1", SpeKind::Liebre, vec![MirrorQuery::new(&g, true)], store);
+        let vals = driver.fetch(lachesis_metrics::names::QUEUE_SIZE);
+        assert_eq!(vals.get(&OpRef::new(0, 0)), Some(17.0));
+    }
+
+    #[test]
+    fn remote_translator_emits_commands() {
+        let outbox: CmdOutbox = Rc::new(RefCell::new(Vec::new()));
+        let mut tr = RemoteNiceTranslator::new(3, Rc::clone(&outbox));
+        let g = graph("q0");
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        let driver =
+            MirrorDriver::new("liebre@node3", SpeKind::Liebre, vec![MirrorQuery::new(&g, true)], store);
+        let mut s = SinglePrioritySchedule::new();
+        s.set(OpRef::new(0, 0), 10.0);
+        s.set(OpRef::new(0, 1), 1.0);
+        let mut kernel = Kernel::default();
+        tr.apply(&mut kernel, &driver, &Schedule::Single(s), PriorityKind::Linear)
+            .unwrap();
+        let sent = outbox.borrow();
+        assert_eq!(sent.len(), 2);
+        assert!(sent.iter().all(|s| s.dst == 3));
+        // Higher priority → lower (better) nice.
+        let by_op: std::collections::HashMap<_, _> =
+            sent.iter().map(|s| (s.cmd.op, s.cmd.nice.value())).collect();
+        assert!(by_op[&0] < by_op[&1]);
+    }
+
+    #[test]
+    fn applier_applies_and_skips() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 2);
+        let g = graph("q0");
+        let mirror = MirrorQuery::new(&g, EngineConfig::liebre().chaining);
+        let query = spe::deploy(
+            &mut kernel,
+            g,
+            EngineConfig::liebre(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        let mut applier = CmdApplier::new(vec![query.clone()]);
+        applier.check_against(std::slice::from_ref(&mirror));
+        let nice = Nice::new(-3).unwrap();
+        applier.apply(&mut kernel, RemoteCmd { query: 0, op: 0, nice });
+        assert_eq!(applier.applied(), 1);
+        let tid = query.cell(0).thread().unwrap();
+        assert_eq!(kernel.thread_info(tid).unwrap().nice, nice);
+        // Unknown address: counted, not fatal.
+        applier.apply(&mut kernel, RemoteCmd { query: 9, op: 0, nice });
+        assert_eq!(applier.skipped(), 1);
+    }
+}

@@ -117,6 +117,31 @@ impl TimeSeriesStore {
         self.series.len()
     }
 
+    /// All metric paths, sorted (deterministic iteration order for
+    /// exporters; the backing map is hash-ordered).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.series.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Every sample whose bucket starts strictly after `since`, sorted by
+    /// `(path, bucket)`. This is the store side of a push-based exporter:
+    /// a relay calls it once per export period with the previous period's
+    /// cutoff and forwards the delta (e.g. to a rack-wide store across the
+    /// modeled network).
+    pub fn export_since(&self, since: SimTime) -> Vec<(String, SimTime, f64)> {
+        let mut out = Vec::new();
+        for key in self.keys() {
+            let points = &self.series[key].points;
+            let idx = points.partition_point(|(t, _)| *t <= since);
+            for &(t, v) in &points[idx..] {
+                out.push((key.to_owned(), t, v));
+            }
+        }
+        out
+    }
+
     /// Drops samples older than `keep` before `now` (Graphite retention).
     pub fn prune(&mut self, now: SimTime, keep: SimDuration) {
         let cutoff = SimTime::from_nanos(now.as_nanos().saturating_sub(keep.as_nanos()));
@@ -182,6 +207,32 @@ mod tests {
         }
         store.prune(secs(10), SimDuration::from_secs(3));
         assert_eq!(store.range("a", secs(0), secs(10)).len(), 3);
+    }
+
+    #[test]
+    fn export_since_is_sorted_and_strict() {
+        let mut store = TimeSeriesStore::new(SimDuration::from_secs(1));
+        store.record("b", secs(1), 10.0);
+        store.record("a", secs(1), 1.0);
+        store.record("a", secs(2), 2.0);
+        store.record("b", secs(3), 30.0);
+        let all = store.export_since(SimTime::ZERO);
+        assert_eq!(
+            all,
+            vec![
+                ("a".to_owned(), secs(1), 1.0),
+                ("a".to_owned(), secs(2), 2.0),
+                ("b".to_owned(), secs(1), 10.0),
+                ("b".to_owned(), secs(3), 30.0),
+            ]
+        );
+        // Strictly-after cutoff: the secs(1) bucket itself is excluded.
+        let delta = store.export_since(secs(1));
+        assert_eq!(
+            delta,
+            vec![("a".to_owned(), secs(2), 2.0), ("b".to_owned(), secs(3), 30.0)]
+        );
+        assert_eq!(store.keys(), vec!["a", "b"]);
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod calendar;
 mod cgroup;
 mod ids;
 mod kernel;
+pub mod net;
 mod nice;
 mod runqueue;
 mod thread;
@@ -50,6 +51,7 @@ pub use calendar::{EventCalendar, EventId};
 pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
 pub use ids::{CallbackId, CgroupId, CpuId, DeferCallId, NodeId, ThreadId, WaitId};
 pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
+pub use net::{Envelope, EpochClock, LinkStamper, NetTopology, RackNodeId};
 pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
 pub use thread::{ThreadInfo, ThreadState};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,316 @@
+//! Modeled cluster network: link latencies, lookahead, and the deterministic
+//! envelope ordering used by the sharded (multi-kernel) simulation.
+//!
+//! A rack-scale simulation runs N rack nodes across S independent [`Kernel`]
+//! instances ("shards") that advance in **lockstep epochs**. The epoch
+//! length is the *conservative lookahead*: the minimum latency over all
+//! links. Any message sent during epoch `k` (times in `[kE, (k+1)E)`, plus
+//! the boundary instant processed by the epoch's final `run_until`) arrives
+//! at `send + latency ≥ (k+1)E` — i.e. strictly inside a later epoch — so
+//! shards never need to see each other's state mid-epoch and can run on
+//! parallel threads between barriers.
+//!
+//! At each barrier, outgoing [`Envelope`]s from all shards are merged and
+//! sorted by [`Envelope::order_key`] — `(recv_time, src node, per-link seq,
+//! dst node)` — before being injected into the destination shards. Because
+//! the key is built only from *rack-node*-level identifiers (never shard or
+//! thread ids), the injected event order is identical for every layout of
+//! rack nodes onto shards and every shard-thread count.
+//!
+//! [`Kernel`]: crate::Kernel
+
+use crate::time::{SimDuration, SimTime};
+
+/// A rack-node index (not a shard index: several rack nodes may be
+/// co-simulated by one kernel shard).
+pub type RackNodeId = usize;
+
+/// The modeled network: a full latency matrix over rack nodes.
+///
+/// Latencies are per directed link and must be positive; the minimum over
+/// all links bounds the epoch length (lookahead). The matrix is pure data —
+/// it carries no reference to any kernel, so it can be shared across shard
+/// threads.
+#[derive(Debug, Clone)]
+pub struct NetTopology {
+    nodes: usize,
+    /// Row-major `nodes × nodes`; `latency[src * nodes + dst]`.
+    latency: Vec<SimDuration>,
+}
+
+impl NetTopology {
+    /// A topology where every directed link has the same latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `latency` is zero.
+    pub fn uniform(nodes: usize, latency: SimDuration) -> NetTopology {
+        NetTopology::from_matrix(nodes, vec![latency; nodes * nodes])
+    }
+
+    /// A topology from a full row-major latency matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`, the matrix is not `nodes × nodes`, or any
+    /// link latency is zero (zero lookahead would forbid parallelism).
+    pub fn from_matrix(nodes: usize, latency: Vec<SimDuration>) -> NetTopology {
+        assert!(nodes > 0, "a cluster needs at least one rack node");
+        assert_eq!(latency.len(), nodes * nodes, "latency matrix shape");
+        assert!(
+            latency.iter().all(|l| !l.is_zero()),
+            "every link latency must be > 0 (lookahead would collapse)"
+        );
+        NetTopology { nodes, latency }
+    }
+
+    /// Number of rack nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Latency of the directed link `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn latency(&self, src: RackNodeId, dst: RackNodeId) -> SimDuration {
+        assert!(src < self.nodes && dst < self.nodes, "rack node in range");
+        self.latency[src * self.nodes + dst]
+    }
+
+    /// The conservative lookahead: the minimum latency over **all** directed
+    /// links, including self-links. Using the full matrix (rather than only
+    /// links that cross a shard boundary) keeps the epoch length — and hence
+    /// every artifact — independent of how rack nodes are laid out onto
+    /// shards.
+    pub fn lookahead(&self) -> SimDuration {
+        self.latency
+            .iter()
+            .copied()
+            .min()
+            .expect("non-empty matrix")
+    }
+}
+
+/// One message in flight on the modeled network.
+///
+/// `P` is the payload type; the cluster layer instantiates it with its own
+/// plain-data message enum (tuples, metric samples, scheduler commands).
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// Simulated time the source node handed the message to the network.
+    pub send_time: SimTime,
+    /// Arrival time: `send_time + latency(src, dst)`.
+    pub recv_time: SimTime,
+    /// Sending rack node.
+    pub src: RackNodeId,
+    /// Destination rack node.
+    pub dst: RackNodeId,
+    /// Per-`(src, dst)` link sequence number, monotone in send order.
+    pub seq: u64,
+    /// The message itself.
+    pub payload: P,
+}
+
+impl<P> Envelope<P> {
+    /// The deterministic delivery order: by arrival time, then source node,
+    /// then link sequence, then destination. Built exclusively from
+    /// rack-node-level data so it is identical for every shard layout.
+    pub fn order_key(&self) -> (SimTime, RackNodeId, u64, RackNodeId) {
+        (self.recv_time, self.src, self.seq, self.dst)
+    }
+}
+
+/// Stamps per-link sequence numbers and arrival times onto raw sends.
+///
+/// Each shard owns one `LinkStamper` per *source* rack node it simulates
+/// (sequence numbers are per `(src, dst)` pair, so per-source state never
+/// races across shards).
+#[derive(Debug)]
+pub struct LinkStamper {
+    src: RackNodeId,
+    /// Next sequence number per destination node.
+    next_seq: Vec<u64>,
+}
+
+impl LinkStamper {
+    /// A stamper for messages originating at `src` in a `nodes`-node rack.
+    pub fn new(src: RackNodeId, nodes: usize) -> LinkStamper {
+        assert!(src < nodes, "source rack node in range");
+        LinkStamper {
+            src,
+            next_seq: vec![0; nodes],
+        }
+    }
+
+    /// The source rack node this stamper serves.
+    pub fn src(&self) -> RackNodeId {
+        self.src
+    }
+
+    /// Wraps `payload` in an [`Envelope`] for `dst`, assigning the next
+    /// link sequence number and the modeled arrival time.
+    pub fn stamp<P>(
+        &mut self,
+        topo: &NetTopology,
+        dst: RackNodeId,
+        send_time: SimTime,
+        payload: P,
+    ) -> Envelope<P> {
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        Envelope {
+            send_time,
+            recv_time: send_time + topo.latency(self.src, dst),
+            src: self.src,
+            dst,
+            seq,
+            payload,
+        }
+    }
+}
+
+/// Lockstep epoch bookkeeping: epoch `k` covers `(k·E, (k+1)·E]` of
+/// simulated time — each epoch's work is one `run_until((k+1)·E)` call.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochClock {
+    len: SimDuration,
+    next: u64,
+}
+
+impl EpochClock {
+    /// A clock with epoch length `len` (normally the topology lookahead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: SimDuration) -> EpochClock {
+        assert!(!len.is_zero(), "epoch length must be > 0");
+        EpochClock { len, next: 0 }
+    }
+
+    /// Epoch length.
+    pub fn len(&self) -> SimDuration {
+        self.len
+    }
+
+    /// Index of the next epoch to run (starting at 0).
+    pub fn next_epoch(&self) -> u64 {
+        self.next
+    }
+
+    /// End time of the next epoch, i.e. the `run_until` deadline, then
+    /// advances the clock. Returns `(epoch index, deadline)`.
+    pub fn advance(&mut self) -> (u64, SimTime) {
+        let epoch = self.next;
+        self.next += 1;
+        (epoch, self.deadline_of(self.next))
+    }
+
+    /// The barrier time at the *start* of `epoch` (= end of `epoch - 1`).
+    pub fn deadline_of(&self, epoch: u64) -> SimTime {
+        SimTime::from_nanos(epoch * self.len.as_nanos())
+    }
+
+    /// The epoch an instant falls in (boundary instants belong to the
+    /// epoch they end: `epoch_of(kE) == k - 1` for `k > 0`).
+    pub fn epoch_of(&self, t: SimTime) -> u64 {
+        let nanos = t.as_nanos();
+        let len = self.len.as_nanos();
+        if nanos == 0 {
+            0
+        } else {
+            (nanos - 1) / len
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn uniform_lookahead_is_the_latency() {
+        let topo = NetTopology::uniform(4, us(500));
+        assert_eq!(topo.lookahead(), us(500));
+        assert_eq!(topo.latency(0, 3), us(500));
+    }
+
+    #[test]
+    fn lookahead_is_min_over_all_links() {
+        let mut m = vec![us(1000); 9];
+        m[3 + 2] = us(250); // link 1 -> 2
+        let topo = NetTopology::from_matrix(3, m);
+        assert_eq!(topo.lookahead(), us(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "link latency")]
+    fn zero_latency_rejected() {
+        NetTopology::uniform(2, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stamper_sequences_per_destination() {
+        let topo = NetTopology::uniform(3, us(100));
+        let mut stamper = LinkStamper::new(1, 3);
+        let t = SimTime::from_nanos(5_000);
+        let a = stamper.stamp(&topo, 0, t, "a");
+        let b = stamper.stamp(&topo, 2, t, "b");
+        let c = stamper.stamp(&topo, 0, t, "c");
+        assert_eq!((a.seq, b.seq, c.seq), (0, 0, 1));
+        assert_eq!(a.recv_time, t + us(100));
+        assert_eq!(a.src, 1);
+    }
+
+    #[test]
+    fn order_key_sorts_by_arrival_then_src_then_seq() {
+        let topo = NetTopology::uniform(3, us(100));
+        let t = SimTime::from_nanos(1_000);
+        let mut s0 = LinkStamper::new(0, 3);
+        let mut s1 = LinkStamper::new(1, 3);
+        let e1 = s1.stamp(&topo, 2, t, ());
+        let e0a = s0.stamp(&topo, 2, t, ());
+        let e0b = s0.stamp(&topo, 2, t, ());
+        let mut all = [e1.clone(), e0b.clone(), e0a.clone()];
+        all.sort_by_key(Envelope::order_key);
+        let keys: Vec<_> = all.iter().map(|e| (e.src, e.seq)).collect();
+        assert_eq!(keys, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn epoch_clock_boundaries() {
+        let mut clock = EpochClock::new(us(500));
+        assert_eq!(clock.advance(), (0, SimTime::from_nanos(500_000)));
+        assert_eq!(clock.advance(), (1, SimTime::from_nanos(1_000_000)));
+        // The boundary instant belongs to the epoch it ends.
+        assert_eq!(clock.epoch_of(SimTime::from_nanos(500_000)), 0);
+        assert_eq!(clock.epoch_of(SimTime::from_nanos(500_001)), 1);
+        assert_eq!(clock.epoch_of(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn sent_in_epoch_k_arrives_at_or_after_the_next_barrier() {
+        // The lookahead guarantee the whole cluster design rests on: while
+        // epoch `k` runs (`run_until((k+1)E)`, clock in `[kE, (k+1)E]`),
+        // every send lands at `send + latency ≥ (k+1)E`, so injecting the
+        // epoch's outbox at the `(k+1)E` barrier only schedules events at
+        // or after the barrier — never in the simulated past.
+        let topo = NetTopology::uniform(2, us(500));
+        let clock = EpochClock::new(topo.lookahead());
+        let mut stamper = LinkStamper::new(0, 2);
+        for epoch in 0u64..3 {
+            let start = clock.deadline_of(epoch);
+            let end = clock.deadline_of(epoch + 1);
+            for t in [start, start + us(1), end] {
+                let e = stamper.stamp(&topo, 1, t, ());
+                assert!(e.recv_time >= end);
+            }
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub use runtime::{
     RunningQuery, SpeKind, DEFAULT_BATCH_MAX,
 };
 pub use sink::SinkCollector;
-pub use source::{install_source, SourceState};
+pub use source::{install_relay_source, install_source, SourceState};
 pub use stats::{Counter, LogHistogram};
 pub use join::{IntervalJoin, JoinSide};
 pub use tuple::{Tuple, Value};

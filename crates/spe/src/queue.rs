@@ -373,6 +373,65 @@ impl Queue {
         self.net_call
     }
 
+    /// Whether the queue has no capacity bound.
+    pub fn is_unbounded(&self) -> bool {
+        self.inner.borrow().capacity.is_none()
+    }
+
+    /// Extends the one-delay-per-destination-queue invariant of
+    /// [`net_enqueue`](Queue::net_enqueue) to deliveries that arrive from
+    /// *outside* this kernel (the cluster fabric): records the network
+    /// delay feeding this queue on first use and rejects any different
+    /// delay afterwards. Intra-kernel `net_enqueue` edges and cluster links
+    /// share the same record, so a queue fed by both with different delays
+    /// is rejected too — FIFO per destination holds across the whole
+    /// modeled network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` differs from the delay already feeding this queue.
+    pub fn assert_net_delay(&self, delay: SimDuration) {
+        let mut q = self.inner.borrow_mut();
+        match q.net_delay {
+            None => q.net_delay = Some(delay),
+            Some(d) => assert_eq!(
+                d, delay,
+                "mixed net delays into queue {}: FIFO delivery needs one delay per queue",
+                self.name
+            ),
+        }
+    }
+
+    /// Delivers a tuple that traveled over the cluster's modeled network:
+    /// an immediate push (the caller already waited out the link latency on
+    /// the simulated clock) plus a consumer wake if the queue was empty —
+    /// exactly what a local producer's push does.
+    ///
+    /// Restricted to unbounded non-shedding queues, like
+    /// [`push_chunk`](Queue::push_chunk): bounded/shedding admission needs
+    /// a credit or drop decision at the *sender*, which the fabric does not
+    /// model (the paper's cross-device sources feed unbounded ingress
+    /// queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is bounded or shedding.
+    pub fn deliver_remote(&self, kernel: &mut Kernel, tuple: Tuple) {
+        {
+            let q = self.inner.borrow();
+            assert!(
+                q.capacity.is_none() && q.discipline == QueueDiscipline::Block,
+                "deliver_remote requires an unbounded non-shedding queue ({})",
+                self.name
+            );
+        }
+        match self.push(tuple) {
+            PushOutcome::Pushed(true) => kernel.wake(self.consumer_wait()),
+            PushOutcome::Pushed(false) => {}
+            PushOutcome::Full => unreachable!("unbounded queue rejected a push"),
+        }
+    }
+
     /// Dequeues the oldest tuple; `was_full` tells the consumer to wake
     /// blocked producers.
     pub fn pop(&self) -> Option<(Tuple, bool)> {
@@ -730,6 +789,23 @@ mod tests {
         assert!(!was_full);
         assert_eq!(len_before, 1);
         assert!(q.pop_observed().is_none());
+    }
+
+    #[test]
+    fn net_delay_invariant_spans_local_and_cluster_edges() {
+        let q = make(None);
+        // A local net edge claims the queue's delay first …
+        q.net_enqueue(tuple(1), SimDuration::from_micros(500));
+        // … and a cluster link with the same latency is fine.
+        q.assert_net_delay(SimDuration::from_micros(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed net delays")]
+    fn net_delay_invariant_rejects_mixed_cluster_latency() {
+        let q = make(None);
+        q.assert_net_delay(SimDuration::from_micros(500));
+        q.assert_net_delay(SimDuration::from_micros(900));
     }
 
     #[test]

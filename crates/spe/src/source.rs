@@ -134,6 +134,59 @@ pub fn install_source(
     state
 }
 
+/// The hand-off callback of a relay source: receives each generated tuple
+/// together with the kernel, and is expected to push it toward the remote
+/// destination (e.g. into a cluster fabric outbox).
+pub type RelayEmit = Box<dyn FnMut(&mut Kernel, Tuple)>;
+
+/// Installs a **relay** source: rate-controlled like [`install_source`],
+/// but instead of pushing into local queues it hands each tuple to `emit` —
+/// typically a closure that stamps the tuple into a cluster outbox for a
+/// query deployed on a *different* rack node (the paper's Kafka producers
+/// live on a different device than the query; the cluster layer models the
+/// network hop they cross).
+///
+/// There is no backpressure path: remote ingress queues are unbounded (see
+/// [`Queue::deliver_remote`](crate::Queue::deliver_remote)), so `throttled`
+/// stays 0 and the emitted count is exactly rate × time.
+pub fn install_relay_source(
+    kernel: &mut Kernel,
+    name: &str,
+    rate_tps: f64,
+    mut generator: Box<dyn FnMut(u64, SimTime) -> Tuple>,
+    mut emit: RelayEmit,
+    tick: SimDuration,
+) -> Rc<RefCell<SourceState>> {
+    assert!(!tick.is_zero(), "source tick must be > 0");
+    let state = Rc::new(RefCell::new(SourceState {
+        name: name.to_owned(),
+        emitted: 0,
+        throttled: 0,
+        rate_tps,
+    }));
+    let state_cb = Rc::clone(&state);
+    let mut acc = 0.0f64;
+    let mut seq = 0u64;
+    kernel.schedule_periodic(tick, tick, move |k| {
+        let now = k.now();
+        acc += state_cb.borrow().rate_tps() * tick.as_secs_f64();
+        let n = acc.floor() as u64;
+        acc -= n as f64;
+        if n == 0 {
+            return;
+        }
+        let spacing = tick.as_nanos() / n;
+        for i in 0..n {
+            let event_time = SimTime::from_nanos((now - tick).as_nanos() + i * spacing);
+            let tuple = generator(seq, event_time);
+            seq += 1;
+            emit(k, tuple);
+        }
+        state_cb.borrow_mut().emitted += n;
+    });
+    state
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +270,41 @@ mod tests {
         kernel.run_for(SimDuration::from_secs(1));
         let total = state.borrow().emitted();
         assert!((395..=405).contains(&total), "flash crowd rate applied: {total}");
+    }
+
+    #[test]
+    fn relay_source_emits_into_closure() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let q = Queue::new(&mut kernel, "remote_ingress", node, None);
+        let outbox = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&outbox);
+        let state = install_relay_source(
+            &mut kernel,
+            "relay",
+            500.0,
+            Box::new(|seq, now| Tuple::new(now, seq, vec![])),
+            Box::new(move |_, t| sink.borrow_mut().push(t)),
+            SimDuration::from_millis(1),
+        );
+        kernel.run_for(SimDuration::from_secs(1));
+        assert_eq!(state.borrow().emitted(), 500);
+        assert_eq!(state.borrow().throttled(), 0);
+        assert_eq!(outbox.borrow().len(), 500);
+        // Cluster-side delivery: push + wake on the consumer's kernel.
+        for t in outbox.borrow_mut().drain(..) {
+            q.deliver_remote(&mut kernel, t);
+        }
+        assert_eq!(q.len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded non-shedding")]
+    fn deliver_remote_rejects_bounded_queues() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 1);
+        let q = Queue::new(&mut kernel, "bounded", node, Some(4));
+        q.deliver_remote(&mut kernel, Tuple::new(SimTime::ZERO, 0, vec![]));
     }
 
     #[test]
