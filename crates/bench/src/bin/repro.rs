@@ -10,7 +10,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bench::experiments::{
-    ablation, chaos, churn, multi_query, multi_spe, rack, scale_out, single_query, table1,
+    ablation, chaos, churn, deadline, multi_query, multi_spe, rack, scale_out, single_query,
+    table1,
 };
 use bench::report::Figure;
 use bench::ExpOptions;
@@ -18,9 +19,9 @@ use bench::ExpOptions;
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "figc1", "figc2", "figc3", "figd1", "ablation", "table1",
+    "fig17", "fig18", "figc1", "figc2", "figc3", "figd1", "fige1", "ablation", "table1",
 ];
 
 fn usage() -> ! {
@@ -31,6 +32,7 @@ fn usage() -> ! {
          (fig5/fig7 also emit fig6/fig8; fig9-12 emit the fig13 panels;\n\
           figd1 runs on the sharded cluster; `--shard-threads` drives its\n\
           shards in parallel without changing any byte of the output;\n\
+          fige1 compares OS / LACHESIS-QS / DEADLINE on SLO-miss rate;\n\
           `render` redraws SVG charts from JSON already in --out;\n\
           `--trace` runs one traced representative trial per experiment and\n\
           writes Perfetto-openable Chrome trace_event JSON plus a text\n\
@@ -75,6 +77,7 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "figc2" => chaos::figc2(opts),
         "figc3" => churn::figc3(opts),
         "figd1" => rack::figd1(opts),
+        "fige1" => deadline::fige1(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
     }

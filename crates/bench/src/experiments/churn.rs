@@ -351,6 +351,8 @@ fn run_churn_inner(
                 latency_p: (pct(&latency, 0.5), pct(&latency, 0.99), pct(&latency, 0.999)),
                 e2e_mean_s: e2e.mean().unwrap_or(0.0),
                 e2e_p: (pct(&e2e, 0.5), pct(&e2e, 0.99), pct(&e2e, 0.999)),
+                slo_target_s: 0.0,
+                slo_miss_rate: 0.0,
                 goal: 0.0,
                 queue_samples: Vec::new(),
                 utilization,

@@ -1,0 +1,305 @@
+//! Deadline-aware scheduling experiment (`fige1`, extension, not in the
+//! paper): three ETL queries with mixed end-to-end latency targets share
+//! one Odroid-class node under a bursty rate calendar, and three
+//! schedulers compete on tail latency and SLO-miss rate:
+//!
+//! * **OS** — the default CFS scheduler, deadline-blind.
+//! * **LACHESIS-QS** — the paper's queue-size policy via `nice`: balances
+//!   backlog but treats a 0.5 s query exactly like an 8 s one.
+//! * **DEADLINE** — the Cameo-style [`lachesis::DeadlinePolicy`]: static
+//!   per-operator slack budgets from DAG depth, refined at runtime with
+//!   the DRS-style waiting-time estimate, steered through the same `nice`
+//!   translator.
+//!
+//! The claim under test: when the box is temporarily overloaded, a
+//! deadline-aware policy spends the scarce CPU where slack is scarce, so
+//! the tight query's p99 and the aggregate SLO-miss rate both drop
+//! relative to OS, without doing worse than LACHESIS-QS. Verdicts land in
+//! the figure notes (`slo_order=...`, `deadline_vs_os=...`,
+//! `deadline_vs_qs=...`) where CI greps for them.
+
+use std::rc::Rc;
+
+use simos::{machines, Kernel, SimDuration};
+use spe::{deploy, EngineConfig, Placement, RunningQuery, SpeKind};
+
+use crate::harness::{apply_slo, average_runs, new_store, Distributions, GoalKind, Measured, RunConfig};
+use crate::report::{Figure, Series, SweepPoint};
+use crate::schedulers::{attach_deadline, attach_lachesis, PolicyChoice, TranslatorChoice};
+use crate::ExpOptions;
+
+/// Per-query end-to-end latency targets, seconds: tight / mid / loose.
+const TARGETS_S: [f64; 3] = [0.5, 2.0, 8.0];
+
+/// Steady offered rate per query, tuples/s (~2.7 of 4 cores total).
+const BASE_RATE_TPS: f64 = 350.0;
+
+/// Rate during the all-query burst window (~1.35x overload in total).
+const BURST_RATE_TPS: f64 = 700.0;
+
+/// Rate during the tight-query-only burst near the end of the run.
+const TIGHT_BURST_TPS: f64 = 1050.0;
+
+/// The three schedulers compared, in series order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DlSched {
+    Os,
+    Qs,
+    Deadline,
+}
+
+const SCHEDS: [DlSched; 3] = [DlSched::Os, DlSched::Qs, DlSched::Deadline];
+
+impl DlSched {
+    fn label(self) -> &'static str {
+        match self {
+            DlSched::Os => "OS",
+            DlSched::Qs => "LACHESIS-QS",
+            DlSched::Deadline => "DEADLINE",
+        }
+    }
+}
+
+/// One query's share of one run.
+#[derive(Debug, Clone)]
+struct QueryOutcome {
+    m: Measured,
+    /// End-to-end samples behind `m.slo_miss_rate`, for weighted
+    /// aggregation across queries with very different throughputs.
+    e2e_samples: u64,
+}
+
+/// Builds one query's ETL graph, renamed so metric paths stay disjoint.
+fn dl_graph(idx: usize, rate: f64, seed: u64) -> spe::LogicalGraph {
+    let mut g = queries::etl(rate, seed);
+    g.name = format!("etl-dl{idx}");
+    g
+}
+
+/// One (scheduler, seed) run: three resident ETL queries, a two-phase
+/// burst calendar, per-query measurements with SLO verdicts.
+fn run_deadline_inner(sched: DlSched, seed: u64, cfg: RunConfig) -> Vec<QueryOutcome> {
+    let mut kernel = Kernel::new(machines::odroid_config());
+    let node = machines::add_odroid(&mut kernel, "odroid");
+    let store = new_store();
+
+    let mut queries: Vec<RunningQuery> = Vec::new();
+    for (idx, _) in TARGETS_S.iter().enumerate() {
+        let q_seed = seed.wrapping_add(idx as u64);
+        let g = dl_graph(idx, BASE_RATE_TPS, q_seed);
+        let mut config = EngineConfig::storm();
+        config.seed = q_seed;
+        let q = deploy(
+            &mut kernel,
+            g,
+            config,
+            &Placement::single(node),
+            Some(Rc::clone(&store)),
+        )
+        .expect("deploy deadline query");
+        queries.push(q);
+    }
+
+    match sched {
+        DlSched::Os => {}
+        DlSched::Qs => attach_lachesis(
+            &mut kernel,
+            SpeKind::Storm,
+            queries.clone(),
+            Rc::clone(&store),
+            PolicyChoice::Qs,
+            TranslatorChoice::Nice,
+            seed,
+        ),
+        DlSched::Deadline => {
+            let targets: Vec<(usize, f64)> =
+                TARGETS_S.iter().enumerate().map(|(i, &t)| (i, t)).collect();
+            attach_deadline(
+                &mut kernel,
+                SpeKind::Storm,
+                queries.clone(),
+                Rc::clone(&store),
+                &targets,
+                TARGETS_S[1],
+            );
+        }
+    }
+
+    // Burst calendar, scheduled up front (delays include the warm-up):
+    // every query doubles its rate in [3/10, 5/10) of the measured phase,
+    // then the tight query alone triples in [6/10, 7/10).
+    let m = cfg.measure.as_nanos();
+    let tick = |tenths: u64| cfg.warmup + SimDuration::from_nanos(m / 10 * tenths);
+    let flips: [(u64, usize, f64); 8] = [
+        (3, 0, BURST_RATE_TPS),
+        (3, 1, BURST_RATE_TPS),
+        (3, 2, BURST_RATE_TPS),
+        (5, 0, BASE_RATE_TPS),
+        (5, 1, BASE_RATE_TPS),
+        (5, 2, BASE_RATE_TPS),
+        (6, 0, TIGHT_BURST_TPS),
+        (7, 0, BASE_RATE_TPS),
+    ];
+    for (tenths, idx, rate) in flips {
+        let q = queries[idx].clone();
+        kernel.schedule_once(tick(tenths), move |_k| {
+            for s in q.sources() {
+                s.borrow_mut().set_rate(rate);
+            }
+        });
+    }
+
+    // Warm up at the base rates, then measure across the burst calendar.
+    kernel.run_for(cfg.warmup);
+    for q in &queries {
+        q.reset_stats();
+    }
+    let before = kernel.node_stats(node).expect("node stats");
+    kernel.run_for(cfg.measure);
+    let after = kernel.node_stats(node).expect("node stats");
+
+    let secs = cfg.measure.as_secs_f64();
+    let utilization =
+        (after.busy - before.busy).as_secs_f64() / (secs * after.cpus.max(1) as f64);
+    let ctx_per_s = (after.ctx_switches - before.ctx_switches) as f64 / secs;
+
+    let mut out = Vec::new();
+    for (idx, q) in queries.iter().enumerate() {
+        let latency = q.latency_histogram();
+        let e2e = q.e2e_histogram();
+        let pct = |h: &spe::LogHistogram, p: f64| h.quantile(p).unwrap_or(0.0);
+        let e2e_samples = e2e.count();
+        let mut measured = Measured {
+            offered_tps: BASE_RATE_TPS,
+            throughput_tps: q.ingress_total() as f64 / secs,
+            latency_mean_s: latency.mean().unwrap_or(0.0),
+            latency_p: (pct(&latency, 0.5), pct(&latency, 0.99), pct(&latency, 0.999)),
+            e2e_mean_s: e2e.mean().unwrap_or(0.0),
+            e2e_p: (pct(&e2e, 0.5), pct(&e2e, 0.99), pct(&e2e, 0.999)),
+            slo_target_s: 0.0,
+            slo_miss_rate: 0.0,
+            goal: 0.0,
+            queue_samples: Vec::new(),
+            utilization,
+            ctx_switches_per_s: ctx_per_s,
+            egress_tps: q.egress_total() as f64 / secs,
+        };
+        let dists = Distributions { latency, e2e };
+        apply_slo(&mut measured, &dists, TARGETS_S[idx]);
+        out.push(QueryOutcome { m: measured, e2e_samples });
+    }
+    out
+}
+
+/// Aggregate tail summary of one scheduler across all queries and reps.
+#[derive(Debug, Clone, Copy, Default)]
+struct SchedSummary {
+    /// Weighted SLO-miss rate: missed samples / total samples.
+    miss_rate: f64,
+    /// Averaged p99 end-to-end latency of the tight (0.5 s) query.
+    tight_p99_s: f64,
+}
+
+/// Runs the deadline experiment and returns its figure.
+pub fn fige1(opts: &ExpOptions) -> Vec<Figure> {
+    let cfg = if opts.quick {
+        RunConfig::quick(GoalKind::AvgLatency)
+    } else {
+        RunConfig::full(GoalKind::AvgLatency)
+    };
+    let reps = opts.reps.max(1) as u64;
+    let specs: Vec<(usize, u64)> = SCHEDS
+        .iter()
+        .enumerate()
+        .flat_map(|(s, _)| (0..reps).map(move |r| (s, 1 + r)))
+        .collect();
+    let results = crate::pool::parallel_map(opts.jobs, specs.clone(), move |(s, seed)| {
+        run_deadline_inner(SCHEDS[s], seed, cfg)
+    });
+
+    let mut fig = Figure::new(
+        "fige1",
+        "Deadline-aware scheduling: 3 ETL queries with mixed SLO targets under bursty load",
+        "per-query end-to-end latency target (s)",
+    );
+    fig.notes.push(format!(
+        "calendar: 3 queries at {BASE_RATE_TPS:.0} t/s, all burst to {BURST_RATE_TPS:.0} t/s \
+         [3/10,5/10), tight query alone to {TIGHT_BURST_TPS:.0} t/s [6/10,7/10); \
+         targets {TARGETS_S:?} s; reps={reps}"
+    ));
+
+    // Regroup (sched x rep) results: per-sched per-query averages plus
+    // the sample-weighted aggregate miss rate.
+    let mut summaries = [SchedSummary::default(); 3];
+    for (s, sched) in SCHEDS.iter().enumerate() {
+        let runs: Vec<&Vec<QueryOutcome>> = results
+            .iter()
+            .zip(&specs)
+            .filter(|(_, (spec_s, _))| *spec_s == s)
+            .map(|(r, _)| r)
+            .collect();
+        let mut missed = 0.0;
+        let mut total = 0.0;
+        let mut points = Vec::new();
+        for (idx, &target) in TARGETS_S.iter().enumerate() {
+            let per_query: Vec<Measured> =
+                runs.iter().map(|r| r[idx].m.clone()).collect();
+            for r in &runs {
+                missed += r[idx].m.slo_miss_rate * r[idx].e2e_samples as f64;
+                total += r[idx].e2e_samples as f64;
+            }
+            let avg = average_runs(per_query);
+            points.push(SweepPoint { x: target, m: avg });
+        }
+        summaries[s] = SchedSummary {
+            miss_rate: missed / total.max(1.0),
+            tight_p99_s: points[0].m.e2e_p.1,
+        };
+        fig.notes.push(format!(
+            "{}: agg_miss_rate={:.4} tight_p99={:.3}s mid_p99={:.3}s loose_p99={:.3}s",
+            sched.label(),
+            summaries[s].miss_rate,
+            points[0].m.e2e_p.1,
+            points[1].m.e2e_p.1,
+            points[2].m.e2e_p.1,
+        ));
+        fig.series.push(Series { label: sched.label().to_string(), points });
+    }
+
+    // Verdicts. DEADLINE must beat OS on both the tight query's tail and
+    // the aggregate miss rate, and must not do worse than LACHESIS-QS on
+    // the aggregate miss rate.
+    let [os, qs, dl] = summaries;
+    let eps = 1e-12;
+    let vs_os = dl.tight_p99_s < os.tight_p99_s && dl.miss_rate <= os.miss_rate + eps;
+    let vs_qs = dl.miss_rate <= qs.miss_rate + eps;
+    let order = dl.miss_rate <= os.miss_rate + eps;
+    fig.notes.push(format!(
+        "deadline_vs_os={} (tight p99 {:.3}s < {:.3}s, miss {:.4} <= {:.4})",
+        if vs_os { "PASS" } else { "FAIL" },
+        dl.tight_p99_s,
+        os.tight_p99_s,
+        dl.miss_rate,
+        os.miss_rate,
+    ));
+    fig.notes.push(format!(
+        "deadline_vs_qs={} (miss {:.4} <= {:.4})",
+        if vs_qs { "PASS" } else { "FAIL" },
+        dl.miss_rate,
+        qs.miss_rate,
+    ));
+    fig.notes.push(format!(
+        "slo_order={} (DEADLINE miss {:.4} <= OS miss {:.4})",
+        if order { "PASS" } else { "FAIL" },
+        dl.miss_rate,
+        os.miss_rate,
+    ));
+    if !vs_os || !vs_qs {
+        eprintln!(
+            "warning: fige1: deadline_vs_os={vs_os} deadline_vs_qs={vs_qs} \
+             (os miss {:.4} qs miss {:.4} dl miss {:.4})",
+            os.miss_rate, qs.miss_rate, dl.miss_rate
+        );
+    }
+    vec![fig]
+}

@@ -146,6 +146,8 @@ fn measure_queries(qs: &[RunningQuery], secs: f64, offered: f64) -> Measured {
         latency_p: (p(&latency, 0.5), p(&latency, 0.99), p(&latency, 0.999)),
         e2e_mean_s: e2e.mean().unwrap_or(0.0),
         e2e_p: (p(&e2e, 0.5), p(&e2e, 0.99), p(&e2e, 0.999)),
+        slo_target_s: 0.0,
+        slo_miss_rate: 0.0,
         goal: 0.0,
         queue_samples: vec![],
         utilization: 0.0,

@@ -311,6 +311,8 @@ pub fn run_rack(spec: &RackSpec, warmup: SimDuration, measure: SimDuration) -> (
                                 ),
                                 e2e_mean_s: e2e.mean().unwrap_or(0.0),
                                 e2e_p: (p(&e2e, 0.5), p(&e2e, 0.99), p(&e2e, 0.999)),
+                                slo_target_s: 0.0,
+                                slo_miss_rate: 0.0,
                                 goal: 0.0,
                                 queue_samples: vec![],
                                 utilization: 0.0,

@@ -188,6 +188,8 @@ pub fn run(exp: &SingleQueryExp, opts: &ExpOptions) -> Vec<Figure> {
                         latency_p: (0.0, 0.0, 0.0),
                         e2e_mean_s: 0.0,
                         e2e_p: (0.0, 0.0, 0.0),
+                        slo_target_s: 0.0,
+                        slo_miss_rate: 0.0,
                         goal: v,
                         queue_samples: vec![],
                         utilization: 0.0,

@@ -36,6 +36,14 @@ pub struct Measured {
     pub e2e_mean_s: f64,
     /// End-to-end latency percentiles: (p50, p99, p99.9), seconds.
     pub e2e_p: (f64, f64, f64),
+    /// End-to-end latency target (SLO) for this point, seconds; `0.0`
+    /// means no target was set and the miss rate is meaningless.
+    pub slo_target_s: f64,
+    /// Fraction of end-to-end samples above [`slo_target_s`], at the
+    /// histogram's ~5% bucket resolution (see [`apply_slo`]).
+    ///
+    /// [`slo_target_s`]: Measured::slo_target_s
+    pub slo_miss_rate: f64,
     /// Mean sampled policy-goal value.
     pub goal: f64,
     /// Per-operator queue sizes sampled each second (pooled over queries).
@@ -205,6 +213,8 @@ pub fn run_trial(
         latency_p: (q(&latency, 0.5), q(&latency, 0.99), q(&latency, 0.999)),
         e2e_mean_s: e2e.mean().unwrap_or(0.0),
         e2e_p: (q(&e2e, 0.5), q(&e2e, 0.99), q(&e2e, 0.999)),
+        slo_target_s: 0.0,
+        slo_miss_rate: 0.0,
         goal,
         queue_samples: queue_samples.take(),
         utilization: (busy_after - busy_before) as f64 / 1e9 / capacity,
@@ -212,6 +222,20 @@ pub fn run_trial(
         egress_tps: egress as f64 / secs,
     };
     (measured, Distributions { latency, e2e })
+}
+
+/// Annotates a measurement with an SLO verdict: stores the end-to-end
+/// latency target and the fraction of measured end-to-end samples above
+/// it, read from the trial's latency distribution at the histogram's ~5%
+/// bucket resolution. A non-positive `target_s` clears the verdict.
+pub fn apply_slo(m: &mut Measured, dist: &Distributions, target_s: f64) {
+    if target_s > 0.0 {
+        m.slo_target_s = target_s;
+        m.slo_miss_rate = dist.e2e.fraction_above(target_s).unwrap_or(0.0);
+    } else {
+        m.slo_target_s = 0.0;
+        m.slo_miss_rate = 0.0;
+    }
 }
 
 /// Averages several repetitions into one point (queue samples pooled).
@@ -233,6 +257,9 @@ pub fn average_runs(mut runs: Vec<Measured>) -> Measured {
         acc.e2e_p.0 += r.e2e_p.0;
         acc.e2e_p.1 += r.e2e_p.1;
         acc.e2e_p.2 += r.e2e_p.2;
+        // The SLO target is a configuration knob, identical across reps:
+        // keep it rather than averaging it.
+        acc.slo_miss_rate += r.slo_miss_rate;
         acc.queue_samples.extend(r.queue_samples.iter().cloned());
     }
     acc.throughput_tps /= n;
@@ -248,6 +275,7 @@ pub fn average_runs(mut runs: Vec<Measured>) -> Measured {
     acc.e2e_p.0 /= n;
     acc.e2e_p.1 /= n;
     acc.e2e_p.2 /= n;
+    acc.slo_miss_rate /= n;
     acc
 }
 
@@ -263,6 +291,8 @@ mod tests {
             latency_p: (lat, lat * 2.0, lat * 3.0),
             e2e_mean_s: lat * 1.5,
             e2e_p: (lat, lat, lat),
+            slo_target_s: 0.5,
+            slo_miss_rate: lat,
             goal: 1.0,
             queue_samples: vec![vec![1, 2]],
             utilization: 0.5,

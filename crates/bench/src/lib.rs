@@ -21,6 +21,7 @@ pub mod experiments {
     pub mod ablation;
     pub mod chaos;
     pub mod churn;
+    pub mod deadline;
     pub mod multi_query;
     pub mod multi_spe;
     pub mod rack;

@@ -55,14 +55,27 @@ impl Figure {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
-        #[allow(clippy::type_complexity)]
-        let metrics: [(&str, fn(&Measured) -> f64); 4] = [
+        type MetricRow<'a> = (&'a str, fn(&Measured) -> f64);
+        let metrics: [MetricRow<'_>; 8] = [
             ("throughput (t/s)", |m| m.throughput_tps),
             ("avg latency (s)", |m| m.latency_mean_s),
+            ("p50 latency (s)", |m| m.latency_p.0),
+            ("p99 latency (s)", |m| m.latency_p.1),
+            ("p99.9 latency (s)", |m| m.latency_p.2),
             ("avg e2e latency (s)", |m| m.e2e_mean_s),
+            ("p99 e2e latency (s)", |m| m.e2e_p.1),
             ("policy goal", |m| m.goal),
         ];
-        for (name, get) in metrics {
+        // The SLO table only appears when some point carries a target.
+        let has_slo = self
+            .series
+            .iter()
+            .any(|s| s.points.iter().any(|p| p.m.slo_target_s > 0.0));
+        let mut rows: Vec<MetricRow<'_>> = metrics.to_vec();
+        if has_slo {
+            rows.push(("SLO miss rate", |m| m.slo_miss_rate));
+        }
+        for (name, get) in rows {
             out.push_str(&format!("\n-- {name} --\n"));
             out.push_str(&format!("{:>12}", self.x_label));
             for s in &self.series {
@@ -210,6 +223,8 @@ fn measured_to_json(m: &Measured) -> Json {
         ("latency_p", triple(m.latency_p)),
         ("e2e_mean_s", Json::Num(m.e2e_mean_s)),
         ("e2e_p", triple(m.e2e_p)),
+        ("slo_target_s", Json::Num(m.slo_target_s)),
+        ("slo_miss_rate", Json::Num(m.slo_miss_rate)),
         ("goal", Json::Num(m.goal)),
         (
             "queue_samples",
@@ -232,6 +247,12 @@ fn measured_from_json(v: &Json) -> Result<Measured, String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("measurement is missing number `{key}`"))
     };
+    // Percentile/SLO fields default to zero so figure JSON written before
+    // they existed still parses (the `render` subcommand re-draws old
+    // result directories).
+    let num_or = |key: &str, default: f64| -> f64 {
+        v.get(key).and_then(Json::as_f64).unwrap_or(default)
+    };
     let triple = |key: &str| -> Result<(f64, f64, f64), String> {
         match v.get(key).and_then(Json::as_arr) {
             Some([a, b, c]) => Ok((
@@ -239,7 +260,8 @@ fn measured_from_json(v: &Json) -> Result<Measured, String> {
                 b.as_f64().ok_or("non-numeric percentile")?,
                 c.as_f64().ok_or("non-numeric percentile")?,
             )),
-            _ => Err(format!("measurement is missing triple `{key}`")),
+            Some(_) => Err(format!("measurement triple `{key}` is not 3 numbers")),
+            None => Ok((0.0, 0.0, 0.0)),
         }
     };
     let queue_samples = v
@@ -266,6 +288,8 @@ fn measured_from_json(v: &Json) -> Result<Measured, String> {
         latency_p: triple("latency_p")?,
         e2e_mean_s: num("e2e_mean_s")?,
         e2e_p: triple("e2e_p")?,
+        slo_target_s: num_or("slo_target_s", 0.0),
+        slo_miss_rate: num_or("slo_miss_rate", 0.0),
         goal: num("goal")?,
         queue_samples,
         utilization: num("utilization")?,
@@ -283,8 +307,14 @@ pub fn queue_distribution(samples: &[Vec<usize>]) -> (f64, f64, f64, f64, f64, f
     }
     all.sort_unstable();
     let q = |p: f64| -> f64 {
-        let idx = ((all.len() - 1) as f64 * p).round() as usize;
-        all[idx] as f64
+        // Ceil nearest-rank — the same rule as `LogHistogram::quantile`
+        // (smallest sample whose cumulative count reaches `ceil(p * n)`),
+        // so figure percentiles and histogram percentiles agree. The old
+        // `.round()` rule disagreed on tiny sample counts (e.g. the
+        // median of two samples picked the upper one here, the lower one
+        // in the histogram).
+        let rank = (all.len() as f64 * p).ceil().max(1.0) as usize;
+        all[rank.min(all.len()) - 1] as f64
     };
     (q(0.25), q(0.5), q(0.75), q(0.95), q(0.99), *all.last().unwrap() as f64)
 }
@@ -301,6 +331,8 @@ mod tests {
             latency_p: (0.01, 0.02, 0.03),
             e2e_mean_s: 0.02,
             e2e_p: (0.02, 0.03, 0.04),
+            slo_target_s: 0.1,
+            slo_miss_rate: 0.05,
             goal: 1.0,
             queue_samples: vec![],
             utilization: 0.5,
@@ -336,6 +368,89 @@ mod tests {
         assert_eq!(p99, 99.0);
         assert_eq!(max, 100.0);
         assert_eq!(queue_distribution(&[]), (0.0, 0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn queue_distribution_tiny_samples_use_ceil_rank() {
+        // n = 1: every percentile is the single sample.
+        let (p25, p50, p75, p95, p99, max) = queue_distribution(&[vec![7]]);
+        assert_eq!((p25, p50, p75, p95, p99, max), (7.0, 7.0, 7.0, 7.0, 7.0, 7.0));
+        // n = 2: ceil nearest-rank puts the median on the LOWER sample
+        // (rank ceil(2 * 0.5) = 1), matching `LogHistogram::quantile`;
+        // the old `.round()` rule picked the upper one.
+        let (p25, p50, p75, _, p99, max) = queue_distribution(&[vec![10, 20]]);
+        assert_eq!(p25, 10.0);
+        assert_eq!(p50, 10.0);
+        assert_eq!(p75, 20.0);
+        assert_eq!(p99, 20.0);
+        assert_eq!(max, 20.0);
+        // n = 3: median is the middle sample (rank ceil(1.5) = 2).
+        let (p25, p50, p75, _, _, max) = queue_distribution(&[vec![1, 2, 3]]);
+        assert_eq!(p25, 1.0);
+        assert_eq!(p50, 2.0);
+        assert_eq!(p75, 3.0);
+        assert_eq!(max, 3.0);
+        // Cross-check against the histogram's rule on the same data.
+        let mut h = spe::LogHistogram::new();
+        for v in [10.0, 20.0] {
+            h.record(v);
+        }
+        let hist_p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (hist_p50 - 10.0).abs() / 10.0 < 0.06,
+            "histogram median of two picks the lower sample: {hist_p50}"
+        );
+    }
+
+    #[test]
+    fn figure_json_round_trips_percentiles_and_slo() {
+        let mut fig = Figure::new("figrt", "round trip", "rate");
+        let mut m = measured(500.0);
+        m.latency_p = (0.001, 0.05, 0.2);
+        m.e2e_p = (0.002, 0.08, 0.4);
+        m.slo_target_s = 0.25;
+        m.slo_miss_rate = 0.125;
+        m.queue_samples = vec![vec![1, 2, 3], vec![4]];
+        fig.series.push(Series {
+            label: "DEADLINE".into(),
+            points: vec![SweepPoint { x: 0.25, m }],
+        });
+        fig.notes.push("slo_order=PASS".into());
+        let parsed = Figure::from_json(&fig.to_json().pretty()).unwrap();
+        assert_eq!(parsed.id, fig.id);
+        assert_eq!(parsed.notes, fig.notes);
+        let (orig, back) = (&fig.series[0].points[0].m, &parsed.series[0].points[0].m);
+        assert_eq!(back.latency_p, orig.latency_p);
+        assert_eq!(back.e2e_p, orig.e2e_p);
+        assert_eq!(back.slo_target_s, orig.slo_target_s);
+        assert_eq!(back.slo_miss_rate, orig.slo_miss_rate);
+        assert_eq!(back.queue_samples, orig.queue_samples);
+        // And the round trip is a fixed point byte-wise.
+        assert_eq!(parsed.to_json().pretty(), fig.to_json().pretty());
+    }
+
+    #[test]
+    fn figure_json_without_percentile_fields_still_parses() {
+        // Result JSON written before percentile/SLO fields existed: the
+        // missing fields default to zero instead of failing the parse.
+        let old = r#"{
+            "id": "fig5", "title": "old", "x_label": "rate",
+            "series": [{"label": "OS", "points": [{"x": 100.0, "m": {
+                "offered_tps": 100.0, "throughput_tps": 99.0,
+                "latency_mean_s": 0.01, "e2e_mean_s": 0.02,
+                "goal": 1.5, "utilization": 0.5,
+                "ctx_switches_per_s": 10.0, "egress_tps": 98.0
+            }}]}],
+            "notes": []
+        }"#;
+        let fig = Figure::from_json(old).expect("old JSON parses");
+        let m = &fig.series[0].points[0].m;
+        assert_eq!(m.throughput_tps, 99.0);
+        assert_eq!(m.latency_p, (0.0, 0.0, 0.0));
+        assert_eq!(m.e2e_p, (0.0, 0.0, 0.0));
+        assert_eq!(m.slo_target_s, 0.0);
+        assert_eq!(m.slo_miss_rate, 0.0);
+        assert!(m.queue_samples.is_empty());
     }
 
     #[test]

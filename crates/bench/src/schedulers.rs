@@ -5,9 +5,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use lachesis::{
-    CombinedTranslator, CpuQuotaTranslator, CpuSharesTranslator, FcfsPolicy, HighestRatePolicy,
-    LachesisBuilder, NiceTranslator, Policy, QueueSizePolicy, RandomPolicy, Scope, StoreDriver,
-    Translator,
+    CombinedTranslator, CpuQuotaTranslator, CpuSharesTranslator, DeadlinePolicy, FcfsPolicy,
+    HighestRatePolicy, LachesisBuilder, NiceTranslator, Policy, QueueSizePolicy, RandomPolicy,
+    Scope, StoreDriver, Translator,
 };
 use lachesis_metrics::TimeSeriesStore;
 use simos::{machines, Kernel, SimDuration};
@@ -188,6 +188,30 @@ pub fn attach_lachesis_with_period(
     LachesisBuilder::new()
         .driver(driver)
         .policy(0, Scope::AllQueries, boxed_policy, boxed_translator)
+        .build()
+        .start(kernel);
+}
+
+/// Attaches Lachesis running the DEADLINE policy with per-query
+/// end-to-end latency targets (`(query index, target seconds)` pairs;
+/// queries without an entry use `default_target_s`), steering through
+/// the ordinary nice translator at the 1 s Graphite-bound period.
+pub fn attach_deadline(
+    kernel: &mut Kernel,
+    kind: SpeKind,
+    queries: Vec<RunningQuery>,
+    store: Rc<RefCell<TimeSeriesStore>>,
+    targets: &[(usize, f64)],
+    default_target_s: f64,
+) {
+    let driver = StoreDriver::new(kind, queries, store);
+    let mut policy = DeadlinePolicy::new(SimDuration::from_secs(1), default_target_s);
+    for &(q, t) in targets {
+        policy = policy.with_target(q, t);
+    }
+    LachesisBuilder::new()
+        .driver(driver)
+        .policy(0, Scope::AllQueries, policy, NiceTranslator::new())
         .build()
         .start(kernel);
 }

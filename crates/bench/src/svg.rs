@@ -236,8 +236,11 @@ fn xml_escape(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
 }
 
-/// Writes the standard chart set (throughput, latency, e2e, goal) for a
-/// figure into `dir` as `{fig.id}_{metric}.svg`.
+/// Writes the standard chart set (throughput, mean + tail latency, e2e,
+/// goal) for a figure into `dir` as `{fig.id}_{metric}.svg`. Tail charts
+/// (`latency_p99`, `e2e_p99`) are skipped when a figure carries no
+/// percentile data (all zero), and the `slo_miss` chart only renders when
+/// at least one point has an SLO target.
 ///
 /// # Errors
 ///
@@ -245,19 +248,35 @@ fn xml_escape(s: &str) -> String {
 pub fn save_charts(fig: &Figure, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
     std::fs::create_dir_all(dir)?;
     #[allow(clippy::type_complexity)]
-    let charts: [(&str, fn(&Measured) -> f64, bool); 4] = [
+    let charts: [(&str, fn(&Measured) -> f64, bool); 6] = [
         ("throughput", |m| m.throughput_tps, false),
         ("latency", |m| m.latency_mean_s, true),
+        ("latency_p99", |m| m.latency_p.1, true),
         ("e2e", |m| m.e2e_mean_s, true),
+        ("e2e_p99", |m| m.e2e_p.1, true),
         ("goal", |m| m.goal, true),
     ];
+    let has_slo = fig
+        .series
+        .iter()
+        .any(|s| s.points.iter().any(|p| p.m.slo_target_s > 0.0));
     let mut written = Vec::new();
-    for (name, get, log_y) in charts {
-        if let Some(svg) = render_chart(fig, name, get, log_y) {
+    let mut save = |name: &str, svg: Option<String>| -> std::io::Result<()> {
+        if let Some(svg) = svg {
             let file = format!("{}_{}.svg", fig.id, name);
             std::fs::write(dir.join(&file), svg)?;
             written.push(file);
         }
+        Ok(())
+    };
+    for (name, get, log_y) in charts {
+        save(name, render_chart(fig, name, get, log_y))?;
+    }
+    if has_slo {
+        save(
+            "slo_miss",
+            render_chart(fig, "slo_miss", |m| m.slo_miss_rate, false),
+        )?;
     }
     Ok(written)
 }
@@ -282,6 +301,8 @@ mod tests {
                             latency_p: (0.0, 0.0, 0.0),
                             e2e_mean_s: 0.002 * base * i as f64,
                             e2e_p: (0.0, 0.0, 0.0),
+                            slo_target_s: 0.0,
+                            slo_miss_rate: 0.0,
                             goal: base,
                             queue_samples: vec![],
                             utilization: 0.5,
@@ -330,6 +351,37 @@ mod tests {
             let content = std::fs::read_to_string(dir.join(f)).unwrap();
             assert!(content.contains("</svg>"));
         }
+    }
+
+    #[test]
+    fn percentile_and_slo_charts_render_when_populated() {
+        let mut fig = figure();
+        fig.id = "figX_slo".into();
+        for s in &mut fig.series {
+            for p in &mut s.points {
+                p.m.latency_p = (0.01, 0.05, 0.1);
+                p.m.e2e_p = (0.02, 0.08, 0.2);
+                p.m.slo_target_s = 0.1;
+                p.m.slo_miss_rate = 0.25;
+            }
+        }
+        let dir = std::env::temp_dir().join("lachesis-svg-slo-test");
+        let written = save_charts(&fig, &dir).unwrap();
+        for chart in ["latency_p99", "e2e_p99", "slo_miss"] {
+            assert!(
+                written.iter().any(|f| f.contains(chart)),
+                "missing {chart} in {written:?}"
+            );
+        }
+        // Without targets the SLO chart disappears but tail charts stay.
+        for s in &mut fig.series {
+            for p in &mut s.points {
+                p.m.slo_target_s = 0.0;
+            }
+        }
+        let written = save_charts(&fig, &dir).unwrap();
+        assert!(!written.iter().any(|f| f.contains("slo_miss")), "{written:?}");
+        assert!(written.iter().any(|f| f.contains("latency_p99")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! sequential run. Trials are seeded, independent, and folded back in
 //! input order, so thread scheduling must never leak into results.
 
-use bench::experiments::{ablation, chaos, scale_out, table1};
+use bench::experiments::{ablation, chaos, deadline, scale_out, table1};
 use bench::ExpOptions;
 
 fn opts(jobs: usize) -> ExpOptions {
@@ -37,6 +37,16 @@ fn ablation_is_byte_identical_across_jobs() {
         seq, par,
         "ablation JSON differs between --jobs 1 and --jobs 3"
     );
+}
+
+/// The deadline experiment fans (scheduler x seed) pairs through the
+/// pool; its figure (including the SLO verdict notes CI greps for) must
+/// not depend on how those pairs land on worker threads.
+#[test]
+fn fige1_is_byte_identical_across_jobs() {
+    let seq = figures_json(&deadline::fige1(&opts(1)));
+    let par = figures_json(&deadline::fige1(&opts(8)));
+    assert_eq!(seq, par, "fige1 JSON differs between --jobs 1 and --jobs 8");
 }
 
 #[test]

@@ -36,6 +36,7 @@ mod entity;
 mod middleware;
 mod normalize;
 mod policies;
+mod policies_deadline;
 mod policies_ext;
 mod policy;
 mod remote;
@@ -57,6 +58,7 @@ pub use normalize::{log_min_max, min_max, min_max_anchored, to_nice, to_nice_in_
 pub use policies::{
     best_output_path, FcfsPolicy, HighestRatePolicy, QueueSizePolicy, RandomPolicy,
 };
+pub use policies_deadline::{estimated_path_delay, residual_depth, DeadlinePolicy};
 pub use policies_ext::{ChainPolicy, RateBasedPolicy};
 pub use policy::{Policy, PolicyView};
 pub use remote::{

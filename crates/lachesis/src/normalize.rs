@@ -122,8 +122,16 @@ pub fn to_nice_in_range(values: &[f64], kind: PriorityKind, lo: i32, hi: i32) ->
     };
     normalized
         .into_iter()
-        // Invert: the highest priority gets the lowest (best) nice.
-        .map(|v| Nice::clamped((lo + hi) - v.round() as i32))
+        // Invert: the highest priority gets the lowest (best) nice. The
+        // clamp happens in f64 *before* the cast: a non-finite or huge
+        // normalized value (slack deficits legitimately explode under
+        // overload) would otherwise saturate `as i32` to `i32::MAX` and
+        // make `(lo + hi) - v` overflow (a panic in debug builds).
+        .map(|v| {
+            let v = if v.is_nan() { (lo + hi) as f64 / 2.0 } else { v };
+            let v = v.round().clamp(lo as f64, hi as f64) as i32;
+            Nice::clamped((lo + hi).saturating_sub(v))
+        })
         .collect()
 }
 
@@ -174,7 +182,13 @@ pub fn to_shares(values: &[f64], kind: PriorityKind, lo: u64, hi: u64) -> Vec<u6
     };
     normalized
         .into_iter()
-        .map(|v| (v.round() as u64).clamp(lo, hi))
+        // Clamp in f64 before the cast, as in [`to_nice_in_range`]: a
+        // non-finite normalized value saturates `as u64` (NaN to 0, +∞ to
+        // u64::MAX) instead of landing in the share range.
+        .map(|v| {
+            let v = if v.is_nan() { (lo as f64 + hi as f64) / 2.0 } else { v };
+            (v.round().clamp(lo as f64, hi as f64) as u64).clamp(lo, hi)
+        })
         .collect()
 }
 
@@ -274,6 +288,38 @@ mod tests {
         assert!(shares[0] > 400 && shares[0] < 600, "{shares:?}");
         assert_eq!(shares[1], 1024);
         assert!(shares.iter().all(|&s| (2..=1024).contains(&s)));
+    }
+
+    #[test]
+    fn non_finite_and_huge_priorities_stay_in_range() {
+        // Slack deficits explode under overload; ±∞ shows up when a
+        // metric source divides by zero. None of these may panic (the
+        // old `v.round() as i32` saturated to i32::MAX and overflowed
+        // `(lo + hi) - v` in debug builds) and every output must stay
+        // inside the requested range.
+        for kind in [PriorityKind::Linear, PriorityKind::Logarithmic] {
+            for vals in [
+                vec![f64::INFINITY, 1.0, 0.0],
+                vec![f64::NEG_INFINITY, 1.0],
+                vec![1e300, 1.0],
+                vec![-1e300, 1e300],
+                vec![f64::INFINITY, f64::NEG_INFINITY, f64::NAN],
+            ] {
+                let nices = to_nice_in_range(&vals, kind, -10, 5);
+                assert_eq!(nices.len(), vals.len());
+                for n in &nices {
+                    assert!(
+                        (-10..=5).contains(&n.value()),
+                        "{kind:?} {vals:?} -> {nices:?}"
+                    );
+                }
+                let shares = to_shares(&vals, kind, 2, 1024);
+                assert!(
+                    shares.iter().all(|&s| (2..=1024).contains(&s)),
+                    "{kind:?} {vals:?} -> {shares:?}"
+                );
+            }
+        }
     }
 
     #[test]

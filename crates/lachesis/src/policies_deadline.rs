@@ -1,0 +1,414 @@
+//! Deadline-aware scheduling: priorities driven by per-query latency
+//! targets — one step beyond the paper's queue/rate policies.
+//!
+//! The policy follows Cameo's insight that deadline *slack* beats queue
+//! ranking for latency-SLO workloads, adapted from per-event to
+//! per-operator granularity: each operator gets a **static slack budget**
+//! from DAG path analysis (how much of the query's end-to-end target is
+//! still available at its position) and a **runtime delay estimate** from
+//! the DRS waiting-time model (queued work ≈ queue size × per-tuple
+//! cost, accumulated along the worst downstream path). The priority is
+//! the slack *deficit* — how far the estimated delay overruns the budget
+//! — normalized by the target so queries with millisecond and second
+//! targets are comparable in one schedule. Deficits flow through the
+//! ordinary [`PriorityKind::Linear`] normalization into
+//! `NiceTranslator`/`CgroupTranslator` unchanged.
+//!
+//! [`PriorityKind::Linear`]: crate::PriorityKind::Linear
+
+use std::collections::HashMap;
+
+use lachesis_metrics::{names, MetricName};
+use simos::SimDuration;
+
+use crate::driver::SpeDriver;
+use crate::entity::OpRef;
+use crate::policy::{Policy, PolicyView};
+use crate::schedule::SinglePrioritySchedule;
+
+/// Cycle guard for downstream DFS walks (mirrors `best_output_path`).
+const MAX_PATH_DEPTH: usize = 64;
+
+/// Fallback per-tuple cost (seconds) when the COST metric is not yet
+/// observable — the same default the HR policy uses.
+const DEFAULT_COST_S: f64 = 1e-6;
+
+/// Residual depth of `op`: the number of operators on the longest path
+/// from `op` (inclusive) to a sink of its query. Sinks have depth 1.
+/// This is the static ingredient of the slack budget: it depends only on
+/// the deployed topology, never on runtime metrics.
+pub fn residual_depth(driver: &dyn SpeDriver, op: OpRef) -> usize {
+    fn dfs(driver: &dyn SpeDriver, op: OpRef, depth: usize) -> usize {
+        if depth > MAX_PATH_DEPTH {
+            return 1;
+        }
+        1 + driver
+            .downstream(op)
+            .into_iter()
+            .map(|d| dfs(driver, d, depth + 1))
+            .max()
+            .unwrap_or(0)
+    }
+    dfs(driver, op, 0)
+}
+
+/// DRS-style estimate of the delay a tuple entering `op`'s queue now
+/// would accumulate before leaving the query: along the *worst* (highest
+/// estimated delay) downstream path, each operator contributes its queued
+/// work plus one service time, `(queue_size + 1) × cost`. Queue sizes and
+/// costs come from the metric provider; missing values degrade to an
+/// empty queue with the default cost, so the estimate is usable from the
+/// first scheduling round.
+pub fn estimated_path_delay(view: &PolicyView<'_>, op: OpRef) -> f64 {
+    fn dfs(view: &PolicyView<'_>, op: OpRef, depth: usize) -> f64 {
+        let queue = view
+            .metric_of(names::QUEUE_SIZE, op)
+            .unwrap_or(0.0)
+            .max(0.0);
+        let cost = view
+            .metric_of(names::COST, op)
+            .unwrap_or(DEFAULT_COST_S)
+            .max(0.0);
+        let own = (queue + 1.0) * cost;
+        if depth > MAX_PATH_DEPTH {
+            return own;
+        }
+        own + view
+            .driver
+            .downstream(op)
+            .into_iter()
+            .map(|d| dfs(view, d, depth + 1))
+            .fold(0.0, f64::max)
+    }
+    dfs(view, op, 0)
+}
+
+/// **DEADLINE**: deadline-aware policy ranking operators by normalized
+/// slack deficit against per-query end-to-end latency targets.
+///
+/// Per operator `i` of a query with target `T`:
+///
+/// * static budget `B_i = T · depth_i / max_depth` — the share of the
+///   deadline still available at `i`'s position in the DAG (sources keep
+///   the full target, sinks only their own slice);
+/// * runtime delay `D_i` — the DRS waiting-time estimate along the worst
+///   downstream path ([`estimated_path_delay`]);
+/// * priority `(D_i − B_i) / T` — positive when the deadline is at risk.
+///
+/// Under overload the deficit legitimately explodes (queues grow without
+/// bound); the normalization layer clamps before casting, so priorities
+/// stay valid nice/shares values.
+#[derive(Debug, Clone)]
+pub struct DeadlinePolicy {
+    period: SimDuration,
+    default_target_s: f64,
+    /// Per-query targets, looked up by query index (within the driver).
+    targets: Vec<(usize, f64)>,
+    /// Static budgets, recomputed only when the scope changes.
+    budgets: HashMap<OpRef, f64>,
+    cached_scope: Vec<OpRef>,
+}
+
+impl DeadlinePolicy {
+    /// Creates the policy with a scheduling period and the target applied
+    /// to queries without an explicit [`with_target`] entry.
+    ///
+    /// [`with_target`]: DeadlinePolicy::with_target
+    pub fn new(period: SimDuration, default_target_s: f64) -> Self {
+        DeadlinePolicy {
+            period,
+            default_target_s: default_target_s.max(1e-9),
+            targets: Vec::new(),
+            budgets: HashMap::new(),
+            cached_scope: Vec::new(),
+        }
+    }
+
+    /// Sets the end-to-end latency target for one query (seconds).
+    /// Non-positive targets are clamped to a nanosecond.
+    pub fn with_target(mut self, query: usize, target_s: f64) -> Self {
+        let target_s = target_s.max(1e-9);
+        match self.targets.iter_mut().find(|(q, _)| *q == query) {
+            Some(entry) => entry.1 = target_s,
+            None => self.targets.push((query, target_s)),
+        }
+        // Targets shape the static budgets: force a recompute.
+        self.cached_scope.clear();
+        self.budgets.clear();
+        self
+    }
+
+    /// The latency target applied to `query`.
+    pub fn target_of(&self, query: usize) -> f64 {
+        self.targets
+            .iter()
+            .find(|(q, _)| *q == query)
+            .map(|&(_, t)| t)
+            .unwrap_or(self.default_target_s)
+    }
+
+    /// The static slack budget of `op` (seconds), as of the last schedule
+    /// round (exposed for tests and reporting).
+    pub fn slack_budget(&self, op: OpRef) -> Option<f64> {
+        self.budgets.get(&op).copied()
+    }
+
+    /// Recomputes the static per-operator budgets when the deployed scope
+    /// changed (queries added/removed, operators migrated).
+    fn refresh_budgets(&mut self, view: &PolicyView<'_>) {
+        if self.cached_scope.as_slice() == view.scope {
+            return;
+        }
+        let mut depths: HashMap<OpRef, usize> = HashMap::new();
+        let mut max_depth: HashMap<usize, usize> = HashMap::new();
+        for &op in view.scope {
+            let d = residual_depth(view.driver, op);
+            depths.insert(op, d);
+            let e = max_depth.entry(op.query).or_insert(0);
+            *e = (*e).max(d);
+        }
+        self.budgets = view
+            .scope
+            .iter()
+            .map(|&op| {
+                let target = self.target_of(op.query);
+                let frac = depths[&op] as f64 / max_depth[&op.query].max(1) as f64;
+                (op, target * frac)
+            })
+            .collect();
+        self.cached_scope = view.scope.to_vec();
+    }
+}
+
+impl Policy for DeadlinePolicy {
+    fn name(&self) -> &str {
+        "deadline"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn required_metrics(&self) -> Vec<MetricName> {
+        // COST is derived by the provider (cpu-time / tuples) on SPEs
+        // that don't expose it directly, exactly as for HR.
+        vec![names::QUEUE_SIZE, names::COST]
+    }
+
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        self.refresh_budgets(view);
+        view.scope
+            .iter()
+            .map(|&op| {
+                let target = self.target_of(op.query);
+                let budget = self.budgets.get(&op).copied().unwrap_or(target);
+                let deficit = (estimated_path_delay(view, op) - budget) / target;
+                (op, deficit)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::to_nice;
+    use lachesis_metrics::MetricProvider;
+    use simos::SimTime;
+
+    /// Two identical three-stage pipelines: q0: 0→1→2, q1: 0→1→2.
+    struct TwoPipes;
+    impl lachesis_metrics::MetricSource<OpRef> for TwoPipes {
+        fn source_name(&self) -> &str {
+            "pipes"
+        }
+        fn provides(&self, _m: MetricName) -> bool {
+            false
+        }
+        fn fetch(&self, _m: MetricName) -> lachesis_metrics::EntityValues<OpRef> {
+            Default::default()
+        }
+    }
+    impl SpeDriver for TwoPipes {
+        fn name(&self) -> &str {
+            "pipes"
+        }
+        fn kind(&self) -> spe::SpeKind {
+            spe::SpeKind::Liebre
+        }
+        fn queries(&self) -> Vec<spe::RunningQuery> {
+            Vec::new()
+        }
+        fn entities(&self) -> Vec<OpRef> {
+            (0..2)
+                .flat_map(|q| (0..3).map(move |o| OpRef::new(q, o)))
+                .collect()
+        }
+        fn thread_of(&self, _op: OpRef) -> Option<simos::ThreadId> {
+            None
+        }
+        fn downstream(&self, op: OpRef) -> Vec<OpRef> {
+            if op.op < 2 {
+                vec![OpRef::new(op.query, op.op + 1)]
+            } else {
+                vec![]
+            }
+        }
+        fn physical_of(&self, query: usize, logical: usize) -> Vec<OpRef> {
+            vec![OpRef::new(query, logical)]
+        }
+        fn logical_of(&self, op: OpRef) -> Vec<usize> {
+            vec![op.op]
+        }
+        fn is_egress(&self, op: OpRef) -> bool {
+            op.op == 2
+        }
+    }
+
+    /// Provider exposing QUEUE_SIZE and COST with explicit per-op values.
+    fn provider_with(queues: &[(OpRef, f64)], costs: &[(OpRef, f64)]) -> MetricProvider<OpRef> {
+        struct Src {
+            queues: Vec<(OpRef, f64)>,
+            costs: Vec<(OpRef, f64)>,
+        }
+        impl lachesis_metrics::MetricSource<OpRef> for Src {
+            fn source_name(&self) -> &str {
+                "src"
+            }
+            fn provides(&self, m: MetricName) -> bool {
+                m == names::QUEUE_SIZE || m == names::COST
+            }
+            fn fetch(&self, m: MetricName) -> lachesis_metrics::EntityValues<OpRef> {
+                let vals = if m == names::QUEUE_SIZE {
+                    &self.queues
+                } else {
+                    &self.costs
+                };
+                vals.iter().copied().collect()
+            }
+        }
+        let mut p = MetricProvider::new();
+        p.register(names::QUEUE_SIZE);
+        p.register(names::COST);
+        p.update(
+            SimTime::ZERO,
+            &[&Src {
+                queues: queues.to_vec(),
+                costs: costs.to_vec(),
+            }],
+        )
+        .unwrap();
+        p
+    }
+
+    fn scope() -> Vec<OpRef> {
+        TwoPipes.entities()
+    }
+
+    #[test]
+    fn policy_metadata() {
+        let p = DeadlinePolicy::new(SimDuration::from_millis(100), 1.0);
+        assert_eq!(p.name(), "deadline");
+        assert_eq!(p.period(), SimDuration::from_millis(100));
+        assert_eq!(p.required_metrics(), vec![names::QUEUE_SIZE, names::COST]);
+        assert_eq!(p.priority_kind(), crate::PriorityKind::Linear);
+        assert_eq!(p.target_of(7), 1.0, "default target applies");
+        let p = p.with_target(1, 0.25).with_target(1, 0.5);
+        assert_eq!(p.target_of(1), 0.5, "later with_target wins");
+    }
+
+    #[test]
+    fn static_budgets_follow_residual_depth() {
+        let driver = TwoPipes;
+        assert_eq!(residual_depth(&driver, OpRef::new(0, 0)), 3);
+        assert_eq!(residual_depth(&driver, OpRef::new(0, 1)), 2);
+        assert_eq!(residual_depth(&driver, OpRef::new(0, 2)), 1);
+        let provider = provider_with(&[], &[]);
+        let scope = scope();
+        let mut p = DeadlinePolicy::new(SimDuration::from_secs(1), 0.9);
+        let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);
+        let _ = p.schedule(&view);
+        // Source keeps the full target; the budget shrinks towards the
+        // sink in proportion to remaining path depth.
+        assert!((p.slack_budget(OpRef::new(0, 0)).unwrap() - 0.9).abs() < 1e-12);
+        assert!((p.slack_budget(OpRef::new(0, 1)).unwrap() - 0.6).abs() < 1e-12);
+        assert!((p.slack_budget(OpRef::new(0, 2)).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tighter_target_means_higher_priority_at_equal_backlog() {
+        let driver = TwoPipes;
+        // Same backlog and cost everywhere on both queries.
+        let all: Vec<(OpRef, f64)> = driver.entities().iter().map(|&o| (o, 50.0)).collect();
+        let costs: Vec<(OpRef, f64)> = driver.entities().iter().map(|&o| (o, 1e-3)).collect();
+        let provider = provider_with(&all, &costs);
+        let scope = scope();
+        let mut p = DeadlinePolicy::new(SimDuration::from_secs(1), 5.0).with_target(0, 0.1);
+        let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);
+        let s = p.schedule(&view);
+        for op in 0..3 {
+            assert!(
+                s.get(OpRef::new(0, op)).unwrap() > s.get(OpRef::new(1, op)).unwrap(),
+                "tight-target query outranks loose at op {op}: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backlog_raises_priority_monotonically() {
+        let driver = TwoPipes;
+        let costs: Vec<(OpRef, f64)> = driver.entities().iter().map(|&o| (o, 1e-3)).collect();
+        let scope = scope();
+        let mut prev = f64::NEG_INFINITY;
+        for backlog in [0.0, 10.0, 100.0, 1000.0] {
+            let queues = vec![(OpRef::new(0, 1), backlog)];
+            let provider = provider_with(&queues, &costs);
+            let mut p = DeadlinePolicy::new(SimDuration::from_secs(1), 1.0);
+            let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);
+            let s = p.schedule(&view);
+            let pr = s.get(OpRef::new(0, 1)).unwrap();
+            assert!(pr > prev, "priority grows with backlog: {pr} vs {prev}");
+            prev = pr;
+        }
+    }
+
+    #[test]
+    fn overload_deficits_translate_to_valid_nice_values() {
+        // Queues exploding under overload produce enormous deficits; the
+        // whole pipeline down to nice values must stay in range (this is
+        // the path that exercises the clamped normalization).
+        let driver = TwoPipes;
+        let queues: Vec<(OpRef, f64)> = driver.entities().iter().map(|&o| (o, 1e12)).collect();
+        let costs: Vec<(OpRef, f64)> = driver.entities().iter().map(|&o| (o, 10.0)).collect();
+        let provider = provider_with(&queues, &costs);
+        let scope = scope();
+        let mut p = DeadlinePolicy::new(SimDuration::from_secs(1), 1e-6).with_target(0, 1e-9);
+        let view = PolicyView::new(SimTime::ZERO, &driver, &scope, &provider, 0);
+        let s = p.schedule(&view);
+        let priorities: Vec<f64> = scope.iter().map(|&o| s.get(o).unwrap()).collect();
+        assert!(priorities.iter().all(|v| v.is_finite()));
+        assert!(priorities.iter().any(|v| *v > 1e9), "deficit explodes");
+        let nices = to_nice(&priorities, p.priority_kind());
+        assert_eq!(nices.len(), priorities.len());
+        for n in nices {
+            assert!((-20..=19).contains(&n.value()));
+        }
+    }
+
+    #[test]
+    fn budgets_recompute_when_scope_changes() {
+        let driver = TwoPipes;
+        let provider = provider_with(&[], &[]);
+        let full = scope();
+        let mut p = DeadlinePolicy::new(SimDuration::from_secs(1), 1.0);
+        let view = PolicyView::new(SimTime::ZERO, &driver, &full, &provider, 0);
+        let _ = p.schedule(&view);
+        assert!(p.slack_budget(OpRef::new(1, 0)).is_some());
+        // Shrink the scope to query 0 only: query 1 budgets disappear.
+        let narrow: Vec<OpRef> = full.iter().copied().filter(|o| o.query == 0).collect();
+        let view = PolicyView::new(SimTime::ZERO, &driver, &narrow, &provider, 0);
+        let _ = p.schedule(&view);
+        assert!(p.slack_budget(OpRef::new(1, 0)).is_none());
+        assert!(p.slack_budget(OpRef::new(0, 0)).is_some());
+    }
+}

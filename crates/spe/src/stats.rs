@@ -37,9 +37,18 @@ pub struct LogHistogram {
     sum: f64,
     min: f64,
     max: f64,
-    /// Bounds `[lo, hi)` of the most recently hit bucket and its index.
-    /// Consecutive latency samples land in the same ~5%-wide bucket far
-    /// more often than not, and the range check replaces a `ln` call.
+    /// Observed-sample bounds `[lo, hi]` (both inclusive) of the most
+    /// recently hit bucket and its index. Consecutive latency samples land
+    /// in the same ~5%-wide bucket far more often than not, and the range
+    /// check replaces a `ln` call.
+    ///
+    /// The bounds are *samples that `bucket_index` actually mapped to
+    /// `idx`*, never bucket edges re-derived from `BUCKET_GROWTH.powi` —
+    /// the `powi` and `ln` paths round differently exactly at bucket
+    /// boundaries, which used to make bucketing depend on sample order
+    /// (warm vs cold cache). `bucket_index` is weakly monotone, so every
+    /// value between two samples with the same index shares that index and
+    /// the fast path agrees with `bucket_index` bit-for-bit.
     last_bucket: Option<(f64, f64, usize)>,
 }
 
@@ -85,12 +94,21 @@ impl LogHistogram {
         }
         let value = value.clamp(0.0, BUCKET_CAP);
         let idx = match self.last_bucket {
-            Some((lo, hi, idx)) if value > lo && value <= hi => idx,
-            _ => {
+            Some((lo, hi, idx)) if lo <= value && value <= hi => idx,
+            Some((lo, hi, idx)) => {
+                let new = Self::bucket_index(value);
+                // Same bucket: widen the cached interval with the observed
+                // sample. Different bucket: restart from a single sample.
+                self.last_bucket = if new == idx {
+                    Some((lo.min(value), hi.max(value), idx))
+                } else {
+                    Some((value, value, new))
+                };
+                new
+            }
+            None => {
                 let idx = Self::bucket_index(value);
-                let hi = BUCKET_MIN * BUCKET_GROWTH.powi(idx as i32);
-                let lo = if idx == 0 { f64::NEG_INFINITY } else { hi / BUCKET_GROWTH };
-                self.last_bucket = Some((lo, hi, idx));
+                self.last_bucket = Some((value, value, idx));
                 idx
             }
         };
@@ -166,6 +184,30 @@ impl LogHistogram {
             }
         }
         Some(self.max)
+    }
+
+    /// Fraction of recorded samples above `threshold`, at bucket
+    /// resolution (~5% relative error on the threshold): counts the
+    /// samples in buckets strictly above the bucket containing
+    /// `threshold`. Returns `None` for an empty histogram or a NaN
+    /// threshold. This backs SLO-miss-rate reporting, where `threshold`
+    /// is a latency target in seconds.
+    pub fn fraction_above(&self, threshold: f64) -> Option<f64> {
+        if self.count == 0 || threshold.is_nan() {
+            return None;
+        }
+        if threshold >= BUCKET_CAP {
+            return Some(0.0);
+        }
+        let cut = Self::bucket_index(threshold.clamp(0.0, BUCKET_CAP));
+        let above: u64 = self.buckets.iter().skip(cut + 1).sum();
+        Some(above as f64 / self.count as f64)
+    }
+
+    /// Per-bucket sample counts, lowest bucket first. Exposed so tests can
+    /// assert bucketing invariants (e.g. independence from sample order).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Letter values for boxen plots (paper Fig. 13): returns
@@ -338,6 +380,50 @@ mod tests {
         h.record(0.5);
         assert_eq!(h.count(), 3);
         assert!(h.quantile(0.5).unwrap().is_finite());
+    }
+
+    #[test]
+    fn bucketing_is_independent_of_sample_order() {
+        // Values sitting exactly on bucket edges (BUCKET_MIN * g^k) are the
+        // adversarial case: the retired powi-derived cache bounds rounded
+        // differently from the ln-based `bucket_index` there, so a warm
+        // cache could classify an edge value into a different bucket than
+        // a cold one. Record the same multiset ascending, descending and
+        // interleaved; the bucket counts must be identical.
+        let edges: Vec<f64> = (0..600).map(|k| BUCKET_MIN * BUCKET_GROWTH.powi(k)).collect();
+        let mut asc = LogHistogram::new();
+        let mut desc = LogHistogram::new();
+        let mut mixed = LogHistogram::new();
+        for v in &edges {
+            asc.record(*v);
+        }
+        for v in edges.iter().rev() {
+            desc.record(*v);
+        }
+        for pair in edges.chunks(2) {
+            for v in pair.iter().rev() {
+                mixed.record(*v);
+            }
+        }
+        assert_eq!(asc.bucket_counts(), desc.bucket_counts());
+        assert_eq!(asc.bucket_counts(), mixed.bucket_counts());
+        assert_eq!(asc.count(), 600);
+    }
+
+    #[test]
+    fn fraction_above_matches_distribution() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.fraction_above(0.5), None);
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-3); // 1ms ..= 100ms
+        }
+        let half = h.fraction_above(0.05).unwrap();
+        assert!((half - 0.5).abs() < 0.06, "fraction above 50ms = {half}");
+        assert_eq!(h.fraction_above(1.0), Some(0.0));
+        assert_eq!(h.fraction_above(f64::INFINITY), Some(0.0));
+        assert_eq!(h.fraction_above(0.0), Some(1.0));
+        assert_eq!(h.fraction_above(-1.0), Some(1.0));
+        assert_eq!(h.fraction_above(f64::NAN), None);
     }
 
     #[test]

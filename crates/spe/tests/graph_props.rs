@@ -137,6 +137,36 @@ proptest! {
         }
     }
 
+    /// Bucket counts are a function of the sample *multiset*, not the
+    /// sample *order*: recording any permutation of the same values yields
+    /// identical buckets. The generated values deliberately include points
+    /// sitting exactly on bucket edges (`1e-6 * 1.05^k`), where the retired
+    /// powi-derived fast-path cache used to disagree with `bucket_index`.
+    #[test]
+    fn histogram_bucketing_is_permutation_invariant(
+        raw in proptest::collection::vec(0f64..10.0, 1..300),
+        edges in proptest::collection::vec(0i32..400, 0..100),
+        swaps in proptest::collection::vec((0usize..1024, 0usize..1024), 0..200),
+    ) {
+        let mut samples = raw;
+        samples.extend(edges.iter().map(|&k| 1e-6 * 1.05f64.powi(k)));
+        let mut permuted = samples.clone();
+        let n = permuted.len();
+        for &(a, b) in &swaps {
+            permuted.swap(a % n, b % n);
+        }
+        let mut in_order = LogHistogram::new();
+        let mut shuffled = LogHistogram::new();
+        for &s in &samples {
+            in_order.record(s);
+        }
+        for &s in &permuted {
+            shuffled.record(s);
+        }
+        prop_assert_eq!(in_order.count(), shuffled.count());
+        prop_assert_eq!(in_order.bucket_counts(), shuffled.bucket_counts());
+    }
+
     /// The histogram's quantile error stays within the bucket resolution.
     #[test]
     fn histogram_error_is_bounded(scale in 1e-4f64..1.0) {
