@@ -11,7 +11,7 @@ use std::process::ExitCode;
 
 use bench::experiments::{
     ablation, chaos, churn, deadline, multi_query, multi_spe, rack, scale_out, single_query,
-    table1,
+    soak, table1,
 };
 use bench::report::Figure;
 use bench::ExpOptions;
@@ -19,9 +19,9 @@ use bench::ExpOptions;
 /// `all` runs every experiment; the fig13 panels come out of the
 /// fig9-fig12 runs, so fig13 is only an explicit id (running it separately
 /// would redo those sweeps).
-const ALL: [&str; 19] = [
+const ALL: [&str; 20] = [
     "fig1", "fig5", "fig7", "fig9", "fig10", "fig11", "fig12", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "figc1", "figc2", "figc3", "figd1", "fige1", "ablation", "table1",
+    "fig17", "fig18", "figc1", "figc2", "figc3", "figd1", "fige1", "figf1", "ablation", "table1",
 ];
 
 fn usage() -> ! {
@@ -78,6 +78,7 @@ fn run_experiment(id: &str, opts: &ExpOptions) -> Vec<Figure> {
         "figc3" => churn::figc3(opts),
         "figd1" => rack::figd1(opts),
         "fige1" => deadline::fige1(opts),
+        "figf1" => soak::figf1(opts),
         "ablation" => ablation::ablation(opts),
         _ => usage(),
     }

@@ -25,7 +25,8 @@ use std::rc::Rc;
 use lachesis::{CmdApplier, CmdOutbox, RemoteCmd};
 use lachesis_metrics::TimeSeriesStore;
 use simos::{
-    CallbackId, Envelope, Kernel, LinkStamper, NetTopology, RackNodeId, SimDuration, SimTime,
+    CallbackId, Envelope, Kernel, LinkStamper, NetFaultPlan, NetTopology, NetVerdict, RackNodeId,
+    SimDuration, SimTime,
 };
 use spe::{PhysOpId, RunningQuery, Tuple};
 
@@ -100,6 +101,23 @@ pub struct DeliveryRecord {
     /// Kernel time when the delivery event fired (must equal `recv_time`).
     pub delivered_at: SimTime,
     /// Payload discriminant.
+    pub kind: MsgKind,
+}
+
+/// One control-plane envelope the [`NetFaultPlan`] dropped, journaled so
+/// validators can account for the hole in the per-link sequence stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropRecord {
+    /// Source rack node.
+    pub src: RackNodeId,
+    /// Destination rack node.
+    pub dst: RackNodeId,
+    /// Per-link sequence number the envelope consumed before dropping.
+    pub seq: u64,
+    /// When the source handed the message to the network.
+    pub send_time: SimTime,
+    /// Payload discriminant (never [`MsgKind::Tuple`]: the fabric only
+    /// faults control-plane traffic).
     pub kind: MsgKind,
 }
 
@@ -183,6 +201,7 @@ impl NodeRuntime {
 struct StepOut {
     sent: Vec<Envelope<ClusterMsg>>,
     delivered: Vec<DeliveryRecord>,
+    dropped: Vec<DropRecord>,
 }
 
 /// One shard: a kernel hosting a subset of the rack nodes, plus the fabric
@@ -202,6 +221,11 @@ pub struct ClusterShard {
     stampers: BTreeMap<RackNodeId, LinkStamper>,
     outbox: Rc<ClusterOutbox>,
     delivered: Rc<RefCell<Vec<DeliveryRecord>>>,
+    /// The network-fault plan, shared (as identical clones) by every
+    /// shard. The plan's verdicts are pure functions of rack-node-level
+    /// envelope identity, so any shard evaluates any envelope identically.
+    net_faults: NetFaultPlan,
+    dropped: Vec<DropRecord>,
 }
 
 impl ClusterShard {
@@ -215,7 +239,17 @@ impl ClusterShard {
             stampers: BTreeMap::new(),
             outbox: Rc::new(ClusterOutbox::default()),
             delivered: Rc::new(RefCell::new(Vec::new())),
+            net_faults: NetFaultPlan::default(),
+            dropped: Vec::new(),
         }
+    }
+
+    /// Installs the network-fault plan. Every shard of a cluster must hold
+    /// an identical plan (use [`Cluster::set_net_faults`] to distribute
+    /// one), because verdicts are re-derived at both the stamping and the
+    /// injecting shard.
+    pub fn set_net_faults(&mut self, plan: NetFaultPlan) {
+        self.net_faults = plan;
     }
 
     /// The shared outbox handle for producers on this shard (relay
@@ -325,29 +359,48 @@ impl ClusterShard {
         // independent of how nodes interleave inside a shard, so the seq
         // numbers stamped below are layout-invariant.
         raw.sort_by_key(|r| (r.src, r.dst, r.at));
-        let sent = raw
-            .into_iter()
-            .map(|r| {
-                let stamper = self
-                    .stampers
-                    .get_mut(&r.src)
-                    .unwrap_or_else(|| panic!("send from foreign rack node {}", r.src));
-                let env = stamper.stamp(&self.topo, r.dst, r.at, r.msg);
-                // Conservative lookahead: nothing sent during this epoch
-                // may arrive before the barrier that ends it.
-                assert!(
-                    env.recv_time >= deadline,
-                    "lookahead violated: sent {:?} -> recv {:?} < barrier {:?}",
-                    env.send_time,
-                    env.recv_time,
-                    deadline
-                );
-                env
-            })
-            .collect();
+        let mut sent = Vec::new();
+        for r in raw {
+            let stamper = self
+                .stampers
+                .get_mut(&r.src)
+                .unwrap_or_else(|| panic!("send from foreign rack node {}", r.src));
+            let mut env = stamper.stamp(&self.topo, r.dst, r.at, r.msg);
+            // Conservative lookahead: nothing sent during this epoch may
+            // arrive before the barrier that ends it.
+            assert!(
+                env.recv_time >= deadline,
+                "lookahead violated: sent {:?} -> recv {:?} < barrier {:?}",
+                env.send_time,
+                env.recv_time,
+                deadline
+            );
+            // The fault plan only touches control-plane traffic (commands
+            // and metrics). Tuples are exempt: a destination queue models
+            // exactly one network delay, and tuple loss belongs to the
+            // SPE's shedding layer, not the fabric.
+            if env.payload.kind() != MsgKind::Tuple {
+                match self.net_faults.verdict(env.src, env.dst, env.seq, env.send_time) {
+                    NetVerdict::Drop => {
+                        self.dropped.push(DropRecord {
+                            src: env.src,
+                            dst: env.dst,
+                            seq: env.seq,
+                            send_time: env.send_time,
+                            kind: env.payload.kind(),
+                        });
+                        continue;
+                    }
+                    NetVerdict::Delay(extra) => env.recv_time += extra,
+                    NetVerdict::Deliver => {}
+                }
+            }
+            sent.push(env);
+        }
         StepOut {
             sent,
             delivered: self.delivered.borrow_mut().drain(..).collect(),
+            dropped: std::mem::take(&mut self.dropped),
         }
     }
 
@@ -357,10 +410,25 @@ impl ClusterShard {
             "fabric delivered an envelope into the past"
         );
         let latency = self.topo.latency(env.src, env.dst);
+        // Re-derive the fault-plan verdict at the destination shard: the
+        // plan is pure, so this is exactly the extra the stamping shard
+        // added (and a dropped envelope can never arrive here).
+        let extra = if env.payload.kind() == MsgKind::Tuple {
+            SimDuration::ZERO
+        } else {
+            match self.net_faults.verdict(env.src, env.dst, env.seq, env.send_time) {
+                NetVerdict::Deliver => SimDuration::ZERO,
+                NetVerdict::Delay(d) => d,
+                NetVerdict::Drop => panic!(
+                    "dropped envelope {}->{} seq {} reached inject",
+                    env.src, env.dst, env.seq
+                ),
+            }
+        };
         assert_eq!(
             env.recv_time,
-            env.send_time + latency,
-            "envelope recv time disagrees with the latency matrix"
+            env.send_time + latency + extra,
+            "envelope recv time disagrees with the latency matrix + fault plan"
         );
         let delay = env.recv_time - barrier;
         let mut record = DeliveryRecord {
@@ -539,6 +607,7 @@ pub struct Cluster {
     pending: Vec<Envelope<ClusterMsg>>,
     node_shard: Vec<usize>,
     journal: Vec<DeliveryRecord>,
+    drops: Vec<DropRecord>,
     epochs: u64,
 }
 
@@ -595,8 +664,20 @@ impl Cluster {
             pending: Vec::new(),
             node_shard,
             journal: Vec::new(),
+            drops: Vec::new(),
             epochs: 0,
         }
+    }
+
+    /// Distributes one [`NetFaultPlan`] to every shard. Must be called
+    /// before the first epoch; verdicts are pure functions of envelope
+    /// identity, so identical clones keep all shards in agreement.
+    pub fn set_net_faults(&mut self, plan: &NetFaultPlan) {
+        assert_eq!(self.epochs, 0, "install the fault plan before running");
+        self.map_shards(|_| {
+            let plan = plan.clone();
+            Box::new(move |s: &mut ClusterShard| s.set_net_faults(plan))
+        });
     }
 
     /// The rack topology.
@@ -632,6 +713,12 @@ impl Cluster {
     /// The fabric delivery journal (all shards, per-epoch shard order).
     pub fn journal(&self) -> &[DeliveryRecord] {
         &self.journal
+    }
+
+    /// Control-plane envelopes dropped by the [`NetFaultPlan`] (all
+    /// shards, per-epoch shard order).
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
     }
 
     /// Runs the rack until simulated time `t` in lockstep epochs (the last
@@ -671,6 +758,7 @@ impl Cluster {
         );
         for out in outs {
             self.journal.extend(out.delivered);
+            self.drops.extend(out.dropped);
             self.pending.extend(out.sent);
         }
         self.now = deadline;
@@ -905,6 +993,97 @@ mod tests {
             cluster.journal().iter().any(|r| r.kind == MsgKind::Metric),
             "journaled as metric deliveries"
         );
+    }
+
+    /// Node 1 relays a metric bucket to node 0 every second; the plan
+    /// partitions them for a window and spikes the link afterwards.
+    fn faulted_metric_rack(shards: usize, plan: &simos::NetFaultPlan) -> Cluster {
+        let topo = NetTopology::uniform(2, SimDuration::from_millis(1));
+        let assignments: Vec<Vec<RackNodeId>> = match shards {
+            1 => vec![vec![0, 1]],
+            2 => vec![vec![0], vec![1]],
+            _ => panic!("test rack supports 1 or 2 shards"),
+        };
+        let builders = assignments
+            .into_iter()
+            .map(|racks| {
+                let topo = topo.clone();
+                Box::new(move || {
+                    let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+                    for rack_id in racks {
+                        let node = shard.kernel.add_node(&format!("rack{rack_id}"), 1);
+                        let store = Rc::new(RefCell::new(TimeSeriesStore::new(
+                            SimDuration::from_secs(1),
+                        )));
+                        shard.add_rack_node(rack_id, node, Rc::clone(&store));
+                        if rack_id == 1 {
+                            let w = Rc::clone(&store);
+                            shard.kernel.schedule_periodic(
+                                SimDuration::from_millis(250),
+                                SimDuration::from_millis(250),
+                                move |k| {
+                                    let now = k.now();
+                                    w.borrow_mut().record("liebre.q.0.queue_size", now, 3.0);
+                                },
+                            );
+                            let outbox = shard.outbox();
+                            install_metric_relay(
+                                &mut shard.kernel,
+                                outbox,
+                                1,
+                                0,
+                                store,
+                                SimDuration::from_millis(500),
+                            );
+                        }
+                    }
+                    shard
+                }) as Box<dyn FnOnce() -> ClusterShard + Send>
+            })
+            .collect();
+        let mut cluster = Cluster::new(topo, 1, builders);
+        cluster.set_net_faults(plan);
+        cluster
+    }
+
+    #[test]
+    fn net_faults_drop_and_delay_control_plane_deterministically() {
+        let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        let plan = simos::NetFaultPlan::new(11)
+            .partition(t(3), t(6), vec![0], vec![])
+            .latency_spike(t(6), t(9), 1, 0, 1.0, SimDuration::from_millis(4));
+        let run = |shards: usize| {
+            let mut cluster = faulted_metric_rack(shards, &plan);
+            cluster.run_for(SimDuration::from_secs(10));
+            let stats =
+                crate::trace::validate_cluster_chaos(
+                    cluster.journal(),
+                    cluster.drops(),
+                    cluster.topology(),
+                    &plan,
+                )
+                .expect("chaos journal replays against plan + topology");
+            let mut drops = cluster.drops().to_vec();
+            drops.sort_by_key(|d| (d.src, d.dst, d.seq));
+            let mut journal = cluster.journal().to_vec();
+            journal.sort_by_key(|r| (r.src, r.dst, r.seq));
+            (stats, drops, journal)
+        };
+        let (stats, drops, journal) = run(1);
+        assert!(stats.drops > 0, "the partition window dropped relays");
+        assert!(stats.delayed > 0, "the spike window delayed relays");
+        assert!(stats.metrics > 0, "relays outside the windows landed");
+        assert!(drops.iter().all(|d| d.kind == MsgKind::Metric));
+        // Strict validation rejects the same journal (late deliveries).
+        let err = crate::trace::validate_cluster(&journal, &NetTopology::uniform(2, SimDuration::from_millis(1)))
+            .unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+        // Layout invariance: the split rack drops/delays/delivers the
+        // exact same envelopes.
+        let (stats2, drops2, journal2) = run(2);
+        assert_eq!(stats, stats2);
+        assert_eq!(drops, drops2);
+        assert_eq!(journal, journal2);
     }
 
     #[test]

@@ -1,0 +1,1292 @@
+//! Long-horizon multi-tenant production soak (`figf1`, robustness
+//! extension, not in the paper): a rack of workers runs hundreds of
+//! queries from dozens of tenants arriving and departing on a
+//! multi-simulated-day diurnal calendar — flash crowds, walk-in tenants
+//! retrying admission, a whale probe that can never fit — with *every*
+//! chaos layer enabled at once:
+//!
+//! * **CPU hotplug** shrinks each worker during the first morning peak,
+//!   squeezing the admission budget exactly when walk-ins arrive.
+//! * **Operator crashes** with probabilistic restart failures hit one
+//!   tenant per worker (seeded from the *rack node id*, never the shard
+//!   index, so any shard layout replays the identical fault history).
+//! * **Metric faults** (NaN bursts, dropouts) corrupt what the
+//!   controller's mirrors read, with the starvation watchdog riding the
+//!   control loop.
+//! * **Network faults** from a seeded [`NetFaultPlan`]: command drops,
+//!   metric latency spikes, and a full controller↔worker partition on
+//!   the last day.
+//!
+//! Per-tenant cgroup CPU quotas cap the flash-crowd tenant so its burst
+//! cannot starve neighbours, and every arrival passes the
+//! [`AdmissionController`].
+//!
+//! The run reports per-tenant SLO attainment, isolation violations and a
+//! Jain fairness index, and machine-checks the partition story against a
+//! fault-free reference run: the partitioned worker must fall back to CFS
+//! defaults within the lease-detection bound (probed mid-partition), the
+//! healed cluster must reconverge to the **exact** unpartitioned
+//! schedule (the scheduling policy is static, so the reference schedule
+//! is a fixed point), and no runnable thread may starve — validated by
+//! replaying the kernel trace. Artifacts are byte-identical for any
+//! `--jobs`, `--shard-threads`, or shard count.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lachesis::{
+    install_lease_guard, AdmissionConfig, AdmissionController, AdmissionDecision, LachesisBuilder,
+    MirrorDriver, MirrorQuery, Policy, PolicyView, RemoteNiceTranslator, Scope,
+    SinglePrioritySchedule, SloClass, WatchdogConfig,
+};
+use lachesis_metrics::{FaultPlan, MetricName, TimeSeriesStore};
+use simos::{
+    machines, mix_seed, Kernel, NetFaultPlan, NetTopology, RackNodeId, SimDuration, SimTime,
+    TraceEvent, TraceTrack, DEFAULT_CPU_SHARES,
+};
+use spe::{
+    deploy, install_chaos, Consume, CostModel, EngineConfig, LogHistogram, LogicalGraph,
+    Partitioning, PassThrough, Placement, RestartPolicy, Role, RunningQuery, SpeKind, Tuple,
+};
+
+use crate::cluster::{install_metric_relay, Cluster, ClusterShard};
+use crate::harness::Measured;
+use crate::report::{Figure, Series, SweepPoint};
+use crate::trace::TraceDump;
+use crate::ExpOptions;
+
+/// Diurnal rate multipliers at day eighths 0/2/4/6: trough, shoulder,
+/// peak, evening.
+const DIURNAL: [(u64, f64); 4] = [(0, 0.4), (2, 1.0), (4, 1.4), (6, 0.7)];
+
+/// Flash-crowd multiplier on the premium tenant during the last peak.
+const FLASH: f64 = 2.2;
+
+/// Per-class end-to-end p99 target, seconds (same ladder as `figc3`).
+fn slo_target_s(class: SloClass) -> f64 {
+    match class {
+        SloClass::Premium => 2.0,
+        SloClass::Standard => 4.0,
+        SloClass::BestEffort => 10.0,
+    }
+}
+
+/// Tenant roster per worker: 0 is the premium resident (flash-crowd
+/// victim), 1 the standard resident (crash-chaos victim), 2 the
+/// best-effort daily commuter, and every index ≥ 3 a walk-in.
+fn class_of(t: usize) -> SloClass {
+    match t {
+        0 => SloClass::Premium,
+        1 => SloClass::Standard,
+        2 => SloClass::BestEffort,
+        w if w % 2 == 1 => SloClass::Standard,
+        _ => SloClass::BestEffort,
+    }
+}
+
+fn base_rate(t: usize) -> f64 {
+    match t {
+        0 => 500.0,
+        1 | 2 => 350.0,
+        _ => 600.0,
+    }
+}
+
+/// Shape of one soak run. `net_faults` is the only knob the reference
+/// run flips off; everything else (crashes, hotplug, metric faults,
+/// calendar) is identical in both runs.
+#[derive(Debug, Clone, Copy)]
+struct SoakSpec {
+    /// Rack nodes including controller node 0.
+    nodes: usize,
+    shards: usize,
+    shard_threads: usize,
+    worker_cpus: usize,
+    tenants_per_node: usize,
+    queries_per_tenant: usize,
+    days: u64,
+    day: SimDuration,
+    lease: SimDuration,
+    latency: SimDuration,
+    seed: u64,
+    net_faults: bool,
+    ring: Option<usize>,
+}
+
+impl SoakSpec {
+    fn quick(opts: &ExpOptions) -> Self {
+        SoakSpec {
+            nodes: 4,
+            shards: 4,
+            shard_threads: opts.shard_threads,
+            worker_cpus: 2,
+            tenants_per_node: 4,
+            queries_per_tenant: 2,
+            days: 2,
+            day: SimDuration::from_secs(4),
+            lease: SimDuration::from_secs(1),
+            latency: SimDuration::from_millis(1),
+            seed: 1,
+            net_faults: true,
+            ring: None,
+        }
+    }
+
+    fn full(opts: &ExpOptions) -> Self {
+        SoakSpec {
+            nodes: 9,
+            shards: 9,
+            shard_threads: opts.shard_threads,
+            worker_cpus: 4,
+            tenants_per_node: 8,
+            queries_per_tenant: 4,
+            days: 3,
+            day: SimDuration::from_secs(12),
+            lease: SimDuration::from_secs(2),
+            latency: SimDuration::from_millis(1),
+            seed: 1,
+            net_faults: true,
+            ring: None,
+        }
+    }
+
+    /// Offset of eighth `e` of day `d` from the run start.
+    fn off(&self, d: u64, e: u64) -> SimDuration {
+        SimDuration::from_nanos(self.day.as_nanos() * d + self.day.as_nanos() / 8 * e)
+    }
+
+    fn t(&self, d: u64, e: u64) -> SimTime {
+        SimTime::ZERO + self.off(d, e)
+    }
+
+    fn last_day(&self) -> u64 {
+        self.days - 1
+    }
+
+    /// Run end: a quarter day past the last day, draining at the trough.
+    fn end(&self) -> SimDuration {
+        self.off(self.days, 2)
+    }
+
+    fn half_lease(&self) -> SimDuration {
+        SimDuration::from_nanos(self.lease.as_nanos() / 2)
+    }
+
+    /// The controller↔worker-1 partition window: three lease intervals
+    /// starting early on the last day.
+    fn partition_from(&self) -> SimTime {
+        self.t(self.last_day(), 1)
+    }
+
+    fn partition_until(&self) -> SimTime {
+        self.partition_from() + SimDuration::from_nanos(self.lease.as_nanos() * 3)
+    }
+
+    /// Mid-partition probe: two lease intervals in (expiry fires after
+    /// one; the guard probes every half interval).
+    fn probe_at(&self) -> SimTime {
+        self.partition_from() + SimDuration::from_nanos(self.lease.as_nanos() * 2)
+    }
+
+    fn workers(&self) -> usize {
+        self.nodes - 1
+    }
+}
+
+/// One worker pipeline: src → hot → sink, 340 µs of work per tuple.
+fn pipeline(name: &str, rate: f64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+        Box::new(PassThrough)
+    });
+    let hot = b.op("hot", Role::Transform, CostModel::micros(300), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, hot, Partitioning::Forward);
+    b.edge(hot, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+fn tenant_query_graph(rack_id: RackNodeId, t: usize, j: usize) -> LogicalGraph {
+    pipeline(&format!("n{rack_id}t{t}q{j}"), base_rate(t))
+}
+
+/// Admission demand proxy for a whole tenant: one pipeline at the summed
+/// rate estimates the same cores as `queries_per_tenant` pipelines.
+fn admission_graph(name: &str, rate: f64, qpt: usize) -> LogicalGraph {
+    pipeline(name, rate * qpt as f64)
+}
+
+/// Metric-independent policy: priority = operator depth (plus a query
+/// tiebreak). Its fixed point does not move with tuple counts, so the
+/// healed cluster must land on the *exact* reference schedule.
+struct TierPolicy {
+    period: SimDuration,
+}
+
+impl Policy for TierPolicy {
+    fn name(&self) -> &str {
+        "soak-static"
+    }
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+    fn required_metrics(&self) -> Vec<MetricName> {
+        Vec::new()
+    }
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| (op, (op.op + 1) as f64 + 0.1 * op.query as f64))
+            .collect()
+    }
+}
+
+/// Metric corruption the controller's mirror of worker `dst` sees:
+/// a NaN burst on day 0 and a dropout window on the last day. Seeded
+/// from the worker's rack node id.
+fn metric_plan(spec: &SoakSpec, dst: RackNodeId) -> FaultPlan {
+    let last = spec.last_day();
+    FaultPlan::new(mix_seed(mix_seed(spec.seed, 0xF1), dst as u64))
+        .nan_values(spec.t(0, 6), spec.t(0, 7), 0.5)
+        .metric_dropout(spec.t(last, 5), spec.t(last, 6), 0.3)
+}
+
+/// Crash chaos on each worker: tenant 1's first pipeline loses its hot
+/// operator at the day-0 peak, with restart failures for an eighth of a
+/// day. Seeded from the rack node id (never the shard index), so any
+/// shard layout replays the identical fault history.
+fn crash_plan(spec: &SoakSpec, rack_id: RackNodeId) -> FaultPlan {
+    FaultPlan::new(mix_seed(spec.seed, rack_id as u64))
+        .operator_crash("hot#0", spec.t(0, 5))
+        .restart_failure(Some("hot#0"), spec.t(0, 5), spec.t(0, 6), 0.5)
+}
+
+/// The seeded network fault calendar: command drops and metric latency
+/// spikes around the day-0 peak, a metric drop window on the last day,
+/// and the full controller↔worker-1 partition.
+fn net_plan(spec: &SoakSpec) -> NetFaultPlan {
+    let last_worker = spec.nodes - 1;
+    let last = spec.last_day();
+    NetFaultPlan::new(spec.seed)
+        .partition(
+            spec.partition_from(),
+            spec.partition_until(),
+            vec![0],
+            vec![1],
+        )
+        .latency_spike(
+            spec.t(0, 5),
+            spec.t(0, 7),
+            last_worker,
+            0,
+            0.5,
+            SimDuration::from_millis(2),
+        )
+        .drop_link(spec.t(0, 5), spec.t(0, 7), 0, last_worker, 0.1)
+        .drop_link(spec.t(last, 5), spec.t(last, 6), last_worker, 0, 0.15)
+}
+
+/// Emits a supervisor-track instant marking a calendar event, so the
+/// soak timeline is reconstructible from the trace alone.
+fn mark(kernel: &mut Kernel, name: &'static str, args: Vec<(&'static str, f64)>) {
+    if let Some(t) = kernel.trace_sink() {
+        let now = kernel.now();
+        t.borrow_mut().push(
+            now,
+            TraceEvent::Instant {
+                track: TraceTrack::Supervisor,
+                name,
+                args,
+            },
+        );
+    }
+}
+
+fn apply_rate(queries: &[RunningQuery], rate: f64) {
+    for q in queries {
+        for s in q.sources() {
+            s.borrow_mut().set_rate(rate);
+        }
+    }
+}
+
+fn tenant_rate(t: usize, mult: f64, flash: f64) -> f64 {
+    base_rate(t) * mult * if t == 0 { flash } else { 1.0 }
+}
+
+fn build_controller(spec: &SoakSpec, shard: &mut ClusterShard, store: Rc<RefCell<TimeSeriesStore>>) {
+    let node = shard.kernel.add_node("rack0", 4);
+    shard.add_rack_node(0, node, Rc::clone(&store));
+    let cmd_outbox = Rc::new(RefCell::new(Vec::new()));
+    let mut builder = LachesisBuilder::new();
+    for dst in 1..spec.nodes {
+        let mirrors: Vec<MirrorQuery> = (0..spec.tenants_per_node)
+            .flat_map(|t| (0..spec.queries_per_tenant).map(move |j| (t, j)))
+            .map(|(t, j)| MirrorQuery::new(&tenant_query_graph(dst, t, j), false))
+            .collect();
+        let faults = Rc::new(RefCell::new(metric_plan(spec, dst)));
+        builder = builder
+            .driver(
+                MirrorDriver::new(
+                    &format!("storm@n{dst}"),
+                    SpeKind::Storm,
+                    mirrors,
+                    Rc::clone(&store),
+                )
+                .with_faults(faults)
+                .with_fence(spec.lease),
+            )
+            .policy(
+                dst - 1,
+                Scope::AllQueries,
+                TierPolicy {
+                    period: spec.half_lease(),
+                },
+                RemoteNiceTranslator::new(dst, Rc::clone(&cmd_outbox)),
+            );
+    }
+    builder
+        .watchdog(WatchdogConfig::default())
+        .build()
+        .start(&mut shard.kernel);
+    shard.set_cmd_outbox(0, cmd_outbox);
+}
+
+fn build_worker(
+    spec: &SoakSpec,
+    shard: &mut ClusterShard,
+    rack_id: RackNodeId,
+    store: Rc<RefCell<TimeSeriesStore>>,
+) {
+    let spec = *spec;
+    let qpt = spec.queries_per_tenant;
+    let node = shard
+        .kernel
+        .add_node(&format!("rack{rack_id}"), spec.worker_cpus);
+    shard.add_rack_node(rack_id, node, Rc::clone(&store));
+
+    // Every tenant's pipelines are deployed up front so the controller's
+    // static mirrors and the command (query, op) addressing stay valid
+    // for the whole run; arrival/departure toggles the source rates, and
+    // only admitted tenants ever emit a tuple.
+    let mut queries = Vec::new();
+    for t in 0..spec.tenants_per_node {
+        for j in 0..qpt {
+            let q = deploy(
+                &mut shard.kernel,
+                tenant_query_graph(rack_id, t, j),
+                EngineConfig::storm(),
+                &Placement::single(node),
+                Some(Rc::clone(&store)),
+            )
+            .expect("deploy soak pipeline");
+            queries.push(q);
+        }
+    }
+
+    // Per-tenant cgroups with a CPU quota cap: 30 ms per pipeline per
+    // 100 ms period. Generous at steady state, binding during the flash
+    // crowd — that cap is the isolation story under test.
+    let root = shard.kernel.node_root(node).expect("node root");
+    for t in 0..spec.tenants_per_node {
+        let cg = shard
+            .kernel
+            .create_cgroup(root, &format!("tenant{t}"), DEFAULT_CPU_SHARES)
+            .expect("tenant cgroup");
+        shard
+            .kernel
+            .set_cpu_quota(
+                cg,
+                Some((
+                    SimDuration::from_millis(30 * qpt as u64),
+                    SimDuration::from_millis(100),
+                )),
+            )
+            .expect("tenant quota");
+        for q in &queries[t * qpt..(t + 1) * qpt] {
+            for i in 0..q.op_count() {
+                if let Some(tid) = q.cell(i).thread() {
+                    shard
+                        .kernel
+                        .move_to_cgroup(tid, cg)
+                        .expect("move into tenant cgroup");
+                }
+            }
+        }
+    }
+
+    // Crash chaos on tenant 1's first pipeline, seeded by rack node id.
+    let chaos = Rc::new(RefCell::new(crash_plan(&spec, rack_id)));
+    install_chaos(
+        &mut shard.kernel,
+        &queries[qpt],
+        &chaos,
+        RestartPolicy::default(),
+    );
+
+    // Hotplug: one CPU leaves during the day-0 peak and returns in the
+    // evening, shrinking the admission budget while walk-ins arrive.
+    shard
+        .kernel
+        .schedule_cpu_offline(spec.off(0, 4), node, spec.worker_cpus - 1);
+    shard
+        .kernel
+        .schedule_cpu_online(spec.off(0, 6), node, spec.worker_cpus - 1);
+
+    let admission = Rc::new(RefCell::new(AdmissionController::new(
+        AdmissionConfig::default(),
+    )));
+    let active: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(vec![false; spec.tenants_per_node]));
+    let mult: Rc<RefCell<f64>> = Rc::new(RefCell::new(DIURNAL[0].1));
+    let flash: Rc<RefCell<f64>> = Rc::new(RefCell::new(1.0));
+    let tenant_queries: Rc<Vec<Vec<RunningQuery>>> = Rc::new(
+        (0..spec.tenants_per_node)
+            .map(|t| queries[t * qpt..(t + 1) * qpt].to_vec())
+            .collect(),
+    );
+
+    // Tenant 0 (premium) is resident from the start.
+    {
+        let name = format!("n{rack_id}t0");
+        let g = admission_graph(&name, base_rate(0), qpt);
+        let d = admission
+            .borrow_mut()
+            .decide(&mut shard.kernel, &name, &g, &[node]);
+        assert_eq!(d, AdmissionDecision::Admit, "empty node admits the resident");
+        active.borrow_mut()[0] = true;
+        apply_rate(&tenant_queries[0], tenant_rate(0, *mult.borrow(), 1.0));
+    }
+    for t in 1..spec.tenants_per_node {
+        apply_rate(&tenant_queries[t], 0.0);
+    }
+
+    // Diurnal rate modulation for every active tenant.
+    for d in 0..=spec.days {
+        for (e, m) in DIURNAL {
+            let off = spec.off(d, e);
+            if (d == 0 && e == 0) || off >= spec.end() {
+                continue;
+            }
+            let active = Rc::clone(&active);
+            let mult = Rc::clone(&mult);
+            let flash = Rc::clone(&flash);
+            let tq = Rc::clone(&tenant_queries);
+            shard.kernel.schedule_once(off, move |k| {
+                *mult.borrow_mut() = m;
+                for (t, qs) in tq.iter().enumerate() {
+                    if active.borrow()[t] {
+                        apply_rate(qs, tenant_rate(t, m, *flash.borrow()));
+                    }
+                }
+                mark(k, "diurnal", vec![("day", d as f64), ("mult", m)]);
+            });
+        }
+    }
+
+    // Tenant 1 (standard) arrives at the day-0 shoulder.
+    {
+        let admission = Rc::clone(&admission);
+        let active = Rc::clone(&active);
+        let mult = Rc::clone(&mult);
+        let tq = Rc::clone(&tenant_queries);
+        let name = format!("n{rack_id}t1");
+        shard
+            .kernel
+            .schedule_once(spec.off(0, 2) + SimDuration::from_millis(1), move |k| {
+                let g = admission_graph(&name, base_rate(1), qpt);
+                if admission.borrow_mut().decide(k, &name, &g, &[node])
+                    == AdmissionDecision::Admit
+                {
+                    active.borrow_mut()[1] = true;
+                    apply_rate(&tq[1], tenant_rate(1, *mult.borrow(), 1.0));
+                }
+            });
+    }
+
+    // Tenant 2 (best effort) commutes: arrives at each day's peak,
+    // departs in the evening, releasing its admission demand.
+    for d in 0..spec.days {
+        {
+            let admission = Rc::clone(&admission);
+            let active = Rc::clone(&active);
+            let mult = Rc::clone(&mult);
+            let tq = Rc::clone(&tenant_queries);
+            let name = format!("n{rack_id}t2");
+            shard
+                .kernel
+                .schedule_once(spec.off(d, 4) + SimDuration::from_millis(1), move |k| {
+                    let g = admission_graph(&name, base_rate(2), qpt);
+                    if admission.borrow_mut().decide(k, &name, &g, &[node])
+                        == AdmissionDecision::Admit
+                    {
+                        active.borrow_mut()[2] = true;
+                        apply_rate(&tq[2], tenant_rate(2, *mult.borrow(), 1.0));
+                    }
+                });
+        }
+        {
+            let admission = Rc::clone(&admission);
+            let active = Rc::clone(&active);
+            let tq = Rc::clone(&tenant_queries);
+            let name = format!("n{rack_id}t2");
+            shard.kernel.schedule_once(spec.off(d, 7), move |k| {
+                active.borrow_mut()[2] = false;
+                apply_rate(&tq[2], 0.0);
+                admission.borrow_mut().depart(&name);
+                mark(k, "depart", vec![("tenant", 2.0), ("day", d as f64)]);
+            });
+        }
+    }
+
+    // Walk-ins: each arrives at some day's peak; a queued walk-in
+    // retries at every following day's trough until admitted.
+    for w in 3..spec.tenants_per_node {
+        let d0 = (w as u64 - 3) % spec.days;
+        let jitter = SimDuration::from_millis(2 + w as u64);
+        let mut attempts = vec![spec.off(d0, 4) + jitter];
+        for rd in d0 + 1..=spec.days {
+            let off = spec.off(rd, 0) + jitter;
+            if off < spec.end() {
+                attempts.push(off);
+            }
+        }
+        for at in attempts {
+            let admission = Rc::clone(&admission);
+            let active = Rc::clone(&active);
+            let mult = Rc::clone(&mult);
+            let tq = Rc::clone(&tenant_queries);
+            let name = format!("n{rack_id}t{w}");
+            shard.kernel.schedule_once(at, move |k| {
+                if active.borrow()[w] {
+                    return;
+                }
+                let g = admission_graph(&name, base_rate(w), qpt);
+                if admission.borrow_mut().decide(k, &name, &g, &[node])
+                    == AdmissionDecision::Admit
+                {
+                    active.borrow_mut()[w] = true;
+                    apply_rate(&tq[w], tenant_rate(w, *mult.borrow(), 1.0));
+                }
+            });
+        }
+    }
+
+    // Whale probe mid-peak: demand exceeds any budget, always rejected.
+    {
+        let admission = Rc::clone(&admission);
+        let name = format!("n{rack_id}whale");
+        shard
+            .kernel
+            .schedule_once(spec.off(0, 5) + SimDuration::from_millis(1), move |k| {
+                let g = admission_graph(&name, 3000.0, qpt);
+                if admission.borrow_mut().decide(k, &name, &g, &[node])
+                    == AdmissionDecision::Admit
+                {
+                    admission.borrow_mut().depart(&name);
+                }
+            });
+    }
+
+    // Flash crowd on the premium tenant during the last day's peak; its
+    // cgroup quota is what keeps the burst from starving neighbours.
+    {
+        let last = spec.last_day();
+        let flash_on = Rc::clone(&flash);
+        let mult_on = Rc::clone(&mult);
+        let tq_on = Rc::clone(&tenant_queries);
+        shard
+            .kernel
+            .schedule_once(spec.off(last, 4) + SimDuration::from_millis(5), move |k| {
+                *flash_on.borrow_mut() = FLASH;
+                apply_rate(&tq_on[0], tenant_rate(0, *mult_on.borrow(), FLASH));
+                mark(k, "flash_crowd", vec![("tenant", 0.0), ("x", FLASH)]);
+            });
+        let flash_off = Rc::clone(&flash);
+        let mult_off = Rc::clone(&mult);
+        let tq_off = Rc::clone(&tenant_queries);
+        shard.kernel.schedule_once(spec.off(last, 5), move |k| {
+            *flash_off.borrow_mut() = 1.0;
+            apply_rate(&tq_off[0], tenant_rate(0, *mult_off.borrow(), 1.0));
+            mark(k, "flash_end", vec![("tenant", 0.0)]);
+        });
+    }
+
+    // Lease protocol + metric relay to the controller.
+    shard.set_queries(rack_id, queries);
+    shard
+        .node(rack_id)
+        .applier()
+        .borrow_mut()
+        .arm_lease(rack_id, spec.lease);
+    let applier = Rc::clone(shard.node(rack_id).applier());
+    install_lease_guard(&mut shard.kernel, applier);
+    let outbox = shard.outbox();
+    install_metric_relay(
+        &mut shard.kernel,
+        outbox,
+        rack_id,
+        0,
+        store,
+        spec.half_lease(),
+    );
+}
+
+fn build_shard(spec: SoakSpec, racks: Vec<RackNodeId>) -> ClusterShard {
+    let topo = NetTopology::uniform(spec.nodes, spec.latency);
+    let mut shard = ClusterShard::new(Kernel::new(machines::server_config()), topo);
+    // Tracing is installed on every shard before any deploys, so the
+    // thread universe the no-starvation replay sees is layout-invariant.
+    shard.trace = Some(shard.kernel.install_tracing(spec.ring));
+    // Store resolution must keep the fence's staleness math solvent: the
+    // relay ships only *completed* buckets every half lease, so the
+    // controller's freshest sample lags up to bucket + relay + latency.
+    // At lease/4 buckets that bound is 3/4 of a lease — attached workers
+    // never read as stale, while a real partition still trips the fence.
+    let resolution = SimDuration::from_nanos(spec.lease.as_nanos() / 4);
+    for rack_id in racks {
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(resolution)));
+        if rack_id == 0 {
+            build_controller(&spec, &mut shard, store);
+        } else {
+            build_worker(&spec, &mut shard, rack_id, store);
+        }
+    }
+    shard
+}
+
+fn build_cluster(spec: &SoakSpec) -> Cluster {
+    let spec = *spec;
+    let mut assignment: Vec<Vec<RackNodeId>> = vec![Vec::new(); spec.shards];
+    for rack_id in 0..spec.nodes {
+        assignment[rack_id % spec.shards].push(rack_id);
+    }
+    let builders = assignment
+        .into_iter()
+        .map(|racks| {
+            Box::new(move || build_shard(spec, racks)) as Box<dyn FnOnce() -> ClusterShard + Send>
+        })
+        .collect();
+    Cluster::new(
+        NetTopology::uniform(spec.nodes, spec.latency),
+        spec.shard_threads,
+        builders,
+    )
+}
+
+/// Per-worker operator nices, ascending rack id, deterministic op order.
+/// A crashed (unbound) operator reads as the sentinel 99.
+fn worker_nices(cluster: &mut Cluster) -> Vec<(RackNodeId, Vec<i32>)> {
+    let mut rows: Vec<(RackNodeId, Vec<i32>)> = cluster
+        .map_shards(|_| {
+            Box::new(|s: &mut ClusterShard| {
+                s.rack_nodes()
+                    .iter()
+                    .filter(|nr| nr.rack_id() != 0)
+                    .map(|nr| {
+                        let nices = nr
+                            .queries()
+                            .iter()
+                            .flat_map(|q| {
+                                (0..q.op_count()).map(|i| {
+                                    q.cell(i)
+                                        .thread()
+                                        .and_then(|tid| s.kernel.thread_info(tid).ok())
+                                        .map_or(99, |ti| ti.nice.value())
+                                })
+                            })
+                            .collect();
+                        (nr.rack_id(), nices)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}
+
+/// `(engagements, expirations)` per worker, ascending rack id.
+fn lease_transitions(cluster: &mut Cluster) -> Vec<(RackNodeId, (u64, u64))> {
+    let mut rows: Vec<(RackNodeId, (u64, u64))> = cluster
+        .map_shards(|_| {
+            Box::new(|s: &mut ClusterShard| {
+                s.rack_nodes()
+                    .iter()
+                    .filter(|nr| nr.rack_id() != 0)
+                    .map(|nr| (nr.rack_id(), nr.applier().borrow().lease_transitions()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}
+
+/// One tenant's whole-run outcome on one worker.
+#[derive(Debug, Clone, PartialEq)]
+struct TenantSoak {
+    node: RackNodeId,
+    idx: usize,
+    class: SloClass,
+    emitted: u64,
+    ingress: u64,
+    egress: u64,
+    e2e_mean_s: f64,
+    e2e_p50_s: f64,
+    /// Max over the tenant's pipelines (a conservative combined p99).
+    e2e_p99_s: f64,
+    lat_p99_s: f64,
+}
+
+/// Everything one soak run produced.
+#[derive(Debug)]
+struct SoakOutcome {
+    tenants: Vec<TenantSoak>,
+    probe_nices: Vec<(RackNodeId, Vec<i32>)>,
+    final_nices: Vec<(RackNodeId, Vec<i32>)>,
+    leases: Vec<(RackNodeId, (u64, u64))>,
+    admits: u64,
+    queued: u64,
+    rejected: u64,
+    crashes: u64,
+    restarts: u64,
+    crashed_left: u64,
+    boosts: u64,
+    starvation_ok: bool,
+    starvation_detail: String,
+    max_wait_s: f64,
+    fabric: crate::trace::ClusterStats,
+    digest: u64,
+    dumps: Vec<TraceDump>,
+}
+
+fn run_soak(spec: SoakSpec) -> SoakOutcome {
+    let plan = spec.net_faults.then(|| net_plan(&spec));
+    let mut cluster = build_cluster(&spec);
+    if let Some(p) = &plan {
+        cluster.set_net_faults(p);
+    }
+
+    // Pause mid-partition to probe the CFS fallback, then run to the end;
+    // the barrier pause cannot perturb delivery times, so both runs and
+    // every layout see identical history.
+    cluster.run_until(spec.probe_at());
+    let probe_nices = worker_nices(&mut cluster);
+    cluster.run_until(SimTime::ZERO + spec.end());
+    let final_nices = worker_nices(&mut cluster);
+    let leases = lease_transitions(&mut cluster);
+
+    let qpt = spec.queries_per_tenant;
+    type ShardRow = (Vec<TenantSoak>, (u64, u64, u64), Option<TraceDump>);
+    let rows: Vec<ShardRow> = cluster
+        .map_shards(move |_| {
+            Box::new(move |s: &mut ClusterShard| {
+                let mut tenants = Vec::new();
+                let mut crashes = (0u64, 0u64, 0u64);
+                for nr in s.rack_nodes().iter().filter(|nr| nr.rack_id() != 0) {
+                    for (t, chunk) in nr.queries().chunks(qpt).enumerate() {
+                        let mut e2e = LogHistogram::new();
+                        let mut lat = LogHistogram::new();
+                        let (mut emitted, mut ingress, mut egress) = (0u64, 0u64, 0u64);
+                        let mut p99 = 0.0f64;
+                        for q in chunk {
+                            emitted += q.source_emitted();
+                            ingress += q.ingress_total();
+                            egress += q.egress_total();
+                            let qe = q.e2e_histogram();
+                            p99 = p99.max(qe.quantile(0.99).unwrap_or(0.0));
+                            e2e.merge(&qe);
+                            lat.merge(&q.latency_histogram());
+                            crashes.0 += q.total_crashes();
+                            crashes.1 += q.total_restarts();
+                            crashes.2 += q.crashed_ops() as u64;
+                        }
+                        tenants.push(TenantSoak {
+                            node: nr.rack_id(),
+                            idx: t,
+                            class: class_of(t),
+                            emitted,
+                            ingress,
+                            egress,
+                            e2e_mean_s: e2e.mean().unwrap_or(0.0),
+                            e2e_p50_s: e2e.quantile(0.5).unwrap_or(0.0),
+                            e2e_p99_s: p99,
+                            lat_p99_s: lat.quantile(0.99).unwrap_or(0.0),
+                        });
+                    }
+                }
+                let dump = s
+                    .trace
+                    .as_ref()
+                    .map(|h| crate::trace::capture(&s.kernel, h, "figf1"));
+                (tenants, crashes, dump)
+            })
+        });
+
+    let mut tenants = Vec::new();
+    let (mut crashes, mut restarts, mut crashed_left) = (0u64, 0u64, 0u64);
+    let mut dumps = Vec::new();
+    for (ts, (c, r, l), dump) in rows {
+        tenants.extend(ts);
+        crashes += c;
+        restarts += r;
+        crashed_left += l;
+        dumps.extend(dump);
+    }
+    tenants.sort_by_key(|t| (t.node, t.idx));
+
+    let (mut admits, mut queued, mut rejected, mut boosts) = (0u64, 0u64, 0u64, 0u64);
+    let mut starvation_ok = true;
+    let mut starvation_detail = String::new();
+    let mut max_wait_s = 0.0f64;
+    for dump in &dumps {
+        assert_eq!(dump.dropped, 0, "soak trace ring overflowed");
+        for rec in &dump.records {
+            if let TraceEvent::Instant {
+                track: TraceTrack::Supervisor,
+                name,
+                args,
+            } = &rec.event
+            {
+                match *name {
+                    "admission" => {
+                        let code = args
+                            .iter()
+                            .find(|(k, _)| *k == "decision")
+                            .map_or(0.0, |(_, v)| *v);
+                        if code == 0.0 {
+                            admits += 1;
+                        } else if code == 1.0 {
+                            queued += 1;
+                        } else {
+                            rejected += 1;
+                        }
+                    }
+                    "starve_boost" => boosts += 1,
+                    _ => {}
+                }
+            }
+        }
+        match crate::trace::validate_no_starvation(dump, SimDuration::from_secs(5)) {
+            Ok(s) => max_wait_s = max_wait_s.max(s.max_wait_s),
+            Err(e) => {
+                starvation_ok = false;
+                starvation_detail = e;
+            }
+        }
+    }
+
+    let fabric = match &plan {
+        Some(p) => crate::trace::validate_cluster_chaos(
+            cluster.journal(),
+            cluster.drops(),
+            cluster.topology(),
+            p,
+        ),
+        None => crate::trace::validate_cluster(cluster.journal(), cluster.topology()),
+    }
+    .expect("soak journal validates");
+    let digest = cluster.snapshot().digest();
+
+    SoakOutcome {
+        tenants,
+        probe_nices,
+        final_nices,
+        leases,
+        admits,
+        queued,
+        rejected,
+        crashes,
+        restarts,
+        crashed_left,
+        boosts,
+        starvation_ok,
+        starvation_detail,
+        max_wait_s,
+        fabric,
+        digest,
+        dumps,
+    }
+}
+
+/// Machine-checked verdicts comparing the faulted run to the reference.
+#[derive(Debug)]
+struct Verdicts {
+    /// Mid-partition: worker 1's lease expired, every one of its
+    /// operators sat at nice 0, and the unpartitioned workers held the
+    /// exact reference schedule.
+    partition_fallback: bool,
+    /// Post-heal: final nices equal the reference run exactly, and
+    /// worker 1's lease re-engaged.
+    heal_reconverge: bool,
+    admission_ok: bool,
+    /// Per class: `(pass, worst p99, target)`.
+    slo: Vec<(SloClass, bool, f64, f64)>,
+    /// Well-behaved tenants (idx ≥ 2) whose goodput ratio fell below 0.9.
+    isolation_violations: usize,
+    isolated_count: usize,
+    jain: f64,
+    jain_ok: bool,
+    no_starvation: bool,
+}
+
+fn verdicts(spec: &SoakSpec, reference: &SoakOutcome, faulted: &SoakOutcome) -> Verdicts {
+    let row = |o: &SoakOutcome, rack: RackNodeId| -> Vec<i32> {
+        o.probe_nices
+            .iter()
+            .find(|r| r.0 == rack)
+            .map(|r| r.1.clone())
+            .unwrap_or_default()
+    };
+    let w1_lease = faulted
+        .leases
+        .iter()
+        .find(|r| r.0 == 1)
+        .map_or((0, 0), |r| r.1);
+    let others_match = (2..spec.nodes).all(|r| row(faulted, r) == row(reference, r));
+    let w1_probe = row(faulted, 1);
+    let reference_nontrivial = reference
+        .final_nices
+        .iter()
+        .all(|(_, n)| n.iter().any(|&v| v != 0 && v != 99));
+    let partition_fallback = w1_lease.1 >= 1
+        && !w1_probe.is_empty()
+        && w1_probe.iter().all(|&v| v == 0)
+        && others_match
+        && reference_nontrivial;
+    let heal_reconverge =
+        faulted.final_nices == reference.final_nices && w1_lease.0 >= 2 && reference_nontrivial;
+
+    let workers = spec.workers() as u64;
+    let admission_ok =
+        faulted.admits >= 4 * workers && faulted.queued >= workers && faulted.rejected >= workers;
+
+    let mut slo = Vec::new();
+    for class in [SloClass::Premium, SloClass::Standard, SloClass::BestEffort] {
+        let target = slo_target_s(class);
+        let worst = faulted
+            .tenants
+            .iter()
+            .filter(|t| t.class == class && t.emitted > 0)
+            .map(|t| t.e2e_p99_s)
+            .fold(0.0f64, f64::max);
+        slo.push((class, worst.is_finite() && worst <= target, worst, target));
+    }
+
+    // Isolation: tenants that neither flashed (idx 0) nor crashed
+    // (idx 1) must keep goodput ≥ 0.9 of what they emitted.
+    let well_behaved: Vec<&TenantSoak> = faulted
+        .tenants
+        .iter()
+        .filter(|t| t.idx >= 2 && t.emitted > 0)
+        .collect();
+    let isolation_violations = well_behaved
+        .iter()
+        .filter(|t| (t.egress as f64) < 0.9 * t.emitted as f64)
+        .count();
+
+    // Jain fairness over per-tenant goodput ratios, all active tenants.
+    let ratios: Vec<f64> = faulted
+        .tenants
+        .iter()
+        .filter(|t| t.emitted > 0)
+        .map(|t| t.egress as f64 / t.emitted as f64)
+        .collect();
+    let jain = if ratios.is_empty() {
+        0.0
+    } else {
+        let sum: f64 = ratios.iter().sum();
+        let sq: f64 = ratios.iter().map(|x| x * x).sum();
+        sum * sum / (ratios.len() as f64 * sq)
+    };
+
+    Verdicts {
+        partition_fallback,
+        heal_reconverge,
+        admission_ok,
+        slo,
+        isolation_violations,
+        isolated_count: well_behaved.len(),
+        jain,
+        jain_ok: jain >= 0.85,
+        no_starvation: faulted.starvation_ok && reference.starvation_ok,
+    }
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}
+
+/// Runs the production soak and returns its figure: the faulted run's
+/// per-tenant outcomes plus the machine-checked partition, admission,
+/// isolation, fairness and starvation verdicts against the fault-free
+/// reference. Reference and faulted runs go through the worker pool and
+/// are folded in input order, so the artifact is byte-identical for any
+/// `--jobs` (and, being cluster runs, for any `--shard-threads`).
+pub fn figf1(opts: &ExpOptions) -> Vec<Figure> {
+    let spec = if opts.quick {
+        SoakSpec::quick(opts)
+    } else {
+        SoakSpec::full(opts)
+    };
+    let mut runs = crate::pool::parallel_map(opts.jobs, vec![false, true], move |net_faults| {
+        run_soak(SoakSpec { net_faults, ..spec })
+    });
+    let faulted = runs.pop().expect("faulted run");
+    let reference = runs.pop().expect("reference run");
+    let v = verdicts(&spec, &reference, &faulted);
+
+    let mut fig = Figure::new(
+        "figf1",
+        "production soak: multi-tenant diurnal churn under partition + full chaos",
+        "tenant (worker-major index)",
+    );
+    fig.notes.push(format!(
+        "calendar: {} days x {:.1}s; {} workers x {} tenants x {} queries = {} pipelines; \
+         diurnal x0.4/1.0/1.4/0.7; flash x{FLASH} last peak; walk-ins retry at troughs; \
+         whale probe day 0",
+        spec.days,
+        spec.day.as_secs_f64(),
+        spec.workers(),
+        spec.tenants_per_node,
+        spec.queries_per_tenant,
+        spec.workers() * spec.tenants_per_node * spec.queries_per_tenant,
+    ));
+    fig.notes.push(format!(
+        "chaos: hotplug -1 cpu day-0 peak; operator crash+restart-failure per worker \
+         (crashes={} restarts={} unrecovered={}); metric NaN+dropout; net cmd-drop/latency-spike; \
+         partition ctrl<->w1 [{:.2}s,{:.2}s); watchdog boosts={}",
+        faulted.crashes,
+        faulted.restarts,
+        faulted.crashed_left,
+        (spec.partition_from() - SimTime::ZERO).as_secs_f64(),
+        (spec.partition_until() - SimTime::ZERO).as_secs_f64(),
+        faulted.boosts,
+    ));
+    fig.notes.push(format!(
+        "partition_fallback={} (worker 1 lease expired and held nice 0 across {} ops at the \
+         mid-partition probe; unpartitioned workers matched the reference probe)",
+        pass(v.partition_fallback),
+        faulted
+            .probe_nices
+            .iter()
+            .find(|r| r.0 == 1)
+            .map_or(0, |r| r.1.len()),
+    ));
+    fig.notes.push(format!(
+        "heal_reconverge={} (final nices equal the unpartitioned reference exactly; worker 1 \
+         lease engage/expire = {}/{})",
+        pass(v.heal_reconverge),
+        faulted.leases.iter().find(|r| r.0 == 1).map_or(0, |r| r.1 .0),
+        faulted.leases.iter().find(|r| r.0 == 1).map_or(0, |r| r.1 .1),
+    ));
+    fig.notes.push(format!(
+        "leases: {}",
+        faulted
+            .leases
+            .iter()
+            .map(|(r, (e, x))| format!("w{r}=({e},{x})"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    fig.notes.push(format!(
+        "admission_mix={} (admit={} queue={} reject={})",
+        pass(v.admission_ok),
+        faulted.admits,
+        faulted.queued,
+        faulted.rejected,
+    ));
+    for (class, ok, worst, target) in &v.slo {
+        fig.notes.push(format!(
+            "slo {class:?}: {} (worst e2e p99 {worst:.3}s <= {target:.1}s)",
+            pass(*ok),
+        ));
+    }
+    fig.notes.push(format!(
+        "isolation_violations={} {} ({} well-behaved tenants, goodput floor 0.90)",
+        v.isolation_violations,
+        pass(v.isolation_violations == 0),
+        v.isolated_count,
+    ));
+    fig.notes.push(format!(
+        "jain={:.4} {} (goodput fairness across active tenants, threshold 0.85)",
+        v.jain,
+        pass(v.jain_ok),
+    ));
+    fig.notes.push(format!(
+        "no_starvation={} (trace replay, 5s window, max wait {:.3}s)",
+        pass(v.no_starvation),
+        faulted.max_wait_s.max(reference.max_wait_s),
+    ));
+    fig.notes.push(format!(
+        "fabric: deliveries={} metrics={} cmds={} drops={} delayed={} digest={:016x} \
+         (journal validated; digest is layout-invariant)",
+        faulted.fabric.deliveries,
+        faulted.fabric.metrics,
+        faulted.fabric.cmds,
+        faulted.fabric.drops,
+        faulted.fabric.delayed,
+        faulted.digest,
+    ));
+
+    let all_ok = v.partition_fallback
+        && v.heal_reconverge
+        && v.admission_ok
+        && v.slo.iter().all(|s| s.1)
+        && v.isolation_violations == 0
+        && v.jain_ok
+        && v.no_starvation;
+    if !all_ok {
+        eprintln!("warning: figf1 verdicts: {v:?}");
+    }
+
+    let secs = spec.end().as_secs_f64();
+    for class in [SloClass::Premium, SloClass::Standard, SloClass::BestEffort] {
+        let points: Vec<SweepPoint> = faulted
+            .tenants
+            .iter()
+            .filter(|t| t.class == class)
+            .map(|t| SweepPoint {
+                x: ((t.node - 1) * spec.tenants_per_node + t.idx) as f64,
+                m: Measured {
+                    offered_tps: base_rate(t.idx) * spec.queries_per_tenant as f64,
+                    throughput_tps: t.ingress as f64 / secs,
+                    latency_mean_s: 0.0,
+                    latency_p: (0.0, t.lat_p99_s, 0.0),
+                    e2e_mean_s: t.e2e_mean_s,
+                    e2e_p: (t.e2e_p50_s, t.e2e_p99_s, 0.0),
+                    slo_target_s: slo_target_s(class),
+                    slo_miss_rate: 0.0,
+                    goal: 0.0,
+                    queue_samples: Vec::new(),
+                    utilization: 0.0,
+                    ctx_switches_per_s: 0.0,
+                    egress_tps: t.egress as f64 / secs,
+                },
+            })
+            .collect();
+        fig.series.push(Series {
+            label: format!("{class:?}"),
+            points,
+        });
+    }
+    vec![fig]
+}
+
+/// Traced soak for `repro figf1 --trace`: one faulted run, returning the
+/// per-shard kernel dumps. Panics if the partition story or the
+/// no-starvation replay fails — the traced CI job gates on exactly this.
+pub fn trace_figf1(opts: &ExpOptions, ring: Option<usize>) -> Vec<TraceDump> {
+    let mut spec = if opts.quick {
+        SoakSpec::quick(opts)
+    } else {
+        SoakSpec::full(opts)
+    };
+    spec.ring = ring.or(Some(1 << 23));
+    spec.net_faults = true;
+    let mut out = run_soak(spec);
+    assert!(
+        out.starvation_ok,
+        "figf1 trace failed no-starvation replay: {}",
+        out.starvation_detail
+    );
+    let w1 = out
+        .leases
+        .iter()
+        .find(|r| r.0 == 1)
+        .map_or((0, 0), |r| r.1);
+    assert!(
+        w1.0 >= 2 && w1.1 >= 1,
+        "figf1 trace: worker 1 lease must engage, expire and re-engage, got {w1:?}"
+    );
+    let w1_probe = out
+        .probe_nices
+        .iter()
+        .find(|r| r.0 == 1)
+        .map(|r| r.1.clone())
+        .unwrap_or_default();
+    assert!(
+        !w1_probe.is_empty() && w1_probe.iter().all(|&v| v == 0),
+        "figf1 trace: partitioned worker must sit at CFS defaults mid-partition: {w1_probe:?}"
+    );
+    assert!(
+        out.admits > 0 && out.rejected > 0,
+        "figf1 trace: admission instants missing from the trace"
+    );
+    std::mem::take(&mut out.dumps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(shards: usize, shard_threads: usize, net_faults: bool) -> SoakSpec {
+        SoakSpec {
+            nodes: 3,
+            shards,
+            shard_threads,
+            worker_cpus: 2,
+            tenants_per_node: 4,
+            queries_per_tenant: 2,
+            days: 2,
+            day: SimDuration::from_secs(4),
+            lease: SimDuration::from_secs(1),
+            latency: SimDuration::from_millis(1),
+            seed: 1,
+            net_faults,
+            ring: None,
+        }
+    }
+
+    #[test]
+    fn soak_partitions_fall_back_and_reconverges() {
+        let spec = tiny(1, 1, true);
+        let reference = run_soak(tiny(1, 1, false));
+        let faulted = run_soak(spec);
+        let v = verdicts(&spec, &reference, &faulted);
+        assert!(v.partition_fallback, "fallback verdict: {v:?}");
+        assert!(v.heal_reconverge, "reconvergence verdict: {v:?}");
+        assert!(v.admission_ok, "admission verdict: {v:?}");
+        assert!(v.no_starvation, "starvation verdict: {v:?}");
+        assert_eq!(v.isolation_violations, 0, "isolation: {v:?}");
+        assert!(v.jain_ok, "jain {} too low", v.jain);
+        assert!(faulted.crashes >= 1, "crash chaos must have fired");
+        assert!(faulted.fabric.drops >= 1, "the partition must drop envelopes");
+    }
+
+    #[test]
+    fn soak_outcome_is_identical_for_any_layout() {
+        let summary = |o: SoakOutcome| {
+            (
+                o.digest,
+                o.probe_nices,
+                o.final_nices,
+                o.leases,
+                (o.admits, o.queued, o.rejected),
+                (o.crashes, o.restarts, o.crashed_left),
+                o.tenants,
+            )
+        };
+        let base = summary(run_soak(tiny(1, 1, true)));
+        for (shards, threads) in [(3, 1), (3, 2)] {
+            assert_eq!(
+                summary(run_soak(tiny(shards, threads, true))),
+                base,
+                "layout ({shards},{threads}) diverged"
+            );
+        }
+    }
+}

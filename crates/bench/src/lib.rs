@@ -27,6 +27,7 @@ pub mod experiments {
     pub mod rack;
     pub mod scale_out;
     pub mod single_query;
+    pub mod soak;
     pub mod table1;
 }
 

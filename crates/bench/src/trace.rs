@@ -14,12 +14,12 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 
 use simos::{
-    CallbackId, Kernel, NetTopology, NodeId, SimDuration, TraceEvent, TraceHandle, TraceRecord,
-    TraceTrack,
+    CallbackId, Kernel, NetFaultPlan, NetTopology, NetVerdict, NodeId, SimDuration, TraceEvent,
+    TraceHandle, TraceRecord, TraceTrack,
 };
 use spe::Counter;
 
-use crate::cluster::{DeliveryRecord, MsgKind};
+use crate::cluster::{DeliveryRecord, DropRecord, MsgKind};
 use crate::harness::{GoalKind, RunConfig};
 use crate::json::Json;
 use crate::schedulers::{run_traced_point, PointSpec, PolicyChoice, Sched, TraceOpts, TranslatorChoice};
@@ -201,6 +201,7 @@ fn cpu_slices(dump: &TraceDump) -> Vec<Slice> {
                 }
             }
             TraceEvent::Block { node, cpu, tid, .. }
+            | TraceEvent::Exit { node, cpu, tid }
             | TraceEvent::Preempt { node, cpu, tid }
             | TraceEvent::SliceExpire { node, cpu, tid } => {
                 let key = (*node, *cpu);
@@ -334,6 +335,7 @@ fn append_dump(events: &mut Vec<Json>, idx: u64, dump: &TraceDump) {
             // Consumed by the CPU slices above.
             TraceEvent::Switch { .. }
             | TraceEvent::Block { .. }
+            | TraceEvent::Exit { .. }
             | TraceEvent::Preempt { .. }
             | TraceEvent::SliceExpire { .. } => {}
             TraceEvent::Wake { tid } => {
@@ -633,7 +635,7 @@ pub fn validate_no_starvation(
                 running.remove(&t);
                 waiting.entry(t).or_insert(now);
             }
-            TraceEvent::Block { tid, .. } => {
+            TraceEvent::Block { tid, .. } | TraceEvent::Exit { tid, .. } => {
                 let t = tid.as_u64();
                 running.remove(&t);
                 waiting.remove(&t);
@@ -775,6 +777,7 @@ pub fn traced_experiment(id: &str, opts: &ExpOptions, ring: Option<usize>) -> Ve
         "figc1" => crate::experiments::chaos::trace_figc1(opts, ring),
         "figc2" => crate::experiments::chaos::trace_figc2(opts, ring),
         "figc3" => crate::experiments::churn::trace_figc3(opts, ring),
+        "figf1" => crate::experiments::soak::trace_figf1(opts, ring),
         _ => vec![traced_single_query(id, opts, ring)],
     }
 }
@@ -836,6 +839,7 @@ pub fn split_by_node(dump: &TraceDump) -> Vec<TraceDump> {
         match event {
             TraceEvent::Switch { node, .. }
             | TraceEvent::Block { node, .. }
+            | TraceEvent::Exit { node, .. }
             | TraceEvent::Preempt { node, .. }
             | TraceEvent::SliceExpire { node, .. }
             | TraceEvent::CpuOffline { node, .. }
@@ -885,6 +889,11 @@ pub struct ClusterStats {
     pub cmds: u64,
     /// Distinct (src, dst) links that carried traffic.
     pub links: usize,
+    /// Control-plane envelopes dropped by the fault plan (only the
+    /// chaos-aware validator counts these).
+    pub drops: u64,
+    /// Deliveries the fault plan delayed beyond the modeled latency.
+    pub delayed: u64,
 }
 
 /// Replays a cluster's delivery journal against the modeled topology and
@@ -983,6 +992,157 @@ pub fn validate_cluster(
                     pair[1].seq, pair[1].recv_time, pair[0].seq, pair[0].recv_time
                 ));
             }
+        }
+    }
+    Ok(stats)
+}
+
+/// Chaos-aware variant of [`validate_cluster`]: replays a journal produced
+/// under a [`NetFaultPlan`] together with the fabric's drop journal.
+///
+/// The relaxations, each checked *against the plan* rather than waived:
+///
+/// - a control-plane delivery may arrive late, but only by exactly the
+///   extra the plan's (pure) verdict assigns to that envelope;
+/// - per-link sequence numbers must be contiguous over **delivered ∪
+///   dropped** envelopes, with every hole accounted for by a drop record
+///   whose verdict really is `Drop` (and never a data tuple);
+/// - per-link receive times may reorder (delays interleave), but send
+///   times must still be non-decreasing in sequence order.
+///
+/// Everything else — exact latency for tuples, lookahead, deliver-at-recv
+/// — is enforced unchanged.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_cluster_chaos(
+    journal: &[DeliveryRecord],
+    drops: &[DropRecord],
+    topo: &NetTopology,
+    plan: &NetFaultPlan,
+) -> Result<ClusterStats, String> {
+    let mut stats = ClusterStats::default();
+    // Per-link seq → send_time over delivered and dropped envelopes.
+    let mut links: BTreeMap<(usize, usize), BTreeMap<u64, simos::SimTime>> = BTreeMap::new();
+    for rec in journal {
+        if rec.src >= topo.nodes() || rec.dst >= topo.nodes() {
+            return Err(format!(
+                "delivery {}→{} seq {} names a rack node outside the {}-node topology",
+                rec.src,
+                rec.dst,
+                rec.seq,
+                topo.nodes()
+            ));
+        }
+        let extra = if rec.kind == MsgKind::Tuple {
+            SimDuration::ZERO
+        } else {
+            match plan.verdict(rec.src, rec.dst, rec.seq, rec.send_time) {
+                NetVerdict::Deliver => SimDuration::ZERO,
+                NetVerdict::Delay(d) => {
+                    stats.delayed += 1;
+                    d
+                }
+                NetVerdict::Drop => {
+                    return Err(format!(
+                        "delivery {}→{} seq {} was delivered, but the plan says Drop",
+                        rec.src, rec.dst, rec.seq
+                    ))
+                }
+            }
+        };
+        let expect = rec.send_time + topo.latency(rec.src, rec.dst) + extra;
+        if rec.recv_time != expect {
+            return Err(format!(
+                "delivery {}→{} seq {}: recv {:?} != send {:?} + latency {:?} + plan extra {:?}",
+                rec.src,
+                rec.dst,
+                rec.seq,
+                rec.recv_time,
+                rec.send_time,
+                topo.latency(rec.src, rec.dst),
+                extra
+            ));
+        }
+        if rec.injected_at > rec.recv_time {
+            return Err(format!(
+                "delivery {}→{} seq {} injected at {:?}, after its receive time {:?} — \
+                 the lookahead bound was violated",
+                rec.src, rec.dst, rec.seq, rec.injected_at, rec.recv_time
+            ));
+        }
+        if rec.delivered_at != rec.recv_time {
+            return Err(format!(
+                "delivery {}→{} seq {} handed to the kernel at {:?}, not at its receive \
+                 time {:?}",
+                rec.src, rec.dst, rec.seq, rec.delivered_at, rec.recv_time
+            ));
+        }
+        stats.deliveries += 1;
+        match rec.kind {
+            MsgKind::Tuple => stats.tuples += 1,
+            MsgKind::Metric => stats.metrics += 1,
+            MsgKind::Cmd => stats.cmds += 1,
+        }
+        if links
+            .entry((rec.src, rec.dst))
+            .or_default()
+            .insert(rec.seq, rec.send_time)
+            .is_some()
+        {
+            return Err(format!(
+                "link {}→{}: seq {} delivered twice",
+                rec.src, rec.dst, rec.seq
+            ));
+        }
+    }
+    for d in drops {
+        if d.kind == MsgKind::Tuple {
+            return Err(format!(
+                "drop {}→{} seq {}: the fabric must never drop data tuples",
+                d.src, d.dst, d.seq
+            ));
+        }
+        if plan.verdict(d.src, d.dst, d.seq, d.send_time) != NetVerdict::Drop {
+            return Err(format!(
+                "drop {}→{} seq {} recorded, but the plan's verdict is not Drop",
+                d.src, d.dst, d.seq
+            ));
+        }
+        stats.drops += 1;
+        if links
+            .entry((d.src, d.dst))
+            .or_default()
+            .insert(d.seq, d.send_time)
+            .is_some()
+        {
+            return Err(format!(
+                "link {}→{}: seq {} both delivered and dropped",
+                d.src, d.dst, d.seq
+            ));
+        }
+    }
+    stats.links = links.len();
+    for ((src, dst), seqs) in links {
+        let mut prev_send = None;
+        for (i, (&seq, &send)) in seqs.iter().enumerate() {
+            if seq != i as u64 {
+                return Err(format!(
+                    "link {src}→{dst}: delivered ∪ dropped seqs are not the contiguous \
+                     range 0..{} (hole before seq {seq})",
+                    seqs.len()
+                ));
+            }
+            if let Some(p) = prev_send {
+                if send < p {
+                    return Err(format!(
+                        "link {src}→{dst}: seq {seq} was sent at {send:?}, before its \
+                         predecessor at {p:?}"
+                    ));
+                }
+            }
+            prev_send = Some(send);
         }
     }
     Ok(stats)

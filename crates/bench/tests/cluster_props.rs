@@ -11,11 +11,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bench::cluster::{Cluster, ClusterMsg, ClusterShard, DeliveryRecord, MsgKind, install_metric_relay};
-use bench::trace::validate_cluster;
-use lachesis_metrics::TimeSeriesStore;
+use bench::trace::{validate_cluster, validate_cluster_chaos};
+use lachesis_metrics::{FaultPlan, TimeSeriesStore};
 use proptest::collection::vec;
 use proptest::prelude::*;
-use simos::{Kernel, NetTopology, RackNodeId, SimDuration, SimTime};
+use simos::{mix_seed, Kernel, NetFaultPlan, NetTopology, RackNodeId, SimDuration, SimTime};
 use spe::{
     deploy, install_relay_source, CostModel, EngineConfig, LogicalGraph, Partitioning, Placement,
     Role, Tuple,
@@ -165,6 +165,183 @@ proptest! {
             prop_assert_eq!(&journal, &journal0);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random topology x random seeded [`NetFaultPlan`] (drop window,
+    /// latency spikes, a controller<->victim partition): the canonical
+    /// journal, the sorted drop ledger and the snapshot digest are
+    /// identical across shard counts {1, 2, nodes} x threads {1, 4}, and
+    /// every layout's journal replays cleanly against the topology *and*
+    /// the fault plan.
+    #[test]
+    fn any_layout_yields_the_same_chaotic_cluster(
+        nodes in 3usize..=4,
+        all_lat_us in vec(500u64..2_000, 16),
+        all_rates in vec(200u64..900, 3),
+        seed in 0u64..1_000,
+        p_drop in 0.05f64..0.5,
+        p_spike in 0.05f64..0.5,
+        spike_us in 500u64..3_000,
+        part_from_ms in 300u64..700,
+        part_len_ms in 200u64..600,
+        victim_raw in 0usize..8,
+    ) {
+        let rates = all_rates[..nodes - 1].to_vec();
+        let topo = NetTopology::from_matrix(
+            nodes,
+            all_lat_us[..nodes * nodes]
+                .iter()
+                .map(|&us| SimDuration::from_micros(us))
+                .collect(),
+        );
+        let victim = 1 + victim_raw % (nodes - 1);
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        let plan = NetFaultPlan::new(seed)
+            .drop_link(t(200), t(1_400), victim, 0, p_drop)
+            .latency_spike(
+                t(200),
+                t(1_400),
+                victim,
+                0,
+                p_spike,
+                SimDuration::from_micros(spike_us),
+            )
+            .partition(
+                t(part_from_ms),
+                t(part_from_ms + part_len_ms),
+                vec![0],
+                vec![victim],
+            );
+        let run = |shards: usize, threads: usize| {
+            let mut cluster = build(&topo, deal(nodes, shards), threads, rates.clone());
+            cluster.set_net_faults(&plan);
+            // Past 1s so the workers' metric relays ship at least one
+            // completed bucket through the fault windows.
+            cluster.run_until(t(1_500));
+            let stats = validate_cluster_chaos(
+                cluster.journal(),
+                cluster.drops(),
+                cluster.topology(),
+                &plan,
+            )
+            .expect("chaotic journal replays against the topology and plan");
+            assert!(stats.tuples > 0, "the fabric carried tuples");
+            let journal = canonical(cluster.journal());
+            let mut drops = cluster.drops().to_vec();
+            drops.sort_by_key(|r| (r.src, r.dst, r.seq));
+            (cluster.snapshot().digest(), journal, drops)
+        };
+        let (digest0, journal0, drops0) = run(1, 1);
+        for (shards, threads) in [(2, 1), (2, 4), (nodes, 1), (nodes, 4)] {
+            let (digest, journal, drops) = run(shards, threads);
+            prop_assert_eq!(digest, digest0, "digest drifted at {} shards x {} threads", shards, threads);
+            prop_assert_eq!(&journal, &journal0);
+            prop_assert_eq!(&drops, &drops0);
+        }
+    }
+}
+
+/// How often the fault-drawing workers consult their plans.
+const DRAW_PERIOD: SimDuration = SimDuration::from_millis(10);
+
+/// Builds a rack whose workers each consult a [`FaultPlan`] every 10 ms
+/// and ship one `Metric` envelope to node 0 per *surviving* draw, so the
+/// plan's random stream is visible in the journal as per-link sequence
+/// numbers. `seed_of(rack_id, within_shard_index)` picks each plan seed.
+fn build_fault_drawers(
+    topo: &NetTopology,
+    assignment: Vec<Vec<RackNodeId>>,
+    threads: usize,
+    seed_of: fn(RackNodeId, usize) -> u64,
+) -> Cluster {
+    let builders = assignment
+        .into_iter()
+        .map(|racks| {
+            let topo = topo.clone();
+            Box::new(move || {
+                let mut shard = ClusterShard::new(Kernel::default(), topo.clone());
+                for &rack_id in &racks {
+                    let node = shard.kernel.add_node(&format!("rack{rack_id}"), 1);
+                    let store =
+                        Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+                    shard.add_rack_node(rack_id, node, store);
+                }
+                let workers = racks.iter().copied().filter(|&r| r != 0).enumerate();
+                for (idx, rack_id) in workers {
+                    let mut plan = FaultPlan::new(seed_of(rack_id, idx)).fetch_failure(
+                        None,
+                        SimTime::ZERO,
+                        SimTime::ZERO + SimDuration::from_secs(10),
+                        0.5,
+                    );
+                    let outbox = shard.outbox();
+                    shard
+                        .kernel
+                        .schedule_periodic(DRAW_PERIOD, DRAW_PERIOD, move |k| {
+                            let now = k.now();
+                            if !plan.fetch_fails("draw", now) {
+                                outbox.send(
+                                    rack_id,
+                                    0,
+                                    now,
+                                    ClusterMsg::Metric {
+                                        path: format!("draw/w{rack_id}"),
+                                        bucket: now,
+                                        value: 1.0,
+                                    },
+                                );
+                            }
+                        });
+                }
+                shard
+            }) as Box<dyn FnOnce() -> ClusterShard + Send>
+        })
+        .collect();
+    Cluster::new(topo.clone(), threads, builders)
+}
+
+/// Per-worker [`FaultPlan`]s must be seeded from the *rack node id*
+/// (`mix_seed(base, node_id)`), never from the worker's position within
+/// its shard: node-id seeding replays the identical fault history under
+/// every layout, while shard-local seeding demonstrably does not.
+#[test]
+fn fault_plan_seeds_derive_from_node_ids_not_shard_layout() {
+    const NODES: usize = 5;
+    let topo = NetTopology::uniform(NODES, SimDuration::from_millis(1));
+    let run = |shards: usize, threads: usize, seed_of: fn(RackNodeId, usize) -> u64| {
+        let mut cluster = build_fault_drawers(&topo, deal(NODES, shards), threads, seed_of);
+        cluster.run_until(SimTime::ZERO + SimDuration::from_millis(400));
+        let journal = canonical(cluster.journal());
+        assert!(
+            journal.iter().any(|r| r.kind == MsgKind::Metric),
+            "surviving draws must reach node 0"
+        );
+        journal
+    };
+    fn by_node(rack_id: RackNodeId, _idx: usize) -> u64 {
+        mix_seed(42, rack_id as u64)
+    }
+    fn by_shard_idx(_rack_id: RackNodeId, idx: usize) -> u64 {
+        mix_seed(42, idx as u64)
+    }
+    let base = run(1, 1, by_node);
+    for (shards, threads) in [(2, 1), (2, 4), (4, 1), (4, 4)] {
+        assert_eq!(
+            run(shards, threads, by_node),
+            base,
+            "node-id seeding diverged at {shards} shards x {threads} threads"
+        );
+    }
+    // The buggy discipline: a worker's within-shard index changes with
+    // the layout, so its fault history (and thus the journal) shifts.
+    assert_ne!(
+        run(1, 1, by_shard_idx),
+        run(2, 1, by_shard_idx),
+        "shard-local seeding must be layout-sensitive (the bug node-id seeding avoids)"
+    );
 }
 
 /// Two sources whose links have different modeled latencies must not feed

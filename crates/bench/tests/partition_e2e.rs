@@ -1,0 +1,288 @@
+//! Control-plane partition end-to-end test (ISSUE acceptance criterion):
+//! when the controller is partitioned away from a worker, the worker's
+//! lease expires and every one of its operator threads reverts to CFS
+//! defaults (`nice` 0) within the lease-detection bound; after the
+//! partition heals, the cluster reconverges to the **exact** schedule of
+//! an unpartitioned run, layout-invariantly.
+//!
+//! The policy here is static (metric-independent), so the unpartitioned
+//! final schedule is a fixed point the healed run must land on exactly —
+//! any lingering partition effect would show up as a nice mismatch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bench::cluster::{install_metric_relay, Cluster, ClusterShard};
+use lachesis::{
+    install_lease_guard, LachesisBuilder, MirrorDriver, MirrorQuery, Policy, PolicyView,
+    RemoteNiceTranslator, Scope, SinglePrioritySchedule,
+};
+use lachesis_metrics::{MetricName, TimeSeriesStore};
+use simos::{machines, Kernel, NetFaultPlan, NetTopology, RackNodeId, SimDuration, SimTime};
+use spe::{
+    deploy, Consume, CostModel, EngineConfig, LogicalGraph, Partitioning, PassThrough, Placement,
+    Role, SpeKind, Tuple,
+};
+
+const NODES: usize = 3; // controller + 2 workers
+const LATENCY: SimDuration = SimDuration::from_millis(1);
+const LEASE: SimDuration = SimDuration::from_secs(2);
+const RELAY: SimDuration = SimDuration::from_millis(500);
+const PERIOD: SimDuration = SimDuration::from_millis(500);
+/// Partition window: controller <-> worker 1 only; worker 2 stays attached.
+const PART_FROM: SimDuration = SimDuration::from_secs(3);
+const PART_UNTIL: SimDuration = SimDuration::from_secs(8);
+const TOTAL: SimDuration = SimDuration::from_secs(14);
+
+/// A metric-independent policy: priority = operator depth. Its fixed
+/// point does not move with tuple counts, so partitioned and
+/// unpartitioned runs must end on identical nice assignments.
+struct DepthPolicy;
+
+impl Policy for DepthPolicy {
+    fn name(&self) -> &str {
+        "static-depth"
+    }
+    fn period(&self) -> SimDuration {
+        PERIOD
+    }
+    fn required_metrics(&self) -> Vec<MetricName> {
+        Vec::new()
+    }
+    fn schedule(&mut self, view: &PolicyView<'_>) -> SinglePrioritySchedule {
+        view.scope
+            .iter()
+            .map(|&op| (op, (op.op + 1) as f64 + 0.1 * op.query as f64))
+            .collect()
+    }
+}
+
+fn pipeline(name: &str, rate: f64) -> LogicalGraph {
+    let mut b = LogicalGraph::builder(name);
+    let src = b.op("src", Role::Ingress, CostModel::micros(20), 1, || {
+        Box::new(PassThrough)
+    });
+    let hot = b.op("hot", Role::Transform, CostModel::micros(300), 1, || {
+        Box::new(PassThrough)
+    });
+    let sink = b.op("sink", Role::Egress, CostModel::micros(20), 1, || {
+        Box::new(Consume)
+    });
+    b.edge(src, hot, Partitioning::Forward);
+    b.edge(hot, sink, Partitioning::Forward);
+    b.source("gen", src, rate, |seq, now| Tuple::new(now, seq, vec![]));
+    b.build().unwrap()
+}
+
+fn node_graphs(rack_id: RackNodeId) -> Vec<LogicalGraph> {
+    (0..2)
+        .map(|j| pipeline(&format!("n{rack_id}q{j}"), 600.0 + 100.0 * j as f64))
+        .collect()
+}
+
+fn build_shard(racks: Vec<RackNodeId>) -> ClusterShard {
+    let topo = NetTopology::uniform(NODES, LATENCY);
+    let mut shard = ClusterShard::new(Kernel::new(machines::server_config()), topo);
+    for rack_id in racks {
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        if rack_id == 0 {
+            let node = shard.kernel.add_node("rack0", 4);
+            shard.add_rack_node(0, node, Rc::clone(&store));
+            let cmd_outbox = Rc::new(RefCell::new(Vec::new()));
+            let mut builder = LachesisBuilder::new();
+            for dst in 1..NODES {
+                let mirrors: Vec<MirrorQuery> = node_graphs(dst)
+                    .iter()
+                    .map(|g| MirrorQuery::new(g, false))
+                    .collect();
+                builder = builder
+                    .driver(
+                        MirrorDriver::new(
+                            &format!("liebre@n{dst}"),
+                            SpeKind::Liebre,
+                            mirrors,
+                            Rc::clone(&store),
+                        )
+                        .with_fence(LEASE),
+                    )
+                    .policy(
+                        dst - 1,
+                        Scope::AllQueries,
+                        DepthPolicy,
+                        RemoteNiceTranslator::new(dst, Rc::clone(&cmd_outbox)),
+                    );
+            }
+            builder.build().start(&mut shard.kernel);
+            shard.set_cmd_outbox(0, cmd_outbox);
+        } else {
+            let node = shard.kernel.add_node(&format!("rack{rack_id}"), 2);
+            shard.add_rack_node(rack_id, node, Rc::clone(&store));
+            let queries = node_graphs(rack_id)
+                .into_iter()
+                .map(|g| {
+                    deploy(
+                        &mut shard.kernel,
+                        g,
+                        EngineConfig::liebre(),
+                        &Placement::single(node),
+                        Some(Rc::clone(&store)),
+                    )
+                    .expect("deploy worker pipeline")
+                })
+                .collect();
+            shard.set_queries(rack_id, queries);
+            shard
+                .node(rack_id)
+                .applier()
+                .borrow_mut()
+                .arm_lease(rack_id, LEASE);
+            let applier = Rc::clone(shard.node(rack_id).applier());
+            install_lease_guard(&mut shard.kernel, applier);
+            let outbox = shard.outbox();
+            install_metric_relay(&mut shard.kernel, outbox, rack_id, 0, store, RELAY);
+        }
+    }
+    shard
+}
+
+fn build_cluster(shards: usize, threads: usize, plan: Option<NetFaultPlan>) -> Cluster {
+    let mut assignment: Vec<Vec<RackNodeId>> = vec![Vec::new(); shards];
+    for rack_id in 0..NODES {
+        assignment[rack_id % shards].push(rack_id);
+    }
+    let builders = assignment
+        .into_iter()
+        .map(|racks| {
+            Box::new(move || build_shard(racks)) as Box<dyn FnOnce() -> ClusterShard + Send>
+        })
+        .collect();
+    let mut cluster = Cluster::new(NetTopology::uniform(NODES, LATENCY), threads, builders);
+    if let Some(plan) = plan {
+        cluster.set_net_faults(&plan);
+    }
+    cluster
+}
+
+fn partition_plan() -> NetFaultPlan {
+    NetFaultPlan::new(11).partition(
+        SimTime::ZERO + PART_FROM,
+        SimTime::ZERO + PART_UNTIL,
+        vec![0],
+        vec![1],
+    )
+}
+
+/// Per-worker operator nices, ascending rack id, deterministic op order.
+fn worker_nices(cluster: &mut Cluster) -> Vec<(RackNodeId, Vec<i32>)> {
+    let mut rows: Vec<(RackNodeId, Vec<i32>)> = cluster
+        .map_shards(|_| {
+            Box::new(|s: &mut ClusterShard| {
+                s.rack_nodes()
+                    .iter()
+                    .filter(|nr| nr.rack_id() != 0)
+                    .map(|nr| {
+                        let nices = nr
+                            .queries()
+                            .iter()
+                            .flat_map(|q| {
+                                (0..q.op_count()).map(|i| {
+                                    let tid = q.cell(i).thread().expect("operator bound");
+                                    s.kernel.thread_info(tid).expect("live thread").nice.value()
+                                })
+                            })
+                            .collect();
+                        (nr.rack_id(), nices)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}
+
+/// `(engagements, expirations)` per worker, ascending rack id.
+fn lease_transitions(cluster: &mut Cluster) -> Vec<(RackNodeId, (u64, u64))> {
+    let mut rows: Vec<(RackNodeId, (u64, u64))> = cluster
+        .map_shards(|_| {
+            Box::new(|s: &mut ClusterShard| {
+                s.rack_nodes()
+                    .iter()
+                    .filter(|nr| nr.rack_id() != 0)
+                    .map(|nr| (nr.rack_id(), nr.applier().borrow().lease_transitions()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}
+
+#[test]
+fn partitioned_worker_falls_back_to_cfs_and_reconverges_after_heal() {
+    // Reference: no partition, full duration.
+    let mut reference = build_cluster(NODES, 1, None);
+    reference.run_for(TOTAL);
+    let ref_nices = worker_nices(&mut reference);
+    assert!(
+        ref_nices.iter().all(|(_, n)| n.iter().any(|&v| v != 0)),
+        "the static schedule assigns non-default nices: {ref_nices:?}"
+    );
+
+    // Partitioned run, stopped at the checkpoints.
+    let mut cluster = build_cluster(NODES, 1, Some(partition_plan()));
+
+    // Just before the partition both workers hold the static schedule.
+    cluster.run_for(PART_FROM);
+    let pre = worker_nices(&mut cluster);
+    assert_eq!(pre, ref_nices, "pre-partition schedule matches reference");
+
+    // Two lease intervals into the partition (expiry at one interval, the
+    // guard probes every half interval): worker 1 is fully back at CFS
+    // defaults, worker 2 (never partitioned) still holds its schedule.
+    cluster.run_for(LEASE + LEASE);
+    let mid = worker_nices(&mut cluster);
+    assert!(
+        mid[0].1.iter().all(|&v| v == 0),
+        "partitioned worker reverted every thread to nice 0: {mid:?}"
+    );
+    assert_eq!(
+        mid[1],
+        ref_nices[1],
+        "unpartitioned worker keeps its schedule through the partition"
+    );
+
+    // After heal: the exact unpartitioned schedule, cluster-wide.
+    cluster.run_for(TOTAL - PART_FROM - LEASE - LEASE);
+    let healed = worker_nices(&mut cluster);
+    assert_eq!(
+        healed, ref_nices,
+        "healed cluster reconverged to the unpartitioned schedule"
+    );
+
+    // The lease protocol saw the round trip: worker 1 engaged, expired,
+    // re-engaged; worker 2 engaged once and never expired.
+    let leases = lease_transitions(&mut cluster);
+    assert_eq!(leases[0].1, (2, 1), "worker 1 lease: engage, expire, re-engage");
+    assert_eq!(leases[1].1, (1, 0), "worker 2 lease: engaged once, never expired");
+}
+
+#[test]
+fn partition_outcome_is_identical_for_any_layout() {
+    let mut finals = Vec::new();
+    for (shards, threads) in [(1, 1), (NODES, 1), (NODES, 2)] {
+        let mut cluster = build_cluster(shards, threads, Some(partition_plan()));
+        cluster.run_for(TOTAL);
+        finals.push((
+            worker_nices(&mut cluster),
+            lease_transitions(&mut cluster),
+            cluster.snapshot().digest(),
+        ));
+    }
+    assert_eq!(finals[0], finals[1], "one shard == one shard per node");
+    assert_eq!(finals[1], finals[2], "threading the shards changes nothing");
+}

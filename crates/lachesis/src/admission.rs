@@ -246,6 +246,41 @@ impl AdmissionController {
     pub fn history(&self) -> &[AdmissionRecord] {
         &self.history
     }
+
+    /// The controller's recoverable state, for crash-recovery snapshots
+    /// (tenant-sorted so identical state encodes identically).
+    pub(crate) fn export_state(&self) -> crate::snapshot::AdmissionSnapshot {
+        let mut tenants: Vec<(String, f64, f64, SimTime)> = self
+            .admitted
+            .iter()
+            .map(|(name, t)| (name.clone(), t.demand_cores, t.last_cpu_s, t.last_at))
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        crate::snapshot::AdmissionSnapshot {
+            tenants,
+            records: self.history.clone(),
+        }
+    }
+
+    /// Replaces the demand book and decision history with snapshotted
+    /// state (restart path — the config stays as built).
+    pub(crate) fn import_state(&mut self, state: crate::snapshot::AdmissionSnapshot) {
+        self.admitted = state
+            .tenants
+            .into_iter()
+            .map(|(name, demand_cores, last_cpu_s, last_at)| {
+                (
+                    name,
+                    TenantDemand {
+                        demand_cores,
+                        last_cpu_s,
+                        last_at,
+                    },
+                )
+            })
+            .collect();
+        self.history = state.records;
+    }
 }
 
 #[cfg(test)]

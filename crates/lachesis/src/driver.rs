@@ -41,6 +41,16 @@ pub trait SpeDriver: MetricSource<OpRef> {
     fn logical_of(&self, op: OpRef) -> Vec<LogicalOpId>;
     /// Whether the operator's chain ends in an egress.
     fn is_egress(&self, op: OpRef) -> bool;
+    /// Re-evaluates the driver's staleness fence against `now`, if it has
+    /// one (see [`MirrorDriver::with_fence`](crate::MirrorDriver)). A
+    /// fenced driver reports no entities, taking its operators out of
+    /// scheduling scope until fresh metrics arrive. Returns `Some(fenced)`
+    /// **only when the fence state changed** on this call — the middleware
+    /// traces the transition and re-applies the last schedule on unfence —
+    /// and `None` otherwise. Drivers without fencing always return `None`.
+    fn refresh_fence(&self, _now: SimTime) -> Option<bool> {
+        None
+    }
 }
 
 /// The standard driver: reads topology from [`RunningQuery`] handles and

@@ -62,7 +62,8 @@ pub use policies_deadline::{estimated_path_delay, residual_depth, DeadlinePolicy
 pub use policies_ext::{ChainPolicy, RateBasedPolicy};
 pub use policy::{Policy, PolicyView};
 pub use remote::{
-    CmdApplier, CmdOutbox, MirrorDriver, MirrorQuery, RemoteCmd, RemoteNiceTranslator, RemoteSend,
+    install_lease_guard, CmdApplier, CmdOutbox, MirrorDriver, MirrorQuery, RemoteCmd,
+    RemoteNiceTranslator, RemoteSend,
 };
 pub use schedule::{GroupingSchedule, Schedule, SinglePrioritySchedule};
 pub use snapshot::SnapshotError;

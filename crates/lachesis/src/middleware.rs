@@ -13,7 +13,7 @@ use std::rc::Rc;
 use lachesis_metrics::{ratio_metric, names, MetricError, MetricProvider, MetricSource};
 use simos::{CallbackId, Kernel, Nice, SimDuration, SimTime, TraceEvent, TraceTrack};
 
-use crate::admission::SloClass;
+use crate::admission::{AdmissionConfig, AdmissionController, SloClass};
 use crate::driver::SpeDriver;
 use crate::entity::OpRef;
 use crate::policy::{Policy, PolicyView};
@@ -119,6 +119,7 @@ pub struct Lachesis {
     bindings: Vec<PolicyBinding>,
     supervisor: SupervisorConfig,
     watchdog: Option<StarvationWatchdog>,
+    admission: Option<Rc<RefCell<AdmissionController>>>,
     log: Rc<RefCell<FaultLog>>,
 }
 
@@ -149,6 +150,7 @@ pub struct LachesisBuilder {
     bindings: Vec<PolicyBinding>,
     supervisor: Option<SupervisorConfig>,
     watchdog: Option<StarvationWatchdog>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl fmt::Debug for LachesisBuilder {
@@ -209,6 +211,17 @@ impl LachesisBuilder {
     /// registered [tenant](Self::tenant).
     pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
         self.watchdog = Some(StarvationWatchdog::new(config));
+        self
+    }
+
+    /// Gives the middleware an [`AdmissionController`]: deployment
+    /// harnesses grab the shared handle with
+    /// [`admission_controller`](Lachesis::admission_controller) to gate
+    /// `deploy` on it, and in return the controller's demand book and
+    /// decision history ride the crash-recovery snapshot — a restarted
+    /// middleware does not forget who holds CPU budget.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
         self
     }
 
@@ -285,6 +298,9 @@ impl LachesisBuilder {
             bindings: self.bindings,
             supervisor: self.supervisor.unwrap_or_default(),
             watchdog: self.watchdog,
+            admission: self
+                .admission
+                .map(|c| Rc::new(RefCell::new(AdmissionController::new(c)))),
             log: Rc::new(RefCell::new(FaultLog::new())),
         }
     }
@@ -319,6 +335,15 @@ impl Lachesis {
     /// The supervisor state of one policy binding (registration order).
     pub fn binding_health(&self, idx: usize) -> Option<BindingHealth> {
         self.bindings.get(idx).map(|b| b.health)
+    }
+
+    /// The shared admission controller, when
+    /// [`LachesisBuilder::admission`] configured one. Deployment harnesses
+    /// call `decide`/`observe`/`depart` through this handle; its state is
+    /// captured by [`snapshot`](Lachesis::snapshot) and brought back by
+    /// [`restore`](Lachesis::restore).
+    pub fn admission_controller(&self) -> Option<Rc<RefCell<AdmissionController>>> {
+        self.admission.as_ref().map(Rc::clone)
     }
 
     /// Runs every due policy once (Algorithm 1 L3-L8). Call at each wake.
@@ -361,6 +386,28 @@ impl Lachesis {
                 failed_sources.insert(i);
                 if !e.is_transient() && persistent.is_none() {
                     persistent = Some(e);
+                }
+            }
+        }
+        // Re-evaluate staleness fences before resolving scopes: a fenced
+        // driver reports no entities, so its bindings idle over an empty
+        // scope instead of scheduling from a silently stale mirror. On
+        // unfence the last applied schedule is restored through the same
+        // path a restart uses, without waiting for the next policy round.
+        for d_idx in 0..self.drivers.len() {
+            let Some(fenced) = self.drivers[d_idx].refresh_fence(now) else {
+                continue;
+            };
+            Self::emit(kernel, || TraceEvent::Instant {
+                track: TraceTrack::Supervisor,
+                name: if fenced { "fence" } else { "unfence" },
+                args: vec![("driver", d_idx as f64)],
+            });
+            if !fenced {
+                for idx in 0..self.bindings.len() {
+                    if self.bindings[idx].driver_idx == d_idx {
+                        self.reapply_binding(kernel, idx);
+                    }
                 }
             }
         }
@@ -483,6 +530,13 @@ impl Lachesis {
             .copied()
             .filter(|&op| !self.op_is_stale(driver_idx, op, now, max_age))
             .collect();
+        if full_scope.is_empty() {
+            // Nothing in scope — the driver is fenced (or every query
+            // departed). Not an error: hold `last_applied` untouched so
+            // the unfence/heal path can restore it, and try again next
+            // period.
+            return Ok(());
+        }
         let excluded = full_scope.len() - scope.len();
         if excluded > 0 {
             self.log.borrow_mut().note(
@@ -492,7 +546,7 @@ impl Lachesis {
                 format!("{excluded} operator(s) with stale metrics excluded"),
             );
         }
-        if scope.is_empty() && !full_scope.is_empty() {
+        if scope.is_empty() {
             // Nothing fresh to schedule on: treat like a failed round so
             // repeated total staleness eventually falls back to CFS.
             return Err(LachesisError::Metric(MetricError::FetchFailed {
@@ -663,10 +717,12 @@ impl Lachesis {
     }
 
     /// Serializes the middleware's recoverable state — per-binding
-    /// supervisor health, next run time and last applied priorities — into
-    /// the versioned text format of [`crate::snapshot`]. Everything else
-    /// (drivers, policies, metric caches) is configuration or soft state a
-    /// cold restart rebuilds from the builder and the next metric refresh.
+    /// supervisor health, next run time and last applied priorities, plus
+    /// (v2) the admission controller's demand book and the watchdog's
+    /// starvation ladder when configured — into the versioned text format
+    /// of [`crate::snapshot`]. Everything else (drivers, policies, metric
+    /// caches) is configuration or soft state a cold restart rebuilds from
+    /// the builder and the next metric refresh.
     pub fn snapshot(&self) -> String {
         let bindings: Vec<crate::snapshot::BindingSnapshot> = self
             .bindings
@@ -678,7 +734,12 @@ impl Lachesis {
                 applied: b.last_applied.clone(),
             })
             .collect();
-        crate::snapshot::encode(&bindings)
+        let doc = crate::snapshot::SnapshotDoc {
+            bindings,
+            admission: self.admission.as_ref().map(|a| a.borrow().export_state()),
+            watchdog: self.watchdog.as_ref().map(|w| w.export_state()),
+        };
+        crate::snapshot::encode(&doc)
     }
 
     /// Restores state captured by [`snapshot`](Lachesis::snapshot) into a
@@ -689,17 +750,26 @@ impl Lachesis {
     ///
     /// # Errors
     ///
-    /// Returns a [`SnapshotError`] when the text is not a v1 snapshot or
-    /// its binding count does not match this instance.
+    /// Returns a [`SnapshotError`] when the text is not a v1/v2 snapshot
+    /// or its binding count does not match this instance. Admission and
+    /// watchdog sections restore only into an instance configured with the
+    /// corresponding component; otherwise they are ignored (a v1 snapshot
+    /// simply carries neither).
     pub fn restore(&mut self, text: &str) -> Result<(), SnapshotError> {
         let decoded = crate::snapshot::decode(text)?;
-        if decoded.len() != self.bindings.len() {
+        if decoded.bindings.len() != self.bindings.len() {
             return Err(SnapshotError::BindingCountMismatch {
                 expected: self.bindings.len(),
-                found: decoded.len(),
+                found: decoded.bindings.len(),
             });
         }
-        for (idx, (b, s)) in self.bindings.iter_mut().zip(decoded).enumerate() {
+        if let (Some(cell), Some(state)) = (&self.admission, decoded.admission) {
+            cell.borrow_mut().import_state(state);
+        }
+        if let (Some(wd), Some(state)) = (&mut self.watchdog, decoded.watchdog) {
+            wd.import_state(state);
+        }
+        for (idx, (b, s)) in self.bindings.iter_mut().zip(decoded.bindings).enumerate() {
             b.health = s.health;
             b.next_run = s.next_run;
             b.announced = s.announced;
@@ -737,52 +807,63 @@ impl Lachesis {
     /// whatever actually runs). Returns the number of bindings whose
     /// schedule was re-applied cleanly.
     pub fn reapply_snapshot(&mut self, kernel: &mut Kernel) -> usize {
-        let now = kernel.now();
         let mut clean = 0;
         for idx in 0..self.bindings.len() {
-            if self.bindings[idx].last_applied.is_empty() {
-                continue;
-            }
-            let driver = Rc::clone(&self.drivers[self.bindings[idx].driver_idx]);
-            let live: std::collections::HashSet<OpRef> =
-                driver.entities().into_iter().collect();
-            let b = &mut self.bindings[idx];
-            let schedule: crate::schedule::SinglePrioritySchedule = b
-                .last_applied
-                .iter()
-                .copied()
-                .filter(|(op, _)| live.contains(op))
-                .collect();
-            if schedule.is_empty() {
-                continue;
-            }
-            let outcome = b.translator.apply(
-                kernel,
-                driver.as_ref(),
-                &Schedule::Single(schedule),
-                b.policy.priority_kind(),
-            );
-            match outcome {
-                Ok(()) => {
-                    clean += 1;
-                    Self::emit(kernel, || TraceEvent::Instant {
-                        track: TraceTrack::Supervisor,
-                        name: "reapply",
-                        args: vec![("binding", idx as f64)],
-                    });
-                }
-                Err(e) => {
-                    let e = LachesisError::from(e);
-                    self.log.borrow_mut().record_error(
-                        now,
-                        Some(idx),
-                        e.kind_label(),
-                        format!("snapshot re-apply: {e}"),
-                    );
-                }
+            if self.reapply_binding(kernel, idx) {
+                clean += 1;
             }
         }
         clean
+    }
+
+    /// Re-applies one binding's last applied schedule (see
+    /// [`reapply_snapshot`](Lachesis::reapply_snapshot)); also the unfence
+    /// path — when a fenced driver's metrics freshen, its bindings get
+    /// their pre-partition schedule back through here. Returns whether the
+    /// schedule was re-applied cleanly.
+    fn reapply_binding(&mut self, kernel: &mut Kernel, idx: usize) -> bool {
+        let now = kernel.now();
+        if self.bindings[idx].last_applied.is_empty() {
+            return false;
+        }
+        let driver = Rc::clone(&self.drivers[self.bindings[idx].driver_idx]);
+        let live: std::collections::HashSet<OpRef> = driver.entities().into_iter().collect();
+        let b = &mut self.bindings[idx];
+        let schedule: crate::schedule::SinglePrioritySchedule = b
+            .last_applied
+            .iter()
+            .copied()
+            .filter(|(op, _)| live.contains(op))
+            .collect();
+        if schedule.is_empty() {
+            return false;
+        }
+        let outcome = b.translator.apply(
+            kernel,
+            driver.as_ref(),
+            &Schedule::Single(schedule),
+            b.policy.priority_kind(),
+        );
+        match outcome {
+            Ok(()) => {
+                Self::emit(kernel, || TraceEvent::Instant {
+                    track: TraceTrack::Supervisor,
+                    name: "reapply",
+                    args: vec![("binding", idx as f64)],
+                });
+                true
+            }
+            Err(e) => {
+                let e = LachesisError::from(e);
+                self.log.borrow_mut().record_error(
+                    now,
+                    Some(idx),
+                    e.kind_label(),
+                    format!("snapshot re-apply: {e}"),
+                );
+                false
+            }
+        }
     }
 
     /// Installs the middleware as a periodic kernel activity and hands

@@ -29,10 +29,15 @@
 //! [`LogicalGraph`]: spe::LogicalGraph
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::rc::Rc;
 
-use lachesis_metrics::{EntityValues, MetricName, MetricSource, TimeSeriesStore};
-use simos::{Kernel, Nice, SimTime, ThreadId};
+use lachesis_metrics::{
+    EntityValues, FaultPlan, FetchError, MetricName, MetricSource, TimeSeriesStore,
+};
+use simos::{
+    CallbackId, Kernel, Nice, SimDuration, SimTime, ThreadId, TraceEvent, TraceTrack,
+};
 use spe::{metric_path, LogicalGraph, LogicalOpId, PhysOpId, PhysicalGraph, RunningQuery, SpeKind};
 
 use crate::driver::SpeDriver;
@@ -111,6 +116,18 @@ pub struct MirrorDriver {
     kind: SpeKind,
     queries: Vec<MirrorQuery>,
     store: Rc<RefCell<TimeSeriesStore>>,
+    faults: Option<Rc<RefCell<FaultPlan>>>,
+    fence: Option<RefCell<FenceState>>,
+}
+
+/// Controller-side lease over one remote worker: fenced when the worker's
+/// freshest relayed sample is older than the lease.
+#[derive(Debug)]
+struct FenceState {
+    lease: SimDuration,
+    fenced: bool,
+    fences: u64,
+    unfences: u64,
 }
 
 impl std::fmt::Debug for MirrorDriver {
@@ -138,7 +155,72 @@ impl MirrorDriver {
             kind,
             queries,
             store,
+            faults: None,
+            fence: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`] consulted on every metric fetch, exactly
+    /// like [`StoreDriver::with_faults`](crate::StoreDriver::with_faults):
+    /// `FetchFailure` rules error the fetch, cutoff rules shift the read
+    /// cursor back in time, and point rules drop or NaN individual values.
+    /// Rules match this driver's [`source_name`](MetricSource::source_name)
+    /// (the `label`).
+    pub fn with_faults(mut self, faults: Rc<RefCell<FaultPlan>>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Arms the staleness fence: once the freshest sample relayed from the
+    /// worker is older than `lease`, the driver reports **no entities** —
+    /// the partitioned worker leaves normalization scope, so its stale
+    /// metrics cannot skew cluster-wide priorities. The fence lifts on the
+    /// first fresh sample after heal; the middleware then re-applies the
+    /// last schedule through the snapshot reapply path.
+    pub fn with_fence(mut self, lease: SimDuration) -> Self {
+        assert!(!lease.is_zero(), "a zero lease would fence immediately");
+        self.fence = Some(RefCell::new(FenceState {
+            lease,
+            fenced: false,
+            fences: 0,
+            unfences: 0,
+        }));
+        self
+    }
+
+    /// Whether the fence is currently engaged (always `false` without
+    /// [`with_fence`](MirrorDriver::with_fence)).
+    pub fn fenced(&self) -> bool {
+        self.fence.as_ref().is_some_and(|f| f.borrow().fenced)
+    }
+
+    /// `(fence, unfence)` transition counts.
+    pub fn fence_transitions(&self) -> (u64, u64) {
+        self.fence
+            .as_ref()
+            .map(|f| {
+                let st = f.borrow();
+                (st.fences, st.unfences)
+            })
+            .unwrap_or((0, 0))
+    }
+
+    /// The newest sample timestamp over every mirrored metric path, i.e.
+    /// the last time the worker was provably alive from this side.
+    fn freshest_sample(&self) -> Option<SimTime> {
+        let store = self.store.borrow();
+        let mut freshest = None;
+        for metric in self.kind.exposed_metrics() {
+            for q in &self.queries {
+                for op in 0..q.op_count() {
+                    let path = metric_path(self.kind, q.name(), op, *metric);
+                    if let Some((t, _)) = store.latest(&path) {
+                        freshest = Some(freshest.map_or(t, |f: SimTime| f.max(t)));
+                    }
+                }
+            }
+        }
+        freshest
     }
 
     /// The mirrored queries, in address order.
@@ -169,6 +251,43 @@ impl MetricSource<OpRef> for MirrorDriver {
         }
         out
     }
+
+    fn try_fetch(
+        &self,
+        metric: MetricName,
+        now: SimTime,
+    ) -> Result<EntityValues<OpRef>, FetchError> {
+        let Some(faults) = &self.faults else {
+            return Ok(self.fetch(metric));
+        };
+        let mut plan = faults.borrow_mut();
+        let name = &self.label;
+        if plan.fetch_fails(name, now) {
+            return Err(FetchError::new(format!(
+                "injected fetch failure for {name} at {now:?}"
+            )));
+        }
+        let cutoff = plan.fetch_cutoff(name, now);
+        let store = self.store.borrow();
+        let mut out = EntityValues::new();
+        for (qi, q) in self.queries.iter().enumerate() {
+            for op in 0..q.op_count() {
+                let path = metric_path(self.kind, q.name(), op, metric);
+                let point = match cutoff {
+                    Some(t) => store.latest_at(&path, t),
+                    None => store.latest(&path),
+                };
+                let Some((t, v)) = point else { continue };
+                let fault = plan.point_fault(name, now);
+                if fault.drop {
+                    continue;
+                }
+                let v = if fault.nan { f64::NAN } else { v };
+                out.insert_at(OpRef::new(qi, op), v, t);
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl SpeDriver for MirrorDriver {
@@ -187,6 +306,12 @@ impl SpeDriver for MirrorDriver {
     }
 
     fn entities(&self) -> Vec<OpRef> {
+        // A fenced worker has no schedulable entities: its operators drop
+        // out of every binding's scope (and out of normalization) until
+        // fresh metrics prove it is reachable again.
+        if self.fenced() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         for (qi, q) in self.queries.iter().enumerate() {
             for op in 0..q.op_count() {
@@ -198,6 +323,25 @@ impl SpeDriver for MirrorDriver {
 
     fn thread_of(&self, _op: OpRef) -> Option<ThreadId> {
         None
+    }
+
+    fn refresh_fence(&self, now: SimTime) -> Option<bool> {
+        let cell = self.fence.as_ref()?;
+        let mut st = cell.borrow_mut();
+        // No sample yet counts as "fresh at time zero": a worker gets one
+        // lease of grace at startup before it can be fenced.
+        let freshest = self.freshest_sample().unwrap_or(SimTime::ZERO);
+        let stale = now > freshest + st.lease;
+        if stale == st.fenced {
+            return None;
+        }
+        st.fenced = stale;
+        if stale {
+            st.fences += 1;
+        } else {
+            st.unfences += 1;
+        }
+        Some(stale)
     }
 
     fn downstream(&self, op: OpRef) -> Vec<OpRef> {
@@ -320,6 +464,36 @@ impl Translator for RemoteNiceTranslator {
     }
 }
 
+/// Emits a supervisor-track instant for a lease transition, so every
+/// engage/expire is reconstructible from the trace alone.
+fn emit_lease(kernel: &mut Kernel, name: &'static str, node: usize) {
+    if let Some(t) = kernel.trace_sink() {
+        let now = kernel.now();
+        t.borrow_mut().push(
+            now,
+            TraceEvent::Instant {
+                track: TraceTrack::Supervisor,
+                name,
+                args: vec![("node", node as f64)],
+            },
+        );
+    }
+}
+
+/// Worker-side view of the controller lease: every arriving command is a
+/// heartbeat; silence longer than the interval means the controller (or
+/// the network to it) is gone and the worker must stop trusting its last
+/// schedule.
+#[derive(Debug)]
+struct LeaseState {
+    rack_id: usize,
+    interval: SimDuration,
+    last_heard: SimTime,
+    engaged: bool,
+    expirations: u64,
+    engagements: u64,
+}
+
 /// The receiving side: resolves arriving [`RemoteCmd`]s against the node's
 /// locally deployed queries and applies them to the bound kernel threads.
 #[derive(Debug)]
@@ -327,6 +501,7 @@ pub struct CmdApplier {
     queries: Vec<RunningQuery>,
     applied: u64,
     skipped: u64,
+    lease: Option<LeaseState>,
 }
 
 impl CmdApplier {
@@ -337,6 +512,97 @@ impl CmdApplier {
             queries,
             applied: 0,
             skipped: 0,
+            lease: None,
+        }
+    }
+
+    /// Arms the controller lease for this worker (`rack_id` labels trace
+    /// instants). Every arriving command renews the lease; when
+    /// [`check_lease`](CmdApplier::check_lease) finds it expired — no
+    /// command for longer than `interval` — the worker reverts all of its
+    /// query threads to CFS defaults (`nice` 0, `cpu.shares` 1024): a
+    /// partitioned worker runs the schedule the SPE would have without
+    /// Lachesis rather than a frozen, increasingly wrong one. The lease
+    /// starts **disengaged** (the worker is born at CFS defaults) and
+    /// engages on the first command.
+    pub fn with_lease(mut self, rack_id: usize, interval: SimDuration) -> Self {
+        self.arm_lease(rack_id, interval);
+        self
+    }
+
+    /// In-place form of [`with_lease`](CmdApplier::with_lease), for
+    /// appliers already shared behind an `Rc<RefCell<..>>` (cluster
+    /// harnesses arm the lease after the node's queries deploy).
+    pub fn arm_lease(&mut self, rack_id: usize, interval: SimDuration) {
+        assert!(!interval.is_zero(), "a zero lease would expire immediately");
+        self.lease = Some(LeaseState {
+            rack_id,
+            interval,
+            last_heard: SimTime::ZERO,
+            engaged: false,
+            expirations: 0,
+            engagements: 0,
+        });
+    }
+
+    /// The lease interval, if a lease is armed.
+    pub fn lease_interval(&self) -> Option<SimDuration> {
+        self.lease.as_ref().map(|l| l.interval)
+    }
+
+    /// Whether the lease is currently engaged (commands are flowing).
+    pub fn lease_engaged(&self) -> bool {
+        self.lease.as_ref().is_some_and(|l| l.engaged)
+    }
+
+    /// `(engagements, expirations)` of the lease so far.
+    pub fn lease_transitions(&self) -> (u64, u64) {
+        self.lease
+            .as_ref()
+            .map(|l| (l.engagements, l.expirations))
+            .unwrap_or((0, 0))
+    }
+
+    /// Checks the lease against the kernel clock and, on expiry, reverts
+    /// every query thread to CFS defaults. Called periodically by
+    /// [`install_lease_guard`]; a no-op without an armed lease or while
+    /// commands keep arriving.
+    pub fn check_lease(&mut self, kernel: &mut Kernel) {
+        let now = kernel.now();
+        let expired = self
+            .lease
+            .as_ref()
+            .is_some_and(|l| l.engaged && now > l.last_heard + l.interval);
+        if !expired {
+            return;
+        }
+        let rack_id = {
+            let l = self.lease.as_mut().expect("expired lease exists");
+            l.engaged = false;
+            l.expirations += 1;
+            l.rack_id
+        };
+        emit_lease(kernel, "lease_expire", rack_id);
+        self.revert_to_cfs(kernel);
+    }
+
+    /// Resets every query thread to `nice` 0 and every non-root cgroup the
+    /// threads run in to the default 1024 `cpu.shares` — the schedule the
+    /// SPE would have without Lachesis. Best-effort, like the controller's
+    /// own CFS fallback.
+    pub fn revert_to_cfs(&mut self, kernel: &mut Kernel) {
+        let nice0 = Nice::new(0).expect("nice 0 is always valid");
+        let mut reset_groups: HashSet<simos::CgroupId> = HashSet::new();
+        for q in &self.queries {
+            for c in q.cells() {
+                let Some(tid) = c.thread() else { continue };
+                let _ = kernel.set_nice(tid, nice0);
+                let Ok(info) = kernel.thread_info(tid) else { continue };
+                let node_root = kernel.node_root(info.node).ok();
+                if Some(info.cgroup) != node_root && reset_groups.insert(info.cgroup) {
+                    let _ = kernel.set_cpu_shares(info.cgroup, simos::DEFAULT_CPU_SHARES);
+                }
+            }
         }
     }
 
@@ -361,6 +627,25 @@ impl CmdApplier {
     /// in [`skipped`](CmdApplier::skipped) and dropped — the controller
     /// resends a fresh schedule every period anyway.
     pub fn apply(&mut self, kernel: &mut Kernel, cmd: RemoteCmd) {
+        // Any command — even one for a dead address — is a heartbeat from
+        // the controller: renew the lease, and re-engage if it had expired
+        // (the controller resends its full schedule every period, so the
+        // commands arriving now rebuild the schedule the partition wiped).
+        let engage = if let Some(l) = &mut self.lease {
+            l.last_heard = kernel.now();
+            let engage = !l.engaged;
+            if engage {
+                l.engaged = true;
+                l.engagements += 1;
+            }
+            engage
+        } else {
+            false
+        };
+        if engage {
+            let rack_id = self.lease.as_ref().expect("lease exists").rack_id;
+            emit_lease(kernel, "lease_engage", rack_id);
+        }
         let tid = self
             .queries
             .get(cmd.query)
@@ -381,6 +666,30 @@ impl CmdApplier {
     pub fn skipped(&self) -> u64 {
         self.skipped
     }
+}
+
+/// Installs the periodic lease check for a worker's [`CmdApplier`]: every
+/// half lease interval, [`CmdApplier::check_lease`] runs against the
+/// worker's kernel clock, so an expiry is detected at most 1.5 intervals
+/// after the last command was heard (expiry itself happens at one
+/// interval; the probe period bounds the detection lag).
+///
+/// # Panics
+///
+/// Panics if the applier has no lease armed (see
+/// [`CmdApplier::with_lease`]).
+pub fn install_lease_guard(
+    kernel: &mut Kernel,
+    applier: Rc<RefCell<CmdApplier>>,
+) -> CallbackId {
+    let interval = applier
+        .borrow()
+        .lease_interval()
+        .expect("install_lease_guard needs an armed lease");
+    let period = SimDuration::from_nanos((interval.as_nanos() / 2).max(1));
+    kernel.schedule_periodic(period, period, move |k| {
+        applier.borrow_mut().check_lease(k);
+    })
 }
 
 #[cfg(test)]
@@ -478,5 +787,85 @@ mod tests {
         // Unknown address: counted, not fatal.
         applier.apply(&mut kernel, RemoteCmd { query: 9, op: 0, nice });
         assert_eq!(applier.skipped(), 1);
+    }
+
+    #[test]
+    fn lease_expires_to_cfs_and_reengages_on_next_command() {
+        let mut kernel = Kernel::default();
+        let node = kernel.add_node("n", 2);
+        let query = spe::deploy(
+            &mut kernel,
+            graph("q0"),
+            EngineConfig::liebre(),
+            &Placement::single(node),
+            None,
+        )
+        .unwrap();
+        let applier = Rc::new(RefCell::new(
+            CmdApplier::new(vec![query.clone()]).with_lease(1, SimDuration::from_secs(2)),
+        ));
+        install_lease_guard(&mut kernel, Rc::clone(&applier));
+
+        // First command engages the lease and applies its nice.
+        let boost = Nice::new(-4).unwrap();
+        applier
+            .borrow_mut()
+            .apply(&mut kernel, RemoteCmd { query: 0, op: 0, nice: boost });
+        assert!(applier.borrow().lease_engaged());
+        assert_eq!(applier.borrow().lease_transitions(), (1, 0));
+        let tid = query.cell(0).thread().unwrap();
+        assert_eq!(kernel.thread_info(tid).unwrap().nice, boost);
+
+        // Silence past the interval: the guard reverts to CFS defaults.
+        kernel.run_for(SimDuration::from_secs(4));
+        assert!(!applier.borrow().lease_engaged());
+        assert_eq!(applier.borrow().lease_transitions(), (1, 1));
+        assert_eq!(kernel.thread_info(tid).unwrap().nice.value(), 0);
+
+        // The controller comes back: the next command re-engages.
+        applier
+            .borrow_mut()
+            .apply(&mut kernel, RemoteCmd { query: 0, op: 0, nice: boost });
+        assert!(applier.borrow().lease_engaged());
+        assert_eq!(applier.borrow().lease_transitions(), (2, 1));
+        assert_eq!(kernel.thread_info(tid).unwrap().nice, boost);
+    }
+
+    #[test]
+    fn fence_trips_on_stale_metrics_and_lifts_on_fresh_ones() {
+        let g = graph("q0");
+        let store = Rc::new(RefCell::new(TimeSeriesStore::new(SimDuration::from_secs(1))));
+        let path = metric_path(SpeKind::Liebre, "q0", 0, lachesis_metrics::names::QUEUE_SIZE);
+        let driver = MirrorDriver::new(
+            "liebre@node1",
+            SpeKind::Liebre,
+            vec![MirrorQuery::new(&g, true)],
+            Rc::clone(&store),
+        )
+        .with_fence(SimDuration::from_secs(3));
+        let at = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+
+        // Startup grace: no sample yet, within one lease of t=0.
+        assert_eq!(driver.refresh_fence(at(2)), None);
+        assert!(!driver.fenced());
+        assert!(!driver.entities().is_empty());
+
+        // A sample at t=2 keeps the fence open at t=4...
+        store.borrow_mut().record(&path, at(2), 5.0);
+        assert_eq!(driver.refresh_fence(at(4)), None);
+        // ...but by t=6 the sample is older than the lease: fenced, and
+        // the driver's entities vanish from scheduling scope.
+        assert_eq!(driver.refresh_fence(at(6)), Some(true));
+        assert!(driver.fenced());
+        assert!(driver.entities().is_empty());
+        // No repeated transition while still stale.
+        assert_eq!(driver.refresh_fence(at(7)), None);
+
+        // Heal: a fresh sample lifts the fence exactly once.
+        store.borrow_mut().record(&path, at(8), 6.0);
+        assert_eq!(driver.refresh_fence(at(9)), Some(false));
+        assert!(!driver.fenced());
+        assert!(!driver.entities().is_empty());
+        assert_eq!(driver.fence_transitions(), (1, 1));
     }
 }

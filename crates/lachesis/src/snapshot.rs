@@ -12,28 +12,44 @@
 //! the `f64` so the round-trip is exact:
 //!
 //! ```text
-//! lachesis-snapshot v1
+//! lachesis-snapshot v2
 //! bindings 2
 //! binding 0 health=engaged next_run=1500000000 announced=1 applied=2
 //! apply 0 q0/op1 3ff0000000000000
 //! apply 0 q0/op2 4008000000000000
 //! binding 1 health=degraded:2 next_run=2000000000 announced=1 applied=0
+//! admission tenants=1 records=1
+//! atenant 74332d61 demand=4000000000000000 cpu=0000000000000000 at=1500000000
+//! arecord at=1500000000 tenant=74332d61 decision=0 demand=... used=... budget=...
+//! watchdog ops=1 tenants=1
+//! watch 0 q0/op1 progress=3ff0000000000000 at=1400000000 starved=2 level=1
+//! wtenant 0 degraded=0
 //! ```
+//!
+//! v2 adds the optional `admission`/`watchdog` sections (multi-tenant
+//! state: the admitted demand book, the decision history, the starvation
+//! ladder and which tenants were already degraded). The decoder still
+//! accepts v1 documents — they simply restore without those sections.
+//! Tenant names are hex-encoded so the whitespace-split line format never
+//! ambiguates.
 
 use std::fmt;
 
 use simos::SimTime;
 
+use crate::admission::{AdmissionDecision, AdmissionRecord};
 use crate::entity::OpRef;
 use crate::supervisor::BindingHealth;
 
-/// Magic first line of every snapshot.
-const HEADER: &str = "lachesis-snapshot v1";
+/// Magic first line of every snapshot written by this version.
+const HEADER_V2: &str = "lachesis-snapshot v2";
+/// Older header this version still reads.
+const HEADER_V1: &str = "lachesis-snapshot v1";
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// The text does not start with the v1 header.
+    /// The text does not start with a known snapshot header.
     BadHeader,
     /// A line could not be parsed (1-based line number and content).
     BadLine(usize, String),
@@ -51,7 +67,7 @@ pub enum SnapshotError {
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SnapshotError::BadHeader => write!(f, "missing `{HEADER}` header"),
+            SnapshotError::BadHeader => write!(f, "missing `{HEADER_V2}` header"),
             SnapshotError::BadLine(n, l) => write!(f, "unparseable snapshot line {n}: {l:?}"),
             SnapshotError::BindingCountMismatch { expected, found } => write!(
                 f,
@@ -72,6 +88,46 @@ pub(crate) struct BindingSnapshot {
     /// `(op, priority)` pairs of the last successfully applied schedule,
     /// in entity order; empty when no apply has succeeded yet.
     pub applied: Vec<(OpRef, f64)>,
+}
+
+/// Persisted [`AdmissionController`](crate::AdmissionController) state:
+/// the admitted demand book (so a restart does not forget who holds CPU
+/// budget) plus the decision history (so SLO accounting spans the crash).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct AdmissionSnapshot {
+    /// `(tenant, demand_cores, last_cpu_s, last_at)`, sorted by tenant
+    /// name so identical state always encodes to identical bytes.
+    pub tenants: Vec<(String, f64, f64, SimTime)>,
+    /// Every decision made so far, in order.
+    pub records: Vec<AdmissionRecord>,
+}
+
+/// `(last_progress, last_at, starved, level)` for one watched operator.
+pub(crate) type WatchEntry = (Option<f64>, Option<SimTime>, u32, u32);
+
+/// Persisted [`StarvationWatchdog`](crate::StarvationWatchdog) state: the
+/// per-operator starvation ladder and which tenants were degraded, so a
+/// restart neither re-degrades an already degraded tenant nor resets a
+/// starving operator's escalation back to zero.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct WatchdogSnapshot {
+    /// `((driver, op), (last_progress, last_at, starved, level))`,
+    /// key-sorted for deterministic encoding.
+    pub watch: Vec<((usize, OpRef), WatchEntry)>,
+    /// Degraded flag per registered tenant, in registration order.
+    pub degraded: Vec<bool>,
+}
+
+/// A full decoded snapshot document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct SnapshotDoc {
+    pub bindings: Vec<BindingSnapshot>,
+    /// `None` when the snapshotting instance had no admission controller
+    /// (and always for v1 documents).
+    pub admission: Option<AdmissionSnapshot>,
+    /// `None` when the snapshotting instance had no watchdog (and always
+    /// for v1 documents).
+    pub watchdog: Option<WatchdogSnapshot>,
 }
 
 fn encode_health(h: BindingHealth) -> String {
@@ -110,12 +166,84 @@ fn decode_op(s: &str) -> Option<OpRef> {
     ))
 }
 
-pub(crate) fn encode(bindings: &[BindingSnapshot]) -> String {
+/// Tenant names hex-encode so whitespace (the line separator) in a name
+/// can never corrupt the document; the empty name encodes as `-`.
+fn encode_name(s: &str) -> String {
+    if s.is_empty() {
+        return "-".to_owned();
+    }
+    s.bytes().fold(String::new(), |mut out, b| {
+        out.push_str(&format!("{b:02x}"));
+        out
+    })
+}
+
+fn decode_name(s: &str) -> Option<String> {
+    if s == "-" {
+        return Some(String::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes: Option<Vec<u8>> = s
+        .as_bytes()
+        .chunks(2)
+        .map(|c| u8::from_str_radix(std::str::from_utf8(c).ok()?, 16).ok())
+        .collect();
+    String::from_utf8(bytes?).ok()
+}
+
+fn encode_opt_bits(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:016x}", v.to_bits()),
+        None => "-".to_owned(),
+    }
+}
+
+fn decode_opt_bits(s: &str) -> Option<Option<f64>> {
+    if s == "-" {
+        return Some(None);
+    }
+    u64::from_str_radix(s, 16).ok().map(|b| Some(f64::from_bits(b)))
+}
+
+fn encode_opt_time(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => t.as_nanos().to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn decode_opt_time(s: &str) -> Option<Option<SimTime>> {
+    if s == "-" {
+        return Some(None);
+    }
+    s.parse().ok().map(|n| Some(SimTime::from_nanos(n)))
+}
+
+fn encode_decision(d: AdmissionDecision) -> u8 {
+    match d {
+        AdmissionDecision::Admit => 0,
+        AdmissionDecision::Queue => 1,
+        AdmissionDecision::Reject => 2,
+    }
+}
+
+fn decode_decision(s: &str) -> Option<AdmissionDecision> {
+    match s {
+        "0" => Some(AdmissionDecision::Admit),
+        "1" => Some(AdmissionDecision::Queue),
+        "2" => Some(AdmissionDecision::Reject),
+        _ => None,
+    }
+}
+
+pub(crate) fn encode(doc: &SnapshotDoc) -> String {
     let mut out = String::new();
-    out.push_str(HEADER);
+    out.push_str(HEADER_V2);
     out.push('\n');
-    out.push_str(&format!("bindings {}\n", bindings.len()));
-    for (idx, b) in bindings.iter().enumerate() {
+    out.push_str(&format!("bindings {}\n", doc.bindings.len()));
+    for (idx, b) in doc.bindings.iter().enumerate() {
         out.push_str(&format!(
             "binding {idx} health={} next_run={} announced={} applied={}\n",
             encode_health(b.health),
@@ -127,16 +255,61 @@ pub(crate) fn encode(bindings: &[BindingSnapshot]) -> String {
             out.push_str(&format!("apply {idx} {op} {:016x}\n", p.to_bits()));
         }
     }
+    if let Some(a) = &doc.admission {
+        out.push_str(&format!(
+            "admission tenants={} records={}\n",
+            a.tenants.len(),
+            a.records.len()
+        ));
+        for (name, demand, cpu, at) in &a.tenants {
+            out.push_str(&format!(
+                "atenant {} demand={:016x} cpu={:016x} at={}\n",
+                encode_name(name),
+                demand.to_bits(),
+                cpu.to_bits(),
+                at.as_nanos(),
+            ));
+        }
+        for r in &a.records {
+            out.push_str(&format!(
+                "arecord at={} tenant={} decision={} demand={:016x} used={:016x} budget={:016x}\n",
+                r.at.as_nanos(),
+                encode_name(&r.tenant),
+                encode_decision(r.decision),
+                r.demand_cores.to_bits(),
+                r.used_cores.to_bits(),
+                r.budget_cores.to_bits(),
+            ));
+        }
+    }
+    if let Some(w) = &doc.watchdog {
+        out.push_str(&format!(
+            "watchdog ops={} tenants={}\n",
+            w.watch.len(),
+            w.degraded.len()
+        ));
+        for ((di, op), (progress, at, starved, level)) in &w.watch {
+            out.push_str(&format!(
+                "watch {di} {op} progress={} at={} starved={starved} level={level}\n",
+                encode_opt_bits(*progress),
+                encode_opt_time(*at),
+            ));
+        }
+        for (i, d) in w.degraded.iter().enumerate() {
+            out.push_str(&format!("wtenant {i} degraded={}\n", *d as u8));
+        }
+    }
     out
 }
 
-pub(crate) fn decode(text: &str) -> Result<Vec<BindingSnapshot>, SnapshotError> {
+pub(crate) fn decode(text: &str) -> Result<SnapshotDoc, SnapshotError> {
     let mut lines = text.lines().enumerate();
     let bad = |n: usize, l: &str| SnapshotError::BadLine(n + 1, l.to_owned());
-    match lines.next() {
-        Some((_, l)) if l.trim() == HEADER => {}
+    let v2 = match lines.next() {
+        Some((_, l)) if l.trim() == HEADER_V2 => true,
+        Some((_, l)) if l.trim() == HEADER_V1 => false,
         _ => return Err(SnapshotError::BadHeader),
-    }
+    };
     let count: usize = match lines.next() {
         Some((n, l)) => l
             .strip_prefix("bindings ")
@@ -145,13 +318,25 @@ pub(crate) fn decode(text: &str) -> Result<Vec<BindingSnapshot>, SnapshotError> 
         None => return Err(SnapshotError::BadHeader),
     };
     let mut out: Vec<BindingSnapshot> = Vec::with_capacity(count);
+    let mut admission: Option<AdmissionSnapshot> = None;
+    let mut watchdog: Option<WatchdogSnapshot> = None;
     for (n, line) in lines {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         let mut fields = line.split_whitespace();
-        match fields.next() {
+        let kind = fields.next();
+        // The v2 sections are unknown line kinds to a v1 document.
+        if !v2
+            && matches!(
+                kind,
+                Some("admission" | "atenant" | "arecord" | "watchdog" | "watch" | "wtenant")
+            )
+        {
+            return Err(bad(n, line));
+        }
+        match kind {
             Some("binding") => {
                 let idx: usize = fields
                     .next()
@@ -202,6 +387,121 @@ pub(crate) fn decode(text: &str) -> Result<Vec<BindingSnapshot>, SnapshotError> 
                 }
                 out[idx].applied.push((op, f64::from_bits(bits)));
             }
+            Some("admission") => {
+                if admission.is_some() {
+                    return Err(bad(n, line));
+                }
+                admission = Some(AdmissionSnapshot::default());
+            }
+            Some("atenant") => {
+                let a = admission.as_mut().ok_or_else(|| bad(n, line))?;
+                let name = fields
+                    .next()
+                    .and_then(decode_name)
+                    .ok_or_else(|| bad(n, line))?;
+                let mut kv = |key: &str| -> Option<&str> {
+                    fields.next()?.strip_prefix(key)?.strip_prefix('=')
+                };
+                let demand = kv("demand")
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .map(f64::from_bits)
+                    .ok_or_else(|| bad(n, line))?;
+                let cpu = kv("cpu")
+                    .and_then(|v| u64::from_str_radix(v, 16).ok())
+                    .map(f64::from_bits)
+                    .ok_or_else(|| bad(n, line))?;
+                let at = kv("at")
+                    .and_then(|v| v.parse().ok())
+                    .map(SimTime::from_nanos)
+                    .ok_or_else(|| bad(n, line))?;
+                a.tenants.push((name, demand, cpu, at));
+            }
+            Some("arecord") => {
+                let a = admission.as_mut().ok_or_else(|| bad(n, line))?;
+                let mut kv = |key: &str| -> Option<&str> {
+                    fields.next()?.strip_prefix(key)?.strip_prefix('=')
+                };
+                let at = kv("at")
+                    .and_then(|v| v.parse().ok())
+                    .map(SimTime::from_nanos)
+                    .ok_or_else(|| bad(n, line))?;
+                let tenant = kv("tenant")
+                    .and_then(decode_name)
+                    .ok_or_else(|| bad(n, line))?;
+                let decision = kv("decision")
+                    .and_then(decode_decision)
+                    .ok_or_else(|| bad(n, line))?;
+                let mut bits = |key| {
+                    kv(key)
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .map(f64::from_bits)
+                        .ok_or_else(|| bad(n, line))
+                };
+                let demand_cores = bits("demand")?;
+                let used_cores = bits("used")?;
+                let budget_cores = bits("budget")?;
+                a.records.push(AdmissionRecord {
+                    at,
+                    tenant,
+                    decision,
+                    demand_cores,
+                    used_cores,
+                    budget_cores,
+                });
+            }
+            Some("watchdog") => {
+                if watchdog.is_some() {
+                    return Err(bad(n, line));
+                }
+                watchdog = Some(WatchdogSnapshot::default());
+            }
+            Some("watch") => {
+                let w = watchdog.as_mut().ok_or_else(|| bad(n, line))?;
+                let di: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                let op = fields
+                    .next()
+                    .and_then(decode_op)
+                    .ok_or_else(|| bad(n, line))?;
+                let mut kv = |key: &str| -> Option<&str> {
+                    fields.next()?.strip_prefix(key)?.strip_prefix('=')
+                };
+                let progress = kv("progress")
+                    .and_then(decode_opt_bits)
+                    .ok_or_else(|| bad(n, line))?;
+                let at = kv("at")
+                    .and_then(decode_opt_time)
+                    .ok_or_else(|| bad(n, line))?;
+                let starved: u32 = kv("starved")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                let level: u32 = kv("level")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                w.watch.push(((di, op), (progress, at, starved, level)));
+            }
+            Some("wtenant") => {
+                let w = watchdog.as_mut().ok_or_else(|| bad(n, line))?;
+                let idx: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad(n, line))?;
+                if idx != w.degraded.len() {
+                    return Err(bad(n, line));
+                }
+                let degraded = fields
+                    .next()
+                    .and_then(|f| f.strip_prefix("degraded="))
+                    .and_then(|v| match v {
+                        "0" => Some(false),
+                        "1" => Some(true),
+                        _ => None,
+                    })
+                    .ok_or_else(|| bad(n, line))?;
+                w.degraded.push(degraded);
+            }
             _ => return Err(bad(n, line)),
         }
     }
@@ -211,7 +511,11 @@ pub(crate) fn decode(text: &str) -> Result<Vec<BindingSnapshot>, SnapshotError> 
             found: out.len(),
         });
     }
-    Ok(out)
+    Ok(SnapshotDoc {
+        bindings: out,
+        admission,
+        watchdog,
+    })
 }
 
 #[cfg(test)]
@@ -251,13 +555,63 @@ mod tests {
 
     #[test]
     fn round_trips_exactly() {
-        let original = sample();
+        let original = SnapshotDoc {
+            bindings: sample(),
+            admission: None,
+            watchdog: None,
+        };
         let text = encode(&original);
-        assert!(text.starts_with("lachesis-snapshot v1\n"));
+        assert!(text.starts_with("lachesis-snapshot v2\n"));
         let decoded = decode(&text).unwrap();
         assert_eq!(decoded, original);
         // Priorities round-trip bit-exactly, including non-finite values.
-        assert_eq!(decoded[0].applied[2].1, f64::NEG_INFINITY);
+        assert_eq!(decoded.bindings[0].applied[2].1, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn v2_sections_round_trip_exactly() {
+        let original = SnapshotDoc {
+            bindings: sample(),
+            admission: Some(AdmissionSnapshot {
+                tenants: vec![
+                    ("a big tenant".to_owned(), 1.25, 0.5, SimTime::from_nanos(9)),
+                    (String::new(), 0.0, 0.0, SimTime::ZERO),
+                ],
+                records: vec![AdmissionRecord {
+                    at: SimTime::from_nanos(3),
+                    tenant: "a big tenant".to_owned(),
+                    decision: AdmissionDecision::Queue,
+                    demand_cores: 1.25,
+                    used_cores: 2.5,
+                    budget_cores: 3.6,
+                }],
+            }),
+            watchdog: Some(WatchdogSnapshot {
+                watch: vec![
+                    ((0, OpRef::new(0, 1)), (Some(7.5), Some(SimTime::from_nanos(4)), 2, 1)),
+                    ((1, OpRef::new(2, 0)), (None, None, 0, 0)),
+                ],
+                degraded: vec![false, true],
+            }),
+        };
+        let text = encode(&original);
+        let decoded = decode(&text).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn still_reads_v1_documents() {
+        let v1 = "lachesis-snapshot v1\nbindings 1\n\
+                  binding 0 health=engaged next_run=5 announced=1 applied=1\n\
+                  apply 0 q0/op1 3ff0000000000000\n";
+        let doc = decode(v1).unwrap();
+        assert_eq!(doc.bindings.len(), 1);
+        assert_eq!(doc.bindings[0].applied, vec![(OpRef::new(0, 1), 1.0)]);
+        assert_eq!(doc.admission, None);
+        assert_eq!(doc.watchdog, None);
+        // ... but a v1 document must not smuggle v2 sections.
+        let bad = format!("{v1}admission tenants=0 records=0\n");
+        assert!(matches!(decode(&bad), Err(SnapshotError::BadLine(..))));
     }
 
     #[test]

@@ -116,6 +116,45 @@ impl StarvationWatchdog {
         [names::CPU_TIME, names::TUPLES_IN, names::QUEUE_SIZE]
     }
 
+    /// The watchdog's recoverable state, for crash-recovery snapshots
+    /// (key-sorted so identical state encodes identically).
+    pub(crate) fn export_state(&self) -> crate::snapshot::WatchdogSnapshot {
+        let mut watch: Vec<_> = self
+            .watch
+            .iter()
+            .map(|(&k, &w)| (k, (w.last_progress, w.last_at, w.starved, w.level)))
+            .collect();
+        watch.sort_by_key(|&(k, _)| k);
+        crate::snapshot::WatchdogSnapshot {
+            watch,
+            degraded: self.tenants.iter().map(|t| t.degraded).collect(),
+        }
+    }
+
+    /// Restores the starvation ladder and degraded flags from snapshotted
+    /// state. Tenant flags pair up by registration order; a count mismatch
+    /// (reconfigured tenant set) restores the overlapping prefix only.
+    pub(crate) fn import_state(&mut self, state: crate::snapshot::WatchdogSnapshot) {
+        self.watch = state
+            .watch
+            .into_iter()
+            .map(|(k, (last_progress, last_at, starved, level))| {
+                (
+                    k,
+                    OpWatch {
+                        last_progress,
+                        last_at,
+                        starved,
+                        level,
+                    },
+                )
+            })
+            .collect();
+        for (t, d) in self.tenants.iter_mut().zip(state.degraded) {
+            t.degraded = d;
+        }
+    }
+
     /// One watchdog round over every driver's operators.
     pub(crate) fn run(
         &mut self,

@@ -7,8 +7,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use lachesis::{
-    BindingHealth, Lachesis, LachesisBuilder, NiceTranslator, QueueSizePolicy, Scope,
-    SnapshotError, StoreDriver,
+    AdmissionConfig, AdmissionDecision, BindingHealth, Lachesis, LachesisBuilder, NiceTranslator,
+    QueueSizePolicy, Scope, SloClass, SnapshotError, StoreDriver, WatchdogConfig,
 };
 use lachesis_metrics::TimeSeriesStore;
 use simos::{machines, Kernel, SimDuration};
@@ -121,7 +121,7 @@ fn run_interrupted(kill_ms: u64, down_ms: u64) -> (Vec<i32>, u64) {
     s.kernel.cancel_callback(cb);
     let saved = sink.borrow().clone();
     assert!(
-        saved.starts_with("lachesis-snapshot v1"),
+        saved.starts_with("lachesis-snapshot v2"),
         "snapshot written before the kill"
     );
 
@@ -294,4 +294,82 @@ fn restore_round_trips_and_rejects_mismatched_config() {
         twin.restore("corrupted checkpoint"),
         Err(SnapshotError::BadHeader)
     );
+}
+
+fn build_multitenant(s: &Setup) -> Lachesis {
+    let mut b = LachesisBuilder::new()
+        .driver(StoreDriver::storm(s.queries.clone(), Rc::clone(&s.store)))
+        .policy(
+            0,
+            Scope::AllQueries,
+            QueueSizePolicy::default(),
+            NiceTranslator::new(),
+        )
+        .admission(AdmissionConfig::default())
+        .watchdog(WatchdogConfig::default());
+    for (i, class) in [SloClass::BestEffort, SloClass::Premium].iter().enumerate() {
+        b = b.tenant(&format!("tenant {i}"), 0, i, *class, Box::new(|_| {}));
+    }
+    b.build()
+}
+
+/// v2 snapshots carry the admission demand book and the watchdog ladder:
+/// a restart must not forget who holds CPU budget or which tenants were
+/// already degraded, and the round trip is byte-exact. A v1 document
+/// (no multi-tenant sections) still restores.
+#[test]
+fn snapshot_v2_round_trips_admission_and_watchdog_state() {
+    let mut s = setup(2, 2500.0);
+    let mw = build_multitenant(&s);
+    let admission = mw.admission_controller().expect("admission configured");
+
+    // Admit one tenant through the middleware-owned controller and queue
+    // a second, booking demand and two history records.
+    let node = s.queries[0].cell(0).node();
+    let small = skewed_pipeline("arriving", 2500.0);
+    let big = skewed_pipeline("flash", 9000.0);
+    assert_eq!(
+        admission
+            .borrow_mut()
+            .decide(&mut s.kernel, "tenant 0", &small, &[node]),
+        AdmissionDecision::Admit
+    );
+    admission
+        .borrow_mut()
+        .decide(&mut s.kernel, "tenant 1", &big, &[node]);
+    let demand = admission.borrow().tenant_demand("tenant 0");
+    assert!(demand.is_some());
+
+    let saved = mw.snapshot();
+    assert!(saved.starts_with("lachesis-snapshot v2"));
+    assert!(saved.contains("admission tenants=1 records=2"));
+    assert!(saved.contains("watchdog "));
+
+    // A fresh twin restores the full multi-tenant state, byte-exactly.
+    let mut twin = build_multitenant(&s);
+    assert!(twin
+        .admission_controller()
+        .unwrap()
+        .borrow()
+        .history()
+        .is_empty());
+    twin.restore(&saved).expect("v2 snapshot restores");
+    let twin_adm = twin.admission_controller().unwrap();
+    assert_eq!(twin_adm.borrow().tenant_demand("tenant 0"), demand);
+    assert_eq!(twin_adm.borrow().history().len(), 2);
+    assert_eq!(twin.snapshot(), saved, "v2 restore/snapshot round-trips");
+
+    // Backward compatibility: a v1 document restores the bindings and
+    // leaves the (empty) multi-tenant state untouched.
+    let v1 = "lachesis-snapshot v1\nbindings 1\n\
+              binding 0 health=engaged next_run=5000000 announced=1 applied=0\n";
+    let mut old = build_multitenant(&s);
+    old.restore(v1).expect("v1 snapshot still restores");
+    assert_eq!(old.binding_health(0), Some(BindingHealth::Engaged));
+    assert!(old
+        .admission_controller()
+        .unwrap()
+        .borrow()
+        .history()
+        .is_empty());
 }

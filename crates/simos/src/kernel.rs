@@ -2203,6 +2203,11 @@ impl Kernel {
                 false
             }
             Action::Exit => {
+                self.emit(|| TraceEvent::Exit {
+                    node: node_idx as u64,
+                    cpu: cpu_idx,
+                    tid,
+                });
                 self.threads[tid.0 as usize].state = ThreadState::Exited;
                 self.threads[tid.0 as usize].body = None;
                 self.nodes[node_idx].nr_active -= 1;

@@ -51,7 +51,9 @@ pub use calendar::{EventCalendar, EventId};
 pub use cgroup::{clamp_shares, CgroupInfo, DEFAULT_CPU_SHARES, MAX_CPU_SHARES, MIN_CPU_SHARES};
 pub use ids::{CallbackId, CgroupId, CpuId, DeferCallId, NodeId, ThreadId, WaitId};
 pub use kernel::{FaultHook, Kernel, KernelConfig, KernelError, NodeStats, SpawnBuilder};
-pub use net::{Envelope, EpochClock, LinkStamper, NetTopology, RackNodeId};
+pub use net::{
+    mix_seed, Envelope, EpochClock, LinkStamper, NetFaultPlan, NetTopology, NetVerdict, RackNodeId,
+};
 pub use nice::{Nice, NiceRangeError, NICE_0_WEIGHT, NICE_MAX, NICE_MIN};
 pub use thread::{ThreadInfo, ThreadState};
 pub use time::{SimDuration, SimTime};

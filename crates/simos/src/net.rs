@@ -171,6 +171,220 @@ impl LinkStamper {
     }
 }
 
+/// SplitMix64 finalizer: the stateless hash behind [`NetFaultPlan`]
+/// verdicts and per-node seed derivation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a sub-seed from a base seed and a stable salt (e.g. a rack
+/// node id). Fault plans seeded this way observe the same fault sequence
+/// no matter how rack nodes are packed into shards — the salt is a
+/// rack-node-level identifier, never a shard or thread index.
+pub fn mix_seed(base: u64, salt: u64) -> u64 {
+    splitmix64(base ^ splitmix64(salt))
+}
+
+/// What the fault plan says should happen to one stamped envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetVerdict {
+    /// Deliver at the modeled link latency.
+    Deliver,
+    /// Deliver late: add this much on top of the modeled link latency.
+    Delay(SimDuration),
+    /// Drop the envelope.
+    Drop,
+}
+
+/// What a matching [`NetRule`] does to an envelope that draws a hit.
+#[derive(Debug, Clone, Copy)]
+enum NetEffect {
+    Delay(SimDuration),
+    Drop,
+}
+
+/// One windowed network-fault rule.
+#[derive(Debug, Clone)]
+struct NetRule {
+    /// Window over **send** time: `[from, until)`. Send time (not arrival)
+    /// keys the window because it is known at stamp time and identical in
+    /// every shard layout.
+    from: SimTime,
+    until: SimTime,
+    /// Source node set (empty = any).
+    a: Vec<RackNodeId>,
+    /// Destination node set (empty = any).
+    b: Vec<RackNodeId>,
+    /// Also match the reverse direction (`b → a`).
+    bidir: bool,
+    /// Probability an envelope matching the rule draws the effect.
+    p: f64,
+    effect: NetEffect,
+}
+
+impl NetRule {
+    fn matches(&self, src: RackNodeId, dst: RackNodeId, send: SimTime) -> bool {
+        if send < self.from || send >= self.until {
+            return false;
+        }
+        let side = |set: &[RackNodeId], n: RackNodeId| set.is_empty() || set.contains(&n);
+        side(&self.a, src) && side(&self.b, dst)
+            || self.bidir && side(&self.b, src) && side(&self.a, dst)
+    }
+}
+
+/// A seeded, deterministic plan of network faults: link latency spikes,
+/// probabilistic envelope drops, and full bidirectional partitions, each
+/// active over a send-time window.
+///
+/// The plan is **pure data plus a pure function**: the verdict for an
+/// envelope is a stateless hash of `(seed, rule index, src, dst, seq,
+/// send time)`. Unlike counter-based fault plans, no evaluation-order
+/// state exists, so any shard layout — and any re-evaluation of the same
+/// envelope, e.g. by a journal validator — computes the identical verdict.
+///
+/// The cluster layer consults the plan only for **control-plane**
+/// envelopes (scheduler commands and metric samples). Data tuples are
+/// never delayed or dropped: a destination queue models exactly one
+/// network delay, and tuple loss is the SPE's (load shedding) business,
+/// not the fabric's.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    seed: u64,
+    rules: Vec<NetRule>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan (every verdict is [`NetVerdict::Deliver`]).
+    pub fn new(seed: u64) -> NetFaultPlan {
+        NetFaultPlan { seed, rules: Vec::new() }
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds a latency spike: envelopes sent on `src → dst` during
+    /// `[from, until)` draw `extra` additional latency with probability `p`.
+    pub fn latency_spike(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        src: RackNodeId,
+        dst: RackNodeId,
+        p: f64,
+        extra: SimDuration,
+    ) -> NetFaultPlan {
+        self.rules.push(NetRule {
+            from,
+            until,
+            a: vec![src],
+            b: vec![dst],
+            bidir: false,
+            p,
+            effect: NetEffect::Delay(extra),
+        });
+        self
+    }
+
+    /// Adds a lossy link: envelopes sent on `src → dst` during
+    /// `[from, until)` are dropped with probability `p`.
+    pub fn drop_link(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        src: RackNodeId,
+        dst: RackNodeId,
+        p: f64,
+    ) -> NetFaultPlan {
+        self.rules.push(NetRule {
+            from,
+            until,
+            a: vec![src],
+            b: vec![dst],
+            bidir: false,
+            p,
+            effect: NetEffect::Drop,
+        });
+        self
+    }
+
+    /// Adds a full partition: every envelope between the `a` and `b` node
+    /// sets (both directions) sent during `[from, until)` is dropped. An
+    /// empty set means "every node", so `partition(f, u, vec![0], vec![])`
+    /// isolates node 0 from the whole rack.
+    pub fn partition(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        a: Vec<RackNodeId>,
+        b: Vec<RackNodeId>,
+    ) -> NetFaultPlan {
+        self.rules.push(NetRule {
+            from,
+            until,
+            a,
+            b,
+            bidir: true,
+            p: 1.0,
+            effect: NetEffect::Drop,
+        });
+        self
+    }
+
+    /// True if `[from, until)` contains a window where `src → dst` is
+    /// fully partitioned (some drop rule with `p >= 1` matches).
+    pub fn is_partitioned(&self, src: RackNodeId, dst: RackNodeId, at: SimTime) -> bool {
+        self.rules.iter().any(|r| {
+            matches!(r.effect, NetEffect::Drop) && r.p >= 1.0 && r.matches(src, dst, at)
+        })
+    }
+
+    /// The verdict for one stamped envelope. Pure: depends only on the
+    /// plan and the envelope's rack-node-level identity, never on how many
+    /// envelopes were evaluated before it or on which shard evaluates it.
+    ///
+    /// Drops win over delays; delay extras from all firing rules add up.
+    pub fn verdict(
+        &self,
+        src: RackNodeId,
+        dst: RackNodeId,
+        seq: u64,
+        send: SimTime,
+    ) -> NetVerdict {
+        let mut extra = SimDuration::ZERO;
+        let mut delayed = false;
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if !rule.matches(src, dst, send) {
+                continue;
+            }
+            let mut h = splitmix64(self.seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+            for v in [src as u64, dst as u64, seq, send.as_nanos()] {
+                h = splitmix64(h ^ v);
+            }
+            let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if draw < rule.p {
+                match rule.effect {
+                    NetEffect::Drop => return NetVerdict::Drop,
+                    NetEffect::Delay(d) => {
+                        delayed = true;
+                        extra += d;
+                    }
+                }
+            }
+        }
+        if delayed {
+            NetVerdict::Delay(extra)
+        } else {
+            NetVerdict::Deliver
+        }
+    }
+}
+
 /// Lockstep epoch bookkeeping: epoch `k` covers `(k·E, (k+1)·E]` of
 /// simulated time — each epoch's work is one `run_until((k+1)·E)` call.
 #[derive(Debug, Clone, Copy)]
@@ -292,6 +506,61 @@ mod tests {
         assert_eq!(clock.epoch_of(SimTime::from_nanos(500_000)), 0);
         assert_eq!(clock.epoch_of(SimTime::from_nanos(500_001)), 1);
         assert_eq!(clock.epoch_of(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn net_fault_verdicts_are_pure_and_windowed() {
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        let plan = NetFaultPlan::new(7)
+            .latency_spike(t(10), t(20), 0, 1, 1.0, SimDuration::from_micros(300))
+            .drop_link(t(30), t(40), 1, 0, 0.5);
+        // Outside every window: deliver.
+        assert_eq!(plan.verdict(0, 1, 0, t(5)), NetVerdict::Deliver);
+        assert_eq!(plan.verdict(0, 1, 9, t(25)), NetVerdict::Deliver);
+        // Inside the spike window, p=1: always the configured extra.
+        assert_eq!(
+            plan.verdict(0, 1, 3, t(12)),
+            NetVerdict::Delay(SimDuration::from_micros(300))
+        );
+        // Wrong link: unaffected.
+        assert_eq!(plan.verdict(1, 0, 3, t(12)), NetVerdict::Deliver);
+        // Re-evaluating the same envelope gives the same verdict (pure),
+        // and a p=0.5 drop window hits some but not all of 100 envelopes.
+        let mut drops = 0;
+        for seq in 0..100 {
+            let v = plan.verdict(1, 0, seq, t(35));
+            assert_eq!(v, plan.verdict(1, 0, seq, t(35)));
+            if v == NetVerdict::Drop {
+                drops += 1;
+            }
+        }
+        assert!(drops > 20 && drops < 80, "p=0.5 drew {drops}/100 drops");
+    }
+
+    #[test]
+    fn partition_drops_both_directions() {
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+        let plan = NetFaultPlan::new(1).partition(t(10), t(20), vec![0], vec![]);
+        for seq in 0..10 {
+            assert_eq!(plan.verdict(0, 2, seq, t(15)), NetVerdict::Drop);
+            assert_eq!(plan.verdict(2, 0, seq, t(15)), NetVerdict::Drop);
+        }
+        // Links not touching node 0 are unaffected; the window ends.
+        assert_eq!(plan.verdict(1, 2, 0, t(15)), NetVerdict::Deliver);
+        assert_eq!(plan.verdict(0, 2, 0, t(20)), NetVerdict::Deliver);
+        assert!(plan.is_partitioned(0, 2, t(15)));
+        assert!(plan.is_partitioned(2, 0, t(15)));
+        assert!(!plan.is_partitioned(1, 2, t(15)));
+        assert!(!plan.is_partitioned(0, 2, t(20)));
+    }
+
+    #[test]
+    fn mixed_seeds_differ_per_node_but_not_per_layout() {
+        // mix_seed depends only on (base, node id) — the "layout" is not
+        // an input, so there is nothing a shard packing could change.
+        assert_ne!(mix_seed(42, 0), mix_seed(42, 1));
+        assert_ne!(mix_seed(42, 0), mix_seed(43, 0));
+        assert_eq!(mix_seed(42, 3), mix_seed(42, 3));
     }
 
     #[test]

@@ -81,6 +81,17 @@ pub enum TraceEvent {
         /// Wait channel, or `None` for sleeps.
         channel: Option<WaitId>,
     },
+    /// A running thread exited (crash fail-stop or a completed body): it
+    /// stops being runnable without a `Block`, and any later `Switch`
+    /// naming it as `prev` refers to a dead thread.
+    Exit {
+        /// Node index.
+        node: u64,
+        /// CPU index the thread vacated.
+        cpu: usize,
+        /// The exiting thread.
+        tid: ThreadId,
+    },
     /// A running thread was preempted by a wake-up or RT arrival.
     Preempt {
         /// Node index.
